@@ -1,0 +1,489 @@
+// Benchmarks regenerating the paper's quantitative claims and the design
+// ablations DESIGN.md calls out. One benchmark (family) per claim:
+//
+//	C1  BenchmarkOMNIIngest*        "OMNI ingests up to 400,000 msgs/s"
+//	C2  BenchmarkSustainedBytes     "Perlmutter: >400 GB/day"
+//	C3  BenchmarkLabelCardinality   label overuse -> many small chunks
+//	C4  BenchmarkChunkCompression   compressed chunks cut storage
+//	C5  BenchmarkShardedIngest      the 8-worker Loki cluster layout
+//	E4  BenchmarkFig5Query          the leak count_over_time query
+//	E7  BenchmarkFig8Query          the switch pattern query
+//	C7  BenchmarkPipelineTick       full-pipeline evaluation cadence
+//	    BenchmarkAlertmanagerFanout grouping fan-in
+//	    BenchmarkIndexedVsGrep      Loki's label-index design premise
+package shastamon
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"shastamon/internal/alertmanager"
+	"shastamon/internal/chunkenc"
+	"shastamon/internal/core"
+	"shastamon/internal/eventsearch"
+	"shastamon/internal/experiments"
+	"shastamon/internal/labels"
+	"shastamon/internal/logql"
+	"shastamon/internal/loki"
+	"shastamon/internal/omni"
+	"shastamon/internal/ruler"
+	"shastamon/internal/syslogd"
+)
+
+const leakLine = `{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected","Message":"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."}`
+
+func benchHosts(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("nid%06d", i+1)
+	}
+	return out
+}
+
+// C1: warehouse ingest throughput, logs only. The b.N/elapsed rate is the
+// number to compare against the paper's 400k msgs/s.
+func BenchmarkOMNIIngestLogs(b *testing.B) {
+	wh := omni.New(omni.Config{})
+	gen := syslogd.NewGenerator(1, benchHosts(64)...)
+	msgs := make([]loki.PushStream, 256)
+	for i := range msgs {
+		msgs[i] = core.SyslogToLoki(gen.Next(time.Unix(0, int64(i))), "perlmutter")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ts := int64(0)
+	for i := 0; i < b.N; i++ {
+		ps := msgs[i%len(msgs)]
+		ts += 1e6
+		ps.Entries = []loki.Entry{{Timestamp: ts, Line: ps.Entries[0].Line}}
+		if err := wh.IngestLogs([]loki.PushStream{ps}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// C1: metric samples.
+func BenchmarkOMNIIngestMetrics(b *testing.B) {
+	wh := omni.New(omni.Config{})
+	ls := make([]labels.Labels, 64)
+	for i := range ls {
+		ls[i] = labels.FromStrings("xname", fmt.Sprintf("x1000c0s%db0n0", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wh.IngestMetric("cray_telemetry_temperature", ls[i%64], int64(i), 45); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// C1: the paper's mixed event/metric stream, batched as the Telemetry API
+// clients batch it.
+func BenchmarkOMNIIngestMixedBatch(b *testing.B) {
+	wh := omni.New(omni.Config{})
+	gen := syslogd.NewGenerator(2, benchHosts(64)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ts := int64(0)
+	for i := 0; i < b.N; i++ {
+		batch := make([]loki.PushStream, 64)
+		for j := range batch {
+			ts += 1e6
+			batch[j] = core.SyslogToLoki(gen.Next(time.Unix(0, ts)), "perlmutter")
+		}
+		if err := wh.IngestLogs(batch); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 16; j++ {
+			_ = wh.IngestMetric("cray_telemetry_power", labels.FromStrings("xname", "x1000c0s0b0n0"), ts/1e6+int64(j), 520)
+		}
+	}
+}
+
+// C2: sustained byte throughput (SetBytes makes go test report MB/s; the
+// paper's 400 GB/day is ~4.6 MB/s).
+func BenchmarkSustainedBytes(b *testing.B) {
+	wh := omni.New(omni.Config{})
+	gen := syslogd.NewGenerator(3, benchHosts(128)...)
+	lines := make([]syslogd.Message, 512)
+	var total int
+	for i := range lines {
+		lines[i] = gen.Next(time.Unix(0, int64(i)))
+		total += len(lines[i].Text)
+	}
+	b.SetBytes(int64(total / len(lines)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	ts := int64(0)
+	for i := 0; i < b.N; i++ {
+		m := lines[i%len(lines)]
+		ts += 1e6
+		m.Timestamp = time.Unix(0, ts)
+		if err := wh.IngestLogs([]loki.PushStream{core.SyslogToLoki(m, "perlmutter")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// C3: the same entries under three label schemes. More labels -> more
+// streams -> more, smaller chunks -> slower pushes; run with -bench
+// LabelCardinality and compare ns/op plus the streams metric.
+func BenchmarkLabelCardinality(b *testing.B) {
+	schemes := []struct {
+		name string
+		lbls func(m syslogd.Message, i int) labels.Labels
+	}{
+		{"paper3", func(m syslogd.Message, i int) labels.Labels {
+			return labels.FromStrings("cluster", "perlmutter", "data_type", "syslog", "hostname", m.Hostname)
+		}},
+		{"plus2", func(m syslogd.Message, i int) labels.Labels {
+			return labels.FromStrings("cluster", "perlmutter", "data_type", "syslog", "hostname", m.Hostname, "app", m.App, "severity", m.SeverityName())
+		}},
+		{"uniqueID", func(m syslogd.Message, i int) labels.Labels {
+			return labels.FromStrings("cluster", "perlmutter", "data_type", "syslog", "hostname", m.Hostname, "req", fmt.Sprintf("%d", i))
+		}},
+	}
+	for _, sc := range schemes {
+		b.Run(sc.name, func(b *testing.B) {
+			store := loki.NewStore(loki.Limits{MaxLabelNamesPerStream: 20, MaxLineSize: 1 << 20,
+				ChunkOptions: chunkenc.Options{TargetSize: 256 * 1024}})
+			gen := syslogd.NewGenerator(4, benchHosts(32)...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := gen.Next(time.Unix(0, int64(i)*1e6))
+				err := store.Push([]loki.PushStream{{
+					Labels:  sc.lbls(m, i),
+					Entries: []loki.Entry{{Timestamp: m.Timestamp.UnixNano(), Line: m.Text}},
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := store.Stats()
+			b.ReportMetric(float64(st.Streams), "streams")
+			b.ReportMetric(float64(st.Chunks), "chunks")
+		})
+	}
+}
+
+// C4: compression ratio of sealed chunks per corpus.
+func BenchmarkChunkCompression(b *testing.B) {
+	corpora := []struct {
+		name string
+		line func(gen *syslogd.Generator, i int) string
+	}{
+		{"redfish", func(*syslogd.Generator, int) string { return leakLine }},
+		{"syslog", func(gen *syslogd.Generator, i int) string { return gen.Next(time.Unix(int64(i), 0)).Text }},
+	}
+	for _, c := range corpora {
+		b.Run(c.name, func(b *testing.B) {
+			gen := syslogd.NewGenerator(5, "nid000001")
+			var raw, compressed int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ch := chunkenc.New(chunkenc.Options{TargetSize: 1 << 30, MaxEntries: 1 << 30})
+				for j := 0; j < 2000; j++ {
+					if err := ch.Append(chunkenc.Entry{Timestamp: int64(j) * 1e9, Line: c.line(gen, j)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := ch.Close(); err != nil {
+					b.Fatal(err)
+				}
+				raw, compressed = ch.RawBytes(), ch.CompressedBytes()
+			}
+			b.ReportMetric(float64(raw)/float64(compressed), "compression-ratio")
+		})
+	}
+}
+
+// C5: the paper's Loki deployment runs 8 worker nodes; shard streams by
+// fingerprint over 8 stores and ingest in parallel.
+func BenchmarkShardedIngest(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			stores := make([]*loki.Store, shards)
+			for i := range stores {
+				stores[i] = loki.NewStore(loki.DefaultLimits())
+			}
+			gen := syslogd.NewGenerator(6, benchHosts(256)...)
+			msgs := make([]loki.PushStream, 4096)
+			for i := range msgs {
+				msgs[i] = core.SyslogToLoki(gen.Next(time.Unix(0, int64(i)*1e6)), "perlmutter")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < shards; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						for _, ps := range msgs {
+							if int(ps.Labels.Fingerprint())%shards != s {
+								continue
+							}
+							if err := stores[s].Push([]loki.PushStream{ps}); err != nil && err != chunkenc.ErrOutOfOrder {
+								b.Error(err)
+								return
+							}
+						}
+					}(s)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+func loadLeakStore(b *testing.B, events int) *loki.Store {
+	b.Helper()
+	store := loki.NewStore(loki.DefaultLimits())
+	ls := labels.FromStrings("Context", "x1203c1b0", "cluster", "perlmutter", "data_type", "redfish_event")
+	entries := make([]loki.Entry, events)
+	for i := range entries {
+		entries[i] = loki.Entry{Timestamp: int64(i) * 1e6, Line: leakLine}
+	}
+	if err := store.Push([]loki.PushStream{{Labels: ls, Entries: entries}}); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+// E4 / Fig. 5: the paper's leak query over 10k stored events.
+func BenchmarkFig5Query(b *testing.B) {
+	store := loadLeakStore(b, 10000)
+	eng := logql.NewEngine(store)
+	expr, err := logql.ParseMetricExpr(`sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (severity, cluster, Context, message_id, message)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec, err := eng.Instant(expr, int64(time.Hour))
+		if err != nil || len(vec) == 0 {
+			b.Fatalf("%v %v", vec, err)
+		}
+	}
+}
+
+// E7 / Fig. 8: the switch pattern query over 10k events.
+func BenchmarkFig8Query(b *testing.B) {
+	store := loki.NewStore(loki.DefaultLimits())
+	ls := labels.FromStrings("app", "fabric_manager_monitor", "cluster", "perlmutter")
+	entries := make([]loki.Entry, 10000)
+	for i := range entries {
+		entries[i] = loki.Entry{
+			Timestamp: int64(i) * 1e6,
+			Line:      fmt.Sprintf("[critical] problem:fm_switch_offline, xname:x1002c%dr%db0, state:UNKNOWN", i%8, i%64/8),
+		}
+	}
+	if err := store.Push([]loki.PushStream{{Labels: ls, Entries: entries}}); err != nil {
+		b.Fatal(err)
+	}
+	eng := logql.NewEngine(store)
+	expr, err := logql.ParseMetricExpr(`sum(count_over_time({app="fabric_manager_monitor"} |= "fm_switch_offline" | pattern "[<sev>] problem:<problem>, xname:<xname>, state:<state>" [60m])) by (xname, state)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec, err := eng.Instant(expr, int64(time.Hour))
+		if err != nil || len(vec) != 64 {
+			b.Fatalf("%d %v", len(vec), err)
+		}
+	}
+}
+
+// C7: wall-clock cost of one full pipeline evaluation cycle — collect,
+// forward, poll, scrape, evaluate both rule engines, flush.
+func BenchmarkPipelineTick(b *testing.B) {
+	p, err := core.New(core.Options{LogRules: []ruler.Rule{experiments.LeakRule, experiments.SwitchRule}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	now := time.Date(2022, 3, 3, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Second)
+		if err := p.Tick(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Alertmanager grouping fan-in: many alerts, few groups.
+func BenchmarkAlertmanagerFanout(b *testing.B) {
+	rcv := receiverFunc("null")
+	now := time.Unix(0, 0)
+	m, err := alertmanager.New(alertmanager.Config{
+		Route:     &alertmanager.Route{Receiver: "null", GroupWait: time.Nanosecond, GroupBy: []string{"severity"}},
+		Receivers: []alertmanager.Receiver{rcv},
+		Now:       func() time.Time { return now },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sevs := []string{"critical", "warning", "info"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Receive(alertmanager.Alert{Labels: labels.FromStrings(
+			"alertname", "X", "severity", sevs[i%3], "xname", fmt.Sprintf("x%d", i%512))})
+		if i%256 == 255 {
+			now = now.Add(time.Second)
+			m.Flush()
+		}
+	}
+}
+
+type receiverFunc string
+
+func (r receiverFunc) Name() string                         { return string(r) }
+func (receiverFunc) Notify(alertmanager.Notification) error { return nil }
+
+// Ablation: Loki's design premise — selecting one stream by label beats
+// grepping every stream's content. 64 streams, query one host's errors.
+func BenchmarkIndexedVsGrep(b *testing.B) {
+	store := loki.NewStore(loki.DefaultLimits())
+	gen := syslogd.NewGenerator(8, benchHosts(64)...)
+	for i := 0; i < 64*500; i++ {
+		m := gen.Next(time.Unix(0, int64(i)*1e6))
+		err := store.Push([]loki.PushStream{{
+			Labels:  labels.FromStrings("hostname", m.Hostname, "data_type", "syslog"),
+			Entries: []loki.Entry{{Timestamp: m.Timestamp.UnixNano(), Line: m.Hostname + " " + m.App + ": " + m.Text}},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng := logql.NewEngine(store)
+	b.Run("indexed-label-select", func(b *testing.B) {
+		expr, _ := logql.ParseLogExpr(`{hostname="nid000001"} |= "sshd"`)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SelectLogs(expr, 0, 1<<62); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-grep", func(b *testing.B) {
+		expr, _ := logql.ParseLogExpr(`{data_type="syslog"} |= "nid000001" |= "sshd"`)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SelectLogs(expr, 0, 1<<62); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: Loki's label-index-plus-grep versus the Elasticsearch-style
+// full-text index OMNI also runs. Full-text pays ~10x at write time to
+// answer rare-term queries without scanning; Loki writes cheaply and
+// scans on read. The paper's OMNI keeps both.
+func BenchmarkLogIndexDesigns(b *testing.B) {
+	const total = 32000
+	gen := syslogd.NewGenerator(13, benchHosts(64)...)
+	lines := make([]syslogd.Message, total)
+	for i := range lines {
+		lines[i] = gen.Next(time.Unix(0, int64(i)*1e6))
+	}
+	b.Run("write/loki", func(b *testing.B) {
+		store := loki.NewStore(loki.DefaultLimits())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := lines[i%total]
+			_ = store.Push([]loki.PushStream{{
+				Labels:  labels.FromStrings("hostname", m.Hostname, "data_type", "syslog"),
+				Entries: []loki.Entry{{Timestamp: int64(i) * 1e6, Line: m.Text}},
+			}})
+		}
+	})
+	b.Run("write/fulltext", func(b *testing.B) {
+		ix := eventsearch.New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := lines[i%total]
+			ix.Add(time.Unix(0, int64(i)*1e6), nil, m.Hostname+" "+m.App+": "+m.Text)
+		}
+	})
+	// Read side: find the rare GPFS failure among routine noise.
+	store := loki.NewStore(loki.DefaultLimits())
+	ix := eventsearch.New()
+	for i, m := range lines {
+		text := m.Hostname + " " + m.App + ": " + m.Text
+		if i%4000 == 0 {
+			text = m.Hostname + " mmfs: GPFS: Disk failure detected on rg001"
+		}
+		_ = store.Push([]loki.PushStream{{
+			Labels:  labels.FromStrings("data_type", "syslog"),
+			Entries: []loki.Entry{{Timestamp: int64(i) * 1e6, Line: text}},
+		}})
+		ix.Add(time.Unix(0, int64(i)*1e6), nil, text)
+	}
+	eng := logql.NewEngine(store)
+	b.Run("read/loki-grep", func(b *testing.B) {
+		expr, _ := logql.ParseLogExpr(`{data_type="syslog"} |= "Disk failure"`)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			streams, err := eng.SelectLogs(expr, 0, 1<<62)
+			if err != nil || len(streams) == 0 {
+				b.Fatalf("%v %v", streams, err)
+			}
+		}
+	})
+	b.Run("read/fulltext-term", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hits := ix.Search(eventsearch.Query{Terms: []string{"disk", "failure"}, Limit: 100})
+			if len(hits) != 8 {
+				b.Fatalf("%d", len(hits))
+			}
+		}
+	})
+}
+
+// Ablation: chunk target size. Bigger chunks amortise sealing cost and
+// compress better ("Loki prefers handling bigger but fewer chunks") at
+// the price of more uncompressed head memory.
+func BenchmarkChunkTargetSize(b *testing.B) {
+	for _, target := range []int{64 << 10, 256 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("%dKiB", target>>10), func(b *testing.B) {
+			store := loki.NewStore(loki.Limits{
+				MaxLabelNamesPerStream: 10, MaxLineSize: 1 << 20,
+				ChunkOptions: chunkenc.Options{TargetSize: target},
+			})
+			gen := syslogd.NewGenerator(14, benchHosts(8)...)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := gen.Next(time.Unix(0, int64(i)*1e6))
+				err := store.Push([]loki.PushStream{{
+					Labels:  labels.FromStrings("hostname", m.Hostname),
+					Entries: []loki.Entry{{Timestamp: int64(i) * 1e6, Line: m.Text}},
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := store.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			st := store.Stats()
+			b.ReportMetric(float64(st.Chunks), "chunks")
+			if st.CompressedBytes > 0 {
+				b.ReportMetric(float64(st.RawBytes)/float64(st.CompressedBytes), "compression-ratio")
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+// Command experiments regenerates the paper's figures and quantitative
+// claims. Run a single experiment or all of them:
+//
+//	experiments -run fig5
+//	experiments -run all -seconds 2 -out artifacts.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"shastamon/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: fig2..fig9, c1..c4, c7, or all")
+	seconds := flag.Float64("seconds", 1.0, "duration of the timed throughput experiments")
+	out := flag.String("out", "", "also write output to this file")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	r := experiments.Runner{QuickSeconds: *seconds}
+	if err := r.Run(*run, w); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+// Command logcli is the command-line LogQL client the paper mentions
+// ("queries can be executed and visualized using Grafana or a command
+// line interface, LogCLI"). It runs log and metric queries against a
+// self-contained demo store, or against data loaded from a JSON file of
+// Loki push streams.
+//
+//	logcli -q '{data_type="redfish_event"} |= "CabinetLeakDetected" | json'
+//	logcli -load dump.json -q 'sum(count_over_time({app="x"}[5m]))' -instant
+//
+// The demo store is preloaded with the paper's two case-study events so
+// the figures' queries work out of the box.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/logql"
+	"shastamon/internal/loki"
+)
+
+type dumpStream struct {
+	Stream map[string]string `json:"stream"`
+	Values [][2]string       `json:"values"`
+}
+
+func loadDump(store *loki.Store, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var streams []dumpStream
+	if err := json.Unmarshal(data, &streams); err != nil {
+		return fmt.Errorf("logcli: %s: %w", path, err)
+	}
+	for _, ds := range streams {
+		ps := loki.PushStream{Labels: labels.FromMap(ds.Stream)}
+		for _, v := range ds.Values {
+			var ts int64
+			if _, err := fmt.Sscanf(v[0], "%d", &ts); err != nil {
+				return fmt.Errorf("logcli: bad timestamp %q", v[0])
+			}
+			ps.Entries = append(ps.Entries, loki.Entry{Timestamp: ts, Line: v[1]})
+		}
+		if err := store.Push([]loki.PushStream{ps}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func demoStore() (*loki.Store, error) {
+	store := loki.NewStore(loki.DefaultLimits())
+	leakTS := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC).UnixNano()
+	err := store.Push([]loki.PushStream{
+		{
+			Labels: labels.FromStrings("Context", "x1203c1b0", "cluster", "perlmutter", "data_type", "redfish_event"),
+			Entries: []loki.Entry{{
+				Timestamp: leakTS,
+				Line:      `{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected","Message":"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."}`,
+			}},
+		},
+		{
+			Labels: labels.FromStrings("app", "fabric_manager_monitor", "cluster", "perlmutter"),
+			Entries: []loki.Entry{{
+				Timestamp: leakTS + int64(time.Minute),
+				Line:      "[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN",
+			}},
+		},
+	})
+	return store, err
+}
+
+func main() {
+	query := flag.String("q", "", "LogQL query (required)")
+	load := flag.String("load", "", "JSON file of Loki push streams to load instead of the demo data")
+	instant := flag.Bool("instant", false, "run a metric query at -at instead of a log query")
+	at := flag.String("at", "2022-03-03T02:00:00Z", "instant query evaluation time (RFC3339)")
+	since := flag.Duration("since", 24*time.Hour, "log query lookback from -at")
+	addr := flag.String("addr", "", "query a remote Loki API (e.g. omnid) instead of the local demo store")
+	flag.Parse()
+	if *query == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *addr != "" {
+		if err := queryRemote(*addr, *query, *at, *since, *instant); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	store, err := demoStore()
+	if err != nil {
+		fatal(err)
+	}
+	if *load != "" {
+		store = loki.NewStore(loki.DefaultLimits())
+		if err := loadDump(store, *load); err != nil {
+			fatal(err)
+		}
+	}
+	engine := logql.NewEngine(store)
+	end, err := time.Parse(time.RFC3339, *at)
+	if err != nil {
+		fatal(fmt.Errorf("bad -at: %w", err))
+	}
+
+	if *instant {
+		vec, err := engine.QueryInstant(*query, end.UnixNano())
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range vec {
+			fmt.Printf("%s => %g\n", s.Labels, s.V)
+		}
+		if len(vec) == 0 {
+			fmt.Println("(empty vector)")
+		}
+		return
+	}
+	streams, err := engine.QueryLogs(*query, end.Add(-*since).UnixNano(), end.UnixNano())
+	if err != nil {
+		fatal(err)
+	}
+	n := 0
+	for _, s := range streams {
+		fmt.Println(s.Labels)
+		for _, e := range s.Entries {
+			fmt.Printf("  %s  %s\n", time.Unix(0, e.Timestamp).UTC().Format(time.RFC3339), e.Line)
+			n++
+		}
+	}
+	fmt.Printf("(%d entries, %d streams)\n", n, len(streams))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "logcli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"shastamon/internal/logql"
+	"shastamon/internal/loki"
+)
+
+func TestDemoStoreServesPaperQueries(t *testing.T) {
+	store, err := demoStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := logql.NewEngine(store)
+	streams, err := eng.QueryLogs(`{data_type="redfish_event"} |= "CabinetLeakDetected" | json`, 0, 1<<62)
+	if err != nil || len(streams) != 1 {
+		t.Fatalf("%v %v", streams, err)
+	}
+	if streams[0].Labels.Get("severity") != "Warning" {
+		t.Fatalf("%v", streams[0].Labels)
+	}
+	at := time.Date(2022, 3, 3, 2, 0, 0, 0, time.UTC).UnixNano()
+	vec, err := eng.QueryInstant(
+		`sum(count_over_time({app="fabric_manager_monitor"} |= "fm_switch_offline" | pattern "[<sev>] problem:<problem>, xname:<xname>, state:<state>" [24h])) by (xname)`,
+		at)
+	if err != nil || len(vec) != 1 || vec[0].Labels.Get("xname") != "x1002c1r7b0" {
+		t.Fatalf("%v %v", vec, err)
+	}
+}
+
+func TestLoadDump(t *testing.T) {
+	dump := `[
+	  {"stream": {"app": "x", "cluster": "c"},
+	   "values": [["1000000000", "first line"], ["2000000000", "second line"]]}
+	]`
+	path := filepath.Join(t.TempDir(), "dump.json")
+	if err := os.WriteFile(path, []byte(dump), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	store := loki.NewStore(loki.DefaultLimits())
+	if err := loadDump(store, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Select(nil, 0, 1<<62)
+	if err != nil || len(got) != 1 || len(got[0].Entries) != 2 {
+		t.Fatalf("%v %v", got, err)
+	}
+	if got[0].Entries[1].Line != "second line" || got[0].Entries[1].Timestamp != 2000000000 {
+		t.Fatalf("%+v", got[0].Entries)
+	}
+}
+
+func TestLoadDumpErrors(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	if err := loadDump(store, "/nonexistent.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	_ = os.WriteFile(bad, []byte("{"), 0o600)
+	if err := loadDump(store, bad); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	badTS := filepath.Join(dir, "badts.json")
+	_ = os.WriteFile(badTS, []byte(`[{"stream":{"a":"b"},"values":[["zzz","line"]]}]`), 0o600)
+	if err := loadDump(store, badTS); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// queryRemote runs the query against a Loki-compatible HTTP API (the
+// in-process engine exposed by cmd/omnid, or any server speaking
+// /loki/api/v1/query[_range]).
+func queryRemote(base, query, at string, since time.Duration, instant bool) error {
+	end, err := time.Parse(time.RFC3339, at)
+	if err != nil {
+		return fmt.Errorf("bad -at: %w", err)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	if instant {
+		q := url.Values{}
+		q.Set("query", query)
+		q.Set("time", strconv.FormatInt(end.UnixNano(), 10))
+		var resp struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+			Data   struct {
+				Result []struct {
+					Metric map[string]string `json:"metric"`
+					Value  [2]interface{}    `json:"value"`
+				} `json:"result"`
+			} `json:"data"`
+		}
+		if err := getJSON(client, base+"/loki/api/v1/query?"+q.Encode(), &resp); err != nil {
+			return err
+		}
+		if resp.Status != "success" {
+			return fmt.Errorf("remote: %s", resp.Error)
+		}
+		for _, s := range resp.Data.Result {
+			fmt.Printf("%s => %v\n", renderLabels(s.Metric), s.Value[1])
+		}
+		if len(resp.Data.Result) == 0 {
+			fmt.Println("(empty vector)")
+		}
+		return nil
+	}
+	q := url.Values{}
+	q.Set("query", query)
+	q.Set("start", strconv.FormatInt(end.Add(-since).UnixNano(), 10))
+	q.Set("end", strconv.FormatInt(end.UnixNano(), 10))
+	var resp struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+		Data   struct {
+			ResultType string `json:"resultType"`
+			Result     []struct {
+				Stream map[string]string `json:"stream"`
+				Values [][2]string       `json:"values"`
+			} `json:"result"`
+		} `json:"data"`
+	}
+	if err := getJSON(client, base+"/loki/api/v1/query_range?"+q.Encode(), &resp); err != nil {
+		return err
+	}
+	if resp.Status != "success" {
+		return fmt.Errorf("remote: %s", resp.Error)
+	}
+	if resp.Data.ResultType != "streams" {
+		return fmt.Errorf("remote returned %s; use -instant for metric queries", resp.Data.ResultType)
+	}
+	n := 0
+	for _, s := range resp.Data.Result {
+		fmt.Println(renderLabels(s.Stream))
+		for _, v := range s.Values {
+			ns, err := strconv.ParseInt(v[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("remote: bad timestamp %q", v[0])
+			}
+			fmt.Printf("  %s  %s\n", time.Unix(0, ns).UTC().Format(time.RFC3339), v[1])
+			n++
+		}
+	}
+	fmt.Printf("(%d entries, %d streams)\n", n, len(resp.Data.Result))
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+func renderLabels(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += k + `="` + m[k] + `"`
+	}
+	return out + "}"
+}

@@ -1,0 +1,205 @@
+// Command omnid runs the full monitoring pipeline against the simulated
+// Perlmutter system on wall-clock time: hardware telemetry and syslog flow
+// through Kafka and the Telemetry API into Loki and the TSDB; the Ruler
+// and vmalert evaluate the case-study rules; alerts fan out to the
+// in-process Slack webhook and ServiceNow instance. A small status server
+// exposes the warehouse and notification state.
+//
+//	omnid -listen 127.0.0.1:8080 -interval 1s -leak-after 5s
+//
+// Endpoints:
+//
+//	GET /status              pipeline counters as JSON
+//	GET /slack               messages received by the Slack webhook
+//	GET /servicenow/alerts   ServiceNow alerts
+//	GET /servicenow/incidents
+//	GET /query/logs?q=...    LogQL log query over the last hour
+//	GET /query/metrics?q=... PromQL instant query
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shastamon/internal/core"
+	"shastamon/internal/experiments"
+	"shastamon/internal/ruler"
+	"shastamon/internal/shasta"
+	"shastamon/internal/syslogd"
+	"shastamon/internal/vmalert"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "status server address")
+	interval := flag.Duration("interval", time.Second, "pipeline tick interval")
+	leakAfter := flag.Duration("leak-after", 10*time.Second, "inject a cabinet leak after this long (0 disables)")
+	switchAfter := flag.Duration("switch-after", 20*time.Second, "take a switch offline after this long (0 disables)")
+	syslogRate := flag.Int("syslog-rate", 20, "synthetic syslog messages per tick")
+	rulesPath := flag.String("rules", "", "JSON rule file (see core.RuleFile); default: the paper's two case-study rules")
+	flag.Parse()
+
+	logRules := []ruler.Rule{experiments.LeakRule, experiments.SwitchRule}
+	var metricRules []vmalert.Rule
+	if *rulesPath != "" {
+		var err error
+		logRules, metricRules, err = core.LoadRules(*rulesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d log rules and %d metric rules from %s", len(logRules), len(metricRules), *rulesPath)
+	}
+	p, err := core.New(core.Options{
+		LogRules:    logRules,
+		MetricRules: metricRules,
+		GroupWait:   time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	hosts := make([]string, 0, 16)
+	for i, n := range p.Cluster.Nodes() {
+		if i >= 16 {
+			break
+		}
+		hosts = append(hosts, n.String())
+	}
+	gen := syslogd.NewGenerator(time.Now().UnixNano(), hosts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Fault injection timers.
+	start := time.Now()
+	if *leakAfter > 0 {
+		time.AfterFunc(*leakAfter, func() {
+			if err := p.Cluster.InjectLeak("x1203c1b0", "A", "Front", time.Now()); err != nil {
+				log.Println("leak injection:", err)
+				return
+			}
+			log.Println("injected leak at x1203c1b0")
+		})
+	}
+	if *switchAfter > 0 {
+		time.AfterFunc(*switchAfter, func() {
+			if err := p.Cluster.SetSwitchState("x1002c1r7b0", shasta.SwitchUnknown); err != nil {
+				log.Println("switch fault:", err)
+				return
+			}
+			log.Println("switch x1002c1r7b0 -> UNKNOWN")
+		})
+	}
+
+	// Synthetic syslog source.
+	go func() {
+		t := time.NewTicker(*interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case now := <-t.C:
+				for i := 0; i < *syslogRate; i++ {
+					if err := p.SyslogAggregator.Ingest(gen.Next(now)); err != nil {
+						log.Println("syslog:", err)
+					}
+				}
+			}
+		}
+	}()
+
+	// Status server.
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v interface{}) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]interface{}{
+			"uptime_seconds": time.Since(start).Seconds(),
+			"warehouse":      p.Warehouse.Stats(),
+			"kafka":          p.Broker.Stats(),
+			"vmagent":        p.VMAgent.Stats(),
+			"slack_messages": len(p.Slack.Messages()),
+			"sn_incidents":   len(p.ServiceNow.Incidents()),
+		})
+	})
+	mux.HandleFunc("/slack", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Slack.Messages())
+	})
+	mux.HandleFunc("/servicenow/alerts", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.ServiceNow.Alerts())
+	})
+	mux.HandleFunc("/servicenow/incidents", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.ServiceNow.Incidents())
+	})
+	mux.HandleFunc("/query/logs", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		now := time.Now()
+		streams, err := p.Warehouse.LogQL.QueryLogs(q, now.Add(-time.Hour).UnixNano(), now.UnixNano())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, streams)
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		out, err := p.RenderSinglePane(now.Add(-time.Hour), now, time.Minute)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, out)
+	})
+	mux.HandleFunc("/query/metrics", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		vec, err := p.Warehouse.PromQL.Query(q, time.Now().UnixMilli())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, vec)
+	})
+	// Mount the component APIs: Loki push/metadata + LogQL queries,
+	// Prometheus-style queries, TSDB import, Alertmanager management.
+	mux.Handle("/loki/api/v1/push", p.Warehouse.Logs.Handler())
+	mux.Handle("/loki/api/v1/labels", p.Warehouse.Logs.Handler())
+	mux.Handle("/loki/api/v1/label/", p.Warehouse.Logs.Handler())
+	mux.Handle("/loki/api/v1/series", p.Warehouse.Logs.Handler())
+	mux.Handle("/loki/api/v1/query", p.Warehouse.LogQL.Handler())
+	mux.Handle("/loki/api/v1/query_range", p.Warehouse.LogQL.Handler())
+	mux.Handle("/api/v1/query", p.Warehouse.PromQL.Handler())
+	mux.Handle("/api/v1/query_range", p.Warehouse.PromQL.Handler())
+	mux.Handle("/api/v1/import/prometheus", p.Warehouse.Metrics.Handler())
+	mux.Handle("/api/v2/", p.Alertmanager.Handler())
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	go func() {
+		log.Printf("omnid status server on http://%s", *listen)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	log.Printf("pipeline running (tick %s); Ctrl-C to stop", *interval)
+	if err := p.Run(ctx, *interval); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	fmt.Println("bye")
+}

@@ -1,0 +1,13 @@
+// Package shastamon reproduces "Shasta Log Aggregation, Monitoring and
+// Alerting in HPC Environments with Grafana Loki and ServiceNow"
+// (Bautista, Sukhija, Deng — IEEE CLUSTER 2022) as a self-contained Go
+// system: a Perlmutter-like Shasta simulator, a Kafka-style broker, the
+// SMA Telemetry API, a Loki-style log store with LogQL, a
+// VictoriaMetrics-style TSDB with a PromQL subset, the Loki Ruler and
+// vmalert, a Prometheus-style Alertmanager, and Slack/ServiceNow
+// terminals — wired together by internal/core into the paper's pipeline.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// figure-by-figure reproduction, and bench_test.go for the quantitative
+// claims.
+package shastamon

@@ -1,0 +1,114 @@
+// Leak detection (the paper's case study A): a liquid leak sensor in a
+// Perlmutter cabinet trips, the Redfish event travels through HMS, Kafka
+// and the Telemetry API into Loki, the paper's LogQL rule converts the
+// log into a metric, holds it for one minute, and the alert reaches Slack
+// and ServiceNow.
+//
+//	go run ./examples/leakdetection
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"shastamon/internal/core"
+	"shastamon/internal/grafana"
+	"shastamon/internal/ruler"
+)
+
+func main() {
+	leakRule := ruler.Rule{
+		Name: "PerlmutterCabinetLeak",
+		// Fig. 5's query with a > 0 threshold: "if the return value is
+		// greater than zero and it lasts more than one minute, an alert
+		// will be generated".
+		Expr:   `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (severity, cluster, Context, message_id, message) > 0`,
+		For:    time.Minute,
+		Labels: map[string]string{"severity": "critical"},
+		Annotations: map[string]string{
+			"summary": "Liquid leak detected at {{ $labels.Context }} — dispatch facilities",
+		},
+	}
+	p, err := core.New(core.Options{LogRules: []ruler.Rule{leakRule}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	leakTime := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	if err := p.Tick(leakTime.Add(-time.Minute)); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("injecting leak: sensor A, Front zone, chassis x1203c1b0 ...")
+	if err := p.Cluster.InjectLeak("x1203c1b0", "A", "Front", leakTime); err != nil {
+		log.Fatal(err)
+	}
+	for _, ts := range []time.Time{leakTime, leakTime.Add(61 * time.Second), leakTime.Add(62 * time.Second)} {
+		if err := p.Tick(ts); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Show the event the way Fig. 4 does: a Grafana log panel over Loki.
+	r := grafana.NewRenderer(p.Warehouse.LogQL, p.Warehouse.PromQL)
+	table, err := r.RenderPanel(grafana.Panel{
+		Title:  "Redfish events",
+		Query:  `{data_type="redfish_event"} |= "CabinetLeakDetected"`,
+		Source: grafana.SourceLokiLogs,
+	}, leakTime.Add(-time.Hour), leakTime.Add(time.Hour), time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table)
+
+	// And the Fig. 5 metric chart.
+	chart, err := r.RenderPanel(grafana.Panel{
+		Title:  "count_over_time(... CabinetLeakDetected ...[60m])",
+		Query:  `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (Context)`,
+		Source: grafana.SourceLokiMetric,
+		Width:  60, Height: 8,
+	}, leakTime.Add(-30*time.Minute), leakTime.Add(90*time.Minute), 5*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(chart)
+
+	// The alert reached Slack (Fig. 6) and opened a ServiceNow incident.
+	for _, m := range p.Slack.Messages() {
+		fmt.Printf("\nSlack %s\n", m.Text)
+		for _, att := range m.Attachments {
+			fmt.Printf("  [%s] %s\n%s\n", att.Color, att.Title, indent(att.Text))
+		}
+	}
+	for _, inc := range p.ServiceNow.Incidents() {
+		fmt.Printf("\nServiceNow %s (P%d, %s) CI=%s\n  %s\n",
+			inc.Number, inc.Priority, inc.State, inc.CI, inc.ShortDescription)
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Switch offline detection (the paper's case study B): the Slingshot
+// fabric manager reports a Rosetta switch in state UNKNOWN; the fabric
+// manager monitor turns the state change into the Fig. 7 event line, the
+// Fig. 8 pattern rule extracts severity/problem/xname/state, and the
+// on-call channel gets the Fig. 9 notification.
+//
+//	go run ./examples/switchoffline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"shastamon/internal/core"
+	"shastamon/internal/ruler"
+	"shastamon/internal/shasta"
+)
+
+func main() {
+	switchRule := ruler.Rule{
+		Name:   "SwitchOffline",
+		Expr:   `sum(count_over_time({app="fabric_manager_monitor"} |= "fm_switch_offline" | pattern "[<sev>] problem:<problem>, xname:<xname>, state:<state>" [5m])) by (sev, problem, xname, state) > 0`,
+		Labels: map[string]string{"severity": "critical"},
+		Annotations: map[string]string{
+			"summary": "switch {{ $labels.xname }} changed state to {{ $labels.state }} — 8 compute nodes lose their connection",
+		},
+	}
+	p, err := core.New(core.Options{LogRules: []ruler.Rule{switchRule}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	t0 := time.Now().UTC().Truncate(time.Second)
+	if err := p.Tick(t0); err != nil { // primes the monitor's baseline
+		log.Fatal(err)
+	}
+
+	fmt.Println("fabric fault: switch x1002c1r7b0 stops responding ...")
+	if err := p.Cluster.SetSwitchState("x1002c1r7b0", shasta.SwitchUnknown); err != nil {
+		log.Fatal(err)
+	}
+	for _, ts := range []time.Time{t0.Add(time.Minute), t0.Add(time.Minute + time.Second)} {
+		if err := p.Tick(ts); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The monitor's event, exactly as the paper prints it.
+	streams, err := p.Warehouse.LogQL.QueryLogs(`{app="fabric_manager_monitor"}`, t0.UnixNano(), t0.Add(time.Hour).UnixNano())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range streams {
+		for _, e := range s.Entries {
+			fmt.Printf("loki %s %s\n", s.Labels, e.Line)
+		}
+	}
+
+	// The alert as Slack sees it.
+	for _, m := range p.Slack.Messages() {
+		fmt.Printf("\nslack: %s\n", m.Text)
+		for _, att := range m.Attachments {
+			fmt.Printf("  %s\n%s\n", att.Title, att.Text)
+		}
+	}
+
+	// Recovery: the switch comes back, the monitor logs the online event.
+	fmt.Println("\nswitch recovers ...")
+	if err := p.Cluster.SetSwitchState("x1002c1r7b0", shasta.SwitchActive); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Tick(t0.Add(2 * time.Minute)); err != nil {
+		log.Fatal(err)
+	}
+	streams, err = p.Warehouse.LogQL.QueryLogs(`{app="fabric_manager_monitor"} |= "fm_switch_online"`, t0.UnixNano(), t0.Add(time.Hour).UnixNano())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range streams {
+		for _, e := range s.Entries {
+			fmt.Printf("loki %s\n", e.Line)
+		}
+	}
+}

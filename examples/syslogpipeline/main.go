@@ -1,0 +1,91 @@
+// Syslog monitoring (the paper's future work): "employ Loki for syslog
+// monitoring and creating a mechanism for monitoring the health status
+// and performance for the General Parallel File System (GPFS)". Node
+// syslog streams through the rsyslogd-style aggregator into Kafka, on to
+// Loki, and a LogQL rule pages on GPFS disk failures.
+//
+//	go run ./examples/syslogpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"shastamon/internal/core"
+	"shastamon/internal/ruler"
+	"shastamon/internal/syslogd"
+)
+
+func main() {
+	gpfsRule := ruler.Rule{
+		Name:   "GPFSDiskFailure",
+		Expr:   `sum(count_over_time({data_type="syslog", app="mmfs"} |= "Disk failure" [10m])) by (hostname) > 0`,
+		Labels: map[string]string{"severity": "critical"},
+		Annotations: map[string]string{
+			"summary": "GPFS disk failure reported by {{ $labels.hostname }}",
+		},
+	}
+	p, err := core.New(core.Options{LogRules: []ruler.Rule{gpfsRule}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	// Background noise: ordinary syslog from a handful of nodes.
+	hosts := []string{"nid000001", "nid000002", "nid000003", "nid000004"}
+	gen := syslogd.NewGenerator(42, hosts...)
+	t0 := time.Now().UTC().Truncate(time.Second)
+	for i := 0; i < 200; i++ {
+		if err := p.SyslogAggregator.Ingest(gen.Next(t0.Add(time.Duration(i) * 100 * time.Millisecond))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The failure: a GPFS NSD dies on nid000002.
+	failAt := t0.Add(25 * time.Second)
+	if err := p.SyslogAggregator.Ingest(syslogd.GPFSDiskFailure("nid000002", 3, 17, failAt)); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, ts := range []time.Time{failAt.Add(time.Second), failAt.Add(2 * time.Second)} {
+		if err := p.Tick(ts); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// How noisy was the machine, per app?
+	vec, err := p.Warehouse.LogQL.QueryInstant(
+		`sum(count_over_time({data_type="syslog"}[10m])) by (app)`, failAt.Add(2*time.Second).UnixNano())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("syslog volume in the last 10m, by app:")
+	for _, s := range vec {
+		fmt.Printf("  %-10s %4.0f lines\n", s.Labels.Get("app"), s.V)
+	}
+
+	// The one line that matters, found by LogQL among the noise.
+	streams, err := p.Warehouse.LogQL.QueryLogs(
+		`{data_type="syslog", app="mmfs"} |= "Disk failure"`, t0.UnixNano(), failAt.Add(time.Minute).UnixNano())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGPFS failures:")
+	for _, s := range streams {
+		for _, e := range s.Entries {
+			fmt.Printf("  %s %s: %s\n", time.Unix(0, e.Timestamp).UTC().Format(time.RFC3339), s.Labels.Get("hostname"), e.Line)
+		}
+	}
+
+	// And the page that went out.
+	for _, m := range p.Slack.Messages() {
+		fmt.Printf("\nslack: %s\n", m.Text)
+		for _, att := range m.Attachments {
+			fmt.Printf("  %s\n  %s\n", att.Title, att.Text)
+		}
+	}
+	fmt.Println("\nServiceNow incidents:")
+	for _, inc := range p.ServiceNow.Incidents() {
+		fmt.Printf("  %s P%d %s — %s\n", inc.Number, inc.Priority, inc.State, inc.ShortDescription)
+	}
+}

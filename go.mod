@@ -1,0 +1,3 @@
+module shastamon
+
+go 1.22

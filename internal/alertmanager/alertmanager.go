@@ -1,0 +1,477 @@
+// Package alertmanager implements a Prometheus-Alertmanager-style alert
+// router: it receives alerts from the Loki Ruler and vmalert, deduplicates
+// and groups them, applies silences and inhibition, and dispatches
+// notifications to receivers (Slack, ServiceNow, generic webhooks). This is
+// the stage of the paper's workflow where "Alertmanager receives events,
+// groups them by priority, category, source, etc. and sends alert messages
+// to Slack or ServiceNow".
+package alertmanager
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"shastamon/internal/labels"
+)
+
+// Alert is one alert instance. Labels identify it (alertname plus rule
+// labels); annotations carry human-oriented detail.
+type Alert struct {
+	Labels      labels.Labels
+	Annotations map[string]string
+	StartsAt    time.Time
+	EndsAt      time.Time // zero while firing
+}
+
+// Name returns the alertname label.
+func (a Alert) Name() string { return a.Labels.Get("alertname") }
+
+// Fingerprint identifies the alert by its label set.
+func (a Alert) Fingerprint() labels.Fingerprint { return a.Labels.Fingerprint() }
+
+// Resolved reports whether the alert has ended by the given time.
+func (a Alert) Resolved(now time.Time) bool {
+	return !a.EndsAt.IsZero() && !a.EndsAt.After(now)
+}
+
+// Status is an alert's lifecycle state as seen by the manager.
+type Status string
+
+// Alert statuses.
+const (
+	StatusFiring     Status = "firing"
+	StatusResolved   Status = "resolved"
+	StatusSuppressed Status = "suppressed"
+)
+
+// Notification is what receivers get: the route's receiver name, the group
+// key, common labels of the group, and the alerts in it.
+type Notification struct {
+	Receiver    string
+	GroupKey    string
+	GroupLabels labels.Labels
+	Alerts      []Alert
+	Status      Status // firing if any alert fires, else resolved
+}
+
+// Receiver consumes notifications. Implementations must be safe for
+// concurrent use.
+type Receiver interface {
+	Name() string
+	Notify(n Notification) error
+}
+
+// Route is a node of the routing tree, mirroring Alertmanager's route
+// config. A nil Matchers matches everything.
+type Route struct {
+	Receiver       string
+	Matchers       labels.Selector
+	GroupBy        []string
+	GroupWait      time.Duration
+	GroupInterval  time.Duration
+	RepeatInterval time.Duration
+	Continue       bool
+	Routes         []*Route
+}
+
+func (r *Route) withDefaults(parent *Route) {
+	if r.Receiver == "" && parent != nil {
+		r.Receiver = parent.Receiver
+	}
+	if r.GroupBy == nil && parent != nil {
+		r.GroupBy = parent.GroupBy
+	}
+	if r.GroupWait == 0 {
+		if parent != nil {
+			r.GroupWait = parent.GroupWait
+		} else {
+			r.GroupWait = 30 * time.Second
+		}
+	}
+	if r.GroupInterval == 0 {
+		if parent != nil {
+			r.GroupInterval = parent.GroupInterval
+		} else {
+			r.GroupInterval = 5 * time.Minute
+		}
+	}
+	if r.RepeatInterval == 0 {
+		if parent != nil {
+			r.RepeatInterval = parent.RepeatInterval
+		} else {
+			r.RepeatInterval = 4 * time.Hour
+		}
+	}
+	for _, child := range r.Routes {
+		child.withDefaults(r)
+	}
+}
+
+// match walks the tree and returns the routes that should handle the alert
+// (depth-first, first match wins unless Continue).
+func (r *Route) match(ls labels.Labels) []*Route {
+	if r.Matchers != nil && !r.Matchers.Matches(ls) {
+		return nil
+	}
+	// The first matching child handles the alert; Continue lets subsequent
+	// children fire as well. With no matching child, this route handles it.
+	var out []*Route
+	for _, child := range r.Routes {
+		got := child.match(ls)
+		if got == nil {
+			continue
+		}
+		out = append(out, got...)
+		if !child.Continue {
+			break
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	return []*Route{r}
+}
+
+// Silence mutes alerts matching its matchers during [StartsAt, EndsAt].
+type Silence struct {
+	ID        string
+	Matchers  labels.Selector
+	StartsAt  time.Time
+	EndsAt    time.Time
+	CreatedBy string
+	Comment   string
+}
+
+// Active reports whether the silence covers the instant now.
+func (s Silence) Active(now time.Time) bool {
+	return !now.Before(s.StartsAt) && now.Before(s.EndsAt)
+}
+
+// InhibitRule mutes target alerts while a matching source alert fires and
+// the Equal labels agree, e.g. "suppress switch alerts while the cabinet
+// power alert for the same cabinet fires".
+type InhibitRule struct {
+	SourceMatchers labels.Selector
+	TargetMatchers labels.Selector
+	Equal          []string
+}
+
+// Config assembles a Manager.
+type Config struct {
+	Route     *Route
+	Receivers []Receiver
+	Inhibit   []InhibitRule
+	// Now is injectable for tests; defaults to time.Now.
+	Now func() time.Time
+}
+
+type group struct {
+	route      *Route
+	key        string
+	groupLbls  labels.Labels
+	alerts     map[labels.Fingerprint]*Alert
+	createdAt  time.Time
+	lastNotify time.Time
+	pending    bool
+}
+
+// Manager routes, groups and dispatches alerts.
+type Manager struct {
+	route     *Route
+	receivers map[string]Receiver
+	inhibit   []InhibitRule
+	now       func() time.Time
+
+	mu       sync.Mutex
+	groups   map[string]*group
+	silences map[string]Silence
+	silSeq   int
+
+	notifyErrs []error
+}
+
+// New validates the config and returns a Manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Route == nil {
+		return nil, fmt.Errorf("alertmanager: route required")
+	}
+	if cfg.Route.Receiver == "" {
+		return nil, fmt.Errorf("alertmanager: root route needs a receiver")
+	}
+	cfg.Route.withDefaults(nil)
+	rcv := map[string]Receiver{}
+	for _, r := range cfg.Receivers {
+		rcv[r.Name()] = r
+	}
+	var check func(r *Route) error
+	check = func(r *Route) error {
+		if _, ok := rcv[r.Receiver]; !ok {
+			return fmt.Errorf("alertmanager: route references unknown receiver %q", r.Receiver)
+		}
+		for _, c := range r.Routes {
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(cfg.Route); err != nil {
+		return nil, err
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Manager{
+		route:     cfg.Route,
+		receivers: rcv,
+		inhibit:   cfg.Inhibit,
+		now:       now,
+		groups:    map[string]*group{},
+		silences:  map[string]Silence{},
+	}, nil
+}
+
+// Receive ingests alerts (firing or resolved). Alerts are deduplicated by
+// label fingerprint within their group.
+func (m *Manager) Receive(alerts ...Alert) {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range alerts {
+		if a.StartsAt.IsZero() {
+			a.StartsAt = now
+		}
+		for _, route := range m.route.match(a.Labels) {
+			key := groupKey(route, a.Labels)
+			g, ok := m.groups[key]
+			if !ok {
+				g = &group{
+					route:     route,
+					key:       key,
+					groupLbls: groupLabels(route, a.Labels),
+					alerts:    map[labels.Fingerprint]*Alert{},
+					createdAt: now,
+				}
+				m.groups[key] = g
+			}
+			cp := a
+			g.alerts[a.Fingerprint()] = &cp
+			g.pending = true
+		}
+	}
+}
+
+func groupKey(r *Route, ls labels.Labels) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%p", r)
+	for _, name := range r.GroupBy {
+		b.WriteByte(0xff)
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(ls.Get(name))
+	}
+	return b.String()
+}
+
+func groupLabels(r *Route, ls labels.Labels) labels.Labels {
+	return ls.Keep(r.GroupBy...)
+}
+
+// AddSilence registers a silence and returns its ID.
+func (m *Manager) AddSilence(s Silence) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.silSeq++
+	if s.ID == "" {
+		s.ID = fmt.Sprintf("silence-%d", m.silSeq)
+	}
+	m.silences[s.ID] = s
+	return s.ID
+}
+
+// RemoveSilence deletes a silence by ID.
+func (m *Manager) RemoveSilence(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.silences, id)
+}
+
+// Silences lists registered silences.
+func (m *Manager) Silences() []Silence {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Silence, 0, len(m.silences))
+	for _, s := range m.silences {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AlertStatus returns the manager's view of the alert: suppressed (by
+// silence or inhibition), firing, or resolved.
+func (m *Manager) AlertStatus(a Alert) Status {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.suppressedLocked(a, now) {
+		return StatusSuppressed
+	}
+	if a.Resolved(now) {
+		return StatusResolved
+	}
+	return StatusFiring
+}
+
+func (m *Manager) suppressedLocked(a Alert, now time.Time) bool {
+	for _, s := range m.silences {
+		if s.Active(now) && s.Matchers.Matches(a.Labels) {
+			return true
+		}
+	}
+	for _, rule := range m.inhibit {
+		if !rule.TargetMatchers.Matches(a.Labels) {
+			continue
+		}
+		// Look for any firing source alert with matching Equal labels.
+		for _, g := range m.groups {
+			for _, src := range g.alerts {
+				if src.Resolved(now) || !rule.SourceMatchers.Matches(src.Labels) {
+					continue
+				}
+				if src.Fingerprint() == a.Fingerprint() {
+					continue // an alert never inhibits itself
+				}
+				equal := true
+				for _, name := range rule.Equal {
+					if src.Labels.Get(name) != a.Labels.Get(name) {
+						equal = false
+						break
+					}
+				}
+				if equal {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Flush dispatches any groups that are due at the manager's current time.
+// It returns the notifications sent. Production callers run it from Run;
+// tests call it directly with an injected clock.
+func (m *Manager) Flush() []Notification {
+	now := m.now()
+	m.mu.Lock()
+	var due []*group
+	for _, g := range m.groups {
+		switch {
+		case g.pending && g.lastNotify.IsZero():
+			if !now.Before(g.createdAt.Add(g.route.GroupWait)) {
+				due = append(due, g)
+			}
+		case g.pending:
+			if !now.Before(g.lastNotify.Add(g.route.GroupInterval)) {
+				due = append(due, g)
+			}
+		default:
+			if !g.lastNotify.IsZero() && !now.Before(g.lastNotify.Add(g.route.RepeatInterval)) && len(g.alerts) > 0 {
+				due = append(due, g)
+			}
+		}
+	}
+	var notifications []Notification
+	for _, g := range due {
+		n := m.buildNotificationLocked(g, now)
+		if len(n.Alerts) == 0 {
+			g.pending = false
+			continue
+		}
+		g.pending = false
+		g.lastNotify = now
+		// Drop resolved alerts after they have been notified once.
+		for fp, a := range g.alerts {
+			if a.Resolved(now) {
+				delete(g.alerts, fp)
+			}
+		}
+		if len(g.alerts) == 0 {
+			delete(m.groups, g.key)
+		}
+		notifications = append(notifications, n)
+	}
+	m.mu.Unlock()
+
+	for _, n := range notifications {
+		if rcv, ok := m.receivers[n.Receiver]; ok {
+			if err := rcv.Notify(n); err != nil {
+				m.mu.Lock()
+				m.notifyErrs = append(m.notifyErrs, fmt.Errorf("receiver %s: %w", n.Receiver, err))
+				m.mu.Unlock()
+			}
+		}
+	}
+	return notifications
+}
+
+func (m *Manager) buildNotificationLocked(g *group, now time.Time) Notification {
+	n := Notification{
+		Receiver:    g.route.Receiver,
+		GroupKey:    g.key,
+		GroupLabels: g.groupLbls,
+		Status:      StatusResolved,
+	}
+	var fps []labels.Fingerprint
+	for fp := range g.alerts {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool {
+		return g.alerts[fps[i]].Labels.String() < g.alerts[fps[j]].Labels.String()
+	})
+	for _, fp := range fps {
+		a := g.alerts[fp]
+		if m.suppressedLocked(*a, now) {
+			continue
+		}
+		if !a.Resolved(now) {
+			n.Status = StatusFiring
+		}
+		n.Alerts = append(n.Alerts, *a)
+	}
+	return n
+}
+
+// NotifyErrors drains accumulated receiver errors.
+func (m *Manager) NotifyErrors() []error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	errs := m.notifyErrs
+	m.notifyErrs = nil
+	return errs
+}
+
+// Run flushes on the given interval until stop is closed.
+func (m *Manager) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			m.Flush()
+		}
+	}
+}
+
+// Groups reports current group count (for dashboards/tests).
+func (m *Manager) Groups() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.groups)
+}

@@ -1,0 +1,399 @@
+package alertmanager
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"shastamon/internal/labels"
+)
+
+// fakeReceiver records notifications.
+type fakeReceiver struct {
+	name string
+	mu   sync.Mutex
+	got  []Notification
+	err  error
+}
+
+func (f *fakeReceiver) Name() string { return f.name }
+func (f *fakeReceiver) Notify(n Notification) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.got = append(f.got, n)
+	return f.err
+}
+func (f *fakeReceiver) notifications() []Notification {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Notification(nil), f.got...)
+}
+
+// clock is a controllable time source.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestManager(t *testing.T, route *Route, rcv ...Receiver) (*Manager, *clock) {
+	t.Helper()
+	ck := &clock{t: time.Date(2022, 3, 3, 1, 0, 0, 0, time.UTC)}
+	m, err := New(Config{Route: route, Receivers: rcv, Now: ck.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ck
+}
+
+func alert(kv ...string) Alert {
+	return Alert{Labels: labels.FromStrings(kv...)}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil route accepted")
+	}
+	if _, err := New(Config{Route: &Route{}}); err == nil {
+		t.Fatal("root without receiver accepted")
+	}
+	if _, err := New(Config{Route: &Route{Receiver: "ghost"}}); err == nil {
+		t.Fatal("unknown receiver accepted")
+	}
+}
+
+func TestGroupWaitThenNotify(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	m, ck := newTestManager(t, &Route{Receiver: "slack", GroupWait: 30 * time.Second}, slack)
+	m.Receive(alert("alertname", "LeakDetected", "context", "x1203c1b0"))
+
+	if got := m.Flush(); len(got) != 0 {
+		t.Fatalf("notified before group_wait: %+v", got)
+	}
+	ck.Advance(31 * time.Second)
+	got := m.Flush()
+	if len(got) != 1 || len(got[0].Alerts) != 1 {
+		t.Fatalf("%+v", got)
+	}
+	if got[0].Status != StatusFiring || got[0].Receiver != "slack" {
+		t.Fatalf("%+v", got[0])
+	}
+	if len(slack.notifications()) != 1 {
+		t.Fatal("receiver not called")
+	}
+}
+
+func TestDedupWithinGroup(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	m, ck := newTestManager(t, &Route{Receiver: "slack", GroupWait: time.Second}, slack)
+	a := alert("alertname", "X", "node", "n1")
+	m.Receive(a)
+	m.Receive(a) // duplicate
+	ck.Advance(2 * time.Second)
+	got := m.Flush()
+	if len(got) != 1 || len(got[0].Alerts) != 1 {
+		t.Fatalf("dedup failed: %+v", got)
+	}
+}
+
+func TestGroupByLabels(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	m, ck := newTestManager(t, &Route{Receiver: "slack", GroupWait: time.Second, GroupBy: []string{"severity"}}, slack)
+	m.Receive(alert("alertname", "A", "severity", "critical"))
+	m.Receive(alert("alertname", "B", "severity", "critical"))
+	m.Receive(alert("alertname", "C", "severity", "warning"))
+	ck.Advance(2 * time.Second)
+	got := m.Flush()
+	if len(got) != 2 {
+		t.Fatalf("groups: %+v", got)
+	}
+	sizes := map[string]int{}
+	for _, n := range got {
+		sizes[n.GroupLabels.Get("severity")] = len(n.Alerts)
+	}
+	if sizes["critical"] != 2 || sizes["warning"] != 1 {
+		t.Fatalf("sizes: %v", sizes)
+	}
+}
+
+func TestGroupIntervalForNewAlerts(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	m, ck := newTestManager(t, &Route{Receiver: "slack", GroupWait: time.Second, GroupInterval: time.Minute}, slack)
+	m.Receive(alert("alertname", "A", "i", "1"))
+	ck.Advance(2 * time.Second)
+	if got := m.Flush(); len(got) != 1 {
+		t.Fatalf("%+v", got)
+	}
+	// New alert in the same group: must wait for GroupInterval.
+	m.Receive(alert("alertname", "A", "i", "2"))
+	ck.Advance(10 * time.Second)
+	if got := m.Flush(); len(got) != 0 {
+		t.Fatalf("notified before group_interval: %+v", got)
+	}
+	ck.Advance(51 * time.Second)
+	got := m.Flush()
+	if len(got) != 1 || len(got[0].Alerts) != 2 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestRepeatInterval(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	m, ck := newTestManager(t, &Route{Receiver: "slack", GroupWait: time.Second, RepeatInterval: time.Hour}, slack)
+	m.Receive(alert("alertname", "A"))
+	ck.Advance(2 * time.Second)
+	m.Flush()
+	ck.Advance(30 * time.Minute)
+	if got := m.Flush(); len(got) != 0 {
+		t.Fatalf("early repeat: %+v", got)
+	}
+	ck.Advance(31 * time.Minute)
+	got := m.Flush()
+	if len(got) != 1 {
+		t.Fatalf("no repeat: %+v", got)
+	}
+}
+
+func TestResolvedNotifiedOnceThenDropped(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	m, ck := newTestManager(t, &Route{Receiver: "slack", GroupWait: time.Second, GroupInterval: time.Second}, slack)
+	a := alert("alertname", "A")
+	m.Receive(a)
+	ck.Advance(2 * time.Second)
+	m.Flush()
+	// Resolve it.
+	a.EndsAt = ck.Now()
+	m.Receive(a)
+	ck.Advance(2 * time.Second)
+	got := m.Flush()
+	if len(got) != 1 || got[0].Status != StatusResolved {
+		t.Fatalf("%+v", got)
+	}
+	if m.Groups() != 0 {
+		t.Fatal("group not cleaned up")
+	}
+}
+
+func TestRoutingTree(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	snow := &fakeReceiver{name: "servicenow"}
+	route := &Route{
+		Receiver:  "slack",
+		GroupWait: time.Second,
+		Routes: []*Route{
+			{
+				Receiver:  "servicenow",
+				Matchers:  labels.Selector{labels.MustMatcher(labels.MatchEqual, "severity", "critical")},
+				GroupWait: time.Second,
+			},
+		},
+	}
+	m, ck := newTestManager(t, route, slack, snow)
+	m.Receive(alert("alertname", "A", "severity", "critical"))
+	m.Receive(alert("alertname", "B", "severity", "warning"))
+	ck.Advance(2 * time.Second)
+	m.Flush()
+	if len(snow.notifications()) != 1 || snow.notifications()[0].Alerts[0].Name() != "A" {
+		t.Fatalf("snow: %+v", snow.notifications())
+	}
+	if len(slack.notifications()) != 1 || slack.notifications()[0].Alerts[0].Name() != "B" {
+		t.Fatalf("slack: %+v", slack.notifications())
+	}
+}
+
+func TestRoutingContinue(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	snow := &fakeReceiver{name: "servicenow"}
+	route := &Route{
+		Receiver:  "slack",
+		GroupWait: time.Second,
+		Routes: []*Route{
+			{
+				Receiver:  "servicenow",
+				Matchers:  labels.Selector{labels.MustMatcher(labels.MatchEqual, "severity", "critical")},
+				GroupWait: time.Second,
+				Continue:  true,
+			},
+			{
+				Receiver:  "slack",
+				Matchers:  labels.Selector{labels.MustMatcher(labels.MatchEqual, "severity", "critical")},
+				GroupWait: time.Second,
+			},
+		},
+	}
+	m, ck := newTestManager(t, route, slack, snow)
+	m.Receive(alert("alertname", "A", "severity", "critical"))
+	ck.Advance(2 * time.Second)
+	m.Flush()
+	if len(snow.notifications()) != 1 || len(slack.notifications()) != 1 {
+		t.Fatalf("continue routing: snow=%d slack=%d", len(snow.notifications()), len(slack.notifications()))
+	}
+}
+
+func TestSilence(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	m, ck := newTestManager(t, &Route{Receiver: "slack", GroupWait: time.Second}, slack)
+	id := m.AddSilence(Silence{
+		Matchers: labels.Selector{labels.MustMatcher(labels.MatchEqual, "alertname", "Noisy")},
+		StartsAt: ck.Now().Add(-time.Minute),
+		EndsAt:   ck.Now().Add(time.Hour),
+	})
+	m.Receive(alert("alertname", "Noisy"))
+	m.Receive(alert("alertname", "Important"))
+	ck.Advance(2 * time.Second)
+	got := m.Flush()
+	if len(got) != 1 || got[0].Alerts[0].Name() != "Important" {
+		t.Fatalf("%+v", got)
+	}
+	if st := m.AlertStatus(alert("alertname", "Noisy")); st != StatusSuppressed {
+		t.Fatalf("status: %s", st)
+	}
+	m.RemoveSilence(id)
+	if len(m.Silences()) != 0 {
+		t.Fatal("silence not removed")
+	}
+}
+
+func TestInhibition(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	route := &Route{Receiver: "slack", GroupWait: time.Second}
+	ck := &clock{t: time.Unix(0, 0)}
+	m, err := New(Config{
+		Route:     route,
+		Receivers: []Receiver{slack},
+		Now:       ck.Now,
+		Inhibit: []InhibitRule{{
+			SourceMatchers: labels.Selector{labels.MustMatcher(labels.MatchEqual, "alertname", "CabinetPowerDown")},
+			TargetMatchers: labels.Selector{labels.MustMatcher(labels.MatchEqual, "alertname", "SwitchOffline")},
+			Equal:          []string{"cabinet"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Receive(alert("alertname", "CabinetPowerDown", "cabinet", "x1000"))
+	m.Receive(alert("alertname", "SwitchOffline", "cabinet", "x1000")) // inhibited
+	m.Receive(alert("alertname", "SwitchOffline", "cabinet", "x2000")) // different cabinet, fires
+	ck.Advance(2 * time.Second)
+	got := m.Flush()
+	names := map[string]int{}
+	for _, n := range got {
+		for _, a := range n.Alerts {
+			names[a.Name()+"/"+a.Labels.Get("cabinet")]++
+		}
+	}
+	if names["SwitchOffline/x1000"] != 0 {
+		t.Fatalf("inhibited alert notified: %v", names)
+	}
+	if names["SwitchOffline/x2000"] != 1 || names["CabinetPowerDown/x1000"] != 1 {
+		t.Fatalf("expected alerts missing: %v", names)
+	}
+}
+
+func TestReceiverErrorCollected(t *testing.T) {
+	bad := &fakeReceiver{name: "slack", err: errors.New("webhook 500")}
+	m, ck := newTestManager(t, &Route{Receiver: "slack", GroupWait: time.Second}, bad)
+	m.Receive(alert("alertname", "A"))
+	ck.Advance(2 * time.Second)
+	m.Flush()
+	errs := m.NotifyErrors()
+	if len(errs) != 1 {
+		t.Fatalf("errs: %v", errs)
+	}
+	if len(m.NotifyErrors()) != 0 {
+		t.Fatal("errors not drained")
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	m, err := New(Config{Route: &Route{Receiver: "slack", GroupWait: time.Millisecond}, Receivers: []Receiver{slack}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		m.Run(5*time.Millisecond, stop)
+		close(done)
+	}()
+	m.Receive(alert("alertname", "A"))
+	deadline := time.After(2 * time.Second)
+	for len(slack.notifications()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no notification within deadline")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	<-done
+}
+
+func BenchmarkReceiveAndFlush(b *testing.B) {
+	slack := &fakeReceiver{name: "slack"}
+	ck := &clock{t: time.Unix(0, 0)}
+	m, err := New(Config{
+		Route:     &Route{Receiver: "slack", GroupWait: time.Nanosecond, GroupBy: []string{"severity"}},
+		Receivers: []Receiver{slack},
+		Now:       ck.Now,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sev := []string{"critical", "warning", "info"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Receive(Alert{Labels: labels.FromStrings("alertname", "A", "severity", sev[i%3], "node", labelFor(i))})
+		if i%100 == 99 {
+			ck.Advance(time.Second)
+			m.Flush()
+		}
+	}
+}
+
+func labelFor(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+func TestRouteDefaultInheritance(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	snow := &fakeReceiver{name: "servicenow"}
+	root := &Route{
+		Receiver:       "slack",
+		GroupBy:        []string{"severity"},
+		GroupWait:      2 * time.Second,
+		GroupInterval:  3 * time.Minute,
+		RepeatInterval: 2 * time.Hour,
+		Routes: []*Route{
+			{Matchers: labels.Selector{labels.MustMatcher(labels.MatchEqual, "team", "net")}},
+			{Receiver: "servicenow", Matchers: labels.Selector{labels.MustMatcher(labels.MatchEqual, "team", "fs")}, GroupWait: time.Second},
+		},
+	}
+	if _, err := New(Config{Route: root, Receivers: []Receiver{slack, snow}}); err != nil {
+		t.Fatal(err)
+	}
+	// Child 0 inherits everything from the root.
+	c0 := root.Routes[0]
+	if c0.Receiver != "slack" || c0.GroupWait != 2*time.Second || c0.GroupInterval != 3*time.Minute ||
+		c0.RepeatInterval != 2*time.Hour || len(c0.GroupBy) != 1 {
+		t.Fatalf("%+v", c0)
+	}
+	// Child 1 keeps its override but inherits the rest.
+	c1 := root.Routes[1]
+	if c1.Receiver != "servicenow" || c1.GroupWait != time.Second || c1.GroupInterval != 3*time.Minute {
+		t.Fatalf("%+v", c1)
+	}
+}

@@ -1,0 +1,153 @@
+package alertmanager
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"shastamon/internal/labels"
+)
+
+// Handler exposes the Alertmanager-style management API:
+//
+//	GET    /api/v2/alerts              current alerts with status
+//	GET    /api/v2/silences
+//	POST   /api/v2/silences            {"matchers":{"name":"value",...}, "endsAt":RFC3339, "comment":..., "createdBy":...}
+//	DELETE /api/v2/silences/{id}
+type apiAlert struct {
+	Labels      map[string]string `json:"labels"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+	StartsAt    time.Time         `json:"startsAt"`
+	EndsAt      *time.Time        `json:"endsAt,omitempty"`
+	Status      Status            `json:"status"`
+	Receiver    string            `json:"receiver"`
+}
+
+type apiSilence struct {
+	ID        string            `json:"id,omitempty"`
+	Matchers  map[string]string `json:"matchers"`
+	StartsAt  time.Time         `json:"startsAt,omitempty"`
+	EndsAt    time.Time         `json:"endsAt"`
+	CreatedBy string            `json:"createdBy,omitempty"`
+	Comment   string            `json:"comment,omitempty"`
+}
+
+// Alerts returns the alerts the manager currently tracks, annotated with
+// their status and target receiver, sorted by label string.
+func (m *Manager) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Alert
+	seen := map[labels.Fingerprint]bool{}
+	for _, g := range m.groups {
+		for fp, a := range g.alerts {
+			if !seen[fp] {
+				seen[fp] = true
+				out = append(out, *a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
+	return out
+}
+
+// Handler returns the HTTP API handler.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v2/alerts", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var out []apiAlert
+		for _, a := range m.Alerts() {
+			aa := apiAlert{
+				Labels:      a.Labels.Map(),
+				Annotations: a.Annotations,
+				StartsAt:    a.StartsAt,
+				Status:      m.AlertStatus(a),
+			}
+			if !a.EndsAt.IsZero() {
+				end := a.EndsAt
+				aa.EndsAt = &end
+			}
+			for _, route := range m.route.match(a.Labels) {
+				aa.Receiver = route.Receiver
+				break
+			}
+			out = append(out, aa)
+		}
+		writeAMJSON(w, out)
+	})
+	mux.HandleFunc("/api/v2/silences", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			var out []apiSilence
+			for _, s := range m.Silences() {
+				as := apiSilence{ID: s.ID, Matchers: map[string]string{}, StartsAt: s.StartsAt, EndsAt: s.EndsAt, CreatedBy: s.CreatedBy, Comment: s.Comment}
+				for _, matcher := range s.Matchers {
+					as.Matchers[matcher.Name] = matcher.Value
+				}
+				out = append(out, as)
+			}
+			writeAMJSON(w, out)
+		case http.MethodPost:
+			var req apiSilence
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if len(req.Matchers) == 0 || req.EndsAt.IsZero() {
+				http.Error(w, "matchers and endsAt required", http.StatusBadRequest)
+				return
+			}
+			var sel labels.Selector
+			for name, value := range req.Matchers {
+				matcher, err := labels.NewMatcher(labels.MatchEqual, name, value)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				sel = append(sel, matcher)
+			}
+			startsAt := req.StartsAt
+			if startsAt.IsZero() {
+				startsAt = m.now()
+			}
+			id := m.AddSilence(Silence{
+				Matchers: sel, StartsAt: startsAt, EndsAt: req.EndsAt,
+				CreatedBy: req.CreatedBy, Comment: req.Comment,
+			})
+			writeAMJSON(w, map[string]string{"silenceID": id})
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/api/v2/silences/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodDelete {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/api/v2/silences/")
+		found := false
+		for _, s := range m.Silences() {
+			if s.ID == id {
+				found = true
+			}
+		}
+		if !found {
+			http.Error(w, "unknown silence", http.StatusNotFound)
+			return
+		}
+		m.RemoveSilence(id)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func writeAMJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

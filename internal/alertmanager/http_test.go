@@ -1,0 +1,122 @@
+package alertmanager
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"shastamon/internal/labels"
+)
+
+func apiManager(t *testing.T) (*Manager, *clock, *httptest.Server) {
+	t.Helper()
+	slack := &fakeReceiver{name: "slack"}
+	m, ck := newTestManager(t, &Route{Receiver: "slack", GroupWait: time.Second}, slack)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	return m, ck, srv
+}
+
+func TestAPIListAlerts(t *testing.T) {
+	m, _, srv := apiManager(t)
+	m.Receive(alert("alertname", "Leak", "severity", "critical"))
+	resp, err := http.Get(srv.URL + "/api/v2/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []struct {
+		Labels   map[string]string `json:"labels"`
+		Status   Status            `json:"status"`
+		Receiver string            `json:"receiver"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Labels["alertname"] != "Leak" || out[0].Status != StatusFiring || out[0].Receiver != "slack" {
+		t.Fatalf("%+v", out)
+	}
+}
+
+func TestAPISilenceLifecycle(t *testing.T) {
+	m, ck, srv := apiManager(t)
+	body := fmt.Sprintf(`{"matchers":{"alertname":"Noisy"},"endsAt":%q,"comment":"maintenance","createdBy":"op"}`,
+		ck.Now().Add(time.Hour).Format(time.RFC3339))
+	resp, err := http.Post(srv.URL+"/api/v2/silences", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]string
+	_ = json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	id := created["silenceID"]
+	if id == "" {
+		t.Fatalf("%v", created)
+	}
+	if st := m.AlertStatus(alert("alertname", "Noisy")); st != StatusSuppressed {
+		t.Fatalf("status %s", st)
+	}
+	// List silences over HTTP.
+	r2, _ := http.Get(srv.URL + "/api/v2/silences")
+	var listed []struct {
+		ID string `json:"id"`
+	}
+	_ = json.NewDecoder(r2.Body).Decode(&listed)
+	r2.Body.Close()
+	if len(listed) != 1 || listed[0].ID != id {
+		t.Fatalf("%+v", listed)
+	}
+	// Delete it.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/v2/silences/"+id, nil)
+	r3, _ := http.DefaultClient.Do(req)
+	r3.Body.Close()
+	if r3.StatusCode != 204 {
+		t.Fatalf("delete status %d", r3.StatusCode)
+	}
+	if st := m.AlertStatus(alert("alertname", "Noisy")); st != StatusFiring {
+		t.Fatalf("status after delete: %s", st)
+	}
+	// Deleting again: 404.
+	r4, _ := http.DefaultClient.Do(req)
+	r4.Body.Close()
+	if r4.StatusCode != 404 {
+		t.Fatalf("re-delete status %d", r4.StatusCode)
+	}
+}
+
+func TestAPIBadSilenceRequests(t *testing.T) {
+	_, _, srv := apiManager(t)
+	for _, body := range []string{"{", `{}`, `{"matchers":{"a":"b"}}`} {
+		resp, err := http.Post(srv.URL+"/api/v2/silences", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("%q: status %d", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestAlertsListingDedups(t *testing.T) {
+	slack := &fakeReceiver{name: "slack"}
+	snow := &fakeReceiver{name: "servicenow"}
+	route := &Route{
+		Receiver:  "slack",
+		GroupWait: time.Second,
+		Routes: []*Route{
+			{Receiver: "servicenow", Matchers: labels.Selector{labels.MustMatcher(labels.MatchEqual, "severity", "critical")}, GroupWait: time.Second, Continue: true},
+			{Receiver: "slack", Matchers: labels.Selector{labels.MustMatcher(labels.MatchEqual, "severity", "critical")}, GroupWait: time.Second},
+		},
+	}
+	m, _ := newTestManager(t, route, slack, snow)
+	// One alert in two groups (both routes) must list once.
+	m.Receive(alert("alertname", "X", "severity", "critical"))
+	if got := m.Alerts(); len(got) != 1 {
+		t.Fatalf("%+v", got)
+	}
+}

@@ -1,0 +1,308 @@
+// Package chunkenc implements the log chunk encoding used by the loki
+// package. Following the design described in the paper (§IV.A), a chunk
+// holds the log lines of a single stream, sorted by timestamp; timestamps
+// and labels are indexed elsewhere while the line content is compressed.
+//
+// A chunk is a sequence of blocks. Entries are appended to an uncompressed
+// head block; when the head exceeds the block size it is compressed
+// (DEFLATE via compress/flate) and sealed. Sealed blocks record their time
+// range so readers skip blocks that cannot overlap a query.
+package chunkenc
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Entry is one log line with a nanosecond Unix timestamp.
+type Entry struct {
+	Timestamp int64 // Unix nanoseconds
+	Line      string
+}
+
+// Default tuning constants. The paper notes Loki "prefers handling bigger
+// but fewer chunks"; these defaults match that guidance at simulator scale.
+const (
+	DefaultBlockSize  = 32 * 1024       // bytes of raw lines per block
+	DefaultTargetSize = 1 * 1024 * 1024 // raw bytes after which the chunk is full
+	DefaultMaxEntries = 64 * 1024
+	compressionLevel  = flate.BestSpeed
+)
+
+// ErrOutOfOrder is returned when an entry is older than the last appended
+// entry. Chunks require non-decreasing timestamps.
+var ErrOutOfOrder = errors.New("chunkenc: out-of-order entry")
+
+// ErrChunkFull is returned when the chunk reached its target size.
+var ErrChunkFull = errors.New("chunkenc: chunk full")
+
+type block struct {
+	mint, maxt int64
+	entries    int
+	raw        int    // uncompressed byte size of lines
+	data       []byte // compressed frames
+}
+
+// Chunk accumulates entries for one stream. Not safe for concurrent use;
+// the owning stream serialises access.
+type Chunk struct {
+	blockSize  int
+	targetSize int
+	maxEntries int
+
+	blocks []block
+
+	head     []Entry
+	headRaw  int
+	mint     int64
+	maxt     int64
+	entries  int
+	rawBytes int
+}
+
+// Options configure a chunk; zero values take defaults.
+type Options struct {
+	BlockSize  int
+	TargetSize int
+	MaxEntries int
+}
+
+// New returns an empty chunk with the given options.
+func New(opt Options) *Chunk {
+	if opt.BlockSize <= 0 {
+		opt.BlockSize = DefaultBlockSize
+	}
+	if opt.TargetSize <= 0 {
+		opt.TargetSize = DefaultTargetSize
+	}
+	if opt.MaxEntries <= 0 {
+		opt.MaxEntries = DefaultMaxEntries
+	}
+	return &Chunk{blockSize: opt.BlockSize, targetSize: opt.TargetSize, maxEntries: opt.MaxEntries, mint: -1}
+}
+
+// Append adds an entry. It returns ErrOutOfOrder for regressions and
+// ErrChunkFull when the chunk has reached capacity (the entry is not
+// added; the caller should cut a new chunk).
+func (c *Chunk) Append(e Entry) error {
+	if c.entries > 0 && e.Timestamp < c.maxt {
+		return ErrOutOfOrder
+	}
+	if c.Full() {
+		return ErrChunkFull
+	}
+	c.head = append(c.head, e)
+	c.headRaw += len(e.Line) + 16
+	if c.mint < 0 {
+		c.mint = e.Timestamp
+	}
+	c.maxt = e.Timestamp
+	c.entries++
+	c.rawBytes += len(e.Line)
+	if c.headRaw >= c.blockSize {
+		if err := c.cutBlock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Full reports whether the chunk reached its target size or entry cap.
+func (c *Chunk) Full() bool {
+	return c.rawBytes >= c.targetSize || c.entries >= c.maxEntries
+}
+
+// Entries returns the number of entries appended.
+func (c *Chunk) Entries() int { return c.entries }
+
+// RawBytes returns the uncompressed byte size of all lines.
+func (c *Chunk) RawBytes() int { return c.rawBytes }
+
+// CompressedBytes returns the current encoded size (sealed blocks only;
+// the head block is counted raw).
+func (c *Chunk) CompressedBytes() int {
+	n := c.headRaw
+	for _, b := range c.blocks {
+		n += len(b.data)
+	}
+	return n
+}
+
+// Bounds returns the inclusive time range covered; ok is false when empty.
+func (c *Chunk) Bounds() (mint, maxt int64, ok bool) {
+	if c.entries == 0 {
+		return 0, 0, false
+	}
+	return c.mint, c.maxt, true
+}
+
+// cutBlock compresses the head block and seals it.
+func (c *Chunk) cutBlock() error {
+	if len(c.head) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, compressionLevel)
+	if err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	var prev int64
+	raw := 0
+	for i, e := range c.head {
+		var delta int64
+		if i == 0 {
+			delta = e.Timestamp
+		} else {
+			delta = e.Timestamp - prev
+		}
+		prev = e.Timestamp
+		n := binary.PutVarint(scratch[:], delta)
+		if _, err := fw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(scratch[:], uint64(len(e.Line)))
+		if _, err := fw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(fw, e.Line); err != nil {
+			return err
+		}
+		raw += len(e.Line)
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	c.blocks = append(c.blocks, block{
+		mint:    c.head[0].Timestamp,
+		maxt:    c.head[len(c.head)-1].Timestamp,
+		entries: len(c.head),
+		raw:     raw,
+		data:    append([]byte(nil), buf.Bytes()...),
+	})
+	c.head = c.head[:0]
+	c.headRaw = 0
+	return nil
+}
+
+// Close seals the head block so the chunk is fully compressed. Further
+// appends are still allowed (a new head starts) unless the chunk is full.
+func (c *Chunk) Close() error { return c.cutBlock() }
+
+func decodeBlock(b block) ([]Entry, error) {
+	fr := flate.NewReader(bytes.NewReader(b.data))
+	defer fr.Close()
+	br := &byteReader{r: fr}
+	out := make([]Entry, 0, b.entries)
+	var ts int64
+	for i := 0; i < b.entries; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("chunkenc: corrupt block ts: %w", err)
+		}
+		if i == 0 {
+			ts = delta
+		} else {
+			ts += delta
+		}
+		ln, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("chunkenc: corrupt block len: %w", err)
+		}
+		line := make([]byte, ln)
+		if _, err := io.ReadFull(br, line); err != nil {
+			return nil, fmt.Errorf("chunkenc: corrupt block line: %w", err)
+		}
+		out = append(out, Entry{Timestamp: ts, Line: string(line)})
+	}
+	return out, nil
+}
+
+type byteReader struct{ r io.Reader }
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *byteReader) ReadByte() (byte, error) {
+	var one [1]byte
+	if _, err := io.ReadFull(b.r, one[:]); err != nil {
+		return 0, err
+	}
+	return one[0], nil
+}
+
+// Iterator walks entries within [mint, maxt] (inclusive) in timestamp
+// order, decompressing only blocks that overlap the range.
+func (c *Chunk) Iterator(mint, maxt int64) *Iterator {
+	return &Iterator{c: c, mint: mint, maxt: maxt, blockIdx: -1}
+}
+
+// Iterator yields entries from a chunk. Use Next/At.
+type Iterator struct {
+	c          *Chunk
+	mint, maxt int64
+	blockIdx   int
+	cur        []Entry
+	pos        int
+	err        error
+	at         Entry
+}
+
+// Next advances; it returns false at the end or on error (check Err).
+func (it *Iterator) Next() bool {
+	for {
+		if it.err != nil {
+			return false
+		}
+		for it.pos < len(it.cur) {
+			e := it.cur[it.pos]
+			it.pos++
+			if e.Timestamp < it.mint {
+				continue
+			}
+			if e.Timestamp > it.maxt {
+				return false
+			}
+			it.at = e
+			return true
+		}
+		it.blockIdx++
+		switch {
+		case it.blockIdx < len(it.c.blocks):
+			b := it.c.blocks[it.blockIdx]
+			if b.maxt < it.mint || b.mint > it.maxt {
+				it.cur, it.pos = nil, 0
+				continue
+			}
+			entries, err := decodeBlock(b)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.cur, it.pos = entries, 0
+		case it.blockIdx == len(it.c.blocks):
+			it.cur, it.pos = it.c.head, 0
+		default:
+			return false
+		}
+	}
+}
+
+// At returns the current entry.
+func (it *Iterator) At() Entry { return it.at }
+
+// Err returns the first decode error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// All returns every entry in [mint, maxt]; convenience for tests and small
+// queries.
+func (c *Chunk) All(mint, maxt int64) ([]Entry, error) {
+	it := c.Iterator(mint, maxt)
+	var out []Entry
+	for it.Next() {
+		out = append(out, it.At())
+	}
+	return out, it.Err()
+}

@@ -1,0 +1,258 @@
+package chunkenc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndIterate(t *testing.T) {
+	c := New(Options{})
+	for i := 0; i < 100; i++ {
+		if err := c.Append(Entry{Timestamp: int64(i * 1000), Line: fmt.Sprintf("line-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.All(0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for i, e := range got {
+		if e.Timestamp != int64(i*1000) || e.Line != fmt.Sprintf("line-%d", i) {
+			t.Fatalf("entry %d mismatch: %+v", i, e)
+		}
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	c := New(Options{})
+	if err := c.Append(Entry{Timestamp: 100, Line: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(Entry{Timestamp: 99, Line: "b"}); err != ErrOutOfOrder {
+		t.Fatalf("want ErrOutOfOrder, got %v", err)
+	}
+	// Equal timestamps are allowed.
+	if err := c.Append(Entry{Timestamp: 100, Line: "c"}); err != nil {
+		t.Fatalf("equal ts rejected: %v", err)
+	}
+}
+
+func TestChunkFullByEntries(t *testing.T) {
+	c := New(Options{MaxEntries: 3})
+	for i := 0; i < 3; i++ {
+		if err := c.Append(Entry{Timestamp: int64(i), Line: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Full() {
+		t.Fatal("chunk should be full")
+	}
+	if err := c.Append(Entry{Timestamp: 9, Line: "y"}); err != ErrChunkFull {
+		t.Fatalf("want ErrChunkFull, got %v", err)
+	}
+	if c.Entries() != 3 {
+		t.Fatalf("entry leaked in: %d", c.Entries())
+	}
+}
+
+func TestChunkFullBySize(t *testing.T) {
+	c := New(Options{TargetSize: 64})
+	line := strings.Repeat("z", 40)
+	_ = c.Append(Entry{Timestamp: 1, Line: line})
+	_ = c.Append(Entry{Timestamp: 2, Line: line})
+	if !c.Full() {
+		t.Fatal("should be full by size")
+	}
+}
+
+func TestBlockCompressionAndRange(t *testing.T) {
+	// Small block size forces several sealed blocks.
+	c := New(Options{BlockSize: 256})
+	for i := 0; i < 500; i++ {
+		line := fmt.Sprintf("syslog message %d from node nid%06d severity=info", i, i%8)
+		if err := c.Append(Entry{Timestamp: int64(i) * 1e9, Line: line}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.blocks) == 0 {
+		t.Fatal("expected sealed blocks")
+	}
+	// Range query hitting a middle slice.
+	got, err := c.All(100e9, 109e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("range got %d entries", len(got))
+	}
+	if got[0].Timestamp != 100e9 || got[9].Timestamp != 109e9 {
+		t.Fatalf("range bounds wrong: %d..%d", got[0].Timestamp, got[9].Timestamp)
+	}
+	// Compression should beat raw for repetitive logs once sealed.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CompressedBytes() >= c.RawBytes() {
+		t.Fatalf("no compression win: compressed=%d raw=%d", c.CompressedBytes(), c.RawBytes())
+	}
+}
+
+func TestBounds(t *testing.T) {
+	c := New(Options{})
+	if _, _, ok := c.Bounds(); ok {
+		t.Fatal("empty chunk has bounds")
+	}
+	_ = c.Append(Entry{Timestamp: 5, Line: "a"})
+	_ = c.Append(Entry{Timestamp: 9, Line: "b"})
+	mint, maxt, ok := c.Bounds()
+	if !ok || mint != 5 || maxt != 9 {
+		t.Fatalf("bounds %d %d %v", mint, maxt, ok)
+	}
+}
+
+func TestCloseThenAppend(t *testing.T) {
+	c := New(Options{})
+	_ = c.Append(Entry{Timestamp: 1, Line: "a"})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(Entry{Timestamp: 2, Line: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.All(0, 10)
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+}
+
+func TestIteratorSkipsNonOverlappingBlocks(t *testing.T) {
+	c := New(Options{BlockSize: 64})
+	for i := 0; i < 100; i++ {
+		_ = c.Append(Entry{Timestamp: int64(i), Line: strings.Repeat("a", 32)})
+	}
+	got, err := c.All(200, 300) // beyond the data
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d entries past maxt", len(got))
+	}
+}
+
+func TestEmptyLines(t *testing.T) {
+	c := New(Options{BlockSize: 8})
+	for i := 0; i < 10; i++ {
+		if err := c.Append(Entry{Timestamp: int64(i), Line: ""}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.Close()
+	got, err := c.All(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d", len(got))
+	}
+}
+
+// Property: append N entries with non-decreasing timestamps, read them all
+// back identically regardless of block size.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, blockSize uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Options{BlockSize: int(blockSize)%512 + 16})
+		n := rng.Intn(200) + 1
+		in := make([]Entry, 0, n)
+		ts := int64(0)
+		for i := 0; i < n; i++ {
+			ts += rng.Int63n(1e6)
+			line := fmt.Sprintf("msg-%d-%x", i, rng.Uint64())
+			e := Entry{Timestamp: ts, Line: line}
+			if err := c.Append(e); err != nil {
+				return false
+			}
+			in = append(in, e)
+		}
+		out, err := c.All(0, 1<<62)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a range query returns exactly the entries whose timestamps fall
+// in the range.
+func TestPropertyRangeQuery(t *testing.T) {
+	f := func(seed int64, lo, hi uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Options{BlockSize: 128})
+		for i := 0; i < 300; i++ {
+			_ = c.Append(Entry{Timestamp: int64(i), Line: fmt.Sprintf("%d-%x", i, rng.Int31())})
+		}
+		mint, maxt := int64(lo%300), int64(hi%300)
+		if mint > maxt {
+			mint, maxt = maxt, mint
+		}
+		got, err := c.All(mint, maxt)
+		if err != nil {
+			return false
+		}
+		want := int(maxt - mint + 1)
+		if len(got) != want {
+			return false
+		}
+		return got[0].Timestamp == mint && got[len(got)-1].Timestamp == maxt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	line := `{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected","Message":"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."}`
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	c := New(Options{TargetSize: 1 << 30, MaxEntries: 1 << 30})
+	for i := 0; i < b.N; i++ {
+		if err := c.Append(Entry{Timestamp: int64(i), Line: line}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIterate(b *testing.B) {
+	c := New(Options{TargetSize: 1 << 30, MaxEntries: 1 << 30})
+	line := "ts=2022-03-03T01:47:57Z level=info msg=\"component healthy\" node=nid001234"
+	for i := 0; i < 100000; i++ {
+		_ = c.Append(Entry{Timestamp: int64(i), Line: line})
+	}
+	_ = c.Close()
+	b.SetBytes(int64(len(line)) * 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := c.Iterator(0, 1<<62)
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if n != 100000 {
+			b.Fatalf("n=%d", n)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"shastamon/internal/ruler"
+	"shastamon/internal/vmalert"
+)
+
+// RuleConfig is the JSON shape of one alerting rule, mirroring the
+// Prometheus/Loki rule file format (Fig. 8):
+//
+//	{
+//	  "alert": "SwitchOffline",
+//	  "expr": "sum(count_over_time({app=\"fabric_manager_monitor\"} ... [5m])) by (...) > 0",
+//	  "for": "1m",
+//	  "labels": {"severity": "critical"},
+//	  "annotations": {"summary": "switch {{ $labels.xname }} is {{ $labels.state }}"}
+//	}
+type RuleConfig struct {
+	Alert       string            `json:"alert"`
+	Expr        string            `json:"expr"`
+	For         string            `json:"for,omitempty"`
+	Labels      map[string]string `json:"labels,omitempty"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+}
+
+// RuleFile is a JSON document holding both rule groups of the dual
+// pipeline: LogQL rules for the Ruler and PromQL rules for vmalert.
+type RuleFile struct {
+	LogRules    []RuleConfig `json:"log_rules,omitempty"`
+	MetricRules []RuleConfig `json:"metric_rules,omitempty"`
+}
+
+func (rc RuleConfig) holdDuration() (time.Duration, error) {
+	if rc.For == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(rc.For)
+	if err != nil {
+		return 0, fmt.Errorf("core: rule %q: bad for %q: %w", rc.Alert, rc.For, err)
+	}
+	return d, nil
+}
+
+// ParseRules converts a rule file into the typed rule slices. Rule
+// expressions are validated by the respective engines at Pipeline
+// construction.
+func ParseRules(rf RuleFile) ([]ruler.Rule, []vmalert.Rule, error) {
+	logRules := make([]ruler.Rule, 0, len(rf.LogRules))
+	for _, rc := range rf.LogRules {
+		d, err := rc.holdDuration()
+		if err != nil {
+			return nil, nil, err
+		}
+		logRules = append(logRules, ruler.Rule{
+			Name: rc.Alert, Expr: rc.Expr, For: d,
+			Labels: rc.Labels, Annotations: rc.Annotations,
+		})
+	}
+	metricRules := make([]vmalert.Rule, 0, len(rf.MetricRules))
+	for _, rc := range rf.MetricRules {
+		d, err := rc.holdDuration()
+		if err != nil {
+			return nil, nil, err
+		}
+		metricRules = append(metricRules, vmalert.Rule{
+			Name: rc.Alert, Expr: rc.Expr, For: d,
+			Labels: rc.Labels, Annotations: rc.Annotations,
+		})
+	}
+	return logRules, metricRules, nil
+}
+
+// LoadRules reads and parses a JSON rule file.
+func LoadRules(path string) ([]ruler.Rule, []vmalert.Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rf RuleFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return ParseRules(rf)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const sampleRules = `{
+  "log_rules": [
+    {
+      "alert": "SwitchOffline",
+      "expr": "sum(count_over_time({app=\"fabric_manager_monitor\"} |= \"fm_switch_offline\" [5m])) > 0",
+      "for": "1m",
+      "labels": {"severity": "critical"},
+      "annotations": {"summary": "switch down"}
+    }
+  ],
+  "metric_rules": [
+    {"alert": "TargetDown", "expr": "up == 0"}
+  ]
+}`
+
+func TestLoadRules(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.json")
+	if err := os.WriteFile(path, []byte(sampleRules), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	logRules, metricRules, err := LoadRules(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logRules) != 1 || len(metricRules) != 1 {
+		t.Fatalf("%d %d", len(logRules), len(metricRules))
+	}
+	lr := logRules[0]
+	if lr.Name != "SwitchOffline" || lr.For != time.Minute || lr.Labels["severity"] != "critical" {
+		t.Fatalf("%+v", lr)
+	}
+	if metricRules[0].Name != "TargetDown" || metricRules[0].For != 0 {
+		t.Fatalf("%+v", metricRules[0])
+	}
+	// The loaded rules build a working pipeline.
+	p, err := New(Options{Cluster: smallCluster(), LogRules: logRules, MetricRules: metricRules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+}
+
+func TestLoadRulesErrors(t *testing.T) {
+	if _, _, err := LoadRules("/nonexistent/rules.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	_ = os.WriteFile(bad, []byte("{"), 0o600)
+	if _, _, err := LoadRules(bad); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	badFor := filepath.Join(dir, "badfor.json")
+	_ = os.WriteFile(badFor, []byte(`{"log_rules":[{"alert":"x","expr":"rate({a=\"b\"}[1m])","for":"tomorrow"}]}`), 0o600)
+	if _, _, err := LoadRules(badFor); err == nil {
+		t.Fatal("bad for accepted")
+	}
+}
+
+func TestParseRulesEmpty(t *testing.T) {
+	lr, mr, err := ParseRules(RuleFile{})
+	if err != nil || len(lr) != 0 || len(mr) != 0 {
+		t.Fatalf("%v %v %v", lr, mr, err)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"time"
+
+	"shastamon/internal/grafana"
+)
+
+// SinglePane returns the paper's "single pane of glass": one dashboard
+// unifying logs and metrics across both case studies — Redfish events and
+// the leak metric, fabric-manager events and offline switches, syslog
+// volume, node temperatures and exporter health.
+func (p *Pipeline) SinglePane() grafana.Dashboard {
+	return grafana.Dashboard{
+		Title: "Perlmutter Operations — Single Pane of Glass",
+		Panels: []grafana.Panel{
+			{
+				Title:   "Redfish events (Loki)",
+				Query:   `{data_type="redfish_event"}`,
+				Source:  grafana.SourceLokiLogs,
+				MaxRows: 10,
+			},
+			{
+				Title:  "CabinetLeakDetected (count_over_time 60m)",
+				Query:  `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (Context)`,
+				Source: grafana.SourceLokiMetric,
+			},
+			{
+				Title:   "Fabric manager events",
+				Query:   `{app="fabric_manager_monitor"}`,
+				Source:  grafana.SourceLokiLogs,
+				MaxRows: 10,
+			},
+			{
+				Title:  "Offline switches (count_over_time 5m)",
+				Query:  `sum(count_over_time({app="fabric_manager_monitor"} |= "fm_switch_offline" [5m]))`,
+				Source: grafana.SourceLokiMetric,
+			},
+			{
+				Title:  "Syslog volume by app (10m)",
+				Query:  `sum(count_over_time({data_type="syslog"}[10m])) by (app)`,
+				Source: grafana.SourceLokiMetric,
+			},
+			{
+				Title:  "Node temperature (max over machine)",
+				Query:  `max(cray_telemetry_temperature)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Exporter targets up",
+				Query:  `sum(up)`,
+				Source: grafana.SourceMetrics,
+			},
+		},
+	}
+}
+
+// RenderSinglePane renders the dashboard over [start, end].
+func (p *Pipeline) RenderSinglePane(start, end time.Time, step time.Duration) (string, error) {
+	r := grafana.NewRenderer(p.Warehouse.LogQL, p.Warehouse.PromQL)
+	return r.RenderDashboard(p.SinglePane(), start, end, step)
+}

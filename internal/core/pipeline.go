@@ -1,0 +1,495 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"shastamon/internal/alertmanager"
+	"shastamon/internal/chunkenc"
+	"shastamon/internal/exporters"
+	"shastamon/internal/fabricmgr"
+	"shastamon/internal/hms"
+	"shastamon/internal/kafka"
+	"shastamon/internal/labels"
+	"shastamon/internal/ldms"
+	"shastamon/internal/loki"
+	"shastamon/internal/omni"
+	"shastamon/internal/redfish"
+	"shastamon/internal/ruler"
+	"shastamon/internal/servicenow"
+	"shastamon/internal/shasta"
+	"shastamon/internal/slack"
+	"shastamon/internal/syslogd"
+	"shastamon/internal/telemetry"
+	"shastamon/internal/vmagent"
+	"shastamon/internal/vmalert"
+)
+
+// Options configure a Pipeline. Zero values take the defaults documented
+// on each field.
+type Options struct {
+	// Cluster sizes the simulated Shasta system; zero takes
+	// shasta.DefaultConfig.
+	Cluster shasta.Config
+	// Token is the telemetry API bearer token ("" disables auth).
+	Token string
+	// Retention bounds warehouse history (default: 2 years, OMNI's horizon).
+	Retention time.Duration
+	// LogRules are Loki Ruler alerting rules.
+	LogRules []ruler.Rule
+	// MetricRules are vmalert alerting rules.
+	MetricRules []vmalert.Rule
+	// Route overrides the default Alertmanager routing tree (slack for
+	// everything; critical alerts additionally to ServiceNow).
+	Route *alertmanager.Route
+	// Inhibit rules mute dependent alerts while their cause fires — the
+	// paper's "reduction in noise caused by multiple alerts from the same
+	// events". Example: a chassis power alert inhibiting the switch
+	// alerts of the same chassis.
+	Inhibit []alertmanager.InhibitRule
+	// GroupWait for the default route (default 0 for responsive tests).
+	GroupWait time.Duration
+}
+
+// Pipeline is the assembled monitoring framework of Fig. 1.
+type Pipeline struct {
+	Cluster   *shasta.Cluster
+	Broker    *kafka.Broker
+	Collector *hms.Collector
+	Warehouse *omni.Warehouse
+
+	FabricManager *fabricmgr.Manager
+	FabricMonitor *fabricmgr.Monitor
+
+	SyslogAggregator *syslogd.Aggregator
+	LDMS             *ldms.Producer
+
+	NodeExporter  *exporters.NodeExporter
+	KafkaExporter *exporters.KafkaExporter
+	ArubaExporter *exporters.ArubaExporter
+	VMAgent       *vmagent.Agent
+
+	Ruler        *ruler.Ruler
+	VMAlert      *vmalert.VMAlert
+	Alertmanager *alertmanager.Manager
+
+	Slack      *slack.Webhook
+	ServiceNow *servicenow.Instance
+
+	subEvents  *telemetry.Subscription
+	subSensors *telemetry.Subscription
+	subSyslog  *telemetry.Subscription
+	subLDMS    *telemetry.Subscription
+
+	servers []*http.Server
+
+	clockMu sync.Mutex
+	current time.Time
+}
+
+// Now returns the pipeline clock: the time set by SetNow (deterministic
+// experiment mode), or the wall clock.
+func (p *Pipeline) Now() time.Time {
+	p.clockMu.Lock()
+	defer p.clockMu.Unlock()
+	if p.current.IsZero() {
+		return time.Now()
+	}
+	return p.current
+}
+
+// SetNow pins the pipeline clock for deterministic runs.
+func (p *Pipeline) SetNow(t time.Time) {
+	p.clockMu.Lock()
+	p.current = t
+	p.clockMu.Unlock()
+}
+
+func serve(handler http.Handler) (*http.Server, string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: handler}
+	go func() { _ = srv.Serve(l) }()
+	return srv, "http://" + l.Addr().String(), nil
+}
+
+// New assembles the full pipeline, starting loopback HTTP servers for the
+// Telemetry API, the fabric manager, the exporters, Slack and ServiceNow.
+// Callers must Close it.
+func New(opts Options) (*Pipeline, error) {
+	if opts.Cluster.Name == "" {
+		opts.Cluster = shasta.DefaultConfig()
+	}
+	if opts.Retention == 0 {
+		opts.Retention = 2 * 365 * 24 * time.Hour
+	}
+	p := &Pipeline{}
+	fail := func(err error) (*Pipeline, error) {
+		p.Close()
+		return nil, err
+	}
+
+	var err error
+	if p.Cluster, err = shasta.NewCluster(opts.Cluster); err != nil {
+		return fail(err)
+	}
+	p.Broker = kafka.NewBroker()
+	if p.Collector, err = hms.NewCollector(p.Cluster, p.Broker, 4); err != nil {
+		return fail(err)
+	}
+	p.Warehouse = omni.New(omni.Config{Retention: opts.Retention})
+
+	// Telemetry API server plus the three forwarder subscriptions.
+	var tokens []string
+	if opts.Token != "" {
+		tokens = []string{opts.Token}
+	}
+	tsrv, err := telemetry.NewServer(telemetry.ServerConfig{Broker: p.Broker, Tokens: tokens})
+	if err != nil {
+		return fail(err)
+	}
+	srv, turl, err := serve(tsrv.Handler())
+	if err != nil {
+		return fail(err)
+	}
+	p.servers = append(p.servers, srv)
+	tclient := telemetry.NewClient(turl, opts.Token, nil)
+	if p.subEvents, err = tclient.Subscribe("omni-redfish", hms.TopicEvents); err != nil {
+		return fail(err)
+	}
+	if p.subSensors, err = tclient.Subscribe("omni-sensors",
+		hms.TopicTemperature, hms.TopicPower, hms.TopicFan, hms.TopicHumidity); err != nil {
+		return fail(err)
+	}
+	if p.subSyslog, err = tclient.Subscribe("omni-syslog", hms.TopicSyslog); err != nil {
+		return fail(err)
+	}
+
+	// Fabric manager API and its monitor, pushing straight to Loki.
+	p.FabricManager = fabricmgr.NewManager(p.Cluster)
+	srv, furl, err := serve(p.FabricManager.Handler())
+	if err != nil {
+		return fail(err)
+	}
+	p.servers = append(p.servers, srv)
+	fabricLabels := FabricEventLabels(p.Cluster.Name())
+	p.FabricMonitor = fabricmgr.NewMonitor(furl, nil, fabricmgr.SinkFunc(func(e fabricmgr.Event) error {
+		return p.Warehouse.IngestLogs([]loki.PushStream{{
+			Labels:  fabricLabels,
+			Entries: []loki.Entry{{Timestamp: e.Timestamp.UnixNano(), Line: e.Line()}},
+		}})
+	}))
+
+	// Syslog aggregation into Kafka (topic created by the collector).
+	p.SyslogAggregator = syslogd.NewAggregator(p.Broker)
+
+	// LDMS samplers on a subset of nodes (full Perlmutter runs one per
+	// node; 16 keeps the simulator's per-tick cost bounded).
+	nodes := p.Cluster.Nodes()
+	ldmsNodes := make([]string, 0, 16)
+	for i, n := range nodes {
+		if i >= 16 {
+			break
+		}
+		ldmsNodes = append(ldmsNodes, n.String())
+	}
+	ldmsSampler, err := ldms.NewSampler(21, ldmsNodes...)
+	if err != nil {
+		return fail(err)
+	}
+	if p.LDMS, err = ldms.NewProducer(ldmsSampler, p.Broker, 4); err != nil {
+		return fail(err)
+	}
+	if p.subLDMS, err = tclient.Subscribe("omni-ldms", ldms.Topic); err != nil {
+		return fail(err)
+	}
+
+	// Exporters and the scraper.
+	p.NodeExporter = exporters.NewNodeExporter(nodes[0].String(), 11)
+	p.KafkaExporter = exporters.NewKafkaExporter(p.Broker)
+	p.ArubaExporter = exporters.NewArubaExporter("mgmt-aruba-1", 8, 12)
+	var jobs []vmagent.ScrapeConfig
+	for _, e := range []struct {
+		name    string
+		handler http.Handler
+	}{
+		{"node", p.NodeExporter.Handler()},
+		{"kafka", p.KafkaExporter.Handler()},
+		{"aruba", p.ArubaExporter.Handler()},
+	} {
+		srv, url, err := serve(e.handler)
+		if err != nil {
+			return fail(err)
+		}
+		p.servers = append(p.servers, srv)
+		jobs = append(jobs, vmagent.ScrapeConfig{JobName: e.name, Targets: []string{url + "/metrics"}})
+	}
+	if p.VMAgent, err = vmagent.New(p.Warehouse.Metrics, nil, jobs...); err != nil {
+		return fail(err)
+	}
+
+	// Notification terminals.
+	p.Slack = slack.NewWebhook()
+	srv, slackURL, err := serve(p.Slack.Handler())
+	if err != nil {
+		return fail(err)
+	}
+	p.servers = append(p.servers, srv)
+	p.ServiceNow = servicenow.NewInstance(servicenow.Config{Now: p.Now})
+	loadCMDB(p.ServiceNow, p.Cluster)
+	srv, snURL, err := serve(p.ServiceNow.Handler())
+	if err != nil {
+		return fail(err)
+	}
+	p.servers = append(p.servers, srv)
+
+	slackNotifier := slack.NewNotifier("slack", slackURL, "#perlmutter-alerts", nil)
+	snNotifier := servicenow.NewNotifier("servicenow", snURL, nil)
+
+	route := opts.Route
+	if route == nil {
+		critical := labels.Selector{labels.MustMatcher(labels.MatchEqual, "severity", "critical")}
+		gw := opts.GroupWait
+		if gw == 0 {
+			gw = time.Nanosecond
+		}
+		route = &alertmanager.Route{
+			Receiver:  "slack",
+			GroupWait: gw,
+			GroupBy:   []string{"alertname"},
+			Routes: []*alertmanager.Route{
+				{Receiver: "servicenow", Matchers: critical, GroupWait: gw, Continue: true},
+				{Receiver: "slack", Matchers: critical, GroupWait: gw},
+			},
+		}
+	}
+	if p.Alertmanager, err = alertmanager.New(alertmanager.Config{
+		Route:     route,
+		Receivers: []alertmanager.Receiver{slackNotifier, snNotifier},
+		Inhibit:   opts.Inhibit,
+		Now:       p.Now,
+	}); err != nil {
+		return fail(err)
+	}
+
+	if p.Ruler, err = ruler.New(p.Warehouse.LogQL, p.Alertmanager, p.Now, opts.LogRules...); err != nil {
+		return fail(err)
+	}
+	if p.VMAlert, err = vmalert.New(p.Warehouse.PromQL, p.Alertmanager, p.Now, opts.MetricRules...); err != nil {
+		return fail(err)
+	}
+	return p, nil
+}
+
+// loadCMDB registers every component as a CI and records the service map:
+// each compute node depends on a Rosetta switch in its chassis ("Each
+// Rosetta switch connects eight compute nodes"), so a switch incident
+// carries the impact set of its nodes.
+func loadCMDB(sn *servicenow.Instance, cluster *shasta.Cluster) {
+	var cis []servicenow.CI
+	for _, n := range cluster.Nodes() {
+		cis = append(cis, servicenow.CI{Name: n.String(), Class: "cmdb_ci_computer"})
+	}
+	for _, s := range cluster.Switches() {
+		cis = append(cis, servicenow.CI{Name: s.String(), Class: "cmdb_ci_netgear", Attributes: map[string]string{"model": "Rosetta"}})
+	}
+	for _, b := range cluster.ChassisBMCs() {
+		cis = append(cis, servicenow.CI{Name: b.String(), Class: "cmdb_ci_chassis"})
+	}
+	sn.LoadCMDB(cis...)
+
+	// Group switches per chassis, then spread that chassis' nodes over them
+	// eight to a switch.
+	switchesByChassis := map[string][]shasta.Xname{}
+	for _, s := range cluster.Switches() {
+		switchesByChassis[s.Parent().String()] = append(switchesByChassis[s.Parent().String()], s)
+	}
+	nodeIdx := map[string]int{}
+	for _, n := range cluster.Nodes() {
+		chassis := n.Parent().Parent().Parent().String() // node -> bmc -> blade -> chassis
+		switches := switchesByChassis[chassis]
+		if len(switches) == 0 {
+			continue
+		}
+		i := nodeIdx[chassis]
+		nodeIdx[chassis] = i + 1
+		sw := switches[(i/8)%len(switches)]
+		_ = sn.AddDependency(n.String(), sw.String())
+	}
+}
+
+// ForwardPending drains the telemetry subscriptions into the warehouse:
+// Redfish events to Loki (via RedfishToLoki), sensor samples to the TSDB,
+// syslog to Loki. It returns the number of records forwarded.
+func (p *Pipeline) ForwardPending() (int, error) {
+	total := 0
+	cluster := p.Cluster.Name()
+	for {
+		recs, err := p.subEvents.Poll(500, 0)
+		if err != nil {
+			return total, err
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			raw, err := rec.DecodeValue()
+			if err != nil {
+				return total, err
+			}
+			payload, err := redfish.ParsePayload(raw)
+			if err != nil {
+				return total, err
+			}
+			streams, err := RedfishToLoki(payload, cluster)
+			if err != nil {
+				return total, err
+			}
+			// Out-of-order entries (BMC clock skew) are dropped and counted
+			// by the store; they must not stall the forwarder.
+			if err := p.Warehouse.IngestLogs(streams); err != nil && !errors.Is(err, chunkenc.ErrOutOfOrder) {
+				return total, err
+			}
+			total++
+		}
+	}
+	for {
+		recs, err := p.subSensors.Poll(2000, 0)
+		if err != nil {
+			return total, err
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			raw, err := rec.DecodeValue()
+			if err != nil {
+				return total, err
+			}
+			if err := sensorRecordToWarehouse(p.Warehouse, raw); err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+	for {
+		recs, err := p.subLDMS.Poll(2000, 0)
+		if err != nil {
+			return total, err
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			raw, err := rec.DecodeValue()
+			if err != nil {
+				return total, err
+			}
+			if err := ldmsRecordToWarehouse(p.Warehouse, raw); err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+	for {
+		recs, err := p.subSyslog.Poll(2000, 0)
+		if err != nil {
+			return total, err
+		}
+		if len(recs) == 0 {
+			break
+		}
+		batch := make([]loki.PushStream, 0, len(recs))
+		for _, rec := range recs {
+			raw, err := rec.DecodeValue()
+			if err != nil {
+				return total, err
+			}
+			var m syslogd.Message
+			if err := unmarshalSyslog(raw, &m); err != nil {
+				return total, err
+			}
+			batch = append(batch, SyslogToLoki(m, cluster))
+			total++
+		}
+		if err := p.Warehouse.IngestLogs(batch); err != nil && !errors.Is(err, chunkenc.ErrOutOfOrder) {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Tick advances the whole pipeline one synchronous cycle at the given
+// simulated time: collect hardware telemetry, forward it to the stores,
+// poll the fabric manager, scrape exporters, evaluate alert rules, flush
+// the Alertmanager and enforce retention. Experiments drive Tick with a
+// simulated clock to reproduce the paper's figures deterministically.
+func (p *Pipeline) Tick(now time.Time) error {
+	p.SetNow(now)
+	if _, _, err := p.Collector.CollectOnce(now); err != nil {
+		return fmt.Errorf("core: collect: %w", err)
+	}
+	if _, err := p.LDMS.ProduceOnce(now); err != nil {
+		return fmt.Errorf("core: ldms: %w", err)
+	}
+	if _, err := p.ForwardPending(); err != nil {
+		return fmt.Errorf("core: forward: %w", err)
+	}
+	if _, err := p.FabricMonitor.PollOnce(now); err != nil {
+		return fmt.Errorf("core: fabric poll: %w", err)
+	}
+	if err := p.VMAgent.ScrapeOnce(now); err != nil {
+		return fmt.Errorf("core: scrape: %w", err)
+	}
+	if _, err := p.Ruler.EvalOnce(); err != nil {
+		return fmt.Errorf("core: ruler: %w", err)
+	}
+	if _, err := p.VMAlert.EvalOnce(); err != nil {
+		return fmt.Errorf("core: vmalert: %w", err)
+	}
+	p.Alertmanager.Flush()
+	p.Warehouse.EnforceRetention(now)
+	return nil
+}
+
+// Run operates the pipeline on wall-clock time until the context is
+// cancelled: every component loops at its own interval, communicating
+// through the same paths Tick exercises synchronously.
+func (p *Pipeline) Run(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case now := <-t.C:
+			if err := p.Tick(now); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Close shuts down the pipeline's HTTP servers and subscriptions.
+func (p *Pipeline) Close() {
+	for _, sub := range []*telemetry.Subscription{p.subEvents, p.subSensors, p.subSyslog, p.subLDMS} {
+		if sub != nil {
+			_ = sub.Close()
+		}
+	}
+	for _, srv := range p.servers {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}
+}

@@ -1,0 +1,148 @@
+// Package core is the paper's contribution: the framework wiring Shasta
+// telemetry, Kafka, the Telemetry API, Loki, VictoriaMetrics, the Ruler,
+// vmalert, Alertmanager, Slack and ServiceNow into one log aggregation,
+// monitoring and alerting pipeline. This file implements the data
+// transformations the paper's "K3s python pods" perform between the
+// Telemetry API and the stores.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"shastamon/internal/hms"
+	"shastamon/internal/labels"
+	"shastamon/internal/ldms"
+	"shastamon/internal/loki"
+	"shastamon/internal/omni"
+	"shastamon/internal/redfish"
+	"shastamon/internal/syslogd"
+)
+
+// lokiEventBody is the log-line content of a transformed Redfish event —
+// exactly the three fields the paper keeps (Fig. 3): "The rest fields are
+// Severity, MessageId, and Message, which describe what the event was and
+// should be sent as log content."
+type lokiEventBody struct {
+	Severity  string `json:"Severity"`
+	MessageID string `json:"MessageId"`
+	Message   string `json:"Message"`
+}
+
+// RedfishToLoki converts a Telemetry API Redfish payload (Fig. 2) into
+// Loki push streams (Fig. 3):
+//
+//   - the ISO 8601 EventTimestamp becomes a Unix epoch in nanoseconds;
+//   - OriginOfCondition and MessageArgs are dropped (link not useful,
+//     args duplicate the Message);
+//   - Context plus the enrichment labels cluster and data_type become
+//     stream labels (low variation, cheap to index);
+//   - Severity, MessageId and Message are wrapped as a JSON string so
+//     Grafana/LogQL can re-extract them with `| json`.
+func RedfishToLoki(p redfish.Payload, cluster string) ([]loki.PushStream, error) {
+	var out []loki.PushStream
+	for _, rec := range p.Metrics.Messages {
+		ps := loki.PushStream{
+			Labels: labels.FromStrings(
+				"Context", rec.Context,
+				"cluster", cluster,
+				"data_type", "redfish_event",
+			),
+		}
+		for _, ev := range rec.Events {
+			ts, err := ev.Timestamp()
+			if err != nil {
+				return nil, fmt.Errorf("core: event timestamp: %w", err)
+			}
+			body, err := json.Marshal(lokiEventBody{
+				Severity: ev.Severity, MessageID: ev.MessageID, Message: ev.Message,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ps.Entries = append(ps.Entries, loki.Entry{Timestamp: ts.UnixNano(), Line: string(body)})
+		}
+		if len(ps.Entries) > 0 {
+			out = append(out, ps)
+		}
+	}
+	return out, nil
+}
+
+// SensorToMetric converts an HMS sensor sample into a TSDB series. Metric
+// names follow the SMA convention cray_telemetry_<sensor>.
+func SensorToMetric(s hms.SensorSample) (name string, ls labels.Labels, tsMillis int64, value float64, err error) {
+	ts, err := time.Parse(time.RFC3339Nano, s.Timestamp)
+	if err != nil {
+		return "", nil, 0, 0, fmt.Errorf("core: sensor timestamp: %w", err)
+	}
+	name = "cray_telemetry_" + strings.ToLower(s.Sensor)
+	ls = labels.FromStrings(
+		"xname", s.Context,
+		"physical_context", s.PhysicalContext,
+		"unit", s.Unit,
+	)
+	return name, ls, ts.UnixMilli(), s.Value, nil
+}
+
+// SyslogToLoki converts an aggregated syslog message into a Loki push
+// stream, labelled for the future-work syslog monitoring use case.
+func SyslogToLoki(m syslogd.Message, cluster string) loki.PushStream {
+	return loki.PushStream{
+		Labels: labels.FromStrings(
+			"cluster", cluster,
+			"data_type", "syslog",
+			"hostname", m.Hostname,
+			"app", m.App,
+			"severity", m.SeverityName(),
+		),
+		Entries: []loki.Entry{{Timestamp: m.Timestamp.UnixNano(), Line: m.Text}},
+	}
+}
+
+// FabricEventLabels are the stream labels of fabric manager monitor
+// events, matching the paper's Fig. 7 ("It has two labels: app and
+// cluster").
+func FabricEventLabels(cluster string) labels.Labels {
+	return labels.FromStrings("app", "fabric_manager_monitor", "cluster", cluster)
+}
+
+// unmarshalSyslog decodes a syslog topic record.
+func unmarshalSyslog(raw []byte, m *syslogd.Message) error {
+	if err := json.Unmarshal(raw, m); err != nil {
+		return fmt.Errorf("core: syslog record: %w", err)
+	}
+	return nil
+}
+
+// ldmsRecordToWarehouse routes one raw LDMS metric set into the metric
+// store via the warehouse.
+func ldmsRecordToWarehouse(w *omni.Warehouse, raw []byte) error {
+	names, lss, mss, vals, err := ldms.ToSeries(raw)
+	if err != nil {
+		return err
+	}
+	for i := range names {
+		if err := w.IngestMetric(names[i], lss[i], mss[i], vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sensorRecordToWarehouse routes one raw telemetry record to the metric
+// store through the warehouse façade (so OMNI's ingest accounting sees
+// it).
+func sensorRecordToWarehouse(w *omni.Warehouse, raw []byte) error {
+	var s hms.SensorSample
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("core: sensor record: %w", err)
+	}
+	name, ls, ms, v, err := SensorToMetric(s)
+	if err != nil {
+		return err
+	}
+	return w.IngestMetric(name, ls, ms, v)
+}

@@ -1,0 +1,322 @@
+// Package eventsearch implements the Elasticsearch role in OMNI: the
+// paper's warehouse is "backed by a scalable and parallel time-series
+// database, Elasticsearch and VictoriaMetrics", with "data ... indexed for
+// near real-time retrieval and querying" via a REST API or Kibana. This
+// package provides the event-document side: a full-text inverted index
+// over timestamped documents with field filters, exposed over an
+// ES-flavoured HTTP API.
+//
+// It also powers the design ablation in bench_test.go: Loki indexes only
+// labels and greps content, while this engine pays indexing cost at write
+// time for term-lookup reads.
+package eventsearch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+	"unicode"
+)
+
+// Doc is one indexed event document.
+type Doc struct {
+	ID        int               `json:"id"`
+	Timestamp time.Time         `json:"timestamp"`
+	Fields    map[string]string `json:"fields,omitempty"`
+	Text      string            `json:"text"`
+}
+
+// Index is an in-memory inverted index, safe for concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	docs     []Doc
+	postings map[string][]int // term -> sorted doc ids
+	bytes    int64
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{postings: map[string][]int{}}
+}
+
+// Tokenize lowercases and splits on non-alphanumeric runes; it is exported
+// so tests and rankers agree with the indexer.
+func Tokenize(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// Add indexes one document and returns its id. Field values are indexed
+// alongside the text.
+func (ix *Index) Add(ts time.Time, fields map[string]string, text string) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id := len(ix.docs)
+	var fcopy map[string]string
+	if len(fields) > 0 {
+		fcopy = make(map[string]string, len(fields))
+		for k, v := range fields {
+			fcopy[k] = v
+		}
+	}
+	ix.docs = append(ix.docs, Doc{ID: id, Timestamp: ts, Fields: fcopy, Text: text})
+	ix.bytes += int64(len(text))
+	seen := map[string]bool{}
+	index := func(s string) {
+		for _, term := range Tokenize(s) {
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			ix.postings[term] = append(ix.postings[term], id)
+		}
+	}
+	index(text)
+	for _, v := range fields {
+		index(v)
+	}
+	return id
+}
+
+// Query is a search request: all Terms must match (AND), Filters must
+// equal document fields exactly, and the time range bounds Timestamp
+// (zero values are open).
+type Query struct {
+	Terms   []string
+	Filters map[string]string
+	From    time.Time
+	To      time.Time
+	Limit   int
+}
+
+// Search runs the query, returning matching documents in ascending
+// timestamp order.
+func (ix *Index) Search(q Query) []Doc {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if q.Limit <= 0 {
+		q.Limit = 100
+	}
+	// Normalise terms through the same tokenizer.
+	var terms []string
+	for _, t := range q.Terms {
+		terms = append(terms, Tokenize(t)...)
+	}
+	var candidates []int
+	if len(terms) == 0 {
+		candidates = make([]int, len(ix.docs))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	} else {
+		// Intersect postings, shortest list first.
+		lists := make([][]int, 0, len(terms))
+		for _, t := range terms {
+			l, ok := ix.postings[t]
+			if !ok {
+				return nil
+			}
+			lists = append(lists, l)
+		}
+		sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+		candidates = lists[0]
+		for _, l := range lists[1:] {
+			candidates = intersect(candidates, l)
+			if len(candidates) == 0 {
+				return nil
+			}
+		}
+	}
+	var out []Doc
+	for _, id := range candidates {
+		d := ix.docs[id]
+		if !q.From.IsZero() && d.Timestamp.Before(q.From) {
+			continue
+		}
+		if !q.To.IsZero() && d.Timestamp.After(q.To) {
+			continue
+		}
+		ok := true
+		for k, v := range q.Filters {
+			if d.Fields[k] != v {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp.Before(out[j].Timestamp) })
+	if len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+func intersect(a, b []int) []int {
+	out := a[:0:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Stats reports index size.
+type Stats struct {
+	Docs  int
+	Terms int
+	Bytes int64
+}
+
+// Stats returns a snapshot.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return Stats{Docs: len(ix.docs), Terms: len(ix.postings), Bytes: ix.bytes}
+}
+
+// DeleteBefore drops documents older than ts, rebuilding postings; it
+// returns the number dropped. OMNI's retention applies here as well.
+func (ix *Index) DeleteBefore(ts time.Time) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	kept := make([]Doc, 0, len(ix.docs))
+	dropped := 0
+	for _, d := range ix.docs {
+		if d.Timestamp.Before(ts) {
+			dropped++
+			ix.bytes -= int64(len(d.Text))
+			continue
+		}
+		kept = append(kept, d)
+	}
+	if dropped == 0 {
+		return 0
+	}
+	ix.docs = kept
+	ix.postings = map[string][]int{}
+	for i := range ix.docs {
+		ix.docs[i].ID = i
+		seen := map[string]bool{}
+		index := func(s string) {
+			for _, term := range Tokenize(s) {
+				if !seen[term] {
+					seen[term] = true
+					ix.postings[term] = append(ix.postings[term], i)
+				}
+			}
+		}
+		index(ix.docs[i].Text)
+		for _, v := range ix.docs[i].Fields {
+			index(v)
+		}
+	}
+	return dropped
+}
+
+// Handler exposes the ES-flavoured REST API:
+//
+//	POST /events/_doc       {"timestamp": RFC3339, "fields": {...}, "text": "..."}
+//	GET  /events/_search?q=term+term&field.k=v&from=RFC3339&to=RFC3339&size=N
+//	GET  /events/_stats
+func (ix *Index) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events/_doc", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Timestamp string            `json:"timestamp"`
+			Fields    map[string]string `json:"fields"`
+			Text      string            `json:"text"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ts := time.Now()
+		if req.Timestamp != "" {
+			var err error
+			if ts, err = time.Parse(time.RFC3339, req.Timestamp); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		id := ix.Add(ts, req.Fields, req.Text)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{"_id": id, "result": "created"})
+	})
+	mux.HandleFunc("/events/_search", func(w http.ResponseWriter, r *http.Request) {
+		q := Query{Filters: map[string]string{}}
+		for k, vs := range r.URL.Query() {
+			v := vs[0]
+			switch {
+			case k == "q":
+				q.Terms = strings.Fields(v)
+			case k == "size":
+				n, err := strconv.Atoi(v)
+				if err != nil || n <= 0 {
+					http.Error(w, "bad size", http.StatusBadRequest)
+					return
+				}
+				q.Limit = n
+			case k == "from" || k == "to":
+				ts, err := time.Parse(time.RFC3339, v)
+				if err != nil {
+					http.Error(w, fmt.Sprintf("bad %s", k), http.StatusBadRequest)
+					return
+				}
+				if k == "from" {
+					q.From = ts
+				} else {
+					q.To = ts
+				}
+			case strings.HasPrefix(k, "field."):
+				q.Filters[strings.TrimPrefix(k, "field.")] = v
+			}
+		}
+		hits := ix.Search(q)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{
+			"hits": map[string]interface{}{"total": len(hits), "hits": hits},
+		})
+	})
+	mux.HandleFunc("/events/_stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(ix.Stats())
+	})
+	return mux
+}

@@ -1,0 +1,226 @@
+package eventsearch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Sensor 'A' of the redundant leak-sensors detected_a_leak x1203c1b0!")
+	want := []string{"sensor", "a", "of", "the", "redundant", "leak", "sensors", "detected", "a", "leak", "x1203c1b0"}
+	if len(got) != len(want) {
+		t.Fatalf("%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tok %d: %q != %q", i, got[i], want[i])
+		}
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestAddAndSearchAND(t *testing.T) {
+	ix := New()
+	base := time.Unix(1000, 0).UTC()
+	ix.Add(base, map[string]string{"xname": "x1203c1b0"}, "leak detected in front zone")
+	ix.Add(base.Add(time.Second), map[string]string{"xname": "x1002c1r7b0"}, "switch offline state unknown")
+	ix.Add(base.Add(2*time.Second), nil, "leak cleared front zone")
+
+	hits := ix.Search(Query{Terms: []string{"leak"}})
+	if len(hits) != 2 {
+		t.Fatalf("%+v", hits)
+	}
+	hits = ix.Search(Query{Terms: []string{"leak", "detected"}})
+	if len(hits) != 1 || hits[0].ID != 0 {
+		t.Fatalf("%+v", hits)
+	}
+	if hits := ix.Search(Query{Terms: []string{"nonexistent"}}); hits != nil {
+		t.Fatalf("%+v", hits)
+	}
+	// Field values are searchable too.
+	hits = ix.Search(Query{Terms: []string{"x1002c1r7b0"}})
+	if len(hits) != 1 || hits[0].ID != 1 {
+		t.Fatalf("%+v", hits)
+	}
+}
+
+func TestSearchFiltersAndTimeRange(t *testing.T) {
+	ix := New()
+	base := time.Unix(0, 0).UTC()
+	for i := 0; i < 10; i++ {
+		ix.Add(base.Add(time.Duration(i)*time.Minute), map[string]string{"sev": fmt.Sprintf("s%d", i%2)}, "event line")
+	}
+	hits := ix.Search(Query{Terms: []string{"event"}, Filters: map[string]string{"sev": "s1"}})
+	if len(hits) != 5 {
+		t.Fatalf("%d", len(hits))
+	}
+	hits = ix.Search(Query{From: base.Add(3 * time.Minute), To: base.Add(5 * time.Minute)})
+	if len(hits) != 3 {
+		t.Fatalf("%d", len(hits))
+	}
+	// Limit caps results.
+	hits = ix.Search(Query{Limit: 2})
+	if len(hits) != 2 {
+		t.Fatalf("%d", len(hits))
+	}
+	// Ordered by timestamp.
+	hits = ix.Search(Query{})
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Timestamp.Before(hits[i-1].Timestamp) {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	ix := New()
+	ix.Add(time.Unix(1, 0), nil, "CabinetLeakDetected WARNING")
+	if len(ix.Search(Query{Terms: []string{"cabinetleakdetected"}})) != 1 {
+		t.Fatal("case-folding failed")
+	}
+	if len(ix.Search(Query{Terms: []string{"Warning"}})) != 1 {
+		t.Fatal("query-side folding failed")
+	}
+}
+
+func TestDeleteBefore(t *testing.T) {
+	ix := New()
+	base := time.Unix(0, 0).UTC()
+	for i := 0; i < 10; i++ {
+		ix.Add(base.Add(time.Duration(i)*time.Hour), nil, fmt.Sprintf("event number%d", i))
+	}
+	if got := ix.DeleteBefore(base.Add(5 * time.Hour)); got != 5 {
+		t.Fatalf("dropped %d", got)
+	}
+	if st := ix.Stats(); st.Docs != 5 {
+		t.Fatalf("%+v", st)
+	}
+	// Old docs are gone from postings; new ones still found.
+	if hits := ix.Search(Query{Terms: []string{"number2"}}); len(hits) != 0 {
+		t.Fatalf("%+v", hits)
+	}
+	if hits := ix.Search(Query{Terms: []string{"number7"}}); len(hits) != 1 {
+		t.Fatalf("%+v", hits)
+	}
+	if got := ix.DeleteBefore(base); got != 0 {
+		t.Fatalf("dropped %d from fresh index", got)
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	ix := New()
+	srv := httptest.NewServer(ix.Handler())
+	defer srv.Close()
+
+	doc := `{"timestamp":"2022-03-03T01:47:57Z","fields":{"context":"x1203c1b0"},"text":"leak detected front zone"}`
+	resp, err := http.Post(srv.URL+"/events/_doc", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+
+	r2, err := http.Get(srv.URL + "/events/_search?q=leak+front&field.context=x1203c1b0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var out struct {
+		Hits struct {
+			Total int   `json:"total"`
+			Hits  []Doc `json:"hits"`
+		} `json:"hits"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Hits.Total != 1 || out.Hits.Hits[0].Fields["context"] != "x1203c1b0" {
+		t.Fatalf("%+v", out)
+	}
+
+	// Bad requests.
+	resp, _ = http.Post(srv.URL+"/events/_doc", "application/json", strings.NewReader("{"))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad json: %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/events/_doc", "application/json", strings.NewReader(`{"timestamp":"nope","text":"x"}`))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad ts: %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/events/_search?size=abc")
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad size: %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/events/_search?from=nope")
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad from: %d", resp.StatusCode)
+	}
+}
+
+// Property: every document is findable by each of its tokens.
+func TestPropertyTokensFindDoc(t *testing.T) {
+	f := func(words []string) bool {
+		ix := New()
+		text := strings.Join(words, " ")
+		id := ix.Add(time.Unix(1, 0), nil, text)
+		for _, tok := range Tokenize(text) {
+			hits := ix.Search(Query{Terms: []string{tok}})
+			found := false
+			for _, h := range hits {
+				if h.ID == id {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIndexAdd(b *testing.B) {
+	ix := New()
+	line := "Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Add(time.Unix(int64(i), 0), nil, line)
+	}
+}
+
+func BenchmarkSearchTerm(b *testing.B) {
+	ix := New()
+	for i := 0; i < 50000; i++ {
+		text := "routine telemetry heartbeat"
+		if i%1000 == 0 {
+			text = "leak detected cabinet zone"
+		}
+		ix.Add(time.Unix(int64(i), 0), nil, text)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := ix.Search(Query{Terms: []string{"leak", "detected"}, Limit: 1000})
+		if len(hits) != 50 {
+			b.Fatalf("%d", len(hits))
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, fn func(*bytes.Buffer)) string {
+	t.Helper()
+	var buf bytes.Buffer
+	fn(&buf)
+	return buf.String()
+}
+
+// E1 (Fig. 2): the raw Telemetry API payload carries the paper's exact
+// context, message id, message text and timestamp.
+func TestExperimentFig2(t *testing.T) {
+	out := run(t, func(b *bytes.Buffer) {
+		if err := Fig2(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{
+		`"Context": "x1203c1b0"`,
+		`"EventTimestamp": "2022-03-03T01:47:57Z"`,
+		`"MessageId": "CrayAlerts.1.0.CabinetLeakDetected"`,
+		`"Severity": "Warning"`,
+		"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak.",
+		`"@odata.id": "/redfish/v1/Chassis/Enclosure"`,
+		`"MessageArgs"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// E2 (Fig. 3): the Loki push payload has the three stream labels, the ns
+// epoch, the trimmed JSON body, and none of the dropped fields.
+func TestExperimentFig3(t *testing.T) {
+	out := run(t, func(b *bytes.Buffer) {
+		if err := Fig3(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{
+		`"Context": "x1102c4s0b0"`,
+		`"cluster": "perlmutter"`,
+		`"data_type": "redfish_event"`,
+		`"1646272077000000000"`,
+		`{\"Severity\":\"Warning\",\"MessageId\":\"CrayAlerts.1.0.CabinetLeakDetected\"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3 missing %q:\n%s", want, out)
+		}
+	}
+	for _, banned := range []string{"OriginOfCondition", "MessageArgs", "odata"} {
+		if strings.Contains(out, banned) {
+			t.Fatalf("fig3 contains dropped field %q:\n%s", banned, out)
+		}
+	}
+}
+
+// E3 (Fig. 4): the event shows in the Grafana log panel.
+func TestExperimentFig4(t *testing.T) {
+	out := run(t, func(b *bytes.Buffer) {
+		if err := Fig4(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"2022-03-03 01:47:57", "x1203c1b0", "CabinetLeakDetected"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// E4 (Fig. 5): the metric steps 0 -> 1 at the event and falls off after
+// the 60m window.
+func TestExperimentFig5(t *testing.T) {
+	out := run(t, func(b *bytes.Buffer) {
+		if err := Fig5(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, `severity="Warning"`) {
+		t.Fatalf("fig5 legend:\n%s", out)
+	}
+	// CSV rows: within window value 1.
+	if !strings.Contains(out, ",1\n") {
+		t.Fatalf("fig5 csv has no value-1 samples:\n%s", out)
+	}
+	// The 70-minute sample is outside the window: no row at that time.
+	if strings.Contains(out, "2022-03-03T02:57:57Z") && strings.Contains(out, "02:57:57Z\",1") {
+		t.Fatalf("fig5 window leak:\n%s", out)
+	}
+}
+
+// E5 (Fig. 6): the Slack alert carries the rule name and location.
+func TestExperimentFig6(t *testing.T) {
+	out := run(t, func(b *bytes.Buffer) {
+		if err := Fig6(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"PerlmutterCabinetLeak", "x1203c1b0", "FIRING"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// E6 (Fig. 7): the switch event renders with its two stream labels.
+func TestExperimentFig7(t *testing.T) {
+	out := run(t, func(b *bytes.Buffer) {
+		if err := Fig7(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{
+		"[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN",
+		`app="fabric_manager_monitor"`,
+		`cluster="perlmutter"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// E7 (Fig. 8): the rule evaluates to a vector carrying the
+// pattern-extracted labels.
+func TestExperimentFig8(t *testing.T) {
+	out := run(t, func(b *bytes.Buffer) {
+		if err := Fig8(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{`xname="x1002c1r7b0"`, `state="UNKNOWN"`, `=> 1`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig8 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// E8 (Fig. 9): the offline-switch Slack notification.
+func TestExperimentFig9(t *testing.T) {
+	out := run(t, func(b *bytes.Buffer) {
+		if err := Fig9(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"SwitchOffline", "x1002c1r7b0", "UNKNOWN"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig9 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClaimExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed experiments")
+	}
+	var buf bytes.Buffer
+	if err := C1(&buf, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "messages/second") {
+		t.Fatalf("c1:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := C2(&buf, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GB/day") {
+		t.Fatalf("c2:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := C3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The anti-pattern scheme must show more streams than the paper scheme.
+	if !strings.Contains(buf.String(), "anti-pattern") {
+		t.Fatalf("c3:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := C4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ratio") {
+		t.Fatalf("c4:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := C7(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "simulated time") {
+		t.Fatalf("c7:\n%s", buf.String())
+	}
+}
+
+func TestRunnerDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	r := Runner{QuickSeconds: 0.1}
+	if err := r.Run("fig3", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("nope", &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

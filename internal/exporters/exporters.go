@@ -1,0 +1,277 @@
+// Package exporters implements the Prometheus-style exporters of the
+// paper's three metric source categories: installed by HPE (node-exporter),
+// installed by NERSC from the community (blackbox-exporter,
+// kafka-exporter), and written by NERSC (aruba-exporter). Each serves the
+// text exposition format on /metrics for vmagent to scrape.
+package exporters
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"shastamon/internal/kafka"
+	"shastamon/internal/labels"
+	"shastamon/internal/promtext"
+)
+
+// metricsHandler renders families on demand.
+func metricsHandler(collect func() []promtext.Family) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := promtext.Write(w, collect()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ---- node exporter ----
+
+// NodeExporter simulates one node-exporter instance: CPU counters, memory
+// and load gauges for a named node.
+type NodeExporter struct {
+	node string
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	cpu   map[string]float64 // mode -> seconds
+	since time.Time
+}
+
+// NewNodeExporter returns an exporter for the given node xname.
+func NewNodeExporter(node string, seed int64) *NodeExporter {
+	return &NodeExporter{
+		node:  node,
+		rng:   rand.New(rand.NewSource(seed)),
+		cpu:   map[string]float64{"user": 0, "system": 0, "idle": 0, "iowait": 0},
+		since: time.Now(),
+	}
+}
+
+// Collect advances the simulated counters and returns current families.
+func (e *NodeExporter) Collect() []promtext.Family {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Advance counters by a pseudo-random slice of work.
+	e.cpu["user"] += 0.4 + e.rng.Float64()*0.4
+	e.cpu["system"] += 0.1 + e.rng.Float64()*0.2
+	e.cpu["idle"] += 2 + e.rng.Float64()
+	e.cpu["iowait"] += e.rng.Float64() * 0.1
+
+	cpuFam := promtext.Family{Name: "node_cpu_seconds_total", Help: "Seconds the CPUs spent in each mode.", Type: "counter"}
+	for _, mode := range []string{"idle", "iowait", "system", "user"} {
+		cpuFam.Metrics = append(cpuFam.Metrics, promtext.Metric{
+			Name:   "node_cpu_seconds_total",
+			Labels: labels.FromStrings("mode", mode, "node", e.node),
+			Value:  e.cpu[mode],
+		})
+	}
+	memUsed := 40e9 + e.rng.Float64()*20e9
+	return []promtext.Family{
+		cpuFam,
+		{Name: "node_memory_used_bytes", Help: "Memory in use.", Type: "gauge", Metrics: []promtext.Metric{
+			{Name: "node_memory_used_bytes", Labels: labels.FromStrings("node", e.node), Value: memUsed},
+		}},
+		{Name: "node_load1", Help: "1m load average.", Type: "gauge", Metrics: []promtext.Metric{
+			{Name: "node_load1", Labels: labels.FromStrings("node", e.node), Value: 1 + e.rng.Float64()*63},
+		}},
+	}
+}
+
+// Handler serves /metrics.
+func (e *NodeExporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metricsHandler(e.Collect))
+	return mux
+}
+
+// ---- kafka exporter ----
+
+// KafkaExporter exposes broker metrics: per-partition high watermarks and
+// total messages, mirroring danielqsj/kafka-exporter's metric names.
+type KafkaExporter struct {
+	broker *kafka.Broker
+}
+
+// NewKafkaExporter returns an exporter reading the broker.
+func NewKafkaExporter(broker *kafka.Broker) *KafkaExporter { return &KafkaExporter{broker: broker} }
+
+// Collect reads watermarks for every topic/partition.
+func (e *KafkaExporter) Collect() []promtext.Family {
+	offsets := promtext.Family{Name: "kafka_topic_partition_current_offset", Help: "Current (high) offset of a partition.", Type: "gauge"}
+	parts := promtext.Family{Name: "kafka_topic_partitions", Help: "Partition count per topic.", Type: "gauge"}
+	for _, topic := range e.broker.Topics() {
+		n, err := e.broker.Partitions(topic)
+		if err != nil {
+			continue
+		}
+		parts.Metrics = append(parts.Metrics, promtext.Metric{
+			Name: "kafka_topic_partitions", Labels: labels.FromStrings("topic", topic), Value: float64(n),
+		})
+		for p := 0; p < n; p++ {
+			_, high, err := e.broker.Watermarks(topic, p)
+			if err != nil {
+				continue
+			}
+			offsets.Metrics = append(offsets.Metrics, promtext.Metric{
+				Name:   "kafka_topic_partition_current_offset",
+				Labels: labels.FromStrings("topic", topic, "partition", fmt.Sprintf("%d", p)),
+				Value:  float64(high),
+			})
+		}
+	}
+	total := promtext.Family{Name: "kafka_broker_messages_total", Help: "Messages produced to the broker.", Type: "counter", Metrics: []promtext.Metric{
+		{Name: "kafka_broker_messages_total", Value: float64(e.broker.Stats().Messages)},
+	}}
+	lag := promtext.Family{Name: "kafka_consumergroup_lag", Help: "Unconsumed messages per group/topic/partition.", Type: "gauge"}
+	for _, group := range e.broker.Groups() {
+		for key, l := range e.broker.GroupLag(group) {
+			idx := strings.LastIndexByte(key, '/')
+			lag.Metrics = append(lag.Metrics, promtext.Metric{
+				Name:   "kafka_consumergroup_lag",
+				Labels: labels.FromStrings("consumergroup", group, "topic", key[:idx], "partition", key[idx+1:]),
+				Value:  float64(l),
+			})
+		}
+	}
+	return []promtext.Family{offsets, parts, total, lag}
+}
+
+// Handler serves /metrics.
+func (e *KafkaExporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metricsHandler(e.Collect))
+	return mux
+}
+
+// ---- blackbox exporter ----
+
+// BlackboxExporter probes HTTP targets on demand: GET /probe?target=URL
+// returns probe_success and probe_duration_seconds, exactly like the
+// community blackbox-exporter's http_2xx module.
+type BlackboxExporter struct {
+	client *http.Client
+}
+
+// NewBlackboxExporter returns a prober; nil client gets a 5s timeout.
+func NewBlackboxExporter(client *http.Client) *BlackboxExporter {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &BlackboxExporter{client: client}
+}
+
+// Probe runs one probe and returns the resulting families.
+func (e *BlackboxExporter) Probe(target string) []promtext.Family {
+	start := time.Now()
+	success := 0.0
+	resp, err := e.client.Get(target)
+	if err == nil {
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 {
+			success = 1
+		}
+	}
+	dur := time.Since(start).Seconds()
+	return []promtext.Family{
+		{Name: "probe_success", Help: "Whether the probe succeeded.", Type: "gauge", Metrics: []promtext.Metric{
+			{Name: "probe_success", Value: success},
+		}},
+		{Name: "probe_duration_seconds", Help: "Probe duration.", Type: "gauge", Metrics: []promtext.Metric{
+			{Name: "probe_duration_seconds", Value: dur},
+		}},
+	}
+}
+
+// Handler serves /probe?target=...
+func (e *BlackboxExporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/probe", func(w http.ResponseWriter, r *http.Request) {
+		target := r.URL.Query().Get("target")
+		if target == "" {
+			http.Error(w, "target required", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = promtext.Write(w, e.Probe(target))
+	})
+	return mux
+}
+
+// ---- aruba exporter ----
+
+// ArubaExporter is the NERSC-written exporter for Aruba management
+// switches: port status and traffic counters.
+type ArubaExporter struct {
+	switchName string
+	ports      int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	rx  []float64
+	tx  []float64
+	up  []bool
+}
+
+// NewArubaExporter simulates a switch with the given port count.
+func NewArubaExporter(switchName string, ports int, seed int64) *ArubaExporter {
+	e := &ArubaExporter{
+		switchName: switchName,
+		ports:      ports,
+		rng:        rand.New(rand.NewSource(seed)),
+		rx:         make([]float64, ports),
+		tx:         make([]float64, ports),
+		up:         make([]bool, ports),
+	}
+	for i := range e.up {
+		e.up[i] = true
+	}
+	return e
+}
+
+// SetPortStatus flips a port up/down (fault injection for probes).
+func (e *ArubaExporter) SetPortStatus(port int, up bool) error {
+	if port < 0 || port >= e.ports {
+		return fmt.Errorf("exporters: port %d out of range", port)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.up[port] = up
+	return nil
+}
+
+// Collect advances counters and renders families.
+func (e *ArubaExporter) Collect() []promtext.Family {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	status := promtext.Family{Name: "aruba_port_up", Help: "Port operational status.", Type: "gauge"}
+	rx := promtext.Family{Name: "aruba_port_rx_bytes_total", Help: "Received bytes.", Type: "counter"}
+	tx := promtext.Family{Name: "aruba_port_tx_bytes_total", Help: "Transmitted bytes.", Type: "counter"}
+	for p := 0; p < e.ports; p++ {
+		ls := labels.FromStrings("switch", e.switchName, "port", fmt.Sprintf("%d", p))
+		upVal := 0.0
+		if e.up[p] {
+			upVal = 1
+			e.rx[p] += e.rng.Float64() * 1e8
+			e.tx[p] += e.rng.Float64() * 1e8
+		}
+		status.Metrics = append(status.Metrics, promtext.Metric{Name: status.Name, Labels: ls, Value: upVal})
+		rx.Metrics = append(rx.Metrics, promtext.Metric{Name: rx.Name, Labels: ls, Value: e.rx[p]})
+		tx.Metrics = append(tx.Metrics, promtext.Metric{Name: tx.Name, Labels: ls, Value: e.tx[p]})
+	}
+	return []promtext.Family{status, rx, tx}
+}
+
+// Handler serves /metrics.
+func (e *ArubaExporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metricsHandler(e.Collect))
+	return mux
+}

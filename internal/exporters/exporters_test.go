@@ -1,0 +1,184 @@
+package exporters
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"shastamon/internal/kafka"
+	"shastamon/internal/promtext"
+)
+
+func scrape(t *testing.T, url string) []promtext.Family {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	fams, err := promtext.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+func famByName(fams []promtext.Family, name string) *promtext.Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+func TestNodeExporter(t *testing.T) {
+	e := NewNodeExporter("x1000c0s0b0n0", 1)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	fams := scrape(t, srv.URL+"/metrics")
+	cpu := famByName(fams, "node_cpu_seconds_total")
+	if cpu == nil || len(cpu.Metrics) != 4 {
+		t.Fatalf("%+v", fams)
+	}
+	if cpu.Type != "counter" {
+		t.Fatalf("type %q", cpu.Type)
+	}
+	first := cpu.Metrics[0].Value
+	fams2 := scrape(t, srv.URL+"/metrics")
+	cpu2 := famByName(fams2, "node_cpu_seconds_total")
+	if cpu2.Metrics[0].Value <= first {
+		t.Fatal("counter did not increase")
+	}
+	if famByName(fams, "node_load1") == nil || famByName(fams, "node_memory_used_bytes") == nil {
+		t.Fatal("gauges missing")
+	}
+}
+
+func TestKafkaExporter(t *testing.T) {
+	broker := kafka.NewBroker()
+	_ = broker.CreateTopic("cray-syslog", 2)
+	for i := 0; i < 5; i++ {
+		_, _, _ = broker.Produce("cray-syslog", nil, []byte("m"), time.Time{})
+	}
+	e := NewKafkaExporter(broker)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	fams := scrape(t, srv.URL+"/metrics")
+	off := famByName(fams, "kafka_topic_partition_current_offset")
+	if off == nil || len(off.Metrics) != 2 {
+		t.Fatalf("%+v", fams)
+	}
+	sum := off.Metrics[0].Value + off.Metrics[1].Value
+	if sum != 5 {
+		t.Fatalf("offsets sum %v", sum)
+	}
+	tot := famByName(fams, "kafka_broker_messages_total")
+	if tot == nil || tot.Metrics[0].Value != 5 {
+		t.Fatalf("%+v", tot)
+	}
+}
+
+func TestBlackboxExporterSuccessAndFailure(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	}))
+	defer up.Close()
+	e := NewBlackboxExporter(nil)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	fams := scrape(t, srv.URL+"/probe?target="+up.URL)
+	if famByName(fams, "probe_success").Metrics[0].Value != 1 {
+		t.Fatalf("%+v", fams)
+	}
+	if famByName(fams, "probe_duration_seconds").Metrics[0].Value <= 0 {
+		t.Fatal("zero duration")
+	}
+
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(500)
+	}))
+	downURL := down.URL
+	down.Close()
+	fams = scrape(t, srv.URL+"/probe?target="+downURL)
+	if famByName(fams, "probe_success").Metrics[0].Value != 0 {
+		t.Fatalf("%+v", fams)
+	}
+
+	resp, _ := http.Get(srv.URL + "/probe")
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("missing target: status %d", resp.StatusCode)
+	}
+}
+
+func TestArubaExporter(t *testing.T) {
+	e := NewArubaExporter("mgmt-sw-1", 4, 9)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	fams := scrape(t, srv.URL+"/metrics")
+	st := famByName(fams, "aruba_port_up")
+	if st == nil || len(st.Metrics) != 4 {
+		t.Fatalf("%+v", fams)
+	}
+	for _, m := range st.Metrics {
+		if m.Value != 1 {
+			t.Fatalf("port down initially: %+v", m)
+		}
+	}
+	if err := e.SetPortStatus(2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetPortStatus(99, false); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	fams = scrape(t, srv.URL+"/metrics")
+	st = famByName(fams, "aruba_port_up")
+	downs := 0
+	for _, m := range st.Metrics {
+		if m.Value == 0 {
+			downs++
+			if m.Labels.Get("port") != "2" {
+				t.Fatalf("wrong port down: %+v", m)
+			}
+		}
+	}
+	if downs != 1 {
+		t.Fatalf("downs = %d", downs)
+	}
+	// Counters only grow on up ports.
+	rx := famByName(fams, "aruba_port_rx_bytes_total")
+	if rx == nil || len(rx.Metrics) != 4 {
+		t.Fatalf("%+v", rx)
+	}
+}
+
+func TestKafkaExporterConsumerLag(t *testing.T) {
+	broker := kafka.NewBroker()
+	_ = broker.CreateTopic("cray-syslog", 1)
+	for i := 0; i < 8; i++ {
+		_, _, _ = broker.Produce("cray-syslog", nil, []byte("m"), time.Time{})
+	}
+	c := kafka.NewConsumer(broker, "omni", "m1", "cray-syslog")
+	defer c.Close()
+	if _, err := c.Poll(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	e := NewKafkaExporter(broker)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	fams := scrape(t, srv.URL+"/metrics")
+	lag := famByName(fams, "kafka_consumergroup_lag")
+	if lag == nil || len(lag.Metrics) != 1 {
+		t.Fatalf("%+v", fams)
+	}
+	m := lag.Metrics[0]
+	if m.Value != 5 || m.Labels.Get("consumergroup") != "omni" || m.Labels.Get("topic") != "cray-syslog" {
+		t.Fatalf("%+v", m)
+	}
+}

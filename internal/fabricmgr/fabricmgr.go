@@ -1,0 +1,166 @@
+// Package fabricmgr implements the Slingshot Fabric Manager of case study
+// B: an HTTP API reporting the state of every Rosetta switch, plus the
+// "fabric manager monitor" — the poller NERSC wrote ("NERSC uses a python
+// program to query the API periodically, and send out an event to Loki if
+// any switch stage change is found").
+package fabricmgr
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"shastamon/internal/shasta"
+)
+
+// SwitchInfo is one row of the fabric API response.
+type SwitchInfo struct {
+	Xname string `json:"xname"`
+	State string `json:"state"`
+}
+
+// Manager serves the fabric state of a cluster over HTTP.
+type Manager struct {
+	cluster *shasta.Cluster
+}
+
+// NewManager returns a manager backed by the cluster's switch table.
+func NewManager(cluster *shasta.Cluster) *Manager { return &Manager{cluster: cluster} }
+
+// Switches returns all switch states sorted by xname.
+func (m *Manager) Switches() []SwitchInfo {
+	states := m.cluster.SwitchStates()
+	out := make([]SwitchInfo, 0, len(states))
+	for x, s := range states {
+		out = append(out, SwitchInfo{Xname: x, State: string(s)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Xname < out[j].Xname })
+	return out
+}
+
+// Handler exposes GET /fabric/switches.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fabric/switches", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(m.Switches())
+	})
+	return mux
+}
+
+// Event is a switch state-change event in the exact single-line format of
+// the paper's Fig. 7 sample:
+//
+//	[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN
+type Event struct {
+	Timestamp time.Time
+	Severity  string
+	Problem   string
+	Xname     string
+	State     string
+}
+
+// Line renders the event in the fabric monitor's message format.
+func (e Event) Line() string {
+	return fmt.Sprintf("[%s] problem:%s, xname:%s, state:%s", e.Severity, e.Problem, e.Xname, e.State)
+}
+
+// Sink receives monitor events; implementations push them to Loki with
+// labels {app="fabric_manager_monitor", cluster=...}.
+type Sink interface {
+	Emit(e Event) error
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(e Event) error
+
+// Emit calls the function.
+func (f SinkFunc) Emit(e Event) error { return f(e) }
+
+// Monitor polls the fabric API and emits an event on every state change.
+type Monitor struct {
+	url    string
+	client *http.Client
+	sink   Sink
+
+	mu   sync.Mutex
+	prev map[string]string
+}
+
+// NewMonitor polls the fabric manager at baseURL (e.g. the Manager's
+// test server URL) and emits change events to the sink.
+func NewMonitor(baseURL string, client *http.Client, sink Sink) *Monitor {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Monitor{url: baseURL + "/fabric/switches", client: client, sink: sink, prev: map[string]string{}}
+}
+
+// PollOnce queries the API and emits one event per changed switch. The
+// first poll primes the baseline without emitting. Switches leaving ACTIVE
+// emit critical fm_switch_offline events; returns to ACTIVE emit info
+// fm_switch_online events (the proactive recovery signal).
+func (m *Monitor) PollOnce(ts time.Time) ([]Event, error) {
+	resp, err := m.client.Get(m.url)
+	if err != nil {
+		return nil, fmt.Errorf("fabricmgr: poll: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fabricmgr: poll: status %d", resp.StatusCode)
+	}
+	var switches []SwitchInfo
+	if err := json.NewDecoder(resp.Body).Decode(&switches); err != nil {
+		return nil, fmt.Errorf("fabricmgr: decode: %w", err)
+	}
+
+	m.mu.Lock()
+	first := len(m.prev) == 0
+	var events []Event
+	for _, sw := range switches {
+		old, seen := m.prev[sw.Xname]
+		m.prev[sw.Xname] = sw.State
+		if first || !seen || old == sw.State {
+			continue
+		}
+		e := Event{Timestamp: ts, Xname: sw.Xname, State: sw.State}
+		if sw.State == string(shasta.SwitchActive) {
+			e.Severity, e.Problem = "info", "fm_switch_online"
+		} else {
+			e.Severity, e.Problem = "critical", "fm_switch_offline"
+		}
+		events = append(events, e)
+	}
+	m.mu.Unlock()
+
+	for _, e := range events {
+		if err := m.sink.Emit(e); err != nil {
+			return events, fmt.Errorf("fabricmgr: sink: %w", err)
+		}
+	}
+	return events, nil
+}
+
+// Run polls on the interval until the context is cancelled.
+func (m *Monitor) Run(ctx context.Context, interval time.Duration) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case now := <-t.C:
+			if _, err := m.PollOnce(now); err != nil {
+				return err
+			}
+		}
+	}
+}

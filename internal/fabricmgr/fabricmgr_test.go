@@ -1,0 +1,146 @@
+package fabricmgr
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"shastamon/internal/shasta"
+)
+
+func testCluster(t *testing.T) *shasta.Cluster {
+	t.Helper()
+	c, err := shasta.NewCluster(shasta.Config{
+		Name: "perlmutter", Cabinets: []int{1002},
+		ChassisPerCabinet: 2, BladesPerChassis: 1, NodesPerBMC: 1, SwitchesPerChassis: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+type recordingSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *recordingSink) Emit(e Event) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+	return nil
+}
+
+func (r *recordingSink) all() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+func TestAPIListsSwitches(t *testing.T) {
+	cluster := testCluster(t)
+	srv := httptest.NewServer(NewManager(cluster).Handler())
+	defer srv.Close()
+
+	sink := &recordingSink{}
+	mon := NewMonitor(srv.URL, nil, sink)
+	if _, err := mon.PollOnce(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(cluster)
+	sw := mgr.Switches()
+	if len(sw) != 16 {
+		t.Fatalf("switches: %d", len(sw))
+	}
+	if sw[0].State != "ACTIVE" {
+		t.Fatalf("%+v", sw[0])
+	}
+}
+
+func TestMonitorEmitsPaperEvent(t *testing.T) {
+	cluster := testCluster(t)
+	srv := httptest.NewServer(NewManager(cluster).Handler())
+	defer srv.Close()
+	sink := &recordingSink{}
+	mon := NewMonitor(srv.URL, nil, sink)
+
+	ts := time.Unix(1646272077, 0)
+	// First poll primes the baseline: no events.
+	evs, err := mon.PollOnce(ts)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("prime: %v %v", evs, err)
+	}
+	// The switch of Fig. 7 goes UNKNOWN.
+	if err := cluster.SetSwitchState("x1002c1r7b0", shasta.SwitchUnknown); err != nil {
+		t.Fatal(err)
+	}
+	evs, err = mon.PollOnce(ts.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("events: %+v", evs)
+	}
+	want := "[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN"
+	if evs[0].Line() != want {
+		t.Fatalf("line = %q, want %q", evs[0].Line(), want)
+	}
+	if got := sink.all(); len(got) != 1 || got[0].Line() != want {
+		t.Fatalf("sink: %+v", got)
+	}
+	// No change -> no new events.
+	evs, _ = mon.PollOnce(ts.Add(2 * time.Minute))
+	if len(evs) != 0 {
+		t.Fatalf("steady state emitted: %+v", evs)
+	}
+	// Recovery emits an online event.
+	_ = cluster.SetSwitchState("x1002c1r7b0", shasta.SwitchActive)
+	evs, _ = mon.PollOnce(ts.Add(3 * time.Minute))
+	if len(evs) != 1 || evs[0].Problem != "fm_switch_online" || evs[0].Severity != "info" {
+		t.Fatalf("recovery: %+v", evs)
+	}
+}
+
+func TestMonitorMultipleChanges(t *testing.T) {
+	cluster := testCluster(t)
+	srv := httptest.NewServer(NewManager(cluster).Handler())
+	defer srv.Close()
+	sink := &recordingSink{}
+	mon := NewMonitor(srv.URL, nil, sink)
+	_, _ = mon.PollOnce(time.Now())
+	_ = cluster.SetSwitchState("x1002c0r0b0", shasta.SwitchOffline)
+	_ = cluster.SetSwitchState("x1002c0r1b0", shasta.SwitchDrained)
+	evs, err := mon.PollOnce(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("%+v", evs)
+	}
+}
+
+func TestMonitorAPIDown(t *testing.T) {
+	srv := httptest.NewServer(nil)
+	url := srv.URL
+	srv.Close()
+	mon := NewMonitor(url, nil, &recordingSink{})
+	if _, err := mon.PollOnce(time.Now()); err == nil {
+		t.Fatal("no error with API down")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	cluster := testCluster(t)
+	srv := httptest.NewServer(NewManager(cluster).Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/fabric/switches", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

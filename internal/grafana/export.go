@@ -1,0 +1,78 @@
+package grafana
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file exports dashboards in the Grafana dashboard-model JSON shape
+// operators check into git and import into a real Grafana: a top-level
+// dashboard object with a panels array, each panel carrying its datasource
+// and query targets.
+
+type exportTarget struct {
+	Expr  string `json:"expr"`
+	RefID string `json:"refId"`
+}
+
+type exportDatasource struct {
+	Type string `json:"type"`
+	UID  string `json:"uid"`
+}
+
+type exportPanel struct {
+	ID         int              `json:"id"`
+	Title      string           `json:"title"`
+	Type       string           `json:"type"` // "logs" or "timeseries"
+	Datasource exportDatasource `json:"datasource"`
+	Targets    []exportTarget   `json:"targets"`
+	GridPos    map[string]int   `json:"gridPos"`
+}
+
+type exportDashboard struct {
+	Title         string        `json:"title"`
+	SchemaVersion int           `json:"schemaVersion"`
+	Panels        []exportPanel `json:"panels"`
+	Tags          []string      `json:"tags,omitempty"`
+}
+
+// ExportJSON renders the dashboard as Grafana dashboard-model JSON.
+// Loki-backed panels reference a datasource uid "loki"; metric panels
+// reference "victoriametrics". Panels lay out two per row.
+func ExportJSON(d Dashboard) ([]byte, error) {
+	out := exportDashboard{
+		Title:         d.Title,
+		SchemaVersion: 36,
+		Tags:          []string{"shastamon", "perlmutter"},
+	}
+	for i, p := range d.Panels {
+		ep := exportPanel{
+			ID:    i + 1,
+			Title: p.Title,
+			Targets: []exportTarget{{
+				Expr:  p.Query,
+				RefID: string(rune('A' + i%26)),
+			}},
+			GridPos: map[string]int{
+				"h": 8, "w": 12,
+				"x": (i % 2) * 12,
+				"y": (i / 2) * 8,
+			},
+		}
+		switch p.Source {
+		case SourceLokiLogs:
+			ep.Type = "logs"
+			ep.Datasource = exportDatasource{Type: "loki", UID: "loki"}
+		case SourceLokiMetric:
+			ep.Type = "timeseries"
+			ep.Datasource = exportDatasource{Type: "loki", UID: "loki"}
+		case SourceMetrics:
+			ep.Type = "timeseries"
+			ep.Datasource = exportDatasource{Type: "prometheus", UID: "victoriametrics"}
+		default:
+			return nil, fmt.Errorf("grafana: panel %q: unknown source %d", p.Title, p.Source)
+		}
+		out.Panels = append(out.Panels, ep)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

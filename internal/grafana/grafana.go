@@ -1,0 +1,266 @@
+// Package grafana implements the visualization stage of the paper's single
+// pane of glass: dashboards whose panels run LogQL (against Loki) or
+// PromQL (against the TSDB) queries and render as text — a log table like
+// Fig. 4, or a time-series step chart like Fig. 5 — suitable for
+// terminals, tests, and experiment artifacts.
+package grafana
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"shastamon/internal/logql"
+	"shastamon/internal/promql"
+)
+
+// Source selects a panel's datasource and query language.
+type Source int
+
+// Panel datasources.
+const (
+	SourceLokiLogs   Source = iota // LogQL log query: rendered as a table
+	SourceLokiMetric               // LogQL metric query: rendered as a chart
+	SourceMetrics                  // PromQL query: rendered as a chart
+)
+
+// Panel is one dashboard panel.
+type Panel struct {
+	Title  string
+	Query  string
+	Source Source
+	// Width and Height size the chart plot area (default 72x12); MaxRows
+	// bounds log tables (default 20).
+	Width   int
+	Height  int
+	MaxRows int
+}
+
+// Dashboard is a titled list of panels.
+type Dashboard struct {
+	Title  string
+	Panels []Panel
+}
+
+// Renderer executes panel queries.
+type Renderer struct {
+	logs    *logql.Engine
+	metrics *promql.Engine
+}
+
+// NewRenderer builds a renderer; either engine may be nil if no panel
+// uses it.
+func NewRenderer(logs *logql.Engine, metrics *promql.Engine) *Renderer {
+	return &Renderer{logs: logs, metrics: metrics}
+}
+
+// RenderDashboard renders every panel over [start, end] at the step.
+func (r *Renderer) RenderDashboard(d Dashboard, start, end time.Time, step time.Duration) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", d.Title)
+	for _, p := range d.Panels {
+		out, err := r.RenderPanel(p, start, end, step)
+		if err != nil {
+			return "", fmt.Errorf("grafana: panel %q: %w", p.Title, err)
+		}
+		b.WriteString(out)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// RenderPanel renders one panel.
+func (r *Renderer) RenderPanel(p Panel, start, end time.Time, step time.Duration) (string, error) {
+	switch p.Source {
+	case SourceLokiLogs:
+		if r.logs == nil {
+			return "", fmt.Errorf("no loki engine configured")
+		}
+		streams, err := r.logs.QueryLogs(p.Query, start.UnixNano(), end.UnixNano())
+		if err != nil {
+			return "", err
+		}
+		return renderLogTable(p, streams), nil
+	case SourceLokiMetric:
+		if r.logs == nil {
+			return "", fmt.Errorf("no loki engine configured")
+		}
+		m, err := r.logs.QueryRange(p.Query, start.UnixNano(), end.UnixNano(), step)
+		if err != nil {
+			return "", err
+		}
+		series := make([]chartSeries, 0, len(m))
+		for _, s := range m {
+			cs := chartSeries{label: s.Labels.String()}
+			for _, pt := range s.Points {
+				cs.points = append(cs.points, chartPoint{t: pt.T / 1e6, v: pt.V}) // ns -> ms
+			}
+			series = append(series, cs)
+		}
+		return renderChart(p, series, start, end), nil
+	case SourceMetrics:
+		if r.metrics == nil {
+			return "", fmt.Errorf("no metrics engine configured")
+		}
+		m, err := r.metrics.QueryRange(p.Query, start.UnixMilli(), end.UnixMilli(), step)
+		if err != nil {
+			return "", err
+		}
+		series := make([]chartSeries, 0, len(m))
+		for _, s := range m {
+			cs := chartSeries{label: s.Labels.String()}
+			for _, pt := range s.Points {
+				cs.points = append(cs.points, chartPoint{t: pt.T, v: pt.V})
+			}
+			series = append(series, cs)
+		}
+		return renderChart(p, series, start, end), nil
+	}
+	return "", fmt.Errorf("unknown source %d", p.Source)
+}
+
+func renderLogTable(p Panel, streams []logql.ResultStream) string {
+	maxRows := p.MaxRows
+	if maxRows <= 0 {
+		maxRows = 20
+	}
+	type row struct {
+		ts     int64
+		labels string
+		line   string
+	}
+	var rows []row
+	for _, s := range streams {
+		for _, e := range s.Entries {
+			rows = append(rows, row{ts: e.Timestamp, labels: s.Labels.String(), line: e.Line})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ts < rows[j].ts })
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s (%d entries) --\n", p.Title, len(rows))
+	truncated := false
+	if len(rows) > maxRows {
+		rows = rows[len(rows)-maxRows:]
+		truncated = true
+	}
+	for _, r := range rows {
+		ts := time.Unix(0, r.ts).UTC().Format("2006-01-02 15:04:05")
+		fmt.Fprintf(&b, "%s  %s  %s\n", ts, r.labels, r.line)
+	}
+	if truncated {
+		b.WriteString("... (older entries truncated)\n")
+	}
+	return b.String()
+}
+
+type chartPoint struct {
+	t int64 // ms
+	v float64
+}
+
+type chartSeries struct {
+	label  string
+	points []chartPoint
+}
+
+var seriesGlyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// renderChart draws a step chart with a y-axis, one glyph per series.
+func renderChart(p Panel, series []chartSeries, start, end time.Time) string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 12
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s --\n", p.Title)
+	if len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, pt := range s.points {
+			minV = math.Min(minV, pt.v)
+			maxV = math.Max(maxV, pt.v)
+		}
+	}
+	if minV > 0 {
+		minV = 0 // anchor at zero like Grafana's default
+	}
+	if maxV <= minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	t0, t1 := start.UnixMilli(), end.UnixMilli()
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for _, pt := range s.points {
+			x := int(float64(pt.t-t0) / float64(t1-t0) * float64(width-1))
+			y := int(float64(pt.v-minV) / float64(maxV-minV) * float64(height-1))
+			if x < 0 || x >= width {
+				continue
+			}
+			row := height - 1 - y
+			if row < 0 {
+				row = 0
+			}
+			grid[row][x] = glyph
+		}
+	}
+	for i, row := range grid {
+		yVal := maxV - (maxV-minV)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%10.2f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", width-len(end.UTC().Format("15:04:05")), start.UTC().Format("15:04:05"), end.UTC().Format("15:04:05"))
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.label)
+	}
+	return b.String()
+}
+
+// CSV renders a metric query result as CSV rows (timestamp,label,value),
+// the export format operators paste into reports.
+func (r *Renderer) CSV(p Panel, start, end time.Time, step time.Duration) (string, error) {
+	var b strings.Builder
+	b.WriteString("timestamp,series,value\n")
+	write := func(ts int64, label string, v float64) {
+		fmt.Fprintf(&b, "%s,%q,%g\n", time.UnixMilli(ts).UTC().Format(time.RFC3339), label, v)
+	}
+	switch p.Source {
+	case SourceLokiMetric:
+		m, err := r.logs.QueryRange(p.Query, start.UnixNano(), end.UnixNano(), step)
+		if err != nil {
+			return "", err
+		}
+		for _, s := range m {
+			for _, pt := range s.Points {
+				write(pt.T/1e6, s.Labels.String(), pt.V)
+			}
+		}
+	case SourceMetrics:
+		m, err := r.metrics.QueryRange(p.Query, start.UnixMilli(), end.UnixMilli(), step)
+		if err != nil {
+			return "", err
+		}
+		for _, s := range m {
+			for _, pt := range s.Points {
+				write(pt.T, s.Labels.String(), pt.V)
+			}
+		}
+	default:
+		return "", fmt.Errorf("grafana: CSV export is for metric panels")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,229 @@
+package grafana
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/logql"
+	"shastamon/internal/loki"
+	"shastamon/internal/promql"
+	"shastamon/internal/tsdb"
+)
+
+const leakLine = `{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected","Message":"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."}`
+
+func testRenderer(t *testing.T) (*loki.Store, *tsdb.DB, *Renderer, time.Time) {
+	t.Helper()
+	store := loki.NewStore(loki.DefaultLimits())
+	db := tsdb.New()
+	r := NewRenderer(logql.NewEngine(store), promql.NewEngine(db))
+	eventTime := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	return store, db, r, eventTime
+}
+
+func pushLeak(t *testing.T, store *loki.Store, ts time.Time) {
+	t.Helper()
+	ls := labels.FromStrings("Context", "x1203c1b0", "cluster", "perlmutter", "data_type", "redfish_event")
+	if err := store.Push([]loki.PushStream{{Labels: ls, Entries: []loki.Entry{{Timestamp: ts.UnixNano(), Line: leakLine}}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fig. 4: the Redfish event listed in a Grafana log panel.
+func TestRenderLogTableFig4(t *testing.T) {
+	store, _, r, eventTime := testRenderer(t)
+	pushLeak(t, store, eventTime)
+	p := Panel{Title: "Redfish events", Query: `{data_type="redfish_event"}`, Source: SourceLokiLogs}
+	out, err := r.RenderPanel(p, eventTime.Add(-time.Hour), eventTime.Add(time.Hour), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(1 entries)", "2022-03-03 01:47:57", "x1203c1b0", "CabinetLeakDetected"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogTableTruncation(t *testing.T) {
+	store, _, r, base := testRenderer(t)
+	ls := labels.FromStrings("app", "x")
+	var entries []loki.Entry
+	for i := 0; i < 30; i++ {
+		entries = append(entries, loki.Entry{Timestamp: base.Add(time.Duration(i) * time.Second).UnixNano(), Line: "l"})
+	}
+	_ = store.Push([]loki.PushStream{{Labels: ls, Entries: entries}})
+	p := Panel{Title: "t", Query: `{app="x"}`, Source: SourceLokiLogs, MaxRows: 5}
+	out, err := r.RenderPanel(p, base, base.Add(time.Hour), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "truncated") || strings.Count(out, "\n") > 8 {
+		t.Fatalf("truncation missing:\n%s", out)
+	}
+}
+
+// Fig. 5: the count_over_time query stepping from 0 to 1 at the event.
+func TestRenderChartFig5(t *testing.T) {
+	store, _, r, eventTime := testRenderer(t)
+	pushLeak(t, store, eventTime)
+	p := Panel{
+		Title:  "LeakDetected metric",
+		Query:  `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (severity, cluster, context, message_id, message)`,
+		Source: SourceLokiMetric,
+	}
+	out, err := r.RenderPanel(p, eventTime.Add(-30*time.Minute), eventTime.Add(30*time.Minute), 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no data points:\n%s", out)
+	}
+	// The legend carries the grouped labels.
+	if !strings.Contains(out, `severity="Warning"`) {
+		t.Fatalf("legend missing labels:\n%s", out)
+	}
+}
+
+func TestRenderMetricsChart(t *testing.T) {
+	_, db, r, base := testRenderer(t)
+	for i := 0; i <= 10; i++ {
+		_ = db.AppendMetric("node_temp_celsius", labels.FromStrings("xname", "x1"), base.Add(time.Duration(i)*time.Minute).UnixMilli(), float64(40+i))
+	}
+	p := Panel{Title: "temps", Query: `node_temp_celsius`, Source: SourceMetrics, Width: 40, Height: 8}
+	out, err := r.RenderPanel(p, base, base.Add(10*time.Minute), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "temps") || !strings.Contains(out, "*") {
+		t.Fatalf("chart:\n%s", out)
+	}
+}
+
+func TestRenderEmptyChart(t *testing.T) {
+	_, _, r, base := testRenderer(t)
+	p := Panel{Title: "empty", Query: `up`, Source: SourceMetrics}
+	out, err := r.RenderPanel(p, base, base.Add(time.Minute), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("%s", out)
+	}
+}
+
+func TestRenderDashboard(t *testing.T) {
+	store, _, r, eventTime := testRenderer(t)
+	pushLeak(t, store, eventTime)
+	d := Dashboard{
+		Title: "Perlmutter Leak Detection",
+		Panels: []Panel{
+			{Title: "events", Query: `{data_type="redfish_event"}`, Source: SourceLokiLogs},
+			{Title: "count", Query: `sum(count_over_time({data_type="redfish_event"}[60m]))`, Source: SourceLokiMetric},
+		},
+	}
+	out, err := r.RenderDashboard(d, eventTime.Add(-time.Hour), eventTime.Add(time.Hour), 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== Perlmutter Leak Detection ==") || !strings.Contains(out, "-- events") || !strings.Contains(out, "-- count") {
+		t.Fatalf("%s", out)
+	}
+}
+
+func TestRenderDashboardBadQuery(t *testing.T) {
+	_, _, r, base := testRenderer(t)
+	d := Dashboard{Title: "x", Panels: []Panel{{Title: "bad", Query: `{{{`, Source: SourceLokiLogs}}}
+	if _, err := r.RenderDashboard(d, base, base.Add(time.Minute), time.Second); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	store, _, r, eventTime := testRenderer(t)
+	pushLeak(t, store, eventTime)
+	p := Panel{Query: `sum(count_over_time({data_type="redfish_event"}[60m]))`, Source: SourceLokiMetric}
+	out, err := r.CSV(p, eventTime, eventTime.Add(10*time.Minute), 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "timestamp,series,value" || len(lines) != 4 {
+		t.Fatalf("%s", out)
+	}
+	if !strings.HasSuffix(lines[1], ",1") {
+		t.Fatalf("value: %s", lines[1])
+	}
+	// Log panels cannot export CSV.
+	if _, err := r.CSV(Panel{Query: `{a="b"}`, Source: SourceLokiLogs}, eventTime, eventTime, time.Second); err == nil {
+		t.Fatal("log CSV accepted")
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	d := Dashboard{
+		Title: "Perlmutter Ops",
+		Panels: []Panel{
+			{Title: "events", Query: `{data_type="redfish_event"}`, Source: SourceLokiLogs},
+			{Title: "leaks", Query: `sum(count_over_time({data_type="redfish_event"}[60m]))`, Source: SourceLokiMetric},
+			{Title: "temps", Query: `avg(cray_telemetry_temperature)`, Source: SourceMetrics},
+		},
+	}
+	data, err := ExportJSON(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Title         string `json:"title"`
+		SchemaVersion int    `json:"schemaVersion"`
+		Panels        []struct {
+			Type       string `json:"type"`
+			Datasource struct {
+				UID string `json:"uid"`
+			} `json:"datasource"`
+			Targets []struct {
+				Expr string `json:"expr"`
+			} `json:"targets"`
+			GridPos map[string]int `json:"gridPos"`
+		} `json:"panels"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Title != "Perlmutter Ops" || out.SchemaVersion == 0 || len(out.Panels) != 3 {
+		t.Fatalf("%s", data)
+	}
+	if out.Panels[0].Type != "logs" || out.Panels[0].Datasource.UID != "loki" {
+		t.Fatalf("%+v", out.Panels[0])
+	}
+	if out.Panels[2].Datasource.UID != "victoriametrics" || out.Panels[2].Targets[0].Expr == "" {
+		t.Fatalf("%+v", out.Panels[2])
+	}
+	// Two-per-row layout.
+	if out.Panels[1].GridPos["x"] != 12 || out.Panels[2].GridPos["y"] != 8 {
+		t.Fatalf("layout: %+v", out.Panels)
+	}
+	// Unknown source errors.
+	if _, err := ExportJSON(Dashboard{Panels: []Panel{{Source: Source(99)}}}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestRenderChartNegativeValues(t *testing.T) {
+	_, db, r, base := testRenderer(t)
+	for i, v := range []float64{-10, 0, 10} {
+		_ = db.AppendMetric("delta_t", labels.FromStrings("xname", "x1"), base.Add(time.Duration(i)*time.Minute).UnixMilli(), v)
+	}
+	p := Panel{Title: "deltas", Query: `delta_t`, Source: SourceMetrics, Width: 30, Height: 6}
+	out, err := r.RenderPanel(p, base, base.Add(2*time.Minute), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The y axis must span below zero.
+	if !strings.Contains(out, "-10.00") {
+		t.Fatalf("axis missing negatives:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+// Package hms implements the hardware management service collector: the
+// component that receives Redfish events and sensor telemetry from the
+// cluster's controllers and "pushes data to Kafka, where Kafka stores data
+// in different topics by categories".
+package hms
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"shastamon/internal/kafka"
+	"shastamon/internal/redfish"
+	"shastamon/internal/shasta"
+)
+
+// Kafka topics, mirroring the SMA topic taxonomy on real Shasta systems.
+const (
+	TopicEvents      = "cray-dmtf-resource-event"
+	TopicTemperature = "cray-telemetry-temperature"
+	TopicPower       = "cray-telemetry-power"
+	TopicFan         = "cray-telemetry-fan-speed"
+	TopicHumidity    = "cray-telemetry-humidity"
+	TopicSyslog      = "cray-syslog"
+	TopicFabric      = "cray-fabric-health"
+)
+
+// AllTopics lists every topic the collector produces to or that adjacent
+// producers (rsyslog aggregator, fabric monitor) use.
+var AllTopics = []string{
+	TopicEvents, TopicTemperature, TopicPower, TopicFan, TopicHumidity, TopicSyslog, TopicFabric,
+}
+
+// SensorSample is the JSON record produced to telemetry topics.
+type SensorSample struct {
+	Context         string  `json:"Context"`
+	PhysicalContext string  `json:"PhysicalContext"`
+	Sensor          string  `json:"Sensor"`
+	Value           float64 `json:"Value"`
+	Unit            string  `json:"Unit"`
+	Timestamp       string  `json:"Timestamp"`
+}
+
+// Collector polls the cluster and produces to Kafka.
+type Collector struct {
+	cluster *shasta.Cluster
+	broker  *kafka.Broker
+}
+
+// NewCollector creates the topics (idempotently) and returns a collector.
+func NewCollector(cluster *shasta.Cluster, broker *kafka.Broker, partitions int) (*Collector, error) {
+	if partitions <= 0 {
+		partitions = 4
+	}
+	for _, t := range AllTopics {
+		if err := broker.CreateTopic(t, partitions); err != nil && !errors.Is(err, kafka.ErrTopicExists) {
+			return nil, err
+		}
+	}
+	return &Collector{cluster: cluster, broker: broker}, nil
+}
+
+func topicForSensor(sensor string) string {
+	switch sensor {
+	case "Temperature":
+		return TopicTemperature
+	case "Power":
+		return TopicPower
+	case "Fan":
+		return TopicFan
+	case "Humidity":
+		return TopicHumidity
+	}
+	return TopicEvents
+}
+
+// CollectOnce drains pending Redfish events and takes one sensor sweep,
+// producing everything to Kafka. It returns the number of event records
+// and sensor samples produced.
+func (c *Collector) CollectOnce(ts time.Time) (events, samples int, err error) {
+	for _, rec := range c.cluster.DrainEvents() {
+		payload := redfish.NewPayload(rec)
+		data, err := payload.Marshal()
+		if err != nil {
+			return events, samples, fmt.Errorf("hms: marshal event: %w", err)
+		}
+		if _, _, err := c.broker.Produce(TopicEvents, []byte(rec.Context), data, ts); err != nil {
+			return events, samples, err
+		}
+		events++
+	}
+	for _, r := range c.cluster.SensorReadings(ts) {
+		sample := SensorSample{
+			Context:         r.Xname,
+			PhysicalContext: r.PhysicalContext,
+			Sensor:          r.Sensor,
+			Value:           r.Value,
+			Unit:            r.Unit,
+			Timestamp:       r.Timestamp.UTC().Format(time.RFC3339Nano),
+		}
+		data, err := json.Marshal(sample)
+		if err != nil {
+			return events, samples, fmt.Errorf("hms: marshal sample: %w", err)
+		}
+		if _, _, err := c.broker.Produce(topicForSensor(r.Sensor), []byte(r.Xname), data, ts); err != nil {
+			return events, samples, err
+		}
+		samples++
+	}
+	return events, samples, nil
+}
+
+// Run collects on the interval until the context is cancelled.
+func (c *Collector) Run(ctx context.Context, interval time.Duration) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case now := <-t.C:
+			if _, _, err := c.CollectOnce(now); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package hms
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"shastamon/internal/kafka"
+	"shastamon/internal/redfish"
+	"shastamon/internal/shasta"
+)
+
+func testSetup(t *testing.T) (*shasta.Cluster, *kafka.Broker, *Collector) {
+	t.Helper()
+	cluster, err := shasta.NewCluster(shasta.Config{
+		Name: "perlmutter", Cabinets: []int{1203},
+		ChassisPerCabinet: 2, BladesPerChassis: 1, NodesPerBMC: 1, SwitchesPerChassis: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker := kafka.NewBroker()
+	col, err := NewCollector(cluster, broker, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, broker, col
+}
+
+func TestTopicsCreated(t *testing.T) {
+	_, broker, _ := testSetup(t)
+	topics := broker.Topics()
+	if len(topics) != len(AllTopics) {
+		t.Fatalf("topics: %v", topics)
+	}
+}
+
+func TestCollectorIdempotentTopics(t *testing.T) {
+	cluster, broker, _ := testSetup(t)
+	if _, err := NewCollector(cluster, broker, 2); err != nil {
+		t.Fatalf("second collector on same broker: %v", err)
+	}
+}
+
+func TestCollectEventsAndSamples(t *testing.T) {
+	cluster, broker, col := testSetup(t)
+	ts := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	if err := cluster.InjectLeak("x1203c1b0", "A", "Front", ts); err != nil {
+		t.Fatal(err)
+	}
+	events, samples, err := col.CollectOnce(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 1 {
+		t.Fatalf("events = %d", events)
+	}
+	// 2 nodes*2 + 2 chassis fans + 1 cabinet humidity = 7
+	if samples != 7 {
+		t.Fatalf("samples = %d", samples)
+	}
+
+	// The leak event landed on the events topic as a Fig. 2 payload.
+	var all []kafka.Message
+	for p := 0; p < 2; p++ {
+		msgs, err := broker.Fetch(TopicEvents, p, 0, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, msgs...)
+	}
+	if len(all) != 1 {
+		t.Fatalf("event messages: %d", len(all))
+	}
+	payload, err := redfish.ParsePayload(all[0].Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload.Metrics.Messages[0].Context != "x1203c1b0" {
+		t.Fatalf("%+v", payload)
+	}
+	if !strings.Contains(string(all[0].Value), "CabinetLeakDetected") {
+		t.Fatalf("payload: %s", all[0].Value)
+	}
+
+	// Temperature samples landed on their topic and decode cleanly.
+	var temps []kafka.Message
+	for p := 0; p < 2; p++ {
+		msgs, _ := broker.Fetch(TopicTemperature, p, 0, 100)
+		temps = append(temps, msgs...)
+	}
+	if len(temps) != 2 {
+		t.Fatalf("temperature samples: %d", len(temps))
+	}
+	var s SensorSample
+	if err := json.Unmarshal(temps[0].Value, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Sensor != "Temperature" || s.Unit != "Cel" || s.Value == 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestEventKeyIsContext(t *testing.T) {
+	cluster, broker, col := testSetup(t)
+	ts := time.Now()
+	_ = cluster.InjectLeak("x1203c0b0", "B", "Rear", ts)
+	_ = cluster.InjectLeak("x1203c0b0", "A", "Rear", ts)
+	if _, _, err := col.CollectOnce(ts); err != nil {
+		t.Fatal(err)
+	}
+	// Same Context key -> same partition -> ordered.
+	counts := 0
+	for p := 0; p < 2; p++ {
+		msgs, _ := broker.Fetch(TopicEvents, p, 0, 100)
+		if len(msgs) > 0 {
+			counts++
+			if len(msgs) != 2 {
+				t.Fatalf("events split across partitions")
+			}
+		}
+	}
+	if counts != 1 {
+		t.Fatal("expected exactly one active partition")
+	}
+}
+
+func TestCollectorRunLoop(t *testing.T) {
+	cluster, broker, col := testSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- col.Run(ctx, 2*time.Millisecond) }()
+	_ = cluster.InjectLeak("x1203c0b0", "A", "Front", time.Now())
+	deadline := time.After(2 * time.Second)
+	for {
+		var total int64
+		for p := 0; p < 2; p++ {
+			_, high, err := broker.Watermarks(TopicEvents, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += high
+		}
+		if total >= 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("collector never produced")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package kafka
+
+import (
+	"sync"
+	"time"
+)
+
+// Consumer is a convenience wrapper implementing the subscribe/poll/commit
+// loop used by the telemetry API server and the K3s-pod-style clients. It
+// auto-commits offsets as messages are returned.
+type Consumer struct {
+	b      *Broker
+	group  string
+	member string
+	topics []string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewConsumer joins the group and subscribes to the topics.
+func NewConsumer(b *Broker, group, member string, topics ...string) *Consumer {
+	b.JoinGroup(group, member)
+	return &Consumer{b: b, group: group, member: member, topics: topics}
+}
+
+// Poll fetches up to max messages across the member's assigned partitions,
+// waiting up to timeout if none are immediately available. Offsets are
+// committed as messages are returned (at-most-once delivery, which is what
+// the paper's monitoring pipeline wants: stale telemetry is worthless).
+func (c *Consumer) Poll(max int, timeout time.Duration) ([]Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil
+	}
+	c.mu.Unlock()
+
+	var out []Message
+	grab := func(wait time.Duration) error {
+		for _, topic := range c.topics {
+			parts, err := c.b.Assignment(c.group, c.member, topic)
+			if err != nil {
+				return err
+			}
+			for _, p := range parts {
+				if len(out) >= max {
+					return nil
+				}
+				off := c.b.Committed(c.group, topic, p)
+				low, _, err := c.b.Watermarks(topic, p)
+				if err != nil {
+					return err
+				}
+				if off < low {
+					off = low // skip messages lost to retention
+				}
+				var msgs []Message
+				if wait > 0 {
+					msgs, err = c.b.FetchWait(topic, p, off, max-len(out), wait)
+				} else {
+					msgs, err = c.b.Fetch(topic, p, off, max-len(out))
+				}
+				if err != nil {
+					return err
+				}
+				if len(msgs) > 0 {
+					c.b.Commit(c.group, topic, p, msgs[len(msgs)-1].Offset+1)
+					out = append(out, msgs...)
+				}
+			}
+		}
+		return nil
+	}
+	if err := grab(0); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 && timeout > 0 {
+		// One blocking pass distributed over the first assigned partition.
+		if err := grab(timeout); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close leaves the consumer group.
+func (c *Consumer) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.b.LeaveGroup(c.group, c.member)
+}

@@ -1,0 +1,185 @@
+// Package ldms simulates the Lightweight Distributed Metric Service
+// samplers that feed Perlmutter's node-level metrics into the paper's
+// pipeline ("LDMS metrics ... are stored in Kafka and available via the
+// Telemetry API", Fig. 1). Each node runs samplers (meminfo, vmstat,
+// procnetdev) producing JSON metric sets to the cray-ldms-metrics topic on
+// a fixed cadence.
+package ldms
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"shastamon/internal/kafka"
+	"shastamon/internal/labels"
+	"shastamon/internal/tsdb"
+)
+
+// Topic is the Kafka topic LDMS metric sets are produced to.
+const Topic = "cray-ldms-metrics"
+
+// MetricSet is one sampler output for one node at one instant.
+type MetricSet struct {
+	Producer  string             `json:"producer"` // node xname
+	Sampler   string             `json:"sampler"`  // meminfo, vmstat, procnetdev
+	Timestamp time.Time          `json:"timestamp"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
+// Sampler generates deterministic metric sets for a set of nodes.
+type Sampler struct {
+	nodes []string
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	state map[string]float64
+}
+
+// NewSampler seeds a sampler for the nodes.
+func NewSampler(seed int64, nodes ...string) (*Sampler, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("ldms: at least one node required")
+	}
+	return &Sampler{
+		nodes: nodes,
+		rng:   rand.New(rand.NewSource(seed)),
+		state: map[string]float64{},
+	}, nil
+}
+
+func (s *Sampler) counter(key string, step float64) float64 {
+	v := s.state[key] + s.rng.Float64()*step
+	s.state[key] = v
+	return v
+}
+
+func (s *Sampler) gauge(key string, base, jitter, lo, hi float64) float64 {
+	v, ok := s.state[key]
+	if !ok {
+		v = base
+	}
+	v += s.rng.Float64()*2*jitter - jitter
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	s.state[key] = v
+	return v
+}
+
+// Sample produces one metric set per (node, sampler) at ts.
+func (s *Sampler) Sample(ts time.Time) []MetricSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]MetricSet, 0, len(s.nodes)*3)
+	for _, n := range s.nodes {
+		out = append(out,
+			MetricSet{Producer: n, Sampler: "meminfo", Timestamp: ts, Metrics: map[string]float64{
+				"MemTotal":  512e9,
+				"MemFree":   s.gauge("memfree/"+n, 300e9, 5e9, 10e9, 500e9),
+				"Cached":    s.gauge("cached/"+n, 100e9, 2e9, 1e9, 400e9),
+				"HugePages": s.gauge("huge/"+n, 1024, 16, 0, 8192),
+			}},
+			MetricSet{Producer: n, Sampler: "vmstat", Timestamp: ts, Metrics: map[string]float64{
+				"pgfault":    s.counter("pgfault/"+n, 1e5),
+				"pgmajfault": s.counter("pgmaj/"+n, 50),
+				"ctxt":       s.counter("ctxt/"+n, 1e6),
+			}},
+			MetricSet{Producer: n, Sampler: "procnetdev", Timestamp: ts, Metrics: map[string]float64{
+				"rx_bytes":   s.counter("rx/"+n, 5e9),
+				"tx_bytes":   s.counter("tx/"+n, 5e9),
+				"rx_dropped": s.counter("rxdrop/"+n, 2),
+			}},
+		)
+	}
+	return out
+}
+
+// Producer pushes metric sets to Kafka.
+type Producer struct {
+	sampler *Sampler
+	broker  *kafka.Broker
+}
+
+// NewProducer creates the topic (tolerating reuse) and returns a producer.
+func NewProducer(sampler *Sampler, broker *kafka.Broker, partitions int) (*Producer, error) {
+	if partitions <= 0 {
+		partitions = 4
+	}
+	if err := broker.CreateTopic(Topic, partitions); err != nil && !errors.Is(err, kafka.ErrTopicExists) {
+		return nil, err
+	}
+	return &Producer{sampler: sampler, broker: broker}, nil
+}
+
+// ProduceOnce samples and produces all sets, returning the count.
+func (p *Producer) ProduceOnce(ts time.Time) (int, error) {
+	sets := p.sampler.Sample(ts)
+	for _, set := range sets {
+		data, err := json.Marshal(set)
+		if err != nil {
+			return 0, err
+		}
+		if _, _, err := p.broker.Produce(Topic, []byte(set.Producer), data, ts); err != nil {
+			return 0, err
+		}
+	}
+	return len(sets), nil
+}
+
+// Run produces on the interval until the context is cancelled.
+func (p *Producer) Run(ctx context.Context, interval time.Duration) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case now := <-t.C:
+			if _, err := p.ProduceOnce(now); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ToSeries converts one raw Kafka record into TSDB appends: metric names
+// are ldms_<sampler>_<metric>, labelled with the producer xname.
+func ToSeries(raw []byte) (name []string, ls []labels.Labels, ms []int64, vals []float64, err error) {
+	var set MetricSet
+	if err := json.Unmarshal(raw, &set); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("ldms: bad record: %w", err)
+	}
+	base := labels.FromStrings("xname", set.Producer, "sampler", set.Sampler)
+	t := set.Timestamp.UnixMilli()
+	for metric, v := range set.Metrics {
+		name = append(name, "ldms_"+set.Sampler+"_"+metric)
+		ls = append(ls, base)
+		ms = append(ms, t)
+		vals = append(vals, v)
+	}
+	return name, ls, ms, vals, nil
+}
+
+// AppendTo decodes a record and appends all its series to the DB,
+// returning how many samples landed.
+func AppendTo(db *tsdb.DB, raw []byte) (int, error) {
+	names, lss, mss, vals, err := ToSeries(raw)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for i := range names {
+		if err := db.AppendMetric(names[i], lss[i], mss[i], vals[i]); err == nil {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,151 @@
+package ldms
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"shastamon/internal/kafka"
+	"shastamon/internal/labels"
+	"shastamon/internal/promql"
+	"shastamon/internal/tsdb"
+)
+
+func TestNewSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(1); err == nil {
+		t.Fatal("no nodes accepted")
+	}
+}
+
+func TestSampleShape(t *testing.T) {
+	s, err := NewSampler(1, "x1000c0s0b0n0", "x1000c0s0b0n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(100, 0).UTC()
+	sets := s.Sample(ts)
+	if len(sets) != 6 { // 2 nodes x 3 samplers
+		t.Fatalf("sets = %d", len(sets))
+	}
+	samplers := map[string]int{}
+	for _, set := range sets {
+		samplers[set.Sampler]++
+		if set.Timestamp != ts || len(set.Metrics) == 0 {
+			t.Fatalf("%+v", set)
+		}
+	}
+	if samplers["meminfo"] != 2 || samplers["vmstat"] != 2 || samplers["procnetdev"] != 2 {
+		t.Fatalf("%v", samplers)
+	}
+}
+
+func TestCountersMonotonic(t *testing.T) {
+	s, _ := NewSampler(2, "n1")
+	var prev float64 = -1
+	for i := 0; i < 10; i++ {
+		sets := s.Sample(time.Unix(int64(i), 0))
+		for _, set := range sets {
+			if set.Sampler != "vmstat" {
+				continue
+			}
+			v := set.Metrics["ctxt"]
+			if v < prev {
+				t.Fatalf("counter regressed: %v < %v", v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() []MetricSet {
+		s, _ := NewSampler(7, "n1", "n2")
+		var out []MetricSet
+		for i := 0; i < 5; i++ {
+			out = append(out, s.Sample(time.Unix(int64(i), 0))...)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Producer != b[i].Producer || a[i].Metrics["MemFree"] != b[i].Metrics["MemFree"] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestProducerToKafkaToTSDB(t *testing.T) {
+	broker := kafka.NewBroker()
+	s, _ := NewSampler(3, "x1000c0s0b0n0")
+	p, err := NewProducer(s, broker, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reusing the broker/topic is fine.
+	if _, err := NewProducer(s, broker, 2); err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(1000, 0).UTC()
+	n, err := p.ProduceOnce(ts)
+	if err != nil || n != 3 {
+		t.Fatalf("%d %v", n, err)
+	}
+	// Consume and land in the TSDB.
+	c := kafka.NewConsumer(broker, "g", "m", Topic)
+	defer c.Close()
+	db := tsdb.New()
+	msgs, err := c.Poll(100, 0)
+	if err != nil || len(msgs) != 3 {
+		t.Fatalf("%d %v", len(msgs), err)
+	}
+	total := 0
+	for _, m := range msgs {
+		k, err := AppendTo(db, m.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += k
+	}
+	if total != 10 { // 4 + 3 + 3 metrics
+		t.Fatalf("samples = %d", total)
+	}
+	eng := promql.NewEngine(db)
+	vec, err := eng.Query(`ldms_meminfo_MemFree`, ts.UnixMilli())
+	if err != nil || len(vec) != 1 {
+		t.Fatalf("%v %v", vec, err)
+	}
+	if vec[0].Labels.Get("xname") != "x1000c0s0b0n0" || vec[0].Labels.Get("sampler") != "meminfo" {
+		t.Fatalf("%v", vec[0].Labels)
+	}
+	// Network counters support rate() after a second round.
+	_, _ = p.ProduceOnce(ts.Add(10 * time.Second))
+	msgs, _ = c.Poll(100, 0)
+	for _, m := range msgs {
+		_, _ = AppendTo(db, m.Value)
+	}
+	vec, err = eng.Query(`rate(ldms_procnetdev_rx_bytes[1m])`, ts.Add(10*time.Second).UnixMilli())
+	if err != nil || len(vec) != 1 || vec[0].V <= 0 {
+		t.Fatalf("rate: %v %v", vec, err)
+	}
+}
+
+func TestAppendToBadRecord(t *testing.T) {
+	if _, err := AppendTo(tsdb.New(), []byte("{")); err == nil {
+		t.Fatal("bad record accepted")
+	}
+}
+
+func TestToSeriesLabels(t *testing.T) {
+	set := MetricSet{Producer: "n1", Sampler: "vmstat", Timestamp: time.Unix(5, 0), Metrics: map[string]float64{"ctxt": 9}}
+	raw, _ := json.Marshal(set)
+	names, lss, mss, vals, err := ToSeries(raw)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("%v %v", names, err)
+	}
+	if names[0] != "ldms_vmstat_ctxt" || vals[0] != 9 || mss[0] != 5000 {
+		t.Fatalf("%v %v %v", names, vals, mss)
+	}
+	if !lss[0].Equal(labels.FromStrings("sampler", "vmstat", "xname", "n1")) {
+		t.Fatalf("%v", lss[0])
+	}
+}

@@ -1,0 +1,388 @@
+package logql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/loki"
+)
+
+// Querier is the storage interface the engine reads from; *loki.Store
+// implements it.
+type Querier interface {
+	Select(sel []*labels.Matcher, mint, maxt int64) ([]loki.SelectedStream, error)
+}
+
+// Sample is one metric query result value.
+type Sample struct {
+	Labels labels.Labels
+	T      int64 // Unix nanoseconds
+	V      float64
+}
+
+// Vector is an instant query result.
+type Vector []Sample
+
+// Point is one (timestamp, value) of a range query series.
+type Point struct {
+	T int64
+	V float64
+}
+
+// Series is a labelled sequence of points.
+type Series struct {
+	Labels labels.Labels
+	Points []Point
+}
+
+// Matrix is a range query result.
+type Matrix []Series
+
+// ResultStream is a log query result: output labels (stream labels plus
+// any parser-extracted ones) and matching entries.
+type ResultStream struct {
+	Labels  labels.Labels
+	Entries []loki.Entry
+}
+
+// Engine evaluates parsed LogQL expressions against a Querier.
+type Engine struct {
+	q Querier
+}
+
+// NewEngine returns an engine reading from q.
+func NewEngine(q Querier) *Engine { return &Engine{q: q} }
+
+// SelectLogs runs a log query over [start, end] (ns, inclusive). Entries
+// are regrouped by their post-pipeline label sets.
+func (e *Engine) SelectLogs(expr *LogExpr, start, end int64) ([]ResultStream, error) {
+	streams, err := e.q.Select(expr.Selector, start, end)
+	if err != nil {
+		return nil, err
+	}
+	groups := map[string]*ResultStream{}
+	var order []string
+	for _, s := range streams {
+		for _, entry := range s.Entries {
+			line, lbls, ok := runPipeline(expr.Stages, entry.Line, s.Labels)
+			if !ok {
+				continue
+			}
+			key := lbls.String()
+			g, exists := groups[key]
+			if !exists {
+				g = &ResultStream{Labels: lbls}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.Entries = append(g.Entries, loki.Entry{Timestamp: entry.Timestamp, Line: line})
+		}
+	}
+	sort.Strings(order)
+	out := make([]ResultStream, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		sort.SliceStable(g.Entries, func(i, j int) bool { return g.Entries[i].Timestamp < g.Entries[j].Timestamp })
+		out = append(out, *g)
+	}
+	return out, nil
+}
+
+// Instant evaluates a metric expression at a single timestamp.
+func (e *Engine) Instant(expr Expr, ts int64) (Vector, error) {
+	switch ex := expr.(type) {
+	case *RangeAggExpr:
+		return e.evalRangeAgg(ex, ts)
+	case *VectorAggExpr:
+		return e.evalVectorAgg(ex, ts)
+	case *CmpExpr:
+		inner, err := e.Instant(ex.Inner, ts)
+		if err != nil {
+			return nil, err
+		}
+		out := inner[:0]
+		for _, s := range inner {
+			if ex.Op.apply(s.V, ex.Threshold) {
+				out = append(out, s)
+			}
+		}
+		return out, nil
+	case *LogExpr:
+		return nil, fmt.Errorf("logql: %q is a log query; use SelectLogs", ex)
+	default:
+		return nil, fmt.Errorf("logql: unsupported expression %T", expr)
+	}
+}
+
+// Range evaluates a metric expression over [start, end] at the given step,
+// producing one series per distinct label set.
+func (e *Engine) Range(expr Expr, start, end int64, step time.Duration) (Matrix, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("logql: step must be positive")
+	}
+	seriesByKey := map[string]*Series{}
+	var order []string
+	for ts := start; ts <= end; ts += int64(step) {
+		vec, err := e.Instant(expr, ts)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range vec {
+			key := s.Labels.String()
+			sr, ok := seriesByKey[key]
+			if !ok {
+				sr = &Series{Labels: s.Labels}
+				seriesByKey[key] = sr
+				order = append(order, key)
+			}
+			sr.Points = append(sr.Points, Point{T: ts, V: s.V})
+		}
+	}
+	sort.Strings(order)
+	m := make(Matrix, 0, len(order))
+	for _, key := range order {
+		m = append(m, *seriesByKey[key])
+	}
+	return m, nil
+}
+
+func (e *Engine) evalRangeAgg(ex *RangeAggExpr, ts int64) (Vector, error) {
+	mint := ts - int64(ex.Interval) + 1
+	maxt := ts
+	streams, err := e.q.Select(ex.Log.Selector, mint, maxt)
+	if err != nil {
+		return nil, err
+	}
+	type acc struct {
+		labels labels.Labels
+		count  float64
+		bytes  float64
+		sum    float64
+		min    float64
+		max    float64
+		vals   float64 // count of unwrapped values
+	}
+	groups := map[string]*acc{}
+	var order []string
+	total := 0
+	for _, s := range streams {
+		for _, entry := range s.Entries {
+			line, lbls, ok := runPipeline(ex.Log.Stages, entry.Line, s.Labels)
+			if !ok {
+				continue
+			}
+			total++
+			var val float64
+			hasVal := false
+			if ex.Unwrap != "" {
+				v, err := strconv.ParseFloat(lbls.Get(ex.Unwrap), 64)
+				if err != nil {
+					continue // skip entries whose unwrap label is not numeric
+				}
+				val, hasVal = v, true
+				lbls = lbls.Without(ex.Unwrap)
+			}
+			key := lbls.String()
+			g, exists := groups[key]
+			if !exists {
+				g = &acc{labels: lbls}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.count++
+			g.bytes += float64(len(line))
+			if hasVal {
+				if g.vals == 0 || val < g.min {
+					g.min = val
+				}
+				if g.vals == 0 || val > g.max {
+					g.max = val
+				}
+				g.sum += val
+				g.vals++
+			}
+		}
+	}
+	if ex.Op == OpAbsentOverTime {
+		if total > 0 {
+			return nil, nil
+		}
+		// Absent vector carries the equality matchers as labels, like PromQL.
+		b := labels.NewBuilder(nil)
+		for _, m := range ex.Log.Selector {
+			if m.Type == labels.MatchEqual {
+				b.Set(m.Name, m.Value)
+			}
+		}
+		return Vector{{Labels: b.Labels(), T: ts, V: 1}}, nil
+	}
+	secs := ex.Interval.Seconds()
+	sort.Strings(order)
+	out := make(Vector, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		var v float64
+		switch ex.Op {
+		case OpCountOverTime:
+			v = g.count
+		case OpRate:
+			v = g.count / secs
+		case OpBytesOverTime:
+			v = g.bytes
+		case OpBytesRate:
+			v = g.bytes / secs
+		case OpSumOverTime:
+			if g.vals == 0 {
+				continue
+			}
+			v = g.sum
+		case OpAvgOverTime:
+			if g.vals == 0 {
+				continue
+			}
+			v = g.sum / g.vals
+		case OpMaxOverTime:
+			if g.vals == 0 {
+				continue
+			}
+			v = g.max
+		case OpMinOverTime:
+			if g.vals == 0 {
+				continue
+			}
+			v = g.min
+		default:
+			return nil, fmt.Errorf("logql: unsupported range op %q", ex.Op)
+		}
+		out = append(out, Sample{Labels: g.labels, T: ts, V: v})
+	}
+	return out, nil
+}
+
+func (e *Engine) evalVectorAgg(ex *VectorAggExpr, ts int64) (Vector, error) {
+	inner, err := e.Instant(ex.Inner, ts)
+	if err != nil {
+		return nil, err
+	}
+	groupLabels := func(ls labels.Labels) labels.Labels {
+		if ex.Without {
+			return ls.Without(ex.Grouping...)
+		}
+		if len(ex.Grouping) == 0 {
+			return nil
+		}
+		return ls.Keep(ex.Grouping...)
+	}
+	if ex.Op == "topk" || ex.Op == "bottomk" {
+		return evalTopK(ex, inner, groupLabels), nil
+	}
+	type acc struct {
+		labels labels.Labels
+		sum    float64
+		min    float64
+		max    float64
+		count  float64
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, s := range inner {
+		gl := groupLabels(s.Labels)
+		key := gl.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &acc{labels: gl, min: s.V, max: s.V}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.sum += s.V
+		g.count++
+		if s.V < g.min {
+			g.min = s.V
+		}
+		if s.V > g.max {
+			g.max = s.V
+		}
+	}
+	sort.Strings(order)
+	out := make(Vector, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		var v float64
+		switch ex.Op {
+		case "sum":
+			v = g.sum
+		case "min":
+			v = g.min
+		case "max":
+			v = g.max
+		case "avg":
+			v = g.sum / g.count
+		case "count":
+			v = g.count
+		default:
+			return nil, fmt.Errorf("logql: unsupported aggregation %q", ex.Op)
+		}
+		out = append(out, Sample{Labels: g.labels, T: ts, V: v})
+	}
+	return out, nil
+}
+
+func evalTopK(ex *VectorAggExpr, inner Vector, groupLabels func(labels.Labels) labels.Labels) Vector {
+	// Samples keep their original labels; k applies per group.
+	groups := map[string][]Sample{}
+	var order []string
+	for _, s := range inner {
+		key := groupLabels(s.Labels).String()
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], s)
+	}
+	sort.Strings(order)
+	var out Vector
+	for _, key := range order {
+		ss := groups[key]
+		sort.SliceStable(ss, func(i, j int) bool {
+			if ex.Op == "topk" {
+				return ss[i].V > ss[j].V
+			}
+			return ss[i].V < ss[j].V
+		})
+		k := ex.Param
+		if k > len(ss) {
+			k = len(ss)
+		}
+		out = append(out, ss[:k]...)
+	}
+	return out
+}
+
+// QueryLogs parses and runs a log query.
+func (e *Engine) QueryLogs(q string, start, end int64) ([]ResultStream, error) {
+	expr, err := ParseLogExpr(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.SelectLogs(expr, start, end)
+}
+
+// QueryInstant parses and runs a metric query at ts.
+func (e *Engine) QueryInstant(q string, ts int64) (Vector, error) {
+	expr, err := ParseMetricExpr(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Instant(expr, ts)
+}
+
+// QueryRange parses and runs a metric query over a range.
+func (e *Engine) QueryRange(q string, start, end int64, step time.Duration) (Matrix, error) {
+	expr, err := ParseMetricExpr(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Range(expr, start, end, step)
+}

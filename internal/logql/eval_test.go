@@ -1,0 +1,376 @@
+package logql
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/loki"
+)
+
+func newTestStore(t *testing.T) *loki.Store {
+	t.Helper()
+	return loki.NewStore(loki.DefaultLimits())
+}
+
+func mustPush(t *testing.T, s *loki.Store, ls labels.Labels, entries ...loki.Entry) {
+	t.Helper()
+	if err := s.Push([]loki.PushStream{{Labels: ls, Entries: entries}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const leakLine = `{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected","Message":"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."}`
+
+func TestSelectLogsWithFilter(t *testing.T) {
+	s := newTestStore(t)
+	ls := labels.FromStrings("data_type", "redfish_event", "cluster", "perlmutter")
+	mustPush(t, s, ls,
+		loki.Entry{Timestamp: 1e9, Line: leakLine},
+		loki.Entry{Timestamp: 2e9, Line: `{"Severity":"OK","MessageId":"CrayAlerts.1.0.Telemetry","Message":"nominal"}`},
+	)
+	eng := NewEngine(s)
+	got, err := eng.QueryLogs(`{data_type="redfish_event"} |= "CabinetLeakDetected"`, 0, 3e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Entries) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSelectLogsJSONRegroups(t *testing.T) {
+	s := newTestStore(t)
+	ls := labels.FromStrings("data_type", "redfish_event")
+	mustPush(t, s, ls,
+		loki.Entry{Timestamp: 1, Line: `{"Severity":"Warning"}`},
+		loki.Entry{Timestamp: 2, Line: `{"Severity":"Critical"}`},
+	)
+	eng := NewEngine(s)
+	got, err := eng.QueryLogs(`{data_type="redfish_event"} | json`, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("expected 2 output streams, got %d", len(got))
+	}
+}
+
+// Reproduces the paper's Fig. 5: the query result "increases from zero to
+// one" at the event time and stays 1 for the 60-minute window.
+func TestPaperFig5CountOverTime(t *testing.T) {
+	s := newTestStore(t)
+	// Event at 2022-03-03T01:47:57Z = the paper's leak event.
+	eventTS := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC).UnixNano()
+	ls := labels.FromStrings("Context", "x1203c1b0", "cluster", "perlmutter", "data_type", "redfish_event")
+	mustPush(t, s, ls, loki.Entry{Timestamp: eventTS, Line: leakLine})
+
+	eng := NewEngine(s)
+	q := `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (severity, cluster, context, message_id, message)`
+
+	// Before the event: zero (empty vector).
+	vec, err := eng.QueryInstant(q, eventTS-int64(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 0 {
+		t.Fatalf("pre-event vector: %+v", vec)
+	}
+	// Right at and within 60m after the event: exactly 1.
+	for _, dt := range []time.Duration{0, 30 * time.Minute, 59 * time.Minute} {
+		vec, err = eng.QueryInstant(q, eventTS+int64(dt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vec) != 1 || vec[0].V != 1 {
+			t.Fatalf("at +%v: %+v", dt, vec)
+		}
+		if vec[0].Labels.Get("severity") != "Warning" || vec[0].Labels.Get("message_id") != "CrayAlerts.1.0.CabinetLeakDetected" {
+			t.Fatalf("labels: %v", vec[0].Labels)
+		}
+	}
+	// After the window the count returns to zero.
+	vec, err = eng.QueryInstant(q, eventTS+int64(61*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 0 {
+		t.Fatalf("post-window vector: %+v", vec)
+	}
+}
+
+// Multiple leaks from different locations return one vector per label set
+// (paper: "Loki returns multiple vectors with different labels").
+func TestFig5MultipleLocations(t *testing.T) {
+	s := newTestStore(t)
+	for i, ctx := range []string{"x1203c1b0", "x1102c4s0b0"} {
+		ls := labels.FromStrings("Context", ctx, "cluster", "perlmutter", "data_type", "redfish_event")
+		mustPush(t, s, ls, loki.Entry{Timestamp: int64(i+1) * 1e9, Line: leakLine})
+	}
+	eng := NewEngine(s)
+	q := `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (Context)`
+	vec, err := eng.QueryInstant(q, int64(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 2 {
+		t.Fatalf("vectors: %+v", vec)
+	}
+}
+
+// Reproduces the paper's Fig. 8 pipeline: pattern-extracted labels drive
+// the grouping and a >0 threshold gates the alert.
+func TestPaperFig8SwitchOffline(t *testing.T) {
+	s := newTestStore(t)
+	ls := labels.FromStrings("app", "fabric_manager_monitor", "cluster", "perlmutter")
+	line := "[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN"
+	mustPush(t, s, ls, loki.Entry{Timestamp: 1e9, Line: line})
+
+	eng := NewEngine(s)
+	q := `sum(count_over_time({app="fabric_manager_monitor"} |= "fm_switch_offline" | pattern "[<severity>] problem:<problem>, xname:<xname>, state:<state>" [5m])) by (severity, problem, xname, state) > 0`
+	vec, err := eng.QueryInstant(q, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 {
+		t.Fatalf("vec: %+v", vec)
+	}
+	lbls := vec[0].Labels
+	if lbls.Get("xname") != "x1002c1r7b0" || lbls.Get("state") != "UNKNOWN" || lbls.Get("severity") != "critical" {
+		t.Fatalf("labels: %v", lbls)
+	}
+}
+
+func TestRateAndBytes(t *testing.T) {
+	s := newTestStore(t)
+	ls := labels.FromStrings("app", "x")
+	for i := 1; i <= 60; i++ {
+		mustPush(t, s, ls, loki.Entry{Timestamp: int64(i) * 1e9, Line: "0123456789"})
+	}
+	eng := NewEngine(s)
+	ts := int64(60 * 1e9)
+	vec, err := eng.QueryInstant(`rate({app="x"}[60s])`, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window is (ts-60s, ts] = (0,60]: all 60 entries → 60/60s = 1/s.
+	if len(vec) != 1 || vec[0].V != 1 {
+		t.Fatalf("rate: %+v", vec)
+	}
+	vec, err = eng.QueryInstant(`bytes_over_time({app="x"}[60s])`, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0].V != 600 {
+		t.Fatalf("bytes: %+v", vec)
+	}
+	vec, err = eng.QueryInstant(`bytes_rate({app="x"}[60s])`, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[0].V != 10 {
+		t.Fatalf("bytes_rate: %+v", vec)
+	}
+}
+
+func TestAbsentOverTime(t *testing.T) {
+	s := newTestStore(t)
+	eng := NewEngine(s)
+	vec, err := eng.QueryInstant(`absent_over_time({app="ghost"}[5m])`, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 || vec[0].V != 1 || vec[0].Labels.Get("app") != "ghost" {
+		t.Fatalf("absent: %+v", vec)
+	}
+	mustPush(t, s, labels.FromStrings("app", "ghost"), loki.Entry{Timestamp: 1e9, Line: "boo"})
+	vec, err = eng.QueryInstant(`absent_over_time({app="ghost"}[5m])`, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 0 {
+		t.Fatalf("absent with data: %+v", vec)
+	}
+}
+
+func TestUnwrapAggregations(t *testing.T) {
+	s := newTestStore(t)
+	ls := labels.FromStrings("app", "gpfs")
+	for i, v := range []string{"10", "20", "30", "garbage"} {
+		mustPush(t, s, ls, loki.Entry{Timestamp: int64(i+1) * 1e9, Line: fmt.Sprintf("latency_ms=%s op=write", v)})
+	}
+	eng := NewEngine(s)
+	cases := map[string]float64{
+		`sum_over_time({app="gpfs"} | logfmt | unwrap latency_ms [1m])`: 60,
+		`avg_over_time({app="gpfs"} | logfmt | unwrap latency_ms [1m])`: 20,
+		`max_over_time({app="gpfs"} | logfmt | unwrap latency_ms [1m])`: 30,
+		`min_over_time({app="gpfs"} | logfmt | unwrap latency_ms [1m])`: 10,
+	}
+	for q, want := range cases {
+		vec, err := eng.QueryInstant(q, int64(time.Minute))
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(vec) != 1 || vec[0].V != want {
+			t.Fatalf("%s: got %+v want %g", q, vec, want)
+		}
+		if vec[0].Labels.Has("latency_ms") {
+			t.Fatalf("unwrap label kept: %v", vec[0].Labels)
+		}
+	}
+}
+
+func TestVectorAggregations(t *testing.T) {
+	s := newTestStore(t)
+	for i := 0; i < 3; i++ {
+		ls := labels.FromStrings("node", fmt.Sprintf("n%d", i), "zone", "a")
+		for j := 0; j <= i; j++ {
+			mustPush(t, s, ls, loki.Entry{Timestamp: int64(j + 1), Line: "e"})
+		}
+	}
+	eng := NewEngine(s)
+	cases := map[string]float64{
+		`sum(count_over_time({zone="a"}[1m]))`:   6,
+		`min(count_over_time({zone="a"}[1m]))`:   1,
+		`max(count_over_time({zone="a"}[1m]))`:   3,
+		`avg(count_over_time({zone="a"}[1m]))`:   2,
+		`count(count_over_time({zone="a"}[1m]))`: 3,
+	}
+	for q, want := range cases {
+		vec, err := eng.QueryInstant(q, int64(time.Minute))
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(vec) != 1 || vec[0].V != want {
+			t.Fatalf("%s: got %+v want %g", q, vec, want)
+		}
+		if len(vec[0].Labels) != 0 {
+			t.Fatalf("%s: ungrouped agg should drop labels: %v", q, vec[0].Labels)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	s := newTestStore(t)
+	for i := 0; i < 4; i++ {
+		ls := labels.FromStrings("node", fmt.Sprintf("n%d", i))
+		for j := 0; j <= i; j++ {
+			mustPush(t, s, ls, loki.Entry{Timestamp: int64(j + 1), Line: "e"})
+		}
+	}
+	eng := NewEngine(s)
+	vec, err := eng.QueryInstant(`topk(2, count_over_time({}[1m]))`, int64(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 2 || vec[0].V != 4 || vec[1].V != 3 {
+		t.Fatalf("topk: %+v", vec)
+	}
+	vec, err = eng.QueryInstant(`bottomk(1, count_over_time({}[1m]))`, int64(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 || vec[0].V != 1 {
+		t.Fatalf("bottomk: %+v", vec)
+	}
+}
+
+func TestRangeQueryMatrix(t *testing.T) {
+	s := newTestStore(t)
+	ls := labels.FromStrings("app", "x")
+	// one event at t=100s
+	mustPush(t, s, ls, loki.Entry{Timestamp: 100e9, Line: "boom"})
+	eng := NewEngine(s)
+	m, err := eng.QueryRange(`sum(count_over_time({app="x"}[60s]))`, 0, 300e9, 50*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 {
+		t.Fatalf("matrix: %+v", m)
+	}
+	// Steps: 0,50,100,150,200,250,300. Window 60s: counts at 100 and 150.
+	got := map[int64]float64{}
+	for _, p := range m[0].Points {
+		got[p.T/1e9] = p.V
+	}
+	if got[100] != 1 || got[150] != 1 {
+		t.Fatalf("points: %+v", m[0].Points)
+	}
+	if _, ok := got[200]; ok {
+		t.Fatalf("window leak: %+v", m[0].Points)
+	}
+}
+
+func TestCmpFilters(t *testing.T) {
+	s := newTestStore(t)
+	mustPush(t, s, labels.FromStrings("n", "1"), loki.Entry{Timestamp: 1, Line: "e"})
+	mustPush(t, s, labels.FromStrings("n", "2"), loki.Entry{Timestamp: 1, Line: "e"}, loki.Entry{Timestamp: 2, Line: "e"})
+	eng := NewEngine(s)
+	vec, err := eng.QueryInstant(`count_over_time({}[1m]) > 1`, int64(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 || vec[0].Labels.Get("n") != "2" {
+		t.Fatalf("cmp: %+v", vec)
+	}
+	vec, _ = eng.QueryInstant(`count_over_time({}[1m]) == 1`, int64(time.Minute))
+	if len(vec) != 1 || vec[0].Labels.Get("n") != "1" {
+		t.Fatalf("==: %+v", vec)
+	}
+}
+
+func TestInstantOnLogExprFails(t *testing.T) {
+	eng := NewEngine(newTestStore(t))
+	expr, err := ParseExpr(`{a="b"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Instant(expr, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRangeBadStep(t *testing.T) {
+	eng := NewEngine(newTestStore(t))
+	if _, err := eng.QueryRange(`count_over_time({}[1m])`, 0, 10, 0); err == nil {
+		t.Fatal("expected error on zero step")
+	}
+}
+
+func BenchmarkCountOverTimeFilterOnly(b *testing.B) {
+	benchQuery(b, `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" [60m]))`)
+}
+
+func BenchmarkCountOverTimeJSON(b *testing.B) {
+	benchQuery(b, `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (severity, message_id)`)
+}
+
+func BenchmarkCountOverTimePattern(b *testing.B) {
+	benchQuery(b, `sum(count_over_time({data_type="redfish_event"} |~ "Leak" | pattern "{\"Severity\":\"<severity>\",<_>" [60m])) by (severity)`)
+}
+
+func benchQuery(b *testing.B, q string) {
+	s := loki.NewStore(loki.DefaultLimits())
+	ls := labels.FromStrings("data_type", "redfish_event", "cluster", "perlmutter")
+	entries := make([]loki.Entry, 10000)
+	for i := range entries {
+		entries[i] = loki.Entry{Timestamp: int64(i) * 1e6, Line: leakLine}
+	}
+	if err := s.Push([]loki.PushStream{{Labels: ls, Entries: entries}}); err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(s)
+	expr, err := ParseMetricExpr(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vec, err := eng.Instant(expr, int64(time.Hour))
+		if err != nil || len(vec) == 0 {
+			b.Fatalf("vec=%v err=%v", vec, err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package logql
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/loki"
+)
+
+type lokiResp struct {
+	Status string `json:"status"`
+	Error  string `json:"error"`
+	Data   struct {
+		ResultType string          `json:"resultType"`
+		Result     json.RawMessage `json:"result"`
+	} `json:"data"`
+}
+
+func getJSON(t *testing.T, url string) (int, lokiResp) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out lokiResp
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPInstantQuery(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	ls := labels.FromStrings("app", "x")
+	_ = store.Push([]loki.PushStream{{Labels: ls, Entries: []loki.Entry{{Timestamp: 1e9, Line: "event"}}}})
+	srv := httptest.NewServer(NewEngine(store).Handler())
+	defer srv.Close()
+
+	code, out := getJSON(t, fmt.Sprintf(`%s/loki/api/v1/query?query=%s&time=%d`,
+		srv.URL, `count_over_time({app="x"}[1m])`, int64(time.Minute)))
+	if code != 200 || out.Status != "success" || out.Data.ResultType != "vector" {
+		t.Fatalf("%d %+v", code, out)
+	}
+	var result []struct {
+		Metric map[string]string `json:"metric"`
+		Value  [2]interface{}    `json:"value"`
+	}
+	_ = json.Unmarshal(out.Data.Result, &result)
+	if len(result) != 1 || result[0].Value[1] != "1" {
+		t.Fatalf("%+v", result)
+	}
+
+	// Log expression on the instant endpoint: 400.
+	code, _ = getJSON(t, srv.URL+`/loki/api/v1/query?query={app="x"}`)
+	if code != 400 {
+		t.Fatalf("log query accepted: %d", code)
+	}
+}
+
+func TestHTTPQueryRangeStreams(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	ls := labels.FromStrings("app", "fabric_manager_monitor")
+	_ = store.Push([]loki.PushStream{{Labels: ls, Entries: []loki.Entry{
+		{Timestamp: 1e9, Line: "[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN"},
+	}}})
+	srv := httptest.NewServer(NewEngine(store).Handler())
+	defer srv.Close()
+
+	code, out := getJSON(t, srv.URL+`/loki/api/v1/query_range?query={app="fabric_manager_monitor"}&start=0&end=2000000000`)
+	if code != 200 || out.Data.ResultType != "streams" {
+		t.Fatalf("%d %+v", code, out)
+	}
+	var result []struct {
+		Stream map[string]string `json:"stream"`
+		Values [][2]string       `json:"values"`
+	}
+	_ = json.Unmarshal(out.Data.Result, &result)
+	if len(result) != 1 || len(result[0].Values) != 1 || result[0].Values[0][0] != "1000000000" {
+		t.Fatalf("%+v", result)
+	}
+}
+
+func TestHTTPQueryRangeMatrix(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	ls := labels.FromStrings("app", "x")
+	_ = store.Push([]loki.PushStream{{Labels: ls, Entries: []loki.Entry{{Timestamp: 30e9, Line: "e"}}}})
+	srv := httptest.NewServer(NewEngine(store).Handler())
+	defer srv.Close()
+
+	code, out := getJSON(t, fmt.Sprintf(`%s/loki/api/v1/query_range?query=%s&start=0&end=%d&step=30`,
+		srv.URL, `sum(count_over_time({app="x"}[1m]))`, int64(2*time.Minute)))
+	if code != 200 || out.Data.ResultType != "matrix" {
+		t.Fatalf("%d %+v", code, out)
+	}
+}
+
+func TestHTTPQueryErrors(t *testing.T) {
+	srv := httptest.NewServer(NewEngine(loki.NewStore(loki.DefaultLimits())).Handler())
+	defer srv.Close()
+	code, out := getJSON(t, srv.URL+`/loki/api/v1/query?query={{{`)
+	if code != 400 || out.Status != "error" {
+		t.Fatalf("%d %+v", code, out)
+	}
+	code, _ = getJSON(t, srv.URL+`/loki/api/v1/query?query=rate({a="b"}[1m])&time=abc`)
+	if code != 400 {
+		t.Fatalf("bad time accepted: %d", code)
+	}
+	code, _ = getJSON(t, srv.URL+`/loki/api/v1/query_range?query=rate({a="b"}[1m])&step=-1`)
+	if code != 400 {
+		t.Fatalf("bad step accepted: %d", code)
+	}
+}

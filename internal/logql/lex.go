@@ -1,0 +1,308 @@
+// Package logql implements the subset of Grafana Loki's LogQL query
+// language used throughout the paper: stream selectors, line filters,
+// parser stages (json, logfmt, pattern, regexp), label filters, formatting
+// stages, range aggregations over log selections (count_over_time, rate,
+// bytes_over_time, ...) and vector aggregations (sum by (...), ...), plus
+// threshold comparisons used in alerting rules.
+//
+// The package is split into a hand-written lexer (this file), a recursive
+// descent parser (parse.go), pipeline stages (stages.go) and a query
+// engine (eval.go).
+package logql
+
+import (
+	"fmt"
+	"strings"
+	"time"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokDuration
+	tokLBrace    // {
+	tokRBrace    // }
+	tokLParen    // (
+	tokRParen    // )
+	tokLBracket  // [
+	tokRBracket  // ]
+	tokComma     // ,
+	tokPipe      // |
+	tokPipeExact // |=
+	tokPipeMatch // |~
+	tokNeq       // !=
+	tokNre       // !~
+	tokEq        // =
+	tokRe        // =~
+	tokGt        // >
+	tokGte       // >=
+	tokLt        // <
+	tokLte       // <=
+	tokEqEq      // ==
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF: "EOF", tokIdent: "identifier", tokString: "string",
+	tokNumber: "number", tokDuration: "duration",
+	tokLBrace: "{", tokRBrace: "}", tokLParen: "(", tokRParen: ")",
+	tokLBracket: "[", tokRBracket: "]", tokComma: ",",
+	tokPipe: "|", tokPipeExact: "|=", tokPipeMatch: "|~",
+	tokNeq: "!=", tokNre: "!~", tokEq: "=", tokRe: "=~",
+	tokGt: ">", tokGte: ">=", tokLt: "<", tokLte: "<=", tokEqEq: "==",
+}
+
+func (k tokKind) String() string {
+	if n, ok := tokNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer tokenises a LogQL expression. Durations are recognised as a number
+// immediately followed by a unit letter; plain numbers stay numbers.
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+}
+
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	return fmt.Errorf("logql: lex error at %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch c {
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case '|':
+		l.pos++
+		if l.pos < len(l.input) {
+			switch l.input[l.pos] {
+			case '=':
+				l.pos++
+				return token{tokPipeExact, "|=", start}, nil
+			case '~':
+				l.pos++
+				return token{tokPipeMatch, "|~", start}, nil
+			}
+		}
+		return token{tokPipe, "|", start}, nil
+	case '!':
+		l.pos++
+		if l.pos < len(l.input) {
+			switch l.input[l.pos] {
+			case '=':
+				l.pos++
+				return token{tokNeq, "!=", start}, nil
+			case '~':
+				l.pos++
+				return token{tokNre, "!~", start}, nil
+			}
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case '=':
+		l.pos++
+		if l.pos < len(l.input) {
+			switch l.input[l.pos] {
+			case '~':
+				l.pos++
+				return token{tokRe, "=~", start}, nil
+			case '=':
+				l.pos++
+				return token{tokEqEq, "==", start}, nil
+			}
+		}
+		return token{tokEq, "=", start}, nil
+	case '>':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{tokGte, ">=", start}, nil
+		}
+		return token{tokGt, ">", start}, nil
+	case '<':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{tokLte, "<=", start}, nil
+		}
+		return token{tokLt, "<", start}, nil
+	case '"', '\'', '`':
+		return l.lexString(c)
+	}
+	if c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.input) && isDigit(l.input[l.pos+1]) {
+		return l.lexNumberOrDuration()
+	}
+	if isIdentStart(c) {
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.input[start:l.pos], start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", c)
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == quote:
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		case c == '\\' && quote != '`' && l.pos+1 < len(l.input):
+			l.pos++
+			esc := l.input[l.pos]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"', '\'', '`':
+				b.WriteByte(esc)
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(esc)
+			}
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string")
+}
+
+func (l *lexer) lexNumberOrDuration() (token, error) {
+	start := l.pos
+	for l.pos < len(l.input) && (isDigit(l.input[l.pos]) || l.input[l.pos] == '.') {
+		l.pos++
+	}
+	// A trailing unit letter turns the number into a duration; durations may
+	// chain units (e.g. 1h30m).
+	if l.pos < len(l.input) && isDurationUnit(l.input[l.pos]) {
+		for l.pos < len(l.input) && (isDigit(l.input[l.pos]) || l.input[l.pos] == '.' || isDurationUnit(l.input[l.pos])) {
+			l.pos++
+		}
+		text := l.input[start:l.pos]
+		if _, err := parseDuration(text); err != nil {
+			return token{}, l.errf(start, "bad duration %q: %v", text, err)
+		}
+		return token{tokDuration, text, start}, nil
+	}
+	return token{tokNumber, l.input[start:l.pos], start}, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }
+func isDurationUnit(c byte) bool {
+	switch c {
+	case 's', 'm', 'h', 'd', 'w', 'u', 'n':
+		return true
+	}
+	return false
+}
+
+// parseDuration extends time.ParseDuration with d (days) and w (weeks)
+// units, which PromQL/LogQL allow.
+func parseDuration(s string) (time.Duration, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return d, nil
+	}
+	// Expand d and w manually: scan number+unit pairs.
+	var total time.Duration
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && (isDigit(s[j]) || s[j] == '.') {
+			j++
+		}
+		if j == i || j >= len(s) {
+			return 0, fmt.Errorf("invalid duration %q", s)
+		}
+		numStr := s[i:j]
+		unitEnd := j + 1
+		// time units can be two chars: ms, us, ns
+		if unitEnd < len(s) && s[j] != 'd' && s[j] != 'w' && s[unitEnd] == 's' {
+			unitEnd++
+		}
+		unit := s[j:unitEnd]
+		var mult time.Duration
+		switch unit {
+		case "d":
+			mult = 24 * time.Hour
+		case "w":
+			mult = 7 * 24 * time.Hour
+		default:
+			d, err := time.ParseDuration(numStr + unit)
+			if err != nil {
+				return 0, err
+			}
+			total += d
+			i = unitEnd
+			continue
+		}
+		var whole float64
+		if _, err := fmt.Sscanf(numStr, "%g", &whole); err != nil {
+			return 0, fmt.Errorf("invalid duration %q", s)
+		}
+		total += time.Duration(whole * float64(mult))
+		i = unitEnd
+	}
+	return total, nil
+}

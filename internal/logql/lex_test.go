@@ -1,0 +1,112 @@
+package logql
+
+import (
+	"testing"
+	"time"
+)
+
+func kinds(toks []token) []tokKind {
+	out := make([]tokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexSelector(t *testing.T) {
+	toks, err := lex(`{app="fm", x!~"y.*"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{tokLBrace, tokIdent, tokEq, tokString, tokComma, tokIdent, tokNre, tokString, tokRBrace, tokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tok %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+	if toks[3].text != "fm" {
+		t.Fatalf("string text %q", toks[3].text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lex(`|= != |~ !~ | > >= < <= == = =~`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{tokPipeExact, tokNeq, tokPipeMatch, tokNre, tokPipe, tokGt, tokGte, tokLt, tokLte, tokEqEq, tokEq, tokRe, tokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tok %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexDurationVsNumber(t *testing.T) {
+	toks, err := lex(`[60m] 5 2.5 1h30m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tokDuration || toks[1].text != "60m" {
+		t.Fatalf("60m: %v %q", toks[1].kind, toks[1].text)
+	}
+	if toks[3].kind != tokNumber || toks[4].kind != tokNumber {
+		t.Fatal("numbers mislexed")
+	}
+	if toks[5].kind != tokDuration || toks[5].text != "1h30m" {
+		t.Fatalf("1h30m: %v %q", toks[5].kind, toks[5].text)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lex(`"a\"b" 'c\'d' ` + "`raw\\n`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != `a"b` {
+		t.Fatalf("dq: %q", toks[0].text)
+	}
+	if toks[1].text != `c'd` {
+		t.Fatalf("sq: %q", toks[1].text)
+	}
+	if toks[2].text != `raw\n` {
+		t.Fatalf("raw: %q", toks[2].text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, in := range []string{`"unterminated`, `#`, `!x`} {
+		if _, err := lex(in); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestParseDurationExtended(t *testing.T) {
+	cases := map[string]time.Duration{
+		"60m":   60 * time.Minute,
+		"1h30m": 90 * time.Minute,
+		"2d":    48 * time.Hour,
+		"1w":    7 * 24 * time.Hour,
+		"500ms": 500 * time.Millisecond,
+		"1d12h": 36 * time.Hour,
+	}
+	for in, want := range cases {
+		got, err := parseDuration(in)
+		if err != nil {
+			t.Errorf("%s: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: got %v want %v", in, got, want)
+		}
+	}
+	if _, err := parseDuration("xx"); err == nil {
+		t.Error("bad duration accepted")
+	}
+}

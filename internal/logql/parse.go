@@ -1,0 +1,496 @@
+package logql
+
+import (
+	"fmt"
+	"strconv"
+
+	"shastamon/internal/labels"
+)
+
+var rangeOps = map[string]RangeOp{
+	"count_over_time":  OpCountOverTime,
+	"rate":             OpRate,
+	"bytes_over_time":  OpBytesOverTime,
+	"bytes_rate":       OpBytesRate,
+	"absent_over_time": OpAbsentOverTime,
+	"sum_over_time":    OpSumOverTime,
+	"avg_over_time":    OpAvgOverTime,
+	"max_over_time":    OpMaxOverTime,
+	"min_over_time":    OpMinOverTime,
+}
+
+var vectorOps = map[string]bool{
+	"sum": true, "min": true, "max": true, "avg": true, "count": true,
+	"topk": true, "bottomk": true,
+}
+
+// unwrapOps require an unwrap stage in the inner log pipeline.
+var unwrapOps = map[RangeOp]bool{
+	OpSumOverTime: true, OpAvgOverTime: true, OpMaxOverTime: true, OpMinOverTime: true,
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// ParseExpr parses a complete LogQL expression — either a log query or a
+// metric query (range/vector aggregation with optional threshold).
+func ParseExpr(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf(t, "unexpected trailing %s %q", t.kind, t.text)
+	}
+	return e, nil
+}
+
+// ParseLogExpr parses an expression that must be a plain log query.
+func ParseLogExpr(input string) (*LogExpr, error) {
+	e, err := ParseExpr(input)
+	if err != nil {
+		return nil, err
+	}
+	le, ok := e.(*LogExpr)
+	if !ok {
+		return nil, fmt.Errorf("logql: %q is a metric query, not a log query", input)
+	}
+	return le, nil
+}
+
+// ParseMetricExpr parses an expression that must be a metric query.
+func ParseMetricExpr(input string) (MetricExpr, error) {
+	e, err := ParseExpr(input)
+	if err != nil {
+		return nil, err
+	}
+	me, ok := e.(MetricExpr)
+	if !ok {
+		return nil, fmt.Errorf("logql: %q is a log query, not a metric query", input)
+	}
+	return me, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) backup()     { p.pos-- }
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("logql: parse error at %d in %q: %s", t.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, got %s %q", k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokLBrace:
+		return p.parseLogExpr()
+	case t.kind == tokIdent:
+		me, err := p.parseMetric()
+		if err != nil {
+			return nil, err
+		}
+		return p.maybeComparison(me)
+	default:
+		return nil, p.errf(t, "expected '{' or aggregation, got %s %q", t.kind, t.text)
+	}
+}
+
+func (p *parser) maybeComparison(me MetricExpr) (Expr, error) {
+	var op CmpOp
+	switch p.peek().kind {
+	case tokGt:
+		op = CmpGT
+	case tokGte:
+		op = CmpGTE
+	case tokLt:
+		op = CmpLT
+	case tokLte:
+		op = CmpLTE
+	case tokEqEq:
+		op = CmpEQ
+	case tokNeq:
+		op = CmpNE
+	default:
+		return me, nil
+	}
+	p.next()
+	numTok, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.ParseFloat(numTok.text, 64)
+	if err != nil {
+		return nil, p.errf(numTok, "bad number: %v", err)
+	}
+	return &CmpExpr{Inner: me, Op: op, Threshold: v}, nil
+}
+
+func (p *parser) parseMetric() (MetricExpr, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := rangeOps[t.text]; ok {
+		return p.parseRangeAgg(op)
+	}
+	if vectorOps[t.text] {
+		return p.parseVectorAgg(t.text)
+	}
+	return nil, p.errf(t, "unknown function %q", t.text)
+}
+
+// parseRangeAgg parses op '(' logExpr [| unwrap lbl] '[' dur ']' ')'.
+func (p *parser) parseRangeAgg(op RangeOp) (*RangeAggExpr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	log, unwrap, err := p.parseLogExprInner(true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	durTok := p.next()
+	if durTok.kind != tokDuration && durTok.kind != tokNumber {
+		return nil, p.errf(durTok, "expected duration, got %q", durTok.text)
+	}
+	text := durTok.text
+	if durTok.kind == tokNumber {
+		text += "s"
+	}
+	dur, err := parseDuration(text)
+	if err != nil {
+		return nil, p.errf(durTok, "bad duration: %v", err)
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if unwrapOps[op] && unwrap == "" {
+		return nil, fmt.Errorf("logql: %s requires '| unwrap <label>'", op)
+	}
+	if !unwrapOps[op] && unwrap != "" {
+		return nil, fmt.Errorf("logql: %s does not take an unwrap stage", op)
+	}
+	return &RangeAggExpr{Op: op, Log: log, Interval: dur, Unwrap: unwrap}, nil
+}
+
+// parseVectorAgg parses op [grouping] '(' [k ','] inner ')' [grouping].
+func (p *parser) parseVectorAgg(op string) (*VectorAggExpr, error) {
+	agg := &VectorAggExpr{Op: op}
+	if err := p.maybeGrouping(agg); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if op == "topk" || op == "bottomk" {
+		kTok, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		k, err := strconv.Atoi(kTok.text)
+		if err != nil || k <= 0 {
+			return nil, p.errf(kTok, "bad k %q", kTok.text)
+		}
+		agg.Param = k
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := p.parseMetric()
+	if err != nil {
+		return nil, err
+	}
+	agg.Inner = inner
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	// LogQL also allows trailing grouping: sum(...) by (a, b) — the form the
+	// paper's Fig. 5 query uses.
+	if err := p.maybeGrouping(agg); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *parser) maybeGrouping(agg *VectorAggExpr) error {
+	t := p.peek()
+	if t.kind != tokIdent || (t.text != "by" && t.text != "without") {
+		return nil
+	}
+	if len(agg.Grouping) > 0 || agg.Without {
+		return p.errf(t, "duplicate grouping clause")
+	}
+	p.next()
+	agg.Without = t.text == "without"
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		agg.Grouping = append(agg.Grouping, nameTok.text)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(tokRParen)
+	if err == nil && len(agg.Grouping) == 0 {
+		return p.errf(t, "empty grouping")
+	}
+	return err
+}
+
+func (p *parser) parseLogExpr() (*LogExpr, error) {
+	e, _, err := p.parseLogExprInner(false)
+	return e, err
+}
+
+// parseLogExprInner parses a selector plus stages. When inRange is true it
+// stops at '[' (the range bracket) and accepts an unwrap stage.
+func (p *parser) parseLogExprInner(inRange bool) (*LogExpr, string, error) {
+	sel, err := p.parseSelector()
+	if err != nil {
+		return nil, "", err
+	}
+	e := &LogExpr{Selector: sel}
+	unwrap := ""
+	for {
+		t := p.peek()
+		switch t.kind {
+		case tokPipeExact, tokNeq, tokPipeMatch, tokNre:
+			p.next()
+			str, err := p.expect(tokString)
+			if err != nil {
+				return nil, "", err
+			}
+			st, err := newLineFilter(t.kind, str.text)
+			if err != nil {
+				return nil, "", err
+			}
+			e.Stages = append(e.Stages, st)
+		case tokPipe:
+			p.next()
+			st, uw, err := p.parsePipeStage(inRange)
+			if err != nil {
+				return nil, "", err
+			}
+			if uw != "" {
+				if unwrap != "" {
+					return nil, "", fmt.Errorf("logql: duplicate unwrap")
+				}
+				unwrap = uw
+				continue
+			}
+			e.Stages = append(e.Stages, st)
+		default:
+			return e, unwrap, nil
+		}
+	}
+}
+
+func (p *parser) parsePipeStage(allowUnwrap bool) (Stage, string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, "", p.errf(t, "expected stage after '|', got %q", t.text)
+	}
+	switch t.text {
+	case "json":
+		return jsonStage{}, "", nil
+	case "logfmt":
+		return logfmtStage{}, "", nil
+	case "pattern":
+		str, err := p.expect(tokString)
+		if err != nil {
+			return nil, "", err
+		}
+		st, err := newPatternStage(str.text)
+		return st, "", err
+	case "regexp":
+		str, err := p.expect(tokString)
+		if err != nil {
+			return nil, "", err
+		}
+		st, err := newRegexpStage(str.text)
+		return st, "", err
+	case "unwrap":
+		if !allowUnwrap {
+			return nil, "", p.errf(t, "unwrap is only valid inside a range aggregation")
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, "", err
+		}
+		return nil, name.text, nil
+	case "line_format":
+		str, err := p.expect(tokString)
+		if err != nil {
+			return nil, "", err
+		}
+		return &lineFormatStage{template: str.text}, "", nil
+	case "label_format":
+		dst, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return nil, "", err
+		}
+		v := p.next()
+		switch v.kind {
+		case tokIdent:
+			return &labelFormatStage{dst: dst.text, src: v.text}, "", nil
+		case tokString:
+			return &labelFormatStage{dst: dst.text, template: v.text}, "", nil
+		default:
+			return nil, "", p.errf(v, "label_format expects identifier or string")
+		}
+	}
+	// Label filter: ident op (string | number)
+	name := t.text
+	opTok := p.next()
+	switch opTok.kind {
+	case tokEq, tokNeq, tokRe, tokNre:
+		valTok := p.next()
+		switch valTok.kind {
+		case tokString:
+			var mt labels.MatchType
+			switch opTok.kind {
+			case tokEq:
+				mt = labels.MatchEqual
+			case tokNeq:
+				mt = labels.MatchNotEqual
+			case tokRe:
+				mt = labels.MatchRegexp
+			case tokNre:
+				mt = labels.MatchNotRegexp
+			}
+			m, err := labels.NewMatcher(mt, name, valTok.text)
+			if err != nil {
+				return nil, "", err
+			}
+			return &labelFilterStage{matcher: m}, "", nil
+		case tokNumber:
+			if opTok.kind != tokEq && opTok.kind != tokNeq {
+				return nil, "", p.errf(valTok, "regexp filter needs a string")
+			}
+			v, err := strconv.ParseFloat(valTok.text, 64)
+			if err != nil {
+				return nil, "", p.errf(valTok, "bad number: %v", err)
+			}
+			op := CmpEQ
+			if opTok.kind == tokNeq {
+				op = CmpNE
+			}
+			return &labelFilterStage{name: name, op: op, num: v}, "", nil
+		default:
+			return nil, "", p.errf(valTok, "expected string or number after %s", opTok.text)
+		}
+	case tokGt, tokGte, tokLt, tokLte, tokEqEq:
+		valTok := p.next()
+		var v float64
+		var err error
+		switch valTok.kind {
+		case tokNumber:
+			v, err = strconv.ParseFloat(valTok.text, 64)
+		case tokDuration:
+			var d int64
+			dd, derr := parseDuration(valTok.text)
+			d, err = int64(dd), derr
+			v = float64(d) / 1e9
+		default:
+			return nil, "", p.errf(valTok, "expected number after comparison")
+		}
+		if err != nil {
+			return nil, "", p.errf(valTok, "bad number: %v", err)
+		}
+		var op CmpOp
+		switch opTok.kind {
+		case tokGt:
+			op = CmpGT
+		case tokGte:
+			op = CmpGTE
+		case tokLt:
+			op = CmpLT
+		case tokLte:
+			op = CmpLTE
+		case tokEqEq:
+			op = CmpEQ
+		}
+		return &labelFilterStage{name: name, op: op, num: v}, "", nil
+	default:
+		return nil, "", p.errf(opTok, "unknown stage %q", name)
+	}
+}
+
+func (p *parser) parseSelector() (labels.Selector, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var sel labels.Selector
+	if p.peek().kind == tokRBrace {
+		p.next()
+		return sel, nil
+	}
+	for {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.next()
+		var mt labels.MatchType
+		switch opTok.kind {
+		case tokEq:
+			mt = labels.MatchEqual
+		case tokNeq:
+			mt = labels.MatchNotEqual
+		case tokRe:
+			mt = labels.MatchRegexp
+		case tokNre:
+			mt = labels.MatchNotRegexp
+		default:
+			return nil, p.errf(opTok, "expected matcher operator, got %q", opTok.text)
+		}
+		valTok, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		m, err := labels.NewMatcher(mt, nameTok.text, valTok.text)
+		if err != nil {
+			return nil, err
+		}
+		sel = append(sel, m)
+		t := p.next()
+		if t.kind == tokComma {
+			continue
+		}
+		if t.kind == tokRBrace {
+			return sel, nil
+		}
+		return nil, p.errf(t, "expected ',' or '}', got %q", t.text)
+	}
+}

@@ -1,0 +1,97 @@
+package logql
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: ParseExpr never panics, whatever the input; it either parses
+// or returns an error.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = ParseExpr(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutations of a valid query never panic the parser.
+func TestPropertyMutatedQueryNeverPanics(t *testing.T) {
+	base := `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (severity) > 0`
+	f := func(pos uint16, b byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		mutated := []byte(base)
+		mutated[int(pos)%len(mutated)] = b
+		_, _ = ParseExpr(string(mutated))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the pattern parser handles arbitrary templates and lines
+// without panicking.
+func TestPropertyPatternNeverPanics(t *testing.T) {
+	f := func(template, line string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		st, err := newPatternStage(template)
+		if err != nil {
+			return true
+		}
+		_, _, _ = st.Process(line, nil)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: running any parsed log pipeline over arbitrary lines never
+// panics.
+func TestPropertyPipelineNeverPanics(t *testing.T) {
+	queries := []string{
+		`{a="b"} | json`,
+		`{a="b"} | logfmt`,
+		`{a="b"} | pattern "<x>:<y>"`,
+		`{a="b"} |= "z" | line_format "{{.x}}"`,
+	}
+	exprs := make([]*LogExpr, 0, len(queries))
+	for _, q := range queries {
+		e, err := ParseLogExpr(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exprs = append(exprs, e)
+	}
+	f := func(line string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		for _, e := range exprs {
+			_, _, _ = runPipeline(e.Stages, line, nil)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package loki
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"shastamon/internal/labels"
+)
+
+func httpStore(t *testing.T) (*Store, *httptest.Server) {
+	t.Helper()
+	s := NewStore(DefaultLimits())
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func TestHTTPPushRoundTrip(t *testing.T) {
+	s, srv := httpStore(t)
+	c := NewClient(srv.URL, nil)
+	streams := []PushStream{{
+		Labels: labels.FromStrings("Context", "x1102c4s0b0", "cluster", "perlmutter", "data_type", "redfish_event"),
+		Entries: []Entry{{
+			Timestamp: 1646272077000000000,
+			Line:      `{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected","Message":"leak"}`,
+		}},
+	}}
+	if err := c.Push(streams); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Select(nil, 0, 1<<62)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("%v %v", got, err)
+	}
+	if got[0].Entries[0].Timestamp != 1646272077000000000 {
+		t.Fatalf("%+v", got[0].Entries)
+	}
+}
+
+func TestHTTPPushLiteralFig3Payload(t *testing.T) {
+	s, srv := httpStore(t)
+	// The exact structure of the paper's Fig. 3.
+	body := `{"streams":[{"stream":{"Context":"x1102c4s0b0","cluster":"perlmutter","data_type":"redfish_event"},` +
+		`"values":[["1646272077000000000","{\"Severity\":\"Warning\",\"MessageId\":\"CrayAlerts.1.0.CabinetLeakDetected\",\"Message\":\"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak.\"}"]]}]}`
+	resp, err := http.Post(srv.URL+"/loki/api/v1/push", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 204 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if s.Stats().Entries != 1 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+}
+
+func TestHTTPPushErrors(t *testing.T) {
+	_, srv := httpStore(t)
+	resp, _ := http.Post(srv.URL+"/loki/api/v1/push", "application/json", strings.NewReader("{"))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad json: %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/loki/api/v1/push", "application/json",
+		strings.NewReader(`{"streams":[{"stream":{"a":"b"},"values":[["notanumber","x"]]}]}`))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad ts: %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/loki/api/v1/push")
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPMetadataEndpoints(t *testing.T) {
+	s, srv := httpStore(t)
+	_ = s.Push([]PushStream{
+		{Labels: labels.FromStrings("app", "fm", "cluster", "perlmutter"), Entries: []Entry{{1, "x"}}},
+		{Labels: labels.FromStrings("app", "syslog", "cluster", "perlmutter"), Entries: []Entry{{1, "y"}}},
+	})
+	var out struct {
+		Status string          `json:"status"`
+		Data   json.RawMessage `json:"data"`
+	}
+	get := func(path string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("/loki/api/v1/labels")
+	var names []string
+	_ = json.Unmarshal(out.Data, &names)
+	if len(names) != 2 || names[0] != "app" {
+		t.Fatalf("labels: %v", names)
+	}
+	get("/loki/api/v1/label/app/values")
+	var vals []string
+	_ = json.Unmarshal(out.Data, &vals)
+	if len(vals) != 2 || vals[0] != "fm" {
+		t.Fatalf("values: %v", vals)
+	}
+	get(`/loki/api/v1/series?match[]={app="fm"}`)
+	var series []map[string]string
+	_ = json.Unmarshal(out.Data, &series)
+	if len(series) != 1 || series[0]["app"] != "fm" {
+		t.Fatalf("series: %v", series)
+	}
+}
+
+func TestParseSimpleSelectorErrors(t *testing.T) {
+	for _, in := range []string{"noBraces", "{a}", `{a="b"`} {
+		if _, err := parseSimpleSelector(in); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+	sel, err := parseSimpleSelector("{}")
+	if err != nil || sel != nil {
+		t.Fatalf("empty selector: %v %v", sel, err)
+	}
+}
+
+func TestMarshalParsePushRequestRoundTrip(t *testing.T) {
+	in := []PushStream{{
+		Labels:  labels.FromStrings("a", "1", "b", "2"),
+		Entries: []Entry{{100, "first"}, {200, "second"}},
+	}}
+	data, err := MarshalPushRequest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParsePushRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !out[0].Labels.Equal(in[0].Labels) || len(out[0].Entries) != 2 {
+		t.Fatalf("%+v", out)
+	}
+	if out[0].Entries[1] != in[0].Entries[1] {
+		t.Fatalf("%+v", out[0].Entries)
+	}
+}

@@ -1,0 +1,407 @@
+// Package loki implements a Grafana-Loki-style log aggregation store: the
+// primary substrate of the paper. Logs are (timestamp, labels, line)
+// triples. Only the timestamp and the labels are indexed; line content is
+// compressed into chunks (see chunkenc). Logs sharing one unique label
+// combination form a stream, and each stream fills chunks of its own — the
+// exact storage model §IV.A of the paper walks through.
+package loki
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"shastamon/internal/chunkenc"
+	"shastamon/internal/labels"
+)
+
+// Entry is a single log line.
+type Entry struct {
+	Timestamp int64 // Unix nanoseconds, as in Loki's push API
+	Line      string
+}
+
+// PushStream is one stream in a push request: a label set plus entries, the
+// shape of the JSON payload shown in Fig. 3 of the paper.
+type PushStream struct {
+	Labels  labels.Labels
+	Entries []Entry
+}
+
+// Limits bound ingestion, mirroring Loki's per-tenant limits.
+type Limits struct {
+	MaxLabelNamesPerStream int // 0 = default 15
+	MaxLineSize            int // bytes, 0 = default 256 KiB
+	MaxStreams             int // 0 = unlimited
+	RejectOldSamples       bool
+	ChunkOptions           chunkenc.Options
+}
+
+// DefaultLimits mirror Loki 2.4 defaults at simulator scale.
+func DefaultLimits() Limits {
+	return Limits{MaxLabelNamesPerStream: 15, MaxLineSize: 256 * 1024}
+}
+
+// Validation errors returned by Push.
+var (
+	ErrTooManyLabels = errors.New("loki: stream exceeds max label names")
+	ErrLineTooLong   = errors.New("loki: line exceeds max size")
+	ErrMaxStreams    = errors.New("loki: per-store stream limit exceeded")
+	ErrEmptyLabels   = errors.New("loki: stream must carry at least one label")
+)
+
+// stream is the per-label-set state: an ordered list of filled chunks plus
+// the currently open head chunk.
+type stream struct {
+	labels labels.Labels
+	fp     labels.Fingerprint
+
+	mu     sync.Mutex
+	chunks []*chunkenc.Chunk // sealed (full) chunks, oldest first
+	head   *chunkenc.Chunk
+	// lastTS tracks the newest accepted timestamp so out-of-order entries
+	// are rejected across chunk cuts as well.
+	lastTS int64
+}
+
+// Store is an in-process Loki: ingester plus index plus chunk store.
+// It is safe for concurrent use.
+type Store struct {
+	limits Limits
+
+	mu      sync.RWMutex
+	streams map[labels.Fingerprint][]*stream // collision list per fingerprint
+	ordered []*stream                        // insertion order, for queries
+
+	// ingest statistics, exposed for experiments and dashboards
+	statsMu       sync.Mutex
+	totalEntries  int64
+	totalBytes    int64
+	discardedOOO  int64
+	discardedSize int64
+}
+
+// NewStore returns an empty store with the given limits.
+func NewStore(limits Limits) *Store {
+	if limits.MaxLabelNamesPerStream == 0 {
+		limits.MaxLabelNamesPerStream = 15
+	}
+	if limits.MaxLineSize == 0 {
+		limits.MaxLineSize = 256 * 1024
+	}
+	return &Store{limits: limits, streams: map[labels.Fingerprint][]*stream{}}
+}
+
+// Push ingests a batch of streams. Entries within each stream must be in
+// non-decreasing timestamp order; out-of-order entries are dropped and
+// counted, mirroring Loki's reject-and-continue behaviour. The first
+// validation error is returned after the whole batch is processed.
+func (s *Store) Push(batch []PushStream) error {
+	var firstErr error
+	for _, ps := range batch {
+		if err := s.pushStream(ps); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (s *Store) pushStream(ps PushStream) error {
+	if len(ps.Labels) == 0 {
+		return ErrEmptyLabels
+	}
+	if len(ps.Labels) > s.limits.MaxLabelNamesPerStream {
+		return fmt.Errorf("%w: %d > %d (%s)", ErrTooManyLabels, len(ps.Labels), s.limits.MaxLabelNamesPerStream, ps.Labels)
+	}
+	if err := ps.Labels.Validate(); err != nil {
+		return err
+	}
+	st, err := s.getOrCreateStream(ps.Labels)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	var accepted, bytes int64
+	st.mu.Lock()
+	for _, e := range ps.Entries {
+		if len(e.Line) > s.limits.MaxLineSize {
+			s.statsMu.Lock()
+			s.discardedSize++
+			s.statsMu.Unlock()
+			if firstErr == nil {
+				firstErr = ErrLineTooLong
+			}
+			continue
+		}
+		if e.Timestamp < st.lastTS {
+			s.statsMu.Lock()
+			s.discardedOOO++
+			s.statsMu.Unlock()
+			if firstErr == nil {
+				firstErr = chunkenc.ErrOutOfOrder
+			}
+			continue
+		}
+		if err := st.append(e, s.limits.ChunkOptions); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		st.lastTS = e.Timestamp
+		accepted++
+		bytes += int64(len(e.Line))
+	}
+	st.mu.Unlock()
+	s.statsMu.Lock()
+	s.totalEntries += accepted
+	s.totalBytes += bytes
+	s.statsMu.Unlock()
+	return firstErr
+}
+
+func (st *stream) append(e Entry, opt chunkenc.Options) error {
+	if st.head == nil {
+		st.head = chunkenc.New(opt)
+	}
+	err := st.head.Append(chunkenc.Entry{Timestamp: e.Timestamp, Line: e.Line})
+	if err == chunkenc.ErrChunkFull {
+		_ = st.head.Close()
+		st.chunks = append(st.chunks, st.head)
+		st.head = chunkenc.New(opt)
+		err = st.head.Append(chunkenc.Entry{Timestamp: e.Timestamp, Line: e.Line})
+	}
+	return err
+}
+
+func (s *Store) getOrCreateStream(ls labels.Labels) (*stream, error) {
+	fp := ls.Fingerprint()
+	s.mu.RLock()
+	for _, st := range s.streams[fp] {
+		if st.labels.Equal(ls) {
+			s.mu.RUnlock()
+			return st, nil
+		}
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.streams[fp] {
+		if st.labels.Equal(ls) {
+			return st, nil
+		}
+	}
+	if s.limits.MaxStreams > 0 && len(s.ordered) >= s.limits.MaxStreams {
+		return nil, ErrMaxStreams
+	}
+	st := &stream{labels: ls.Copy(), fp: fp, lastTS: -1 << 62}
+	s.streams[fp] = append(s.streams[fp], st)
+	s.ordered = append(s.ordered, st)
+	return st, nil
+}
+
+// SelectedStream is a query result stream: labels plus matching entries in
+// timestamp order.
+type SelectedStream struct {
+	Labels  labels.Labels
+	Entries []Entry
+}
+
+// Select returns, for every stream matching the selector, its entries in
+// [mint, maxt] (inclusive). Streams with no matching entries are omitted.
+// Results are ordered by stream label string for determinism.
+func (s *Store) Select(sel []*labels.Matcher, mint, maxt int64) ([]SelectedStream, error) {
+	s.mu.RLock()
+	cand := make([]*stream, 0)
+	for _, st := range s.ordered {
+		if labels.MatchLabels(st.labels, sel) {
+			cand = append(cand, st)
+		}
+	}
+	s.mu.RUnlock()
+
+	out := make([]SelectedStream, 0, len(cand))
+	for _, st := range cand {
+		entries, err := st.query(mint, maxt)
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) > 0 {
+			out = append(out, SelectedStream{Labels: st.labels, Entries: entries})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
+	return out, nil
+}
+
+func (st *stream) query(mint, maxt int64) ([]Entry, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []Entry
+	collect := func(c *chunkenc.Chunk) error {
+		cmin, cmax, ok := c.Bounds()
+		if !ok || cmax < mint || cmin > maxt {
+			return nil
+		}
+		it := c.Iterator(mint, maxt)
+		for it.Next() {
+			e := it.At()
+			out = append(out, Entry{Timestamp: e.Timestamp, Line: e.Line})
+		}
+		return it.Err()
+	}
+	for _, c := range st.chunks {
+		if err := collect(c); err != nil {
+			return nil, err
+		}
+	}
+	if st.head != nil {
+		if err := collect(st.head); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Series returns the label sets of all streams matching the selector.
+func (s *Store) Series(sel []*labels.Matcher) []labels.Labels {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []labels.Labels
+	for _, st := range s.ordered {
+		if labels.MatchLabels(st.labels, sel) {
+			out = append(out, st.labels)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// LabelValues returns the sorted distinct values of a label name across all
+// streams; used by dashboards for variable dropdowns.
+func (s *Store) LabelValues(name string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for _, st := range s.ordered {
+		if v := st.labels.Get(name); v != "" {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats is a snapshot of store counters.
+type Stats struct {
+	Streams          int
+	Chunks           int
+	Entries          int64
+	RawBytes         int64
+	CompressedBytes  int64
+	DiscardedOOO     int64
+	DiscardedTooLong int64
+}
+
+// Stats returns current counters. CompressedBytes counts sealed blocks and
+// raw head data, so the compression ratio converges as chunks fill.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	st := Stats{Streams: len(s.ordered)}
+	for _, str := range s.ordered {
+		str.mu.Lock()
+		st.Chunks += len(str.chunks)
+		if str.head != nil && str.head.Entries() > 0 {
+			st.Chunks++
+		}
+		for _, c := range str.chunks {
+			st.CompressedBytes += int64(c.CompressedBytes())
+		}
+		if str.head != nil {
+			st.CompressedBytes += int64(str.head.CompressedBytes())
+		}
+		str.mu.Unlock()
+	}
+	s.mu.RUnlock()
+	s.statsMu.Lock()
+	st.Entries = s.totalEntries
+	st.RawBytes = s.totalBytes
+	st.DiscardedOOO = s.discardedOOO
+	st.DiscardedTooLong = s.discardedSize
+	s.statsMu.Unlock()
+	return st
+}
+
+// Flush seals the open head block of every stream so that Stats reports
+// fully-compressed sizes; ingestion may continue afterwards.
+func (s *Store) Flush() error {
+	s.mu.RLock()
+	streams := append([]*stream(nil), s.ordered...)
+	s.mu.RUnlock()
+	for _, st := range streams {
+		st.mu.Lock()
+		var err error
+		if st.head != nil {
+			err = st.head.Close()
+		}
+		st.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteBefore drops sealed chunks whose max timestamp is older than ts and
+// removes streams that become empty. It implements retention: the paper's
+// OMNI keeps "up to two years of operational data immediately available".
+// It returns the number of chunks dropped.
+func (s *Store) DeleteBefore(ts int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	keptStreams := s.ordered[:0]
+	for _, st := range s.ordered {
+		st.mu.Lock()
+		kept := st.chunks[:0]
+		for _, c := range st.chunks {
+			if _, maxt, ok := c.Bounds(); ok && maxt < ts {
+				dropped++
+				continue
+			}
+			kept = append(kept, c)
+		}
+		st.chunks = kept
+		if st.head != nil {
+			if _, maxt, ok := st.head.Bounds(); ok && maxt < ts {
+				dropped++
+				st.head = nil
+			}
+		}
+		empty := len(st.chunks) == 0 && (st.head == nil || st.head.Entries() == 0)
+		st.mu.Unlock()
+		if empty {
+			// remove from fingerprint map
+			list := s.streams[st.fp]
+			for i, other := range list {
+				if other == st {
+					s.streams[st.fp] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+			if len(s.streams[st.fp]) == 0 {
+				delete(s.streams, st.fp)
+			}
+			continue
+		}
+		keptStreams = append(keptStreams, st)
+	}
+	s.ordered = keptStreams
+	return dropped
+}

@@ -1,0 +1,378 @@
+package loki
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"shastamon/internal/chunkenc"
+	"shastamon/internal/labels"
+)
+
+func push(t *testing.T, s *Store, ls labels.Labels, entries ...Entry) {
+	t.Helper()
+	if err := s.Push([]PushStream{{Labels: ls, Entries: entries}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushAndSelect(t *testing.T) {
+	s := NewStore(DefaultLimits())
+	ls := labels.FromStrings("cluster", "perlmutter", "data_type", "redfish_event")
+	push(t, s, ls, Entry{1e9, "event one"}, Entry{2e9, "event two"})
+
+	sel := []*labels.Matcher{labels.MustMatcher(labels.MatchEqual, "data_type", "redfish_event")}
+	got, err := s.Select(sel, 0, 3e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Entries) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if !got[0].Labels.Equal(ls) {
+		t.Fatalf("labels %v", got[0].Labels)
+	}
+}
+
+func TestSelectTimeRange(t *testing.T) {
+	s := NewStore(DefaultLimits())
+	ls := labels.FromStrings("app", "x")
+	for i := 0; i < 10; i++ {
+		push(t, s, ls, Entry{int64(i) * 1e9, fmt.Sprintf("l%d", i)})
+	}
+	got, err := s.Select(nil, 3e9, 5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Entries) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	if got[0].Entries[0].Line != "l3" || got[0].Entries[2].Line != "l5" {
+		t.Fatalf("wrong slice: %+v", got[0].Entries)
+	}
+}
+
+func TestStreamsSeparatedByLabels(t *testing.T) {
+	s := NewStore(DefaultLimits())
+	push(t, s, labels.FromStrings("ctx", "x1000c0"), Entry{1, "a"})
+	push(t, s, labels.FromStrings("ctx", "x1001c0"), Entry{1, "b"})
+	if got := s.Stats().Streams; got != 2 {
+		t.Fatalf("streams = %d", got)
+	}
+	sel := []*labels.Matcher{labels.MustMatcher(labels.MatchEqual, "ctx", "x1001c0")}
+	got, _ := s.Select(sel, 0, 10)
+	if len(got) != 1 || got[0].Entries[0].Line != "b" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRegexSelect(t *testing.T) {
+	s := NewStore(DefaultLimits())
+	for i := 0; i < 5; i++ {
+		push(t, s, labels.FromStrings("xname", fmt.Sprintf("x100%dc0r7b0", i)), Entry{1, "sw"})
+	}
+	sel := []*labels.Matcher{labels.MustMatcher(labels.MatchRegexp, "xname", "x100[0-2].*")}
+	got, _ := s.Select(sel, 0, 10)
+	if len(got) != 3 {
+		t.Fatalf("regex select got %d streams", len(got))
+	}
+}
+
+func TestOutOfOrderDroppedAcrossPushes(t *testing.T) {
+	s := NewStore(DefaultLimits())
+	ls := labels.FromStrings("a", "b")
+	push(t, s, ls, Entry{100, "x"})
+	err := s.Push([]PushStream{{Labels: ls, Entries: []Entry{{50, "old"}, {200, "new"}}}})
+	if !errors.Is(err, chunkenc.ErrOutOfOrder) {
+		t.Fatalf("want out-of-order error, got %v", err)
+	}
+	got, _ := s.Select(nil, 0, 1000)
+	if len(got[0].Entries) != 2 { // 100 and 200; 50 dropped
+		t.Fatalf("entries %+v", got[0].Entries)
+	}
+	if s.Stats().DiscardedOOO != 1 {
+		t.Fatalf("ooo counter = %d", s.Stats().DiscardedOOO)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := NewStore(Limits{MaxLabelNamesPerStream: 2, MaxLineSize: 8})
+	err := s.Push([]PushStream{{Labels: nil, Entries: []Entry{{1, "x"}}}})
+	if !errors.Is(err, ErrEmptyLabels) {
+		t.Fatalf("want ErrEmptyLabels got %v", err)
+	}
+	err = s.Push([]PushStream{{Labels: labels.FromStrings("a", "1", "b", "2", "c", "3"), Entries: []Entry{{1, "x"}}}})
+	if !errors.Is(err, ErrTooManyLabels) {
+		t.Fatalf("want ErrTooManyLabels got %v", err)
+	}
+	err = s.Push([]PushStream{{Labels: labels.FromStrings("a", "1"), Entries: []Entry{{1, strings.Repeat("z", 9)}}}})
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("want ErrLineTooLong got %v", err)
+	}
+	if s.Stats().DiscardedTooLong != 1 {
+		t.Fatal("too-long counter not bumped")
+	}
+}
+
+func TestMaxStreams(t *testing.T) {
+	s := NewStore(Limits{MaxStreams: 2, MaxLabelNamesPerStream: 5, MaxLineSize: 1024})
+	push(t, s, labels.FromStrings("i", "1"), Entry{1, "a"})
+	push(t, s, labels.FromStrings("i", "2"), Entry{1, "a"})
+	err := s.Push([]PushStream{{Labels: labels.FromStrings("i", "3"), Entries: []Entry{{1, "a"}}}})
+	if !errors.Is(err, ErrMaxStreams) {
+		t.Fatalf("want ErrMaxStreams got %v", err)
+	}
+}
+
+func TestChunkCutOnFull(t *testing.T) {
+	lim := DefaultLimits()
+	lim.ChunkOptions = chunkenc.Options{MaxEntries: 10}
+	s := NewStore(lim)
+	ls := labels.FromStrings("a", "b")
+	for i := 0; i < 35; i++ {
+		push(t, s, ls, Entry{int64(i), "line"})
+	}
+	st := s.Stats()
+	if st.Chunks != 4 { // 3 sealed of 10 + head of 5
+		t.Fatalf("chunks = %d", st.Chunks)
+	}
+	got, _ := s.Select(nil, 0, 100)
+	if len(got[0].Entries) != 35 {
+		t.Fatalf("entries = %d", len(got[0].Entries))
+	}
+}
+
+func TestSeriesAndLabelValues(t *testing.T) {
+	s := NewStore(DefaultLimits())
+	push(t, s, labels.FromStrings("app", "fm", "cluster", "perlmutter"), Entry{1, "x"})
+	push(t, s, labels.FromStrings("app", "syslog", "cluster", "perlmutter"), Entry{1, "x"})
+	series := s.Series(nil)
+	if len(series) != 2 {
+		t.Fatalf("series %v", series)
+	}
+	vals := s.LabelValues("app")
+	if len(vals) != 2 || vals[0] != "fm" || vals[1] != "syslog" {
+		t.Fatalf("label values %v", vals)
+	}
+	if len(s.LabelValues("nope")) != 0 {
+		t.Fatal("unexpected values for missing label")
+	}
+}
+
+func TestDeleteBefore(t *testing.T) {
+	lim := DefaultLimits()
+	lim.ChunkOptions = chunkenc.Options{MaxEntries: 5}
+	s := NewStore(lim)
+	ls := labels.FromStrings("a", "b")
+	for i := 0; i < 20; i++ {
+		push(t, s, ls, Entry{int64(i), "line"})
+	}
+	dropped := s.DeleteBefore(10)
+	if dropped != 2 { // chunks 0-4 and 5-9
+		t.Fatalf("dropped = %d", dropped)
+	}
+	got, _ := s.Select(nil, 0, 100)
+	if got[0].Entries[0].Timestamp != 10 {
+		t.Fatalf("oldest = %d", got[0].Entries[0].Timestamp)
+	}
+}
+
+func TestDeleteBeforeRemovesEmptyStreams(t *testing.T) {
+	lim := DefaultLimits()
+	lim.ChunkOptions = chunkenc.Options{MaxEntries: 2}
+	s := NewStore(lim)
+	old := labels.FromStrings("age", "old")
+	// Fill two full chunks then stop; head stays empty after the last cut?
+	// MaxEntries=2: entries 0,1 fill chunk; entry 2 seals and starts head.
+	push(t, s, old, Entry{0, "a"}, Entry{1, "b"})
+	push(t, s, labels.FromStrings("age", "new"), Entry{100, "n"})
+	// Force the head of "old" to seal by pushing until full then deleting.
+	push(t, s, old, Entry{2, "c"}, Entry{3, "d"})
+	// old now: 2 sealed chunks (0,1)(2,3) head empty
+	s.DeleteBefore(50)
+	series := s.Series(nil)
+	if len(series) != 1 || series[0].Get("age") != "new" {
+		t.Fatalf("series after retention: %v", series)
+	}
+}
+
+func TestConcurrentPushDistinctStreams(t *testing.T) {
+	s := NewStore(DefaultLimits())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ls := labels.FromStrings("worker", fmt.Sprintf("w%d", g))
+			for i := 0; i < 500; i++ {
+				_ = s.Push([]PushStream{{Labels: ls, Entries: []Entry{{int64(i), "line"}}}})
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Streams != 8 || st.Entries != 4000 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestConcurrentPushSameStream(t *testing.T) {
+	s := NewStore(DefaultLimits())
+	ls := labels.FromStrings("shared", "yes")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				// Same timestamp everywhere so ordering can't fail.
+				_ = s.Push([]PushStream{{Labels: ls, Entries: []Entry{{42, "line"}}}})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Stats().Entries; got != 1000 {
+		t.Fatalf("entries = %d", got)
+	}
+}
+
+// Property: what you push (in order, within range) is what you select.
+func TestPropertyPushSelectRoundTrip(t *testing.T) {
+	f := func(linesRaw []string) bool {
+		s := NewStore(DefaultLimits())
+		ls := labels.FromStrings("p", "q")
+		lines := make([]string, 0, len(linesRaw))
+		for _, l := range linesRaw {
+			if len(l) < 256*1024 {
+				lines = append(lines, l)
+			}
+		}
+		entries := make([]Entry, len(lines))
+		for i, l := range lines {
+			entries[i] = Entry{Timestamp: int64(i), Line: l}
+		}
+		if err := s.Push([]PushStream{{Labels: ls, Entries: entries}}); err != nil {
+			return false
+		}
+		got, err := s.Select(nil, 0, 1<<62)
+		if err != nil {
+			return false
+		}
+		if len(lines) == 0 {
+			return len(got) == 0
+		}
+		if len(got) != 1 || len(got[0].Entries) != len(lines) {
+			return false
+		}
+		for i := range lines {
+			if got[0].Entries[i].Line != lines[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stats counters equal pushed totals.
+func TestPropertyStatsMatch(t *testing.T) {
+	f := func(n uint8) bool {
+		s := NewStore(DefaultLimits())
+		ls := labels.FromStrings("s", "t")
+		var wantBytes int64
+		for i := 0; i < int(n); i++ {
+			line := strings.Repeat("x", i%17)
+			wantBytes += int64(len(line))
+			if err := s.Push([]PushStream{{Labels: ls, Entries: []Entry{{int64(i), line}}}}); err != nil {
+				return false
+			}
+		}
+		st := s.Stats()
+		return st.Entries == int64(n) && st.RawBytes == wantBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushSingleStream(b *testing.B) {
+	s := NewStore(DefaultLimits())
+	ls := labels.FromStrings("cluster", "perlmutter", "data_type", "syslog")
+	line := "Mar  3 01:47:57 nid001234 kernel: [12345.678] eth0: link up 100Gbps"
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Push([]PushStream{{Labels: ls, Entries: []Entry{{int64(i), line}}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPushBatch100(b *testing.B) {
+	s := NewStore(DefaultLimits())
+	ls := labels.FromStrings("cluster", "perlmutter", "data_type", "syslog")
+	line := "Mar  3 01:47:57 nid001234 kernel: [12345.678] eth0: link up 100Gbps"
+	entries := make([]Entry, 100)
+	b.SetBytes(int64(len(line) * 100))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range entries {
+			entries[j] = Entry{int64(i*100 + j), line}
+		}
+		if err := s.Push([]PushStream{{Labels: ls, Entries: entries}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	s := NewStore(DefaultLimits())
+	for st := 0; st < 10; st++ {
+		ls := labels.FromStrings("node", fmt.Sprintf("nid%03d", st))
+		entries := make([]Entry, 1000)
+		for i := range entries {
+			entries[i] = Entry{int64(i), "a moderately sized syslog line for benchmarking"}
+		}
+		_ = s.Push([]PushStream{{Labels: ls, Entries: entries}})
+	}
+	sel := []*labels.Matcher{labels.MustMatcher(labels.MatchEqual, "node", "nid005")}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := s.Select(sel, 0, 1<<62)
+		if err != nil || len(got) != 1 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestFlushSealsHeads(t *testing.T) {
+	s := NewStore(DefaultLimits())
+	ls := labels.FromStrings("a", "b")
+	line := strings.Repeat("repetitive content ", 20)
+	for i := 0; i < 200; i++ {
+		push(t, s, ls, Entry{int64(i), line})
+	}
+	before := s.Stats()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.CompressedBytes >= before.CompressedBytes {
+		t.Fatalf("flush did not compress: %d -> %d", before.CompressedBytes, after.CompressedBytes)
+	}
+	if after.CompressedBytes >= after.RawBytes {
+		t.Fatalf("compressed %d >= raw %d", after.CompressedBytes, after.RawBytes)
+	}
+	// Appends continue working after a flush.
+	push(t, s, ls, Entry{1000, "more"})
+	got, _ := s.Select(nil, 0, 2000)
+	if len(got[0].Entries) != 201 {
+		t.Fatalf("entries after flush: %d", len(got[0].Entries))
+	}
+}

@@ -1,0 +1,127 @@
+package omni
+
+import (
+	"testing"
+	"time"
+
+	"shastamon/internal/eventsearch"
+	"shastamon/internal/labels"
+	"shastamon/internal/loki"
+)
+
+func TestIngestAndQueryBothStores(t *testing.T) {
+	w := New(Config{})
+	ls := labels.FromStrings("data_type", "syslog", "hostname", "nid1")
+	if err := w.IngestLogs([]loki.PushStream{{Labels: ls, Entries: []loki.Entry{{Timestamp: 1e9, Line: "hello"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.IngestMetric("temp", labels.FromStrings("xname", "x1"), 1000, 42); err != nil {
+		t.Fatal(err)
+	}
+	streams, err := w.LogQL.QueryLogs(`{hostname="nid1"}`, 0, 2e9)
+	if err != nil || len(streams) != 1 {
+		t.Fatalf("%v %v", streams, err)
+	}
+	vec, err := w.PromQL.Query(`temp`, 2000)
+	if err != nil || len(vec) != 1 || vec[0].V != 42 {
+		t.Fatalf("%v %v", vec, err)
+	}
+	st := w.Stats()
+	if st.LogMessages != 1 || st.LogBytes != 5 || st.Samples != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.LogStore.Streams != 1 || st.MetricStore.Series != 1 {
+		t.Fatalf("store stats: %+v", st)
+	}
+}
+
+func TestRetentionEnforcement(t *testing.T) {
+	w := New(Config{Retention: time.Hour, LokiLimits: loki.Limits{
+		MaxLabelNamesPerStream: 5, MaxLineSize: 1024,
+	}})
+	base := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	ls := labels.FromStrings("a", "b")
+	_ = w.IngestLogs([]loki.PushStream{{Labels: ls, Entries: []loki.Entry{{Timestamp: base.UnixNano(), Line: "old"}}}})
+	_ = w.IngestMetric("m", nil, base.UnixMilli(), 1)
+	_ = w.IngestMetric("m", nil, base.Add(3*time.Hour).UnixMilli(), 2)
+
+	chunks, samples := w.EnforceRetention(base.Add(3 * time.Hour))
+	if chunks != 1 || samples != 1 {
+		t.Fatalf("dropped %d chunks %d samples", chunks, samples)
+	}
+	// Zero-retention warehouse never drops.
+	w2 := New(Config{})
+	_ = w2.IngestMetric("m", nil, 0, 1)
+	if c, s := w2.EnforceRetention(time.Now()); c != 0 || s != 0 {
+		t.Fatalf("unexpected drop: %d %d", c, s)
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	w := New(Config{})
+	base := time.Unix(1000, 0)
+	w.RateWindowReset(base)
+	for i := 0; i < 500; i++ {
+		_ = w.IngestMetric("m", labels.FromStrings("i", "x"), int64(i), 1)
+	}
+	rate := w.RateWindow(base.Add(2 * time.Second))
+	if rate != 250 {
+		t.Fatalf("rate = %v", rate)
+	}
+	if w.RateWindow(base) != 0 {
+		t.Fatal("zero-width window should report 0")
+	}
+}
+
+func TestEventIndexingOptIn(t *testing.T) {
+	w := New(Config{IndexEvents: true, Retention: time.Hour})
+	ls := labels.FromStrings("data_type", "redfish_event", "Context", "x1203c1b0")
+	base := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	if err := w.IngestLogs([]loki.PushStream{{Labels: ls, Entries: []loki.Entry{
+		{Timestamp: base.UnixNano(), Line: "CabinetLeakDetected in Front zone"},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	hits := w.Events.Search(eventsearch.Query{Terms: []string{"cabinetleakdetected"}})
+	if len(hits) != 1 || hits[0].Fields["Context"] != "x1203c1b0" {
+		t.Fatalf("%+v", hits)
+	}
+	// Retention clears the index too.
+	w.EnforceRetention(base.Add(3 * time.Hour))
+	if got := w.Events.Stats().Docs; got != 0 {
+		t.Fatalf("docs after retention: %d", got)
+	}
+	// Default config does not index.
+	w2 := New(Config{})
+	_ = w2.IngestLogs([]loki.PushStream{{Labels: ls, Entries: []loki.Entry{{Timestamp: 1, Line: "x"}}}})
+	if w2.Events.Stats().Docs != 0 {
+		t.Fatal("indexed without opt-in")
+	}
+}
+
+func TestDownsamplingDuringRetention(t *testing.T) {
+	w := New(Config{
+		Retention:            24 * time.Hour,
+		DownsampleAfter:      time.Hour,
+		DownsampleResolution: 10 * time.Minute,
+	})
+	base := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	// One sample per minute for 2 hours.
+	for i := 0; i < 120; i++ {
+		_ = w.IngestMetric("m", labels.FromStrings("x", "1"), base.Add(time.Duration(i)*time.Minute).UnixMilli(), float64(i))
+	}
+	now := base.Add(2 * time.Hour)
+	_, folded := w.EnforceRetention(now)
+	if folded == 0 {
+		t.Fatal("nothing downsampled")
+	}
+	// The first hour is now 10-minute windows (6 samples); the second hour
+	// keeps its 60 raw samples.
+	data := w.Metrics.Select(nil, 0, now.UnixMilli())
+	if len(data) != 1 {
+		t.Fatalf("%+v", data)
+	}
+	if got := len(data[0].Samples); got != 6+60 {
+		t.Fatalf("samples = %d", got)
+	}
+}

@@ -1,0 +1,109 @@
+package promql
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler exposes the Prometheus-compatible query API over this engine:
+//
+//	GET /api/v1/query?query=...&time=<unix seconds, float>
+//	GET /api/v1/query_range?query=...&start=...&end=...&step=<seconds>
+//
+// Responses follow the Prometheus response envelope so Grafana-style
+// clients can consume them.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("query")
+		ts, err := parseUnixSeconds(r.URL.Query().Get("time"), time.Now())
+		if err != nil {
+			writePromError(w, http.StatusBadRequest, err)
+			return
+		}
+		vec, err := e.Query(q, ts.UnixMilli())
+		if err != nil {
+			writePromError(w, http.StatusBadRequest, err)
+			return
+		}
+		result := make([]map[string]interface{}, 0, len(vec))
+		for _, s := range vec {
+			result = append(result, map[string]interface{}{
+				"metric": s.Labels.Map(),
+				"value":  []interface{}{float64(s.T) / 1000, strconv.FormatFloat(s.V, 'g', -1, 64)},
+			})
+		}
+		writePromJSON(w, "vector", result)
+	})
+	mux.HandleFunc("/api/v1/query_range", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("query")
+		now := time.Now()
+		start, err := parseUnixSeconds(r.URL.Query().Get("start"), now.Add(-time.Hour))
+		if err != nil {
+			writePromError(w, http.StatusBadRequest, err)
+			return
+		}
+		end, err := parseUnixSeconds(r.URL.Query().Get("end"), now)
+		if err != nil {
+			writePromError(w, http.StatusBadRequest, err)
+			return
+		}
+		stepS := r.URL.Query().Get("step")
+		if stepS == "" {
+			stepS = "60"
+		}
+		stepF, err := strconv.ParseFloat(stepS, 64)
+		if err != nil || stepF <= 0 {
+			writePromError(w, http.StatusBadRequest, fmt.Errorf("bad step %q", stepS))
+			return
+		}
+		m, err := e.QueryRange(q, start.UnixMilli(), end.UnixMilli(), time.Duration(stepF*float64(time.Second)))
+		if err != nil {
+			writePromError(w, http.StatusBadRequest, err)
+			return
+		}
+		result := make([]map[string]interface{}, 0, len(m))
+		for _, s := range m {
+			values := make([][2]interface{}, 0, len(s.Points))
+			for _, p := range s.Points {
+				values = append(values, [2]interface{}{float64(p.T) / 1000, strconv.FormatFloat(p.V, 'g', -1, 64)})
+			}
+			result = append(result, map[string]interface{}{
+				"metric": s.Labels.Map(),
+				"values": values,
+			})
+		}
+		writePromJSON(w, "matrix", result)
+	})
+	return mux
+}
+
+func parseUnixSeconds(s string, def time.Time) (time.Time, error) {
+	if s == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("promql: bad time %q", s)
+	}
+	return time.Unix(0, int64(f*float64(time.Second))), nil
+}
+
+func writePromJSON(w http.ResponseWriter, resultType string, result interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"status": "success",
+		"data":   map[string]interface{}{"resultType": resultType, "result": result},
+	})
+}
+
+func writePromError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"status": "error", "errorType": "bad_data", "error": err.Error(),
+	})
+}

@@ -1,0 +1,42 @@
+package promql
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Parse never panics on arbitrary input.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: byte mutations of a valid rule expression never panic.
+func TestPropertyMutatedExprNeverPanics(t *testing.T) {
+	base := `sum(rate(node_cpu_seconds_total{mode!="idle"}[5m])) by (node) > 0.9`
+	f := func(pos uint16, b byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		mutated := []byte(base)
+		mutated[int(pos)%len(mutated)] = b
+		_, _ = Parse(string(mutated))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package promtail implements the Loki log collector the paper describes
+// ("Loki provides a log collector, PromTail, that aids to label, transform
+// and filter logs"): it tails line-oriented sources, runs each line
+// through a pipeline of stages (regex/json extraction, label promotion,
+// filtering, rewriting, timestamp parsing), batches the results and pushes
+// them to Loki — over HTTP via loki.Client or directly into a store.
+package promtail
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/loki"
+)
+
+// Entry is the unit flowing through a pipeline: the line, its labels, the
+// extracted key/value scratch space, and the timestamp.
+type Entry struct {
+	Timestamp time.Time
+	Line      string
+	Labels    map[string]string
+	Extracted map[string]string
+}
+
+// Stage transforms an entry; returning false drops it.
+type Stage interface {
+	Process(e *Entry) bool
+}
+
+// StageFunc adapts a function to Stage.
+type StageFunc func(e *Entry) bool
+
+// Process runs the function.
+func (f StageFunc) Process(e *Entry) bool { return f(e) }
+
+// ---- stages ----
+
+// Regex extracts named captures from the line into Extracted. Lines that
+// do not match pass through unchanged.
+func Regex(expr string) (Stage, error) {
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("promtail: regex stage: %w", err)
+	}
+	return StageFunc(func(e *Entry) bool {
+		m := re.FindStringSubmatch(e.Line)
+		if m == nil {
+			return true
+		}
+		for i, name := range re.SubexpNames() {
+			if name != "" && i < len(m) {
+				e.Extracted[name] = m[i]
+			}
+		}
+		return true
+	}), nil
+}
+
+// JSON extracts the given top-level fields of a JSON line into Extracted;
+// non-JSON lines pass through.
+func JSON(fields ...string) Stage {
+	return StageFunc(func(e *Entry) bool {
+		var v map[string]interface{}
+		if err := json.Unmarshal([]byte(e.Line), &v); err != nil {
+			return true
+		}
+		for _, f := range fields {
+			switch t := v[f].(type) {
+			case string:
+				e.Extracted[f] = t
+			case float64:
+				e.Extracted[f] = strconv.FormatFloat(t, 'g', -1, 64)
+			case bool:
+				e.Extracted[f] = strconv.FormatBool(t)
+			}
+		}
+		return true
+	})
+}
+
+// Labels promotes extracted keys to stream labels.
+func Labels(names ...string) Stage {
+	return StageFunc(func(e *Entry) bool {
+		for _, n := range names {
+			if v, ok := e.Extracted[n]; ok {
+				e.Labels[n] = v
+			}
+		}
+		return true
+	})
+}
+
+// Drop discards lines matching the expression.
+func Drop(expr string) (Stage, error) {
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("promtail: drop stage: %w", err)
+	}
+	return StageFunc(func(e *Entry) bool { return !re.MatchString(e.Line) }), nil
+}
+
+// Keep discards lines NOT matching the expression.
+func Keep(expr string) (Stage, error) {
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("promtail: keep stage: %w", err)
+	}
+	return StageFunc(func(e *Entry) bool { return re.MatchString(e.Line) }), nil
+}
+
+// Output replaces the line with an extracted value (entries without the
+// key keep their line).
+func Output(source string) Stage {
+	return StageFunc(func(e *Entry) bool {
+		if v, ok := e.Extracted[source]; ok {
+			e.Line = v
+		}
+		return true
+	})
+}
+
+// Timestamp parses the entry timestamp from an extracted value with the
+// given time layout; parse failures keep the previous timestamp.
+func Timestamp(source, layout string) Stage {
+	return StageFunc(func(e *Entry) bool {
+		v, ok := e.Extracted[source]
+		if !ok {
+			return true
+		}
+		if ts, err := time.Parse(layout, v); err == nil {
+			e.Timestamp = ts
+		}
+		return true
+	})
+}
+
+// Template rewrites an extracted value by substituting {{.key}} references
+// to other extracted values.
+func Template(target, tmpl string) Stage {
+	re := regexp.MustCompile(`\{\{\s*\.([a-zA-Z_][a-zA-Z0-9_]*)\s*\}\}`)
+	return StageFunc(func(e *Entry) bool {
+		e.Extracted[target] = re.ReplaceAllStringFunc(tmpl, func(m string) string {
+			return e.Extracted[re.FindStringSubmatch(m)[1]]
+		})
+		return true
+	})
+}
+
+// ---- the collector ----
+
+// PushFunc delivers batches; loki.Client.Push and (*loki.Store).Push both
+// satisfy it.
+type PushFunc func([]loki.PushStream) error
+
+// ScrapeConfig describes one source.
+type ScrapeConfig struct {
+	Job          string
+	StaticLabels map[string]string
+	Stages       []Stage
+}
+
+// Config tunes batching.
+type Config struct {
+	Push      PushFunc
+	BatchSize int           // entries per push (default 512)
+	BatchWait time.Duration // max latency before a partial batch flushes (default 1s)
+}
+
+// Promtail batches entries from any number of tailed sources.
+type Promtail struct {
+	push      PushFunc
+	batchSize int
+	batchWait time.Duration
+
+	mu      sync.Mutex
+	pending []loki.PushStream
+	count   int
+	sent    int64
+	dropped int64
+}
+
+// New validates the config and returns a collector.
+func New(cfg Config) (*Promtail, error) {
+	if cfg.Push == nil {
+		return nil, fmt.Errorf("promtail: push function required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.BatchWait <= 0 {
+		cfg.BatchWait = time.Second
+	}
+	return &Promtail{push: cfg.Push, batchSize: cfg.BatchSize, batchWait: cfg.BatchWait}, nil
+}
+
+// Handle runs one line through the config's pipeline and enqueues it.
+func (p *Promtail) Handle(cfg ScrapeConfig, ts time.Time, line string) error {
+	e := &Entry{
+		Timestamp: ts,
+		Line:      line,
+		Labels:    map[string]string{},
+		Extracted: map[string]string{},
+	}
+	if cfg.Job != "" {
+		e.Labels["job"] = cfg.Job
+	}
+	for k, v := range cfg.StaticLabels {
+		e.Labels[k] = v
+	}
+	for _, st := range cfg.Stages {
+		if !st.Process(e) {
+			p.mu.Lock()
+			p.dropped++
+			p.mu.Unlock()
+			return nil
+		}
+	}
+	ps := loki.PushStream{
+		Labels:  labels.FromMap(e.Labels),
+		Entries: []loki.Entry{{Timestamp: e.Timestamp.UnixNano(), Line: e.Line}},
+	}
+	p.mu.Lock()
+	p.pending = append(p.pending, ps)
+	p.count++
+	full := p.count >= p.batchSize
+	p.mu.Unlock()
+	if full {
+		return p.Flush()
+	}
+	return nil
+}
+
+// Flush pushes any pending entries.
+func (p *Promtail) Flush() error {
+	p.mu.Lock()
+	batch := p.pending
+	n := p.count
+	p.pending = nil
+	p.count = 0
+	p.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := p.push(batch); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.sent += int64(n)
+	p.mu.Unlock()
+	return nil
+}
+
+// Stats returns (entries sent, entries dropped by stages).
+func (p *Promtail) Stats() (sent, dropped int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent, p.dropped
+}
+
+// Tail reads newline-delimited lines from r until EOF or ctx
+// cancellation, handling each with the config and flushing at BatchWait
+// cadence. The final partial batch is flushed before returning.
+func (p *Promtail) Tail(ctx context.Context, cfg ScrapeConfig, r io.Reader, now func() time.Time) error {
+	if now == nil {
+		now = time.Now
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	flushT := time.NewTicker(p.batchWait)
+	defer flushT.Stop()
+	lines := make(chan string)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
+			}
+		}
+		scanErr <- sc.Err()
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			return p.Flush()
+		case <-flushT.C:
+			if err := p.Flush(); err != nil {
+				return err
+			}
+		case line, ok := <-lines:
+			if !ok {
+				if err := p.Flush(); err != nil {
+					return err
+				}
+				select {
+				case err := <-scanErr:
+					return err
+				default:
+					return nil
+				}
+			}
+			if err := p.Handle(cfg, now(), line); err != nil {
+				return err
+			}
+		}
+	}
+}

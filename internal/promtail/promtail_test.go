@@ -1,0 +1,243 @@
+package promtail
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"shastamon/internal/logql"
+	"shastamon/internal/loki"
+)
+
+func newCollector(t *testing.T, store *loki.Store, batch int) *Promtail {
+	t.Helper()
+	p, err := New(Config{Push: store.Push, BatchSize: batch, BatchWait: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil push accepted")
+	}
+}
+
+func TestHandleStaticLabelsAndJob(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	p := newCollector(t, store, 1)
+	cfg := ScrapeConfig{Job: "varlogs", StaticLabels: map[string]string{"cluster": "perlmutter"}}
+	if err := p.Handle(cfg, time.Unix(1, 0), "hello"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := store.Select(nil, 0, 1<<62)
+	if len(got) != 1 || got[0].Labels.Get("job") != "varlogs" || got[0].Labels.Get("cluster") != "perlmutter" {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestRegexAndLabelsStages(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	p := newCollector(t, store, 1)
+	re, err := Regex(`level=(?P<level>\w+)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScrapeConfig{Job: "app", Stages: []Stage{re, Labels("level")}}
+	_ = p.Handle(cfg, time.Unix(1, 0), "level=error something broke")
+	_ = p.Handle(cfg, time.Unix(2, 0), "no level here")
+	eng := logql.NewEngine(store)
+	streams, err := eng.QueryLogs(`{level="error"}`, 0, 1<<62)
+	if err != nil || len(streams) != 1 {
+		t.Fatalf("%v %v", streams, err)
+	}
+	// The unmatched line keeps only the job label.
+	streams, _ = eng.QueryLogs(`{job="app"}`, 0, 1<<62)
+	total := 0
+	for _, s := range streams {
+		total += len(s.Entries)
+	}
+	if total != 2 {
+		t.Fatalf("total entries %d", total)
+	}
+}
+
+func TestJSONOutputTimestampStages(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	p := newCollector(t, store, 1)
+	cfg := ScrapeConfig{
+		Job: "events",
+		Stages: []Stage{
+			JSON("msg", "ts", "level"),
+			Labels("level"),
+			Timestamp("ts", time.RFC3339),
+			Output("msg"),
+		},
+	}
+	line := `{"ts":"2022-03-03T01:47:57Z","level":"warn","msg":"leak detected","noise":123}`
+	if err := p.Handle(cfg, time.Unix(1, 0), line); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := store.Select(nil, 0, 1<<62)
+	if len(got) != 1 {
+		t.Fatalf("%+v", got)
+	}
+	e := got[0].Entries[0]
+	if e.Line != "leak detected" {
+		t.Fatalf("line %q", e.Line)
+	}
+	if e.Timestamp != time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC).UnixNano() {
+		t.Fatalf("ts %d", e.Timestamp)
+	}
+	if got[0].Labels.Get("level") != "warn" {
+		t.Fatalf("%v", got[0].Labels)
+	}
+}
+
+func TestDropKeepStages(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	p := newCollector(t, store, 1)
+	drop, _ := Drop(`DEBUG`)
+	keep, _ := Keep(`nid\d+`)
+	cfg := ScrapeConfig{Job: "x", Stages: []Stage{drop, keep}}
+	_ = p.Handle(cfg, time.Unix(1, 0), "DEBUG nid001 noisy")   // dropped
+	_ = p.Handle(cfg, time.Unix(2, 0), "INFO host17 no match") // dropped by keep
+	_ = p.Handle(cfg, time.Unix(3, 0), "ERROR nid002 kept")
+	got, _ := store.Select(nil, 0, 1<<62)
+	if len(got) != 1 || len(got[0].Entries) != 1 || !strings.Contains(got[0].Entries[0].Line, "kept") {
+		t.Fatalf("%+v", got)
+	}
+	_, dropped := p.Stats()
+	if dropped != 2 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestTemplateStage(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	p := newCollector(t, store, 1)
+	re, _ := Regex(`(?P<a>\w+):(?P<b>\w+)`)
+	cfg := ScrapeConfig{Job: "x", Stages: []Stage{re, Template("combined", "{{.a}}-{{.b}}"), Labels("combined")}}
+	_ = p.Handle(cfg, time.Unix(1, 0), "foo:bar")
+	got, _ := store.Select(nil, 0, 1<<62)
+	if got[0].Labels.Get("combined") != "foo-bar" {
+		t.Fatalf("%v", got[0].Labels)
+	}
+}
+
+func TestStageErrors(t *testing.T) {
+	if _, err := Regex("("); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+	if _, err := Drop("("); err == nil {
+		t.Fatal("bad drop accepted")
+	}
+	if _, err := Keep("("); err == nil {
+		t.Fatal("bad keep accepted")
+	}
+}
+
+func TestBatching(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	p := newCollector(t, store, 10)
+	cfg := ScrapeConfig{Job: "x"}
+	for i := 0; i < 9; i++ {
+		_ = p.Handle(cfg, time.Unix(int64(i), 0), "line")
+	}
+	if store.Stats().Entries != 0 {
+		t.Fatal("pushed before batch full")
+	}
+	_ = p.Handle(cfg, time.Unix(9, 0), "line")
+	if store.Stats().Entries != 10 {
+		t.Fatalf("entries = %d", store.Stats().Entries)
+	}
+	sent, _ := p.Stats()
+	if sent != 10 {
+		t.Fatalf("sent = %d", sent)
+	}
+}
+
+func TestTailReaderToHTTPLoki(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	srv := httptest.NewServer(store.Handler())
+	defer srv.Close()
+	client := loki.NewClient(srv.URL, nil)
+	p, err := New(Config{Push: client.Push, BatchSize: 4, BatchWait: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := strings.Join([]string{
+		"Mar  3 01:47:57 nid001234 mmfs: GPFS healthy",
+		"Mar  3 01:47:58 nid001234 mmfs: GPFS: Disk failure detected on rg001",
+		"Mar  3 01:47:59 nid001234 sshd: Accepted publickey",
+	}, "\n")
+	ts := time.Unix(0, 0)
+	i := int64(0)
+	now := func() time.Time { i++; return ts.Add(time.Duration(i) * time.Second) }
+	cfg := ScrapeConfig{Job: "syslog", StaticLabels: map[string]string{"cluster": "perlmutter"}}
+	if err := p.Tail(context.Background(), cfg, strings.NewReader(input), now); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := store.Select(nil, 0, 1<<62)
+	total := 0
+	for _, s := range got {
+		total += len(s.Entries)
+	}
+	if total != 3 {
+		t.Fatalf("entries = %d", total)
+	}
+}
+
+func TestTailContextCancel(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	p := newCollector(t, store, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := newBlockingPipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Tail(ctx, ScrapeConfig{Job: "x"}, pr, nil)
+	}()
+	pw <- "one line\n"
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("tail did not stop")
+	}
+	// The partial batch was flushed on cancel.
+	if store.Stats().Entries != 1 {
+		t.Fatalf("entries = %d", store.Stats().Entries)
+	}
+}
+
+// newBlockingPipe returns a reader fed by a string channel that never
+// EOFs, for cancellation tests.
+func newBlockingPipe() (*chanReader, chan string) {
+	ch := make(chan string, 8)
+	return &chanReader{ch: ch}, ch
+}
+
+type chanReader struct {
+	ch  chan string
+	buf []byte
+}
+
+func (r *chanReader) Read(p []byte) (int, error) {
+	if len(r.buf) == 0 {
+		s, ok := <-r.ch
+		if !ok {
+			return 0, context.Canceled
+		}
+		r.buf = []byte(s)
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}

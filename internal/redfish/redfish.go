@@ -1,0 +1,110 @@
+// Package redfish models the DMTF Redfish events the Shasta hardware
+// pushes to the hardware management service: the CrayAlerts registry
+// (CabinetLeakDetected, PowerDown, ...) in the exact nested JSON shape the
+// paper's Fig. 2 shows being pulled from the Telemetry API.
+package redfish
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Severity levels used by the CrayAlerts registry.
+const (
+	SeverityOK       = "OK"
+	SeverityWarning  = "Warning"
+	SeverityCritical = "Critical"
+)
+
+// Well-known CrayAlerts message IDs exercised by the paper.
+const (
+	MsgCabinetLeakDetected = "CrayAlerts.1.0.CabinetLeakDetected"
+	MsgPowerDown           = "CrayAlerts.1.0.ResourcePowerStateChanged"
+	MsgTelemetry           = "CrayTelemetry.1.0.Sensor"
+)
+
+// Origin is the OriginOfCondition link of an event.
+type Origin struct {
+	OdataID string `json:"@odata.id"`
+}
+
+// Event is one Redfish event, field-for-field the structure in Fig. 2.
+type Event struct {
+	EventTimestamp    string   `json:"EventTimestamp"`
+	Severity          string   `json:"Severity"`
+	Message           string   `json:"Message"`
+	MessageID         string   `json:"MessageId"`
+	MessageArgs       []string `json:"MessageArgs,omitempty"`
+	OriginOfCondition *Origin  `json:"OriginOfCondition,omitempty"`
+}
+
+// Record groups the events of one source; Context carries the component
+// xname ("x1203c1b0" in the paper's example).
+type Record struct {
+	Context string  `json:"Context"`
+	Events  []Event `json:"Events"`
+}
+
+// Payload is the envelope the Telemetry API serves: {"metrics":
+// {"messages": [...records...]}}.
+type Payload struct {
+	Metrics struct {
+		Messages []Record `json:"messages"`
+	} `json:"metrics"`
+}
+
+// NewPayload wraps records into the Telemetry API envelope.
+func NewPayload(records ...Record) Payload {
+	var p Payload
+	p.Metrics.Messages = records
+	return p
+}
+
+// Marshal renders the payload as JSON.
+func (p Payload) Marshal() ([]byte, error) { return json.Marshal(p) }
+
+// ParsePayload decodes the Telemetry API envelope.
+func ParsePayload(data []byte) (Payload, error) {
+	var p Payload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return p, fmt.Errorf("redfish: bad payload: %w", err)
+	}
+	return p, nil
+}
+
+// Timestamp parses an event's ISO 8601 timestamp.
+func (e Event) Timestamp() (time.Time, error) {
+	return time.Parse(time.RFC3339, e.EventTimestamp)
+}
+
+// LeakEvent builds the CabinetLeakDetected event of the paper's case study
+// A: sensor is "A" or "B" (the redundant pair), zone "Front" or "Rear".
+func LeakEvent(ts time.Time, sensor, zone string) Event {
+	return Event{
+		EventTimestamp: ts.UTC().Format(time.RFC3339),
+		Severity:       SeverityWarning,
+		Message: fmt.Sprintf(
+			"Sensor '%s' of the redundant leak sensors in the '%s' cabinet zone has detected a leak.",
+			sensor, zone),
+		MessageID:         MsgCabinetLeakDetected,
+		MessageArgs:       []string{fmt.Sprintf("%s, %s", sensor, zone)},
+		OriginOfCondition: &Origin{OdataID: "/redfish/v1/Chassis/Enclosure"},
+	}
+}
+
+// PowerEvent builds a ResourcePowerStateChanged event (state "On"/"Off").
+func PowerEvent(ts time.Time, resource, state string) Event {
+	sev := SeverityOK
+	if state == "Off" {
+		sev = SeverityCritical
+	}
+	return Event{
+		EventTimestamp:    ts.UTC().Format(time.RFC3339),
+		Severity:          sev,
+		Message:           fmt.Sprintf("The power state of resource '%s' changed to '%s'.", resource, state),
+		MessageID:         MsgPowerDown,
+		MessageArgs:       []string{resource, state},
+		OriginOfCondition: &Origin{OdataID: "/redfish/v1/Chassis/" + resource},
+	}
+}

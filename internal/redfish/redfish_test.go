@@ -1,0 +1,83 @@
+package redfish
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLeakEventMatchesPaperFig2(t *testing.T) {
+	ts := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	e := LeakEvent(ts, "A", "Front")
+	if e.Severity != SeverityWarning {
+		t.Fatalf("severity %q", e.Severity)
+	}
+	if e.Message != "Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak." {
+		t.Fatalf("message %q", e.Message)
+	}
+	if e.MessageID != "CrayAlerts.1.0.CabinetLeakDetected" {
+		t.Fatalf("message id %q", e.MessageID)
+	}
+	if len(e.MessageArgs) != 1 || e.MessageArgs[0] != "A, Front" {
+		t.Fatalf("args %v", e.MessageArgs)
+	}
+	if e.OriginOfCondition.OdataID != "/redfish/v1/Chassis/Enclosure" {
+		t.Fatalf("origin %+v", e.OriginOfCondition)
+	}
+	got, err := e.Timestamp()
+	if err != nil || !got.Equal(ts) {
+		t.Fatalf("%v %v", got, err)
+	}
+}
+
+func TestPowerEventSeverity(t *testing.T) {
+	off := PowerEvent(time.Now(), "x1000c1", "Off")
+	if off.Severity != SeverityCritical {
+		t.Fatalf("off severity %q", off.Severity)
+	}
+	on := PowerEvent(time.Now(), "x1000c1", "On")
+	if on.Severity != SeverityOK {
+		t.Fatalf("on severity %q", on.Severity)
+	}
+}
+
+func TestPayloadJSONShape(t *testing.T) {
+	ts := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	p := NewPayload(Record{Context: "x1203c1b0", Events: []Event{LeakEvent(ts, "A", "Front")}})
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]interface{}
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatal(err)
+	}
+	metrics, ok := generic["metrics"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("no metrics envelope: %s", data)
+	}
+	if _, ok := metrics["messages"].([]interface{}); !ok {
+		t.Fatalf("no messages array: %s", data)
+	}
+	if !strings.Contains(string(data), `"EventTimestamp":"2022-03-03T01:47:57Z"`) {
+		t.Fatalf("timestamp: %s", data)
+	}
+}
+
+func TestParsePayloadErrors(t *testing.T) {
+	if _, err := ParsePayload([]byte("{")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	p, err := ParsePayload([]byte(`{}`))
+	if err != nil || len(p.Metrics.Messages) != 0 {
+		t.Fatalf("%+v %v", p, err)
+	}
+}
+
+func TestEventTimestampError(t *testing.T) {
+	e := Event{EventTimestamp: "nope"}
+	if _, err := e.Timestamp(); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package ruler implements the Loki Ruler: "a component that enables
+// assessment of a collection of configurable queries and executes an
+// action based on the outcome". It evaluates LogQL alerting rules on an
+// interval and forwards firing alerts to the Alertmanager, holding each
+// alert through its `for:` duration first — exactly the rule lifecycle of
+// the paper's Fig. 8.
+package ruler
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+
+	"shastamon/internal/alertmanager"
+	"shastamon/internal/labels"
+	"shastamon/internal/logql"
+)
+
+// Rule is one alerting rule in the Loki/Prometheus rule format.
+type Rule struct {
+	Name        string            // alert: name
+	Expr        string            // LogQL metric expression
+	For         time.Duration     // hold duration before firing
+	Labels      map[string]string // added to the alert
+	Annotations map[string]string // templated with {{ $labels.x }} / {{ $value }}
+}
+
+// Notifier receives alerts; *alertmanager.Manager satisfies it.
+type Notifier interface {
+	Receive(alerts ...alertmanager.Alert)
+}
+
+type compiledRule struct {
+	rule Rule
+	expr logql.MetricExpr
+}
+
+type alertState struct {
+	activeSince time.Time
+	firing      bool
+	labels      labels.Labels
+	value       float64
+}
+
+// Ruler evaluates rules against a LogQL engine.
+type Ruler struct {
+	engine   *logql.Engine
+	notifier Notifier
+	now      func() time.Time
+
+	mu    sync.Mutex
+	rules []compiledRule
+	state []map[labels.Fingerprint]*alertState
+
+	evals int64
+}
+
+// New compiles the rules and returns a ruler. Rule names must be unique
+// and expressions must be metric queries.
+func New(engine *logql.Engine, notifier Notifier, now func() time.Time, rules ...Rule) (*Ruler, error) {
+	if engine == nil || notifier == nil {
+		return nil, fmt.Errorf("ruler: engine and notifier required")
+	}
+	if now == nil {
+		now = time.Now
+	}
+	r := &Ruler{engine: engine, notifier: notifier, now: now}
+	seen := map[string]bool{}
+	for _, rule := range rules {
+		if rule.Name == "" {
+			return nil, fmt.Errorf("ruler: rule needs a name: %+v", rule)
+		}
+		if seen[rule.Name] {
+			return nil, fmt.Errorf("ruler: duplicate rule %q", rule.Name)
+		}
+		seen[rule.Name] = true
+		expr, err := logql.ParseMetricExpr(rule.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("ruler: rule %q: %w", rule.Name, err)
+		}
+		r.rules = append(r.rules, compiledRule{rule: rule, expr: expr})
+		r.state = append(r.state, map[labels.Fingerprint]*alertState{})
+	}
+	return r, nil
+}
+
+var tmplVar = regexp.MustCompile(`\{\{\s*\$(labels\.([a-zA-Z_][a-zA-Z0-9_]*)|value)\s*\}\}`)
+
+// ExpandTemplate substitutes {{ $labels.name }} and {{ $value }} in rule
+// annotations; shared with vmalert.
+func ExpandTemplate(s string, ls labels.Labels, value float64) string {
+	return tmplVar.ReplaceAllStringFunc(s, func(m string) string {
+		sub := tmplVar.FindStringSubmatch(m)
+		if sub[1] == "value" {
+			return strconv.FormatFloat(value, 'g', -1, 64)
+		}
+		return ls.Get(sub[2])
+	})
+}
+
+// EvalOnce evaluates every rule at the ruler's current time and sends
+// newly-firing and newly-resolved alerts to the notifier. It returns the
+// alerts sent.
+func (r *Ruler) EvalOnce() ([]alertmanager.Alert, error) {
+	now := r.now()
+	ts := now.UnixNano()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evals++
+	var sent []alertmanager.Alert
+	for i, cr := range r.rules {
+		vec, err := r.engine.Instant(cr.expr, ts)
+		if err != nil {
+			return sent, fmt.Errorf("ruler: rule %q: %w", cr.rule.Name, err)
+		}
+		active := map[labels.Fingerprint]bool{}
+		for _, sample := range vec {
+			alertLbls := r.alertLabels(cr.rule, sample.Labels)
+			fp := alertLbls.Fingerprint()
+			active[fp] = true
+			st, ok := r.state[i][fp]
+			if !ok {
+				st = &alertState{activeSince: now, labels: alertLbls}
+				r.state[i][fp] = st
+			}
+			st.value = sample.V
+			if !st.firing && now.Sub(st.activeSince) >= cr.rule.For {
+				st.firing = true
+				sent = append(sent, r.buildAlert(cr.rule, st, now, time.Time{}))
+			}
+		}
+		// Series that stopped matching: resolve if firing, forget otherwise.
+		for fp, st := range r.state[i] {
+			if active[fp] {
+				continue
+			}
+			if st.firing {
+				sent = append(sent, r.buildAlert(cr.rule, st, st.activeSince, now))
+			}
+			delete(r.state[i], fp)
+		}
+	}
+	if len(sent) > 0 {
+		r.notifier.Receive(sent...)
+	}
+	return sent, nil
+}
+
+func (r *Ruler) alertLabels(rule Rule, sampleLbls labels.Labels) labels.Labels {
+	b := labels.NewBuilder(sampleLbls)
+	b.Set("alertname", rule.Name)
+	for k, v := range rule.Labels {
+		b.Set(k, v)
+	}
+	return b.Labels()
+}
+
+func (r *Ruler) buildAlert(rule Rule, st *alertState, startsAt, endsAt time.Time) alertmanager.Alert {
+	ann := make(map[string]string, len(rule.Annotations))
+	for k, v := range rule.Annotations {
+		ann[k] = ExpandTemplate(v, st.labels, st.value)
+	}
+	return alertmanager.Alert{
+		Labels:      st.labels,
+		Annotations: ann,
+		StartsAt:    startsAt,
+		EndsAt:      endsAt,
+	}
+}
+
+// Pending reports, for tests and dashboards, how many alert series are
+// active (pending or firing) for the named rule.
+func (r *Ruler) Pending(ruleName string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, cr := range r.rules {
+		if cr.rule.Name == ruleName {
+			return len(r.state[i])
+		}
+	}
+	return 0
+}
+
+// Evals returns the number of evaluation rounds run.
+func (r *Ruler) Evals() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evals
+}
+
+// Run evaluates on the interval until stop is closed. Evaluation errors
+// stop the loop and are returned.
+func (r *Ruler) Run(interval time.Duration, stop <-chan struct{}) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-t.C:
+			if _, err := r.EvalOnce(); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package servicenow
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"shastamon/internal/alertmanager"
+)
+
+// Notifier converts Alertmanager notifications into ServiceNow events and
+// posts them to an instance's event collector ("alerts are transformed
+// into ServiceNow Events, which are correlated and grouped into SN Alerts,
+// which then trigger automated response actions").
+type Notifier struct {
+	name   string
+	url    string // base URL of the instance API
+	client *http.Client
+}
+
+// NewNotifier returns an alertmanager.Receiver posting to the instance at
+// baseURL.
+func NewNotifier(name, baseURL string, client *http.Client) *Notifier {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Notifier{name: name, url: baseURL, client: client}
+}
+
+// Name implements alertmanager.Receiver.
+func (n *Notifier) Name() string { return n.name }
+
+// Notify posts one SN event per alert in the notification.
+func (n *Notifier) Notify(notification alertmanager.Notification) error {
+	for _, a := range notification.Alerts {
+		e := EventFromAlert(a)
+		body, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		resp, err := n.client.Post(n.url+"/api/em/events", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("servicenow: post event: %w", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("servicenow: event collector status %d", resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// EventFromAlert maps an Alertmanager alert to an SN event. The node is
+// taken from the xname/Context/instance labels in that order; resolved
+// alerts become clear events.
+func EventFromAlert(a alertmanager.Alert) Event {
+	node := a.Labels.Get("xname")
+	if node == "" {
+		node = a.Labels.Get("Context")
+	}
+	if node == "" {
+		node = a.Labels.Get("hostname")
+	}
+	if node == "" {
+		node = a.Labels.Get("instance")
+	}
+	sev := severityFromLabel(a.Labels.Get("severity"))
+	if !a.EndsAt.IsZero() {
+		sev = SeverityClear
+	}
+	desc := a.Annotations["summary"]
+	if desc == "" {
+		desc = a.Labels.String()
+	}
+	return Event{
+		Source:         "alertmanager",
+		Node:           node,
+		Type:           a.Name(),
+		Severity:       sev,
+		Description:    desc,
+		AdditionalInfo: a.Labels.Map(),
+		TimeOfEvent:    a.StartsAt,
+	}
+}
+
+func severityFromLabel(s string) int {
+	switch strings.ToLower(s) {
+	case "critical":
+		return SeverityCritical
+	case "major", "error":
+		return SeverityMajor
+	case "minor":
+		return SeverityMinor
+	case "warning", "warn":
+		return SeverityWarning
+	}
+	return SeverityWarning
+}

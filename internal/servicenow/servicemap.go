@@ -1,0 +1,81 @@
+package servicenow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the service-mapping side of the paper's §III.D:
+// "service maps employ discovery and infrastructure information in CMDB
+// for creating an accurate and complete tag based map of all applications,
+// virtual systems, underlying network, databases, servers and other IT
+// components that supports the service", enabling service impact analysis.
+
+// AddDependency records that dependent relies on dependsOn (e.g. a compute
+// node depends on its Rosetta switch). Both CIs must exist in the CMDB.
+func (sn *Instance) AddDependency(dependent, dependsOn string) error {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if _, ok := sn.cmdb[dependent]; !ok {
+		return fmt.Errorf("servicenow: unknown CI %q", dependent)
+	}
+	if _, ok := sn.cmdb[dependsOn]; !ok {
+		return fmt.Errorf("servicenow: unknown CI %q", dependsOn)
+	}
+	if dependent == dependsOn {
+		return fmt.Errorf("servicenow: CI %q cannot depend on itself", dependent)
+	}
+	if sn.deps == nil {
+		sn.deps = map[string][]string{}
+	}
+	for _, existing := range sn.deps[dependsOn] {
+		if existing == dependent {
+			return nil
+		}
+	}
+	sn.deps[dependsOn] = append(sn.deps[dependsOn], dependent)
+	sort.Strings(sn.deps[dependsOn])
+	return nil
+}
+
+// Dependents returns the CIs directly depending on the given CI.
+func (sn *Instance) Dependents(name string) []string {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return append([]string(nil), sn.deps[name]...)
+}
+
+// ImpactedCIs returns every CI transitively depending on the given CI —
+// the service impact set of a failure at name. The result is sorted and
+// excludes name itself.
+func (sn *Instance) ImpactedCIs(name string) []string {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.impactedLocked(name)
+}
+
+// ServiceMap renders the dependency tree rooted at a CI as indented text,
+// the terminal rendition of ServiceNow's service map view.
+func (sn *Instance) ServiceMap(root string) (string, error) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	ci, ok := sn.cmdb[root]
+	if !ok {
+		return "", fmt.Errorf("servicenow: unknown CI %q", root)
+	}
+	var b strings.Builder
+	var render func(name string, class string, depth int, seen map[string]bool)
+	render = func(name, class string, depth int, seen map[string]bool) {
+		fmt.Fprintf(&b, "%s%s (%s)\n", strings.Repeat("  ", depth), name, class)
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		for _, d := range sn.deps[name] {
+			render(d, sn.cmdb[d].Class, depth+1, seen)
+		}
+	}
+	render(root, ci.Class, 0, map[string]bool{})
+	return b.String(), nil
+}

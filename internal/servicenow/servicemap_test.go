@@ -1,0 +1,113 @@
+package servicenow
+
+import (
+	"strings"
+	"testing"
+)
+
+func mapInstance(t *testing.T) *Instance {
+	t.Helper()
+	sn, _ := testInstance()
+	sn.LoadCMDB(
+		CI{Name: "sw1", Class: "cmdb_ci_netgear"},
+		CI{Name: "n1", Class: "cmdb_ci_computer"},
+		CI{Name: "n2", Class: "cmdb_ci_computer"},
+		CI{Name: "job-svc", Class: "cmdb_ci_service"},
+	)
+	if err := sn.AddDependency("n1", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.AddDependency("n2", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.AddDependency("job-svc", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	return sn
+}
+
+func TestDependencyValidation(t *testing.T) {
+	sn, _ := testInstance()
+	sn.LoadCMDB(CI{Name: "a"}, CI{Name: "b"})
+	if err := sn.AddDependency("a", "ghost"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if err := sn.AddDependency("ghost", "a"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if err := sn.AddDependency("a", "a"); err == nil {
+		t.Fatal("self dependency accepted")
+	}
+	// Duplicate adds are idempotent.
+	_ = sn.AddDependency("a", "b")
+	_ = sn.AddDependency("a", "b")
+	if got := sn.Dependents("b"); len(got) != 1 {
+		t.Fatalf("%v", got)
+	}
+}
+
+func TestImpactedCIsTransitive(t *testing.T) {
+	sn := mapInstance(t)
+	got := sn.ImpactedCIs("sw1")
+	want := []string{"job-svc", "n1", "n2"}
+	if len(got) != len(want) {
+		t.Fatalf("impacted: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("impacted: %v", got)
+		}
+	}
+	if len(sn.ImpactedCIs("n2")) != 0 {
+		t.Fatalf("leaf should impact nothing: %v", sn.ImpactedCIs("n2"))
+	}
+}
+
+func TestServiceMapRender(t *testing.T) {
+	sn := mapInstance(t)
+	out, err := sn.ServiceMap("sw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sw1 (cmdb_ci_netgear)", "  n1 (cmdb_ci_computer)", "    job-svc (cmdb_ci_service)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("map missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := sn.ServiceMap("ghost"); err == nil {
+		t.Fatal("unknown root accepted")
+	}
+}
+
+func TestServiceMapCycleSafe(t *testing.T) {
+	sn, _ := testInstance()
+	sn.LoadCMDB(CI{Name: "a"}, CI{Name: "b"})
+	_ = sn.AddDependency("a", "b")
+	_ = sn.AddDependency("b", "a") // cycle
+	out, err := sn.ServiceMap("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "a (") > 2 {
+		t.Fatalf("unbounded recursion:\n%s", out)
+	}
+	// Impact with a cycle terminates and includes both.
+	if got := sn.ImpactedCIs("a"); len(got) != 2 {
+		t.Fatalf("%v", got)
+	}
+}
+
+func TestIncidentCarriesImpactNote(t *testing.T) {
+	sn := mapInstance(t)
+	_, err := sn.PostEvent(Event{Source: "am", Node: "sw1", Type: "SwitchOffline", Severity: SeverityCritical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incs := sn.Incidents()
+	if len(incs) != 1 || len(incs[0].WorkNotes) != 1 {
+		t.Fatalf("%+v", incs)
+	}
+	if !strings.Contains(incs[0].WorkNotes[0], "3 dependent CI(s)") {
+		t.Fatalf("note: %q", incs[0].WorkNotes[0])
+	}
+}

@@ -1,0 +1,346 @@
+// Package servicenow implements the subset of ServiceNow NERSC uses (paper
+// §III.D): the event management module — events are correlated and grouped
+// into SN alerts which trigger automated response actions — the incident
+// management module, and a CMDB holding configuration items (CIs) for
+// Perlmutter assets. An HTTP façade mimics the SN event collector API, and
+// a Notifier adapts Alertmanager notifications into SN events.
+package servicenow
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Severity follows the SN event scale: 1 critical, 2 major, 3 minor,
+// 4 warning, 5 OK/clear.
+const (
+	SeverityCritical = 1
+	SeverityMajor    = 2
+	SeverityMinor    = 3
+	SeverityWarning  = 4
+	SeverityClear    = 5
+)
+
+// Event is one monitoring event posted to the event collector.
+type Event struct {
+	Source         string            `json:"source"`
+	Node           string            `json:"node"`
+	Type           string            `json:"type"`
+	Resource       string            `json:"resource,omitempty"`
+	Severity       int               `json:"severity"`
+	Description    string            `json:"description"`
+	AdditionalInfo map[string]string `json:"additional_info,omitempty"`
+	TimeOfEvent    time.Time         `json:"time_of_event"`
+}
+
+// key is the correlation identity: events sharing it group into one alert.
+func (e Event) key() string { return e.Source + "\x00" + e.Node + "\x00" + e.Type }
+
+// Alert is a ServiceNow alert: the correlation of one or more events.
+type Alert struct {
+	Number     string    `json:"number"`
+	Source     string    `json:"source"`
+	Node       string    `json:"node"`
+	Type       string    `json:"type"`
+	Severity   int       `json:"severity"`
+	EventCount int       `json:"event_count"`
+	State      string    `json:"state"` // Open, Closed
+	CI         string    `json:"ci,omitempty"`
+	Incident   string    `json:"incident,omitempty"`
+	UpdatedAt  time.Time `json:"updated_at"`
+}
+
+// Incident states, following the SN incident lifecycle.
+const (
+	IncidentNew        = "New"
+	IncidentInProgress = "In Progress"
+	IncidentResolved   = "Resolved"
+	IncidentClosed     = "Closed"
+)
+
+// Incident is an SN incident record.
+type Incident struct {
+	Number           string    `json:"number"`
+	ShortDescription string    `json:"short_description"`
+	Description      string    `json:"description"`
+	Priority         int       `json:"priority"` // 1..5, mapped from severity
+	State            string    `json:"state"`
+	CI               string    `json:"ci,omitempty"`
+	OpenedAt         time.Time `json:"opened_at"`
+	ResolvedAt       time.Time `json:"resolved_at,omitempty"`
+	WorkNotes        []string  `json:"work_notes,omitempty"`
+}
+
+// CI is a CMDB configuration item.
+type CI struct {
+	Name       string            `json:"name"`  // xname or hostname
+	Class      string            `json:"class"` // cmdb_ci_computer, cmdb_ci_netgear, ...
+	Attributes map[string]string `json:"attributes,omitempty"`
+}
+
+// Config tunes the instance.
+type Config struct {
+	// IncidentSeverityThreshold: alerts at this severity or more severe
+	// (numerically <=) auto-create an incident. Default 2 (major).
+	IncidentSeverityThreshold int
+	// Now is injectable for tests.
+	Now func() time.Time
+}
+
+// Instance is an in-process ServiceNow.
+type Instance struct {
+	threshold int
+	now       func() time.Time
+
+	mu        sync.Mutex
+	events    []Event
+	alerts    map[string]*Alert // by correlation key
+	incidents map[string]*Incident
+	cmdb      map[string]CI
+	deps      map[string][]string // CI -> CIs that depend on it
+	alertSeq  int
+	incSeq    int
+}
+
+// NewInstance returns an empty instance.
+func NewInstance(cfg Config) *Instance {
+	if cfg.IncidentSeverityThreshold == 0 {
+		cfg.IncidentSeverityThreshold = SeverityMajor
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Instance{
+		threshold: cfg.IncidentSeverityThreshold,
+		now:       cfg.Now,
+		alerts:    map[string]*Alert{},
+		incidents: map[string]*Incident{},
+		cmdb:      map[string]CI{},
+	}
+}
+
+// LoadCMDB registers configuration items; alerts bind to the CI matching
+// their node ("using event management, CMDB and CI still needed to be
+// configured using Perlmutter assets").
+func (sn *Instance) LoadCMDB(cis ...CI) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	for _, ci := range cis {
+		sn.cmdb[ci.Name] = ci
+	}
+}
+
+// CMDBLookup returns the CI for a name.
+func (sn *Instance) CMDBLookup(name string) (CI, bool) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	ci, ok := sn.cmdb[name]
+	return ci, ok
+}
+
+// PostEvent ingests one event: it is correlated into an alert; severe
+// alerts open incidents; clear events close the alert and resolve its
+// incident. It returns the updated alert.
+func (sn *Instance) PostEvent(e Event) (Alert, error) {
+	if e.Source == "" || e.Type == "" {
+		return Alert{}, fmt.Errorf("servicenow: event requires source and type: %+v", e)
+	}
+	if e.Severity < SeverityCritical || e.Severity > SeverityClear {
+		return Alert{}, fmt.Errorf("servicenow: severity %d out of range", e.Severity)
+	}
+	now := sn.now()
+	if e.TimeOfEvent.IsZero() {
+		e.TimeOfEvent = now
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.events = append(sn.events, e)
+
+	k := e.key()
+	a, ok := sn.alerts[k]
+	if !ok {
+		sn.alertSeq++
+		a = &Alert{
+			Number: fmt.Sprintf("Alert%07d", sn.alertSeq),
+			Source: e.Source, Node: e.Node, Type: e.Type,
+			Severity: e.Severity, State: "Open",
+		}
+		if _, found := sn.cmdb[e.Node]; found {
+			a.CI = e.Node
+		}
+		sn.alerts[k] = a
+	}
+	a.EventCount++
+	a.UpdatedAt = now
+
+	if e.Severity == SeverityClear {
+		a.State = "Closed"
+		a.Severity = SeverityClear
+		if inc, found := sn.incidents[a.Incident]; found && inc.State != IncidentClosed {
+			inc.State = IncidentResolved
+			inc.ResolvedAt = now
+			inc.WorkNotes = append(inc.WorkNotes, fmt.Sprintf("Auto-resolved by clear event from %s at %s", e.Source, now.UTC().Format(time.RFC3339)))
+		}
+		return *a, nil
+	}
+
+	a.State = "Open"
+	if e.Severity < a.Severity {
+		a.Severity = e.Severity
+	}
+	if a.Severity <= sn.threshold && a.Incident == "" {
+		sn.incSeq++
+		inc := &Incident{
+			Number:           fmt.Sprintf("INC%07d", sn.incSeq),
+			ShortDescription: fmt.Sprintf("[%s] %s on %s", severityName(a.Severity), e.Type, e.Node),
+			Description:      e.Description,
+			Priority:         a.Severity,
+			State:            IncidentNew,
+			CI:               a.CI,
+			OpenedAt:         now,
+		}
+		if a.CI != "" {
+			if impacted := sn.impactedLocked(a.CI); len(impacted) > 0 {
+				inc.WorkNotes = append(inc.WorkNotes, fmt.Sprintf(
+					"Service impact: %d dependent CI(s) affected (first: %s)", len(impacted), impacted[0]))
+			}
+		}
+		sn.incidents[inc.Number] = inc
+		a.Incident = inc.Number
+	}
+	return *a, nil
+}
+
+// impactedLocked is ImpactedCIs with sn.mu already held.
+func (sn *Instance) impactedLocked(name string) []string {
+	seen := map[string]bool{}
+	var walk func(n string)
+	walk = func(n string) {
+		for _, d := range sn.deps[n] {
+			if !seen[d] {
+				seen[d] = true
+				walk(d)
+			}
+		}
+	}
+	walk(name)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func severityName(s int) string {
+	switch s {
+	case SeverityCritical:
+		return "Critical"
+	case SeverityMajor:
+		return "Major"
+	case SeverityMinor:
+		return "Minor"
+	case SeverityWarning:
+		return "Warning"
+	}
+	return "Clear"
+}
+
+// Alerts lists alerts sorted by number.
+func (sn *Instance) Alerts() []Alert {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	out := make([]Alert, 0, len(sn.alerts))
+	for _, a := range sn.alerts {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// Incidents lists incidents sorted by number.
+func (sn *Instance) Incidents() []Incident {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	out := make([]Incident, 0, len(sn.incidents))
+	for _, inc := range sn.incidents {
+		out = append(out, *inc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// Events returns the raw event log.
+func (sn *Instance) Events() []Event {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return append([]Event(nil), sn.events...)
+}
+
+// UpdateIncident transitions an incident's state with a work note,
+// enforcing the lifecycle order New -> In Progress -> Resolved -> Closed
+// (resolution may be skipped straight from New).
+func (sn *Instance) UpdateIncident(number, state, note string) error {
+	order := map[string]int{IncidentNew: 0, IncidentInProgress: 1, IncidentResolved: 2, IncidentClosed: 3}
+	rank, ok := order[state]
+	if !ok {
+		return fmt.Errorf("servicenow: unknown state %q", state)
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	inc, found := sn.incidents[number]
+	if !found {
+		return fmt.Errorf("servicenow: unknown incident %q", number)
+	}
+	if rank <= order[inc.State] {
+		return fmt.Errorf("servicenow: cannot move %s from %s to %s", number, inc.State, state)
+	}
+	inc.State = state
+	if state == IncidentResolved {
+		inc.ResolvedAt = sn.now()
+	}
+	if note != "" {
+		inc.WorkNotes = append(inc.WorkNotes, note)
+	}
+	return nil
+}
+
+// Handler serves the event collector and read APIs:
+//
+//	POST /api/em/events     one Event as JSON
+//	GET  /api/em/alerts
+//	GET  /api/em/incidents
+func (sn *Instance) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/em/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var e Event
+		if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		a, err := sn.PostEvent(e)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(a)
+	})
+	mux.HandleFunc("/api/em/alerts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sn.Alerts())
+	})
+	mux.HandleFunc("/api/em/incidents", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sn.Incidents())
+	})
+	return mux
+}

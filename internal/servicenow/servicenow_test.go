@@ -1,0 +1,216 @@
+package servicenow
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"shastamon/internal/alertmanager"
+	"shastamon/internal/labels"
+)
+
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) Now() time.Time { c.mu.Lock(); defer c.mu.Unlock(); return c.t }
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func testInstance() (*Instance, *clock) {
+	ck := &clock{t: time.Date(2022, 3, 3, 1, 0, 0, 0, time.UTC)}
+	sn := NewInstance(Config{Now: ck.Now})
+	return sn, ck
+}
+
+func TestEventValidation(t *testing.T) {
+	sn, _ := testInstance()
+	if _, err := sn.PostEvent(Event{Node: "x", Severity: 1}); err == nil {
+		t.Fatal("missing source/type accepted")
+	}
+	if _, err := sn.PostEvent(Event{Source: "s", Type: "t", Severity: 9}); err == nil {
+		t.Fatal("bad severity accepted")
+	}
+}
+
+func TestEventCorrelationIntoAlert(t *testing.T) {
+	sn, _ := testInstance()
+	e := Event{Source: "alertmanager", Node: "x1002c1r7b0", Type: "SwitchOffline", Severity: SeverityCritical, Description: "switch down"}
+	a1, err := sn.PostEvent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sn.PostEvent(e) // duplicate event correlates, no new alert
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Number != a2.Number || a2.EventCount != 2 {
+		t.Fatalf("%+v %+v", a1, a2)
+	}
+	if len(sn.Alerts()) != 1 || len(sn.Events()) != 2 {
+		t.Fatalf("alerts=%d events=%d", len(sn.Alerts()), len(sn.Events()))
+	}
+}
+
+func TestIncidentAutoCreationAndPriority(t *testing.T) {
+	sn, _ := testInstance()
+	// Warning severity: no incident (threshold is Major).
+	a, _ := sn.PostEvent(Event{Source: "am", Node: "n1", Type: "Warn", Severity: SeverityWarning})
+	if a.Incident != "" {
+		t.Fatalf("warning opened incident: %+v", a)
+	}
+	// Critical: incident opened with priority 1.
+	a, _ = sn.PostEvent(Event{Source: "am", Node: "n2", Type: "LeakDetected", Severity: SeverityCritical, Description: "leak at x1203c1b0"})
+	if a.Incident == "" {
+		t.Fatal("no incident for critical alert")
+	}
+	incs := sn.Incidents()
+	if len(incs) != 1 || incs[0].Priority != 1 || incs[0].State != IncidentNew {
+		t.Fatalf("%+v", incs)
+	}
+	if !strings.Contains(incs[0].ShortDescription, "LeakDetected") {
+		t.Fatalf("short description: %q", incs[0].ShortDescription)
+	}
+	// Escalation: a warning alert that later goes critical opens one.
+	a, _ = sn.PostEvent(Event{Source: "am", Node: "n1", Type: "Warn", Severity: SeverityCritical})
+	if a.Incident == "" {
+		t.Fatal("escalated alert did not open incident")
+	}
+}
+
+func TestClearEventClosesAlertAndResolvesIncident(t *testing.T) {
+	sn, ck := testInstance()
+	e := Event{Source: "am", Node: "x1002c1r7b0", Type: "SwitchOffline", Severity: SeverityCritical}
+	a, _ := sn.PostEvent(e)
+	inc := a.Incident
+	ck.Advance(10 * time.Minute)
+	e.Severity = SeverityClear
+	a, err := sn.PostEvent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.State != "Closed" {
+		t.Fatalf("alert state %q", a.State)
+	}
+	incs := sn.Incidents()
+	if incs[0].Number != inc || incs[0].State != IncidentResolved || incs[0].ResolvedAt.IsZero() {
+		t.Fatalf("%+v", incs[0])
+	}
+	if len(incs[0].WorkNotes) == 0 {
+		t.Fatal("no work note on auto-resolve")
+	}
+}
+
+func TestCMDBBinding(t *testing.T) {
+	sn, _ := testInstance()
+	sn.LoadCMDB(
+		CI{Name: "x1002c1r7b0", Class: "cmdb_ci_netgear", Attributes: map[string]string{"model": "Rosetta"}},
+		CI{Name: "x1000c0s0b0n0", Class: "cmdb_ci_computer"},
+	)
+	if _, ok := sn.CMDBLookup("x1002c1r7b0"); !ok {
+		t.Fatal("CI missing")
+	}
+	a, _ := sn.PostEvent(Event{Source: "am", Node: "x1002c1r7b0", Type: "SwitchOffline", Severity: SeverityCritical})
+	if a.CI != "x1002c1r7b0" {
+		t.Fatalf("alert not bound to CI: %+v", a)
+	}
+	incs := sn.Incidents()
+	if incs[0].CI != "x1002c1r7b0" {
+		t.Fatalf("incident not bound to CI: %+v", incs[0])
+	}
+	// Unknown node: no CI binding, still works.
+	a, _ = sn.PostEvent(Event{Source: "am", Node: "mystery", Type: "X", Severity: SeverityCritical})
+	if a.CI != "" {
+		t.Fatalf("%+v", a)
+	}
+}
+
+func TestIncidentLifecycle(t *testing.T) {
+	sn, _ := testInstance()
+	a, _ := sn.PostEvent(Event{Source: "am", Node: "n", Type: "T", Severity: SeverityCritical})
+	num := a.Incident
+	if err := sn.UpdateIncident(num, IncidentInProgress, "operator acknowledged"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.UpdateIncident(num, IncidentNew, ""); err == nil {
+		t.Fatal("backwards transition accepted")
+	}
+	if err := sn.UpdateIncident(num, IncidentResolved, "leak contained"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.UpdateIncident(num, IncidentClosed, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.UpdateIncident("INC999", IncidentClosed, ""); err == nil {
+		t.Fatal("unknown incident accepted")
+	}
+	if err := sn.UpdateIncident(num, "Bogus", ""); err == nil {
+		t.Fatal("unknown state accepted")
+	}
+	incs := sn.Incidents()
+	if incs[0].State != IncidentClosed || len(incs[0].WorkNotes) != 2 {
+		t.Fatalf("%+v", incs[0])
+	}
+}
+
+func TestHTTPEventCollector(t *testing.T) {
+	sn, _ := testInstance()
+	srv := httptest.NewServer(sn.Handler())
+	defer srv.Close()
+
+	notifier := NewNotifier("servicenow", srv.URL, nil)
+	if notifier.Name() != "servicenow" {
+		t.Fatal("name")
+	}
+	n := alertmanager.Notification{
+		Receiver: "servicenow",
+		Status:   alertmanager.StatusFiring,
+		Alerts: []alertmanager.Alert{{
+			Labels: labels.FromStrings(
+				"alertname", "PerlmutterCabinetLeak",
+				"severity", "critical",
+				"Context", "x1203c1b0",
+			),
+			Annotations: map[string]string{"summary": "Leak at x1203c1b0"},
+			StartsAt:    time.Now(),
+		}},
+	}
+	if err := notifier.Notify(n); err != nil {
+		t.Fatal(err)
+	}
+	alerts := sn.Alerts()
+	if len(alerts) != 1 || alerts[0].Node != "x1203c1b0" || alerts[0].Severity != SeverityCritical {
+		t.Fatalf("%+v", alerts)
+	}
+	incs := sn.Incidents()
+	if len(incs) != 1 || incs[0].Description != "Leak at x1203c1b0" {
+		t.Fatalf("%+v", incs)
+	}
+}
+
+func TestEventFromAlertMapping(t *testing.T) {
+	a := alertmanager.Alert{
+		Labels:   labels.FromStrings("alertname", "X", "severity", "warning", "xname", "x1"),
+		StartsAt: time.Unix(5, 0),
+	}
+	e := EventFromAlert(a)
+	if e.Node != "x1" || e.Severity != SeverityWarning || e.Type != "X" {
+		t.Fatalf("%+v", e)
+	}
+	// Resolved alert -> clear.
+	a.EndsAt = time.Unix(10, 0)
+	if EventFromAlert(a).Severity != SeverityClear {
+		t.Fatal("resolved not clear")
+	}
+	// Fallback node labels.
+	a2 := alertmanager.Alert{Labels: labels.FromStrings("alertname", "Y", "instance", "http://e/metrics")}
+	if EventFromAlert(a2).Node != "http://e/metrics" {
+		t.Fatalf("%+v", EventFromAlert(a2))
+	}
+}

@@ -1,0 +1,273 @@
+package shasta
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"shastamon/internal/redfish"
+)
+
+// SwitchState is a Slingshot switch's state as reported by the fabric
+// manager.
+type SwitchState string
+
+// Switch states, matching the fabric manager vocabulary in the paper
+// (the sample event shows state:UNKNOWN).
+const (
+	SwitchActive  SwitchState = "ACTIVE"
+	SwitchUnknown SwitchState = "UNKNOWN"
+	SwitchOffline SwitchState = "OFFLINE"
+	SwitchDrained SwitchState = "DRAINED"
+)
+
+// Config sizes the simulated system.
+type Config struct {
+	Name               string // cluster name, e.g. "perlmutter"
+	Cabinets           []int  // cabinet numbers (x<number>)
+	ChassisPerCabinet  int
+	BladesPerChassis   int
+	NodesPerBMC        int
+	SwitchesPerChassis int
+	Seed               int64
+}
+
+// DefaultConfig is a small Perlmutter-like system that includes the
+// cabinets the paper's figures reference (x1002, x1102, x1203).
+func DefaultConfig() Config {
+	return Config{
+		Name:               "perlmutter",
+		Cabinets:           []int{1000, 1002, 1102, 1203},
+		ChassisPerCabinet:  8,
+		BladesPerChassis:   8,
+		NodesPerBMC:        2,
+		SwitchesPerChassis: 8,
+		Seed:               1,
+	}
+}
+
+type leakKey struct {
+	bmc  string
+	zone string
+}
+
+// Cluster is the simulated machine. All methods are safe for concurrent
+// use.
+type Cluster struct {
+	cfg Config
+
+	nodes       []Xname
+	switches    []Xname
+	chassisBMCs []Xname
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	sensorState map[string]float64
+	switchState map[string]SwitchState
+	leaks       map[leakKey]bool
+	pending     []redfish.Record
+}
+
+// NewCluster builds the component tree for the config.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("shasta: cluster name required")
+	}
+	if len(cfg.Cabinets) == 0 || cfg.ChassisPerCabinet <= 0 || cfg.BladesPerChassis <= 0 ||
+		cfg.NodesPerBMC <= 0 || cfg.SwitchesPerChassis < 0 {
+		return nil, fmt.Errorf("shasta: invalid topology %+v", cfg)
+	}
+	c := &Cluster{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		sensorState: map[string]float64{},
+		switchState: map[string]SwitchState{},
+		leaks:       map[leakKey]bool{},
+	}
+	for _, cab := range cfg.Cabinets {
+		for ch := 0; ch < cfg.ChassisPerCabinet; ch++ {
+			c.chassisBMCs = append(c.chassisBMCs, Xname{Kind: KindChassisBMC, Cabinet: cab, Chassis: ch, Slot: -1, BMC: 0, Node: -1})
+			for s := 0; s < cfg.BladesPerChassis; s++ {
+				for n := 0; n < cfg.NodesPerBMC; n++ {
+					c.nodes = append(c.nodes, Xname{Kind: KindNode, Cabinet: cab, Chassis: ch, Slot: s, BMC: 0, Node: n})
+				}
+			}
+			for r := 0; r < cfg.SwitchesPerChassis; r++ {
+				sw := Xname{Kind: KindSwitchBMC, Cabinet: cab, Chassis: ch, Slot: r, BMC: 0, Node: -1}
+				c.switches = append(c.switches, sw)
+				c.switchState[sw.String()] = SwitchActive
+			}
+		}
+	}
+	return c, nil
+}
+
+// Name returns the cluster name.
+func (c *Cluster) Name() string { return c.cfg.Name }
+
+// Nodes returns all compute node xnames.
+func (c *Cluster) Nodes() []Xname { return append([]Xname(nil), c.nodes...) }
+
+// Switches returns all Rosetta switch xnames.
+func (c *Cluster) Switches() []Xname { return append([]Xname(nil), c.switches...) }
+
+// ChassisBMCs returns all chassis controller xnames (leak event sources).
+func (c *Cluster) ChassisBMCs() []Xname { return append([]Xname(nil), c.chassisBMCs...) }
+
+// ---- fault injection ----
+
+// InjectLeak raises a CabinetLeakDetected event from the chassis BMC with
+// the given xname (e.g. "x1203c1b0"), as if the redundant leak sensor
+// (sensor "A"/"B", zone "Front"/"Rear") tripped. The event is queued for
+// the HMS collector.
+func (c *Cluster) InjectLeak(bmcXname, sensor, zone string, ts time.Time) error {
+	x, err := ParseXname(bmcXname)
+	if err != nil {
+		return err
+	}
+	if x.Kind != KindChassisBMC {
+		return fmt.Errorf("shasta: leak events originate at chassis BMCs, not %s (%s)", x.Kind, bmcXname)
+	}
+	if !c.hasChassisBMC(bmcXname) {
+		return fmt.Errorf("shasta: unknown chassis BMC %q", bmcXname)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.leaks[leakKey{bmc: bmcXname, zone: zone}] = true
+	c.pending = append(c.pending, redfish.Record{
+		Context: bmcXname,
+		Events:  []redfish.Event{redfish.LeakEvent(ts, sensor, zone)},
+	})
+	return nil
+}
+
+// ClearLeak clears the leak flag for a chassis BMC zone.
+func (c *Cluster) ClearLeak(bmcXname, zone string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.leaks, leakKey{bmc: bmcXname, zone: zone})
+}
+
+// ActiveLeaks counts currently leaking chassis zones.
+func (c *Cluster) ActiveLeaks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.leaks)
+}
+
+// PowerOff queues a critical power event for the given component.
+func (c *Cluster) PowerOff(xname string, ts time.Time) error {
+	if _, err := ParseXname(xname); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = append(c.pending, redfish.Record{
+		Context: xname,
+		Events:  []redfish.Event{redfish.PowerEvent(ts, xname, "Off")},
+	})
+	return nil
+}
+
+func (c *Cluster) hasChassisBMC(xname string) bool {
+	for _, b := range c.chassisBMCs {
+		if b.String() == xname {
+			return true
+		}
+	}
+	return false
+}
+
+// SetSwitchState changes a switch's fabric state (case study B's fault).
+func (c *Cluster) SetSwitchState(xname string, state SwitchState) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.switchState[xname]; !ok {
+		return fmt.Errorf("shasta: unknown switch %q", xname)
+	}
+	c.switchState[xname] = state
+	return nil
+}
+
+// SwitchStates returns a copy of the switch state table; the fabric
+// manager serves this through its API.
+func (c *Cluster) SwitchStates() map[string]SwitchState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]SwitchState, len(c.switchState))
+	for k, v := range c.switchState {
+		out[k] = v
+	}
+	return out
+}
+
+// DrainEvents removes and returns all queued Redfish records, oldest
+// first. The HMS collector calls this on its poll loop.
+func (c *Cluster) DrainEvents() []redfish.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.pending
+	c.pending = nil
+	return out
+}
+
+// ---- sensors ----
+
+// SensorReading is one sample from the environmental/hardware sensors
+// ("sensors in each cabinet, chassis, node, switch, cooling unit collect
+// data like temperature, humidity, power, fan speed").
+type SensorReading struct {
+	Xname           string
+	Sensor          string // Temperature, Power, Humidity, Fan
+	PhysicalContext string // CPU, Chassis, Cabinet, ...
+	Value           float64
+	Unit            string
+	Timestamp       time.Time
+}
+
+// walk advances a bounded random walk for the sensor key.
+func (c *Cluster) walk(key string, base, step, lo, hi float64) float64 {
+	v, ok := c.sensorState[key]
+	if !ok {
+		v = base + c.rng.Float64()*step*4 - step*2
+	}
+	v += c.rng.Float64()*2*step - step
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	c.sensorState[key] = v
+	return v
+}
+
+// SensorReadings produces one sample per sensor at the given time: node
+// temperature and power, chassis fan speed, cabinet humidity. Readings
+// follow seeded random walks so repeated runs are reproducible.
+func (c *Cluster) SensorReadings(ts time.Time) []SensorReading {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SensorReading, 0, 2*len(c.nodes)+len(c.chassisBMCs)+len(c.cfg.Cabinets))
+	for _, n := range c.nodes {
+		xs := n.String()
+		out = append(out,
+			SensorReading{Xname: xs, Sensor: "Temperature", PhysicalContext: "CPU", Unit: "Cel",
+				Value: c.walk("temp/"+xs, 45, 0.5, 25, 95), Timestamp: ts},
+			SensorReading{Xname: xs, Sensor: "Power", PhysicalContext: "Chassis", Unit: "W",
+				Value: c.walk("power/"+xs, 520, 8, 180, 950), Timestamp: ts},
+		)
+	}
+	for _, b := range c.chassisBMCs {
+		xs := b.String()
+		out = append(out, SensorReading{Xname: xs, Sensor: "Fan", PhysicalContext: "Chassis", Unit: "RPM",
+			Value: c.walk("fan/"+xs, 9000, 120, 4000, 14000), Timestamp: ts})
+	}
+	for _, cab := range c.cfg.Cabinets {
+		xs := fmt.Sprintf("x%d", cab)
+		out = append(out, SensorReading{Xname: xs, Sensor: "Humidity", PhysicalContext: "Cabinet", Unit: "%",
+			Value: c.walk("hum/"+xs, 42, 0.4, 10, 90), Timestamp: ts})
+	}
+	return out
+}

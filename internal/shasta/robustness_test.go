@@ -1,0 +1,27 @@
+package shasta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: ParseXname never panics and never returns both a valid Xname
+// with Kind==KindInvalid and a nil error.
+func TestPropertyParseXnameNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		x, err := ParseXname(input)
+		if err == nil && x.Kind == KindInvalid {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package shasta
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"shastamon/internal/redfish"
+)
+
+func TestParseXnameKinds(t *testing.T) {
+	cases := map[string]ComponentKind{
+		"x1000":         KindCabinet,
+		"x1000c3":       KindChassis,
+		"x1203c1b0":     KindChassisBMC, // the paper's leak Context
+		"x1000c0s4":     KindBlade,
+		"x1000c0s4b0":   KindNodeBMC,
+		"x1102c4s0b0":   KindNodeBMC, // Fig. 3's Context
+		"x1000c0s4b0n1": KindNode,
+		"x1002c1r7b0":   KindSwitchBMC, // Fig. 7's switch
+	}
+	for in, want := range cases {
+		x, err := ParseXname(in)
+		if err != nil {
+			t.Errorf("%s: %v", in, err)
+			continue
+		}
+		if x.Kind != want {
+			t.Errorf("%s: kind %s, want %s", in, x.Kind, want)
+		}
+		if x.String() != in {
+			t.Errorf("%s: round-trip %q", in, x.String())
+		}
+	}
+}
+
+func TestParseXnameErrors(t *testing.T) {
+	for _, in := range []string{"", "x", "y1000", "x1000c", "x1000c0r7", "x1000c0r7b0n0", "x1000c0s0b0n0n0", "nid001234"} {
+		if _, err := ParseXname(in); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestXnameParent(t *testing.T) {
+	node, _ := ParseXname("x1000c2s4b0n1")
+	chain := []string{"x1000c2s4b0", "x1000c2s4", "x1000c2", "x1000"}
+	x := node
+	for _, want := range chain {
+		x = x.Parent()
+		if x.String() != want {
+			t.Fatalf("parent chain broke: got %s want %s", x, want)
+		}
+	}
+	sw, _ := ParseXname("x1002c1r7b0")
+	if sw.Parent().String() != "x1002c1" {
+		t.Fatalf("switch parent: %s", sw.Parent())
+	}
+}
+
+func testCluster(t *testing.T) *Cluster {
+	t.Helper()
+	cfg := Config{
+		Name: "perlmutter", Cabinets: []int{1002, 1203},
+		ChassisPerCabinet: 2, BladesPerChassis: 2, NodesPerBMC: 2, SwitchesPerChassis: 8, Seed: 42,
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterTopology(t *testing.T) {
+	c := testCluster(t)
+	if got := len(c.Nodes()); got != 2*2*2*2 {
+		t.Fatalf("nodes = %d", got)
+	}
+	if got := len(c.Switches()); got != 2*2*8 {
+		t.Fatalf("switches = %d", got)
+	}
+	if got := len(c.ChassisBMCs()); got != 4 {
+		t.Fatalf("chassis BMCs = %d", got)
+	}
+	for _, sw := range c.Switches() {
+		if c.SwitchStates()[sw.String()] != SwitchActive {
+			t.Fatalf("switch %s not active", sw)
+		}
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := NewCluster(Config{Name: "x", Cabinets: []int{1}, ChassisPerCabinet: 0}); err == nil {
+		t.Fatal("zero chassis accepted")
+	}
+}
+
+func TestInjectLeakQueuesPaperEvent(t *testing.T) {
+	c := testCluster(t)
+	ts := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	if err := c.InjectLeak("x1203c1b0", "A", "Front", ts); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveLeaks() != 1 {
+		t.Fatal("leak not recorded")
+	}
+	recs := c.DrainEvents()
+	if len(recs) != 1 || recs[0].Context != "x1203c1b0" {
+		t.Fatalf("%+v", recs)
+	}
+	ev := recs[0].Events[0]
+	if ev.MessageID != redfish.MsgCabinetLeakDetected || ev.Severity != redfish.SeverityWarning {
+		t.Fatalf("%+v", ev)
+	}
+	if !strings.Contains(ev.Message, "Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak.") {
+		t.Fatalf("message: %q", ev.Message)
+	}
+	if ev.EventTimestamp != "2022-03-03T01:47:57Z" {
+		t.Fatalf("ts: %q", ev.EventTimestamp)
+	}
+	// Drain is destructive.
+	if got := c.DrainEvents(); len(got) != 0 {
+		t.Fatalf("redrain: %+v", got)
+	}
+	c.ClearLeak("x1203c1b0", "Front")
+	if c.ActiveLeaks() != 0 {
+		t.Fatal("leak not cleared")
+	}
+}
+
+func TestInjectLeakValidation(t *testing.T) {
+	c := testCluster(t)
+	if err := c.InjectLeak("x1203c1s0b0n0", "A", "Front", time.Now()); err == nil {
+		t.Fatal("node xname accepted for leak")
+	}
+	if err := c.InjectLeak("x9999c0b0", "A", "Front", time.Now()); err == nil {
+		t.Fatal("unknown BMC accepted")
+	}
+	if err := c.InjectLeak("garbage", "A", "Front", time.Now()); err == nil {
+		t.Fatal("garbage xname accepted")
+	}
+}
+
+func TestSwitchStateChange(t *testing.T) {
+	c := testCluster(t)
+	if err := c.SetSwitchState("x1002c1r7b0", SwitchUnknown); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SwitchStates()["x1002c1r7b0"]; got != SwitchUnknown {
+		t.Fatalf("state %s", got)
+	}
+	if err := c.SetSwitchState("x1002c1r9b9", SwitchOffline); err == nil {
+		t.Fatal("unknown switch accepted")
+	}
+}
+
+func TestPowerOffEvent(t *testing.T) {
+	c := testCluster(t)
+	ts := time.Unix(1646272077, 0)
+	if err := c.PowerOff("x1002c1", ts); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.DrainEvents()
+	if len(recs) != 1 || recs[0].Events[0].Severity != redfish.SeverityCritical {
+		t.Fatalf("%+v", recs)
+	}
+}
+
+func TestSensorReadings(t *testing.T) {
+	c := testCluster(t)
+	ts := time.Unix(0, 0)
+	rs := c.SensorReadings(ts)
+	// 16 nodes * 2 + 4 chassis + 2 cabinets
+	if len(rs) != 16*2+4+2 {
+		t.Fatalf("readings = %d", len(rs))
+	}
+	kinds := map[string]int{}
+	for _, r := range rs {
+		kinds[r.Sensor]++
+		if r.Timestamp != ts {
+			t.Fatal("timestamp not propagated")
+		}
+		switch r.Sensor {
+		case "Temperature":
+			if r.Value < 25 || r.Value > 95 {
+				t.Fatalf("temp out of range: %v", r.Value)
+			}
+		case "Power":
+			if r.Value < 180 || r.Value > 950 {
+				t.Fatalf("power out of range: %v", r.Value)
+			}
+		}
+	}
+	if kinds["Temperature"] != 16 || kinds["Power"] != 16 || kinds["Fan"] != 4 || kinds["Humidity"] != 2 {
+		t.Fatalf("kinds: %v", kinds)
+	}
+}
+
+func TestSensorReadingsDeterministic(t *testing.T) {
+	mk := func() []SensorReading {
+		c := testCluster(t)
+		var out []SensorReading
+		for i := 0; i < 5; i++ {
+			out = append(out, c.SensorReadings(time.Unix(int64(i), 0))...)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRedfishPayloadRoundTrip(t *testing.T) {
+	ts := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	p := redfish.NewPayload(redfish.Record{
+		Context: "x1203c1b0",
+		Events:  []redfish.Event{redfish.LeakEvent(ts, "A", "Front")},
+	})
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The envelope must match Fig. 2's shape.
+	for _, frag := range []string{`"metrics"`, `"messages"`, `"Context":"x1203c1b0"`, `"MessageId":"CrayAlerts.1.0.CabinetLeakDetected"`, `"@odata.id":"/redfish/v1/Chassis/Enclosure"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("payload missing %s: %s", frag, data)
+		}
+	}
+	back, err := redfish.ParsePayload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := back.Metrics.Messages[0].Events[0]
+	if got, err := ev.Timestamp(); err != nil || !got.Equal(ts) {
+		t.Fatalf("ts %v %v", got, err)
+	}
+}
+
+// Property: any structurally valid xname round-trips through parse/format.
+func TestPropertyXnameRoundTrip(t *testing.T) {
+	f := func(cab, ch, slot, bmc, node uint8, kind uint8) bool {
+		x := Xname{
+			Cabinet: int(cab), Chassis: int(ch) % 8, Slot: int(slot) % 8,
+			BMC: int(bmc) % 2, Node: int(node) % 4,
+		}
+		switch kind % 7 {
+		case 0:
+			x.Kind = KindCabinet
+		case 1:
+			x.Kind = KindChassis
+		case 2:
+			x.Kind = KindChassisBMC
+		case 3:
+			x.Kind = KindBlade
+		case 4:
+			x.Kind = KindNodeBMC
+		case 5:
+			x.Kind = KindNode
+		case 6:
+			x.Kind = KindSwitchBMC
+		}
+		parsed, err := ParseXname(x.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == x.String() && parsed.Kind == x.Kind
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSensorReadings(b *testing.B) {
+	c, err := NewCluster(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := time.Unix(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs := c.SensorReadings(ts)
+		if len(rs) == 0 {
+			b.Fatal("no readings")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package shasta simulates the HPE Shasta (Cray EX) hardware substrate the
+// paper monitors: cabinets, chassis, compute blades, node BMCs, Rosetta
+// switches and their sensors, addressed by Cray xnames. The simulator
+// produces the same telemetry the real system emits — Redfish events
+// (leaks, power), sensor readings, and fabric switch states — with fault
+// injection hooks the case studies drive.
+package shasta
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// ComponentKind classifies an xname.
+type ComponentKind int
+
+// Component kinds, from coarse to fine.
+const (
+	KindInvalid    ComponentKind = iota
+	KindCabinet                  // xX
+	KindChassis                  // xXcC
+	KindChassisBMC               // xXcCbB (CMM; the Context of the paper's leak events)
+	KindBlade                    // xXcCsS
+	KindNodeBMC                  // xXcCsSbB
+	KindNode                     // xXcCsSbBnN
+	KindSwitchBMC                // xXcCrRbB (Rosetta switch controller)
+)
+
+// String names the kind.
+func (k ComponentKind) String() string {
+	switch k {
+	case KindCabinet:
+		return "cabinet"
+	case KindChassis:
+		return "chassis"
+	case KindChassisBMC:
+		return "chassis_bmc"
+	case KindBlade:
+		return "blade"
+	case KindNodeBMC:
+		return "node_bmc"
+	case KindNode:
+		return "node"
+	case KindSwitchBMC:
+		return "switch_bmc"
+	}
+	return "invalid"
+}
+
+// Xname is a parsed Cray component name.
+type Xname struct {
+	Kind    ComponentKind
+	Cabinet int
+	Chassis int
+	Slot    int // blade slot (s) or switch slot (r), depending on Kind
+	BMC     int
+	Node    int
+}
+
+var xnameRE = regexp.MustCompile(`^x(\d+)(?:c(\d+)(?:([sr])(\d+)(?:b(\d+)(?:n(\d+))?)?|b(\d+))?)?$`)
+
+// ParseXname parses an xname string such as "x1002c1r7b0" or
+// "x1000c0s4b0n1". It returns an error for malformed names.
+func ParseXname(s string) (Xname, error) {
+	m := xnameRE.FindStringSubmatch(s)
+	if m == nil {
+		return Xname{}, fmt.Errorf("shasta: invalid xname %q", s)
+	}
+	atoi := func(v string) int { n, _ := strconv.Atoi(v); return n }
+	x := Xname{Cabinet: atoi(m[1]), Chassis: -1, Slot: -1, BMC: -1, Node: -1}
+	switch {
+	case m[2] == "":
+		x.Kind = KindCabinet
+	case m[7] != "": // xXcCbB
+		x.Chassis = atoi(m[2])
+		x.BMC = atoi(m[7])
+		x.Kind = KindChassisBMC
+	case m[3] == "":
+		x.Chassis = atoi(m[2])
+		x.Kind = KindChassis
+	default:
+		x.Chassis = atoi(m[2])
+		x.Slot = atoi(m[4])
+		isSwitch := m[3] == "r"
+		switch {
+		case m[5] == "":
+			if isSwitch {
+				return Xname{}, fmt.Errorf("shasta: switch slot without BMC in %q", s)
+			}
+			x.Kind = KindBlade
+		case m[6] == "":
+			x.BMC = atoi(m[5])
+			if isSwitch {
+				x.Kind = KindSwitchBMC
+			} else {
+				x.Kind = KindNodeBMC
+			}
+		default:
+			if isSwitch {
+				return Xname{}, fmt.Errorf("shasta: node under switch slot in %q", s)
+			}
+			x.BMC = atoi(m[5])
+			x.Node = atoi(m[6])
+			x.Kind = KindNode
+		}
+	}
+	return x, nil
+}
+
+// String renders the canonical xname.
+func (x Xname) String() string {
+	switch x.Kind {
+	case KindCabinet:
+		return fmt.Sprintf("x%d", x.Cabinet)
+	case KindChassis:
+		return fmt.Sprintf("x%dc%d", x.Cabinet, x.Chassis)
+	case KindChassisBMC:
+		return fmt.Sprintf("x%dc%db%d", x.Cabinet, x.Chassis, x.BMC)
+	case KindBlade:
+		return fmt.Sprintf("x%dc%ds%d", x.Cabinet, x.Chassis, x.Slot)
+	case KindNodeBMC:
+		return fmt.Sprintf("x%dc%ds%db%d", x.Cabinet, x.Chassis, x.Slot, x.BMC)
+	case KindNode:
+		return fmt.Sprintf("x%dc%ds%db%dn%d", x.Cabinet, x.Chassis, x.Slot, x.BMC, x.Node)
+	case KindSwitchBMC:
+		return fmt.Sprintf("x%dc%dr%db%d", x.Cabinet, x.Chassis, x.Slot, x.BMC)
+	}
+	return "invalid"
+}
+
+// Parent returns the containing component (node -> node BMC -> blade ->
+// chassis -> cabinet). Parent of a cabinet is an invalid xname.
+func (x Xname) Parent() Xname {
+	switch x.Kind {
+	case KindNode:
+		return Xname{Kind: KindNodeBMC, Cabinet: x.Cabinet, Chassis: x.Chassis, Slot: x.Slot, BMC: x.BMC, Node: -1}
+	case KindNodeBMC:
+		return Xname{Kind: KindBlade, Cabinet: x.Cabinet, Chassis: x.Chassis, Slot: x.Slot, BMC: -1, Node: -1}
+	case KindBlade, KindSwitchBMC, KindChassisBMC:
+		return Xname{Kind: KindChassis, Cabinet: x.Cabinet, Chassis: x.Chassis, Slot: -1, BMC: -1, Node: -1}
+	case KindChassis:
+		return Xname{Kind: KindCabinet, Cabinet: x.Cabinet, Chassis: -1, Slot: -1, BMC: -1, Node: -1}
+	}
+	return Xname{}
+}

@@ -1,0 +1,182 @@
+// Package slack implements the Slack side of the paper's alerting path: a
+// webhook receiver standing in for slack.com, and an Alertmanager receiver
+// that formats alerts into rich messages ("the Slack alert is enriched
+// with different types of fonts and bullet points", Fig. 6/9) and posts
+// them to the webhook.
+package slack
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"shastamon/internal/alertmanager"
+)
+
+// Message is the webhook payload: mrkdwn text plus optional attachments.
+type Message struct {
+	Channel     string       `json:"channel,omitempty"`
+	Text        string       `json:"text"`
+	Attachments []Attachment `json:"attachments,omitempty"`
+}
+
+// Attachment is a color-coded block with fields.
+type Attachment struct {
+	Color  string  `json:"color,omitempty"` // "danger", "warning", "good"
+	Title  string  `json:"title,omitempty"`
+	Text   string  `json:"text,omitempty"`
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// Field is one short key/value pair in an attachment.
+type Field struct {
+	Title string `json:"title"`
+	Value string `json:"value"`
+	Short bool   `json:"short"`
+}
+
+// Webhook is an in-process stand-in for Slack's incoming-webhook endpoint.
+type Webhook struct {
+	mu       sync.Mutex
+	messages []Message
+}
+
+// NewWebhook returns an empty webhook receiver.
+func NewWebhook() *Webhook { return &Webhook{} }
+
+// Handler accepts webhook POSTs at any path.
+func (wh *Webhook) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var m Message
+		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+			http.Error(w, "invalid_payload", http.StatusBadRequest)
+			return
+		}
+		if m.Text == "" && len(m.Attachments) == 0 {
+			http.Error(w, "no_text", http.StatusBadRequest)
+			return
+		}
+		wh.mu.Lock()
+		wh.messages = append(wh.messages, m)
+		wh.mu.Unlock()
+		fmt.Fprint(w, "ok")
+	})
+}
+
+// Messages returns all received messages.
+func (wh *Webhook) Messages() []Message {
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	return append([]Message(nil), wh.messages...)
+}
+
+// Reset clears received messages.
+func (wh *Webhook) Reset() {
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	wh.messages = nil
+}
+
+// Notifier posts Alertmanager notifications to a Slack webhook. It
+// implements alertmanager.Receiver.
+type Notifier struct {
+	name    string
+	url     string
+	channel string
+	client  *http.Client
+}
+
+// NewNotifier returns a receiver named name posting to url.
+func NewNotifier(name, url, channel string, client *http.Client) *Notifier {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Notifier{name: name, url: url, channel: channel, client: client}
+}
+
+// Name implements alertmanager.Receiver.
+func (n *Notifier) Name() string { return n.name }
+
+// Notify formats and posts the notification.
+func (n *Notifier) Notify(notification alertmanager.Notification) error {
+	msg := Format(notification)
+	msg.Channel = n.channel
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Post(n.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("slack: post: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("slack: webhook status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Format renders a notification in the style of the paper's Figs. 6 and 9:
+// a bolded status line plus one color-coded attachment per alert with
+// bulleted labels and annotations.
+func Format(n alertmanager.Notification) Message {
+	emoji := ":fire:"
+	if n.Status == alertmanager.StatusResolved {
+		emoji = ":white_check_mark:"
+	}
+	var msg Message
+	msg.Text = fmt.Sprintf("%s *[%s]* %d alert(s) for group %s",
+		emoji, strings.ToUpper(string(n.Status)), len(n.Alerts), n.GroupLabels)
+	for _, a := range n.Alerts {
+		att := Attachment{
+			Color: colorFor(a),
+			Title: a.Name(),
+		}
+		var lines []string
+		for _, l := range a.Labels {
+			if l.Name == "alertname" {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("• *%s*: `%s`", l.Name, l.Value))
+		}
+		annKeys := make([]string, 0, len(a.Annotations))
+		for k := range a.Annotations {
+			annKeys = append(annKeys, k)
+		}
+		sort.Strings(annKeys)
+		for _, k := range annKeys {
+			lines = append(lines, fmt.Sprintf("• _%s_: %s", k, a.Annotations[k]))
+		}
+		att.Text = strings.Join(lines, "\n")
+		att.Fields = []Field{
+			{Title: "Started", Value: a.StartsAt.UTC().Format(time.RFC3339), Short: true},
+		}
+		if a.Labels.Get("severity") != "" {
+			att.Fields = append(att.Fields, Field{Title: "Severity", Value: a.Labels.Get("severity"), Short: true})
+		}
+		msg.Attachments = append(msg.Attachments, att)
+	}
+	return msg
+}
+
+func colorFor(a alertmanager.Alert) string {
+	if !a.EndsAt.IsZero() {
+		return "good"
+	}
+	switch strings.ToLower(a.Labels.Get("severity")) {
+	case "critical":
+		return "danger"
+	case "warning":
+		return "warning"
+	}
+	return "#439FE0"
+}

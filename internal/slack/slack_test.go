@@ -1,0 +1,124 @@
+package slack
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"shastamon/internal/alertmanager"
+	"shastamon/internal/labels"
+)
+
+func sampleNotification() alertmanager.Notification {
+	return alertmanager.Notification{
+		Receiver:    "slack",
+		GroupLabels: labels.FromStrings("severity", "critical"),
+		Status:      alertmanager.StatusFiring,
+		Alerts: []alertmanager.Alert{{
+			Labels: labels.FromStrings(
+				"alertname", "SwitchOffline",
+				"severity", "critical",
+				"xname", "x1002c1r7b0",
+				"state", "UNKNOWN",
+			),
+			Annotations: map[string]string{"summary": "switch x1002c1r7b0 went UNKNOWN"},
+			StartsAt:    time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC),
+		}},
+	}
+}
+
+func TestWebhookAcceptsAndRecords(t *testing.T) {
+	wh := NewWebhook()
+	srv := httptest.NewServer(wh.Handler())
+	defer srv.Close()
+	n := NewNotifier("slack", srv.URL, "#perlmutter-alerts", nil)
+	if n.Name() != "slack" {
+		t.Fatal("name")
+	}
+	if err := n.Notify(sampleNotification()); err != nil {
+		t.Fatal(err)
+	}
+	msgs := wh.Messages()
+	if len(msgs) != 1 {
+		t.Fatalf("messages: %d", len(msgs))
+	}
+	if msgs[0].Channel != "#perlmutter-alerts" {
+		t.Fatalf("channel %q", msgs[0].Channel)
+	}
+	wh.Reset()
+	if len(wh.Messages()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestFormatRichMessage(t *testing.T) {
+	msg := Format(sampleNotification())
+	if !strings.Contains(msg.Text, "FIRING") || !strings.Contains(msg.Text, "1 alert(s)") {
+		t.Fatalf("text: %q", msg.Text)
+	}
+	if len(msg.Attachments) != 1 {
+		t.Fatalf("attachments: %+v", msg.Attachments)
+	}
+	att := msg.Attachments[0]
+	if att.Title != "SwitchOffline" || att.Color != "danger" {
+		t.Fatalf("%+v", att)
+	}
+	// Bulleted labels and annotations, per Fig. 6.
+	for _, want := range []string{"• *xname*: `x1002c1r7b0`", "• *state*: `UNKNOWN`", "• _summary_: switch x1002c1r7b0 went UNKNOWN"} {
+		if !strings.Contains(att.Text, want) {
+			t.Fatalf("attachment text missing %q:\n%s", want, att.Text)
+		}
+	}
+	if len(att.Fields) != 2 || att.Fields[1].Value != "critical" {
+		t.Fatalf("fields: %+v", att.Fields)
+	}
+}
+
+func TestFormatResolved(t *testing.T) {
+	n := sampleNotification()
+	n.Status = alertmanager.StatusResolved
+	n.Alerts[0].EndsAt = n.Alerts[0].StartsAt.Add(time.Hour)
+	msg := Format(n)
+	if !strings.Contains(msg.Text, "RESOLVED") {
+		t.Fatalf("text: %q", msg.Text)
+	}
+	if msg.Attachments[0].Color != "good" {
+		t.Fatalf("color: %q", msg.Attachments[0].Color)
+	}
+}
+
+func TestWebhookRejectsBadPayloads(t *testing.T) {
+	wh := NewWebhook()
+	srv := httptest.NewServer(wh.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad json: %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL, "application/json", strings.NewReader("{}"))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("empty message: %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL)
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET: %d", resp.StatusCode)
+	}
+}
+
+func TestNotifierWebhookDown(t *testing.T) {
+	srv := httptest.NewServer(nil)
+	url := srv.URL
+	srv.Close()
+	n := NewNotifier("slack", url, "", nil)
+	if err := n.Notify(sampleNotification()); err == nil {
+		t.Fatal("no error with webhook down")
+	}
+}

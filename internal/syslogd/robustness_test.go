@@ -1,0 +1,25 @@
+package syslogd
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: Parse never panics on arbitrary lines.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	ref := time.Now()
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(input, ref)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

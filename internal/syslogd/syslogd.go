@@ -1,0 +1,234 @@
+// Package syslogd implements the syslog path of the pipeline: an RFC3164
+// line parser, a TCP/in-process aggregator in the role of the paper's
+// rsyslogd containers (feeding the cray-syslog Kafka topic), and a
+// deterministic generator producing realistic node syslog — including the
+// GPFS health messages the paper's future-work section targets.
+package syslogd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"shastamon/internal/hms"
+	"shastamon/internal/kafka"
+)
+
+// Severity names indexed by syslog severity code (0-7).
+var severityNames = []string{"emerg", "alert", "crit", "err", "warning", "notice", "info", "debug"}
+
+// Message is one parsed syslog message, serialised to the Kafka topic as
+// JSON.
+type Message struct {
+	Facility  int       `json:"facility"`
+	Severity  int       `json:"severity"`
+	Hostname  string    `json:"hostname"`
+	App       string    `json:"app"`
+	Text      string    `json:"text"`
+	Timestamp time.Time `json:"timestamp"`
+}
+
+// SeverityName returns the textual severity.
+func (m Message) SeverityName() string {
+	if m.Severity >= 0 && m.Severity < len(severityNames) {
+		return severityNames[m.Severity]
+	}
+	return "unknown"
+}
+
+// Parse parses an RFC3164 line: "<PRI>MMM dd hh:mm:ss host app: text".
+// The year is taken from the reference time ref (RFC3164 omits it).
+func Parse(line string, ref time.Time) (Message, error) {
+	var m Message
+	if !strings.HasPrefix(line, "<") {
+		return m, fmt.Errorf("syslogd: missing PRI in %q", line)
+	}
+	end := strings.IndexByte(line, '>')
+	if end < 0 || end > 4 {
+		return m, fmt.Errorf("syslogd: bad PRI in %q", line)
+	}
+	var pri int
+	if _, err := fmt.Sscanf(line[1:end], "%d", &pri); err != nil || pri < 0 || pri > 191 {
+		return m, fmt.Errorf("syslogd: bad PRI value in %q", line)
+	}
+	m.Facility = pri / 8
+	m.Severity = pri % 8
+	rest := line[end+1:]
+	if len(rest) < 16 {
+		return m, fmt.Errorf("syslogd: truncated header in %q", line)
+	}
+	ts, err := time.Parse(time.Stamp, rest[:15])
+	if err != nil {
+		return m, fmt.Errorf("syslogd: bad timestamp in %q: %w", line, err)
+	}
+	m.Timestamp = time.Date(ref.Year(), ts.Month(), ts.Day(), ts.Hour(), ts.Minute(), ts.Second(), 0, time.UTC)
+	rest = strings.TrimSpace(rest[15:])
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return m, fmt.Errorf("syslogd: missing hostname in %q", line)
+	}
+	m.Hostname = rest[:sp]
+	rest = rest[sp+1:]
+	colon := strings.Index(rest, ": ")
+	if colon < 0 {
+		return m, fmt.Errorf("syslogd: missing app tag in %q", line)
+	}
+	m.App = strings.TrimSuffix(rest[:colon], "[0]")
+	if i := strings.IndexByte(m.App, '['); i >= 0 {
+		m.App = m.App[:i]
+	}
+	m.Text = rest[colon+2:]
+	return m, nil
+}
+
+// Format renders the message as an RFC3164 line.
+func Format(m Message) string {
+	return fmt.Sprintf("<%d>%s %s %s: %s",
+		m.Facility*8+m.Severity, m.Timestamp.Format(time.Stamp), m.Hostname, m.App, m.Text)
+}
+
+// Aggregator ingests syslog and produces it to the cray-syslog topic, the
+// role of the rsyslogd aggregator containers.
+type Aggregator struct {
+	broker *kafka.Broker
+
+	mu       sync.Mutex
+	received int64
+	dropped  int64
+}
+
+// NewAggregator returns an aggregator producing to broker (topic
+// cray-syslog must exist, e.g. via hms.NewCollector).
+func NewAggregator(broker *kafka.Broker) *Aggregator { return &Aggregator{broker: broker} }
+
+// Ingest produces one parsed message to Kafka keyed by hostname.
+func (a *Aggregator) Ingest(m Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if _, _, err := a.broker.Produce(hms.TopicSyslog, []byte(m.Hostname), data, m.Timestamp); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.received++
+	a.mu.Unlock()
+	return nil
+}
+
+// IngestLine parses an RFC3164 line and ingests it; malformed lines are
+// counted and dropped, as rsyslog does.
+func (a *Aggregator) IngestLine(line string, ref time.Time) error {
+	m, err := Parse(line, ref)
+	if err != nil {
+		a.mu.Lock()
+		a.dropped++
+		a.mu.Unlock()
+		return err
+	}
+	return a.Ingest(m)
+}
+
+// Stats returns (received, dropped).
+func (a *Aggregator) Stats() (received, dropped int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.received, a.dropped
+}
+
+// Serve accepts newline-delimited RFC3164 over TCP until the context is
+// cancelled; each connection is drained in its own goroutine.
+func (a *Aggregator) Serve(ctx context.Context, l net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func(c net.Conn) {
+			defer wg.Done()
+			defer c.Close()
+			sc := bufio.NewScanner(c)
+			sc.Buffer(make([]byte, 64*1024), 1024*1024)
+			for sc.Scan() {
+				_ = a.IngestLine(sc.Text(), time.Now())
+			}
+		}(conn)
+	}
+}
+
+// Generator produces deterministic synthetic syslog for a set of hosts.
+type Generator struct {
+	hosts []string
+	rng   *rand.Rand
+	mu    sync.Mutex
+}
+
+// NewGenerator seeds a generator for the hosts.
+func NewGenerator(seed int64, hosts ...string) *Generator {
+	return &Generator{hosts: hosts, rng: rand.New(rand.NewSource(seed))}
+}
+
+type template struct {
+	app      string
+	severity int
+	text     string
+}
+
+var templates = []template{
+	{"kernel", 6, "eth0: NIC Link is Up 100 Gbps"},
+	{"kernel", 4, "CPU%d: Core temperature above threshold, cpu clock throttled"},
+	{"sshd", 6, "Accepted publickey for operator from 10.0.%d.%d port 52144 ssh2"},
+	{"slurmd", 6, "launch task StepId=%d.0 request from UID:1001"},
+	{"slurmd", 3, "error: Node configuration differs from hardware: ProcCount=128:%d"},
+	{"mmfs", 6, "GPFS: mmfsd ready"},
+	{"mmfs", 5, "GPFS: Accepted and connected to 10.100.%d.%d nid%06d"},
+	{"systemd", 6, "Started Session %d of user nersc"},
+}
+
+// Next produces one message at the given time from a pseudo-random host
+// and template.
+func (g *Generator) Next(ts time.Time) Message {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	host := g.hosts[g.rng.Intn(len(g.hosts))]
+	tpl := templates[g.rng.Intn(len(templates))]
+	text := tpl.text
+	if strings.Contains(text, "%d") {
+		args := []interface{}{}
+		for i := strings.Count(text, "%d"); i > 0; i-- {
+			args = append(args, g.rng.Intn(256))
+		}
+		text = fmt.Sprintf(text, args...)
+	}
+	return Message{
+		Facility: 1, Severity: tpl.severity,
+		Hostname: host, App: tpl.app, Text: text, Timestamp: ts,
+	}
+}
+
+// GPFSDiskFailure builds the specific GPFS failure message used by the
+// syslog-monitoring example.
+func GPFSDiskFailure(host string, rg, nsd int, ts time.Time) Message {
+	return Message{
+		Facility: 1, Severity: 2,
+		Hostname: host, App: "mmfs",
+		Text:      fmt.Sprintf("GPFS: Disk failure detected on rg%03d from nsd%d. Unmounting file system fs1", rg, nsd),
+		Timestamp: ts,
+	}
+}

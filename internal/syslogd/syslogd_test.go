@@ -1,0 +1,210 @@
+package syslogd
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"shastamon/internal/hms"
+	"shastamon/internal/kafka"
+)
+
+func newBroker(t *testing.T) *kafka.Broker {
+	t.Helper()
+	b := kafka.NewBroker()
+	if err := b.CreateTopic(hms.TopicSyslog, 2); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	ref := time.Date(2022, 3, 3, 0, 0, 0, 0, time.UTC)
+	m := Message{
+		Facility: 1, Severity: 2, Hostname: "nid001234", App: "mmfs",
+		Text:      "GPFS: Disk failure detected on rg001 from nsd7. Unmounting file system fs1",
+		Timestamp: time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC),
+	}
+	line := Format(m)
+	if !strings.HasPrefix(line, "<10>Mar  3 01:47:57 nid001234 mmfs: ") {
+		t.Fatalf("line: %q", line)
+	}
+	got, err := Parse(line, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+	if got.SeverityName() != "crit" {
+		t.Fatalf("severity name %q", got.SeverityName())
+	}
+}
+
+func TestParseAppWithPID(t *testing.T) {
+	m, err := Parse("<13>Mar  3 01:00:00 nid000001 sshd[4221]: Accepted publickey", time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.App != "sshd" {
+		t.Fatalf("app %q", m.App)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	ref := time.Now()
+	for _, in := range []string{
+		"no pri",
+		"<999>Mar  3 01:00:00 h a: x",
+		"<13>short",
+		"<13>Xxx  3 01:00:00 h a: x",
+		"<13>Mar  3 01:00:00 hostonly",
+		"<13>Mar  3 01:00:00 host notag",
+	} {
+		if _, err := Parse(in, ref); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestAggregatorProducesToKafka(t *testing.T) {
+	b := newBroker(t)
+	agg := NewAggregator(b)
+	m := GPFSDiskFailure("nid001234", 1, 7, time.Unix(100, 0).UTC())
+	if err := agg.Ingest(m); err != nil {
+		t.Fatal(err)
+	}
+	var msgs []kafka.Message
+	for p := 0; p < 2; p++ {
+		got, _ := b.Fetch(hms.TopicSyslog, p, 0, 10)
+		msgs = append(msgs, got...)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("messages: %d", len(msgs))
+	}
+	var back Message
+	if err := json.Unmarshal(msgs[0].Value, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.App != "mmfs" || !strings.Contains(back.Text, "Disk failure") {
+		t.Fatalf("%+v", back)
+	}
+	rcv, drop := agg.Stats()
+	if rcv != 1 || drop != 0 {
+		t.Fatalf("stats %d %d", rcv, drop)
+	}
+}
+
+func TestAggregatorDropsMalformed(t *testing.T) {
+	b := newBroker(t)
+	agg := NewAggregator(b)
+	if err := agg.IngestLine("garbage", time.Now()); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	_, drop := agg.Stats()
+	if drop != 1 {
+		t.Fatalf("dropped = %d", drop)
+	}
+}
+
+func TestTCPServe(t *testing.T) {
+	b := newBroker(t)
+	agg := NewAggregator(b)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- agg.Serve(ctx, l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []string{
+		Format(GPFSDiskFailure("nid000001", 2, 3, time.Now().UTC())),
+		"<13>Mar  3 01:00:00 nid000002 slurmd: launch task",
+	}
+	if _, err := conn.Write([]byte(strings.Join(lines, "\n") + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	deadline := time.After(2 * time.Second)
+	for {
+		rcv, _ := agg.Stats()
+		if rcv == 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d received", rcv)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	mk := func() []Message {
+		g := NewGenerator(5, "nid000001", "nid000002")
+		var out []Message
+		for i := 0; i < 50; i++ {
+			out = append(out, g.Next(time.Unix(int64(i), 0)))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	// All hosts and several apps appear.
+	apps := map[string]bool{}
+	for _, m := range a {
+		apps[m.App] = true
+	}
+	if len(apps) < 3 {
+		t.Fatalf("apps: %v", apps)
+	}
+}
+
+// Property: format/parse round-trips for all valid facility/severity.
+func TestPropertyPriRoundTrip(t *testing.T) {
+	ref := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	f := func(fac, sev uint8) bool {
+		m := Message{
+			Facility: int(fac) % 24, Severity: int(sev) % 8,
+			Hostname: "host1", App: "app",
+			Text:      "hello world",
+			Timestamp: time.Date(2022, 6, 1, 12, 30, 15, 0, time.UTC),
+		}
+		got, err := Parse(Format(m), ref)
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	line := "<10>Mar  3 01:47:57 nid001234 mmfs: GPFS: Disk failure detected on rg001 from nsd7. Unmounting file system fs1"
+	ref := time.Now()
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(line, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client talks to a telemetry API server; it plays the role of the
+// Python clients in the paper's K3s pods that "read data in different
+// Kafka topics via the Telemetry API and send them to either
+// VictoriaMetrics or Loki".
+type Client struct {
+	base   string
+	token  string
+	client *http.Client
+}
+
+// NewClient returns a client for the server at base (no trailing slash)
+// authenticating with token ("" for servers without auth).
+func NewClient(base, token string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: base, token: token, client: httpClient}
+}
+
+func (c *Client) do(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.client.Do(req)
+}
+
+func decodeOrError(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("telemetry: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Topics lists the broker's topics.
+func (c *Client) Topics() ([]string, error) {
+	resp, err := c.do(http.MethodGet, "/v1/topics", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	return out, decodeOrError(resp, &out)
+}
+
+// Subscription is an open topic subscription.
+type Subscription struct {
+	ID     string
+	client *Client
+}
+
+// Subscribe creates a subscription to the topics under the consumer group
+// (empty group gets a private group, receiving all messages).
+func (c *Client) Subscribe(group string, topics ...string) (*Subscription, error) {
+	body, err := json.Marshal(subscribeRequest{Topics: topics, Group: group})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(http.MethodPost, "/v1/subscriptions", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var sr subscribeResponse
+	if err := decodeOrError(resp, &sr); err != nil {
+		return nil, err
+	}
+	return &Subscription{ID: sr.ID, client: c}, nil
+}
+
+// Poll fetches up to max records, long-polling up to timeout.
+func (s *Subscription) Poll(max int, timeout time.Duration) ([]Record, error) {
+	q := url.Values{}
+	q.Set("max", strconv.Itoa(max))
+	q.Set("timeout_ms", strconv.FormatInt(timeout.Milliseconds(), 10))
+	resp, err := s.client.do(http.MethodGet, "/v1/stream/"+s.ID+"?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	return out, decodeOrError(resp, &out)
+}
+
+// Close deletes the subscription server-side.
+func (s *Subscription) Close() error {
+	resp, err := s.client.do(http.MethodDelete, "/v1/subscriptions/"+s.ID, nil)
+	if err != nil {
+		return err
+	}
+	return decodeOrError(resp, nil)
+}

@@ -1,0 +1,250 @@
+// Package telemetry implements the Shasta SMA Telemetry API: the HTTP
+// middleman between Kafka and data consumers, "responsible for
+// authentication and balancing income requests". Clients create a
+// subscription to one or more Kafka topics and long-poll batches of
+// records; the server drives a consumer-group member per subscription.
+package telemetry
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"shastamon/internal/kafka"
+)
+
+// Record is one message delivered to a telemetry client.
+type Record struct {
+	Topic     string    `json:"topic"`
+	Partition int       `json:"partition"`
+	Offset    int64     `json:"offset"`
+	Key       string    `json:"key,omitempty"` // base64
+	Value     string    `json:"value"`         // base64
+	Timestamp time.Time `json:"timestamp"`
+}
+
+// DecodeValue returns the raw message payload.
+func (r Record) DecodeValue() ([]byte, error) { return base64.StdEncoding.DecodeString(r.Value) }
+
+type subscription struct {
+	id       string
+	consumer *kafka.Consumer
+	mu       sync.Mutex // serialises polls per subscription
+}
+
+// ServerConfig configures the API server.
+type ServerConfig struct {
+	Broker *kafka.Broker
+	// Tokens holds accepted bearer tokens. Empty disables authentication.
+	Tokens []string
+	// MaxConcurrentPolls bounds in-flight stream requests (the "balancing"
+	// role). 0 means 64.
+	MaxConcurrentPolls int
+}
+
+// Server is the telemetry API HTTP handler.
+type Server struct {
+	broker *kafka.Broker
+	tokens map[string]bool
+	sem    chan struct{}
+
+	mu     sync.Mutex
+	subs   map[string]*subscription
+	nextID int
+}
+
+// NewServer validates the config and returns a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Broker == nil {
+		return nil, fmt.Errorf("telemetry: broker required")
+	}
+	if cfg.MaxConcurrentPolls <= 0 {
+		cfg.MaxConcurrentPolls = 64
+	}
+	s := &Server{
+		broker: cfg.Broker,
+		tokens: map[string]bool{},
+		sem:    make(chan struct{}, cfg.MaxConcurrentPolls),
+		subs:   map[string]*subscription{},
+	}
+	for _, t := range cfg.Tokens {
+		s.tokens[t] = true
+	}
+	return s, nil
+}
+
+func (s *Server) authorized(r *http.Request) bool {
+	if len(s.tokens) == 0 {
+		return true
+	}
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	return strings.HasPrefix(h, prefix) && s.tokens[strings.TrimPrefix(h, prefix)]
+}
+
+// Handler returns the HTTP mux:
+//
+//	GET    /v1/topics
+//	POST   /v1/subscriptions        {"topics": [...], "group": "..."}
+//	GET    /v1/stream/{id}?max=&timeout_ms=
+//	DELETE /v1/subscriptions/{id}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/topics", s.withAuth(s.handleTopics))
+	mux.HandleFunc("/v1/subscriptions", s.withAuth(s.handleSubscriptions))
+	mux.HandleFunc("/v1/subscriptions/", s.withAuth(s.handleSubscriptionDelete))
+	mux.HandleFunc("/v1/stream/", s.withAuth(s.handleStream))
+	return mux
+}
+
+func (s *Server) withAuth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.authorized(r) {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		next(w, r)
+	}
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.broker.Topics())
+}
+
+type subscribeRequest struct {
+	Topics []string `json:"topics"`
+	Group  string   `json:"group"`
+}
+
+type subscribeResponse struct {
+	ID string `json:"id"`
+}
+
+func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req subscribeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Topics) == 0 {
+		http.Error(w, "bad request: topics required", http.StatusBadRequest)
+		return
+	}
+	for _, t := range req.Topics {
+		if _, err := s.broker.Partitions(t); err != nil {
+			http.Error(w, "unknown topic "+t, http.StatusNotFound)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("sub-%d", s.nextID)
+	group := req.Group
+	if group == "" {
+		group = id
+	}
+	sub := &subscription{
+		id:       id,
+		consumer: kafka.NewConsumer(s.broker, group, id, req.Topics...),
+	}
+	s.subs[id] = sub
+	s.mu.Unlock()
+	writeJSON(w, subscribeResponse{ID: id})
+}
+
+func (s *Server) handleSubscriptionDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/subscriptions/")
+	s.mu.Lock()
+	sub, ok := s.subs[id]
+	delete(s.subs, id)
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown subscription", http.StatusNotFound)
+		return
+	}
+	sub.consumer.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/stream/")
+	s.mu.Lock()
+	sub, ok := s.subs[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown subscription", http.StatusNotFound)
+		return
+	}
+	max := 100
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	timeout := 0 * time.Millisecond
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad timeout_ms", http.StatusBadRequest)
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+	}
+
+	// Balancing: bounded concurrency across all clients.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		return
+	}
+
+	sub.mu.Lock()
+	msgs, err := sub.consumer.Poll(max, timeout)
+	sub.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := make([]Record, 0, len(msgs))
+	for _, m := range msgs {
+		out = append(out, Record{
+			Topic:     m.Topic,
+			Partition: m.Partition,
+			Offset:    m.Offset,
+			Key:       base64.StdEncoding.EncodeToString(m.Key),
+			Value:     base64.StdEncoding.EncodeToString(m.Value),
+			Timestamp: m.Timestamp,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"shastamon/internal/kafka"
+)
+
+func testServer(t *testing.T, tokens ...string) (*kafka.Broker, *httptest.Server) {
+	t.Helper()
+	broker := kafka.NewBroker()
+	if err := broker.CreateTopic("cray-dmtf-resource-event", 2); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Broker: broker, Tokens: tokens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return broker, ts
+}
+
+func TestServerRequiresBroker(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Fatal("nil broker accepted")
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	_, srv := testServer(t, "secret")
+	// No token.
+	c := NewClient(srv.URL, "", nil)
+	if _, err := c.Topics(); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong token.
+	c = NewClient(srv.URL, "wrong", nil)
+	if _, err := c.Topics(); err == nil {
+		t.Fatal("wrong token accepted")
+	}
+	// Right token.
+	c = NewClient(srv.URL, "secret", nil)
+	topics, err := c.Topics()
+	if err != nil || len(topics) != 1 {
+		t.Fatalf("%v %v", topics, err)
+	}
+}
+
+func TestSubscribePollClose(t *testing.T) {
+	broker, srv := testServer(t)
+	c := NewClient(srv.URL, "", nil)
+	sub, err := c.Subscribe("", "cray-dmtf-resource-event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_, _, _ = broker.Produce("cray-dmtf-resource-event", []byte("x1000c0"), []byte(`{"n":`+string(rune('0'+i))+`}`), time.Unix(int64(i), 0))
+	}
+	var got []Record
+	for len(got) < 5 {
+		recs, err := sub.Poll(3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		got = append(got, recs...)
+	}
+	if len(got) != 5 {
+		t.Fatalf("polled %d", len(got))
+	}
+	val, err := got[0].DecodeValue()
+	if err != nil || !strings.HasPrefix(string(val), `{"n":`) {
+		t.Fatalf("%q %v", val, err)
+	}
+	if got[0].Timestamp.Unix() != 0 {
+		t.Fatalf("timestamp: %v", got[0].Timestamp)
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Poll after close: 404.
+	if _, err := sub.Poll(1, 0); err == nil {
+		t.Fatal("poll after close succeeded")
+	}
+}
+
+func TestSubscribeUnknownTopic(t *testing.T) {
+	_, srv := testServer(t)
+	c := NewClient(srv.URL, "", nil)
+	if _, err := c.Subscribe("", "nope"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSubscribeNoTopics(t *testing.T) {
+	_, srv := testServer(t)
+	c := NewClient(srv.URL, "", nil)
+	if _, err := c.Subscribe(""); err == nil {
+		t.Fatal("empty topics accepted")
+	}
+}
+
+func TestLongPollWaits(t *testing.T) {
+	broker, srv := testServer(t)
+	c := NewClient(srv.URL, "", nil)
+	sub, err := c.Subscribe("", "cray-dmtf-resource-event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	done := make(chan []Record, 1)
+	go func() {
+		recs, _ := sub.Poll(10, 2*time.Second)
+		done <- recs
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_, _, _ = broker.Produce("cray-dmtf-resource-event", nil, []byte("late"), time.Time{})
+	select {
+	case recs := <-done:
+		if len(recs) != 1 {
+			t.Fatalf("%+v", recs)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("long poll never returned")
+	}
+}
+
+func TestSharedGroupSplitsMessages(t *testing.T) {
+	broker, srv := testServer(t)
+	c := NewClient(srv.URL, "", nil)
+	s1, err := c.Subscribe("omni", "cray-dmtf-resource-event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := c.Subscribe("omni", "cray-dmtf-resource-event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// Keys chosen to land on both partitions.
+	for i := 0; i < 20; i++ {
+		_, _, _ = broker.Produce("cray-dmtf-resource-event", []byte{byte(i)}, []byte("v"), time.Time{})
+	}
+	r1, _ := s1.Poll(100, 0)
+	r2, _ := s2.Poll(100, 0)
+	if len(r1)+len(r2) != 20 {
+		t.Fatalf("split: %d + %d", len(r1), len(r2))
+	}
+	if len(r1) == 0 || len(r2) == 0 {
+		t.Fatalf("no balance: %d / %d", len(r1), len(r2))
+	}
+}
+
+func TestBadQueryParams(t *testing.T) {
+	_, srv := testServer(t)
+	c := NewClient(srv.URL, "", nil)
+	sub, err := c.Subscribe("", "cray-dmtf-resource-event")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	resp, err := http.Get(srv.URL + "/v1/stream/" + sub.ID + "?max=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/stream/" + sub.ID + "?timeout_ms=-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestDeleteUnknownSubscription(t *testing.T) {
+	_, srv := testServer(t)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/subscriptions/ghost", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,250 @@
+// Package tsdb implements an in-process time-series database in the mould
+// of VictoriaMetrics: label-indexed series of (timestamp, value) samples.
+// It is the metrics half of the paper's dual pipeline ("as a rule, we send
+// metrics to VictoriaMetrics ... and logs to Loki").
+//
+// Timestamps are Unix milliseconds, the Prometheus convention (the log
+// store uses nanoseconds, the Loki convention).
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"shastamon/internal/labels"
+)
+
+// Sample is one (timestamp, value) pair. T is Unix milliseconds.
+type Sample struct {
+	T int64
+	V float64
+}
+
+// MetricNameLabel is the reserved label holding the metric name.
+const MetricNameLabel = "__name__"
+
+// ErrOutOfOrder is returned when appending a sample older than the series
+// head. The sample is dropped.
+var ErrOutOfOrder = errors.New("tsdb: out-of-order sample")
+
+type series struct {
+	labels labels.Labels
+	mu     sync.Mutex
+	data   []Sample
+}
+
+// DB is an in-memory TSDB safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	series  map[labels.Fingerprint][]*series
+	ordered []*series
+
+	statsMu sync.Mutex
+	appends int64
+	dropped int64
+}
+
+// New returns an empty DB.
+func New() *DB {
+	return &DB{series: map[labels.Fingerprint][]*series{}}
+}
+
+// Append adds one sample to the series identified by ls. ls must include
+// the metric name under MetricNameLabel (use Labels.With).
+func (db *DB) Append(ls labels.Labels, t int64, v float64) error {
+	if ls.Get(MetricNameLabel) == "" {
+		return fmt.Errorf("tsdb: missing %s label in %s", MetricNameLabel, ls)
+	}
+	s := db.getOrCreate(ls)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.data); n > 0 && t < s.data[n-1].T {
+		db.statsMu.Lock()
+		db.dropped++
+		db.statsMu.Unlock()
+		return ErrOutOfOrder
+	}
+	if n := len(s.data); n > 0 && t == s.data[n-1].T {
+		s.data[n-1].V = v // overwrite duplicate timestamp, like VM
+	} else {
+		s.data = append(s.data, Sample{T: t, V: v})
+	}
+	db.statsMu.Lock()
+	db.appends++
+	db.statsMu.Unlock()
+	return nil
+}
+
+// AppendMetric is a convenience wrapper building the label set from a
+// metric name and extra labels.
+func (db *DB) AppendMetric(name string, extra labels.Labels, t int64, v float64) error {
+	return db.Append(extra.With(MetricNameLabel, name), t, v)
+}
+
+func (db *DB) getOrCreate(ls labels.Labels) *series {
+	fp := ls.Fingerprint()
+	db.mu.RLock()
+	for _, s := range db.series[fp] {
+		if s.labels.Equal(ls) {
+			db.mu.RUnlock()
+			return s
+		}
+	}
+	db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, s := range db.series[fp] {
+		if s.labels.Equal(ls) {
+			return s
+		}
+	}
+	s := &series{labels: ls.Copy()}
+	db.series[fp] = append(db.series[fp], s)
+	db.ordered = append(db.ordered, s)
+	return s
+}
+
+// SeriesData is a query result: a label set and its samples in range.
+type SeriesData struct {
+	Labels  labels.Labels
+	Samples []Sample
+}
+
+// Select returns samples in [mint, maxt] (ms, inclusive) for every series
+// matching all matchers, ordered by label string.
+func (db *DB) Select(sel []*labels.Matcher, mint, maxt int64) []SeriesData {
+	db.mu.RLock()
+	cand := make([]*series, 0)
+	for _, s := range db.ordered {
+		if labels.MatchLabels(s.labels, sel) {
+			cand = append(cand, s)
+		}
+	}
+	db.mu.RUnlock()
+	out := make([]SeriesData, 0, len(cand))
+	for _, s := range cand {
+		s.mu.Lock()
+		lo := sort.Search(len(s.data), func(i int) bool { return s.data[i].T >= mint })
+		hi := sort.Search(len(s.data), func(i int) bool { return s.data[i].T > maxt })
+		if lo < hi {
+			samples := make([]Sample, hi-lo)
+			copy(samples, s.data[lo:hi])
+			out = append(out, SeriesData{Labels: s.labels, Samples: samples})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
+	return out
+}
+
+// LatestBefore returns, for each matching series, the newest sample at or
+// before ts but not older than ts-lookback. This implements PromQL instant
+// vector semantics.
+func (db *DB) LatestBefore(sel []*labels.Matcher, ts, lookbackMS int64) []SeriesData {
+	db.mu.RLock()
+	cand := make([]*series, 0)
+	for _, s := range db.ordered {
+		if labels.MatchLabels(s.labels, sel) {
+			cand = append(cand, s)
+		}
+	}
+	db.mu.RUnlock()
+	out := make([]SeriesData, 0, len(cand))
+	for _, s := range cand {
+		s.mu.Lock()
+		hi := sort.Search(len(s.data), func(i int) bool { return s.data[i].T > ts })
+		if hi > 0 && s.data[hi-1].T >= ts-lookbackMS {
+			out = append(out, SeriesData{Labels: s.labels, Samples: []Sample{s.data[hi-1]}})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
+	return out
+}
+
+// Series returns label sets of matching series.
+func (db *DB) Series(sel []*labels.Matcher) []labels.Labels {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []labels.Labels
+	for _, s := range db.ordered {
+		if labels.MatchLabels(s.labels, sel) {
+			out = append(out, s.labels)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// LabelValues returns distinct values of a label across series.
+func (db *DB) LabelValues(name string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := map[string]bool{}
+	for _, s := range db.ordered {
+		if v := s.labels.Get(name); v != "" {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeleteBefore drops samples older than ts (ms) and removes series that
+// become empty. It returns the number of samples dropped.
+func (db *DB) DeleteBefore(ts int64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	kept := db.ordered[:0]
+	for _, s := range db.ordered {
+		s.mu.Lock()
+		lo := sort.Search(len(s.data), func(i int) bool { return s.data[i].T >= ts })
+		dropped += lo
+		if lo > 0 {
+			s.data = append([]Sample(nil), s.data[lo:]...)
+		}
+		empty := len(s.data) == 0
+		s.mu.Unlock()
+		if empty {
+			fp := s.labels.Fingerprint()
+			list := db.series[fp]
+			for i, other := range list {
+				if other == s {
+					db.series[fp] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+			if len(db.series[fp]) == 0 {
+				delete(db.series, fp)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	db.ordered = kept
+	return dropped
+}
+
+// Stats reports counters.
+type Stats struct {
+	Series  int
+	Samples int64
+	Dropped int64
+}
+
+// Stats returns a snapshot of DB counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	n := len(db.ordered)
+	db.mu.RUnlock()
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return Stats{Series: n, Samples: db.appends, Dropped: db.dropped}
+}

@@ -1,0 +1,244 @@
+// Package vmagent implements the scraper of the paper's metrics pipeline:
+// "VMagent collects metrics from all the Prometheus-style exporters and
+// sends data to VictoriaMetrics." It scrapes /metrics endpoints on an
+// interval, attaches job/instance labels, and appends to the tsdb.
+package vmagent
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sync"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/promtext"
+	"shastamon/internal/tsdb"
+)
+
+// RelabelAction selects what a relabel rule does.
+type RelabelAction string
+
+// Relabel actions, the subset of Prometheus relabeling vmagent supports
+// here: filtering series and rewriting label values at scrape time.
+const (
+	RelabelKeep      RelabelAction = "keep"      // drop series whose SourceLabel does not match Regex
+	RelabelDrop      RelabelAction = "drop"      // drop series whose SourceLabel matches Regex
+	RelabelReplace   RelabelAction = "replace"   // set TargetLabel to Replacement ($1... from Regex on SourceLabel)
+	RelabelLabelDrop RelabelAction = "labeldrop" // remove labels whose NAME matches Regex
+)
+
+// RelabelConfig is one metric relabeling rule applied after a scrape.
+type RelabelConfig struct {
+	Action      RelabelAction
+	SourceLabel string // label to match ("__name__" for the metric name)
+	Regex       string
+	TargetLabel string // for replace
+	Replacement string // for replace; $1 etc. expand from Regex
+}
+
+// ScrapeConfig is one scrape job.
+type ScrapeConfig struct {
+	JobName        string
+	Targets        []string // full URLs including path, e.g. http://host/metrics
+	MetricRelabels []RelabelConfig
+}
+
+type compiledRelabel struct {
+	cfg RelabelConfig
+	re  *regexp.Regexp
+}
+
+type compiledJob struct {
+	cfg      ScrapeConfig
+	relabels []compiledRelabel
+}
+
+// Agent scrapes targets and remote-writes into a DB.
+type Agent struct {
+	db     *tsdb.DB
+	client *http.Client
+	jobs   []compiledJob
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts scrape outcomes.
+type Stats struct {
+	Scrapes  int64
+	Failures int64
+	Samples  int64
+}
+
+// New returns an agent writing to db; nil client gets a 10s timeout.
+func New(db *tsdb.DB, client *http.Client, jobs ...ScrapeConfig) (*Agent, error) {
+	if db == nil {
+		return nil, fmt.Errorf("vmagent: db required")
+	}
+	compiled := make([]compiledJob, 0, len(jobs))
+	for _, j := range jobs {
+		if j.JobName == "" || len(j.Targets) == 0 {
+			return nil, fmt.Errorf("vmagent: job needs a name and targets: %+v", j)
+		}
+		cj := compiledJob{cfg: j}
+		for _, rc := range j.MetricRelabels {
+			re, err := regexp.Compile("^(?:" + rc.Regex + ")$")
+			if err != nil {
+				return nil, fmt.Errorf("vmagent: job %s relabel regex %q: %w", j.JobName, rc.Regex, err)
+			}
+			switch rc.Action {
+			case RelabelKeep, RelabelDrop, RelabelLabelDrop:
+			case RelabelReplace:
+				if rc.TargetLabel == "" {
+					return nil, fmt.Errorf("vmagent: replace relabel needs a target label")
+				}
+			default:
+				return nil, fmt.Errorf("vmagent: unknown relabel action %q", rc.Action)
+			}
+			cj.relabels = append(cj.relabels, compiledRelabel{cfg: rc, re: re})
+		}
+		compiled = append(compiled, cj)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Agent{db: db, client: client, jobs: compiled}, nil
+}
+
+// applyRelabels transforms one sample; the returned bool is false when the
+// series is dropped.
+func applyRelabels(rules []compiledRelabel, name string, ls labels.Labels) (string, labels.Labels, bool) {
+	get := func(label string) string {
+		if label == tsdb.MetricNameLabel {
+			return name
+		}
+		return ls.Get(label)
+	}
+	for _, r := range rules {
+		switch r.cfg.Action {
+		case RelabelKeep:
+			if !r.re.MatchString(get(r.cfg.SourceLabel)) {
+				return name, ls, false
+			}
+		case RelabelDrop:
+			if r.re.MatchString(get(r.cfg.SourceLabel)) {
+				return name, ls, false
+			}
+		case RelabelReplace:
+			src := get(r.cfg.SourceLabel)
+			m := r.re.FindStringSubmatchIndex(src)
+			if m == nil {
+				continue
+			}
+			val := string(r.re.ExpandString(nil, r.cfg.Replacement, src, m))
+			if r.cfg.TargetLabel == tsdb.MetricNameLabel {
+				name = val
+			} else {
+				ls = ls.With(r.cfg.TargetLabel, val)
+			}
+		case RelabelLabelDrop:
+			kept := ls[:0:0]
+			for _, l := range ls {
+				if !r.re.MatchString(l.Name) {
+					kept = append(kept, l)
+				}
+			}
+			ls = kept
+		}
+	}
+	return name, ls, true
+}
+
+// ScrapeOnce scrapes every target once at the given timestamp (ms applied
+// to samples without explicit timestamps). Each target also gets an `up`
+// sample: 1 on success, 0 on failure, which the paper's availability
+// alerts key on.
+func (a *Agent) ScrapeOnce(ts time.Time) error {
+	var firstErr error
+	for i := range a.jobs {
+		for _, target := range a.jobs[i].cfg.Targets {
+			if err := a.scrapeTarget(&a.jobs[i], target, ts); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+func (a *Agent) scrapeTarget(cj *compiledJob, target string, ts time.Time) error {
+	job := cj.cfg.JobName
+	ms := ts.UnixMilli()
+	base := labels.FromStrings("job", job, "instance", target)
+	bump := func(fail bool) {
+		a.mu.Lock()
+		a.stats.Scrapes++
+		if fail {
+			a.stats.Failures++
+		}
+		a.mu.Unlock()
+	}
+	resp, err := a.client.Get(target)
+	if err != nil {
+		bump(true)
+		_ = a.db.AppendMetric("up", base, ms, 0)
+		return fmt.Errorf("vmagent: scrape %s: %w", target, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		bump(true)
+		_ = a.db.AppendMetric("up", base, ms, 0)
+		return fmt.Errorf("vmagent: scrape %s: status %d", target, resp.StatusCode)
+	}
+	fams, err := promtext.Parse(resp.Body)
+	if err != nil {
+		bump(true)
+		_ = a.db.AppendMetric("up", base, ms, 0)
+		return fmt.Errorf("vmagent: scrape %s: %w", target, err)
+	}
+	bump(false)
+	n := int64(0)
+	for _, m := range promtext.Samples(fams) {
+		sampleTS := ms
+		if m.Timestamp != 0 {
+			sampleTS = m.Timestamp
+		}
+		name, lbls, keep := applyRelabels(cj.relabels, m.Name, m.Labels)
+		if !keep {
+			continue
+		}
+		ls := lbls.With("job", job).With("instance", target)
+		if err := a.db.AppendMetric(name, ls, sampleTS, m.Value); err == nil {
+			n++
+		}
+	}
+	_ = a.db.AppendMetric("up", base, ms, 1)
+	_ = a.db.AppendMetric("scrape_samples_scraped", base, ms, float64(n))
+	a.mu.Lock()
+	a.stats.Samples += n
+	a.mu.Unlock()
+	return nil
+}
+
+// Stats returns scrape counters.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Run scrapes on the interval until the context is cancelled. Scrape
+// errors are counted, not fatal: a down exporter must simply record up=0.
+func (a *Agent) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			_ = a.ScrapeOnce(now)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package vmagent
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"shastamon/internal/exporters"
+	"shastamon/internal/labels"
+	"shastamon/internal/promql"
+	"shastamon/internal/tsdb"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil db accepted")
+	}
+	if _, err := New(tsdb.New(), nil, ScrapeConfig{}); err == nil {
+		t.Fatal("empty job accepted")
+	}
+}
+
+func TestScrapeOnceIngests(t *testing.T) {
+	node := exporters.NewNodeExporter("x1000c0s0b0n0", 1)
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+
+	db := tsdb.New()
+	agent, err := New(db, nil, ScrapeConfig{JobName: "node", Targets: []string{srv.URL + "/metrics"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(100, 0)
+	if err := agent.ScrapeOnce(ts); err != nil {
+		t.Fatal(err)
+	}
+	eng := promql.NewEngine(db)
+	vec, err := eng.Query(`up{job="node"}`, ts.UnixMilli())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 || vec[0].V != 1 {
+		t.Fatalf("up: %+v", vec)
+	}
+	vec, err = eng.Query(`node_cpu_seconds_total{mode="idle"}`, ts.UnixMilli())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 || vec[0].Labels.Get("instance") == "" {
+		t.Fatalf("cpu: %+v", vec)
+	}
+	st := agent.Stats()
+	if st.Scrapes != 1 || st.Failures != 0 || st.Samples == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestScrapeFailureRecordsUpZero(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	url := dead.URL
+	dead.Close()
+
+	db := tsdb.New()
+	agent, err := New(db, nil, ScrapeConfig{JobName: "node", Targets: []string{url + "/metrics"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(100, 0)
+	if err := agent.ScrapeOnce(ts); err == nil {
+		t.Fatal("expected scrape error")
+	}
+	eng := promql.NewEngine(db)
+	vec, _ := eng.Query(`up == 0`, ts.UnixMilli())
+	if len(vec) != 1 {
+		t.Fatalf("up==0: %+v", vec)
+	}
+	if agent.Stats().Failures != 1 {
+		t.Fatalf("stats: %+v", agent.Stats())
+	}
+}
+
+func TestCountersAccumulateAcrossScrapes(t *testing.T) {
+	node := exporters.NewNodeExporter("n", 2)
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+	db := tsdb.New()
+	agent, _ := New(db, nil, ScrapeConfig{JobName: "node", Targets: []string{srv.URL + "/metrics"}})
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		if err := agent.ScrapeOnce(base.Add(time.Duration(i) * 15 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel := []*labels.Matcher{
+		labels.MustMatcher(labels.MatchEqual, tsdb.MetricNameLabel, "node_cpu_seconds_total"),
+		labels.MustMatcher(labels.MatchEqual, "mode", "idle"),
+	}
+	data := db.Select(sel, 0, base.Add(time.Hour).UnixMilli())
+	if len(data) != 1 || len(data[0].Samples) != 5 {
+		t.Fatalf("%+v", data)
+	}
+	// rate over the window is positive.
+	eng := promql.NewEngine(db)
+	vec, err := eng.Query(`rate(node_cpu_seconds_total{mode="idle"}[2m])`, base.Add(time.Minute).UnixMilli())
+	if err != nil || len(vec) != 1 || vec[0].V <= 0 {
+		t.Fatalf("rate: %+v %v", vec, err)
+	}
+}
+
+func TestRunLoopScrapes(t *testing.T) {
+	node := exporters.NewNodeExporter("n", 3)
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+	db := tsdb.New()
+	agent, _ := New(db, nil, ScrapeConfig{JobName: "node", Targets: []string{srv.URL + "/metrics"}})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		agent.Run(ctx, 5*time.Millisecond)
+		close(done)
+	}()
+	deadline := time.After(2 * time.Second)
+	for agent.Stats().Scrapes < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("run loop too slow")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	<-done
+}
+
+func TestRelabelValidation(t *testing.T) {
+	db := tsdb.New()
+	bad := []ScrapeConfig{
+		{JobName: "x", Targets: []string{"u"}, MetricRelabels: []RelabelConfig{{Action: "bogus", Regex: ".*"}}},
+		{JobName: "x", Targets: []string{"u"}, MetricRelabels: []RelabelConfig{{Action: RelabelKeep, Regex: "("}}},
+		{JobName: "x", Targets: []string{"u"}, MetricRelabels: []RelabelConfig{{Action: RelabelReplace, Regex: ".*"}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(db, nil, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRelabelKeepDropReplace(t *testing.T) {
+	node := exporters.NewNodeExporter("x1000c0s0b0n0", 5)
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+	db := tsdb.New()
+	agent, err := New(db, nil, ScrapeConfig{
+		JobName: "node",
+		Targets: []string{srv.URL + "/metrics"},
+		MetricRelabels: []RelabelConfig{
+			// Keep only CPU counters.
+			{Action: RelabelKeep, SourceLabel: "__name__", Regex: "node_cpu_.*"},
+			// Drop iowait mode.
+			{Action: RelabelDrop, SourceLabel: "mode", Regex: "iowait"},
+			// Copy node -> xname, then drop the original label.
+			{Action: RelabelReplace, SourceLabel: "node", Regex: "(.*)", TargetLabel: "xname", Replacement: "$1"},
+			{Action: RelabelLabelDrop, Regex: "node"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(50, 0)
+	if err := agent.ScrapeOnce(ts); err != nil {
+		t.Fatal(err)
+	}
+	eng := promql.NewEngine(db)
+	// Memory/load gauges were filtered out.
+	if vec, _ := eng.Query(`node_load1`, ts.UnixMilli()); len(vec) != 0 {
+		t.Fatalf("kept filtered metric: %+v", vec)
+	}
+	// 3 modes survive (iowait dropped).
+	vec, err := eng.Query(`node_cpu_seconds_total`, ts.UnixMilli())
+	if err != nil || len(vec) != 3 {
+		t.Fatalf("%+v %v", vec, err)
+	}
+	for _, s := range vec {
+		if s.Labels.Get("mode") == "iowait" {
+			t.Fatal("iowait survived drop")
+		}
+		if s.Labels.Get("xname") != "x1000c0s0b0n0" || s.Labels.Has("node") {
+			t.Fatalf("relabel: %v", s.Labels)
+		}
+	}
+}
+
+func TestRelabelRenameMetric(t *testing.T) {
+	node := exporters.NewNodeExporter("n1", 6)
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+	db := tsdb.New()
+	agent, _ := New(db, nil, ScrapeConfig{
+		JobName: "node",
+		Targets: []string{srv.URL + "/metrics"},
+		MetricRelabels: []RelabelConfig{
+			{Action: RelabelReplace, SourceLabel: "__name__", Regex: "node_load1", TargetLabel: "__name__", Replacement: "system_load_1m"},
+		},
+	})
+	ts := time.Unix(50, 0)
+	if err := agent.ScrapeOnce(ts); err != nil {
+		t.Fatal(err)
+	}
+	eng := promql.NewEngine(db)
+	if vec, _ := eng.Query(`system_load_1m`, ts.UnixMilli()); len(vec) != 1 {
+		t.Fatalf("renamed metric missing: %+v", vec)
+	}
+	if vec, _ := eng.Query(`node_load1`, ts.UnixMilli()); len(vec) != 0 {
+		t.Fatalf("old name survived: %+v", vec)
+	}
+}

@@ -1,0 +1,219 @@
+// Package vmalert implements the metric alerting component of the paper's
+// pipeline: "vmalert, a component of the VictoriaMetrics cluster, queries
+// the database continuously with predefined alerting rules created by
+// NERSC. If the return value is true, vmalert sends an event to
+// AlertManager." Rules are PromQL threshold expressions with a `for:`
+// hold, identical in shape to the Loki Ruler's.
+package vmalert
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"shastamon/internal/alertmanager"
+	"shastamon/internal/labels"
+	"shastamon/internal/promql"
+	"shastamon/internal/ruler"
+	"shastamon/internal/tsdb"
+)
+
+// Rule is one metric alerting rule.
+type Rule struct {
+	Name        string
+	Expr        string // PromQL expression; any returned sample is "true"
+	For         time.Duration
+	Labels      map[string]string
+	Annotations map[string]string
+}
+
+// RecordingRule periodically evaluates an expression and writes the
+// result back to the TSDB under a new metric name — vmalert's `record:`
+// rules, used to precompute expensive aggregates for dashboards.
+type RecordingRule struct {
+	Record string // new metric name
+	Expr   string
+	Labels map[string]string // added to every recorded sample
+}
+
+type compiledRule struct {
+	rule Rule
+	expr promql.Expr
+}
+
+type alertState struct {
+	activeSince time.Time
+	firing      bool
+	labels      labels.Labels
+	value       float64
+}
+
+type compiledRecording struct {
+	rule RecordingRule
+	expr promql.Expr
+}
+
+// VMAlert evaluates rules against a PromQL engine.
+type VMAlert struct {
+	engine   *promql.Engine
+	notifier ruler.Notifier
+	now      func() time.Time
+
+	mu         sync.Mutex
+	rules      []compiledRule
+	state      []map[labels.Fingerprint]*alertState
+	recordings []compiledRecording
+	recordDB   *tsdb.DB
+	evals      int64
+}
+
+// New compiles rules and returns a VMAlert.
+func New(engine *promql.Engine, notifier ruler.Notifier, now func() time.Time, rules ...Rule) (*VMAlert, error) {
+	if engine == nil || notifier == nil {
+		return nil, fmt.Errorf("vmalert: engine and notifier required")
+	}
+	if now == nil {
+		now = time.Now
+	}
+	v := &VMAlert{engine: engine, notifier: notifier, now: now}
+	seen := map[string]bool{}
+	for _, rule := range rules {
+		if rule.Name == "" {
+			return nil, fmt.Errorf("vmalert: rule needs a name: %+v", rule)
+		}
+		if seen[rule.Name] {
+			return nil, fmt.Errorf("vmalert: duplicate rule %q", rule.Name)
+		}
+		seen[rule.Name] = true
+		expr, err := promql.Parse(rule.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("vmalert: rule %q: %w", rule.Name, err)
+		}
+		v.rules = append(v.rules, compiledRule{rule: rule, expr: expr})
+		v.state = append(v.state, map[labels.Fingerprint]*alertState{})
+	}
+	return v, nil
+}
+
+// AddRecordingRules registers recording rules that write their results
+// into db on every evaluation round.
+func (v *VMAlert) AddRecordingRules(db *tsdb.DB, rules ...RecordingRule) error {
+	if db == nil {
+		return fmt.Errorf("vmalert: recording rules need a db")
+	}
+	compiled := make([]compiledRecording, 0, len(rules))
+	for _, r := range rules {
+		if r.Record == "" {
+			return fmt.Errorf("vmalert: recording rule needs a name: %+v", r)
+		}
+		expr, err := promql.Parse(r.Expr)
+		if err != nil {
+			return fmt.Errorf("vmalert: recording rule %q: %w", r.Record, err)
+		}
+		compiled = append(compiled, compiledRecording{rule: r, expr: expr})
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.recordDB = db
+	v.recordings = append(v.recordings, compiled...)
+	return nil
+}
+
+// EvalOnce evaluates every rule at the current time and notifies state
+// transitions. It returns the alerts sent. Recording rules run first so
+// alerting rules can reference their output in the same round.
+func (v *VMAlert) EvalOnce() ([]alertmanager.Alert, error) {
+	now := v.now()
+	ms := now.UnixMilli()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.evals++
+	for _, cr := range v.recordings {
+		vec, err := v.engine.Instant(cr.expr, ms)
+		if err != nil {
+			return nil, fmt.Errorf("vmalert: recording rule %q: %w", cr.rule.Record, err)
+		}
+		for _, s := range vec {
+			b := labels.NewBuilder(s.Labels)
+			for k, val := range cr.rule.Labels {
+				b.Set(k, val)
+			}
+			if err := v.recordDB.AppendMetric(cr.rule.Record, b.Labels(), ms, s.V); err != nil && !errors.Is(err, tsdb.ErrOutOfOrder) {
+				return nil, err
+			}
+		}
+	}
+	var sent []alertmanager.Alert
+	for i, cr := range v.rules {
+		vec, err := v.engine.Instant(cr.expr, ms)
+		if err != nil {
+			return sent, fmt.Errorf("vmalert: rule %q: %w", cr.rule.Name, err)
+		}
+		active := map[labels.Fingerprint]bool{}
+		for _, sample := range vec {
+			b := labels.NewBuilder(sample.Labels)
+			b.Set("alertname", cr.rule.Name)
+			for k, val := range cr.rule.Labels {
+				b.Set(k, val)
+			}
+			alertLbls := b.Labels()
+			fp := alertLbls.Fingerprint()
+			active[fp] = true
+			st, ok := v.state[i][fp]
+			if !ok {
+				st = &alertState{activeSince: now, labels: alertLbls}
+				v.state[i][fp] = st
+			}
+			st.value = sample.V
+			if !st.firing && now.Sub(st.activeSince) >= cr.rule.For {
+				st.firing = true
+				sent = append(sent, v.buildAlert(cr.rule, st, now, time.Time{}))
+			}
+		}
+		for fp, st := range v.state[i] {
+			if active[fp] {
+				continue
+			}
+			if st.firing {
+				sent = append(sent, v.buildAlert(cr.rule, st, st.activeSince, now))
+			}
+			delete(v.state[i], fp)
+		}
+	}
+	if len(sent) > 0 {
+		v.notifier.Receive(sent...)
+	}
+	return sent, nil
+}
+
+func (v *VMAlert) buildAlert(rule Rule, st *alertState, startsAt, endsAt time.Time) alertmanager.Alert {
+	ann := make(map[string]string, len(rule.Annotations))
+	for k, val := range rule.Annotations {
+		ann[k] = ruler.ExpandTemplate(val, st.labels, st.value)
+	}
+	return alertmanager.Alert{Labels: st.labels, Annotations: ann, StartsAt: startsAt, EndsAt: endsAt}
+}
+
+// Evals returns the evaluation-round counter.
+func (v *VMAlert) Evals() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.evals
+}
+
+// Run evaluates on the interval until stop closes.
+func (v *VMAlert) Run(interval time.Duration, stop <-chan struct{}) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-t.C:
+			if _, err := v.EvalOnce(); err != nil {
+				return err
+			}
+		}
+	}
+}

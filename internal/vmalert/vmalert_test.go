@@ -1,0 +1,234 @@
+package vmalert
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"shastamon/internal/alertmanager"
+	"shastamon/internal/labels"
+	"shastamon/internal/promql"
+	"shastamon/internal/tsdb"
+)
+
+type fakeNotifier struct {
+	mu     sync.Mutex
+	alerts []alertmanager.Alert
+}
+
+func (f *fakeNotifier) Receive(alerts ...alertmanager.Alert) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.alerts = append(f.alerts, alerts...)
+}
+
+func (f *fakeNotifier) all() []alertmanager.Alert {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]alertmanager.Alert(nil), f.alerts...)
+}
+
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *clock) Now() time.Time { c.mu.Lock(); defer c.mu.Unlock(); return c.t }
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func setup(t *testing.T, rules ...Rule) (*tsdb.DB, *VMAlert, *fakeNotifier, *clock) {
+	t.Helper()
+	db := tsdb.New()
+	n := &fakeNotifier{}
+	ck := &clock{t: time.Date(2022, 3, 3, 1, 0, 0, 0, time.UTC)}
+	v, err := New(promql.NewEngine(db), n, ck.Now, rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, v, n, ck
+}
+
+func TestValidation(t *testing.T) {
+	db := tsdb.New()
+	n := &fakeNotifier{}
+	if _, err := New(nil, n, nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := New(promql.NewEngine(db), n, nil, Rule{Name: "x", Expr: "(((("}); err == nil {
+		t.Fatal("bad expr accepted")
+	}
+	if _, err := New(promql.NewEngine(db), n, nil, Rule{Name: "x", Expr: "up"}, Rule{Name: "x", Expr: "up"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestTemperatureAlertLifecycle(t *testing.T) {
+	rule := Rule{
+		Name:        "NodeOverTemp",
+		Expr:        `node_temp_celsius > 75`,
+		For:         time.Minute,
+		Labels:      map[string]string{"severity": "critical"},
+		Annotations: map[string]string{"summary": "{{ $labels.xname }} at {{ $value }}C"},
+	}
+	db, v, n, ck := setup(t, rule)
+	hot := labels.FromStrings("xname", "x1000c0s0b0n0")
+
+	// Hot sample appears.
+	_ = db.AppendMetric("node_temp_celsius", hot, ck.Now().UnixMilli(), 90)
+	sent, err := v.EvalOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 0 {
+		t.Fatalf("fired before for: %+v", sent)
+	}
+	// Still hot a minute later.
+	ck.Advance(61 * time.Second)
+	_ = db.AppendMetric("node_temp_celsius", hot, ck.Now().UnixMilli(), 91)
+	sent, err = v.EvalOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 1 {
+		t.Fatalf("sent: %+v", sent)
+	}
+	a := sent[0]
+	if a.Name() != "NodeOverTemp" || a.Labels.Get("severity") != "critical" {
+		t.Fatalf("%+v", a)
+	}
+	if a.Annotations["summary"] != "x1000c0s0b0n0 at 91C" {
+		t.Fatalf("annotation %q", a.Annotations["summary"])
+	}
+	// Cooldown: value drops below threshold -> resolution.
+	ck.Advance(time.Minute)
+	_ = db.AppendMetric("node_temp_celsius", hot, ck.Now().UnixMilli(), 50)
+	sent, err = v.EvalOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 1 || !sent[0].Resolved(ck.Now()) {
+		t.Fatalf("resolve: %+v", sent)
+	}
+	if len(n.all()) != 2 {
+		t.Fatalf("notifier: %d", len(n.all()))
+	}
+}
+
+func TestUpZeroAlert(t *testing.T) {
+	rule := Rule{Name: "TargetDown", Expr: `up == 0`, For: 0}
+	db, v, _, ck := setup(t, rule)
+	_ = db.AppendMetric("up", labels.FromStrings("job", "node", "instance", "http://a/metrics"), ck.Now().UnixMilli(), 0)
+	_ = db.AppendMetric("up", labels.FromStrings("job", "node", "instance", "http://b/metrics"), ck.Now().UnixMilli(), 1)
+	sent, err := v.EvalOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 1 || sent[0].Labels.Get("instance") != "http://a/metrics" {
+		t.Fatalf("%+v", sent)
+	}
+}
+
+func TestAbsentRule(t *testing.T) {
+	rule := Rule{Name: "NoTelemetry", Expr: `absent(node_temp_celsius{xname="x9"})`, For: 0}
+	_, v, _, _ := setup(t, rule)
+	sent, err := v.EvalOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != 1 || sent[0].Labels.Get("xname") != "x9" {
+		t.Fatalf("%+v", sent)
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	rule := Rule{Name: "X", Expr: `up == 0`}
+	_, v, _, _ := setup(t, rule)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- v.Run(time.Millisecond, stop) }()
+	deadline := time.After(2 * time.Second)
+	for v.Evals() < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("too slow")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordingRules(t *testing.T) {
+	db, v, _, ck := setup(t)
+	if err := v.AddRecordingRules(db, RecordingRule{
+		Record: "cluster:node_temp:avg",
+		Expr:   `avg(node_temp_celsius)`,
+		Labels: map[string]string{"cluster": "perlmutter"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = db.AppendMetric("node_temp_celsius", labels.FromStrings("xname", "x1"), ck.Now().UnixMilli(), 40)
+	_ = db.AppendMetric("node_temp_celsius", labels.FromStrings("xname", "x2"), ck.Now().UnixMilli(), 60)
+	if _, err := v.EvalOnce(); err != nil {
+		t.Fatal(err)
+	}
+	eng := promql.NewEngine(db)
+	vec, err := eng.Query(`cluster:node_temp:avg`, ck.Now().UnixMilli())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 || vec[0].V != 50 || vec[0].Labels.Get("cluster") != "perlmutter" {
+		t.Fatalf("%+v", vec)
+	}
+	// Subsequent rounds append more points.
+	ck.Advance(time.Minute)
+	_ = db.AppendMetric("node_temp_celsius", labels.FromStrings("xname", "x1"), ck.Now().UnixMilli(), 42)
+	if _, err := v.EvalOnce(); err != nil {
+		t.Fatal(err)
+	}
+	sel := []*labels.Matcher{labels.MustMatcher(labels.MatchEqual, tsdb.MetricNameLabel, "cluster:node_temp:avg")}
+	data := db.Select(sel, 0, ck.Now().UnixMilli())
+	if len(data) != 1 || len(data[0].Samples) != 2 {
+		t.Fatalf("%+v", data)
+	}
+}
+
+func TestRecordingRuleValidation(t *testing.T) {
+	db, v, _, _ := setup(t)
+	if err := v.AddRecordingRules(nil, RecordingRule{Record: "x", Expr: "up"}); err == nil {
+		t.Fatal("nil db accepted")
+	}
+	if err := v.AddRecordingRules(db, RecordingRule{Record: "", Expr: "up"}); err == nil {
+		t.Fatal("unnamed rule accepted")
+	}
+	if err := v.AddRecordingRules(db, RecordingRule{Record: "x", Expr: "(("}); err == nil {
+		t.Fatal("bad expr accepted")
+	}
+}
+
+// An alerting rule can consume a recording rule's output in the same
+// round (recordings run first).
+func TestAlertOnRecordedMetric(t *testing.T) {
+	db, v, n, ck := setup(t)
+	_ = v.AddRecordingRules(db, RecordingRule{Record: "cluster:max_temp", Expr: `max(node_temp_celsius)`})
+	v2, err := New(promql.NewEngine(db), n, ck.Now,
+		Rule{Name: "ClusterHot", Expr: `max(node_temp_celsius) > 80`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = db.AppendMetric("node_temp_celsius", labels.FromStrings("xname", "x1"), ck.Now().UnixMilli(), 95)
+	if _, err := v.EvalOnce(); err != nil {
+		t.Fatal(err)
+	}
+	sent, err := v2.EvalOnce()
+	if err != nil || len(sent) != 1 {
+		t.Fatalf("%v %v", sent, err)
+	}
+}
