@@ -27,6 +27,7 @@ import (
 	"shastamon/internal/labels"
 	"shastamon/internal/logql"
 	"shastamon/internal/loki"
+	"shastamon/internal/obs"
 	"shastamon/internal/omni"
 	"shastamon/internal/ruler"
 	"shastamon/internal/syslogd"
@@ -303,7 +304,9 @@ func BenchmarkFig8Query(b *testing.B) {
 }
 
 // C7: wall-clock cost of one full pipeline evaluation cycle — collect,
-// forward, poll, scrape, evaluate both rule engines, flush.
+// forward, poll, scrape, evaluate both rule engines, flush. The report
+// includes the pipeline's own obs counters so a run shows how much work
+// each tick actually did.
 func BenchmarkPipelineTick(b *testing.B) {
 	p, err := core.New(core.Options{LogRules: []ruler.Rule{experiments.LeakRule, experiments.SwitchRule}})
 	if err != nil {
@@ -319,6 +322,14 @@ func BenchmarkPipelineTick(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	fams := p.Gather()
+	n := float64(b.N)
+	b.ReportMetric(obs.Value(fams, "shastamon_hms_events_collected_total")/n, "events/tick")
+	b.ReportMetric(obs.Value(fams, "shastamon_hms_samples_collected_total")/n, "samples/tick")
+	b.ReportMetric(obs.Value(fams, "shastamon_core_records_forwarded_total")/n, "records/tick")
+	b.ReportMetric(obs.Value(fams, "shastamon_ruler_alerts_fired_total")+
+		obs.Value(fams, "shastamon_vmalert_alerts_fired_total"), "alerts-fired")
 }
 
 // Alertmanager grouping fan-in: many alerts, few groups.

@@ -15,6 +15,12 @@
 //	GET /servicenow/incidents
 //	GET /query/logs?q=...    LogQL log query over the last hour
 //	GET /query/metrics?q=... PromQL instant query
+//
+// With -metrics (default on), the same listener additionally serves:
+//
+//	GET /metrics             shastamon_* self-metrics (Prometheus text)
+//	GET /debug/trace/        event traces; /debug/trace/{id} for one
+//	GET /debug/pprof/        net/http/pprof profiles
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +38,7 @@ import (
 
 	"shastamon/internal/core"
 	"shastamon/internal/experiments"
+	"shastamon/internal/obs"
 	"shastamon/internal/ruler"
 	"shastamon/internal/shasta"
 	"shastamon/internal/syslogd"
@@ -44,6 +52,7 @@ func main() {
 	switchAfter := flag.Duration("switch-after", 20*time.Second, "take a switch offline after this long (0 disables)")
 	syslogRate := flag.Int("syslog-rate", 20, "synthetic syslog messages per tick")
 	rulesPath := flag.String("rules", "", "JSON rule file (see core.RuleFile); default: the paper's two case-study rules")
+	metrics := flag.Bool("metrics", true, "serve /metrics, /debug/trace/ and /debug/pprof/ on the status listener")
 	flag.Parse()
 
 	logRules := []ruler.Rule{experiments.LeakRule, experiments.SwitchRule}
@@ -185,6 +194,18 @@ func main() {
 	mux.Handle("/api/v1/query_range", p.Warehouse.PromQL.Handler())
 	mux.Handle("/api/v1/import/prometheus", p.Warehouse.Metrics.Handler())
 	mux.Handle("/api/v2/", p.Alertmanager.Handler())
+
+	if *metrics {
+		// Self-monitoring and profiling on the same listener: the united
+		// shastamon_* registries, the event tracer, and pprof.
+		mux.Handle("/metrics", obs.Handler(obs.GathererFunc(p.Gather)))
+		mux.Handle("/debug/trace/", p.Tracer.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	srv := &http.Server{Addr: *listen, Handler: mux}
 	go func() {

@@ -86,6 +86,18 @@ func main() {
 		fmt.Printf("\nServiceNow %s (P%d, %s) CI=%s\n  %s\n",
 			inc.Number, inc.Priority, inc.State, inc.CI, inc.ShortDescription)
 	}
+
+	// The leak event's journey stage by stage: the obs tracer minted one
+	// trace ID at the chassis controller and every pipeline hop recorded
+	// itself on it. The same record is served at /debug/trace/{id}.
+	if id := p.Tracer.IDByKey("x1203c1b0"); id != "" {
+		if tr, ok := p.Tracer.Get(id); ok {
+			fmt.Printf("\ntrace %s (key %s):\n", tr.ID, tr.Key)
+			for _, st := range tr.Stages {
+				fmt.Printf("  %-20s %s  %s\n", st.Stage, st.Time.UTC().Format(time.RFC3339), st.Note)
+			}
+		}
+	}
 }
 
 func indent(s string) string {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"shastamon/internal/labels"
+	"shastamon/internal/obs"
 )
 
 // Alert is one alert instance. Labels identify it (alertname plus rule
@@ -166,6 +167,9 @@ type Config struct {
 	Inhibit   []InhibitRule
 	// Now is injectable for tests; defaults to time.Now.
 	Now func() time.Time
+	// Tracer, when set, records an "alertmanager.notify" stage on the
+	// trace of each dispatched alert's originating component.
+	Tracer *obs.Tracer
 }
 
 type group struct {
@@ -184,6 +188,11 @@ type Manager struct {
 	receivers map[string]Receiver
 	inhibit   []InhibitRule
 	now       func() time.Time
+	tracer    *obs.Tracer
+
+	reg       *obs.Registry
+	received  *obs.Counter
+	notifyVec *obs.CounterVec
 
 	mu       sync.Mutex
 	groups   map[string]*group
@@ -225,20 +234,33 @@ func New(cfg Config) (*Manager, error) {
 	if now == nil {
 		now = time.Now
 	}
-	return &Manager{
+	m := &Manager{
 		route:     cfg.Route,
 		receivers: rcv,
 		inhibit:   cfg.Inhibit,
 		now:       now,
+		tracer:    cfg.Tracer,
 		groups:    map[string]*group{},
 		silences:  map[string]Silence{},
-	}, nil
+		reg:       obs.NewRegistry(),
+	}
+	m.received = m.reg.Counter(obs.Namespace+"alertmanager_alerts_received_total",
+		"Alerts ingested from the ruler and vmalert.")
+	m.notifyVec = m.reg.CounterVec(obs.Namespace+"alertmanager_notifications_total",
+		"Notifications dispatched, by receiver and outcome.", "receiver", "outcome")
+	m.reg.GaugeFunc(obs.Namespace+"alertmanager_groups",
+		"Live alert groups.", func() float64 { return float64(m.Groups()) })
+	return m, nil
 }
+
+// Metrics exposes the manager's self-monitoring registry.
+func (m *Manager) Metrics() *obs.Registry { return m.reg }
 
 // Receive ingests alerts (firing or resolved). Alerts are deduplicated by
 // label fingerprint within their group.
 func (m *Manager) Receive(alerts ...Alert) {
 	now := m.now()
+	m.received.Add(float64(len(alerts)))
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, a := range alerts {
@@ -408,12 +430,26 @@ func (m *Manager) Flush() []Notification {
 	m.mu.Unlock()
 
 	for _, n := range notifications {
-		if rcv, ok := m.receivers[n.Receiver]; ok {
-			if err := rcv.Notify(n); err != nil {
-				m.mu.Lock()
-				m.notifyErrs = append(m.notifyErrs, fmt.Errorf("receiver %s: %w", n.Receiver, err))
-				m.mu.Unlock()
+		rcv, ok := m.receivers[n.Receiver]
+		if !ok {
+			continue
+		}
+		err := rcv.Notify(n)
+		if err != nil {
+			m.notifyVec.With(n.Receiver, "failed").Inc()
+			m.mu.Lock()
+			m.notifyErrs = append(m.notifyErrs, fmt.Errorf("receiver %s: %w", n.Receiver, err))
+			m.mu.Unlock()
+			continue
+		}
+		m.notifyVec.With(n.Receiver, "sent").Inc()
+		for _, a := range n.Alerts {
+			key := a.Labels.Get("Context")
+			if key == "" {
+				key = a.Labels.Get("xname")
 			}
+			m.tracer.StageByKey(key, "alertmanager.notify", now,
+				a.Name()+" -> "+n.Receiver)
 		}
 	}
 	return notifications

@@ -201,11 +201,13 @@ func TestMetricsPath(t *testing.T) {
 		t.Fatalf("labels: %v", vec[0].Labels)
 	}
 	// Exporter path: up{job="node"} == 1 and kafka counters present.
+	// 4 targets: node, kafka, aruba, plus the pipeline's own shastamon
+	// self-monitoring endpoint.
 	vec, err = p.Warehouse.PromQL.Query(`up`, ms)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(vec) != 3 {
+	if len(vec) != 4 {
 		t.Fatalf("up: %+v", vec)
 	}
 	vec, err = p.Warehouse.PromQL.Query(`kafka_broker_messages_total`, ms)

@@ -51,6 +51,28 @@ func (p *Pipeline) SinglePane() grafana.Dashboard {
 				Query:  `sum(up)`,
 				Source: grafana.SourceMetrics,
 			},
+			// Shastamon self-monitoring: the pipeline watching itself via
+			// the vmagent "shastamon" scrape job.
+			{
+				Title:  "Self: records forwarded into OMNI",
+				Query:  `shastamon_core_records_forwarded_total`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: Kafka messages produced by topic",
+				Query:  `sum(shastamon_kafka_produced_total) by (topic)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: alerts fired by rule",
+				Query:  `sum(shastamon_ruler_alerts_fired_total) by (rule)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: notifications sent by receiver",
+				Query:  `sum(shastamon_alertmanager_notifications_total) by (receiver, outcome)`,
+				Source: grafana.SourceMetrics,
+			},
 		},
 	}
 }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"shastamon/internal/obs"
+	"shastamon/internal/ruler"
+)
+
+func leakPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	leakRule := ruler.Rule{
+		Name:   "PerlmutterCabinetLeak",
+		Expr:   `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [60m])) by (severity, cluster, Context, message_id, message) > 0`,
+		For:    time.Minute,
+		Labels: map[string]string{"severity": "critical"},
+		Annotations: map[string]string{
+			"summary": "Liquid leak detected at {{ $labels.Context }}",
+		},
+	}
+	p, err := New(Options{LogRules: []ruler.Rule{leakRule}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestLeakTraceEndToEnd is the issue's acceptance scenario: injecting a
+// cabinet leak yields one trace ID whose stages cover the whole pipeline,
+// retrievable via /debug/trace/{id}.
+func TestLeakTraceEndToEnd(t *testing.T) {
+	p := leakPipeline(t)
+	leakTime := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	if err := p.Tick(leakTime.Add(-time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Cluster.InjectLeak("x1203c1b0", "A", "Front", leakTime); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []time.Time{leakTime, leakTime.Add(61 * time.Second), leakTime.Add(62 * time.Second)} {
+		if err := p.Tick(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	id := p.Tracer.IDByKey("x1203c1b0")
+	if id == "" {
+		t.Fatal("no trace minted for the leaking chassis")
+	}
+	tr, ok := p.Tracer.Get(id)
+	if !ok {
+		t.Fatalf("trace %s not retained", id)
+	}
+	wantStages := []string{
+		"origin", "kafka.produce", "telemetry.stream",
+		"core.forward", "loki.ingest", "ruler.fire", "alertmanager.notify",
+	}
+	if !tr.HasStages(wantStages...) {
+		t.Fatalf("trace %s stages = %v, want all of %v", id, tr.StageNames(), wantStages)
+	}
+
+	// The same trace must be served over HTTP at /debug/trace/{id}.
+	rec := httptest.NewRecorder()
+	p.ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/"+id, nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/trace/%s -> %d", id, rec.Code)
+	}
+	var got obs.Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != id || !got.HasStages(wantStages...) {
+		t.Fatalf("served trace = %+v", got)
+	}
+}
+
+// TestSelfMetricsScraped asserts the self-monitoring loop: the vmagent
+// "shastamon" job scrapes the pipeline's own /metrics endpoint into the
+// warehouse TSDB, making shastamon_* series queryable through PromQL.
+func TestSelfMetricsScraped(t *testing.T) {
+	p := leakPipeline(t)
+	leakTime := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	if err := p.Tick(leakTime.Add(-time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Cluster.InjectLeak("x1203c1b0", "A", "Front", leakTime); err != nil {
+		t.Fatal(err)
+	}
+	// The fourth tick matters: within a tick the scrape runs before rule
+	// evaluation and alert dispatch, so the fired/notified counters from
+	// tick N land in the TSDB at tick N+1.
+	for _, ts := range []time.Time{leakTime, leakTime.Add(61 * time.Second),
+		leakTime.Add(62 * time.Second), leakTime.Add(63 * time.Second)} {
+		if err := p.Tick(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := leakTime.Add(63 * time.Second).UnixMilli()
+
+	for _, q := range []string{
+		`shastamon_hms_events_collected_total`,
+		`sum(shastamon_kafka_produced_total)`,
+		`shastamon_omni_log_messages_total`,
+		`shastamon_ruler_alerts_fired_total{rule="PerlmutterCabinetLeak"}`,
+		`shastamon_alertmanager_notifications_total{outcome="sent"}`,
+	} {
+		vec, err := p.Warehouse.QueryMetrics(q, ms)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		sum := 0.0
+		for _, s := range vec {
+			sum += s.V
+		}
+		if sum <= 0 {
+			t.Fatalf("%s = %v, want > 0 (vec %+v)", q, sum, vec)
+		}
+	}
+
+	// The scraped series carry the self-scrape job label.
+	vec, err := p.Warehouse.QueryMetrics(`up{job="shastamon"}`, ms)
+	if err != nil || len(vec) != 1 || vec[0].V != 1 {
+		t.Fatalf(`up{job="shastamon"} = %+v, %v`, vec, err)
+	}
+
+	// And the exposition page itself serves the histogram triplet.
+	rec := httptest.NewRecorder()
+	p.ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE shastamon_core_tick_duration_seconds histogram",
+		"shastamon_core_tick_duration_seconds_count",
+		"shastamon_telemetry_records_streamed_total",
+	} {
+		if !contains(body, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -18,7 +18,9 @@ import (
 	"shastamon/internal/labels"
 	"shastamon/internal/ldms"
 	"shastamon/internal/loki"
+	"shastamon/internal/obs"
 	"shastamon/internal/omni"
+	"shastamon/internal/promtext"
 	"shastamon/internal/redfish"
 	"shastamon/internal/ruler"
 	"shastamon/internal/servicenow"
@@ -54,6 +56,8 @@ type Options struct {
 	Inhibit []alertmanager.InhibitRule
 	// GroupWait for the default route (default 0 for responsive tests).
 	GroupWait time.Duration
+	// TraceCapacity bounds the event tracer's ring buffer (default 512).
+	TraceCapacity int
 }
 
 // Pipeline is the assembled monitoring framework of Fig. 1.
@@ -80,6 +84,18 @@ type Pipeline struct {
 
 	Slack      *slack.Webhook
 	ServiceNow *servicenow.Instance
+
+	// Tracer records per-event traces across pipeline stages; its handler
+	// is mounted at /debug/trace/ on the observability endpoint.
+	Tracer *obs.Tracer
+
+	Telemetry     *telemetry.Server
+	slackNotifier *slack.Notifier
+	snNotifier    *servicenow.Notifier
+	obsURL        string
+	obsReg        *obs.Registry
+	tickDur       *obs.Histogram
+	forwardedCtr  *obs.Counter
 
 	subEvents  *telemetry.Subscription
 	subSensors *telemetry.Subscription
@@ -136,6 +152,13 @@ func New(opts Options) (*Pipeline, error) {
 		return nil, err
 	}
 
+	p.Tracer = obs.NewTracer(opts.TraceCapacity)
+	p.obsReg = obs.NewRegistry()
+	p.tickDur = p.obsReg.Histogram(obs.Namespace+"core_tick_duration_seconds",
+		"Wall time of one full pipeline tick.", obs.DefBuckets)
+	p.forwardedCtr = p.obsReg.Counter(obs.Namespace+"core_records_forwarded_total",
+		"Telemetry API records forwarded into the warehouse.")
+
 	var err error
 	if p.Cluster, err = shasta.NewCluster(opts.Cluster); err != nil {
 		return fail(err)
@@ -144,7 +167,19 @@ func New(opts Options) (*Pipeline, error) {
 	if p.Collector, err = hms.NewCollector(p.Cluster, p.Broker, 4); err != nil {
 		return fail(err)
 	}
+	p.Collector.SetTracer(p.Tracer)
 	p.Warehouse = omni.New(omni.Config{Retention: opts.Retention})
+
+	// The pipeline's own observability endpoint: every component registry
+	// united on /metrics, plus the event tracer on /debug/trace/. It is
+	// served before vmagent is assembled so the agent can scrape it like
+	// any other exporter — the self-monitoring loop.
+	srvObs, obsURL, err := serve(p.ObsHandler())
+	if err != nil {
+		return fail(err)
+	}
+	p.servers = append(p.servers, srvObs)
+	p.obsURL = obsURL
 
 	// Telemetry API server plus the three forwarder subscriptions.
 	var tokens []string
@@ -155,6 +190,8 @@ func New(opts Options) (*Pipeline, error) {
 	if err != nil {
 		return fail(err)
 	}
+	tsrv.SetTracer(p.Tracer)
+	p.Telemetry = tsrv
 	srv, turl, err := serve(tsrv.Handler())
 	if err != nil {
 		return fail(err)
@@ -231,6 +268,9 @@ func New(opts Options) (*Pipeline, error) {
 		p.servers = append(p.servers, srv)
 		jobs = append(jobs, vmagent.ScrapeConfig{JobName: e.name, Targets: []string{url + "/metrics"}})
 	}
+	// Self-monitoring: scrape the pipeline's own /metrics endpoint into
+	// the warehouse TSDB so shastamon_* series are queryable via PromQL.
+	jobs = append(jobs, vmagent.ScrapeConfig{JobName: "shastamon", Targets: []string{p.obsURL + "/metrics"}})
 	if p.VMAgent, err = vmagent.New(p.Warehouse.Metrics, nil, jobs...); err != nil {
 		return fail(err)
 	}
@@ -252,6 +292,8 @@ func New(opts Options) (*Pipeline, error) {
 
 	slackNotifier := slack.NewNotifier("slack", slackURL, "#perlmutter-alerts", nil)
 	snNotifier := servicenow.NewNotifier("servicenow", snURL, nil)
+	p.slackNotifier = slackNotifier
+	p.snNotifier = snNotifier
 
 	route := opts.Route
 	if route == nil {
@@ -275,6 +317,7 @@ func New(opts Options) (*Pipeline, error) {
 		Receivers: []alertmanager.Receiver{slackNotifier, snNotifier},
 		Inhibit:   opts.Inhibit,
 		Now:       p.Now,
+		Tracer:    p.Tracer,
 	}); err != nil {
 		return fail(err)
 	}
@@ -282,11 +325,70 @@ func New(opts Options) (*Pipeline, error) {
 	if p.Ruler, err = ruler.New(p.Warehouse.LogQL, p.Alertmanager, p.Now, opts.LogRules...); err != nil {
 		return fail(err)
 	}
+	p.Ruler.SetTracer(p.Tracer)
 	if p.VMAlert, err = vmalert.New(p.Warehouse.PromQL, p.Alertmanager, p.Now, opts.MetricRules...); err != nil {
 		return fail(err)
 	}
+	p.VMAlert.SetTracer(p.Tracer)
 	return p, nil
 }
+
+// Gather unites every component's self-monitoring registry into one
+// family list — the content of the pipeline's /metrics page.
+func (p *Pipeline) Gather() []promtext.Family {
+	var fams []promtext.Family
+	add := func(r *obs.Registry) { fams = append(fams, r.Gather()...) }
+	add(p.obsReg)
+	if p.Broker != nil {
+		add(p.Broker.Metrics())
+	}
+	if p.Collector != nil {
+		add(p.Collector.Metrics())
+	}
+	if p.Telemetry != nil {
+		add(p.Telemetry.Metrics())
+	}
+	if p.Warehouse != nil {
+		add(p.Warehouse.ObsMetrics())
+		add(p.Warehouse.Logs.Metrics())
+		add(p.Warehouse.Metrics.Metrics())
+	}
+	if p.VMAgent != nil {
+		add(p.VMAgent.Metrics())
+	}
+	if p.Ruler != nil {
+		add(p.Ruler.Metrics())
+	}
+	if p.VMAlert != nil {
+		add(p.VMAlert.Metrics())
+	}
+	if p.Alertmanager != nil {
+		add(p.Alertmanager.Metrics())
+	}
+	if p.slackNotifier != nil {
+		add(p.slackNotifier.Metrics())
+	}
+	if p.snNotifier != nil {
+		add(p.snNotifier.Metrics())
+	}
+	return fams
+}
+
+// ObsHandler serves the pipeline's observability endpoint:
+//
+//	GET /metrics          united shastamon_* self-metrics (Prometheus text)
+//	GET /debug/trace/     retained event traces; /debug/trace/{id} for one
+func (p *Pipeline) ObsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(obs.GathererFunc(p.Gather)))
+	mux.Handle("/debug/trace/", p.Tracer.Handler())
+	return mux
+}
+
+// ObsTarget returns the base URL of the pipeline's observability server
+// ("" before New completes) — its /metrics path is the vmagent
+// "shastamon" job's scrape target.
+func (p *Pipeline) ObsTarget() string { return p.obsURL }
 
 // loadCMDB registers every component as a CI and records the service map:
 // each compute node depends on a Rosetta switch in its chassis ("Each
@@ -330,6 +432,7 @@ func loadCMDB(sn *servicenow.Instance, cluster *shasta.Cluster) {
 // syslog to Loki. It returns the number of records forwarded.
 func (p *Pipeline) ForwardPending() (int, error) {
 	total := 0
+	defer func() { p.forwardedCtr.Add(float64(total)) }()
 	cluster := p.Cluster.Name()
 	for {
 		recs, err := p.subEvents.Poll(500, 0)
@@ -344,6 +447,8 @@ func (p *Pipeline) ForwardPending() (int, error) {
 			if err != nil {
 				return total, err
 			}
+			tid := rec.Headers[obs.TraceHeader]
+			p.Tracer.Stage(tid, "core.forward", p.Now(), rec.Topic)
 			payload, err := redfish.ParsePayload(raw)
 			if err != nil {
 				return total, err
@@ -357,6 +462,8 @@ func (p *Pipeline) ForwardPending() (int, error) {
 			if err := p.Warehouse.IngestLogs(streams); err != nil && !errors.Is(err, chunkenc.ErrOutOfOrder) {
 				return total, err
 			}
+			p.Tracer.Stage(tid, "loki.ingest", p.Now(),
+				fmt.Sprintf("%d stream(s)", len(streams)))
 			total++
 		}
 	}
@@ -432,6 +539,8 @@ func (p *Pipeline) ForwardPending() (int, error) {
 // the Alertmanager and enforce retention. Experiments drive Tick with a
 // simulated clock to reproduce the paper's figures deterministically.
 func (p *Pipeline) Tick(now time.Time) error {
+	t0 := time.Now()
+	defer func() { p.tickDur.Observe(time.Since(t0).Seconds()) }()
 	p.SetNow(now)
 	if _, _, err := p.Collector.CollectOnce(now); err != nil {
 		return fmt.Errorf("core: collect: %w", err)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"shastamon/internal/kafka"
+	"shastamon/internal/obs"
 	"shastamon/internal/redfish"
 	"shastamon/internal/shasta"
 )
@@ -47,6 +48,12 @@ type SensorSample struct {
 type Collector struct {
 	cluster *shasta.Cluster
 	broker  *kafka.Broker
+	tracer  *obs.Tracer
+
+	reg       *obs.Registry
+	events    *obs.Counter
+	samples   *obs.Counter
+	produceEr *obs.Counter
 }
 
 // NewCollector creates the topics (idempotently) and returns a collector.
@@ -59,8 +66,23 @@ func NewCollector(cluster *shasta.Cluster, broker *kafka.Broker, partitions int)
 			return nil, err
 		}
 	}
-	return &Collector{cluster: cluster, broker: broker}, nil
+	c := &Collector{cluster: cluster, broker: broker, reg: obs.NewRegistry()}
+	c.events = c.reg.Counter(obs.Namespace+"hms_events_collected_total",
+		"Redfish event records drained from the cluster and produced to Kafka.")
+	c.samples = c.reg.Counter(obs.Namespace+"hms_samples_collected_total",
+		"Sensor samples swept from the cluster and produced to Kafka.")
+	c.produceEr = c.reg.Counter(obs.Namespace+"hms_push_errors_total",
+		"Failures marshalling or producing collected telemetry.")
+	return c, nil
 }
+
+// Metrics exposes the collector's self-monitoring registry.
+func (c *Collector) Metrics() *obs.Registry { return c.reg }
+
+// SetTracer attaches an event tracer; every collected Redfish event mints
+// a trace ID (the event's origin stage) that rides to Kafka as a message
+// header. A nil tracer disables tracing.
+func (c *Collector) SetTracer(t *obs.Tracer) { c.tracer = t }
 
 func topicForSensor(sensor string) string {
 	switch sensor {
@@ -84,12 +106,27 @@ func (c *Collector) CollectOnce(ts time.Time) (events, samples int, err error) {
 		payload := redfish.NewPayload(rec)
 		data, err := payload.Marshal()
 		if err != nil {
+			c.produceEr.Inc()
 			return events, samples, fmt.Errorf("hms: marshal event: %w", err)
 		}
-		if _, _, err := c.broker.Produce(TopicEvents, []byte(rec.Context), data, ts); err != nil {
+		note := ""
+		if len(rec.Events) > 0 {
+			note = rec.Events[0].MessageID
+		}
+		id := c.tracer.Start(rec.Context, ts, note)
+		msg := kafka.Message{Topic: TopicEvents, Key: []byte(rec.Context), Value: data, Timestamp: ts}
+		if id != "" {
+			msg.Headers = map[string]string{obs.TraceHeader: id}
+		}
+		part, off, err := c.broker.ProduceMessage(msg)
+		if err != nil {
+			c.produceEr.Inc()
 			return events, samples, err
 		}
+		c.tracer.Stage(id, "kafka.produce", ts,
+			fmt.Sprintf("%s/%d@%d", TopicEvents, part, off))
 		events++
+		c.events.Inc()
 	}
 	for _, r := range c.cluster.SensorReadings(ts) {
 		sample := SensorSample{
@@ -102,12 +139,15 @@ func (c *Collector) CollectOnce(ts time.Time) (events, samples int, err error) {
 		}
 		data, err := json.Marshal(sample)
 		if err != nil {
+			c.produceEr.Inc()
 			return events, samples, fmt.Errorf("hms: marshal sample: %w", err)
 		}
 		if _, _, err := c.broker.Produce(topicForSensor(r.Sensor), []byte(r.Xname), data, ts); err != nil {
+			c.produceEr.Inc()
 			return events, samples, err
 		}
 		samples++
+		c.samples.Inc()
 	}
 	return events, samples, nil
 }

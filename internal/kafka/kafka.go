@@ -12,8 +12,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/obs"
+	"shastamon/internal/promtext"
 )
 
 // Message is one record in a partition log.
@@ -24,6 +30,9 @@ type Message struct {
 	Key       []byte
 	Value     []byte
 	Timestamp time.Time
+	// Headers carry per-message metadata end to end — the pipeline uses
+	// them to propagate obs trace IDs alongside the payload.
+	Headers map[string]string
 }
 
 // Errors returned by broker operations.
@@ -105,11 +114,57 @@ type Broker struct {
 	groups map[string]*groupState
 
 	produced int64
+
+	reg         *obs.Registry
+	producedVec *obs.CounterVec
+	fetchedVec  *obs.CounterVec
 }
 
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
-	return &Broker{topics: map[string]*topic{}, groups: map[string]*groupState{}}
+	b := &Broker{topics: map[string]*topic{}, groups: map[string]*groupState{}, reg: obs.NewRegistry()}
+	b.producedVec = b.reg.CounterVec(obs.Namespace+"kafka_produced_total",
+		"Messages appended per topic/partition.", "topic", "partition")
+	b.fetchedVec = b.reg.CounterVec(obs.Namespace+"kafka_fetched_total",
+		"Messages served to consumers per topic/partition.", "topic", "partition")
+	b.reg.GaugeFunc(obs.Namespace+"kafka_topics", "Topics on the broker.", func() float64 {
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+		return float64(len(b.topics))
+	})
+	b.reg.Collect(b.lagFamilies)
+	return b
+}
+
+// Metrics exposes the broker's self-monitoring registry.
+func (b *Broker) Metrics() *obs.Registry { return b.reg }
+
+// lagFamilies renders consumer-group lag per topic/partition at gather
+// time — lag is derived state (watermark minus commit), so it is computed
+// rather than counted.
+func (b *Broker) lagFamilies() []promtext.Family {
+	f := promtext.Family{Name: obs.Namespace + "kafka_group_lag",
+		Help: "Unconsumed messages per group/topic/partition.", Type: "gauge"}
+	for _, group := range b.Groups() {
+		lags := b.GroupLag(group)
+		keys := make([]string, 0, len(lags))
+		for k := range lags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			idx := strings.LastIndexByte(key, '/')
+			if idx <= 0 {
+				continue
+			}
+			f.Metrics = append(f.Metrics, promtext.Metric{
+				Name:   f.Name,
+				Labels: labels.FromStrings("group", group, "topic", key[:idx], "partition", key[idx+1:]),
+				Value:  float64(lags[key]),
+			})
+		}
+	}
+	return []promtext.Family{f}
 }
 
 // CreateTopic creates a topic with n partitions (n >= 1).
@@ -167,27 +222,36 @@ func (b *Broker) topic(name string) (*topic, error) {
 // a keyless message on a single-partition topic, round-robin otherwise via
 // the produced counter). It returns partition and offset.
 func (b *Broker) Produce(topicName string, key, value []byte, ts time.Time) (int, int64, error) {
-	t, err := b.topic(topicName)
+	return b.ProduceMessage(Message{Topic: topicName, Key: key, Value: value, Timestamp: ts})
+}
+
+// ProduceMessage appends a message with all its metadata (including
+// Headers); Topic, Key, Value and Timestamp are taken from m, while
+// Partition and Offset are assigned by the broker and returned.
+func (b *Broker) ProduceMessage(m Message) (int, int64, error) {
+	t, err := b.topic(m.Topic)
 	if err != nil {
 		return 0, 0, err
 	}
 	var pi int
-	if len(key) > 0 {
+	if len(m.Key) > 0 {
 		h := fnv.New32a()
-		h.Write(key)
+		h.Write(m.Key)
 		pi = int(h.Sum32()) % len(t.partitions)
 	} else {
 		b.mu.Lock()
 		pi = int(b.produced) % len(t.partitions)
 		b.mu.Unlock()
 	}
-	if ts.IsZero() {
-		ts = time.Now()
+	if m.Timestamp.IsZero() {
+		m.Timestamp = time.Now()
 	}
-	off := t.partitions[pi].append(Message{Topic: topicName, Partition: pi, Key: key, Value: value, Timestamp: ts})
+	m.Partition = pi
+	off := t.partitions[pi].append(m)
 	b.mu.Lock()
 	b.produced++
 	b.mu.Unlock()
+	b.producedVec.With(m.Topic, strconv.Itoa(pi)).Inc()
 	return pi, off, nil
 }
 
@@ -201,7 +265,11 @@ func (b *Broker) Fetch(topicName string, part int, offset int64, max int) ([]Mes
 	if part < 0 || part >= len(t.partitions) {
 		return nil, fmt.Errorf("%w: %s/%d", ErrUnknownPartition, topicName, part)
 	}
-	return t.partitions[part].fetch(offset, max)
+	msgs, err := t.partitions[part].fetch(offset, max)
+	if len(msgs) > 0 {
+		b.fetchedVec.With(topicName, strconv.Itoa(part)).Add(float64(len(msgs)))
+	}
+	return msgs, err
 }
 
 // FetchWait is Fetch that blocks up to timeout for new data when the
@@ -215,17 +283,23 @@ func (b *Broker) FetchWait(topicName string, part int, offset int64, max int, ti
 		return nil, fmt.Errorf("%w: %s/%d", ErrUnknownPartition, topicName, part)
 	}
 	p := t.partitions[part]
+	count := func(msgs []Message, err error) ([]Message, error) {
+		if len(msgs) > 0 {
+			b.fetchedVec.With(topicName, strconv.Itoa(part)).Add(float64(len(msgs)))
+		}
+		return msgs, err
+	}
 	msgs, err := p.fetch(offset, max)
 	if err != nil || len(msgs) > 0 {
-		return msgs, err
+		return count(msgs, err)
 	}
 	w := p.waitCh(offset)
 	if w == nil {
-		return p.fetch(offset, max)
+		return count(p.fetch(offset, max))
 	}
 	select {
 	case <-w:
-		return p.fetch(offset, max)
+		return count(p.fetch(offset, max))
 	case <-time.After(timeout):
 		return nil, nil
 	}

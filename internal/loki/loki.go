@@ -14,6 +14,7 @@ import (
 
 	"shastamon/internal/chunkenc"
 	"shastamon/internal/labels"
+	"shastamon/internal/obs"
 )
 
 // Entry is a single log line.
@@ -69,6 +70,9 @@ type stream struct {
 // It is safe for concurrent use.
 type Store struct {
 	limits Limits
+
+	obsOnce sync.Once
+	obsReg  *obs.Registry
 
 	mu      sync.RWMutex
 	streams map[labels.Fingerprint][]*stream // collision list per fingerprint

@@ -1,0 +1,36 @@
+package loki
+
+import (
+	"shastamon/internal/obs"
+	"shastamon/internal/promtext"
+)
+
+// Metrics lazily builds the store's self-monitoring registry. Every family
+// is derived at gather time from Stats(), so the ingest hot path pays no
+// additional accounting cost.
+func (s *Store) Metrics() *obs.Registry {
+	s.obsOnce.Do(func() {
+		reg := obs.NewRegistry()
+		reg.Collect(func() []promtext.Family {
+			st := s.Stats()
+			return []promtext.Family{
+				obs.Fam("gauge", obs.Namespace+"loki_streams",
+					"Live log streams (distinct label sets).", float64(st.Streams)),
+				obs.Fam("gauge", obs.Namespace+"loki_chunks",
+					"Chunks held across all streams, including open heads.", float64(st.Chunks)),
+				obs.Fam("counter", obs.Namespace+"loki_entries_total",
+					"Log entries accepted for ingestion.", float64(st.Entries)),
+				obs.Fam("counter", obs.Namespace+"loki_ingest_bytes_total",
+					"Raw log bytes accepted for ingestion.", float64(st.RawBytes)),
+				obs.Fam("counter", obs.Namespace+"loki_compressed_bytes_total",
+					"Bytes held after chunk compression.", float64(st.CompressedBytes)),
+				obs.Sample(obs.Fam("counter", obs.Namespace+"loki_discarded_total",
+					"Entries rejected by ingest limits, by reason.",
+					float64(st.DiscardedOOO), "reason", "out_of_order"),
+					float64(st.DiscardedTooLong), "reason", "too_long"),
+			}
+		})
+		s.obsReg = reg
+	})
+	return s.obsReg
+}

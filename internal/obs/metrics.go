@@ -1,0 +1,490 @@
+// Package obs is the pipeline's self-monitoring substrate: a stdlib-only
+// instrumentation layer every component registers its own telemetry
+// against. A Registry holds atomic counters, gauges and fixed-bucket
+// histograms and renders them in the Prometheus text exposition format via
+// promtext, so the pipeline's own /metrics endpoint can be scraped by the
+// in-process vmagent and land in the OMNI TSDB next to Shasta telemetry —
+// the monitoring system on its own single pane of glass. The trace half of
+// the package (trace.go) follows individual events stage by stage through
+// the pipeline.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/promtext"
+)
+
+// Namespace prefixes every metric the pipeline registers about itself.
+const Namespace = "shastamon_"
+
+// DefBuckets are the default histogram bounds, tuned for the in-process
+// latencies this simulator sees (sub-microsecond to seconds).
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Gatherer yields a snapshot of metric families; Registry implements it,
+// and so do composite holders like core.Pipeline.
+type Gatherer interface {
+	Gather() []promtext.Family
+}
+
+// collector is one registered metric family.
+type collector interface {
+	family() promtext.Family
+}
+
+// Registry is a set of named metrics. Registration is done once at
+// component construction; the hot-path operations (Inc, Add, Set, Observe)
+// are lock-free atomics.
+type Registry struct {
+	mu       sync.Mutex
+	names    map[string]bool
+	ordered  []collector
+	collects []func() []promtext.Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) register(name string, c collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.names[name] = true
+	r.ordered = append(r.ordered, c)
+}
+
+// Collect registers a callback producing families computed at gather time —
+// for state that already has its own accounting (store Stats snapshots,
+// consumer-group lag) and would be wasteful to double-count.
+func (r *Registry) Collect(fn func() []promtext.Family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collects = append(r.collects, fn)
+}
+
+// Gather snapshots every registered metric. Families appear in
+// registration order; Collect callbacks append after them.
+func (r *Registry) Gather() []promtext.Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ordered := append([]collector(nil), r.ordered...)
+	collects := append([]func() []promtext.Family(nil), r.collects...)
+	r.mu.Unlock()
+	out := make([]promtext.Family, 0, len(ordered))
+	for _, c := range ordered {
+		out = append(out, c.family())
+	}
+	for _, fn := range collects {
+		out = append(out, fn()...)
+	}
+	return out
+}
+
+// Handler serves the registry in text exposition format.
+func (r *Registry) Handler() http.Handler { return Handler(r) }
+
+// Handler serves the union of the given gatherers as one exposition page.
+func Handler(gs ...Gatherer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var fams []promtext.Family
+		for _, g := range gs {
+			if g != nil {
+				fams = append(fams, g.Gather()...)
+			}
+		}
+		_ = promtext.Write(w, fams)
+	})
+}
+
+// Value sums, across the given families, every sample of the named metric
+// whose labels include all of the given name/value pairs. It is the
+// assertion helper tests and benchmark reports use.
+func Value(fams []promtext.Family, metric string, pairs ...string) float64 {
+	if len(pairs)%2 != 0 {
+		panic("obs.Value: odd number of label pair arguments")
+	}
+	var sum float64
+	for _, f := range fams {
+		for _, m := range f.Metrics {
+			if m.Name != metric {
+				continue
+			}
+			ok := true
+			for i := 0; i < len(pairs); i += 2 {
+				if m.Labels.Get(pairs[i]) != pairs[i+1] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sum += m.Value
+			}
+		}
+	}
+	return sum
+}
+
+// GathererFunc adapts a function to the Gatherer interface.
+type GathererFunc func() []promtext.Family
+
+// Gather implements Gatherer.
+func (f GathererFunc) Gather() []promtext.Family { return f() }
+
+// Fam builds a one-sample family — the convenience Collect callbacks use
+// when deriving families from an existing stats snapshot. typ is "counter"
+// or "gauge"; labelPairs is an alternating name/value list.
+func Fam(typ, name, help string, v float64, labelPairs ...string) promtext.Family {
+	m := promtext.Metric{Name: name, Value: v}
+	if len(labelPairs) > 0 {
+		m.Labels = labels.FromStrings(labelPairs...)
+	}
+	return promtext.Family{Name: name, Help: help, Type: typ,
+		Metrics: []promtext.Metric{m}}
+}
+
+// Sample appends one more sample to a family built with Fam — for families
+// that expose several label sets of the same metric.
+func Sample(f promtext.Family, v float64, labelPairs ...string) promtext.Family {
+	m := promtext.Metric{Name: f.Name, Value: v}
+	if len(labelPairs) > 0 {
+		m.Labels = labels.FromStrings(labelPairs...)
+	}
+	f.Metrics = append(f.Metrics, m)
+	return f
+}
+
+// ---- float64 atomics ----
+
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64)  { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// ---- counters ----
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds v; negative deltas are a programming error and are dropped.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.value() }
+
+type counterEntry struct {
+	name, help string
+	c          *Counter
+}
+
+func (e *counterEntry) family() promtext.Family {
+	return promtext.Family{Name: e.name, Help: e.help, Type: "counter",
+		Metrics: []promtext.Metric{{Name: e.name, Value: e.c.Value()}}}
+}
+
+// Counter registers and returns a labelless counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, &counterEntry{name: name, help: help, c: c})
+	return c
+}
+
+// ---- gauges ----
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.set(v) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) { g.v.add(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.value() }
+
+type gaugeEntry struct {
+	name, help string
+	g          *Gauge
+	fn         func() float64 // set for GaugeFunc
+}
+
+func (e *gaugeEntry) family() promtext.Family {
+	v := 0.0
+	if e.fn != nil {
+		v = e.fn()
+	} else {
+		v = e.g.Value()
+	}
+	return promtext.Family{Name: e.name, Help: e.help, Type: "gauge",
+		Metrics: []promtext.Metric{{Name: e.name, Value: v}}}
+}
+
+// Gauge registers and returns a labelless gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, &gaugeEntry{name: name, help: help, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at gather time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, &gaugeEntry{name: name, help: help, fn: fn})
+}
+
+// ---- histograms ----
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds in increasing order; a final +Inf bucket is implicit.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; non-cumulative per bucket
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.value() }
+
+// metrics renders the _bucket/_sum/_count triplet with base labels.
+func (h *Histogram) metrics(name string, base labels.Labels) []promtext.Metric {
+	out := make([]promtext.Metric, 0, len(h.bounds)+3)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		out = append(out, promtext.Metric{Name: name + "_bucket",
+			Labels: base.With("le", le), Value: float64(cum)})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	out = append(out, promtext.Metric{Name: name + "_bucket",
+		Labels: base.With("le", "+Inf"), Value: float64(cum)})
+	out = append(out, promtext.Metric{Name: name + "_sum", Labels: base, Value: h.Sum()})
+	out = append(out, promtext.Metric{Name: name + "_count", Labels: base, Value: float64(cum)})
+	return out
+}
+
+type histogramEntry struct {
+	name, help string
+	h          *Histogram
+}
+
+func (e *histogramEntry) family() promtext.Family {
+	return promtext.Family{Name: e.name, Help: e.help, Type: "histogram",
+		Metrics: e.h.metrics(e.name, nil)}
+}
+
+// Histogram registers and returns a labelless histogram. Nil or empty
+// buckets take DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(name, &histogramEntry{name: name, help: help, h: h})
+	return h
+}
+
+// ---- vectors (labelled children) ----
+
+const keySep = '\xff'
+
+func childKey(values []string) string {
+	n := 0
+	for _, v := range values {
+		n += len(v) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, v := range values {
+		b = append(b, v...)
+		b = append(b, keySep)
+	}
+	return string(b)
+}
+
+type vec[T any] struct {
+	name, help string
+	labelNames []string
+	mu         sync.RWMutex
+	children   map[string]*child[T]
+	mk         func() *T
+}
+
+type child[T any] struct {
+	lbls labels.Labels
+	v    *T
+}
+
+func newVec[T any](name, help string, labelNames []string, mk func() *T) *vec[T] {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: vector metric %q needs label names", name))
+	}
+	return &vec[T]{name: name, help: help, labelNames: labelNames,
+		children: map[string]*child[T]{}, mk: mk}
+}
+
+func (v *vec[T]) with(values []string) *T {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q expects %d label values, got %d",
+			v.name, len(v.labelNames), len(values)))
+	}
+	key := childKey(values)
+	v.mu.RLock()
+	c, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return c.v
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c.v
+	}
+	ls := make(labels.Labels, 0, len(values))
+	for i, val := range values {
+		ls = append(ls, labels.Label{Name: v.labelNames[i], Value: val})
+	}
+	c = &child[T]{lbls: labels.New(ls...), v: v.mk()}
+	v.children[key] = c
+	return c.v
+}
+
+// sortedChildren returns children ordered by label string for
+// deterministic exposition.
+func (v *vec[T]) sortedChildren() []*child[T] {
+	v.mu.RLock()
+	out := make([]*child[T], 0, len(v.children))
+	for _, c := range v.children {
+		out = append(out, c)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].lbls.String() < out[j].lbls.String() })
+	return out
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ v *vec[Counter] }
+
+// With returns the child counter for the given label values (created on
+// first use), in the order the label names were registered.
+func (cv *CounterVec) With(values ...string) *Counter { return cv.v.with(values) }
+
+func (cv *CounterVec) family() promtext.Family {
+	f := promtext.Family{Name: cv.v.name, Help: cv.v.help, Type: "counter"}
+	for _, c := range cv.v.sortedChildren() {
+		f.Metrics = append(f.Metrics, promtext.Metric{Name: cv.v.name, Labels: c.lbls, Value: c.v.Value()})
+	}
+	return f
+}
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	cv := &CounterVec{v: newVec(name, help, labelNames, func() *Counter { return &Counter{} })}
+	r.register(name, cv)
+	return cv
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ v *vec[Gauge] }
+
+// With returns the child gauge for the given label values.
+func (gv *GaugeVec) With(values ...string) *Gauge { return gv.v.with(values) }
+
+func (gv *GaugeVec) family() promtext.Family {
+	f := promtext.Family{Name: gv.v.name, Help: gv.v.help, Type: "gauge"}
+	for _, c := range gv.v.sortedChildren() {
+		f.Metrics = append(f.Metrics, promtext.Metric{Name: gv.v.name, Labels: c.lbls, Value: c.v.Value()})
+	}
+	return f
+}
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	gv := &GaugeVec{v: newVec(name, help, labelNames, func() *Gauge { return &Gauge{} })}
+	r.register(name, gv)
+	return gv
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct {
+	v       *vec[Histogram]
+	buckets []float64
+}
+
+// With returns the child histogram for the given label values.
+func (hv *HistogramVec) With(values ...string) *Histogram { return hv.v.with(values) }
+
+func (hv *HistogramVec) family() promtext.Family {
+	f := promtext.Family{Name: hv.v.name, Help: hv.v.help, Type: "histogram"}
+	for _, c := range hv.v.sortedChildren() {
+		f.Metrics = append(f.Metrics, c.v.metrics(hv.v.name, c.lbls)...)
+	}
+	return f
+}
+
+// HistogramVec registers a labelled histogram family. Nil buckets take
+// DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	hv := &HistogramVec{buckets: buckets}
+	hv.v = newVec(name, help, labelNames, func() *Histogram { return newHistogram(hv.buckets) })
+	r.register(name, hv)
+	return hv
+}

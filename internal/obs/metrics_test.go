@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"shastamon/internal/promtext"
+)
+
+func TestCounterGaugeGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("shastamon_test_total", "events seen")
+	g := r.Gauge("shastamon_test_inflight", "in flight")
+	r.GaugeFunc("shastamon_test_fn", "computed", func() float64 { return 7 })
+
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // dropped: counters are monotonic
+	g.Set(10)
+	g.Dec()
+
+	fams := r.Gather()
+	if got := Value(fams, "shastamon_test_total"); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	if got := Value(fams, "shastamon_test_inflight"); got != 9 {
+		t.Fatalf("gauge = %v, want 9", got)
+	}
+	if got := Value(fams, "shastamon_test_fn"); got != 7 {
+		t.Fatalf("gauge func = %v, want 7", got)
+	}
+	if fams[0].Type != "counter" || fams[1].Type != "gauge" {
+		t.Fatalf("types = %s/%s", fams[0].Type, fams[1].Type)
+	}
+}
+
+func TestVectors(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("shastamon_msgs_total", "messages", "topic", "partition")
+	cv.With("events", "0").Add(4)
+	cv.With("events", "1").Inc()
+	cv.With("syslog", "0").Inc()
+
+	fams := r.Gather()
+	if got := Value(fams, "shastamon_msgs_total"); got != 6 {
+		t.Fatalf("sum = %v, want 6", got)
+	}
+	if got := Value(fams, "shastamon_msgs_total", "topic", "events"); got != 5 {
+		t.Fatalf("topic=events = %v, want 5", got)
+	}
+	if got := Value(fams, "shastamon_msgs_total", "topic", "events", "partition", "1"); got != 1 {
+		t.Fatalf("events/1 = %v, want 1", got)
+	}
+	// Same child is returned for the same label values.
+	if cv.With("events", "0") != cv.With("events", "0") {
+		t.Fatal("vector children not memoised")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("shastamon_dur_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	fams := r.Gather()
+	want := map[string]float64{"0.1": 2, "1": 3, "10": 4, "+Inf": 5}
+	for le, n := range want {
+		if got := Value(fams, "shastamon_dur_seconds_bucket", "le", le); got != n {
+			t.Fatalf("bucket le=%s = %v, want %v", le, got, n)
+		}
+	}
+	if got := Value(fams, "shastamon_dur_seconds_count"); got != 5 {
+		t.Fatalf("count sample = %v", got)
+	}
+	if got := Value(fams, "shastamon_dur_seconds_sum"); got != 105.65 {
+		t.Fatalf("sum sample = %v", got)
+	}
+}
+
+func TestHistogramVecAndHandler(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("shastamon_q_seconds", "query latency", []float64{1}, "engine")
+	hv.With("logql").Observe(0.5)
+	hv.With("promql").Observe(2)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE shastamon_q_seconds histogram",
+		`shastamon_q_seconds_bucket{engine="logql",le="1"} 1`,
+		`shastamon_q_seconds_bucket{engine="promql",le="+Inf"} 1`,
+		`shastamon_q_seconds_count{engine="promql"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+
+	// The page must parse back with promtext.
+	fams, err := promtext.Parse(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Value(fams, "shastamon_q_seconds_sum", "engine", "promql"); got != 2 {
+		t.Fatalf("reparsed sum = %v", got)
+	}
+}
+
+func TestCollectCallback(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.Collect(func() []promtext.Family {
+		n++
+		return []promtext.Family{{Name: "shastamon_lazy", Type: "gauge",
+			Metrics: []promtext.Metric{{Name: "shastamon_lazy", Value: n}}}}
+	})
+	if got := Value(r.Gather(), "shastamon_lazy"); got != 42 {
+		t.Fatalf("collect = %v", got)
+	}
+	if got := Value(r.Gather(), "shastamon_lazy"); got != 43 {
+		t.Fatalf("collect second gather = %v", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate metric name")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("shastamon_x", "")
+	r.Counter("shastamon_x", "")
+}
+
+// TestConcurrentOps is the -race exercise: many goroutines hammering the
+// same counters, gauges, histograms and vector children while another
+// gathers.
+func TestConcurrentOps(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("shastamon_c", "")
+	g := r.Gauge("shastamon_g", "")
+	h := r.Histogram("shastamon_h", "", nil)
+	cv := r.CounterVec("shastamon_cv", "", "worker")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := string(rune('a' + w%4))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 1000)
+				cv.With(id).Inc()
+				if i%100 == 0 {
+					r.Gather()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fams := r.Gather()
+	if got := Value(fams, "shastamon_c"); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+	if got := Value(fams, "shastamon_cv"); got != 8000 {
+		t.Fatalf("vec sum = %v, want 8000", got)
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+}
+
+func TestNilRegistryGather(t *testing.T) {
+	var r *Registry
+	if r.Gather() != nil {
+		t.Fatal("nil registry must gather nothing")
+	}
+}

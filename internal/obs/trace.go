@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the metadata key under which a trace ID rides through the
+// pipeline — a Kafka message header, a Telemetry API record header, or an
+// HTTP request header.
+const TraceHeader = "trace_id"
+
+// Stage is one recorded hop of an event's journey through the pipeline.
+type Stage struct {
+	Stage string    `json:"stage"`
+	Time  time.Time `json:"time"`
+	Note  string    `json:"note,omitempty"`
+}
+
+// Trace is the full per-event record: the ID minted at origin, the
+// correlation key (the component xname for hardware events) and the stages
+// in arrival order.
+type Trace struct {
+	ID     string  `json:"id"`
+	Key    string  `json:"key,omitempty"`
+	Stages []Stage `json:"stages"`
+}
+
+// Tracer records event traces in a bounded ring buffer: when capacity is
+// reached the oldest trace is evicted. All methods are safe on a nil
+// receiver, so components can hold an optional *Tracer and instrument
+// unconditionally.
+type Tracer struct {
+	mu     sync.Mutex
+	cap    int
+	seq    uint64
+	epoch  uint64
+	ring   []string // trace IDs in mint order
+	traces map[string]*Trace
+	byKey  map[string]string // correlation key -> newest trace ID
+}
+
+// NewTracer returns a tracer keeping up to capacity traces (<=0 gets 256).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{
+		cap:    capacity,
+		epoch:  uint64(time.Now().UnixNano()),
+		traces: map[string]*Trace{},
+		byKey:  map[string]string{},
+	}
+}
+
+// Start mints a new trace ID, associates it with the correlation key and
+// records the "origin" stage. It returns the ID ("" on a nil tracer).
+func (t *Tracer) Start(key string, now time.Time, note string) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := fmt.Sprintf("%08x-%06x", uint32(t.epoch>>16), t.seq&0xffffff)
+	if len(t.ring) >= t.cap {
+		old := t.ring[0]
+		t.ring = t.ring[1:]
+		if tr := t.traces[old]; tr != nil && t.byKey[tr.Key] == old {
+			delete(t.byKey, tr.Key)
+		}
+		delete(t.traces, old)
+	}
+	t.ring = append(t.ring, id)
+	t.traces[id] = &Trace{ID: id, Key: key,
+		Stages: []Stage{{Stage: "origin", Time: now, Note: note}}}
+	if key != "" {
+		t.byKey[key] = id
+	}
+	return id
+}
+
+// Stage appends a stage record to the trace with the given ID. Unknown or
+// evicted IDs are ignored.
+func (t *Tracer) Stage(id, stage string, now time.Time, note string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tr := t.traces[id]; tr != nil {
+		tr.Stages = append(tr.Stages, Stage{Stage: stage, Time: now, Note: note})
+	}
+}
+
+// StageByKey records a stage on the newest trace associated with the
+// correlation key — how rule evaluation and alert dispatch, which see
+// label sets rather than message headers, join an event's trace. It
+// returns the trace ID, or "" if the key is unknown.
+func (t *Tracer) StageByKey(key, stage string, now time.Time, note string) string {
+	if t == nil || key == "" {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.byKey[key]
+	if tr := t.traces[id]; tr != nil {
+		tr.Stages = append(tr.Stages, Stage{Stage: stage, Time: now, Note: note})
+	}
+	return id
+}
+
+// IDByKey returns the newest trace ID associated with the key, or "".
+func (t *Tracer) IDByKey(key string) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byKey[key]
+}
+
+// Get returns a copy of the trace with the given ID.
+func (t *Tracer) Get(id string) (Trace, bool) {
+	if t == nil {
+		return Trace{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.traces[id]
+	if tr == nil {
+		return Trace{}, false
+	}
+	cp := *tr
+	cp.Stages = append([]Stage(nil), tr.Stages...)
+	return cp, true
+}
+
+// IDs returns the retained trace IDs, oldest first.
+func (t *Tracer) IDs() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.ring...)
+}
+
+// Len returns the number of retained traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// traceSummary is the listing entry served at /debug/trace/.
+type traceSummary struct {
+	ID     string `json:"id"`
+	Key    string `json:"key,omitempty"`
+	Stages int    `json:"stages"`
+}
+
+// Handler serves the trace store. Mount it at /debug/trace/:
+//
+//	GET /debug/trace/        list retained traces (newest first)
+//	GET /debug/trace/{id}    one trace with all its stages
+//
+// A nil tracer serves 404s, so the endpoint can be mounted
+// unconditionally.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		id := r.URL.Path
+		if i := strings.LastIndex(id, "/debug/trace/"); i >= 0 {
+			id = id[i+len("/debug/trace/"):]
+		} else {
+			id = strings.TrimPrefix(id, "/")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id == "" {
+			t.mu.Lock()
+			out := make([]traceSummary, 0, len(t.ring))
+			for i := len(t.ring) - 1; i >= 0; i-- {
+				tr := t.traces[t.ring[i]]
+				out = append(out, traceSummary{ID: tr.ID, Key: tr.Key, Stages: len(tr.Stages)})
+			}
+			t.mu.Unlock()
+			_ = enc.Encode(out)
+			return
+		}
+		tr, ok := t.Get(id)
+		if !ok {
+			http.Error(w, "unknown trace "+id, http.StatusNotFound)
+			return
+		}
+		_ = enc.Encode(tr)
+	})
+}
+
+// StageNames returns the distinct stage names of a trace in first-seen
+// order — the assertion shape the end-to-end tests use.
+func (tr Trace) StageNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range tr.Stages {
+		if !seen[s.Stage] {
+			seen[s.Stage] = true
+			out = append(out, s.Stage)
+		}
+	}
+	return out
+}
+
+// HasStages reports whether the trace contains every named stage.
+func (tr Trace) HasStages(stages ...string) bool {
+	names := tr.StageNames()
+	sort.Strings(names)
+	for _, want := range stages {
+		i := sort.SearchStrings(names, want)
+		if i >= len(names) || names[i] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- context carriage ----
+
+type ctxKey struct{}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from the context ("" if absent).
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTraceLifecycle(t *testing.T) {
+	tr := NewTracer(8)
+	now := time.Unix(1000, 0)
+	id := tr.Start("x1203c1b0", now, "CabinetLeakDetected")
+	if id == "" {
+		t.Fatal("empty trace ID")
+	}
+	tr.Stage(id, "kafka.produce", now.Add(time.Millisecond), "topic=events")
+	tr.StageByKey("x1203c1b0", "ruler.fire", now.Add(time.Second), "PerlmutterCabinetLeak")
+
+	got, ok := tr.Get(id)
+	if !ok {
+		t.Fatal("trace not found")
+	}
+	if !got.HasStages("origin", "kafka.produce", "ruler.fire") {
+		t.Fatalf("stages = %v", got.StageNames())
+	}
+	if got.Key != "x1203c1b0" {
+		t.Fatalf("key = %q", got.Key)
+	}
+	if tr.IDByKey("x1203c1b0") != id {
+		t.Fatal("key lookup mismatch")
+	}
+	// A later trace for the same key takes over the key index.
+	id2 := tr.Start("x1203c1b0", now.Add(time.Minute), "second event")
+	if tr.IDByKey("x1203c1b0") != id2 {
+		t.Fatal("key must point at newest trace")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	ids := make([]string, 6)
+	for i := range ids {
+		ids[i] = tr.Start(fmt.Sprintf("x%d", i), time.Unix(int64(i), 0), "")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if _, ok := tr.Get(ids[0]); ok {
+		t.Fatal("oldest trace must be evicted")
+	}
+	if _, ok := tr.Get(ids[5]); !ok {
+		t.Fatal("newest trace must be retained")
+	}
+	if tr.IDByKey("x0") != "" {
+		t.Fatal("evicted key must be forgotten")
+	}
+	// Staging an evicted ID must be a silent no-op.
+	tr.Stage(ids[0], "late", time.Unix(99, 0), "")
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if id := tr.Start("k", time.Now(), ""); id != "" {
+		t.Fatal("nil tracer minted an ID")
+	}
+	tr.Stage("x", "s", time.Now(), "")
+	tr.StageByKey("k", "s", time.Now(), "")
+	if tr.Len() != 0 || tr.IDs() != nil || tr.IDByKey("k") != "" {
+		t.Fatal("nil tracer must be inert")
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil tracer handler code = %d", rec.Code)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(8)
+	now := time.Unix(2000, 0).UTC()
+	id := tr.Start("x9", now, "origin note")
+	tr.Stage(id, "loki.ingest", now.Add(time.Millisecond), "")
+
+	// Listing.
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/", nil))
+	var list []traceSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != id || list[0].Stages != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Single trace by ID.
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/"+id, nil))
+	var got Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != id || len(got.Stages) != 2 || got.Stages[1].Stage != "loki.ingest" {
+		t.Fatalf("trace = %+v", got)
+	}
+
+	// Unknown ID.
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown trace code = %d", rec.Code)
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if TraceIDFrom(ctx) != "" {
+		t.Fatal("empty context must carry no trace")
+	}
+	ctx = WithTraceID(ctx, "abc-123")
+	if TraceIDFrom(ctx) != "abc-123" {
+		t.Fatal("trace ID lost in context")
+	}
+	if WithTraceID(context.Background(), "") != context.Background() {
+		t.Fatal("empty ID must not allocate a context")
+	}
+}

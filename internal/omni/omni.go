@@ -9,14 +9,16 @@ package omni
 
 import (
 	"context"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"shastamon/internal/eventsearch"
 	"shastamon/internal/labels"
 	"shastamon/internal/logql"
 	"shastamon/internal/loki"
+	"shastamon/internal/obs"
 	"shastamon/internal/promql"
+	"shastamon/internal/promtext"
 	"shastamon/internal/tsdb"
 )
 
@@ -52,12 +54,17 @@ type Warehouse struct {
 	downsampleAfter time.Duration
 	downsampleRes   time.Duration
 
-	mu          sync.Mutex
-	logMessages int64
-	logBytes    int64
-	samples     int64
-	windowStart time.Time
-	windowCount int64
+	// Ingest accounting is lock-free: the ingest hot path only does
+	// atomic adds, keeping the 400k msgs/s accounting off the mutex the
+	// old implementation serialised every batch through.
+	logMessages atomic.Int64
+	logBytes    atomic.Int64
+	samples     atomic.Int64
+	windowStart atomic.Int64 // Unix nanoseconds of the last rate-window reset
+	windowCount atomic.Int64
+
+	reg      *obs.Registry
+	queryDur *obs.HistogramVec
 }
 
 // New builds an empty warehouse.
@@ -70,7 +77,7 @@ func New(cfg Config) *Warehouse {
 	if cfg.DownsampleResolution <= 0 {
 		cfg.DownsampleResolution = 5 * time.Minute
 	}
-	return &Warehouse{
+	w := &Warehouse{
 		Logs:            logs,
 		Metrics:         metrics,
 		Events:          eventsearch.New(),
@@ -80,8 +87,28 @@ func New(cfg Config) *Warehouse {
 		indexEvents:     cfg.IndexEvents,
 		downsampleAfter: cfg.DownsampleAfter,
 		downsampleRes:   cfg.DownsampleResolution,
+		reg:             obs.NewRegistry(),
 	}
+	w.queryDur = w.reg.HistogramVec(obs.Namespace+"omni_query_duration_seconds",
+		"Warehouse query latency by engine.", obs.DefBuckets, "engine")
+	w.reg.Collect(func() []promtext.Family {
+		return []promtext.Family{
+			obs.Fam("counter", obs.Namespace+"omni_log_messages_total",
+				"Log messages ingested by the warehouse.", float64(w.logMessages.Load())),
+			obs.Fam("counter", obs.Namespace+"omni_log_bytes_total",
+				"Log bytes ingested by the warehouse.", float64(w.logBytes.Load())),
+			obs.Fam("counter", obs.Namespace+"omni_samples_total",
+				"Metric samples ingested by the warehouse.", float64(w.samples.Load())),
+			obs.Fam("gauge", obs.Namespace+"omni_ingest_rate",
+				"Messages/second over the current rate window.",
+				w.RateWindow(time.Now())),
+		}
+	})
+	return w
 }
+
+// ObsMetrics exposes the warehouse's self-monitoring registry.
+func (w *Warehouse) ObsMetrics() *obs.Registry { return w.reg }
 
 // IngestLogs pushes log streams into the log store (and, when
 // IndexEvents is on, into the full-text index).
@@ -100,22 +127,36 @@ func (w *Warehouse) IngestLogs(batch []loki.PushStream) error {
 			}
 		}
 	}
-	w.mu.Lock()
-	w.logMessages += n
-	w.logBytes += bytes
-	w.windowCount += n
-	w.mu.Unlock()
+	w.logMessages.Add(n)
+	w.logBytes.Add(bytes)
+	w.windowCount.Add(n)
 	return err
 }
 
 // IngestMetric appends one sample to the metrics store.
 func (w *Warehouse) IngestMetric(name string, ls labels.Labels, tsMillis int64, v float64) error {
 	err := w.Metrics.AppendMetric(name, ls, tsMillis, v)
-	w.mu.Lock()
-	w.samples++
-	w.windowCount++
-	w.mu.Unlock()
+	w.samples.Add(1)
+	w.windowCount.Add(1)
 	return err
+}
+
+// QueryLogs runs a LogQL query through the warehouse, observing its
+// latency under engine="logql".
+func (w *Warehouse) QueryLogs(q string, start, end int64) ([]logql.ResultStream, error) {
+	t0 := time.Now()
+	res, err := w.LogQL.QueryLogs(q, start, end)
+	w.queryDur.With("logql").Observe(time.Since(t0).Seconds())
+	return res, err
+}
+
+// QueryMetrics runs an instant PromQL query through the warehouse,
+// observing its latency under engine="promql".
+func (w *Warehouse) QueryMetrics(q string, tsMillis int64) (promql.Vector, error) {
+	t0 := time.Now()
+	res, err := w.PromQL.Query(q, tsMillis)
+	w.queryDur.With("promql").Observe(time.Since(t0).Seconds())
+	return res, err
 }
 
 // Stats is a warehouse counter snapshot.
@@ -129,9 +170,11 @@ type Stats struct {
 
 // Stats returns counters.
 func (w *Warehouse) Stats() Stats {
-	w.mu.Lock()
-	s := Stats{LogMessages: w.logMessages, LogBytes: w.logBytes, Samples: w.samples}
-	w.mu.Unlock()
+	s := Stats{
+		LogMessages: w.logMessages.Load(),
+		LogBytes:    w.logBytes.Load(),
+		Samples:     w.samples.Load(),
+	}
 	s.LogStore = w.Logs.Stats()
 	s.MetricStore = w.Metrics.Stats()
 	return s
@@ -139,21 +182,18 @@ func (w *Warehouse) Stats() Stats {
 
 // RateWindowReset starts an ingest-rate measurement window.
 func (w *Warehouse) RateWindowReset(now time.Time) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.windowStart = now
-	w.windowCount = 0
+	w.windowStart.Store(now.UnixNano())
+	w.windowCount.Store(0)
 }
 
 // RateWindow reports messages/second since the last reset.
 func (w *Warehouse) RateWindow(now time.Time) float64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	secs := now.Sub(w.windowStart).Seconds()
-	if secs <= 0 {
+	start := w.windowStart.Load()
+	secs := time.Duration(now.UnixNano() - start).Seconds()
+	if start == 0 || secs <= 0 {
 		return 0
 	}
-	return float64(w.windowCount) / secs
+	return float64(w.windowCount.Load()) / secs
 }
 
 // EnforceRetention drops data older than the retention horizon relative

@@ -76,6 +76,76 @@ func TestParseEscapedLabelValue(t *testing.T) {
 	}
 }
 
+// TestHistogramRoundTrip writes a histogram family the way the obs layer
+// renders one — _bucket rows (including le="+Inf"), _sum and _count under
+// a single TYPE histogram family — and asserts Parse recovers every sample
+// exactly: names, label sets (with escaping) and values.
+func TestHistogramRoundTrip(t *testing.T) {
+	const base = "shastamon_query_duration_seconds"
+	bucket := func(le string, engine string, v float64) Metric {
+		return Metric{
+			Name:   base + "_bucket",
+			Labels: labels.FromStrings("engine", engine, "le", le),
+			Value:  v,
+		}
+	}
+	in := []Family{{
+		Name: base, Help: "Query latency.", Type: "histogram",
+		Metrics: []Metric{
+			bucket("0.005", `logql "fast"`, 3),
+			bucket("0.25", `logql "fast"`, 7),
+			bucket("+Inf", `logql "fast"`, 9),
+			bucket("0.005", "promql\nv2\\beta", 1),
+			bucket("+Inf", "promql\nv2\\beta", 4),
+			{Name: base + "_sum", Labels: labels.FromStrings("engine", `logql "fast"`), Value: 1.75},
+			{Name: base + "_count", Labels: labels.FromStrings("engine", `logql "fast"`), Value: 9},
+			{Name: base + "_sum", Labels: labels.FromStrings("engine", "promql\nv2\\beta"), Value: 0.375},
+			{Name: base + "_count", Labels: labels.FromStrings("engine", "promql\nv2\\beta"), Value: 4},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse groups samples by their own name, so the one written family
+	// comes back as _bucket/_sum/_count families (and regrouping reorders
+	// the flattened list); compare as a multiset keyed on name+labels.
+	key := func(m Metric) string { return m.Name + m.Labels.String() }
+	got := map[string]float64{}
+	for _, m := range Samples(out) {
+		got[key(m)] = m.Value
+	}
+	want := in[0].Metrics
+	if len(got) != len(want) {
+		t.Fatalf("samples: got %d, want %d", len(got), len(want))
+	}
+	for _, w := range want {
+		v, ok := got[key(w)]
+		if !ok || v != w.Value {
+			t.Fatalf("sample %+v: got %v (present=%v)", w, v, ok)
+		}
+	}
+	// le="+Inf" must survive as the literal string, not a parsed float.
+	for _, m := range Samples(out) {
+		if le := m.Labels.Get("le"); le != "" && le != "+Inf" && le != "0.005" && le != "0.25" {
+			t.Fatalf("unexpected le label %q", le)
+		}
+	}
+	if _, ok := got[key(want[2])]; !ok {
+		t.Fatal("le=\"+Inf\" bucket did not round-trip")
+	}
+	// The histogram TYPE line is keyed on the base name.
+	var buf2 bytes.Buffer
+	_ = Write(&buf2, in)
+	if !strings.Contains(buf2.String(), "# TYPE "+base+" histogram") {
+		t.Fatalf("missing TYPE line:\n%s", buf2.String())
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"1leading_digit 1\n",

@@ -16,6 +16,7 @@ import (
 	"shastamon/internal/alertmanager"
 	"shastamon/internal/labels"
 	"shastamon/internal/logql"
+	"shastamon/internal/obs"
 )
 
 // Rule is one alerting rule in the Loki/Prometheus rule format.
@@ -49,6 +50,12 @@ type Ruler struct {
 	engine   *logql.Engine
 	notifier Notifier
 	now      func() time.Time
+	tracer   *obs.Tracer
+
+	reg      *obs.Registry
+	evalsCtr *obs.Counter
+	evalDur  *obs.Histogram
+	firedVec *obs.CounterVec
 
 	mu    sync.Mutex
 	rules []compiledRule
@@ -66,7 +73,13 @@ func New(engine *logql.Engine, notifier Notifier, now func() time.Time, rules ..
 	if now == nil {
 		now = time.Now
 	}
-	r := &Ruler{engine: engine, notifier: notifier, now: now}
+	r := &Ruler{engine: engine, notifier: notifier, now: now, reg: obs.NewRegistry()}
+	r.evalsCtr = r.reg.Counter(obs.Namespace+"ruler_evaluations_total",
+		"Rule evaluation rounds run.")
+	r.evalDur = r.reg.Histogram(obs.Namespace+"ruler_evaluation_duration_seconds",
+		"Wall time of one full evaluation round.", obs.DefBuckets)
+	r.firedVec = r.reg.CounterVec(obs.Namespace+"ruler_alerts_fired_total",
+		"Alerts transitioned to firing, by rule.", "rule")
 	seen := map[string]bool{}
 	for _, rule := range rules {
 		if rule.Name == "" {
@@ -84,6 +97,22 @@ func New(engine *logql.Engine, notifier Notifier, now func() time.Time, rules ..
 		r.state = append(r.state, map[labels.Fingerprint]*alertState{})
 	}
 	return r, nil
+}
+
+// Metrics exposes the ruler's self-monitoring registry.
+func (r *Ruler) Metrics() *obs.Registry { return r.reg }
+
+// SetTracer attaches an event tracer; firing alerts record a "ruler.fire"
+// stage on the trace of the newest event from the same component.
+func (r *Ruler) SetTracer(t *obs.Tracer) { r.tracer = t }
+
+// traceKey extracts the correlation key from an alert label set: the
+// component xname, carried as the Context stream label for Redfish events.
+func traceKey(ls labels.Labels) string {
+	if v := ls.Get("Context"); v != "" {
+		return v
+	}
+	return ls.Get("xname")
 }
 
 var tmplVar = regexp.MustCompile(`\{\{\s*\$(labels\.([a-zA-Z_][a-zA-Z0-9_]*)|value)\s*\}\}`)
@@ -106,9 +135,14 @@ func ExpandTemplate(s string, ls labels.Labels, value float64) string {
 func (r *Ruler) EvalOnce() ([]alertmanager.Alert, error) {
 	now := r.now()
 	ts := now.UnixNano()
+	t0 := time.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	defer func() {
+		r.mu.Unlock()
+		r.evalDur.Observe(time.Since(t0).Seconds())
+	}()
 	r.evals++
+	r.evalsCtr.Inc()
 	var sent []alertmanager.Alert
 	for i, cr := range r.rules {
 		vec, err := r.engine.Instant(cr.expr, ts)
@@ -129,6 +163,8 @@ func (r *Ruler) EvalOnce() ([]alertmanager.Alert, error) {
 			if !st.firing && now.Sub(st.activeSince) >= cr.rule.For {
 				st.firing = true
 				sent = append(sent, r.buildAlert(cr.rule, st, now, time.Time{}))
+				r.firedVec.With(cr.rule.Name).Inc()
+				r.tracer.StageByKey(traceKey(st.labels), "ruler.fire", now, cr.rule.Name)
 			}
 		}
 		// Series that stopped matching: resolve if firing, forget otherwise.

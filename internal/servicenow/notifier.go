@@ -9,16 +9,23 @@ import (
 	"time"
 
 	"shastamon/internal/alertmanager"
+	"shastamon/internal/obs"
 )
 
 // Notifier converts Alertmanager notifications into ServiceNow events and
 // posts them to an instance's event collector ("alerts are transformed
 // into ServiceNow Events, which are correlated and grouped into SN Alerts,
-// which then trigger automated response actions").
+// which then trigger automated response actions"). Transient failures
+// (network errors, 5xx) are retried once per event.
 type Notifier struct {
 	name   string
 	url    string // base URL of the instance API
 	client *http.Client
+
+	reg     *obs.Registry
+	posted  *obs.Counter
+	failed  *obs.Counter
+	retries *obs.Counter
 }
 
 // NewNotifier returns an alertmanager.Receiver posting to the instance at
@@ -27,8 +34,18 @@ func NewNotifier(name, baseURL string, client *http.Client) *Notifier {
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Notifier{name: name, url: baseURL, client: client}
+	n := &Notifier{name: name, url: baseURL, client: client, reg: obs.NewRegistry()}
+	n.posted = n.reg.Counter(obs.Namespace+"servicenow_events_posted_total",
+		"Events successfully posted to the SN event collector.")
+	n.failed = n.reg.Counter(obs.Namespace+"servicenow_post_failures_total",
+		"Events that failed after retry.")
+	n.retries = n.reg.Counter(obs.Namespace+"servicenow_post_retries_total",
+		"Transient post failures that were retried.")
+	return n
 }
+
+// Metrics exposes the notifier's self-monitoring registry.
+func (n *Notifier) Metrics() *obs.Registry { return n.reg }
 
 // Name implements alertmanager.Receiver.
 func (n *Notifier) Name() string { return n.name }
@@ -39,16 +56,46 @@ func (n *Notifier) Notify(notification alertmanager.Notification) error {
 		e := EventFromAlert(a)
 		body, err := json.Marshal(e)
 		if err != nil {
+			n.failed.Inc()
 			return err
 		}
-		resp, err := n.client.Post(n.url+"/api/em/events", "application/json", bytes.NewReader(body))
+		err = n.postEvent(body)
+		if err != nil && retriable(err) {
+			n.retries.Inc()
+			err = n.postEvent(body)
+		}
 		if err != nil {
-			return fmt.Errorf("servicenow: post event: %w", err)
+			n.failed.Inc()
+			return err
 		}
-		resp.Body.Close()
-		if resp.StatusCode/100 != 2 {
-			return fmt.Errorf("servicenow: event collector status %d", resp.StatusCode)
-		}
+		n.posted.Inc()
+	}
+	return nil
+}
+
+// statusError marks HTTP-level failures so retries can distinguish 5xx
+// (transient) from 4xx (permanent).
+type statusError struct{ code int }
+
+func (e statusError) Error() string {
+	return fmt.Sprintf("servicenow: event collector status %d", e.code)
+}
+
+func retriable(err error) bool {
+	if se, ok := err.(statusError); ok {
+		return se.code >= 500
+	}
+	return true // network-level errors
+}
+
+func (n *Notifier) postEvent(body []byte) error {
+	resp, err := n.client.Post(n.url+"/api/em/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("servicenow: post event: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return statusError{code: resp.StatusCode}
 	}
 	return nil
 }

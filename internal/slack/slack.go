@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"shastamon/internal/alertmanager"
+	"shastamon/internal/obs"
 )
 
 // Message is the webhook payload: mrkdwn text plus optional attachments.
@@ -87,12 +88,18 @@ func (wh *Webhook) Reset() {
 }
 
 // Notifier posts Alertmanager notifications to a Slack webhook. It
-// implements alertmanager.Receiver.
+// implements alertmanager.Receiver. Transient failures (network errors,
+// 5xx) are retried once before the error is surfaced.
 type Notifier struct {
 	name    string
 	url     string
 	channel string
 	client  *http.Client
+
+	reg     *obs.Registry
+	posted  *obs.Counter
+	failed  *obs.Counter
+	retries *obs.Counter
 }
 
 // NewNotifier returns a receiver named name posting to url.
@@ -100,8 +107,18 @@ func NewNotifier(name, url, channel string, client *http.Client) *Notifier {
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Notifier{name: name, url: url, channel: channel, client: client}
+	n := &Notifier{name: name, url: url, channel: channel, client: client, reg: obs.NewRegistry()}
+	n.posted = n.reg.Counter(obs.Namespace+"slack_posts_total",
+		"Messages successfully posted to the Slack webhook.")
+	n.failed = n.reg.Counter(obs.Namespace+"slack_post_failures_total",
+		"Messages that failed after retry.")
+	n.retries = n.reg.Counter(obs.Namespace+"slack_post_retries_total",
+		"Transient post failures that were retried.")
+	return n
 }
+
+// Metrics exposes the notifier's self-monitoring registry.
+func (n *Notifier) Metrics() *obs.Registry { return n.reg }
 
 // Name implements alertmanager.Receiver.
 func (n *Notifier) Name() string { return n.name }
@@ -112,15 +129,43 @@ func (n *Notifier) Notify(notification alertmanager.Notification) error {
 	msg.Channel = n.channel
 	body, err := json.Marshal(msg)
 	if err != nil {
+		n.failed.Inc()
 		return err
 	}
+	err = n.post(body)
+	if err != nil && retriable(err) {
+		n.retries.Inc()
+		err = n.post(body)
+	}
+	if err != nil {
+		n.failed.Inc()
+		return err
+	}
+	n.posted.Inc()
+	return nil
+}
+
+// statusError marks HTTP-level failures so retries can distinguish 5xx
+// (transient) from 4xx (permanent).
+type statusError struct{ code int }
+
+func (e statusError) Error() string { return fmt.Sprintf("slack: webhook status %d", e.code) }
+
+func retriable(err error) bool {
+	if se, ok := err.(statusError); ok {
+		return se.code >= 500
+	}
+	return true // network-level errors
+}
+
+func (n *Notifier) post(body []byte) error {
 	resp, err := n.client.Post(n.url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("slack: post: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("slack: webhook status %d", resp.StatusCode)
+		return statusError{code: resp.StatusCode}
 	}
 	return nil
 }

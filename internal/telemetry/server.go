@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"shastamon/internal/kafka"
+	"shastamon/internal/obs"
 )
 
 // Record is one message delivered to a telemetry client.
@@ -26,6 +27,9 @@ type Record struct {
 	Key       string    `json:"key,omitempty"` // base64
 	Value     string    `json:"value"`         // base64
 	Timestamp time.Time `json:"timestamp"`
+	// Headers carries Kafka message headers through the API, notably the
+	// obs trace ID under obs.TraceHeader.
+	Headers map[string]string `json:"headers,omitempty"`
 }
 
 // DecodeValue returns the raw message payload.
@@ -52,6 +56,12 @@ type Server struct {
 	broker *kafka.Broker
 	tokens map[string]bool
 	sem    chan struct{}
+	tracer *obs.Tracer
+
+	reg       *obs.Registry
+	requests  *obs.CounterVec
+	authFails *obs.Counter
+	streamed  *obs.Counter
 
 	mu     sync.Mutex
 	subs   map[string]*subscription
@@ -71,12 +81,32 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		tokens: map[string]bool{},
 		sem:    make(chan struct{}, cfg.MaxConcurrentPolls),
 		subs:   map[string]*subscription{},
+		reg:    obs.NewRegistry(),
 	}
 	for _, t := range cfg.Tokens {
 		s.tokens[t] = true
 	}
+	s.requests = s.reg.CounterVec(obs.Namespace+"telemetry_requests_total",
+		"Telemetry API HTTP requests by endpoint and status code.", "endpoint", "code")
+	s.authFails = s.reg.Counter(obs.Namespace+"telemetry_auth_failures_total",
+		"Requests rejected for a missing or invalid bearer token.")
+	s.streamed = s.reg.Counter(obs.Namespace+"telemetry_records_streamed_total",
+		"Kafka records delivered to telemetry clients.")
+	s.reg.GaugeFunc(obs.Namespace+"telemetry_subscriptions",
+		"Live telemetry subscriptions.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.subs))
+		})
 	return s, nil
 }
+
+// Metrics exposes the server's self-monitoring registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// SetTracer attaches an event tracer; records passing through the stream
+// endpoint that carry a trace header get a "telemetry.stream" stage.
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 func (s *Server) authorized(r *http.Request) bool {
 	if len(s.tokens) == 0 {
@@ -102,13 +132,43 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// endpointLabel coarsens request paths so the metric's cardinality stays
+// bounded (subscription IDs are unbounded).
+func endpointLabel(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/stream/"):
+		return "stream"
+	case strings.HasPrefix(path, "/v1/subscriptions"):
+		return "subscriptions"
+	case strings.HasPrefix(path, "/v1/topics"):
+		return "topics"
+	}
+	return "other"
+}
+
 func (s *Server) withAuth(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			s.requests.With(endpointLabel(r.URL.Path), strconv.Itoa(sr.code)).Inc()
+		}()
 		if !s.authorized(r) {
-			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			s.authFails.Inc()
+			http.Error(sr, "unauthorized", http.StatusUnauthorized)
 			return
 		}
-		next(w, r)
+		next(sr, r)
 	}
 }
 
@@ -232,6 +292,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]Record, 0, len(msgs))
 	for _, m := range msgs {
+		if tid := m.Headers[obs.TraceHeader]; tid != "" {
+			s.tracer.Stage(tid, "telemetry.stream", m.Timestamp, id)
+		}
 		out = append(out, Record{
 			Topic:     m.Topic,
 			Partition: m.Partition,
@@ -239,8 +302,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			Key:       base64.StdEncoding.EncodeToString(m.Key),
 			Value:     base64.StdEncoding.EncodeToString(m.Value),
 			Timestamp: m.Timestamp,
+			Headers:   m.Headers,
 		})
 	}
+	s.streamed.Add(float64(len(out)))
 	writeJSON(w, out)
 }
 

@@ -1,0 +1,27 @@
+package tsdb
+
+import (
+	"shastamon/internal/obs"
+	"shastamon/internal/promtext"
+)
+
+// Metrics lazily builds the DB's self-monitoring registry, derived at
+// gather time from Stats() so Append pays no extra accounting cost.
+func (db *DB) Metrics() *obs.Registry {
+	db.obsOnce.Do(func() {
+		reg := obs.NewRegistry()
+		reg.Collect(func() []promtext.Family {
+			st := db.Stats()
+			return []promtext.Family{
+				obs.Fam("gauge", obs.Namespace+"tsdb_series",
+					"Live time series in the store.", float64(st.Series)),
+				obs.Fam("counter", obs.Namespace+"tsdb_samples_appended_total",
+					"Samples accepted by Append.", float64(st.Samples)),
+				obs.Fam("counter", obs.Namespace+"tsdb_samples_dropped_total",
+					"Samples rejected as out of order.", float64(st.Dropped)),
+			}
+		})
+		db.obsReg = reg
+	})
+	return db.obsReg
+}

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"shastamon/internal/obs"
 	"sync"
 
 	"shastamon/internal/labels"
@@ -37,6 +39,9 @@ type series struct {
 
 // DB is an in-memory TSDB safe for concurrent use.
 type DB struct {
+	obsOnce sync.Once
+	obsReg  *obs.Registry
+
 	mu      sync.RWMutex
 	series  map[labels.Fingerprint][]*series
 	ordered []*series

@@ -1,0 +1,27 @@
+package vmagent
+
+import (
+	"shastamon/internal/obs"
+	"shastamon/internal/promtext"
+)
+
+// Metrics lazily builds the agent's self-monitoring registry, derived at
+// gather time from Stats().
+func (a *Agent) Metrics() *obs.Registry {
+	a.obsOnce.Do(func() {
+		reg := obs.NewRegistry()
+		reg.Collect(func() []promtext.Family {
+			st := a.Stats()
+			return []promtext.Family{
+				obs.Fam("counter", obs.Namespace+"vmagent_scrapes_total",
+					"Scrape attempts across all jobs and targets.", float64(st.Scrapes)),
+				obs.Fam("counter", obs.Namespace+"vmagent_scrape_failures_total",
+					"Scrapes that failed (target down or unparsable).", float64(st.Failures)),
+				obs.Fam("counter", obs.Namespace+"vmagent_samples_scraped_total",
+					"Samples written to the TSDB from scrapes.", float64(st.Samples)),
+			}
+		})
+		a.obsReg = reg
+	})
+	return a.obsReg
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"shastamon/internal/labels"
+	"shastamon/internal/obs"
 	"shastamon/internal/promtext"
 	"shastamon/internal/tsdb"
 )
@@ -60,6 +61,9 @@ type Agent struct {
 	db     *tsdb.DB
 	client *http.Client
 	jobs   []compiledJob
+
+	obsOnce sync.Once
+	obsReg  *obs.Registry
 
 	mu    sync.Mutex
 	stats Stats

@@ -14,6 +14,7 @@ import (
 
 	"shastamon/internal/alertmanager"
 	"shastamon/internal/labels"
+	"shastamon/internal/obs"
 	"shastamon/internal/promql"
 	"shastamon/internal/ruler"
 	"shastamon/internal/tsdb"
@@ -59,6 +60,12 @@ type VMAlert struct {
 	engine   *promql.Engine
 	notifier ruler.Notifier
 	now      func() time.Time
+	tracer   *obs.Tracer
+
+	reg      *obs.Registry
+	evalsCtr *obs.Counter
+	evalDur  *obs.Histogram
+	firedVec *obs.CounterVec
 
 	mu         sync.Mutex
 	rules      []compiledRule
@@ -76,7 +83,13 @@ func New(engine *promql.Engine, notifier ruler.Notifier, now func() time.Time, r
 	if now == nil {
 		now = time.Now
 	}
-	v := &VMAlert{engine: engine, notifier: notifier, now: now}
+	v := &VMAlert{engine: engine, notifier: notifier, now: now, reg: obs.NewRegistry()}
+	v.evalsCtr = v.reg.Counter(obs.Namespace+"vmalert_evaluations_total",
+		"Rule evaluation rounds run.")
+	v.evalDur = v.reg.Histogram(obs.Namespace+"vmalert_evaluation_duration_seconds",
+		"Wall time of one full evaluation round.", obs.DefBuckets)
+	v.firedVec = v.reg.CounterVec(obs.Namespace+"vmalert_alerts_fired_total",
+		"Alerts transitioned to firing, by rule.", "rule")
 	seen := map[string]bool{}
 	for _, rule := range rules {
 		if rule.Name == "" {
@@ -95,6 +108,14 @@ func New(engine *promql.Engine, notifier ruler.Notifier, now func() time.Time, r
 	}
 	return v, nil
 }
+
+// Metrics exposes vmalert's self-monitoring registry.
+func (v *VMAlert) Metrics() *obs.Registry { return v.reg }
+
+// SetTracer attaches an event tracer; firing alerts record a
+// "vmalert.fire" stage on the trace of the newest event from the same
+// component (keyed by the xname label).
+func (v *VMAlert) SetTracer(t *obs.Tracer) { v.tracer = t }
 
 // AddRecordingRules registers recording rules that write their results
 // into db on every evaluation round.
@@ -126,9 +147,14 @@ func (v *VMAlert) AddRecordingRules(db *tsdb.DB, rules ...RecordingRule) error {
 func (v *VMAlert) EvalOnce() ([]alertmanager.Alert, error) {
 	now := v.now()
 	ms := now.UnixMilli()
+	t0 := time.Now()
 	v.mu.Lock()
-	defer v.mu.Unlock()
+	defer func() {
+		v.mu.Unlock()
+		v.evalDur.Observe(time.Since(t0).Seconds())
+	}()
 	v.evals++
+	v.evalsCtr.Inc()
 	for _, cr := range v.recordings {
 		vec, err := v.engine.Instant(cr.expr, ms)
 		if err != nil {
@@ -169,6 +195,12 @@ func (v *VMAlert) EvalOnce() ([]alertmanager.Alert, error) {
 			if !st.firing && now.Sub(st.activeSince) >= cr.rule.For {
 				st.firing = true
 				sent = append(sent, v.buildAlert(cr.rule, st, now, time.Time{}))
+				v.firedVec.With(cr.rule.Name).Inc()
+				key := alertLbls.Get("xname")
+				if key == "" {
+					key = alertLbls.Get("Context")
+				}
+				v.tracer.StageByKey(key, "vmalert.fire", now, cr.rule.Name)
 			}
 		}
 		for fp, st := range v.state[i] {

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Repo verification gate: vet plus the race-enabled test suite.
+# Run before sending a change; CI runs the same two commands.
+set -eux
+
+cd "$(dirname "$0")"
+
+go vet ./...
+go test -race ./...
