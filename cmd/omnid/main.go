@@ -15,6 +15,8 @@
 //	GET /servicenow/incidents
 //	GET /query/logs?q=...    LogQL log query over the last hour
 //	GET /query/metrics?q=... PromQL instant query
+//	GET /debug/dlq           quarantined (dead-letter) records, logcli style
+//	POST /debug/dlq/replay?topic=...  replay a topic's DLQ onto the source topic
 //
 // With -metrics (default on), the same listener additionally serves:
 //
@@ -38,6 +40,7 @@ import (
 
 	"shastamon/internal/core"
 	"shastamon/internal/experiments"
+	"shastamon/internal/kafka"
 	"shastamon/internal/obs"
 	"shastamon/internal/ruler"
 	"shastamon/internal/shasta"
@@ -172,6 +175,43 @@ func main() {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, out)
+	})
+	// Dead-letter queue inspection and replay: the operator workflow for
+	// poison pills — read the quarantine reasons, fix the producer or
+	// parser, then replay the records through the normal path.
+	mux.HandleFunc("/debug/dlq", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		topics := p.Broker.DLQTopics()
+		if len(topics) == 0 {
+			fmt.Fprintln(w, "no quarantined records")
+			return
+		}
+		for _, topic := range topics {
+			msgs, err := p.DLQRecords(topic)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			fmt.Fprintf(w, "# %s: %d record(s)\n", topic, len(msgs))
+			fmt.Fprint(w, kafka.FormatDLQ(msgs))
+		}
+	})
+	mux.HandleFunc("/debug/dlq/replay", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		topic := r.URL.Query().Get("topic")
+		if topic == "" {
+			http.Error(w, "topic parameter required", http.StatusBadRequest)
+			return
+		}
+		n, err := p.ReplayDLQ(topic)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]int{"replayed": n})
 	})
 	mux.HandleFunc("/query/metrics", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")

@@ -170,6 +170,14 @@ type Config struct {
 	// Tracer, when set, records an "alertmanager.notify" stage on the
 	// trace of each dispatched alert's originating component.
 	Tracer *obs.Tracer
+	// RetryBackoff is the initial delay before re-dispatching a failed
+	// notification; it doubles per attempt, capped at 16× (default 5s).
+	// A failed receiver must not lose the notification — the paper's
+	// incidents have to land once the receiver heals.
+	RetryBackoff time.Duration
+	// MaxNotifyAttempts bounds redelivery tries per notification before it
+	// is dropped and counted (default 10).
+	MaxNotifyAttempts int
 }
 
 type group struct {
@@ -182,6 +190,13 @@ type group struct {
 	pending    bool
 }
 
+// queued is one failed notification awaiting redelivery.
+type queued struct {
+	n        Notification
+	attempts int
+	nextTry  time.Time
+}
+
 // Manager routes, groups and dispatches alerts.
 type Manager struct {
 	route     *Route
@@ -189,6 +204,9 @@ type Manager struct {
 	inhibit   []InhibitRule
 	now       func() time.Time
 	tracer    *obs.Tracer
+
+	retryBackoff time.Duration
+	maxAttempts  int
 
 	reg       *obs.Registry
 	received  *obs.Counter
@@ -198,6 +216,7 @@ type Manager struct {
 	groups   map[string]*group
 	silences map[string]Silence
 	silSeq   int
+	retryq   []queued
 
 	notifyErrs []error
 }
@@ -234,15 +253,23 @@ func New(cfg Config) (*Manager, error) {
 	if now == nil {
 		now = time.Now
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 5 * time.Second
+	}
+	if cfg.MaxNotifyAttempts <= 0 {
+		cfg.MaxNotifyAttempts = 10
+	}
 	m := &Manager{
-		route:     cfg.Route,
-		receivers: rcv,
-		inhibit:   cfg.Inhibit,
-		now:       now,
-		tracer:    cfg.Tracer,
-		groups:    map[string]*group{},
-		silences:  map[string]Silence{},
-		reg:       obs.NewRegistry(),
+		route:        cfg.Route,
+		receivers:    rcv,
+		inhibit:      cfg.Inhibit,
+		now:          now,
+		tracer:       cfg.Tracer,
+		retryBackoff: cfg.RetryBackoff,
+		maxAttempts:  cfg.MaxNotifyAttempts,
+		groups:       map[string]*group{},
+		silences:     map[string]Silence{},
+		reg:          obs.NewRegistry(),
 	}
 	m.received = m.reg.Counter(obs.Namespace+"alertmanager_alerts_received_total",
 		"Alerts ingested from the ruler and vmalert.")
@@ -250,6 +277,8 @@ func New(cfg Config) (*Manager, error) {
 		"Notifications dispatched, by receiver and outcome.", "receiver", "outcome")
 	m.reg.GaugeFunc(obs.Namespace+"alertmanager_groups",
 		"Live alert groups.", func() float64 { return float64(m.Groups()) })
+	m.reg.GaugeFunc(obs.Namespace+"alertmanager_retry_queue",
+		"Failed notifications awaiting redelivery.", func() float64 { return float64(m.RetryQueueLen()) })
 	return m, nil
 }
 
@@ -390,6 +419,19 @@ func (m *Manager) suppressedLocked(a Alert, now time.Time) bool {
 func (m *Manager) Flush() []Notification {
 	now := m.now()
 	m.mu.Lock()
+	// Redeliveries that have reached their backoff deadline go out first so
+	// a healed receiver catches up on the same flush that resumes fresh
+	// dispatch.
+	var redeliver []queued
+	rest := m.retryq[:0]
+	for _, q := range m.retryq {
+		if now.Before(q.nextTry) {
+			rest = append(rest, q)
+		} else {
+			redeliver = append(redeliver, q)
+		}
+	}
+	m.retryq = rest
 	var due []*group
 	for _, g := range m.groups {
 		switch {
@@ -429,30 +471,61 @@ func (m *Manager) Flush() []Notification {
 	}
 	m.mu.Unlock()
 
+	for _, q := range redeliver {
+		m.dispatch(q.n, q.attempts, now)
+	}
 	for _, n := range notifications {
-		rcv, ok := m.receivers[n.Receiver]
-		if !ok {
-			continue
-		}
-		err := rcv.Notify(n)
-		if err != nil {
-			m.notifyVec.With(n.Receiver, "failed").Inc()
-			m.mu.Lock()
-			m.notifyErrs = append(m.notifyErrs, fmt.Errorf("receiver %s: %w", n.Receiver, err))
-			m.mu.Unlock()
-			continue
-		}
-		m.notifyVec.With(n.Receiver, "sent").Inc()
-		for _, a := range n.Alerts {
-			key := a.Labels.Get("Context")
-			if key == "" {
-				key = a.Labels.Get("xname")
-			}
-			m.tracer.StageByKey(key, "alertmanager.notify", now,
-				a.Name()+" -> "+n.Receiver)
-		}
+		m.dispatch(n, 0, now)
 	}
 	return notifications
+}
+
+// dispatch sends one notification to its receiver. A failure requeues it
+// with exponential backoff (up to maxAttempts total tries) rather than
+// dropping it — the receiver's own breaker fails fast during an outage,
+// and this queue owns getting the incident through once it heals.
+func (m *Manager) dispatch(n Notification, attempts int, now time.Time) {
+	rcv, ok := m.receivers[n.Receiver]
+	if !ok {
+		return
+	}
+	if err := rcv.Notify(n); err != nil {
+		m.notifyVec.With(n.Receiver, "failed").Inc()
+		attempts++
+		m.mu.Lock()
+		m.notifyErrs = append(m.notifyErrs, fmt.Errorf("receiver %s (attempt %d): %w", n.Receiver, attempts, err))
+		if attempts >= m.maxAttempts {
+			m.mu.Unlock()
+			m.notifyVec.With(n.Receiver, "dropped").Inc()
+			return
+		}
+		shift := attempts - 1
+		if shift > 4 {
+			shift = 4
+		}
+		m.retryq = append(m.retryq, queued{
+			n: n, attempts: attempts, nextTry: now.Add(m.retryBackoff << shift),
+		})
+		m.mu.Unlock()
+		m.notifyVec.With(n.Receiver, "requeued").Inc()
+		return
+	}
+	m.notifyVec.With(n.Receiver, "sent").Inc()
+	for _, a := range n.Alerts {
+		key := a.Labels.Get("Context")
+		if key == "" {
+			key = a.Labels.Get("xname")
+		}
+		m.tracer.StageByKey(key, "alertmanager.notify", now,
+			a.Name()+" -> "+n.Receiver)
+	}
+}
+
+// RetryQueueLen reports failed notifications awaiting redelivery.
+func (m *Manager) RetryQueueLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.retryq)
 }
 
 func (m *Manager) buildNotificationLocked(g *group, now time.Time) Notification {

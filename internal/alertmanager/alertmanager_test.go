@@ -29,6 +29,11 @@ func (f *fakeReceiver) notifications() []Notification {
 	defer f.mu.Unlock()
 	return append([]Notification(nil), f.got...)
 }
+func (f *fakeReceiver) setErr(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.err = err
+}
 
 // clock is a controllable time source.
 type clock struct {
@@ -395,5 +400,100 @@ func TestRouteDefaultInheritance(t *testing.T) {
 	c1 := root.Routes[1]
 	if c1.Receiver != "servicenow" || c1.GroupWait != time.Second || c1.GroupInterval != 3*time.Minute {
 		t.Fatalf("%+v", c1)
+	}
+}
+
+// A receiver outage must not lose the notification: it is requeued with
+// backoff and delivered — once — when the receiver heals.
+func TestFailedNotificationRequeuedUntilReceiverHeals(t *testing.T) {
+	down := errors.New("instance down")
+	sn := &fakeReceiver{name: "sn", err: down}
+	ck := &clock{t: time.Date(2022, 3, 3, 1, 0, 0, 0, time.UTC)}
+	m, err := New(Config{
+		Route:        &Route{Receiver: "sn", GroupWait: time.Second},
+		Receivers:    []Receiver{sn},
+		Now:          ck.Now,
+		RetryBackoff: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Receive(alert("alertname", "LeakDetected", "xname", "x1203c1b0"))
+	ck.Advance(time.Second)
+	m.Flush()
+	if got := len(sn.notifications()); got != 1 {
+		t.Fatalf("attempts = %d", got)
+	}
+	if m.RetryQueueLen() != 1 {
+		t.Fatalf("retry queue = %d", m.RetryQueueLen())
+	}
+	// Before the backoff deadline a flush must not hammer the receiver.
+	m.Flush()
+	if got := len(sn.notifications()); got != 1 {
+		t.Fatalf("retried before deadline: %d attempts", got)
+	}
+	// Second attempt at +10s still fails; backoff doubles.
+	ck.Advance(10 * time.Second)
+	m.Flush()
+	if got := len(sn.notifications()); got != 2 {
+		t.Fatalf("attempts = %d", got)
+	}
+	ck.Advance(10 * time.Second)
+	m.Flush() // 20s backoff not yet elapsed
+	if got := len(sn.notifications()); got != 2 {
+		t.Fatalf("redelivered before doubled backoff: %d", got)
+	}
+	// Receiver heals; the queued notification lands exactly once.
+	sn.setErr(nil)
+	ck.Advance(10 * time.Second)
+	m.Flush()
+	got := sn.notifications()
+	if len(got) != 3 || m.RetryQueueLen() != 0 {
+		t.Fatalf("attempts = %d queue = %d", len(got), m.RetryQueueLen())
+	}
+	if got[2].Alerts[0].Name() != "LeakDetected" {
+		t.Fatalf("wrong notification delivered: %+v", got[2])
+	}
+	// No duplicate delivery on subsequent flushes.
+	ck.Advance(time.Minute)
+	m.Flush()
+	if len(sn.notifications()) != 3 {
+		t.Fatal("duplicate delivery after recovery")
+	}
+	if errs := m.NotifyErrors(); len(errs) != 2 {
+		t.Fatalf("notify errors = %v", errs)
+	}
+}
+
+// After MaxNotifyAttempts the notification is dropped, not requeued
+// forever.
+func TestNotificationDroppedAfterMaxAttempts(t *testing.T) {
+	sn := &fakeReceiver{name: "sn", err: errors.New("hard down")}
+	ck := &clock{t: time.Date(2022, 3, 3, 1, 0, 0, 0, time.UTC)}
+	m, err := New(Config{
+		Route:             &Route{Receiver: "sn", GroupWait: time.Second},
+		Receivers:         []Receiver{sn},
+		Now:               ck.Now,
+		RetryBackoff:      time.Second,
+		MaxNotifyAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Receive(alert("alertname", "LeakDetected", "xname", "x1000c0"))
+	ck.Advance(time.Second)
+	m.Flush()
+	if m.RetryQueueLen() != 1 {
+		t.Fatalf("queue = %d", m.RetryQueueLen())
+	}
+	ck.Advance(time.Second)
+	m.Flush()
+	if m.RetryQueueLen() != 0 {
+		t.Fatalf("dropped notification still queued: %d", m.RetryQueueLen())
+	}
+	ck.Advance(time.Minute)
+	m.Flush()
+	if got := len(sn.notifications()); got != 2 {
+		t.Fatalf("attempts after drop = %d", got)
 	}
 }

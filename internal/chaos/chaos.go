@@ -1,0 +1,203 @@
+// Package chaos is the pipeline's fault injector: named probe points wired
+// into the Kafka broker's produce path, the telemetry API transport, the
+// warehouse ingestion path and the notifier HTTP transports. Tests (and
+// omnid's chaos mode) arm faults — error probabilities, deterministic
+// failure budgets, added latency, drops, synthesized HTTP statuses — and
+// the fault-tolerance layer must absorb them: the chaos suite's contract
+// is that an injected leak still produces its ServiceNow incident once
+// faults clear, with zero pipeline exits.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error returned by a firing fault point; wrap checks
+// use errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// ErrDropped marks an operation black-holed by a drop probe.
+var ErrDropped = fmt.Errorf("%w: dropped", ErrInjected)
+
+// Fault arms one probe point. Zero-value fields are inactive.
+type Fault struct {
+	// ErrProb is the probability in [0,1] that a hit fails. If zero while
+	// Times is set, every hit fails until the budget is spent.
+	ErrProb float64
+	// Times caps how many hits fail; after that the fault self-heals
+	// (deterministic outage bursts). 0 means unlimited.
+	Times int
+	// Latency is added to every hit while the fault is armed, fired or not.
+	Latency time.Duration
+	// DropProb black-holes the operation instead of failing it loudly.
+	DropProb float64
+	// HTTPStatus, on transport probes, synthesizes a response with this
+	// status instead of a transport error (5xx bursts). Ignored elsewhere.
+	HTTPStatus int
+}
+
+type pointState struct {
+	fault Fault
+	fired int // failures + drops delivered so far
+	hits  int
+}
+
+// Injector holds the armed faults. One injector is threaded through the
+// pipeline; probe points are addressed by name ("kafka.produce",
+// "telemetry.http", "warehouse.ingest", "slack.http", "servicenow.http").
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	points map[string]*pointState
+}
+
+// New returns an injector with a seeded RNG so probabilistic faults are
+// reproducible.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), points: map[string]*pointState{}}
+}
+
+// Set arms (or re-arms) a fault point.
+func (i *Injector) Set(point string, f Fault) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.points[point] = &pointState{fault: f}
+}
+
+// Clear disarms one point.
+func (i *Injector) Clear(point string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.points, point)
+}
+
+// ClearAll disarms everything — "faults clear" in the chaos experiments.
+func (i *Injector) ClearAll() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.points = map[string]*pointState{}
+}
+
+// Fired reports how many failures/drops a point has delivered.
+func (i *Injector) Fired(point string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if ps := i.points[point]; ps != nil {
+		return ps.fired
+	}
+	return 0
+}
+
+// decide evaluates one hit under the lock: added latency, and whether the
+// hit fails, drops, or passes.
+func (i *Injector) decide(point string) (latency time.Duration, err error) {
+	if i == nil {
+		return 0, nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	ps := i.points[point]
+	if ps == nil {
+		return 0, nil
+	}
+	ps.hits++
+	f := ps.fault
+	latency = f.Latency
+	if f.Times > 0 && ps.fired >= f.Times {
+		return latency, nil // budget spent: self-healed
+	}
+	if f.DropProb > 0 && i.rng.Float64() < f.DropProb {
+		ps.fired++
+		return latency, ErrDropped
+	}
+	errProb := f.ErrProb
+	if errProb == 0 && f.Times > 0 {
+		errProb = 1
+	}
+	if errProb > 0 && i.rng.Float64() < errProb {
+		ps.fired++
+		return latency, fmt.Errorf("%w at %s", ErrInjected, point)
+	}
+	return latency, nil
+}
+
+// Hit evaluates the probe point: sleeps any armed latency, then returns
+// the injected error if the fault fires. A nil Injector never fires, so
+// production paths can call Hit unconditionally.
+func (i *Injector) Hit(point string) error {
+	latency, err := i.decide(point)
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	return err
+}
+
+// HookFor adapts a probe point to the func(string) error hook shape the
+// Kafka broker and warehouse accept; the hooked component's argument
+// (topic, operation) is appended to the injected error.
+func (i *Injector) HookFor(point string) func(string) error {
+	return func(detail string) error {
+		if err := i.Hit(point); err != nil {
+			return fmt.Errorf("%w (%s)", err, detail)
+		}
+		return nil
+	}
+}
+
+// transport injects faults in front of a base RoundTripper.
+type transport struct {
+	inj   *Injector
+	point string
+	base  http.RoundTripper
+}
+
+// Transport wraps base (nil takes http.DefaultTransport) with the probe
+// point: a firing fault yields either a synthesized HTTPStatus response
+// (5xx burst) or a transport-level error (connection failure/drop).
+func (i *Injector) Transport(point string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{inj: i, point: point, base: base}
+}
+
+// Client returns an *http.Client whose transport is the probe point — the
+// shape the notifier and telemetry client constructors accept.
+func (i *Injector) Client(point string) *http.Client {
+	return &http.Client{Transport: i.Transport(point, nil), Timeout: 30 * time.Second}
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	latency, err := t.inj.decide(t.point)
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if err != nil {
+		t.inj.mu.Lock()
+		status := 0
+		if ps := t.inj.points[t.point]; ps != nil {
+			status = ps.fault.HTTPStatus
+		}
+		t.inj.mu.Unlock()
+		if status != 0 && !errors.Is(err, ErrDropped) {
+			// Synthesized status response: the request never reaches the
+			// dependency, mimicking an overloaded or erroring server.
+			return &http.Response{
+				StatusCode: status,
+				Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+				Body:       io.NopCloser(strings.NewReader("chaos: injected status")),
+				Header:     http.Header{},
+				Request:    req,
+			}, nil
+		}
+		return nil, fmt.Errorf("%w: %s %s", err, req.Method, req.URL.Path)
+	}
+	return t.base.RoundTrip(req)
+}

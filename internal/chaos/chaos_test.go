@@ -1,0 +1,141 @@
+package chaos
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var i *Injector
+	if err := i.Hit("anything"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnarmedPointPasses(t *testing.T) {
+	i := New(1)
+	if err := i.Hit("kafka.produce"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimesBudgetSelfHeals(t *testing.T) {
+	i := New(1)
+	i.Set("p", Fault{Times: 3})
+	for k := 0; k < 3; k++ {
+		if err := i.Hit("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: %v", k, err)
+		}
+	}
+	// Budget spent: the fault has healed.
+	for k := 0; k < 5; k++ {
+		if err := i.Hit("p"); err != nil {
+			t.Fatalf("healed point fired: %v", err)
+		}
+	}
+	if i.Fired("p") != 3 {
+		t.Fatalf("fired = %d", i.Fired("p"))
+	}
+}
+
+func TestErrProbRoughlyHolds(t *testing.T) {
+	i := New(42)
+	i.Set("p", Fault{ErrProb: 0.5})
+	fails := 0
+	for k := 0; k < 1000; k++ {
+		if i.Hit("p") != nil {
+			fails++
+		}
+	}
+	if fails < 400 || fails > 600 {
+		t.Fatalf("50%% fault fired %d/1000", fails)
+	}
+}
+
+func TestClearDisarms(t *testing.T) {
+	i := New(1)
+	i.Set("p", Fault{Times: 100})
+	if i.Hit("p") == nil {
+		t.Fatal("armed point passed")
+	}
+	i.Clear("p")
+	if err := i.Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	i.Set("p", Fault{Times: 1})
+	i.Set("q", Fault{Times: 1})
+	i.ClearAll()
+	if i.Hit("p") != nil || i.Hit("q") != nil {
+		t.Fatal("ClearAll left faults armed")
+	}
+}
+
+func TestLatencyProbe(t *testing.T) {
+	i := New(1)
+	i.Set("p", Fault{Latency: 20 * time.Millisecond})
+	t0 := time.Now()
+	if err := i.Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("latency probe slept only %v", d)
+	}
+}
+
+func TestTransportStatusBurst(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	}))
+	defer srv.Close()
+	i := New(1)
+	i.Set("http", Fault{Times: 2, HTTPStatus: 503})
+	c := i.Client("http")
+	for k := 0; k < 2; k++ {
+		resp, err := c.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 503 {
+			t.Fatalf("burst request %d: status %d", k, resp.StatusCode)
+		}
+	}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healed transport: status %d", resp.StatusCode)
+	}
+}
+
+func TestTransportConnectionError(t *testing.T) {
+	i := New(1)
+	i.Set("http", Fault{Times: 1})
+	c := i.Client("http")
+	if _, err := c.Get("http://127.0.0.1:1/none"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected transport error, got %v", err)
+	}
+}
+
+func TestHookForAnnotates(t *testing.T) {
+	i := New(1)
+	i.Set("kafka.produce", Fault{Times: 1})
+	hook := i.HookFor("kafka.produce")
+	err := hook("cray-dmtf-resource-event")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal(err)
+	}
+}
+
+func TestDropProb(t *testing.T) {
+	i := New(3)
+	i.Set("p", Fault{DropProb: 1, Times: 2})
+	if err := i.Hit("p"); !errors.Is(err, ErrDropped) {
+		t.Fatal(err)
+	}
+}

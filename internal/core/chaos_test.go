@@ -1,0 +1,271 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"shastamon/internal/chaos"
+	"shastamon/internal/hms"
+	"shastamon/internal/kafka"
+	"shastamon/internal/resilience"
+	"shastamon/internal/ruler"
+)
+
+// queryLabeled runs an instant PromQL query through the warehouse and
+// returns the value of the sample carrying label=value.
+func queryLabeled(t *testing.T, p *Pipeline, q string, ms int64, label, value string) (float64, bool) {
+	t.Helper()
+	vec, err := p.Warehouse.QueryMetrics(q, ms)
+	if err != nil {
+		t.Fatalf("query %s: %v", q, err)
+	}
+	for _, s := range vec {
+		if s.Labels.Get(label) == value {
+			return s.V, true
+		}
+	}
+	return 0, false
+}
+
+// The chaos acceptance test: faults at every probe point of the pipeline —
+// kafka produces, the telemetry API transport, warehouse ingestion, and
+// both notifier transports — while a cabinet leak fires. The contract:
+// zero pipeline exits, and once faults clear, exactly one ServiceNow
+// incident and one Slack message for the leak, with the breaker and
+// stage-error metrics queryable through the warehouse.
+func TestChaosLeakDeliveredThroughFaults(t *testing.T) {
+	inj := chaos.New(7)
+	p := newPipeline(t, Options{LogRules: []ruler.Rule{leakRule}, Chaos: inj})
+	// Tighten the notifier retry policies so real-time backoff sleeps don't
+	// slow the simulated run; attempt counts keep the same shape.
+	fast := resilience.Policy{MaxAttempts: 2, Initial: time.Millisecond, Max: time.Millisecond}
+	p.snNotifier.SetRetryPolicy(fast)
+	p.slackNotifier.SetRetryPolicy(resilience.Policy{MaxAttempts: 3, Initial: time.Millisecond, Max: time.Millisecond})
+
+	t0 := time.Date(2022, 3, 3, 1, 45, 0, 0, time.UTC)
+	mustTick(t, p, t0) // clean baseline
+
+	// Burst 1: three consecutive kafka produce failures. The collector's
+	// retry policy (4 attempts) absorbs them inside one produce call, so
+	// the tick must stay clean.
+	inj.Set("kafka.produce", chaos.Fault{Times: 3})
+	mustTick(t, p, t0.Add(5*time.Second))
+	if got := inj.Fired("kafka.produce"); got != 3 {
+		t.Fatalf("kafka.produce fired %d, want 3", got)
+	}
+
+	// Burst 2: four 503s from the telemetry API. The client retries three
+	// times per call, so the events drain fails once (a stage error, not a
+	// pipeline exit) and the next drain self-heals mid-retry.
+	inj.Set("telemetry.http", chaos.Fault{Times: 4, HTTPStatus: 503})
+	err := p.Tick(t0.Add(10 * time.Second))
+	if err == nil || !strings.Contains(err.Error(), "core: forward") {
+		t.Fatalf("tick error = %v, want a forward stage error", err)
+	}
+
+	// Burst 3: two warehouse ingest failures degrade the sensor/LDMS
+	// drains. Events were not in flight, so nothing alert-relevant is lost.
+	inj.Set("warehouse.ingest", chaos.Fault{Times: 2})
+	if err := p.Tick(t0.Add(15 * time.Second)); err == nil {
+		t.Fatal("warehouse outage should surface as a stage error")
+	}
+
+	// The leak fires while the faults above have self-healed; its evidence
+	// flows to Loki and the rule goes pending, then firing.
+	leakTime := t0.Add(2 * time.Minute)
+	if err := p.Cluster.InjectLeak("x1203c1b0", "A", "Front", leakTime); err != nil {
+		t.Fatal(err)
+	}
+	mustTick(t, p, leakTime)
+	mustTick(t, p, leakTime.Add(61*time.Second)) // for: 1m satisfied; alert to AM
+
+	// Now the notification path degrades: Slack flakes twice (absorbed by
+	// the notifier's in-call retries) and ServiceNow goes hard down until
+	// T1+40s. The Alertmanager retry queue plus the SN breaker own recovery.
+	inj.Set("slack.http", chaos.Fault{Times: 2})
+	inj.Set("servicenow.http", chaos.Fault{ErrProb: 1})
+	t1 := leakTime.Add(62 * time.Second)
+	for off := 0; off <= 90; off += 5 {
+		if off == 40 {
+			inj.Clear("servicenow.http")
+		}
+		mustTick(t, p, t1.Add(time.Duration(off)*time.Second))
+	}
+
+	// Exactly one Slack message carries the leak (first dispatch, retried
+	// inside Notify), despite the transport fault.
+	leakMsgs := 0
+	for _, m := range p.Slack.Messages() {
+		for _, att := range m.Attachments {
+			if att.Title == "PerlmutterCabinetLeak" && strings.Contains(att.Text, "x1203c1b0") {
+				leakMsgs++
+			}
+		}
+	}
+	if leakMsgs != 1 {
+		t.Fatalf("leak slack messages = %d, want exactly 1 (messages: %+v)", leakMsgs, p.Slack.Messages())
+	}
+
+	// Exactly one ServiceNow incident once the outage cleared: the failed
+	// dispatches were requeued (T1, +5s, +15s trip the breaker, +35s fails
+	// fast on the open circuit) and the half-open probe at +75s delivers.
+	alerts := p.ServiceNow.Alerts()
+	if len(alerts) != 1 || alerts[0].Node != "x1203c1b0" {
+		t.Fatalf("sn alerts: %+v", alerts)
+	}
+	incs := p.ServiceNow.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("sn incidents = %d, want exactly 1: %+v", len(incs), incs)
+	}
+	if n := p.Alertmanager.RetryQueueLen(); n != 0 {
+		t.Fatalf("retry queue not drained: %d", n)
+	}
+	if trips := p.snNotifier.Breaker().Trips(); trips != 1 {
+		t.Fatalf("sn breaker trips = %d, want 1", trips)
+	}
+	errs := p.Alertmanager.NotifyErrors()
+	if len(errs) != 4 {
+		t.Fatalf("notify errors = %v, want the 4 failed servicenow attempts", errs)
+	}
+	for _, e := range errs {
+		if !strings.Contains(e.Error(), "servicenow") {
+			t.Fatalf("unexpected notify error: %v", e)
+		}
+	}
+
+	// The self-monitoring loop recorded the outage: the united breaker
+	// gauge reads open (2) mid-outage and closed (0) after recovery, the
+	// retry-queue gauge was non-zero, and the stage errors of the early
+	// bursts are all queryable through the warehouse via PromQL.
+	midMS := t1.Add(20 * time.Second).UnixMilli()
+	endMS := t1.Add(90 * time.Second).UnixMilli()
+	if v, ok := queryLabeled(t, p, "shastamon_breaker_state", midMS, "dependency", "servicenow"); !ok || v != 2 {
+		t.Fatalf("mid-outage servicenow breaker gauge = %v ok=%v, want 2", v, ok)
+	}
+	if v, ok := queryLabeled(t, p, "shastamon_breaker_state", endMS, "dependency", "servicenow"); !ok || v != 0 {
+		t.Fatalf("post-recovery servicenow breaker gauge = %v ok=%v, want 0", v, ok)
+	}
+	if v, ok := queryLabeled(t, p, "shastamon_alertmanager_retry_queue", midMS, "job", "shastamon"); !ok || v < 1 {
+		t.Fatalf("mid-outage retry queue gauge = %v ok=%v, want >=1", v, ok)
+	}
+	if v, ok := queryLabeled(t, p, "shastamon_stage_errors_total", endMS, "stage", "forward"); !ok || v < 2 {
+		t.Fatalf("forward stage errors = %v ok=%v, want >=2", v, ok)
+	}
+	sent, ok := queryLabeled(t, p, `shastamon_alertmanager_notifications_total{outcome="sent"}`, endMS, "receiver", "servicenow")
+	if !ok || sent != 1 {
+		t.Fatalf("servicenow sent notifications = %v ok=%v, want 1", sent, ok)
+	}
+}
+
+// A poison pill — an unparseable payload on the Redfish events topic — is
+// quarantined to the topic's dead-letter queue with its error reason
+// instead of wedging the forwarder, and can be inspected and replayed.
+func TestChaosPoisonPillQuarantineAndReplay(t *testing.T) {
+	p := newPipeline(t, Options{})
+	t0 := time.Date(2022, 3, 3, 6, 0, 0, 0, time.UTC)
+	mustTick(t, p, t0)
+
+	if _, _, err := p.Broker.Produce(hms.TopicEvents, []byte("x9999c0"), []byte("{not json"), t0); err != nil {
+		t.Fatal(err)
+	}
+	mustTick(t, p, t0.Add(5*time.Second)) // must not error: the pill is quarantined
+
+	msgs, err := p.DLQRecords(hms.TopicEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("dlq records: %+v", msgs)
+	}
+	m := msgs[0]
+	if string(m.Value) != "{not json" || string(m.Key) != "x9999c0" {
+		t.Fatalf("quarantined payload mangled: key=%q value=%q", m.Key, m.Value)
+	}
+	if m.Headers[kafka.HeaderDLQSource] != hms.TopicEvents {
+		t.Fatalf("dlq source header: %q", m.Headers[kafka.HeaderDLQSource])
+	}
+	if !strings.Contains(m.Headers[kafka.HeaderDLQReason], "event payload") {
+		t.Fatalf("dlq reason: %q", m.Headers[kafka.HeaderDLQReason])
+	}
+	if out := kafka.FormatDLQ(msgs); !strings.Contains(out, "event payload") || !strings.Contains(out, hms.TopicEvents) {
+		t.Fatalf("FormatDLQ: %q", out)
+	}
+
+	// The quarantine counter reaches the warehouse via the self-scrape.
+	mustTick(t, p, t0.Add(10*time.Second))
+	ms := t0.Add(10 * time.Second).UnixMilli()
+	if v, ok := queryLabeled(t, p, "shastamon_dlq_records_total", ms, "topic", hms.TopicEvents); !ok || v != 1 {
+		t.Fatalf("dlq metric = %v ok=%v, want 1", v, ok)
+	}
+
+	// Replay pushes the record back onto the source topic; still malformed,
+	// it is re-quarantined on the next tick rather than looping forever.
+	n, err := p.ReplayDLQ(hms.TopicEvents)
+	if err != nil || n != 1 {
+		t.Fatalf("replay: %d %v", n, err)
+	}
+	mustTick(t, p, t0.Add(15*time.Second))
+	msgs, err = p.DLQRecords(hms.TopicEvents)
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("after replay: %d records, err %v", len(msgs), err)
+	}
+	// Replay progress is tracked: a second replay only re-produces the
+	// record quarantined since the first.
+	if n, err = p.ReplayDLQ(hms.TopicEvents); err != nil || n != 1 {
+		t.Fatalf("second replay: %d %v", n, err)
+	}
+}
+
+// Run must outlive persistent tick failures: with the warehouse hard down,
+// every tick errors, the loop backs off, and cancellation is still the
+// only way out — the pipeline process never exits on its own.
+func TestChaosRunSurvivesPersistentTickErrors(t *testing.T) {
+	inj := chaos.New(11)
+	inj.Set("warehouse.ingest", chaos.Fault{ErrProb: 1})
+	p := newPipeline(t, Options{Chaos: inj})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Run(ctx, 2*time.Millisecond) }()
+	time.Sleep(60 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+
+	failed := 0.0
+	for _, f := range p.Gather() {
+		if f.Name == "shastamon_core_tick_failures_total" {
+			for _, m := range f.Metrics {
+				failed += m.Value
+			}
+		}
+	}
+	if failed < 1 {
+		t.Fatalf("no failed ticks recorded; the fault never fired (failures=%v)", failed)
+	}
+}
+
+// Close is idempotent and safe under concurrent callers.
+func TestChaosDoubleCloseIdempotent(t *testing.T) {
+	p := newPipeline(t, Options{})
+	mustTick(t, p, time.Date(2022, 3, 3, 7, 0, 0, 0, time.UTC))
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	wg.Wait()
+	p.Close() // and again, sequentially (t.Cleanup adds a fourth)
+}

@@ -2,14 +2,17 @@ package core
 
 import (
 	"context"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"shastamon/internal/alertmanager"
+	"shastamon/internal/chaos"
 	"shastamon/internal/chunkenc"
 	"shastamon/internal/exporters"
 	"shastamon/internal/fabricmgr"
@@ -58,6 +61,12 @@ type Options struct {
 	GroupWait time.Duration
 	// TraceCapacity bounds the event tracer's ring buffer (default 512).
 	TraceCapacity int
+	// Chaos, when set, wires the fault injector into the pipeline's
+	// dependency boundaries: kafka produces ("kafka.produce"), the
+	// telemetry API transport ("telemetry.http"), warehouse ingestion
+	// ("warehouse.ingest"), and the notifier transports ("slack.http",
+	// "servicenow.http"). Nil runs fault-free.
+	Chaos *chaos.Injector
 }
 
 // Pipeline is the assembled monitoring framework of Fig. 1.
@@ -96,13 +105,17 @@ type Pipeline struct {
 	obsReg        *obs.Registry
 	tickDur       *obs.Histogram
 	forwardedCtr  *obs.Counter
+	stageErrCtr   *obs.CounterVec
+	dlqCtr        *obs.CounterVec
+	tickFailCtr   *obs.Counter
 
 	subEvents  *telemetry.Subscription
 	subSensors *telemetry.Subscription
 	subSyslog  *telemetry.Subscription
 	subLDMS    *telemetry.Subscription
 
-	servers []*http.Server
+	servers   []*http.Server
+	closeOnce sync.Once
 
 	clockMu sync.Mutex
 	current time.Time
@@ -158,17 +171,59 @@ func New(opts Options) (*Pipeline, error) {
 		"Wall time of one full pipeline tick.", obs.DefBuckets)
 	p.forwardedCtr = p.obsReg.Counter(obs.Namespace+"core_records_forwarded_total",
 		"Telemetry API records forwarded into the warehouse.")
+	p.stageErrCtr = p.obsReg.CounterVec(obs.Namespace+"stage_errors_total",
+		"Tick stage failures by stage; a failing stage is isolated, the rest of the tick proceeds.", "stage")
+	p.dlqCtr = p.obsReg.CounterVec(obs.Namespace+"dlq_records_total",
+		"Malformed records quarantined to a dead-letter topic, by source topic.", "topic")
+	p.tickFailCtr = p.obsReg.Counter(obs.Namespace+"core_tick_failures_total",
+		"Ticks that completed with at least one stage error.")
+	// The united breaker family: one gauge per protected dependency. Each
+	// component also exposes its own uniquely-named breaker gauge; this is
+	// the cross-cutting view dashboards alert on.
+	p.obsReg.Collect(func() []promtext.Family {
+		f := promtext.Family{
+			Name: obs.Namespace + "breaker_state", Type: "gauge",
+			Help: "Circuit breaker state by dependency (0 closed, 1 half-open, 2 open).",
+		}
+		if p.slackNotifier != nil {
+			f = obs.Sample(f, p.slackNotifier.Breaker().StateValue(), "dependency", "slack")
+		}
+		if p.snNotifier != nil {
+			f = obs.Sample(f, p.snNotifier.Breaker().StateValue(), "dependency", "servicenow")
+		}
+		if p.VMAgent != nil {
+			states := p.VMAgent.BreakerStates(p.Now())
+			targets := make([]string, 0, len(states))
+			for t := range states {
+				targets = append(targets, t)
+			}
+			sort.Strings(targets)
+			for _, t := range targets {
+				f = obs.Sample(f, float64(states[t]), "dependency", "scrape:"+t)
+			}
+		}
+		if len(f.Metrics) == 0 {
+			return nil
+		}
+		return []promtext.Family{f}
+	})
 
 	var err error
 	if p.Cluster, err = shasta.NewCluster(opts.Cluster); err != nil {
 		return fail(err)
 	}
 	p.Broker = kafka.NewBroker()
+	if opts.Chaos != nil {
+		p.Broker.SetProduceHook(opts.Chaos.HookFor("kafka.produce"))
+	}
 	if p.Collector, err = hms.NewCollector(p.Cluster, p.Broker, 4); err != nil {
 		return fail(err)
 	}
 	p.Collector.SetTracer(p.Tracer)
 	p.Warehouse = omni.New(omni.Config{Retention: opts.Retention})
+	if opts.Chaos != nil {
+		p.Warehouse.SetFaultHook(opts.Chaos.HookFor("warehouse.ingest"))
+	}
 
 	// The pipeline's own observability endpoint: every component registry
 	// united on /metrics, plus the event tracer on /debug/trace/. It is
@@ -186,7 +241,15 @@ func New(opts Options) (*Pipeline, error) {
 	if opts.Token != "" {
 		tokens = []string{opts.Token}
 	}
-	tsrv, err := telemetry.NewServer(telemetry.ServerConfig{Broker: p.Broker, Tokens: tokens})
+	tsrv, err := telemetry.NewServer(telemetry.ServerConfig{
+		Broker: p.Broker,
+		Tokens: tokens,
+		// Redfish events feed the alerting path; losing one across a server
+		// crash could lose an incident, so their subscription commits only
+		// after each response is written (at-least-once). The sensor/LDMS
+		// topics stay at-most-once: a lost sample only dents a time series.
+		ManualCommitTopics: []string{hms.TopicEvents},
+	})
 	if err != nil {
 		return fail(err)
 	}
@@ -197,7 +260,11 @@ func New(opts Options) (*Pipeline, error) {
 		return fail(err)
 	}
 	p.servers = append(p.servers, srv)
-	tclient := telemetry.NewClient(turl, opts.Token, nil)
+	var telemetryHTTP *http.Client
+	if opts.Chaos != nil {
+		telemetryHTTP = opts.Chaos.Client("telemetry.http")
+	}
+	tclient := telemetry.NewClient(turl, opts.Token, telemetryHTTP)
 	if p.subEvents, err = tclient.Subscribe("omni-redfish", hms.TopicEvents); err != nil {
 		return fail(err)
 	}
@@ -290,8 +357,16 @@ func New(opts Options) (*Pipeline, error) {
 	}
 	p.servers = append(p.servers, srv)
 
-	slackNotifier := slack.NewNotifier("slack", slackURL, "#perlmutter-alerts", nil)
-	snNotifier := servicenow.NewNotifier("servicenow", snURL, nil)
+	var slackHTTP, snHTTP *http.Client
+	if opts.Chaos != nil {
+		slackHTTP = opts.Chaos.Client("slack.http")
+		snHTTP = opts.Chaos.Client("servicenow.http")
+	}
+	slackNotifier := slack.NewNotifier("slack", slackURL, "#perlmutter-alerts", slackHTTP)
+	snNotifier := servicenow.NewNotifier("servicenow", snURL, snHTTP)
+	// Breaker open windows must track simulated time in experiments.
+	slackNotifier.SetClock(p.Now)
+	snNotifier.SetClock(p.Now)
 	p.slackNotifier = slackNotifier
 	p.snNotifier = snNotifier
 
@@ -427,110 +502,140 @@ func loadCMDB(sn *servicenow.Instance, cluster *shasta.Cluster) {
 	}
 }
 
+// quarantineRecord diverts a malformed record to its topic's dead-letter
+// queue, preserving the original payload and headers plus the error
+// reason and source coordinates.
+func (p *Pipeline) quarantineRecord(rec telemetry.Record, raw []byte, reason error) error {
+	key, _ := base64.StdEncoding.DecodeString(rec.Key)
+	m := kafka.Message{
+		Topic: rec.Topic, Partition: rec.Partition, Offset: rec.Offset,
+		Key: key, Value: raw, Timestamp: rec.Timestamp, Headers: rec.Headers,
+	}
+	if _, _, err := kafka.Quarantine(p.Broker, m, reason); err != nil {
+		return err
+	}
+	p.dlqCtr.With(rec.Topic).Inc()
+	if tid := rec.Headers[obs.TraceHeader]; tid != "" {
+		p.Tracer.Stage(tid, "core.quarantine", p.Now(), reason.Error())
+	}
+	return nil
+}
+
+// drain empties one subscription, routing each record through handle.
+// Poisoned records (IsPoison) are quarantined and skipped; infrastructure
+// errors abort the drain — the next tick retries it — without touching
+// the other subscriptions.
+func (p *Pipeline) drain(sub *telemetry.Subscription, name string, max int,
+	handle func(rec telemetry.Record, raw []byte) error) (int, error) {
+	total := 0
+	for {
+		recs, err := sub.Poll(max, 0)
+		if err != nil {
+			return total, fmt.Errorf("%s: %w", name, err)
+		}
+		if len(recs) == 0 {
+			return total, nil
+		}
+		for _, rec := range recs {
+			raw, err := rec.DecodeValue()
+			if err != nil {
+				err = poison(fmt.Errorf("core: %s value: %w", name, err))
+				raw = []byte(rec.Value)
+			} else {
+				err = handle(rec, raw)
+			}
+			if err != nil {
+				if IsPoison(err) {
+					if qerr := p.quarantineRecord(rec, raw, err); qerr != nil {
+						return total, fmt.Errorf("%s: quarantine: %w", name, qerr)
+					}
+					continue
+				}
+				return total, fmt.Errorf("%s: %w", name, err)
+			}
+			total++
+		}
+	}
+}
+
+func (p *Pipeline) forwardEvent(rec telemetry.Record, raw []byte) error {
+	tid := rec.Headers[obs.TraceHeader]
+	p.Tracer.Stage(tid, "core.forward", p.Now(), rec.Topic)
+	payload, err := redfish.ParsePayload(raw)
+	if err != nil {
+		return poison(fmt.Errorf("core: event payload: %w", err))
+	}
+	streams, err := RedfishToLoki(payload, p.Cluster.Name())
+	if err != nil {
+		return poison(err)
+	}
+	// Out-of-order entries (BMC clock skew) are dropped and counted
+	// by the store; they must not stall the forwarder.
+	if err := p.Warehouse.IngestLogs(streams); err != nil && !errors.Is(err, chunkenc.ErrOutOfOrder) {
+		return err
+	}
+	p.Tracer.Stage(tid, "loki.ingest", p.Now(),
+		fmt.Sprintf("%d stream(s)", len(streams)))
+	return nil
+}
+
+func (p *Pipeline) forwardSyslog(_ telemetry.Record, raw []byte) error {
+	var m syslogd.Message
+	if err := unmarshalSyslog(raw, &m); err != nil {
+		return err
+	}
+	if err := p.Warehouse.IngestLogs([]loki.PushStream{SyslogToLoki(m, p.Cluster.Name())}); err != nil &&
+		!errors.Is(err, chunkenc.ErrOutOfOrder) {
+		return err
+	}
+	return nil
+}
+
 // ForwardPending drains the telemetry subscriptions into the warehouse:
 // Redfish events to Loki (via RedfishToLoki), sensor samples to the TSDB,
-// syslog to Loki. It returns the number of records forwarded.
+// syslog to Loki. It returns the number of records forwarded. The four
+// drains are error-isolated: a failing subscription reports its error but
+// does not block the others, and malformed records are quarantined to
+// per-topic dead-letter queues instead of wedging the forwarder.
 func (p *Pipeline) ForwardPending() (int, error) {
 	total := 0
 	defer func() { p.forwardedCtr.Add(float64(total)) }()
-	cluster := p.Cluster.Name()
-	for {
-		recs, err := p.subEvents.Poll(500, 0)
+	var errs []error
+	for _, d := range []struct {
+		sub  *telemetry.Subscription
+		name string
+		max  int
+		fn   func(rec telemetry.Record, raw []byte) error
+	}{
+		{p.subEvents, "events", 500, p.forwardEvent},
+		{p.subSensors, "sensors", 2000, func(_ telemetry.Record, raw []byte) error {
+			return sensorRecordToWarehouse(p.Warehouse, raw)
+		}},
+		{p.subLDMS, "ldms", 2000, func(_ telemetry.Record, raw []byte) error {
+			return ldmsRecordToWarehouse(p.Warehouse, raw)
+		}},
+		{p.subSyslog, "syslog", 2000, p.forwardSyslog},
+	} {
+		n, err := p.drain(d.sub, d.name, d.max, d.fn)
+		total += n
 		if err != nil {
-			return total, err
-		}
-		if len(recs) == 0 {
-			break
-		}
-		for _, rec := range recs {
-			raw, err := rec.DecodeValue()
-			if err != nil {
-				return total, err
-			}
-			tid := rec.Headers[obs.TraceHeader]
-			p.Tracer.Stage(tid, "core.forward", p.Now(), rec.Topic)
-			payload, err := redfish.ParsePayload(raw)
-			if err != nil {
-				return total, err
-			}
-			streams, err := RedfishToLoki(payload, cluster)
-			if err != nil {
-				return total, err
-			}
-			// Out-of-order entries (BMC clock skew) are dropped and counted
-			// by the store; they must not stall the forwarder.
-			if err := p.Warehouse.IngestLogs(streams); err != nil && !errors.Is(err, chunkenc.ErrOutOfOrder) {
-				return total, err
-			}
-			p.Tracer.Stage(tid, "loki.ingest", p.Now(),
-				fmt.Sprintf("%d stream(s)", len(streams)))
-			total++
+			errs = append(errs, err)
 		}
 	}
-	for {
-		recs, err := p.subSensors.Poll(2000, 0)
-		if err != nil {
-			return total, err
-		}
-		if len(recs) == 0 {
-			break
-		}
-		for _, rec := range recs {
-			raw, err := rec.DecodeValue()
-			if err != nil {
-				return total, err
-			}
-			if err := sensorRecordToWarehouse(p.Warehouse, raw); err != nil {
-				return total, err
-			}
-			total++
-		}
-	}
-	for {
-		recs, err := p.subLDMS.Poll(2000, 0)
-		if err != nil {
-			return total, err
-		}
-		if len(recs) == 0 {
-			break
-		}
-		for _, rec := range recs {
-			raw, err := rec.DecodeValue()
-			if err != nil {
-				return total, err
-			}
-			if err := ldmsRecordToWarehouse(p.Warehouse, raw); err != nil {
-				return total, err
-			}
-			total++
-		}
-	}
-	for {
-		recs, err := p.subSyslog.Poll(2000, 0)
-		if err != nil {
-			return total, err
-		}
-		if len(recs) == 0 {
-			break
-		}
-		batch := make([]loki.PushStream, 0, len(recs))
-		for _, rec := range recs {
-			raw, err := rec.DecodeValue()
-			if err != nil {
-				return total, err
-			}
-			var m syslogd.Message
-			if err := unmarshalSyslog(raw, &m); err != nil {
-				return total, err
-			}
-			batch = append(batch, SyslogToLoki(m, cluster))
-			total++
-		}
-		if err := p.Warehouse.IngestLogs(batch); err != nil && !errors.Is(err, chunkenc.ErrOutOfOrder) {
-			return total, err
-		}
-	}
-	return total, nil
+	return total, errors.Join(errs...)
+}
+
+// DLQRecords returns the quarantined records of topic (source or .dlq
+// name); nil if nothing was ever quarantined from it.
+func (p *Pipeline) DLQRecords(topic string) ([]kafka.Message, error) {
+	return kafka.DLQRecords(p.Broker, topic)
+}
+
+// ReplayDLQ re-produces topic's quarantined records onto their source
+// topic (after an operator fixes the producer or the parser) and returns
+// how many were replayed.
+func (p *Pipeline) ReplayDLQ(topic string) (int, error) {
+	return kafka.ReplayDLQ(p.Broker, topic)
 }
 
 // Tick advances the whole pipeline one synchronous cycle at the given
@@ -538,43 +643,51 @@ func (p *Pipeline) ForwardPending() (int, error) {
 // poll the fabric manager, scrape exporters, evaluate alert rules, flush
 // the Alertmanager and enforce retention. Experiments drive Tick with a
 // simulated clock to reproduce the paper's figures deterministically.
+// Each stage is error-isolated: a failing stage increments
+// shastamon_stage_errors_total{stage} and the rest of the tick still
+// runs — crucially, alert evaluation and the Alertmanager flush happen
+// even when collection is degraded, so already-ingested evidence still
+// raises incidents. Tick returns the joined stage errors.
 func (p *Pipeline) Tick(now time.Time) error {
 	t0 := time.Now()
 	defer func() { p.tickDur.Observe(time.Since(t0).Seconds()) }()
 	p.SetNow(now)
-	if _, _, err := p.Collector.CollectOnce(now); err != nil {
-		return fmt.Errorf("core: collect: %w", err)
+	var errs []error
+	stage := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			p.stageErrCtr.With(name).Inc()
+			errs = append(errs, fmt.Errorf("core: %s: %w", name, err))
+		}
 	}
-	if _, err := p.LDMS.ProduceOnce(now); err != nil {
-		return fmt.Errorf("core: ldms: %w", err)
-	}
-	if _, err := p.ForwardPending(); err != nil {
-		return fmt.Errorf("core: forward: %w", err)
-	}
-	if _, err := p.FabricMonitor.PollOnce(now); err != nil {
-		return fmt.Errorf("core: fabric poll: %w", err)
-	}
-	if err := p.VMAgent.ScrapeOnce(now); err != nil {
-		return fmt.Errorf("core: scrape: %w", err)
-	}
-	if _, err := p.Ruler.EvalOnce(); err != nil {
-		return fmt.Errorf("core: ruler: %w", err)
-	}
-	if _, err := p.VMAlert.EvalOnce(); err != nil {
-		return fmt.Errorf("core: vmalert: %w", err)
-	}
+	stage("collect", func() error { _, _, err := p.Collector.CollectOnce(now); return err })
+	stage("ldms", func() error { _, err := p.LDMS.ProduceOnce(now); return err })
+	stage("forward", func() error { _, err := p.ForwardPending(); return err })
+	stage("fabric_poll", func() error { _, err := p.FabricMonitor.PollOnce(now); return err })
+	stage("scrape", func() error { return p.VMAgent.ScrapeOnce(now) })
+	stage("ruler", func() error { _, err := p.Ruler.EvalOnce(); return err })
+	stage("vmalert", func() error { _, err := p.VMAlert.EvalOnce(); return err })
 	p.Alertmanager.Flush()
 	p.Warehouse.EnforceRetention(now)
+	if len(errs) > 0 {
+		p.tickFailCtr.Inc()
+		return errors.Join(errs...)
+	}
 	return nil
 }
 
 // Run operates the pipeline on wall-clock time until the context is
 // cancelled: every component loops at its own interval, communicating
-// through the same paths Tick exercises synchronously.
+// through the same paths Tick exercises synchronously. Tick errors do not
+// exit the loop — the pipeline is the thing that must outlive its
+// dependencies' outages — they stretch the interval with bounded
+// exponential backoff (doubling up to 30s) until a clean tick restores
+// it. Run only returns the context's error.
 func (p *Pipeline) Run(ctx context.Context, interval time.Duration) error {
 	if interval <= 0 {
 		interval = time.Second
 	}
+	const maxBackoff = 30 * time.Second
+	backoff := interval
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -583,22 +696,45 @@ func (p *Pipeline) Run(ctx context.Context, interval time.Duration) error {
 			return ctx.Err()
 		case now := <-t.C:
 			if err := p.Tick(now); err != nil {
-				return err
+				backoff *= 2
+				if backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				t.Reset(backoff)
+			} else if backoff != interval {
+				backoff = interval
+				t.Reset(interval)
 			}
 		}
 	}
 }
 
-// Close shuts down the pipeline's HTTP servers and subscriptions.
+// Close shuts down the pipeline's HTTP servers and subscriptions. It is
+// idempotent, and shutdowns within each group run in parallel
+// (subscriptions first — they talk to the telemetry server).
 func (p *Pipeline) Close() {
-	for _, sub := range []*telemetry.Subscription{p.subEvents, p.subSensors, p.subSyslog, p.subLDMS} {
-		if sub != nil {
-			_ = sub.Close()
+	p.closeOnce.Do(func() {
+		var wg sync.WaitGroup
+		for _, sub := range []*telemetry.Subscription{p.subEvents, p.subSensors, p.subSyslog, p.subLDMS} {
+			if sub == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(s *telemetry.Subscription) {
+				defer wg.Done()
+				_ = s.Close()
+			}(sub)
 		}
-	}
-	for _, srv := range p.servers {
-		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-		_ = srv.Shutdown(ctx)
-		cancel()
-	}
+		wg.Wait()
+		for _, srv := range p.servers {
+			wg.Add(1)
+			go func(srv *http.Server) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				_ = srv.Shutdown(ctx)
+				cancel()
+			}(srv)
+		}
+		wg.Wait()
+	})
 }

@@ -8,6 +8,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -20,6 +21,24 @@ import (
 	"shastamon/internal/redfish"
 	"shastamon/internal/syslogd"
 )
+
+// poisonError marks a record-level failure — a malformed payload that will
+// fail identically on every retry — as opposed to an infrastructure
+// failure that a later tick may clear. The forwarder quarantines poisoned
+// records to the topic's dead-letter queue instead of retrying them.
+type poisonError struct{ err error }
+
+func (e poisonError) Error() string { return e.err.Error() }
+func (e poisonError) Unwrap() error { return e.err }
+
+func poison(err error) error { return poisonError{err: err} }
+
+// IsPoison reports whether err marks a malformed record rather than an
+// infrastructure failure.
+func IsPoison(err error) bool {
+	var pe poisonError
+	return errors.As(err, &pe)
+}
 
 // lokiEventBody is the log-line content of a transformed Redfish event —
 // exactly the three fields the paper keeps (Fig. 3): "The rest fields are
@@ -112,7 +131,7 @@ func FabricEventLabels(cluster string) labels.Labels {
 // unmarshalSyslog decodes a syslog topic record.
 func unmarshalSyslog(raw []byte, m *syslogd.Message) error {
 	if err := json.Unmarshal(raw, m); err != nil {
-		return fmt.Errorf("core: syslog record: %w", err)
+		return poison(fmt.Errorf("core: syslog record: %w", err))
 	}
 	return nil
 }
@@ -122,7 +141,7 @@ func unmarshalSyslog(raw []byte, m *syslogd.Message) error {
 func ldmsRecordToWarehouse(w *omni.Warehouse, raw []byte) error {
 	names, lss, mss, vals, err := ldms.ToSeries(raw)
 	if err != nil {
-		return err
+		return poison(err)
 	}
 	for i := range names {
 		if err := w.IngestMetric(names[i], lss[i], mss[i], vals[i]); err != nil {
@@ -138,11 +157,11 @@ func ldmsRecordToWarehouse(w *omni.Warehouse, raw []byte) error {
 func sensorRecordToWarehouse(w *omni.Warehouse, raw []byte) error {
 	var s hms.SensorSample
 	if err := json.Unmarshal(raw, &s); err != nil {
-		return fmt.Errorf("core: sensor record: %w", err)
+		return poison(fmt.Errorf("core: sensor record: %w", err))
 	}
 	name, ls, ms, v, err := SensorToMetric(s)
 	if err != nil {
-		return err
+		return poison(err)
 	}
 	return w.IngestMetric(name, ls, ms, v)
 }

@@ -14,6 +14,7 @@ import (
 	"shastamon/internal/kafka"
 	"shastamon/internal/obs"
 	"shastamon/internal/redfish"
+	"shastamon/internal/resilience"
 	"shastamon/internal/shasta"
 )
 
@@ -49,6 +50,10 @@ type Collector struct {
 	cluster *shasta.Cluster
 	broker  *kafka.Broker
 	tracer  *obs.Tracer
+	// policy retries transient produce failures. DrainEvents is
+	// destructive, so giving up on a produce loses the drained records —
+	// the retry absorbs broker flakes before that happens.
+	policy resilience.Policy
 
 	reg       *obs.Registry
 	events    *obs.Counter
@@ -67,6 +72,7 @@ func NewCollector(cluster *shasta.Cluster, broker *kafka.Broker, partitions int)
 		}
 	}
 	c := &Collector{cluster: cluster, broker: broker, reg: obs.NewRegistry()}
+	c.policy = resilience.Policy{MaxAttempts: 4, Initial: time.Millisecond, Max: 20 * time.Millisecond}
 	c.events = c.reg.Counter(obs.Namespace+"hms_events_collected_total",
 		"Redfish event records drained from the cluster and produced to Kafka.")
 	c.samples = c.reg.Counter(obs.Namespace+"hms_samples_collected_total",
@@ -83,6 +89,9 @@ func (c *Collector) Metrics() *obs.Registry { return c.reg }
 // a trace ID (the event's origin stage) that rides to Kafka as a message
 // header. A nil tracer disables tracing.
 func (c *Collector) SetTracer(t *obs.Tracer) { c.tracer = t }
+
+// SetRetryPolicy overrides the produce retry policy.
+func (c *Collector) SetRetryPolicy(p resilience.Policy) { c.policy = p }
 
 func topicForSensor(sensor string) string {
 	switch sensor {
@@ -118,7 +127,13 @@ func (c *Collector) CollectOnce(ts time.Time) (events, samples int, err error) {
 		if id != "" {
 			msg.Headers = map[string]string{obs.TraceHeader: id}
 		}
-		part, off, err := c.broker.ProduceMessage(msg)
+		var part int
+		var off int64
+		err = resilience.Retry(c.policy, func() error {
+			var perr error
+			part, off, perr = c.broker.ProduceMessage(msg)
+			return perr
+		})
 		if err != nil {
 			c.produceEr.Inc()
 			return events, samples, err
@@ -142,7 +157,10 @@ func (c *Collector) CollectOnce(ts time.Time) (events, samples int, err error) {
 			c.produceEr.Inc()
 			return events, samples, fmt.Errorf("hms: marshal sample: %w", err)
 		}
-		if _, _, err := c.broker.Produce(topicForSensor(r.Sensor), []byte(r.Xname), data, ts); err != nil {
+		if err := resilience.Retry(c.policy, func() error {
+			_, _, perr := c.broker.Produce(topicForSensor(r.Sensor), []byte(r.Xname), data, ts)
+			return perr
+		}); err != nil {
 			c.produceEr.Inc()
 			return events, samples, err
 		}

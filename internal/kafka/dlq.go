@@ -1,0 +1,206 @@
+package kafka
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Dead-letter quarantine: a malformed record on any topic is diverted to
+// the topic's ".dlq" sibling with its original payload and headers plus
+// the quarantine metadata below, instead of aborting the consumer that
+// tripped on it. The paper's pipeline must survive poison pills — one
+// unparseable Redfish payload must not stall leak detection for the whole
+// machine.
+const (
+	// DLQSuffix names a topic's dead-letter sibling.
+	DLQSuffix = ".dlq"
+	// HeaderDLQSource carries the topic the record was quarantined from.
+	HeaderDLQSource = "dlq-source-topic"
+	// HeaderDLQReason carries the error that condemned the record.
+	HeaderDLQReason = "dlq-error"
+	// HeaderDLQPartition and HeaderDLQOffset pin the record's original
+	// coordinates for auditability.
+	HeaderDLQPartition = "dlq-source-partition"
+	HeaderDLQOffset    = "dlq-source-offset"
+)
+
+// DLQTopic returns topic's dead-letter topic name.
+func DLQTopic(topic string) string { return topic + DLQSuffix }
+
+// IsDLQTopic reports whether the name is a dead-letter topic.
+func IsDLQTopic(topic string) bool { return strings.HasSuffix(topic, DLQSuffix) }
+
+// Quarantine diverts a poisoned message to its topic's DLQ (created on
+// first use, single partition — DLQ volume is small by construction). The
+// original headers are preserved; source coordinates and the error reason
+// ride as additional headers. Quarantining a record already on a DLQ is
+// refused to prevent unbounded .dlq.dlq chains.
+func Quarantine(b *Broker, m Message, reason error) (partition int, offset int64, err error) {
+	if IsDLQTopic(m.Topic) {
+		return 0, 0, fmt.Errorf("kafka: refusing to quarantine from DLQ topic %q", m.Topic)
+	}
+	dlq := DLQTopic(m.Topic)
+	if err := b.CreateTopic(dlq, 1); err != nil && !errors.Is(err, ErrTopicExists) {
+		return 0, 0, err
+	}
+	headers := make(map[string]string, len(m.Headers)+4)
+	for k, v := range m.Headers {
+		headers[k] = v
+	}
+	headers[HeaderDLQSource] = m.Topic
+	headers[HeaderDLQPartition] = strconv.Itoa(m.Partition)
+	headers[HeaderDLQOffset] = strconv.FormatInt(m.Offset, 10)
+	if reason != nil {
+		headers[HeaderDLQReason] = reason.Error()
+	}
+	ts := m.Timestamp
+	if ts.IsZero() {
+		ts = time.Now()
+	}
+	return b.ProduceMessage(Message{
+		Topic: dlq, Key: m.Key, Value: m.Value, Timestamp: ts, Headers: headers,
+	})
+}
+
+// DLQTopics lists the broker's dead-letter topics.
+func (b *Broker) DLQTopics() []string {
+	var out []string
+	for _, t := range b.Topics() {
+		if IsDLQTopic(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DLQRecords returns every retained record on topic's DLQ, oldest first.
+// topic may be the source topic or the ".dlq" name itself.
+func DLQRecords(b *Broker, topic string) ([]Message, error) {
+	dlq := topic
+	if !IsDLQTopic(dlq) {
+		dlq = DLQTopic(dlq)
+	}
+	parts, err := b.Partitions(dlq)
+	if err != nil {
+		if errors.Is(err, ErrUnknownTopic) {
+			return nil, nil // nothing ever quarantined
+		}
+		return nil, err
+	}
+	var out []Message
+	for p := 0; p < parts; p++ {
+		low, high, err := b.Watermarks(dlq, p)
+		if err != nil {
+			return nil, err
+		}
+		for low < high {
+			msgs, err := b.Fetch(dlq, p, low, int(high-low))
+			if err != nil {
+				return nil, err
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			out = append(out, msgs...)
+			low = msgs[len(msgs)-1].Offset + 1
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp.Before(out[j].Timestamp) })
+	return out, nil
+}
+
+// ReplayDLQ re-produces quarantined records onto their source topic with
+// the quarantine headers stripped, and returns how many were replayed.
+// Progress is tracked in the "dlq-replay" consumer group, so repeated
+// calls replay each record once. This is the recovery hook for poison
+// pills caused by transient schema bugs: fix the consumer, replay the
+// queue, and the records flow through the normal path again.
+func ReplayDLQ(b *Broker, topic string) (int, error) {
+	dlq := topic
+	if !IsDLQTopic(dlq) {
+		dlq = DLQTopic(dlq)
+	}
+	parts, err := b.Partitions(dlq)
+	if err != nil {
+		if errors.Is(err, ErrUnknownTopic) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	const group = "dlq-replay"
+	replayed := 0
+	for p := 0; p < parts; p++ {
+		off := b.Committed(group, dlq, p)
+		low, high, err := b.Watermarks(dlq, p)
+		if err != nil {
+			return replayed, err
+		}
+		if off < low {
+			off = low
+		}
+		for off < high {
+			msgs, err := b.Fetch(dlq, p, off, int(high-off))
+			if err != nil {
+				return replayed, err
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for _, m := range msgs {
+				src := m.Headers[HeaderDLQSource]
+				if src == "" {
+					off = m.Offset + 1
+					continue // not a quarantined record; skip
+				}
+				headers := make(map[string]string, len(m.Headers))
+				for k, v := range m.Headers {
+					switch k {
+					case HeaderDLQSource, HeaderDLQReason, HeaderDLQPartition, HeaderDLQOffset:
+					default:
+						headers[k] = v
+					}
+				}
+				if len(headers) == 0 {
+					headers = nil
+				}
+				if _, _, err := b.ProduceMessage(Message{
+					Topic: src, Key: m.Key, Value: m.Value, Timestamp: m.Timestamp, Headers: headers,
+				}); err != nil {
+					return replayed, err
+				}
+				replayed++
+				off = m.Offset + 1
+				b.Commit(group, dlq, p, off)
+			}
+		}
+	}
+	return replayed, nil
+}
+
+// FormatDLQ renders DLQ records in the logcli style — one line per record
+// with timestamp, source coordinates and quarantine reason — the
+// inspection path operators use before deciding to replay.
+func FormatDLQ(msgs []Message) string {
+	var sb strings.Builder
+	for _, m := range msgs {
+		fmt.Fprintf(&sb, "%s %s/%s@%s reason=%q value=%s\n",
+			m.Timestamp.UTC().Format(time.RFC3339Nano),
+			m.Headers[HeaderDLQSource],
+			m.Headers[HeaderDLQPartition],
+			m.Headers[HeaderDLQOffset],
+			m.Headers[HeaderDLQReason],
+			strconv.Quote(truncate(string(m.Value), 160)))
+	}
+	return sb.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

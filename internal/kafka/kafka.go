@@ -96,6 +96,27 @@ func (p *partition) waitCh(offset int64) chan struct{} {
 	return w
 }
 
+// dropWaiter removes a waiter that gave up (FetchWait timeout); without
+// this, every timed-out poll would leave its channel in the slice until
+// the next append — a leak under repeated empty polls.
+func (p *partition) dropWaiter(w chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, x := range p.waiters {
+		if x == w {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// waiterCount reports pending waiters (test hook for the leak regression).
+func (p *partition) waiterCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.waiters)
+}
+
 type topic struct {
 	name       string
 	partitions []*partition
@@ -114,6 +135,11 @@ type Broker struct {
 	groups map[string]*groupState
 
 	produced int64
+
+	// produceHook, when set, intercepts every ProduceMessage with the
+	// topic name; a non-nil error aborts the append. The chaos injector
+	// arms it to simulate broker-side produce failures.
+	produceHook func(topic string) error
 
 	reg         *obs.Registry
 	producedVec *obs.CounterVec
@@ -138,6 +164,13 @@ func NewBroker() *Broker {
 
 // Metrics exposes the broker's self-monitoring registry.
 func (b *Broker) Metrics() *obs.Registry { return b.reg }
+
+// SetProduceHook installs (or, with nil, removes) the produce fault hook.
+func (b *Broker) SetProduceHook(fn func(topic string) error) {
+	b.mu.Lock()
+	b.produceHook = fn
+	b.mu.Unlock()
+}
 
 // lagFamilies renders consumer-group lag per topic/partition at gather
 // time — lag is derived state (watermark minus commit), so it is computed
@@ -233,6 +266,14 @@ func (b *Broker) ProduceMessage(m Message) (int, int64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	b.mu.RLock()
+	hook := b.produceHook
+	b.mu.RUnlock()
+	if hook != nil {
+		if err := hook(m.Topic); err != nil {
+			return 0, 0, fmt.Errorf("kafka: produce %s: %w", m.Topic, err)
+		}
+	}
 	var pi int
 	if len(m.Key) > 0 {
 		h := fnv.New32a()
@@ -297,10 +338,13 @@ func (b *Broker) FetchWait(topicName string, part int, offset int64, max int, ti
 	if w == nil {
 		return count(p.fetch(offset, max))
 	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case <-w:
 		return count(p.fetch(offset, max))
-	case <-time.After(timeout):
+	case <-timer.C:
+		p.dropWaiter(w)
 		return nil, nil
 	}
 }
@@ -353,6 +397,20 @@ func (b *Broker) TruncateBefore(cutoff time.Time) int {
 // ---- consumer groups ----
 
 func commitKey(topicName string, part int) string { return fmt.Sprintf("%s/%d", topicName, part) }
+
+// splitCommitKey inverts commitKey ("topic/partition", splitting on the
+// last '/' since topic names may contain slashes).
+func splitCommitKey(key string) (topicName string, part int, ok bool) {
+	idx := strings.LastIndexByte(key, '/')
+	if idx <= 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(key[idx+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return key[:idx], n, true
+}
 
 // JoinGroup registers a member in a consumer group and returns the group
 // generation. Assignments must be refreshed after every join/leave.

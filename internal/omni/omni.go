@@ -9,6 +9,7 @@ package omni
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +66,11 @@ type Warehouse struct {
 
 	reg      *obs.Registry
 	queryDur *obs.HistogramVec
+
+	// faultHook, when set, is consulted before each ingest with the
+	// operation name ("logs" or "metric"); a non-nil return aborts the
+	// ingest. The chaos harness injects warehouse outages through it.
+	faultHook atomic.Value // func(op string) error
 }
 
 // New builds an empty warehouse.
@@ -110,9 +116,25 @@ func New(cfg Config) *Warehouse {
 // ObsMetrics exposes the warehouse's self-monitoring registry.
 func (w *Warehouse) ObsMetrics() *obs.Registry { return w.reg }
 
+// SetFaultHook installs (or, with nil, clears) an ingestion fault hook.
+func (w *Warehouse) SetFaultHook(hook func(op string) error) {
+	w.faultHook.Store(&hook)
+}
+
+func (w *Warehouse) ingestFault(op string) error {
+	p, _ := w.faultHook.Load().(*func(op string) error)
+	if p == nil || *p == nil {
+		return nil
+	}
+	return (*p)(op)
+}
+
 // IngestLogs pushes log streams into the log store (and, when
 // IndexEvents is on, into the full-text index).
 func (w *Warehouse) IngestLogs(batch []loki.PushStream) error {
+	if err := w.ingestFault("logs"); err != nil {
+		return fmt.Errorf("omni: ingest logs: %w", err)
+	}
 	err := w.Logs.Push(batch)
 	var n, bytes int64
 	for _, ps := range batch {
@@ -135,6 +157,9 @@ func (w *Warehouse) IngestLogs(batch []loki.PushStream) error {
 
 // IngestMetric appends one sample to the metrics store.
 func (w *Warehouse) IngestMetric(name string, ls labels.Labels, tsMillis int64, v float64) error {
+	if err := w.ingestFault("metric"); err != nil {
+		return fmt.Errorf("omni: ingest metric: %w", err)
+	}
 	err := w.Metrics.AppendMetric(name, ls, tsMillis, v)
 	w.samples.Add(1)
 	w.windowCount.Add(1)

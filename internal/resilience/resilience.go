@@ -1,0 +1,315 @@
+// Package resilience is the pipeline's stdlib-only fault-tolerance
+// substrate: exponential backoff with jitter, bounded retry policies, and
+// a half-open circuit breaker. Every dependency the pipeline talks to over
+// a failure domain boundary (the Slack webhook, the ServiceNow event
+// collector, the telemetry API, scrape targets, the Kafka broker) wraps
+// its calls in one of these primitives so a misbehaving dependency
+// degrades its own stage instead of killing the process — the paper's
+// pipeline is only useful if leak and switch-offline alerts fire even
+// while parts of the stack are down.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes a bounded retry loop with exponential backoff.
+// The zero value takes the defaults documented on each field.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3).
+	MaxAttempts int
+	// Initial is the delay before the first retry (default 50ms).
+	Initial time.Duration
+	// Max caps the per-retry delay (default 5s).
+	Max time.Duration
+	// Factor multiplies the delay after each retry (default 2).
+	Factor float64
+	// Jitter randomizes each delay by ±Jitter fraction (default 0.2;
+	// negative disables). Jitter decorrelates retry storms when many
+	// clients fail together — the thundering-herd problem.
+	Jitter float64
+	// Sleep is swapped by tests; default time.Sleep.
+	Sleep func(time.Duration)
+	// Retriable classifies errors; nil retries everything.
+	Retriable func(error) bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Initial <= 0 {
+		p.Initial = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Factor <= 1 {
+		p.Factor = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+var jitterMu sync.Mutex
+var jitterRNG = rand.New(rand.NewSource(1))
+
+// SeedJitter reseeds the jitter source — tests pin it for determinism.
+func SeedJitter(seed int64) {
+	jitterMu.Lock()
+	jitterRNG = rand.New(rand.NewSource(seed))
+	jitterMu.Unlock()
+}
+
+// Backoff returns the delay before retry number retry (0-based):
+// Initial·Factor^retry capped at Max, jittered by ±Jitter.
+func (p Policy) Backoff(retry int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Initial)
+	for i := 0; i < retry; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		jitterMu.Lock()
+		f := 1 + p.Jitter*(2*jitterRNG.Float64()-1)
+		jitterMu.Unlock()
+		d *= f
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	return time.Duration(d)
+}
+
+// Retry runs fn up to MaxAttempts times, sleeping the policy's backoff
+// between tries. It returns nil on the first success, the first
+// non-retriable error immediately, or the last error annotated with the
+// attempt count once the budget is spent.
+func Retry(p Policy, fn func() error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.Sleep(p.Backoff(attempt - 1))
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if p.Retriable != nil && !p.Retriable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("resilience: %d attempt(s): %w", p.MaxAttempts, err)
+}
+
+// State is a circuit breaker's position.
+type State int32
+
+// Breaker states. The numeric values are the exposition convention for
+// the shastamon_breaker_state gauge: 0 closed (healthy), 1 half-open
+// (probing), 2 open (failing fast).
+const (
+	Closed State = iota
+	HalfOpen
+	Open
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ErrOpen is returned by Allow/Do while the breaker is open: the caller
+// must fail fast instead of hammering a dependency that is already down.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerConfig configures a Breaker; zero values take defaults.
+type BreakerConfig struct {
+	// Name identifies the protected dependency in errors and metrics.
+	Name string
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// OpenFor is how long the breaker stays open before letting a
+	// half-open probe through (default 30s).
+	OpenFor time.Duration
+	// HalfOpenProbes is how many concurrent probes half-open admits
+	// (default 1).
+	HalfOpenProbes int
+	// Now is the breaker's clock; tests and the simulated pipeline inject
+	// their own (default time.Now).
+	Now func() time.Time
+}
+
+// Breaker is a half-open circuit breaker: consecutive failures trip it
+// open, open fails fast for OpenFor, then a bounded number of half-open
+// probes decide between re-closing and re-opening.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	failures int
+	openedAt time.Time
+	probes   int
+
+	trips int64 // closed->open transitions, for metrics
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 30 * time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// SetNow swaps the breaker's clock (the pipeline injects its simulated
+// clock after construction).
+func (b *Breaker) SetNow(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now != nil {
+		b.cfg.Now = now
+	}
+}
+
+// Name returns the protected dependency's name.
+func (b *Breaker) Name() string { return b.cfg.Name }
+
+// State reports the current state, advancing open->half-open when the
+// open window has elapsed.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked(b.cfg.Now())
+}
+
+func (b *Breaker) stateLocked(now time.Time) State {
+	if b.state == Open && !now.Before(b.openedAt.Add(b.cfg.OpenFor)) {
+		b.state = HalfOpen
+		b.probes = 0
+	}
+	return b.state
+}
+
+// StateAt is State at an explicit time.
+func (b *Breaker) StateAt(now time.Time) State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked(now)
+}
+
+// StateValue renders the state as the gauge convention (0/1/2).
+func (b *Breaker) StateValue() float64 { return float64(b.State()) }
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Allow asks permission for one call at the breaker's clock. It returns
+// ErrOpen (annotated with the dependency name) while open, and limits
+// concurrent half-open probes.
+func (b *Breaker) Allow() error { return b.AllowAt(b.cfg.Now()) }
+
+// AllowAt is Allow at an explicit time — callers driven by a simulated
+// clock (the vmagent's scrape timestamp) pass their own now.
+func (b *Breaker) AllowAt(now time.Time) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked(now) {
+	case Open:
+		return fmt.Errorf("%w: %s (retry after %s)", ErrOpen, b.cfg.Name,
+			b.openedAt.Add(b.cfg.OpenFor).Sub(now))
+	case HalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return fmt.Errorf("%w: %s (half-open probe in flight)", ErrOpen, b.cfg.Name)
+		}
+		b.probes++
+	}
+	return nil
+}
+
+// Success records a successful call: half-open re-closes, closed resets
+// the failure streak.
+func (b *Breaker) Success() { b.SuccessAt(b.cfg.Now()) }
+
+// SuccessAt is Success at an explicit time.
+func (b *Breaker) SuccessAt(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stateLocked(now)
+	b.state = Closed
+	b.failures = 0
+	b.probes = 0
+}
+
+// Failure records a failed call: a failed half-open probe re-opens
+// immediately; closed opens once the streak reaches the threshold.
+func (b *Breaker) Failure() { b.FailureAt(b.cfg.Now()) }
+
+// FailureAt is Failure at an explicit time.
+func (b *Breaker) FailureAt(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked(now) {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = now
+		b.trips++
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.state = Open
+			b.openedAt = now
+			b.trips++
+		}
+	}
+}
+
+// Do guards fn with the breaker: Allow, run, record the outcome.
+func (b *Breaker) Do(fn func() error) error {
+	now := b.cfg.Now()
+	if err := b.AllowAt(now); err != nil {
+		return err
+	}
+	if err := fn(); err != nil {
+		b.FailureAt(b.cfg.Now())
+		return err
+	}
+	b.SuccessAt(b.cfg.Now())
+	return nil
+}

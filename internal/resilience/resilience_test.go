@@ -1,0 +1,159 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := Policy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	SeedJitter(7)
+	p := Policy{Initial: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := p.Backoff(0)
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside ±50%% of 100ms", d)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	err := Retry(Policy{
+		MaxAttempts: 4, Initial: time.Millisecond, Jitter: -1,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("slept = %v", slept)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	calls := 0
+	base := errors.New("down")
+	err := Retry(Policy{MaxAttempts: 3, Initial: time.Microsecond, Sleep: func(time.Duration) {}},
+		func() error { calls++; return base })
+	if calls != 3 || !errors.Is(err, base) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := Retry(Policy{
+		MaxAttempts: 5, Sleep: func(time.Duration) {},
+		Retriable: func(err error) bool { return !errors.Is(err, perm) },
+	}, func() error { calls++; return perm })
+	if calls != 1 || !errors.Is(err, perm) {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+// fakeClock drives breaker tests deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{Name: "dep", FailureThreshold: 3, OpenFor: 10 * time.Second, Now: clk.now})
+
+	// Closed: failures below threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v", b.State())
+	}
+	// Third consecutive failure opens it.
+	b.Failure()
+	if b.State() != Open || b.Trips() != 1 {
+		t.Fatalf("state = %v trips = %d", b.State(), b.Trips())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("allow while open: %v", err)
+	}
+
+	// After the open window one probe is admitted, a second is rejected.
+	clk.advance(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe admitted")
+	}
+
+	// Failed probe re-opens; successful probe after another window closes.
+	b.Failure()
+	if b.State() != Open || b.Trips() != 2 {
+		t.Fatalf("state = %v trips = %d", b.State(), b.Trips())
+	}
+	clk.advance(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v", b.State())
+	}
+	// A success resets the failure streak: two failures stay closed again.
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("streak not reset: %v", b.State())
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Name: "d", FailureThreshold: 1, OpenFor: time.Minute, Now: clk.now})
+	boom := errors.New("boom")
+	if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker ran fn: %v", err)
+	}
+	clk.advance(2 * time.Minute)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+func TestBreakerStateValues(t *testing.T) {
+	// The gauge convention the dashboards document: 0/1/2.
+	if Closed.String() != "closed" || HalfOpen.String() != "half-open" || Open.String() != "open" {
+		t.Fatal("state strings")
+	}
+	if float64(Closed) != 0 || float64(HalfOpen) != 1 || float64(Open) != 2 {
+		t.Fatal("state values")
+	}
+}

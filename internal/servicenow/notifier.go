@@ -10,17 +10,23 @@ import (
 
 	"shastamon/internal/alertmanager"
 	"shastamon/internal/obs"
+	"shastamon/internal/resilience"
 )
 
 // Notifier converts Alertmanager notifications into ServiceNow events and
 // posts them to an instance's event collector ("alerts are transformed
 // into ServiceNow Events, which are correlated and grouped into SN Alerts,
 // which then trigger automated response actions"). Transient failures
-// (network errors, 5xx) are retried once per event.
+// (network errors, 5xx) are retried under an exponential-backoff policy;
+// a circuit breaker fails fast during an instance outage so the
+// Alertmanager's retry queue — not a blocking post loop — owns recovery.
 type Notifier struct {
 	name   string
 	url    string // base URL of the instance API
 	client *http.Client
+
+	policy  resilience.Policy
+	breaker *resilience.Breaker
 
 	reg     *obs.Registry
 	posted  *obs.Counter
@@ -35,12 +41,24 @@ func NewNotifier(name, baseURL string, client *http.Client) *Notifier {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
 	n := &Notifier{name: name, url: baseURL, client: client, reg: obs.NewRegistry()}
+	n.policy = resilience.Policy{
+		MaxAttempts: 3,
+		Initial:     10 * time.Millisecond,
+		Max:         250 * time.Millisecond,
+		Retriable:   retriable,
+	}
+	n.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		Name: "servicenow", FailureThreshold: 3, OpenFor: 30 * time.Second,
+	})
 	n.posted = n.reg.Counter(obs.Namespace+"servicenow_events_posted_total",
 		"Events successfully posted to the SN event collector.")
 	n.failed = n.reg.Counter(obs.Namespace+"servicenow_post_failures_total",
 		"Events that failed after retry.")
 	n.retries = n.reg.Counter(obs.Namespace+"servicenow_post_retries_total",
 		"Transient post failures that were retried.")
+	n.reg.GaugeFunc(obs.Namespace+"servicenow_breaker_state",
+		"SN event collector circuit breaker (0 closed, 1 half-open, 2 open).",
+		n.breaker.StateValue)
 	return n
 }
 
@@ -49,6 +67,19 @@ func (n *Notifier) Metrics() *obs.Registry { return n.reg }
 
 // Name implements alertmanager.Receiver.
 func (n *Notifier) Name() string { return n.name }
+
+// Breaker exposes the event collector circuit breaker.
+func (n *Notifier) Breaker() *resilience.Breaker { return n.breaker }
+
+// SetClock injects the pipeline clock so the breaker's open window tracks
+// simulated time in experiments.
+func (n *Notifier) SetClock(now func() time.Time) { n.breaker.SetNow(now) }
+
+// SetRetryPolicy overrides the post retry policy (chaos tests tighten it).
+func (n *Notifier) SetRetryPolicy(p resilience.Policy) {
+	p.Retriable = retriable
+	n.policy = p
+}
 
 // Notify posts one SN event per alert in the notification.
 func (n *Notifier) Notify(notification alertmanager.Notification) error {
@@ -59,11 +90,16 @@ func (n *Notifier) Notify(notification alertmanager.Notification) error {
 			n.failed.Inc()
 			return err
 		}
-		err = n.postEvent(body)
-		if err != nil && retriable(err) {
-			n.retries.Inc()
-			err = n.postEvent(body)
-		}
+		attempt := 0
+		err = n.breaker.Do(func() error {
+			return resilience.Retry(n.policy, func() error {
+				if attempt > 0 {
+					n.retries.Inc()
+				}
+				attempt++
+				return n.postEvent(body)
+			})
+		})
 		if err != nil {
 			n.failed.Inc()
 			return err

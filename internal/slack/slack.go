@@ -17,6 +17,7 @@ import (
 
 	"shastamon/internal/alertmanager"
 	"shastamon/internal/obs"
+	"shastamon/internal/resilience"
 )
 
 // Message is the webhook payload: mrkdwn text plus optional attachments.
@@ -89,12 +90,17 @@ func (wh *Webhook) Reset() {
 
 // Notifier posts Alertmanager notifications to a Slack webhook. It
 // implements alertmanager.Receiver. Transient failures (network errors,
-// 5xx) are retried once before the error is surfaced.
+// 5xx) are retried under an exponential-backoff policy, and a circuit
+// breaker fails fast while the webhook is down so a Slack outage cannot
+// stall alert dispatch to the other receivers.
 type Notifier struct {
 	name    string
 	url     string
 	channel string
 	client  *http.Client
+
+	policy  resilience.Policy
+	breaker *resilience.Breaker
 
 	reg     *obs.Registry
 	posted  *obs.Counter
@@ -108,12 +114,24 @@ func NewNotifier(name, url, channel string, client *http.Client) *Notifier {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
 	n := &Notifier{name: name, url: url, channel: channel, client: client, reg: obs.NewRegistry()}
+	n.policy = resilience.Policy{
+		MaxAttempts: 3,
+		Initial:     10 * time.Millisecond,
+		Max:         250 * time.Millisecond,
+		Retriable:   retriable,
+	}
+	n.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		Name: "slack", FailureThreshold: 3, OpenFor: 30 * time.Second,
+	})
 	n.posted = n.reg.Counter(obs.Namespace+"slack_posts_total",
 		"Messages successfully posted to the Slack webhook.")
 	n.failed = n.reg.Counter(obs.Namespace+"slack_post_failures_total",
 		"Messages that failed after retry.")
 	n.retries = n.reg.Counter(obs.Namespace+"slack_post_retries_total",
 		"Transient post failures that were retried.")
+	n.reg.GaugeFunc(obs.Namespace+"slack_breaker_state",
+		"Slack webhook circuit breaker (0 closed, 1 half-open, 2 open).",
+		n.breaker.StateValue)
 	return n
 }
 
@@ -122,6 +140,20 @@ func (n *Notifier) Metrics() *obs.Registry { return n.reg }
 
 // Name implements alertmanager.Receiver.
 func (n *Notifier) Name() string { return n.name }
+
+// Breaker exposes the webhook circuit breaker (the pipeline unites every
+// breaker into the shastamon_breaker_state family).
+func (n *Notifier) Breaker() *resilience.Breaker { return n.breaker }
+
+// SetClock injects the pipeline clock so the breaker's open window tracks
+// simulated time in experiments.
+func (n *Notifier) SetClock(now func() time.Time) { n.breaker.SetNow(now) }
+
+// SetRetryPolicy overrides the post retry policy (chaos tests tighten it).
+func (n *Notifier) SetRetryPolicy(p resilience.Policy) {
+	p.Retriable = retriable
+	n.policy = p
+}
 
 // Notify formats and posts the notification.
 func (n *Notifier) Notify(notification alertmanager.Notification) error {
@@ -132,11 +164,16 @@ func (n *Notifier) Notify(notification alertmanager.Notification) error {
 		n.failed.Inc()
 		return err
 	}
-	err = n.post(body)
-	if err != nil && retriable(err) {
-		n.retries.Inc()
-		err = n.post(body)
-	}
+	attempt := 0
+	err = n.breaker.Do(func() error {
+		return resilience.Retry(n.policy, func() error {
+			if attempt > 0 {
+				n.retries.Inc()
+			}
+			attempt++
+			return n.post(body)
+		})
+	})
 	if err != nil {
 		n.failed.Inc()
 		return err

@@ -3,22 +3,28 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
+
+	"shastamon/internal/resilience"
 )
 
 // Client talks to a telemetry API server; it plays the role of the
 // Python clients in the paper's K3s pods that "read data in different
 // Kafka topics via the Telemetry API and send them to either
-// VictoriaMetrics or Loki".
+// VictoriaMetrics or Loki". Requests are retried under an
+// exponential-backoff policy on network errors and 5xx responses, so a
+// brief API hiccup does not surface as a pipeline stage failure.
 type Client struct {
 	base   string
 	token  string
 	client *http.Client
+	policy resilience.Policy
 }
 
 // NewClient returns a client for the server at base (no trailing slash)
@@ -27,21 +33,70 @@ func NewClient(base, token string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Client{base: base, token: token, client: httpClient}
+	return &Client{base: base, token: token, client: httpClient, policy: resilience.Policy{
+		MaxAttempts: 3,
+		Initial:     10 * time.Millisecond,
+		Max:         250 * time.Millisecond,
+		Retriable:   retriable,
+	}}
 }
 
-func (c *Client) do(method, path string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequest(method, c.base+path, body)
+// SetRetryPolicy overrides the request retry policy (chaos tests tighten
+// it; subscriptions inherit it through their client).
+func (c *Client) SetRetryPolicy(p resilience.Policy) {
+	p.Retriable = retriable
+	c.policy = p
+}
+
+// statusError marks HTTP-level failures so retries can distinguish 5xx
+// (transient) from 4xx (permanent).
+type statusError struct{ code int }
+
+func (e statusError) Error() string { return fmt.Sprintf("telemetry: status %d", e.code) }
+
+func retriable(err error) bool {
+	var se statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true // network-level errors
+}
+
+// do issues one request, retrying transient failures. The body is a byte
+// slice — not a Reader — so every attempt can replay it from the start.
+func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+	var resp *http.Response
+	err := resilience.Retry(c.policy, func() error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		r, err := c.client.Do(req)
+		if err != nil {
+			return err
+		}
+		if r.StatusCode >= 500 {
+			io.Copy(io.Discard, io.LimitReader(r.Body, 1024))
+			r.Body.Close()
+			return statusError{code: r.StatusCode}
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if c.token != "" {
-		req.Header.Set("Authorization", "Bearer "+c.token)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	return c.client.Do(req)
+	return resp, nil
 }
 
 func decodeOrError(resp *http.Response, v interface{}) error {
@@ -79,7 +134,7 @@ func (c *Client) Subscribe(group string, topics ...string) (*Subscription, error
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.do(http.MethodPost, "/v1/subscriptions", bytes.NewReader(body))
+	resp, err := c.do(http.MethodPost, "/v1/subscriptions", body)
 	if err != nil {
 		return nil, err
 	}

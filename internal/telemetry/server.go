@@ -38,6 +38,7 @@ func (r Record) DecodeValue() ([]byte, error) { return base64.StdEncoding.Decode
 type subscription struct {
 	id       string
 	consumer *kafka.Consumer
+	manual   bool       // commit only after the response is written
 	mu       sync.Mutex // serialises polls per subscription
 }
 
@@ -49,6 +50,12 @@ type ServerConfig struct {
 	// MaxConcurrentPolls bounds in-flight stream requests (the "balancing"
 	// role). 0 means 64.
 	MaxConcurrentPolls int
+	// ManualCommitTopics lists topics whose subscriptions use manual offset
+	// commits: a polled batch is committed only after the response has been
+	// written, so a server crash mid-stream re-delivers the batch to the
+	// next group member (at-least-once). Other topics keep auto-commit
+	// (at-most-once), matching a sensor fleet that prefers freshness.
+	ManualCommitTopics []string
 }
 
 // Server is the telemetry API HTTP handler.
@@ -57,6 +64,7 @@ type Server struct {
 	tokens map[string]bool
 	sem    chan struct{}
 	tracer *obs.Tracer
+	manual map[string]bool
 
 	reg       *obs.Registry
 	requests  *obs.CounterVec
@@ -81,10 +89,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		tokens: map[string]bool{},
 		sem:    make(chan struct{}, cfg.MaxConcurrentPolls),
 		subs:   map[string]*subscription{},
+		manual: map[string]bool{},
 		reg:    obs.NewRegistry(),
 	}
 	for _, t := range cfg.Tokens {
 		s.tokens[t] = true
+	}
+	for _, t := range cfg.ManualCommitTopics {
+		s.manual[t] = true
 	}
 	s.requests = s.reg.CounterVec(obs.Namespace+"telemetry_requests_total",
 		"Telemetry API HTTP requests by endpoint and status code.", "endpoint", "code")
@@ -209,6 +221,12 @@ func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	manual := false
+	for _, t := range req.Topics {
+		if s.manual[t] {
+			manual = true
+		}
+	}
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("sub-%d", s.nextID)
@@ -216,9 +234,14 @@ func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
 	if group == "" {
 		group = id
 	}
+	newConsumer := kafka.NewConsumer
+	if manual {
+		newConsumer = kafka.NewManualConsumer
+	}
 	sub := &subscription{
 		id:       id,
-		consumer: kafka.NewConsumer(s.broker, group, id, req.Topics...),
+		consumer: newConsumer(s.broker, group, id, req.Topics...),
+		manual:   manual,
 	}
 	s.subs[id] = sub
 	s.mu.Unlock()
@@ -284,8 +307,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sub.mu.Lock()
+	defer sub.mu.Unlock()
 	msgs, err := sub.consumer.Poll(max, timeout)
-	sub.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -307,6 +330,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	s.streamed.Add(float64(len(out)))
 	writeJSON(w, out)
+	// At-least-once: the batch's offsets are persisted only now that the
+	// response is on the wire. A crash above re-delivers the batch.
+	if sub.manual {
+		sub.consumer.CommitPolled()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

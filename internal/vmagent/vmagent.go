@@ -15,6 +15,7 @@ import (
 	"shastamon/internal/labels"
 	"shastamon/internal/obs"
 	"shastamon/internal/promtext"
+	"shastamon/internal/resilience"
 	"shastamon/internal/tsdb"
 )
 
@@ -65,6 +66,16 @@ type Agent struct {
 	obsOnce sync.Once
 	obsReg  *obs.Registry
 
+	// Per-target circuit breakers: a target that fails repeatedly is
+	// skipped (still recording up=0) until its open window expires, so a
+	// hung exporter cannot stall the whole scrape loop on timeouts.
+	// Breakers run on the scrape timestamp, not the wall clock, so they
+	// track simulated time in experiments.
+	bmu         sync.Mutex
+	breakers    map[string]*resilience.Breaker
+	brkOpenFor  time.Duration
+	brkFailures int
+
 	mu    sync.Mutex
 	stats Stats
 }
@@ -73,6 +84,7 @@ type Agent struct {
 type Stats struct {
 	Scrapes  int64
 	Failures int64
+	Skipped  int64 // scrapes suppressed by an open breaker
 	Samples  int64
 }
 
@@ -108,7 +120,46 @@ func New(db *tsdb.DB, client *http.Client, jobs ...ScrapeConfig) (*Agent, error)
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Agent{db: db, client: client, jobs: compiled}, nil
+	return &Agent{
+		db: db, client: client, jobs: compiled,
+		breakers:    map[string]*resilience.Breaker{},
+		brkOpenFor:  30 * time.Second,
+		brkFailures: 3,
+	}, nil
+}
+
+// SetBreakerOpenFor overrides how long a tripped target breaker stays
+// open before a probe scrape is admitted (default 30s).
+func (a *Agent) SetBreakerOpenFor(d time.Duration) {
+	a.bmu.Lock()
+	defer a.bmu.Unlock()
+	a.brkOpenFor = d
+}
+
+func (a *Agent) breakerFor(target string) *resilience.Breaker {
+	a.bmu.Lock()
+	defer a.bmu.Unlock()
+	b, ok := a.breakers[target]
+	if !ok {
+		b = resilience.NewBreaker(resilience.BreakerConfig{
+			Name: target, FailureThreshold: a.brkFailures, OpenFor: a.brkOpenFor,
+		})
+		a.breakers[target] = b
+	}
+	return b
+}
+
+// BreakerStates reports each known target's breaker state at ts (targets
+// never scraped are absent). The pipeline unites these into the
+// shastamon_breaker_state family.
+func (a *Agent) BreakerStates(ts time.Time) map[string]resilience.State {
+	a.bmu.Lock()
+	defer a.bmu.Unlock()
+	out := make(map[string]resilience.State, len(a.breakers))
+	for t, b := range a.breakers {
+		out[t] = b.StateAt(ts)
+	}
+	return out
 }
 
 // applyRelabels transforms one sample; the returned bool is false when the
@@ -183,24 +234,35 @@ func (a *Agent) scrapeTarget(cj *compiledJob, target string, ts time.Time) error
 		}
 		a.mu.Unlock()
 	}
-	resp, err := a.client.Get(target)
-	if err != nil {
+	brk := a.breakerFor(target)
+	if brk.AllowAt(ts) != nil {
+		// Failing fast is the breaker doing its job, not a fresh error:
+		// record the target as down and move on without an HTTP call.
+		a.mu.Lock()
+		a.stats.Skipped++
+		a.mu.Unlock()
+		_ = a.db.AppendMetric("up", base, ms, 0)
+		return nil
+	}
+	fail := func(err error) error {
+		brk.FailureAt(ts)
 		bump(true)
 		_ = a.db.AppendMetric("up", base, ms, 0)
-		return fmt.Errorf("vmagent: scrape %s: %w", target, err)
+		return err
+	}
+	resp, err := a.client.Get(target)
+	if err != nil {
+		return fail(fmt.Errorf("vmagent: scrape %s: %w", target, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		bump(true)
-		_ = a.db.AppendMetric("up", base, ms, 0)
-		return fmt.Errorf("vmagent: scrape %s: status %d", target, resp.StatusCode)
+		return fail(fmt.Errorf("vmagent: scrape %s: status %d", target, resp.StatusCode))
 	}
 	fams, err := promtext.Parse(resp.Body)
 	if err != nil {
-		bump(true)
-		_ = a.db.AppendMetric("up", base, ms, 0)
-		return fmt.Errorf("vmagent: scrape %s: %w", target, err)
+		return fail(fmt.Errorf("vmagent: scrape %s: %w", target, err))
 	}
+	brk.SuccessAt(ts)
 	bump(false)
 	n := int64(0)
 	for _, m := range promtext.Samples(fams) {

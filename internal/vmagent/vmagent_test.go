@@ -2,6 +2,7 @@ package vmagent
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"shastamon/internal/exporters"
 	"shastamon/internal/labels"
 	"shastamon/internal/promql"
+	"shastamon/internal/resilience"
 	"shastamon/internal/tsdb"
 )
 
@@ -214,5 +216,65 @@ func TestRelabelRenameMetric(t *testing.T) {
 	}
 	if vec, _ := eng.Query(`node_load1`, ts.UnixMilli()); len(vec) != 0 {
 		t.Fatalf("old name survived: %+v", vec)
+	}
+}
+
+// A repeatedly failing target trips its breaker: scrapes are suppressed
+// (up=0 still written) until the open window elapses, and a healthy probe
+// re-closes it. The breaker runs on scrape timestamps, so this drives it
+// entirely with simulated time.
+func TestTargetBreakerTripsAndRecovers(t *testing.T) {
+	node := exporters.NewNodeExporter("n", 1)
+	healthy := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy {
+			http.Error(w, "exporter wedged", http.StatusInternalServerError)
+			return
+		}
+		node.Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	db := tsdb.New()
+	agent, err := New(db, nil, ScrapeConfig{JobName: "node", Targets: []string{srv.URL + "/metrics"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.SetBreakerOpenFor(30 * time.Second)
+	base := time.Unix(1000, 0)
+	// Three failures trip the breaker.
+	for i := 0; i < 3; i++ {
+		if err := agent.ScrapeOnce(base.Add(time.Duration(i) * time.Second)); err == nil {
+			t.Fatal("expected scrape error")
+		}
+	}
+	states := agent.BreakerStates(base.Add(3 * time.Second))
+	if got := states[srv.URL+"/metrics"]; got != resilience.Open {
+		t.Fatalf("state = %v", got)
+	}
+	// While open: no HTTP call (stats.Skipped grows), up=0 still recorded.
+	at := base.Add(5 * time.Second)
+	if err := agent.ScrapeOnce(at); err != nil {
+		t.Fatalf("open breaker surfaced an error: %v", err)
+	}
+	if agent.Stats().Skipped != 1 {
+		t.Fatalf("stats: %+v", agent.Stats())
+	}
+	eng := promql.NewEngine(db)
+	if vec, _ := eng.Query(`up == 0`, at.UnixMilli()); len(vec) != 1 {
+		t.Fatalf("up==0 while open: %+v", vec)
+	}
+	// Past the open window the probe is admitted; the healed target closes
+	// the breaker and samples flow again.
+	healthy = true
+	at = base.Add(40 * time.Second)
+	if err := agent.ScrapeOnce(at); err != nil {
+		t.Fatal(err)
+	}
+	if got := agent.BreakerStates(at)[srv.URL+"/metrics"]; got != resilience.Closed {
+		t.Fatalf("state after recovery = %v", got)
+	}
+	if vec, _ := eng.Query(`up == 1`, at.UnixMilli()); len(vec) != 1 {
+		t.Fatalf("up==1 after recovery: %+v", vec)
 	}
 }

@@ -1,9 +1,12 @@
 #!/bin/sh
-# Repo verification gate: vet plus the race-enabled test suite.
-# Run before sending a change; CI runs the same two commands.
+# Repo verification gate: vet, the race-enabled test suite, and a chaos
+# soak — the fault-injection tests repeated and shuffled to shake out
+# order dependence in the recovery paths.
+# Run before sending a change; CI runs the same commands.
 set -eux
 
 cd "$(dirname "$0")"
 
 go vet ./...
 go test -race ./...
+go test -race -run Chaos -count=2 -shuffle=on ./internal/core/...
