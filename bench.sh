@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench.sh — run the ingest/query benchmark families tracked by the
+# perf trajectory and write the parsed results to BENCH_ingest.json.
+#
+#   ./bench.sh          full run (-benchtime 1s), the numbers that go
+#                       into EXPERIMENTS.md
+#   ./bench.sh short    quick run (-benchtime 100x), used by verify.sh
+#                       as a does-it-still-run smoke pass
+#
+# Families (see bench_test.go):
+#   C1  BenchmarkOMNIIngestLogs / ...LogsParallel   msgs/s vs paper 400k/s
+#   C2  BenchmarkSustainedBytes                     MB/s vs 400 GB/day
+#   C5  BenchmarkShardedIngest                      lock-stripe scaling
+#   E4  BenchmarkFig5Query                          leak query latency
+#   E7  BenchmarkFig8Query                          switch pattern query
+set -euo pipefail
+cd "$(dirname "$0")"
+
+MODE="${1:-full}"
+case "$MODE" in
+  short) BENCHTIME=100x ;;
+  full)  BENCHTIME=1s ;;
+  *) echo "usage: $0 [short|full]" >&2; exit 2 ;;
+esac
+
+OUT=BENCH_ingest.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+  -bench 'OMNIIngestLogs$|OMNIIngestLogsParallel$|SustainedBytes$|ShardedIngest/|Fig5Query$|Fig8Query$' \
+  -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v mode="$MODE" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+  sub(/^Benchmark/, "", name)
+  ns = ""; bpo = ""; apo = ""; mbs = ""
+  for (i = 2; i < NF; i++) {
+    if ($(i+1) == "ns/op")   ns  = $i
+    if ($(i+1) == "B/op")    bpo = $i
+    if ($(i+1) == "allocs/op") apo = $i
+    if ($(i+1) == "MB/s")    mbs = $i
+  }
+  if (ns == "") next
+  # msgs/s: ingest benches are one message per op, except ShardedIngest
+  # which pushes the whole 4096-message corpus per op.
+  msgs = ""
+  if (name ~ /^OMNIIngestLogs/ || name == "SustainedBytes") msgs = 1e9 / ns
+  if (name ~ /^ShardedIngest/) msgs = 4096 * 1e9 / ns
+  line = sprintf("  {\"bench\": \"%s\", \"ns_per_op\": %s", name, ns)
+  if (bpo != "")  line = line sprintf(", \"bytes_per_op\": %s", bpo)
+  if (apo != "")  line = line sprintf(", \"allocs_per_op\": %s", apo)
+  if (mbs != "")  line = line sprintf(", \"mb_per_s\": %s", mbs)
+  if (msgs != "") line = line sprintf(", \"msgs_per_s\": %.0f", msgs)
+  line = line "}"
+  rows[n++] = line
+}
+END {
+  printf "{\n\"mode\": \"%s\",\n\"results\": [\n", mode
+  for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
+  print "]\n}"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

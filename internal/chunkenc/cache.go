@@ -1,0 +1,149 @@
+package chunkenc
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheBytes bounds the decompression cache by the raw
+// (decompressed) size of the blocks it holds: 64 MiB covers the working
+// set of a tick's worth of alert-rule evaluation at simulator scale.
+const DefaultCacheBytes = 64 << 20
+
+// BlockCache memoises decoded sealed blocks. The ruler and vmalert
+// re-evaluate every rule each tick over a sliding window, so the same
+// sealed blocks are inflated over and over; the cache turns those repeat
+// reads into slice reuse. Eviction is LRU over a byte budget, which in
+// practice tracks chunk seal order: blocks seal oldest-first and queries
+// touch recent windows, so the cold tail is what falls out.
+//
+// Cached entry slices are shared between readers and must be treated as
+// immutable; iterators only ever index into them. A nil *BlockCache is
+// valid and caches nothing, so call sites need no branches.
+type BlockCache struct {
+	mu       sync.Mutex
+	maxBytes int
+	curBytes int
+	ll       *list.List // front = most recently used
+	items    map[blockKey]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// blockKey identifies one sealed block: blocks are append-only within a
+// chunk, so (chunk, index) is stable for the chunk's lifetime.
+type blockKey struct {
+	c   *Chunk
+	idx int
+}
+
+type cacheItem struct {
+	key     blockKey
+	entries []Entry
+	bytes   int
+}
+
+// NewBlockCache returns a cache bounded by maxBytes of raw decoded data;
+// maxBytes <= 0 takes DefaultCacheBytes.
+func NewBlockCache(maxBytes int) *BlockCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &BlockCache{maxBytes: maxBytes, ll: list.New(), items: map[blockKey]*list.Element{}}
+}
+
+func (bc *BlockCache) get(c *Chunk, idx int) ([]Entry, bool) {
+	if bc == nil {
+		return nil, false
+	}
+	key := blockKey{c: c, idx: idx}
+	bc.mu.Lock()
+	el, ok := bc.items[key]
+	if ok {
+		bc.ll.MoveToFront(el)
+	}
+	bc.mu.Unlock()
+	if !ok {
+		bc.misses.Add(1)
+		return nil, false
+	}
+	bc.hits.Add(1)
+	return el.Value.(*cacheItem).entries, true
+}
+
+func (bc *BlockCache) put(c *Chunk, idx int, entries []Entry, raw int) {
+	if bc == nil || raw > bc.maxBytes {
+		return
+	}
+	key := blockKey{c: c, idx: idx}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if _, ok := bc.items[key]; ok {
+		return // raced with another reader decoding the same block
+	}
+	bc.items[key] = bc.ll.PushFront(&cacheItem{key: key, entries: entries, bytes: raw})
+	bc.curBytes += raw
+	for bc.curBytes > bc.maxBytes {
+		back := bc.ll.Back()
+		if back == nil {
+			break
+		}
+		bc.evict(back)
+	}
+}
+
+// evict removes one element; callers hold bc.mu.
+func (bc *BlockCache) evict(el *list.Element) {
+	it := el.Value.(*cacheItem)
+	bc.ll.Remove(el)
+	delete(bc.items, it.key)
+	bc.curBytes -= it.bytes
+	bc.evictions.Add(1)
+}
+
+// DropChunk removes every cached block of the given chunk — retention
+// calls it when chunks are deleted so the cache does not pin their
+// decoded data until eviction.
+func (bc *BlockCache) DropChunk(c *Chunk) {
+	if bc == nil {
+		return
+	}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	var next *list.Element
+	for el := bc.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*cacheItem).key.c == c {
+			bc.evict(el)
+		}
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Blocks    int
+	Bytes     int
+}
+
+// Stats snapshots the cache counters. A nil cache reports zeros.
+func (bc *BlockCache) Stats() CacheStats {
+	if bc == nil {
+		return CacheStats{}
+	}
+	bc.mu.Lock()
+	blocks, bytes := len(bc.items), bc.curBytes
+	bc.mu.Unlock()
+	return CacheStats{
+		Hits:      bc.hits.Load(),
+		Misses:    bc.misses.Load(),
+		Evictions: bc.evictions.Load(),
+		Blocks:    blocks,
+		Bytes:     bytes,
+	}
+}

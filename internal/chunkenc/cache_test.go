@@ -1,0 +1,136 @@
+package chunkenc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// sealedChunk builds a chunk with several sealed blocks of predictable
+// lines and a closed head.
+func sealedChunk(t testing.TB, entries int) *Chunk {
+	t.Helper()
+	c := New(Options{BlockSize: 1024, TargetSize: 1 << 30, MaxEntries: 1 << 30})
+	for i := 0; i < entries; i++ {
+		e := Entry{Timestamp: int64(i) * 1e6, Line: fmt.Sprintf("line %06d padded to make blocks cut sooner", i)}
+		if err := c.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.blocks) < 2 {
+		t.Fatalf("want several sealed blocks, got %d", len(c.blocks))
+	}
+	return c
+}
+
+func TestCachedIteratorMatchesPlain(t *testing.T) {
+	c := sealedChunk(t, 500)
+	cache := NewBlockCache(0)
+	plain, err := c.All(0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		it := c.CachedIterator(cache, 0, 1<<62)
+		var got []Entry
+		for it.Next() {
+			got = append(got, it.At())
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+		if len(got) != len(plain) {
+			t.Fatalf("pass %d: %d entries, want %d", pass, len(got), len(plain))
+		}
+		for i := range got {
+			if got[i] != plain[i] {
+				t.Fatalf("pass %d entry %d: %+v != %+v", pass, i, got[i], plain[i])
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("second pass produced no cache hits: %+v", st)
+	}
+	if st.Misses != int64(len(c.blocks)) {
+		t.Fatalf("misses = %d, want one per sealed block (%d)", st.Misses, len(c.blocks))
+	}
+}
+
+func TestCacheEvictsWithinBudget(t *testing.T) {
+	c := sealedChunk(t, 2000)
+	// Budget fits only a couple of blocks.
+	budget := c.blocks[0].raw * 2
+	cache := NewBlockCache(budget)
+	it := c.CachedIterator(cache, 0, 1<<62)
+	for it.Next() {
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	st := cache.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("cache holds %d raw bytes, budget %d", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under a tight budget: %+v", st)
+	}
+}
+
+func TestCacheDropChunk(t *testing.T) {
+	c := sealedChunk(t, 500)
+	cache := NewBlockCache(0)
+	it := c.CachedIterator(cache, 0, 1<<62)
+	for it.Next() {
+	}
+	if st := cache.Stats(); st.Blocks == 0 {
+		t.Fatalf("nothing cached: %+v", st)
+	}
+	cache.DropChunk(c)
+	if st := cache.Stats(); st.Blocks != 0 || st.Bytes != 0 {
+		t.Fatalf("DropChunk left %+v", st)
+	}
+}
+
+func TestNilCacheIsANoop(t *testing.T) {
+	c := sealedChunk(t, 200)
+	var cache *BlockCache
+	it := c.CachedIterator(cache, 0, 1<<62)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if it.Err() != nil || n != 200 {
+		t.Fatalf("n=%d err=%v", n, it.Err())
+	}
+	if st := cache.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+}
+
+func TestCacheConcurrentReaders(t *testing.T) {
+	c := sealedChunk(t, 1000)
+	cache := NewBlockCache(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 5; pass++ {
+				it := c.CachedIterator(cache, 0, 1<<62)
+				n := 0
+				for it.Next() {
+					n++
+				}
+				if it.Err() != nil || n != 1000 {
+					t.Errorf("n=%d err=%v", n, it.Err())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -239,9 +239,16 @@ func (c *Chunk) Iterator(mint, maxt int64) *Iterator {
 	return &Iterator{c: c, mint: mint, maxt: maxt, blockIdx: -1}
 }
 
+// CachedIterator is Iterator with decoded sealed blocks served from (and
+// inserted into) the given cache. A nil cache degrades to plain decoding.
+func (c *Chunk) CachedIterator(cache *BlockCache, mint, maxt int64) *Iterator {
+	return &Iterator{c: c, cache: cache, mint: mint, maxt: maxt, blockIdx: -1}
+}
+
 // Iterator yields entries from a chunk. Use Next/At.
 type Iterator struct {
 	c          *Chunk
+	cache      *BlockCache
 	mint, maxt int64
 	blockIdx   int
 	cur        []Entry
@@ -276,10 +283,15 @@ func (it *Iterator) Next() bool {
 				it.cur, it.pos = nil, 0
 				continue
 			}
-			entries, err := decodeBlock(b)
-			if err != nil {
-				it.err = err
-				return false
+			entries, ok := it.cache.get(it.c, it.blockIdx)
+			if !ok {
+				var err error
+				entries, err = decodeBlock(b)
+				if err != nil {
+					it.err = err
+					return false
+				}
+				it.cache.put(it.c, it.blockIdx, entries, b.raw)
 			}
 			it.cur, it.pos = entries, 0
 		case it.blockIdx == len(it.c.blocks):

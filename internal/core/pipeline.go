@@ -45,6 +45,9 @@ type Options struct {
 	Token string
 	// Retention bounds warehouse history (default: 2 years, OMNI's horizon).
 	Retention time.Duration
+	// WarehouseShards stripes the warehouse stores over this many lock
+	// shards (0 = GOMAXPROCS); see omni.Config.Shards.
+	WarehouseShards int
 	// LogRules are Loki Ruler alerting rules.
 	LogRules []ruler.Rule
 	// MetricRules are vmalert alerting rules.
@@ -220,7 +223,7 @@ func New(opts Options) (*Pipeline, error) {
 		return fail(err)
 	}
 	p.Collector.SetTracer(p.Tracer)
-	p.Warehouse = omni.New(omni.Config{Retention: opts.Retention})
+	p.Warehouse = omni.New(omni.Config{Retention: opts.Retention, Shards: opts.WarehouseShards})
 	if opts.Chaos != nil {
 		p.Warehouse.SetFaultHook(opts.Chaos.HookFor("warehouse.ingest"))
 	}

@@ -1,0 +1,46 @@
+package labels
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// referenceFingerprint is the pre-inline implementation: hash/fnv over
+// name, 0xff, value, 0xff per label. The inlined version must stay
+// byte-compatible so persisted/shard assignments do not move.
+func referenceFingerprint(ls Labels) Fingerprint {
+	h := fnv.New64a()
+	for _, l := range ls {
+		h.Write([]byte(l.Name))
+		h.Write([]byte{0xff})
+		h.Write([]byte(l.Value))
+		h.Write([]byte{0xff})
+	}
+	return Fingerprint(h.Sum64())
+}
+
+func TestFingerprintMatchesHashFNV(t *testing.T) {
+	cases := []Labels{
+		nil,
+		FromStrings("hostname", "nid000001"),
+		FromStrings("hostname", "nid000001", "data_type", "syslog"),
+		FromStrings("a", "", "", "b"),
+		FromStrings("app", "x", "severity", "err", "zone", "cab3"),
+		FromStrings("unicode", "héllo wörld ✓"),
+	}
+	for _, ls := range cases {
+		if got, want := ls.Fingerprint(), referenceFingerprint(ls); got != want {
+			t.Errorf("Fingerprint(%s) = %x, want %x", ls, got, want)
+		}
+	}
+}
+
+func TestFingerprintZeroAlloc(t *testing.T) {
+	ls := FromStrings("hostname", "nid000001", "data_type", "syslog", "severity", "err")
+	var sink Fingerprint
+	allocs := testing.AllocsPerRun(100, func() { sink = ls.Fingerprint() })
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("Fingerprint allocates %.1f per call, want 0", allocs)
+	}
+}

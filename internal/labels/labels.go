@@ -8,7 +8,6 @@ package labels
 
 import (
 	"fmt"
-	"hash/fnv"
 	"regexp"
 	"sort"
 	"strconv"
@@ -173,17 +172,30 @@ func (ls Labels) Equal(other Labels) bool {
 // callers that compare full label sets on lookup.
 type Fingerprint uint64
 
+// FNV-1a parameters, inlined so fingerprinting allocates nothing: the
+// sharded stores hash every pushed stream to pick its shard, so this sits
+// on the ingest hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Fingerprint computes an FNV-1a hash over the sorted name/value pairs.
+// It is byte-for-byte compatible with hash/fnv over the same
+// name/0xff/value/0xff sequence but performs no allocations.
 func (ls Labels) Fingerprint() Fingerprint {
-	h := fnv.New64a()
-	sep := []byte{0xff}
+	h := uint64(fnvOffset64)
 	for _, l := range ls {
-		h.Write([]byte(l.Name))
-		h.Write(sep)
-		h.Write([]byte(l.Value))
-		h.Write(sep)
+		for i := 0; i < len(l.Name); i++ {
+			h = (h ^ uint64(l.Name[i])) * fnvPrime64
+		}
+		h = (h ^ 0xff) * fnvPrime64
+		for i := 0; i < len(l.Value); i++ {
+			h = (h ^ uint64(l.Value[i])) * fnvPrime64
+		}
+		h = (h ^ 0xff) * fnvPrime64
 	}
-	return Fingerprint(h.Sum64())
+	return Fingerprint(h)
 }
 
 // String renders the set in the {name="value", ...} form used by both

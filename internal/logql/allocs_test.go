@@ -1,0 +1,50 @@
+package logql
+
+import (
+	"fmt"
+	"testing"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/loki"
+)
+
+// TestSelectLogsAllocsPerEntry pins the transition-cached group-key
+// optimisation: when a stream's pipeline emits the same label set for
+// every entry, SelectLogs must not pay a per-entry fingerprint or map
+// lookup. The old implementation built lbls.String() per entry (~1+
+// allocs/entry); the regression bound here fails if that behaviour
+// returns.
+func TestSelectLogsAllocsPerEntry(t *testing.T) {
+	s := newTestStore(t)
+	const n = 2000
+	ls := labels.FromStrings("app", "x")
+	entries := make([]loki.Entry, n)
+	for i := range entries {
+		entries[i] = loki.Entry{Timestamp: int64(i) * 1e6, Line: fmt.Sprintf("event %06d keep", i)}
+	}
+	mustPush(t, s, ls, entries...)
+	eng := NewEngine(s)
+	eng.SetParallelism(1) // deterministic alloc counting
+
+	expr, err := ParseLogExpr(`{app="x"} |= "keep"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm once so lazily-built state doesn't count.
+	if res, err := eng.SelectLogs(expr, 0, 1<<62); err != nil || len(res) != 1 || len(res[0].Entries) != n {
+		t.Fatalf("warmup: %v %+v", err, res)
+	}
+
+	allocs := testing.AllocsPerRun(5, func() {
+		res, err := eng.SelectLogs(expr, 0, 1<<62)
+		if err != nil || len(res[0].Entries) != n {
+			t.Fatalf("select: %v", err)
+		}
+	})
+	// Growing the single result slice to 2000 entries costs O(log n)
+	// allocations; per-entry keying would cost >= n. Anything near n/10
+	// means the per-entry group key is back.
+	if allocs > n/10 {
+		t.Fatalf("SelectLogs allocated %.0f per query for %d entries; per-entry group keying has regressed", allocs, n)
+	}
+}

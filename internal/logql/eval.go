@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"shastamon/internal/labels"
 	"shastamon/internal/loki"
+	"shastamon/internal/parallel"
 )
 
 // Querier is the storage interface the engine reads from; *loki.Store
@@ -48,46 +50,107 @@ type ResultStream struct {
 	Entries []loki.Entry
 }
 
-// Engine evaluates parsed LogQL expressions against a Querier.
+// Engine evaluates parsed LogQL expressions against a Querier. Stream
+// pipelines fan out over a bounded worker pool (GOMAXPROCS workers by
+// default) and result groups are keyed by label fingerprint, so neither
+// the per-entry key rendering nor single-goroutine evaluation caps the
+// paper's query figures.
 type Engine struct {
-	q Querier
+	q        Querier
+	workers  int
+	inFlight atomic.Int64
 }
 
-// NewEngine returns an engine reading from q.
-func NewEngine(q Querier) *Engine { return &Engine{q: q} }
+// NewEngine returns an engine reading from q with GOMAXPROCS workers.
+func NewEngine(q Querier) *Engine { return &Engine{q: q, workers: parallel.Workers(0)} }
+
+// SetParallelism bounds the stream fan-out worker pool; n <= 1 evaluates
+// sequentially. Call during setup, not concurrently with queries.
+func (e *Engine) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// QueryParallelism reports the number of in-flight pipeline workers; the
+// warehouse exposes it as a gauge.
+func (e *Engine) QueryParallelism() int64 { return e.inFlight.Load() }
+
+// groupSet accumulates result streams keyed by label fingerprint, with
+// collision lists, in first-seen order. Keying by fingerprint (computed
+// once per label-set transition, not per entry) replaces the old
+// per-entry lbls.String() map key, which allocated a rendered string for
+// every log line.
+type groupSet struct {
+	byFP  map[labels.Fingerprint][]*ResultStream
+	order []*ResultStream
+}
+
+func (gs *groupSet) get(fp labels.Fingerprint, lbls labels.Labels) *ResultStream {
+	if gs.byFP == nil {
+		gs.byFP = map[labels.Fingerprint][]*ResultStream{}
+	}
+	for _, g := range gs.byFP[fp] {
+		if g.Labels.Equal(lbls) {
+			return g
+		}
+	}
+	g := &ResultStream{Labels: lbls}
+	gs.byFP[fp] = append(gs.byFP[fp], g)
+	gs.order = append(gs.order, g)
+	return g
+}
+
+// processLogStream runs the pipeline over one selected stream, grouping
+// surviving entries by their post-pipeline label sets. The group lookup
+// happens only when the pipeline's output labels change from one entry to
+// the next; runs of identical labels (the common case — line filters and
+// parsers over one stream emit long runs) reuse the previous group.
+func processLogStream(stages []Stage, s loki.SelectedStream) []*ResultStream {
+	var gs groupSet
+	var cur *ResultStream
+	var curLbls labels.Labels
+	for _, entry := range s.Entries {
+		line, lbls, ok := runPipeline(stages, entry.Line, s.Labels)
+		if !ok {
+			continue
+		}
+		if cur == nil || !lbls.Equal(curLbls) {
+			curLbls = lbls
+			cur = gs.get(lbls.Fingerprint(), lbls)
+		}
+		cur.Entries = append(cur.Entries, loki.Entry{Timestamp: entry.Timestamp, Line: line})
+	}
+	return gs.order
+}
 
 // SelectLogs runs a log query over [start, end] (ns, inclusive). Entries
-// are regrouped by their post-pipeline label sets.
+// are regrouped by their post-pipeline label sets. Input streams are
+// processed in parallel and merged in stream order, so results are
+// identical to sequential evaluation.
 func (e *Engine) SelectLogs(expr *LogExpr, start, end int64) ([]ResultStream, error) {
 	streams, err := e.q.Select(expr.Selector, start, end)
 	if err != nil {
 		return nil, err
 	}
-	groups := map[string]*ResultStream{}
-	var order []string
-	for _, s := range streams {
-		for _, entry := range s.Entries {
-			line, lbls, ok := runPipeline(expr.Stages, entry.Line, s.Labels)
-			if !ok {
-				continue
-			}
-			key := lbls.String()
-			g, exists := groups[key]
-			if !exists {
-				g = &ResultStream{Labels: lbls}
-				groups[key] = g
-				order = append(order, key)
-			}
-			g.Entries = append(g.Entries, loki.Entry{Timestamp: entry.Timestamp, Line: line})
+	perStream := make([][]*ResultStream, len(streams))
+	parallel.Do(len(streams), e.workers, &e.inFlight, func(i int) {
+		perStream[i] = processLogStream(expr.Stages, streams[i])
+	})
+	var merged groupSet
+	for _, locals := range perStream {
+		for _, lg := range locals {
+			g := merged.get(lg.Labels.Fingerprint(), lg.Labels)
+			g.Entries = append(g.Entries, lg.Entries...)
 		}
 	}
-	sort.Strings(order)
-	out := make([]ResultStream, 0, len(groups))
-	for _, key := range order {
-		g := groups[key]
+	out := make([]ResultStream, 0, len(merged.order))
+	for _, g := range merged.order {
 		sort.SliceStable(g.Entries, func(i, j int) bool { return g.Entries[i].Timestamp < g.Entries[j].Timestamp })
 		out = append(out, *g)
 	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
 	return out, nil
 }
 
@@ -149,6 +212,103 @@ func (e *Engine) Range(expr Expr, start, end int64, step time.Duration) (Matrix,
 	return m, nil
 }
 
+// rangeAcc accumulates one output group of a range aggregation.
+type rangeAcc struct {
+	labels labels.Labels
+	count  float64
+	bytes  float64
+	sum    float64
+	min    float64
+	max    float64
+	vals   float64 // count of unwrapped values
+}
+
+// rangeAccSet groups rangeAccs by label fingerprint in first-seen order.
+type rangeAccSet struct {
+	byFP  map[labels.Fingerprint][]*rangeAcc
+	order []*rangeAcc
+}
+
+func (as *rangeAccSet) get(fp labels.Fingerprint, lbls labels.Labels) *rangeAcc {
+	if as.byFP == nil {
+		as.byFP = map[labels.Fingerprint][]*rangeAcc{}
+	}
+	for _, g := range as.byFP[fp] {
+		if g.labels.Equal(lbls) {
+			return g
+		}
+	}
+	g := &rangeAcc{labels: lbls}
+	as.byFP[fp] = append(as.byFP[fp], g)
+	as.order = append(as.order, g)
+	return g
+}
+
+// accumulateRangeStream folds one selected stream into per-group
+// accumulators, returning them plus the count of pipeline-surviving
+// entries (absent_over_time needs the total even when unwrap fails).
+// As in processLogStream, the group key is recomputed only when the
+// pipeline's output labels change between consecutive entries.
+func accumulateRangeStream(ex *RangeAggExpr, s loki.SelectedStream) ([]*rangeAcc, int) {
+	var as rangeAccSet
+	var g *rangeAcc
+	var curLbls labels.Labels
+	total := 0
+	for _, entry := range s.Entries {
+		line, lbls, ok := runPipeline(ex.Log.Stages, entry.Line, s.Labels)
+		if !ok {
+			continue
+		}
+		total++
+		var val float64
+		hasVal := false
+		if ex.Unwrap != "" {
+			v, err := strconv.ParseFloat(lbls.Get(ex.Unwrap), 64)
+			if err != nil {
+				continue // skip entries whose unwrap label is not numeric
+			}
+			val, hasVal = v, true
+		}
+		if g == nil || !lbls.Equal(curLbls) {
+			curLbls = lbls
+			grouped := lbls
+			if ex.Unwrap != "" {
+				grouped = lbls.Without(ex.Unwrap)
+			}
+			g = as.get(grouped.Fingerprint(), grouped)
+		}
+		g.count++
+		g.bytes += float64(len(line))
+		if hasVal {
+			if g.vals == 0 || val < g.min {
+				g.min = val
+			}
+			if g.vals == 0 || val > g.max {
+				g.max = val
+			}
+			g.sum += val
+			g.vals++
+		}
+	}
+	return as.order, total
+}
+
+// merge folds other into g.
+func (g *rangeAcc) merge(other *rangeAcc) {
+	g.count += other.count
+	g.bytes += other.bytes
+	if other.vals > 0 {
+		if g.vals == 0 || other.min < g.min {
+			g.min = other.min
+		}
+		if g.vals == 0 || other.max > g.max {
+			g.max = other.max
+		}
+		g.sum += other.sum
+		g.vals += other.vals
+	}
+}
+
 func (e *Engine) evalRangeAgg(ex *RangeAggExpr, ts int64) (Vector, error) {
 	mint := ts - int64(ex.Interval) + 1
 	maxt := ts
@@ -156,54 +316,17 @@ func (e *Engine) evalRangeAgg(ex *RangeAggExpr, ts int64) (Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	type acc struct {
-		labels labels.Labels
-		count  float64
-		bytes  float64
-		sum    float64
-		min    float64
-		max    float64
-		vals   float64 // count of unwrapped values
-	}
-	groups := map[string]*acc{}
-	var order []string
+	perStream := make([][]*rangeAcc, len(streams))
+	counts := make([]int, len(streams))
+	parallel.Do(len(streams), e.workers, &e.inFlight, func(i int) {
+		perStream[i], counts[i] = accumulateRangeStream(ex, streams[i])
+	})
+	var merged rangeAccSet
 	total := 0
-	for _, s := range streams {
-		for _, entry := range s.Entries {
-			line, lbls, ok := runPipeline(ex.Log.Stages, entry.Line, s.Labels)
-			if !ok {
-				continue
-			}
-			total++
-			var val float64
-			hasVal := false
-			if ex.Unwrap != "" {
-				v, err := strconv.ParseFloat(lbls.Get(ex.Unwrap), 64)
-				if err != nil {
-					continue // skip entries whose unwrap label is not numeric
-				}
-				val, hasVal = v, true
-				lbls = lbls.Without(ex.Unwrap)
-			}
-			key := lbls.String()
-			g, exists := groups[key]
-			if !exists {
-				g = &acc{labels: lbls}
-				groups[key] = g
-				order = append(order, key)
-			}
-			g.count++
-			g.bytes += float64(len(line))
-			if hasVal {
-				if g.vals == 0 || val < g.min {
-					g.min = val
-				}
-				if g.vals == 0 || val > g.max {
-					g.max = val
-				}
-				g.sum += val
-				g.vals++
-			}
+	for i, locals := range perStream {
+		total += counts[i]
+		for _, lg := range locals {
+			merged.get(lg.labels.Fingerprint(), lg.labels).merge(lg)
 		}
 	}
 	if ex.Op == OpAbsentOverTime {
@@ -220,10 +343,10 @@ func (e *Engine) evalRangeAgg(ex *RangeAggExpr, ts int64) (Vector, error) {
 		return Vector{{Labels: b.Labels(), T: ts, V: 1}}, nil
 	}
 	secs := ex.Interval.Seconds()
-	sort.Strings(order)
+	groups := merged.order
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].labels.String() < groups[j].labels.String() })
 	out := make(Vector, 0, len(groups))
-	for _, key := range order {
-		g := groups[key]
+	for _, g := range groups {
 		var v float64
 		switch ex.Op {
 		case OpCountOverTime:

@@ -1,0 +1,258 @@
+package loki
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"shastamon/internal/chunkenc"
+	"shastamon/internal/labels"
+)
+
+// TestConcurrentPushSelectFlush exercises the sharded store the way the
+// pipeline does under load: many pushers on distinct streams while
+// readers, flushers and retention run concurrently. Run under -race via
+// verify.sh.
+func TestConcurrentPushSelectFlush(t *testing.T) {
+	limits := DefaultLimits()
+	limits.Shards = 4
+	s := NewStore(limits)
+
+	const (
+		pushers          = 8
+		entriesPerPusher = 500
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ls := labels.FromStrings("hostname", fmt.Sprintf("nid%06d", p), "data_type", "syslog")
+			for i := 0; i < entriesPerPusher; i++ {
+				err := s.Push([]PushStream{{
+					Labels:  ls,
+					Entries: []Entry{{Timestamp: int64(i) * 1e6, Line: fmt.Sprintf("p%d line %d", p, i)}},
+				}})
+				if err != nil {
+					t.Errorf("pusher %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Readers, flusher, stats and retention race the pushers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sel := []*labels.Matcher{labels.MustMatcher(labels.MatchEqual, "data_type", "syslog")}
+			for i := 0; i < 50; i++ {
+				if _, err := s.Select(sel, 0, 1<<62); err != nil {
+					t.Errorf("select: %v", err)
+					return
+				}
+				_ = s.Stats()
+				_ = s.Series(nil)
+				_ = s.LabelValues("hostname")
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := s.Flush(); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+			s.DeleteBefore(-1) // no-op horizon; exercises the locking
+		}
+	}()
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Streams != pushers {
+		t.Fatalf("streams = %d, want %d", st.Streams, pushers)
+	}
+	if want := int64(pushers * entriesPerPusher); st.Entries != want {
+		t.Fatalf("entries = %d, want %d", st.Entries, want)
+	}
+	got, err := s.Select(nil, 0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, str := range got {
+		for i := 1; i < len(str.Entries); i++ {
+			if str.Entries[i].Timestamp < str.Entries[i-1].Timestamp {
+				t.Fatalf("stream %s out of order at %d", str.Labels, i)
+			}
+		}
+		total += len(str.Entries)
+	}
+	if total != pushers*entriesPerPusher {
+		t.Fatalf("selected %d entries, want %d", total, pushers*entriesPerPusher)
+	}
+}
+
+// TestOutOfOrderRejectionSharded checks reject-and-count survives the
+// sharded rewrite, including under concurrent pushes to the same stream.
+func TestOutOfOrderRejectionSharded(t *testing.T) {
+	limits := DefaultLimits()
+	limits.Shards = 4
+	s := NewStore(limits)
+	ls := labels.FromStrings("hostname", "nid000001")
+	if err := s.Push([]PushStream{{Labels: ls, Entries: []Entry{{Timestamp: 100, Line: "a"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Push([]PushStream{{Labels: ls, Entries: []Entry{{Timestamp: 50, Line: "late"}}}})
+	if !errors.Is(err, chunkenc.ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+	st := s.Stats()
+	if st.DiscardedOOO != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMaxStreamsExactAcrossShards hammers stream creation from many
+// goroutines and requires the limit to hold exactly: reservation is a
+// store-wide atomic, so no interleaving may overshoot it.
+func TestMaxStreamsExactAcrossShards(t *testing.T) {
+	limits := DefaultLimits()
+	limits.Shards = 8
+	limits.MaxStreams = 50
+	s := NewStore(limits)
+
+	const (
+		creators = 16
+		attempts = 50
+	)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	rejected := 0
+	for c := 0; c < creators; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				ls := labels.FromStrings("creator", fmt.Sprintf("c%d", c), "stream", fmt.Sprintf("s%d", i))
+				err := s.Push([]PushStream{{Labels: ls, Entries: []Entry{{Timestamp: 1, Line: "x"}}}})
+				if errors.Is(err, ErrMaxStreams) {
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				} else if err != nil {
+					t.Errorf("creator %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Streams != limits.MaxStreams {
+		t.Fatalf("streams = %d, want exactly %d", st.Streams, limits.MaxStreams)
+	}
+	if got := len(s.Series(nil)); got != limits.MaxStreams {
+		t.Fatalf("series = %d, want %d", got, limits.MaxStreams)
+	}
+	if want := creators*attempts - limits.MaxStreams; rejected != want {
+		t.Fatalf("rejected = %d, want %d", rejected, want)
+	}
+	// Slots freed by retention become available again.
+	dropped := s.DeleteBefore(1 << 62)
+	if dropped == 0 {
+		t.Fatalf("retention dropped nothing")
+	}
+	if st := s.Stats(); st.Streams != 0 {
+		t.Fatalf("streams after delete = %d, want 0", st.Streams)
+	}
+	if err := s.Push([]PushStream{{Labels: labels.FromStrings("fresh", "yes"),
+		Entries: []Entry{{Timestamp: 1, Line: "x"}}}}); err != nil {
+		t.Fatalf("push after retention: %v", err)
+	}
+}
+
+// TestShardPushBalance sanity-checks the fingerprint striping: many
+// distinct streams should not all land on one shard.
+func TestShardPushBalance(t *testing.T) {
+	limits := DefaultLimits()
+	limits.Shards = 8
+	s := NewStore(limits)
+	for i := 0; i < 256; i++ {
+		ls := labels.FromStrings("hostname", fmt.Sprintf("nid%06d", i))
+		if err := s.Push([]PushStream{{Labels: ls, Entries: []Entry{{Timestamp: 1, Line: "x"}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pushes := s.ShardPushes()
+	if len(pushes) != 8 {
+		t.Fatalf("shards = %d", len(pushes))
+	}
+	busy := 0
+	var total int64
+	for _, n := range pushes {
+		if n > 0 {
+			busy++
+		}
+		total += n
+	}
+	if total != 256 {
+		t.Fatalf("total shard pushes = %d, want 256", total)
+	}
+	if busy < 4 {
+		t.Fatalf("only %d/8 shards saw pushes; striping is degenerate: %v", busy, pushes)
+	}
+}
+
+// TestChunkCacheServesRepeatSelects verifies the second identical Select
+// hits the decompression cache (the ruler re-reads every tick).
+func TestChunkCacheServesRepeatSelects(t *testing.T) {
+	limits := DefaultLimits()
+	limits.ChunkOptions = chunkenc.Options{BlockSize: 1024}
+	s := NewStore(limits)
+	ls := labels.FromStrings("app", "x")
+	entries := make([]Entry, 2000)
+	for i := range entries {
+		entries[i] = Entry{Timestamp: int64(i) * 1e6, Line: fmt.Sprintf("event %06d with some padding text", i)}
+	}
+	if err := s.Push([]PushStream{{Labels: ls, Entries: entries}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		res, err := s.Select(nil, 0, 1<<62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || len(res[0].Entries) != 2000 {
+			t.Fatalf("pass %d: bad result", pass)
+		}
+	}
+	cs := s.CacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("repeat select produced no cache hits: %+v", cs)
+	}
+
+	// A disabled cache still answers correctly.
+	limits.ChunkCacheBytes = -1
+	s2 := NewStore(limits)
+	if err := s2.Push([]PushStream{{Labels: ls, Entries: entries}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s2.Select(nil, 0, 1<<62)
+	if err != nil || len(res) != 1 || len(res[0].Entries) != 2000 {
+		t.Fatalf("uncached select: %d %v", len(res), err)
+	}
+	if cs := s2.CacheStats(); cs != (chunkenc.CacheStats{}) {
+		t.Fatalf("disabled cache counted: %+v", cs)
+	}
+}

@@ -4,6 +4,13 @@
 // compressed into chunks (see chunkenc). Logs sharing one unique label
 // combination form a stream, and each stream fills chunks of its own — the
 // exact storage model §IV.A of the paper walks through.
+//
+// The store is internally sharded: streams are striped over N lock-striped
+// shards by label fingerprint (N = GOMAXPROCS by default), mirroring the
+// paper's 8-worker Loki cluster inside one process. Concurrent pushers to
+// different streams proceed without contending on a store-wide mutex, and
+// ingest statistics are plain atomics, so the hot path takes exactly one
+// shard read-lock plus one stream lock per pushed stream.
 package loki
 
 import (
@@ -11,10 +18,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"shastamon/internal/chunkenc"
 	"shastamon/internal/labels"
 	"shastamon/internal/obs"
+	"shastamon/internal/parallel"
 )
 
 // Entry is a single log line.
@@ -34,9 +43,17 @@ type PushStream struct {
 type Limits struct {
 	MaxLabelNamesPerStream int // 0 = default 15
 	MaxLineSize            int // bytes, 0 = default 256 KiB
-	MaxStreams             int // 0 = unlimited
+	MaxStreams             int // 0 = unlimited; exact across shards
 	RejectOldSamples       bool
 	ChunkOptions           chunkenc.Options
+
+	// Shards is the number of lock stripes streams are spread over by
+	// fingerprint; 0 = GOMAXPROCS. More shards = less push contention.
+	Shards int
+	// ChunkCacheBytes bounds the sealed-block decompression cache by raw
+	// (decoded) bytes: 0 = chunkenc.DefaultCacheBytes, negative disables
+	// the cache entirely.
+	ChunkCacheBytes int
 }
 
 // DefaultLimits mirror Loki 2.4 defaults at simulator scale.
@@ -66,6 +83,16 @@ type stream struct {
 	lastTS int64
 }
 
+// shard is one lock stripe of the store: its own stream index plus a push
+// counter the shard-balance metric reads.
+type shard struct {
+	mu      sync.RWMutex
+	streams map[labels.Fingerprint][]*stream // collision list per fingerprint
+	ordered []*stream                        // insertion order, for queries
+
+	pushes atomic.Int64
+}
+
 // Store is an in-process Loki: ingester plus index plus chunk store.
 // It is safe for concurrent use.
 type Store struct {
@@ -74,16 +101,24 @@ type Store struct {
 	obsOnce sync.Once
 	obsReg  *obs.Registry
 
-	mu      sync.RWMutex
-	streams map[labels.Fingerprint][]*stream // collision list per fingerprint
-	ordered []*stream                        // insertion order, for queries
+	shards []*shard
+	cache  *chunkenc.BlockCache
 
-	// ingest statistics, exposed for experiments and dashboards
-	statsMu       sync.Mutex
-	totalEntries  int64
-	totalBytes    int64
-	discardedOOO  int64
-	discardedSize int64
+	// streamCount is the store-wide stream total; MaxStreams is enforced
+	// against it with a reserve-then-check atomic add, keeping the limit
+	// exact no matter how many shards create streams concurrently.
+	streamCount atomic.Int64
+
+	// ingest statistics, exposed for experiments and dashboards; plain
+	// atomics so discard accounting never serialises concurrent pushers.
+	totalEntries  atomic.Int64
+	totalBytes    atomic.Int64
+	discardedOOO  atomic.Int64
+	discardedSize atomic.Int64
+
+	// queryInFlight counts live Select/Flush workers for the
+	// query-parallelism gauge.
+	queryInFlight atomic.Int64
 }
 
 // NewStore returns an empty store with the given limits.
@@ -94,7 +129,39 @@ func NewStore(limits Limits) *Store {
 	if limits.MaxLineSize == 0 {
 		limits.MaxLineSize = 256 * 1024
 	}
-	return &Store{limits: limits, streams: map[labels.Fingerprint][]*stream{}}
+	n := parallel.Workers(limits.Shards)
+	s := &Store{limits: limits, shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{streams: map[labels.Fingerprint][]*stream{}}
+	}
+	if limits.ChunkCacheBytes >= 0 {
+		s.cache = chunkenc.NewBlockCache(limits.ChunkCacheBytes)
+	}
+	return s
+}
+
+// Shards returns the number of lock stripes the store runs.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// ShardPushes returns, per shard, the number of stream pushes it served —
+// the balance check for the fingerprint striping.
+func (s *Store) ShardPushes() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.pushes.Load()
+	}
+	return out
+}
+
+// CacheStats snapshots the sealed-block decompression cache counters; all
+// zeros when the cache is disabled.
+func (s *Store) CacheStats() chunkenc.CacheStats { return s.cache.Stats() }
+
+// QueryParallelism reports the number of in-flight query workers.
+func (s *Store) QueryParallelism() int64 { return s.queryInFlight.Load() }
+
+func (s *Store) shardFor(fp labels.Fingerprint) *shard {
+	return s.shards[uint64(fp)%uint64(len(s.shards))]
 }
 
 // Push ingests a batch of streams. Entries within each stream must be in
@@ -121,27 +188,24 @@ func (s *Store) pushStream(ps PushStream) error {
 	if err := ps.Labels.Validate(); err != nil {
 		return err
 	}
-	st, err := s.getOrCreateStream(ps.Labels)
+	st, sh, err := s.getOrCreateStream(ps.Labels)
 	if err != nil {
 		return err
 	}
+	sh.pushes.Add(1)
 	var firstErr error
-	var accepted, bytes int64
+	var accepted, bytes, dSize, dOOO int64
 	st.mu.Lock()
 	for _, e := range ps.Entries {
 		if len(e.Line) > s.limits.MaxLineSize {
-			s.statsMu.Lock()
-			s.discardedSize++
-			s.statsMu.Unlock()
+			dSize++
 			if firstErr == nil {
 				firstErr = ErrLineTooLong
 			}
 			continue
 		}
 		if e.Timestamp < st.lastTS {
-			s.statsMu.Lock()
-			s.discardedOOO++
-			s.statsMu.Unlock()
+			dOOO++
 			if firstErr == nil {
 				firstErr = chunkenc.ErrOutOfOrder
 			}
@@ -158,10 +222,14 @@ func (s *Store) pushStream(ps PushStream) error {
 		bytes += int64(len(e.Line))
 	}
 	st.mu.Unlock()
-	s.statsMu.Lock()
-	s.totalEntries += accepted
-	s.totalBytes += bytes
-	s.statsMu.Unlock()
+	s.totalEntries.Add(accepted)
+	s.totalBytes.Add(bytes)
+	if dSize > 0 {
+		s.discardedSize.Add(dSize)
+	}
+	if dOOO > 0 {
+		s.discardedOOO.Add(dOOO)
+	}
 	return firstErr
 }
 
@@ -179,31 +247,35 @@ func (st *stream) append(e Entry, opt chunkenc.Options) error {
 	return err
 }
 
-func (s *Store) getOrCreateStream(ls labels.Labels) (*stream, error) {
+func (s *Store) getOrCreateStream(ls labels.Labels) (*stream, *shard, error) {
 	fp := ls.Fingerprint()
-	s.mu.RLock()
-	for _, st := range s.streams[fp] {
+	sh := s.shardFor(fp)
+	sh.mu.RLock()
+	for _, st := range sh.streams[fp] {
 		if st.labels.Equal(ls) {
-			s.mu.RUnlock()
-			return st, nil
+			sh.mu.RUnlock()
+			return st, sh, nil
 		}
 	}
-	s.mu.RUnlock()
+	sh.mu.RUnlock()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, st := range s.streams[fp] {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, st := range sh.streams[fp] {
 		if st.labels.Equal(ls) {
-			return st, nil
+			return st, sh, nil
 		}
 	}
-	if s.limits.MaxStreams > 0 && len(s.ordered) >= s.limits.MaxStreams {
-		return nil, ErrMaxStreams
+	// Reserve a slot before creating: the add is atomic across shards, so
+	// concurrent creators can never overshoot MaxStreams.
+	if n := s.streamCount.Add(1); s.limits.MaxStreams > 0 && n > int64(s.limits.MaxStreams) {
+		s.streamCount.Add(-1)
+		return nil, nil, ErrMaxStreams
 	}
 	st := &stream{labels: ls.Copy(), fp: fp, lastTS: -1 << 62}
-	s.streams[fp] = append(s.streams[fp], st)
-	s.ordered = append(s.ordered, st)
-	return st, nil
+	sh.streams[fp] = append(sh.streams[fp], st)
+	sh.ordered = append(sh.ordered, st)
+	return st, sh, nil
 }
 
 // SelectedStream is a query result stream: labels plus matching entries in
@@ -215,32 +287,41 @@ type SelectedStream struct {
 
 // Select returns, for every stream matching the selector, its entries in
 // [mint, maxt] (inclusive). Streams with no matching entries are omitted.
-// Results are ordered by stream label string for determinism.
+// Results are ordered by stream label string for determinism. Candidate
+// streams are queried in parallel on a bounded worker pool; sealed-block
+// decompression goes through the store's block cache, so re-reading the
+// same window (ruler and vmalert do, every tick) skips the inflate work.
 func (s *Store) Select(sel []*labels.Matcher, mint, maxt int64) ([]SelectedStream, error) {
-	s.mu.RLock()
-	cand := make([]*stream, 0)
-	for _, st := range s.ordered {
-		if labels.MatchLabels(st.labels, sel) {
-			cand = append(cand, st)
+	var cand []*stream
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, st := range sh.ordered {
+			if labels.MatchLabels(st.labels, sel) {
+				cand = append(cand, st)
+			}
 		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 
+	results := make([][]Entry, len(cand))
+	errs := make([]error, len(cand))
+	parallel.Do(len(cand), parallel.Workers(0), &s.queryInFlight, func(i int) {
+		results[i], errs[i] = cand[i].query(mint, maxt, s.cache)
+	})
 	out := make([]SelectedStream, 0, len(cand))
-	for _, st := range cand {
-		entries, err := st.query(mint, maxt)
-		if err != nil {
-			return nil, err
+	for i, st := range cand {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if len(entries) > 0 {
-			out = append(out, SelectedStream{Labels: st.labels, Entries: entries})
+		if len(results[i]) > 0 {
+			out = append(out, SelectedStream{Labels: st.labels, Entries: results[i]})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
 	return out, nil
 }
 
-func (st *stream) query(mint, maxt int64) ([]Entry, error) {
+func (st *stream) query(mint, maxt int64, cache *chunkenc.BlockCache) ([]Entry, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	var out []Entry
@@ -249,7 +330,7 @@ func (st *stream) query(mint, maxt int64) ([]Entry, error) {
 		if !ok || cmax < mint || cmin > maxt {
 			return nil
 		}
-		it := c.Iterator(mint, maxt)
+		it := c.CachedIterator(cache, mint, maxt)
 		for it.Next() {
 			e := it.At()
 			out = append(out, Entry{Timestamp: e.Timestamp, Line: e.Line})
@@ -271,13 +352,15 @@ func (st *stream) query(mint, maxt int64) ([]Entry, error) {
 
 // Series returns the label sets of all streams matching the selector.
 func (s *Store) Series(sel []*labels.Matcher) []labels.Labels {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []labels.Labels
-	for _, st := range s.ordered {
-		if labels.MatchLabels(st.labels, sel) {
-			out = append(out, st.labels)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, st := range sh.ordered {
+			if labels.MatchLabels(st.labels, sel) {
+				out = append(out, st.labels)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
@@ -286,13 +369,15 @@ func (s *Store) Series(sel []*labels.Matcher) []labels.Labels {
 // LabelValues returns the sorted distinct values of a label name across all
 // streams; used by dashboards for variable dropdowns.
 func (s *Store) LabelValues(name string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	set := map[string]bool{}
-	for _, st := range s.ordered {
-		if v := st.labels.Get(name); v != "" {
-			set[v] = true
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, st := range sh.ordered {
+			if v := st.labels.Get(name); v != "" {
+				set[v] = true
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	out := make([]string, 0, len(set))
 	for v := range set {
@@ -316,45 +401,52 @@ type Stats struct {
 // Stats returns current counters. CompressedBytes counts sealed blocks and
 // raw head data, so the compression ratio converges as chunks fill.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	st := Stats{Streams: len(s.ordered)}
-	for _, str := range s.ordered {
-		str.mu.Lock()
-		st.Chunks += len(str.chunks)
-		if str.head != nil && str.head.Entries() > 0 {
-			st.Chunks++
+	st := Stats{Streams: int(s.streamCount.Load())}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, str := range sh.ordered {
+			str.mu.Lock()
+			st.Chunks += len(str.chunks)
+			if str.head != nil && str.head.Entries() > 0 {
+				st.Chunks++
+			}
+			for _, c := range str.chunks {
+				st.CompressedBytes += int64(c.CompressedBytes())
+			}
+			if str.head != nil {
+				st.CompressedBytes += int64(str.head.CompressedBytes())
+			}
+			str.mu.Unlock()
 		}
-		for _, c := range str.chunks {
-			st.CompressedBytes += int64(c.CompressedBytes())
-		}
-		if str.head != nil {
-			st.CompressedBytes += int64(str.head.CompressedBytes())
-		}
-		str.mu.Unlock()
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
-	s.statsMu.Lock()
-	st.Entries = s.totalEntries
-	st.RawBytes = s.totalBytes
-	st.DiscardedOOO = s.discardedOOO
-	st.DiscardedTooLong = s.discardedSize
-	s.statsMu.Unlock()
+	st.Entries = s.totalEntries.Load()
+	st.RawBytes = s.totalBytes.Load()
+	st.DiscardedOOO = s.discardedOOO.Load()
+	st.DiscardedTooLong = s.discardedSize.Load()
 	return st
 }
 
 // Flush seals the open head block of every stream so that Stats reports
-// fully-compressed sizes; ingestion may continue afterwards.
+// fully-compressed sizes; ingestion may continue afterwards. Sealing
+// compresses, so streams are flushed on the worker pool.
 func (s *Store) Flush() error {
-	s.mu.RLock()
-	streams := append([]*stream(nil), s.ordered...)
-	s.mu.RUnlock()
-	for _, st := range streams {
+	var streams []*stream
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		streams = append(streams, sh.ordered...)
+		sh.mu.RUnlock()
+	}
+	errs := make([]error, len(streams))
+	parallel.Do(len(streams), parallel.Workers(0), &s.queryInFlight, func(i int) {
+		st := streams[i]
 		st.mu.Lock()
-		var err error
 		if st.head != nil {
-			err = st.head.Close()
+			errs[i] = st.head.Close()
 		}
 		st.mu.Unlock()
+	})
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
@@ -367,45 +459,50 @@ func (s *Store) Flush() error {
 // OMNI keeps "up to two years of operational data immediately available".
 // It returns the number of chunks dropped.
 func (s *Store) DeleteBefore(ts int64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	dropped := 0
-	keptStreams := s.ordered[:0]
-	for _, st := range s.ordered {
-		st.mu.Lock()
-		kept := st.chunks[:0]
-		for _, c := range st.chunks {
-			if _, maxt, ok := c.Bounds(); ok && maxt < ts {
-				dropped++
-				continue
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		keptStreams := sh.ordered[:0]
+		for _, st := range sh.ordered {
+			st.mu.Lock()
+			kept := st.chunks[:0]
+			for _, c := range st.chunks {
+				if _, maxt, ok := c.Bounds(); ok && maxt < ts {
+					dropped++
+					s.cache.DropChunk(c)
+					continue
+				}
+				kept = append(kept, c)
 			}
-			kept = append(kept, c)
-		}
-		st.chunks = kept
-		if st.head != nil {
-			if _, maxt, ok := st.head.Bounds(); ok && maxt < ts {
-				dropped++
-				st.head = nil
-			}
-		}
-		empty := len(st.chunks) == 0 && (st.head == nil || st.head.Entries() == 0)
-		st.mu.Unlock()
-		if empty {
-			// remove from fingerprint map
-			list := s.streams[st.fp]
-			for i, other := range list {
-				if other == st {
-					s.streams[st.fp] = append(list[:i], list[i+1:]...)
-					break
+			st.chunks = kept
+			if st.head != nil {
+				if _, maxt, ok := st.head.Bounds(); ok && maxt < ts {
+					dropped++
+					s.cache.DropChunk(st.head)
+					st.head = nil
 				}
 			}
-			if len(s.streams[st.fp]) == 0 {
-				delete(s.streams, st.fp)
+			empty := len(st.chunks) == 0 && (st.head == nil || st.head.Entries() == 0)
+			st.mu.Unlock()
+			if empty {
+				// remove from fingerprint map and release the stream slot
+				list := sh.streams[st.fp]
+				for i, other := range list {
+					if other == st {
+						sh.streams[st.fp] = append(list[:i], list[i+1:]...)
+						break
+					}
+				}
+				if len(sh.streams[st.fp]) == 0 {
+					delete(sh.streams, st.fp)
+				}
+				s.streamCount.Add(-1)
+				continue
 			}
-			continue
+			keptStreams = append(keptStreams, st)
 		}
-		keptStreams = append(keptStreams, st)
+		sh.ordered = keptStreams
+		sh.mu.Unlock()
 	}
-	s.ordered = keptStreams
 	return dropped
 }

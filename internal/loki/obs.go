@@ -1,6 +1,8 @@
 package loki
 
 import (
+	"strconv"
+
 	"shastamon/internal/obs"
 	"shastamon/internal/promtext"
 )
@@ -13,6 +15,12 @@ func (s *Store) Metrics() *obs.Registry {
 		reg := obs.NewRegistry()
 		reg.Collect(func() []promtext.Family {
 			st := s.Stats()
+			cs := s.CacheStats()
+			shardPushes := promtext.Family{Name: obs.Namespace + "loki_shard_pushes_total",
+				Help: "Stream pushes served, by lock-striped shard.", Type: "counter"}
+			for i, n := range s.ShardPushes() {
+				shardPushes = obs.Sample(shardPushes, float64(n), "shard", strconv.Itoa(i))
+			}
 			return []promtext.Family{
 				obs.Fam("gauge", obs.Namespace+"loki_streams",
 					"Live log streams (distinct label sets).", float64(st.Streams)),
@@ -28,6 +36,17 @@ func (s *Store) Metrics() *obs.Registry {
 					"Entries rejected by ingest limits, by reason.",
 					float64(st.DiscardedOOO), "reason", "out_of_order"),
 					float64(st.DiscardedTooLong), "reason", "too_long"),
+				shardPushes,
+				obs.Sample(obs.Fam("counter", obs.Namespace+"loki_chunk_cache_requests_total",
+					"Sealed-block decompression cache lookups, by result.",
+					float64(cs.Hits), "result", "hit"),
+					float64(cs.Misses), "result", "miss"),
+				obs.Fam("counter", obs.Namespace+"loki_chunk_cache_evictions_total",
+					"Cached decoded blocks evicted by the byte budget.", float64(cs.Evictions)),
+				obs.Fam("gauge", obs.Namespace+"loki_chunk_cache_bytes",
+					"Raw bytes of decoded blocks currently cached.", float64(cs.Bytes)),
+				obs.Fam("gauge", obs.Namespace+"loki_query_parallelism",
+					"In-flight parallel stream-query workers.", float64(s.QueryParallelism())),
 			}
 		})
 		s.obsReg = reg

@@ -40,6 +40,10 @@ type Config struct {
 	// enforcement — how a two-year window stays affordable.
 	DownsampleAfter      time.Duration
 	DownsampleResolution time.Duration // default 5m
+	// Shards stripes both stores (log streams and metric series) over
+	// this many lock shards; 0 = GOMAXPROCS. An explicit
+	// LokiLimits.Shards wins for the log store.
+	Shards int
 }
 
 // Warehouse is the OMNI façade.
@@ -78,8 +82,11 @@ func New(cfg Config) *Warehouse {
 	if cfg.LokiLimits == (loki.Limits{}) {
 		cfg.LokiLimits = loki.DefaultLimits()
 	}
+	if cfg.LokiLimits.Shards == 0 {
+		cfg.LokiLimits.Shards = cfg.Shards
+	}
 	logs := loki.NewStore(cfg.LokiLimits)
-	metrics := tsdb.New()
+	metrics := tsdb.NewSharded(cfg.Shards)
 	if cfg.DownsampleResolution <= 0 {
 		cfg.DownsampleResolution = 5 * time.Minute
 	}
@@ -108,6 +115,10 @@ func New(cfg Config) *Warehouse {
 			obs.Fam("gauge", obs.Namespace+"omni_ingest_rate",
 				"Messages/second over the current rate window.",
 				w.RateWindow(time.Now())),
+			obs.Sample(obs.Fam("gauge", obs.Namespace+"omni_query_parallelism",
+				"In-flight query-engine workers, by engine.",
+				float64(w.LogQL.QueryParallelism()), "engine", "logql"),
+				float64(w.PromQL.QueryParallelism()), "engine", "promql"),
 		}
 	})
 	return w

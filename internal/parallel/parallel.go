@@ -1,0 +1,63 @@
+// Package parallel provides the bounded worker-pool primitive the storage
+// and query hot paths fan work out on. The paper's OMNI sustains its
+// 400,000 msgs/s across an 8-worker Loki cluster; in-process, the same
+// scaling comes from striping stores into shards and walking candidate
+// streams on as many cores as the host offers. Callers size the pool with
+// Workers and run index-addressed work with Do; with one worker (or one
+// item) everything stays on the calling goroutine, so single-core hosts
+// and tiny result sets pay no scheduling overhead.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: n when positive, otherwise
+// GOMAXPROCS — the "as many workers as cores" default the sharded stores
+// and query engines use.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(i) for every i in [0, n), fanning the indexes out over at
+// most workers goroutines. Work is handed out by an atomic cursor, so
+// uneven item costs (one fat stream among many thin ones) still keep
+// every worker busy. When workers <= 1 or n <= 1 the calls run inline on
+// the calling goroutine. inFlight, when non-nil, counts live workers for
+// the duration of the call — the query-parallelism gauges read it.
+func Do(n, workers int, inFlight *atomic.Int64, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			if inFlight != nil {
+				inFlight.Add(1)
+				defer inFlight.Add(-1)
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,46 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 17} {
+		for _, n := range []int{0, 1, 2, 100} {
+			hits := make([]atomic.Int64, n)
+			Do(n, workers, nil, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDoInFlightGaugeReturnsToZero(t *testing.T) {
+	var inFlight atomic.Int64
+	var seen atomic.Int64
+	Do(64, 4, &inFlight, func(i int) {
+		if v := inFlight.Load(); v > seen.Load() {
+			seen.Store(v)
+		}
+	})
+	if got := inFlight.Load(); got != 0 {
+		t.Fatalf("in-flight gauge = %d after Do returned, want 0", got)
+	}
+	if runtime.GOMAXPROCS(0) > 1 && seen.Load() < 1 {
+		t.Fatalf("no worker observed itself in flight")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+}

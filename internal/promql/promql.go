@@ -12,10 +12,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 	"unicode"
 
 	"shastamon/internal/labels"
+	"shastamon/internal/parallel"
 	"shastamon/internal/tsdb"
 )
 
@@ -523,14 +525,35 @@ func (p *promParser) parseSelector() (*SelectorExpr, error) {
 
 // ---- evaluation ----
 
-// Engine evaluates expressions against a tsdb.DB.
+// Engine evaluates expressions against a tsdb.DB. Range-function
+// evaluation fans the selected series out over a bounded worker pool: a
+// fleet-wide rate() touches one series per node, and each series folds
+// independently.
 type Engine struct {
 	db       *tsdb.DB
 	lookback time.Duration
+	workers  int
+	inFlight atomic.Int64
 }
 
-// NewEngine returns an engine with the default 5m staleness lookback.
-func NewEngine(db *tsdb.DB) *Engine { return &Engine{db: db, lookback: DefaultLookback} }
+// NewEngine returns an engine with the default 5m staleness lookback and
+// GOMAXPROCS workers.
+func NewEngine(db *tsdb.DB) *Engine {
+	return &Engine{db: db, lookback: DefaultLookback, workers: parallel.Workers(0)}
+}
+
+// SetParallelism bounds the per-series worker pool; n <= 1 evaluates
+// sequentially. Call during setup, not concurrently with queries.
+func (e *Engine) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// QueryParallelism reports in-flight range-function workers; the
+// warehouse exposes it as a gauge.
+func (e *Engine) QueryParallelism() int64 { return e.inFlight.Load() }
 
 // Instant evaluates the expression at ts (Unix ms).
 func (e *Engine) Instant(expr Expr, ts int64) (Vector, error) {
@@ -613,16 +636,23 @@ func (e *Engine) evalRangeFn(ex *RangeFnExpr, ts int64) (Vector, error) {
 	}
 	mint := ts - ex.Range.Milliseconds() + 1
 	data := e.db.Select(ms, mint, ts)
+	type result struct {
+		v  float64
+		ok bool
+	}
+	results := make([]result, len(data))
+	parallel.Do(len(data), e.workers, &e.inFlight, func(i int) {
+		if len(data[i].Samples) == 0 {
+			return
+		}
+		results[i].v, results[i].ok = applyRangeFn(ex.Fn, data[i].Samples, ex.Range)
+	})
 	out := make(Vector, 0, len(data))
-	for _, sd := range data {
-		if len(sd.Samples) == 0 {
+	for i, sd := range data {
+		if !results[i].ok {
 			continue
 		}
-		v, ok := applyRangeFn(ex.Fn, sd.Samples, ex.Range)
-		if !ok {
-			continue
-		}
-		out = append(out, Sample{Labels: sd.Labels.Without(tsdb.MetricNameLabel), T: ts, V: v})
+		out = append(out, Sample{Labels: sd.Labels.Without(tsdb.MetricNameLabel), T: ts, V: results[i].v})
 	}
 	return out, nil
 }

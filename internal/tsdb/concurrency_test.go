@@ -1,0 +1,113 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"shastamon/internal/labels"
+)
+
+// TestConcurrentAppendSelectDelete races scrape-style appenders against
+// readers and retention on the sharded head. Run under -race via
+// verify.sh.
+func TestConcurrentAppendSelectDelete(t *testing.T) {
+	db := NewSharded(4)
+	const (
+		appenders         = 8
+		samplesPerAppende = 400
+	)
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			ls := labels.FromStrings("hostname", fmt.Sprintf("nid%06d", a))
+			for i := 0; i < samplesPerAppende; i++ {
+				if err := db.AppendMetric("node_load1", ls, int64(i), float64(i)); err != nil {
+					t.Errorf("appender %d: %v", a, err)
+					return
+				}
+			}
+		}(a)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sel := []*labels.Matcher{labels.MustMatcher(labels.MatchEqual, MetricNameLabel, "node_load1")}
+			for i := 0; i < 50; i++ {
+				for _, sd := range db.Select(sel, 0, 1<<62) {
+					for j := 1; j < len(sd.Samples); j++ {
+						if sd.Samples[j].T < sd.Samples[j-1].T {
+							t.Errorf("series %s out of order", sd.Labels)
+							return
+						}
+					}
+				}
+				_ = db.LatestBefore(sel, 1<<62, 1<<62)
+				_ = db.Stats()
+				_ = db.LabelValues("hostname")
+				db.DeleteBefore(-1) // no-op horizon; exercises the locking
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := db.Stats()
+	if st.Series != appenders {
+		t.Fatalf("series = %d, want %d", st.Series, appenders)
+	}
+	if want := int64(appenders * samplesPerAppende); st.Samples != want {
+		t.Fatalf("samples = %d, want %d", st.Samples, want)
+	}
+	total := 0
+	for _, sd := range db.Select(nil, 0, 1<<62) {
+		total += len(sd.Samples)
+	}
+	if total != appenders*samplesPerAppende {
+		t.Fatalf("selected %d samples, want %d", total, appenders*samplesPerAppende)
+	}
+}
+
+// TestShardedDropCounting verifies out-of-order drops are counted
+// atomically and the sample is rejected, same contract as unsharded.
+func TestShardedDropCounting(t *testing.T) {
+	db := NewSharded(4)
+	ls := labels.FromStrings("hostname", "nid000001")
+	if err := db.AppendMetric("m", ls, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AppendMetric("m", ls, 50, 2); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+	st := db.Stats()
+	if st.Dropped != 1 || st.Samples != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestShardedDeleteBeforeSeriesAccounting checks the store-wide series
+// counter tracks retention removals across shards.
+func TestShardedDeleteBeforeSeriesAccounting(t *testing.T) {
+	db := NewSharded(8)
+	for i := 0; i < 64; i++ {
+		ls := labels.FromStrings("hostname", fmt.Sprintf("nid%06d", i))
+		// Half the series only have old samples.
+		ts := int64(10)
+		if i%2 == 0 {
+			ts = 1000
+		}
+		if err := db.AppendMetric("m", ls, ts, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := db.Stats(); st.Series != 64 {
+		t.Fatalf("series = %d", st.Series)
+	}
+	db.DeleteBefore(500)
+	if st := db.Stats(); st.Series != 32 {
+		t.Fatalf("series after delete = %d, want 32", st.Series)
+	}
+}

@@ -30,9 +30,12 @@ func (db *DB) Downsample(before int64, resolution time.Duration, kind AggKind) (
 		return 0, fmt.Errorf("tsdb: resolution must be positive")
 	}
 	res := resolution.Milliseconds()
-	db.mu.RLock()
-	series := append([]*series(nil), db.ordered...)
-	db.mu.RUnlock()
+	var series []*series
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		series = append(series, sh.ordered...)
+		sh.mu.RUnlock()
+	}
 
 	eliminated := 0
 	for _, s := range series {

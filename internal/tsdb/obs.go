@@ -19,6 +19,8 @@ func (db *DB) Metrics() *obs.Registry {
 					"Samples accepted by Append.", float64(st.Samples)),
 				obs.Fam("counter", obs.Namespace+"tsdb_samples_dropped_total",
 					"Samples rejected as out of order.", float64(st.Dropped)),
+				obs.Fam("gauge", obs.Namespace+"tsdb_query_parallelism",
+					"In-flight parallel series-query workers.", float64(db.QueryParallelism())),
 			}
 		})
 		db.obsReg = reg

@@ -3,6 +3,11 @@
 // It is the metrics half of the paper's dual pipeline ("as a rule, we send
 // metrics to VictoriaMetrics ... and logs to Loki").
 //
+// Like the log store, the head is sharded: series are striped over
+// lock-striped shards by label fingerprint (GOMAXPROCS shards by default)
+// and append statistics are atomics, so concurrent scrape targets append
+// without serialising on a DB-wide mutex.
+//
 // Timestamps are Unix milliseconds, the Prometheus convention (the log
 // store uses nanoseconds, the Loki convention).
 package tsdb
@@ -11,11 +16,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-
-	"shastamon/internal/obs"
 	"sync"
+	"sync/atomic"
 
 	"shastamon/internal/labels"
+	"shastamon/internal/obs"
+	"shastamon/internal/parallel"
 )
 
 // Sample is one (timestamp, value) pair. T is Unix milliseconds.
@@ -33,8 +39,16 @@ var ErrOutOfOrder = errors.New("tsdb: out-of-order sample")
 
 type series struct {
 	labels labels.Labels
+	fp     labels.Fingerprint
 	mu     sync.Mutex
 	data   []Sample
+}
+
+// dbShard is one lock stripe of the head: its own series index.
+type dbShard struct {
+	mu      sync.RWMutex
+	series  map[labels.Fingerprint][]*series
+	ordered []*series
 }
 
 // DB is an in-memory TSDB safe for concurrent use.
@@ -42,18 +56,36 @@ type DB struct {
 	obsOnce sync.Once
 	obsReg  *obs.Registry
 
-	mu      sync.RWMutex
-	series  map[labels.Fingerprint][]*series
-	ordered []*series
+	shards []*dbShard
 
-	statsMu sync.Mutex
-	appends int64
-	dropped int64
+	seriesCount   atomic.Int64
+	appends       atomic.Int64
+	dropped       atomic.Int64
+	queryInFlight atomic.Int64
 }
 
-// New returns an empty DB.
-func New() *DB {
-	return &DB{series: map[labels.Fingerprint][]*series{}}
+// New returns an empty DB with GOMAXPROCS shards.
+func New() *DB { return NewSharded(0) }
+
+// NewSharded returns an empty DB striped over n shards; n <= 0 takes
+// GOMAXPROCS.
+func NewSharded(n int) *DB {
+	n = parallel.Workers(n)
+	db := &DB{shards: make([]*dbShard, n)}
+	for i := range db.shards {
+		db.shards[i] = &dbShard{series: map[labels.Fingerprint][]*series{}}
+	}
+	return db
+}
+
+// Shards returns the number of lock stripes the DB runs.
+func (db *DB) Shards() int { return len(db.shards) }
+
+// QueryParallelism reports the number of in-flight query workers.
+func (db *DB) QueryParallelism() int64 { return db.queryInFlight.Load() }
+
+func (db *DB) shardFor(fp labels.Fingerprint) *dbShard {
+	return db.shards[uint64(fp)%uint64(len(db.shards))]
 }
 
 // Append adds one sample to the series identified by ls. ls must include
@@ -66,9 +98,7 @@ func (db *DB) Append(ls labels.Labels, t int64, v float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if n := len(s.data); n > 0 && t < s.data[n-1].T {
-		db.statsMu.Lock()
-		db.dropped++
-		db.statsMu.Unlock()
+		db.dropped.Add(1)
 		return ErrOutOfOrder
 	}
 	if n := len(s.data); n > 0 && t == s.data[n-1].T {
@@ -76,9 +106,7 @@ func (db *DB) Append(ls labels.Labels, t int64, v float64) error {
 	} else {
 		s.data = append(s.data, Sample{T: t, V: v})
 	}
-	db.statsMu.Lock()
-	db.appends++
-	db.statsMu.Unlock()
+	db.appends.Add(1)
 	return nil
 }
 
@@ -90,25 +118,42 @@ func (db *DB) AppendMetric(name string, extra labels.Labels, t int64, v float64)
 
 func (db *DB) getOrCreate(ls labels.Labels) *series {
 	fp := ls.Fingerprint()
-	db.mu.RLock()
-	for _, s := range db.series[fp] {
+	sh := db.shardFor(fp)
+	sh.mu.RLock()
+	for _, s := range sh.series[fp] {
 		if s.labels.Equal(ls) {
-			db.mu.RUnlock()
+			sh.mu.RUnlock()
 			return s
 		}
 	}
-	db.mu.RUnlock()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for _, s := range db.series[fp] {
+	sh.mu.RUnlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, s := range sh.series[fp] {
 		if s.labels.Equal(ls) {
 			return s
 		}
 	}
-	s := &series{labels: ls.Copy()}
-	db.series[fp] = append(db.series[fp], s)
-	db.ordered = append(db.ordered, s)
+	s := &series{labels: ls.Copy(), fp: fp}
+	sh.series[fp] = append(sh.series[fp], s)
+	sh.ordered = append(sh.ordered, s)
+	db.seriesCount.Add(1)
 	return s
+}
+
+// candidates returns every series matching all matchers, across shards.
+func (db *DB) candidates(sel []*labels.Matcher) []*series {
+	var cand []*series
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for _, s := range sh.ordered {
+			if labels.MatchLabels(s.labels, sel) {
+				cand = append(cand, s)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return cand
 }
 
 // SeriesData is a query result: a label set and its samples in range.
@@ -118,27 +163,28 @@ type SeriesData struct {
 }
 
 // Select returns samples in [mint, maxt] (ms, inclusive) for every series
-// matching all matchers, ordered by label string.
+// matching all matchers, ordered by label string. Candidate series are
+// copied out in parallel on a bounded worker pool.
 func (db *DB) Select(sel []*labels.Matcher, mint, maxt int64) []SeriesData {
-	db.mu.RLock()
-	cand := make([]*series, 0)
-	for _, s := range db.ordered {
-		if labels.MatchLabels(s.labels, sel) {
-			cand = append(cand, s)
-		}
-	}
-	db.mu.RUnlock()
-	out := make([]SeriesData, 0, len(cand))
-	for _, s := range cand {
+	cand := db.candidates(sel)
+	results := make([][]Sample, len(cand))
+	parallel.Do(len(cand), parallel.Workers(0), &db.queryInFlight, func(i int) {
+		s := cand[i]
 		s.mu.Lock()
-		lo := sort.Search(len(s.data), func(i int) bool { return s.data[i].T >= mint })
-		hi := sort.Search(len(s.data), func(i int) bool { return s.data[i].T > maxt })
+		lo := sort.Search(len(s.data), func(j int) bool { return s.data[j].T >= mint })
+		hi := sort.Search(len(s.data), func(j int) bool { return s.data[j].T > maxt })
 		if lo < hi {
 			samples := make([]Sample, hi-lo)
 			copy(samples, s.data[lo:hi])
-			out = append(out, SeriesData{Labels: s.labels, Samples: samples})
+			results[i] = samples
 		}
 		s.mu.Unlock()
+	})
+	out := make([]SeriesData, 0, len(cand))
+	for i, s := range cand {
+		if len(results[i]) > 0 {
+			out = append(out, SeriesData{Labels: s.labels, Samples: results[i]})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
 	return out
@@ -148,22 +194,22 @@ func (db *DB) Select(sel []*labels.Matcher, mint, maxt int64) []SeriesData {
 // before ts but not older than ts-lookback. This implements PromQL instant
 // vector semantics.
 func (db *DB) LatestBefore(sel []*labels.Matcher, ts, lookbackMS int64) []SeriesData {
-	db.mu.RLock()
-	cand := make([]*series, 0)
-	for _, s := range db.ordered {
-		if labels.MatchLabels(s.labels, sel) {
-			cand = append(cand, s)
-		}
-	}
-	db.mu.RUnlock()
-	out := make([]SeriesData, 0, len(cand))
-	for _, s := range cand {
+	cand := db.candidates(sel)
+	results := make([][]Sample, len(cand))
+	parallel.Do(len(cand), parallel.Workers(0), &db.queryInFlight, func(i int) {
+		s := cand[i]
 		s.mu.Lock()
-		hi := sort.Search(len(s.data), func(i int) bool { return s.data[i].T > ts })
+		hi := sort.Search(len(s.data), func(j int) bool { return s.data[j].T > ts })
 		if hi > 0 && s.data[hi-1].T >= ts-lookbackMS {
-			out = append(out, SeriesData{Labels: s.labels, Samples: []Sample{s.data[hi-1]}})
+			results[i] = []Sample{s.data[hi-1]}
 		}
 		s.mu.Unlock()
+	})
+	out := make([]SeriesData, 0, len(cand))
+	for i, s := range cand {
+		if len(results[i]) > 0 {
+			out = append(out, SeriesData{Labels: s.labels, Samples: results[i]})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
 	return out
@@ -171,13 +217,9 @@ func (db *DB) LatestBefore(sel []*labels.Matcher, ts, lookbackMS int64) []Series
 
 // Series returns label sets of matching series.
 func (db *DB) Series(sel []*labels.Matcher) []labels.Labels {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var out []labels.Labels
-	for _, s := range db.ordered {
-		if labels.MatchLabels(s.labels, sel) {
-			out = append(out, s.labels)
-		}
+	for _, s := range db.candidates(sel) {
+		out = append(out, s.labels)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
@@ -185,13 +227,15 @@ func (db *DB) Series(sel []*labels.Matcher) []labels.Labels {
 
 // LabelValues returns distinct values of a label across series.
 func (db *DB) LabelValues(name string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	set := map[string]bool{}
-	for _, s := range db.ordered {
-		if v := s.labels.Get(name); v != "" {
-			set[v] = true
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for _, s := range sh.ordered {
+			if v := s.labels.Get(name); v != "" {
+				set[v] = true
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	out := make([]string, 0, len(set))
 	for v := range set {
@@ -204,36 +248,38 @@ func (db *DB) LabelValues(name string) []string {
 // DeleteBefore drops samples older than ts (ms) and removes series that
 // become empty. It returns the number of samples dropped.
 func (db *DB) DeleteBefore(ts int64) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	dropped := 0
-	kept := db.ordered[:0]
-	for _, s := range db.ordered {
-		s.mu.Lock()
-		lo := sort.Search(len(s.data), func(i int) bool { return s.data[i].T >= ts })
-		dropped += lo
-		if lo > 0 {
-			s.data = append([]Sample(nil), s.data[lo:]...)
-		}
-		empty := len(s.data) == 0
-		s.mu.Unlock()
-		if empty {
-			fp := s.labels.Fingerprint()
-			list := db.series[fp]
-			for i, other := range list {
-				if other == s {
-					db.series[fp] = append(list[:i], list[i+1:]...)
-					break
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		kept := sh.ordered[:0]
+		for _, s := range sh.ordered {
+			s.mu.Lock()
+			lo := sort.Search(len(s.data), func(i int) bool { return s.data[i].T >= ts })
+			dropped += lo
+			if lo > 0 {
+				s.data = append([]Sample(nil), s.data[lo:]...)
+			}
+			empty := len(s.data) == 0
+			s.mu.Unlock()
+			if empty {
+				list := sh.series[s.fp]
+				for i, other := range list {
+					if other == s {
+						sh.series[s.fp] = append(list[:i], list[i+1:]...)
+						break
+					}
 				}
+				if len(sh.series[s.fp]) == 0 {
+					delete(sh.series, s.fp)
+				}
+				db.seriesCount.Add(-1)
+				continue
 			}
-			if len(db.series[fp]) == 0 {
-				delete(db.series, fp)
-			}
-			continue
+			kept = append(kept, s)
 		}
-		kept = append(kept, s)
+		sh.ordered = kept
+		sh.mu.Unlock()
 	}
-	db.ordered = kept
 	return dropped
 }
 
@@ -246,10 +292,9 @@ type Stats struct {
 
 // Stats returns a snapshot of DB counters.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	n := len(db.ordered)
-	db.mu.RUnlock()
-	db.statsMu.Lock()
-	defer db.statsMu.Unlock()
-	return Stats{Series: n, Samples: db.appends, Dropped: db.dropped}
+	return Stats{
+		Series:  int(db.seriesCount.Load()),
+		Samples: db.appends.Load(),
+		Dropped: db.dropped.Load(),
+	}
 }

@@ -10,3 +10,7 @@ cd "$(dirname "$0")"
 go vet ./...
 go test -race ./...
 go test -race -run Chaos -count=2 -shuffle=on ./internal/core/...
+
+# Smoke-run the tracked benchmark families (C1/C2/C5/E4/E7) and refresh
+# BENCH_ingest.json; full numbers come from `./bench.sh` without args.
+./bench.sh short
