@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the ingest/query benchmark families tracked by the
-# perf trajectory and write the parsed results to BENCH_ingest.json.
+# perf trajectory and write the parsed results to BENCH_ingest.json,
+# plus the end-to-end detection-latency benchmark to BENCH_latency.json.
 #
 #   ./bench.sh          full run (-benchtime 1s), the numbers that go
 #                       into EXPERIMENTS.md
@@ -65,3 +66,10 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Detection latency (emit -> first delivery) p50/p95/max for the leak and
+# switch-offline scenarios, measured on the simulated clock by the
+# pipeline's own SLO tracker (internal/experiments.LatencyJSON).
+LATOUT=BENCH_latency.json
+go run ./cmd/experiments -run latency_json -out "$LATOUT" > /dev/null
+echo "wrote $LATOUT"

@@ -6,6 +6,8 @@
 //
 //	logcli -q '{data_type="redfish_event"} |= "CabinetLeakDetected" | json'
 //	logcli -load dump.json -q 'sum(count_over_time({app="x"}[5m]))' -instant
+//	logcli -self -addr http://127.0.0.1:8080            # pipeline self-metrics
+//	logcli -self -addr http://127.0.0.1:8080 -q breaker_state
 //
 // The demo store is preloaded with the paper's two case-study events so
 // the figures' queries work out of the box.
@@ -82,7 +84,17 @@ func main() {
 	at := flag.String("at", "2022-03-03T02:00:00Z", "instant query evaluation time (RFC3339)")
 	since := flag.Duration("since", 24*time.Hour, "log query lookback from -at")
 	addr := flag.String("addr", "", "query a remote Loki API (e.g. omnid) instead of the local demo store")
+	self := flag.Bool("self", false, "query the pipeline's shastamon_* self-metrics over -addr's PromQL API; -q may be a bare family name (shastamon_ prefix optional) or empty for the default set")
 	flag.Parse()
+	if *self {
+		if *addr == "" {
+			fatal(fmt.Errorf("-self needs -addr (the omnid status listener)"))
+		}
+		if err := querySelf(*addr, *at, *query); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *query == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// selfDefaults is the curated set of self-monitoring queries -self runs
+// when no -q is given: one line per shastamon_* concern, mirroring the
+// dashboard's "Self" panels.
+var selfDefaults = []string{
+	`shastamon_core_records_forwarded_total`,
+	`sum(shastamon_kafka_produced_total) by (topic)`,
+	`sum(shastamon_ruler_alerts_fired_total) by (rule)`,
+	`sum(shastamon_alertmanager_notifications_total) by (receiver, outcome)`,
+	`sum(shastamon_detection_latency_seconds_count) by (rule)`,
+	`max(shastamon_slo_burn_rate) by (rule)`,
+	`max(shastamon_breaker_state) by (dependency)`,
+	`max(shastamon_scrape_staleness_seconds) by (target)`,
+	`sum(shastamon_dlq_records_total) by (topic)`,
+}
+
+// selfQueries expands the -self argument into PromQL queries without the
+// operator hand-writing selectors: empty runs the curated default set, a
+// bare family name gets the shastamon_ prefix, and anything that is not a
+// bare metric name (it has braces, parens, spaces...) passes through as
+// full PromQL.
+func selfQueries(q string) []string {
+	q = strings.TrimSpace(q)
+	if q == "" {
+		return selfDefaults
+	}
+	if isMetricName(q) {
+		if !strings.HasPrefix(q, "shastamon_") {
+			q = "shastamon_" + q
+		}
+	}
+	return []string{q}
+}
+
+func isMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// querySelf runs each query as a PromQL instant query against the remote
+// pipeline's /api/v1/query (the shastamon_* series land in the TSDB via
+// the self-scrape job, so they answer on the metrics API, not the Loki
+// one).
+func querySelf(base, at, query string) error {
+	end, err := time.Parse(time.RFC3339, at)
+	if err != nil {
+		return fmt.Errorf("bad -at: %w", err)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, q := range selfQueries(query) {
+		fmt.Printf("# %s\n", q)
+		vals := url.Values{}
+		vals.Set("query", q)
+		vals.Set("time", strconv.FormatFloat(float64(end.UnixMilli())/1000, 'f', 3, 64))
+		var resp struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+			Data   struct {
+				Result []struct {
+					Metric map[string]string `json:"metric"`
+					Value  [2]interface{}    `json:"value"`
+				} `json:"result"`
+			} `json:"data"`
+		}
+		if err := getJSON(client, base+"/api/v1/query?"+vals.Encode(), &resp); err != nil {
+			return err
+		}
+		if resp.Status != "success" {
+			return fmt.Errorf("remote: %s", resp.Error)
+		}
+		for _, s := range resp.Data.Result {
+			fmt.Printf("%s => %v\n", renderLabels(s.Metric), s.Value[1])
+		}
+		if len(resp.Data.Result) == 0 {
+			fmt.Println("(empty vector)")
+		}
+	}
+	return nil
+}

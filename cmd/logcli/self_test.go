@@ -1,0 +1,52 @@
+package main
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/promql"
+	"shastamon/internal/tsdb"
+)
+
+func TestSelfQueries(t *testing.T) {
+	if got := selfQueries(""); !reflect.DeepEqual(got, selfDefaults) {
+		t.Fatalf("empty -q = %v, want the default set", got)
+	}
+	cases := map[string]string{
+		"breaker_state":                          "shastamon_breaker_state",
+		"shastamon_slo_burn_rate":                "shastamon_slo_burn_rate",
+		"  dlq_records_total ":                   "shastamon_dlq_records_total",
+		`up{job="shastamon"}`:                    `up{job="shastamon"}`, // full PromQL passes through
+		`max(shastamon_slo_burn_rate) by (rule)`: `max(shastamon_slo_burn_rate) by (rule)`,
+	}
+	for in, want := range cases {
+		got := selfQueries(in)
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("selfQueries(%q) = %v, want [%s]", in, got, want)
+		}
+	}
+}
+
+func TestQuerySelfAgainstPromAPI(t *testing.T) {
+	db := tsdb.New()
+	at := time.Date(2022, 3, 3, 2, 0, 0, 0, time.UTC)
+	if err := db.AppendMetric("shastamon_breaker_state",
+		labels.FromStrings("dependency", "servicenow"), at.UnixMilli(), 2); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(promql.NewEngine(db).Handler())
+	defer srv.Close()
+
+	if err := querySelf(srv.URL, at.Format(time.RFC3339), "breaker_state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := querySelf(srv.URL, "not-a-time", ""); err == nil {
+		t.Fatal("bad -at accepted")
+	}
+	if err := querySelf(srv.URL, at.Format(time.RFC3339), "sum(shastamon_breaker_state) by ("); err == nil {
+		t.Fatal("remote error not propagated")
+	}
+}

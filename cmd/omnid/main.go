@@ -20,9 +20,18 @@
 //
 // With -metrics (default on), the same listener additionally serves:
 //
-//	GET /metrics             shastamon_* self-metrics (Prometheus text)
-//	GET /debug/trace/        event traces; /debug/trace/{id} for one
+//	GET /metrics             shastamon_* self-metrics (Prometheus text, with
+//	                         exemplar trace IDs on the detection-latency buckets)
+//	GET /debug/trace/        event traces; /debug/trace/{id} for one, and
+//	                         /debug/trace/{id}?format=waterfall for the
+//	                         plain-text timed-span waterfall
+//	GET /debug/slo           detection-latency SLO report (per-rule burn
+//	                         rate, p50/p95/max) as JSON
 //	GET /debug/pprof/        net/http/pprof profiles
+//
+// With -meta-alerts, the built-in self-monitoring rule pack (core.MetaRules)
+// is evaluated over the pipeline's own shastamon_* series and delivered
+// through the same Alertmanager -> Slack/ServiceNow path as hardware alerts.
 package main
 
 import (
@@ -55,7 +64,8 @@ func main() {
 	switchAfter := flag.Duration("switch-after", 20*time.Second, "take a switch offline after this long (0 disables)")
 	syslogRate := flag.Int("syslog-rate", 20, "synthetic syslog messages per tick")
 	rulesPath := flag.String("rules", "", "JSON rule file (see core.RuleFile); default: the paper's two case-study rules")
-	metrics := flag.Bool("metrics", true, "serve /metrics, /debug/trace/ and /debug/pprof/ on the status listener")
+	metrics := flag.Bool("metrics", true, "serve /metrics, /debug/trace/, /debug/slo and /debug/pprof/ on the status listener")
+	metaAlerts := flag.Bool("meta-alerts", false, "evaluate the built-in self-monitoring rule pack (SLO burn, stuck breakers, DLQ growth, stage errors, scrape staleness)")
 	flag.Parse()
 
 	logRules := []ruler.Rule{experiments.LeakRule, experiments.SwitchRule}
@@ -72,6 +82,7 @@ func main() {
 		LogRules:    logRules,
 		MetricRules: metricRules,
 		GroupWait:   time.Second,
+		MetaAlerts:  *metaAlerts,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -240,6 +251,7 @@ func main() {
 		// shastamon_* registries, the event tracer, and pprof.
 		mux.Handle("/metrics", obs.Handler(obs.GathererFunc(p.Gather)))
 		mux.Handle("/debug/trace/", p.Tracer.Handler())
+		mux.Handle("/debug/slo", p.SLO().Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -178,6 +178,23 @@ type Config struct {
 	// MaxNotifyAttempts bounds redelivery tries per notification before it
 	// is dropped and counted (default 10).
 	MaxNotifyAttempts int
+	// OnDelivered, when set, is invoked once per alert after each
+	// successful notification with the receiver name and the dispatch
+	// start/end times — the hook the pipeline uses to close out
+	// end-to-end detection latency.
+	OnDelivered func(a Alert, receiver string, start, end time.Time)
+}
+
+// TraceKey extracts the event-trace correlation key from an alert label
+// set: the Context stream label or component xname for hardware alerts,
+// falling back to the subsystem dimensions the built-in meta-alerts carry.
+func TraceKey(ls labels.Labels) string {
+	for _, name := range []string{"Context", "xname", "dependency", "target", "topic", "stage", "rule"} {
+		if v := ls.Get(name); v != "" {
+			return v
+		}
+	}
+	return ""
 }
 
 type group struct {
@@ -204,6 +221,7 @@ type Manager struct {
 	inhibit   []InhibitRule
 	now       func() time.Time
 	tracer    *obs.Tracer
+	delivered func(a Alert, receiver string, start, end time.Time)
 
 	retryBackoff time.Duration
 	maxAttempts  int
@@ -265,6 +283,7 @@ func New(cfg Config) (*Manager, error) {
 		inhibit:      cfg.Inhibit,
 		now:          now,
 		tracer:       cfg.Tracer,
+		delivered:    cfg.OnDelivered,
 		retryBackoff: cfg.RetryBackoff,
 		maxAttempts:  cfg.MaxNotifyAttempts,
 		groups:       map[string]*group{},
@@ -489,6 +508,7 @@ func (m *Manager) dispatch(n Notification, attempts int, now time.Time) {
 	if !ok {
 		return
 	}
+	t0 := time.Now()
 	if err := rcv.Notify(n); err != nil {
 		m.notifyVec.With(n.Receiver, "failed").Inc()
 		attempts++
@@ -511,13 +531,17 @@ func (m *Manager) dispatch(n Notification, attempts int, now time.Time) {
 		return
 	}
 	m.notifyVec.With(n.Receiver, "sent").Inc()
+	// Timed notify span anchored on the simulated clock, plus a per-alert
+	// delivery span on the receiver, then the latency close-out hook.
+	end := now.Add(time.Since(t0))
 	for _, a := range n.Alerts {
-		key := a.Labels.Get("Context")
-		if key == "" {
-			key = a.Labels.Get("xname")
-		}
-		m.tracer.StageByKey(key, "alertmanager.notify", now,
+		key := TraceKey(a.Labels)
+		m.tracer.SpanByKey(key, "alertmanager.notify", now, end,
 			a.Name()+" -> "+n.Receiver)
+		m.tracer.SpanByKey(key, n.Receiver+".deliver", now, end, a.Name())
+		if m.delivered != nil {
+			m.delivered(a, n.Receiver, now, end)
+		}
 	}
 }
 

@@ -73,6 +73,39 @@ func (p *Pipeline) SinglePane() grafana.Dashboard {
 				Query:  `sum(shastamon_alertmanager_notifications_total) by (receiver, outcome)`,
 				Source: grafana.SourceMetrics,
 			},
+			// Self: latency — the detection-latency SLO on the same pane.
+			// Count and sum are separate panels because the embedded
+			// PromQL engine evaluates vector-vs-scalar binops only.
+			{
+				Title:  "Self: latency — detections closed out by rule",
+				Query:  `sum(shastamon_detection_latency_seconds_count) by (rule)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: latency — cumulative detection seconds by rule",
+				Query:  `sum(shastamon_detection_latency_seconds_sum) by (rule)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: latency — SLO burn rate by rule (>1 burns budget)",
+				Query:  `max(shastamon_slo_burn_rate) by (rule)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: latency — SLO events breaching the target",
+				Query:  `sum(shastamon_slo_events_total{outcome="breached"}) by (rule)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: delivery breaker state (0 closed, 2 open)",
+				Query:  `max(shastamon_breaker_state) by (dependency)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: scrape staleness by target (seconds)",
+				Query:  `max(shastamon_scrape_staleness_seconds) by (target)`,
+				Source: grafana.SourceMetrics,
+			},
 		},
 	}
 }

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"shastamon/internal/chaos"
+	"shastamon/internal/obs"
+	"shastamon/internal/resilience"
+	"shastamon/internal/ruler"
+	"shastamon/internal/shasta"
+)
+
+// cabinetLeakRule is the leak rule under the alert-family name the
+// detection-latency acceptance criterion names: the histogram's rule
+// label is the alertname.
+var cabinetLeakRule = ruler.Rule{
+	Name:        "cabinet_leak",
+	Expr:        leakRule.Expr,
+	For:         leakRule.For,
+	Labels:      leakRule.Labels,
+	Annotations: leakRule.Annotations,
+}
+
+// slackTitles counts Slack attachments by alert title.
+func slackTitles(p *Pipeline) map[string]int {
+	out := map[string]int{}
+	for _, m := range p.Slack.Messages() {
+		for _, att := range m.Attachments {
+			out[att.Title]++
+		}
+	}
+	return out
+}
+
+// TestDetectionLatencyEndToEnd is the issue's acceptance scenario: a leak
+// produces exactly one shastamon_detection_latency_seconds{rule="cabinet_leak"}
+// observation whose exemplar trace ID resolves to a span waterfall
+// covering every stage from the Redfish emit to the Slack delivery.
+func TestDetectionLatencyEndToEnd(t *testing.T) {
+	p := newPipeline(t, Options{LogRules: []ruler.Rule{cabinetLeakRule}})
+	leakTime := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	mustTick(t, p, leakTime.Add(-time.Minute))
+	if err := p.Cluster.InjectLeak("x1203c1b0", "A", "Front", leakTime); err != nil {
+		t.Fatal(err)
+	}
+	// Fire at +61s (for: 1m), deliver at +62s; the extra ticks prove the
+	// close-out stays exactly-once across later flushes.
+	for _, off := range []time.Duration{0, 61 * time.Second, 62 * time.Second,
+		63 * time.Second, 2 * time.Minute} {
+		mustTick(t, p, leakTime.Add(off))
+	}
+
+	fams := p.Gather()
+	if got := obs.Value(fams, "shastamon_detection_latency_seconds_count", "rule", "cabinet_leak"); got != 1 {
+		t.Fatalf("detection_latency count = %v, want exactly 1", got)
+	}
+
+	// The exemplar rides on the bucket the observation landed in.
+	var traceID string
+	var exemplarVal float64
+	for _, f := range fams {
+		if f.Name != "shastamon_detection_latency_seconds" {
+			continue
+		}
+		for _, m := range f.Metrics {
+			if m.Exemplar != nil && m.Labels.Get("rule") == "cabinet_leak" {
+				traceID = m.Exemplar.Labels.Get("trace_id")
+				exemplarVal = m.Exemplar.Value
+			}
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no exemplar trace_id on the detection-latency buckets")
+	}
+	if exemplarVal < 61 || exemplarVal > 70 {
+		t.Fatalf("exemplar latency = %v s, want ~62s (rule hold + delivery)", exemplarVal)
+	}
+
+	// The exemplar's trace covers the full journey, Redfish emit -> Slack.
+	tr, ok := p.Tracer.Get(traceID)
+	if !ok {
+		t.Fatalf("exemplar trace %s not retained", traceID)
+	}
+	wantStages := []string{
+		"origin", "kafka.produce", "telemetry.stream", "core.forward",
+		"loki.ingest", "ruler.fire", "alertmanager.notify", "slack.deliver",
+	}
+	if !tr.HasStages(wantStages...) {
+		t.Fatalf("trace %s stages = %v, want all of %v", traceID, tr.StageNames(), wantStages)
+	}
+	if tr.Attrs["detection_latency_seconds"] == "" {
+		t.Fatalf("trace %s missing detection_latency_seconds attr: %v", traceID, tr.Attrs)
+	}
+	// Timed spans: the rule hold makes ruler.fire start ~61s after origin.
+	var fireOffset time.Duration
+	for _, s := range tr.Stages {
+		if s.Stage == "ruler.fire" {
+			fireOffset = s.Time.Sub(tr.Stages[0].Time)
+		}
+	}
+	if fireOffset < 61*time.Second {
+		t.Fatalf("ruler.fire offset = %s, want >= 61s", fireOffset)
+	}
+
+	// The waterfall view serves the same trace as text.
+	rec := httptest.NewRecorder()
+	p.ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/"+traceID+"?format=waterfall", nil))
+	if rec.Code != 200 {
+		t.Fatalf("waterfall -> %d", rec.Code)
+	}
+	for _, want := range []string{"slack.deliver", "ruler.fire", "detection_latency_seconds"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, rec.Body.String())
+		}
+	}
+
+	// The exposition page renders the exemplar in OpenMetrics style.
+	rec = httptest.NewRecorder()
+	p.ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), `# {trace_id="`+traceID+`"}`) {
+		t.Fatal("/metrics does not render the exemplar")
+	}
+
+	// And the SLO endpoint reports the rule with one good event (62s is
+	// inside the default 90s target).
+	rec = httptest.NewRecorder()
+	p.ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	var rep obs.SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rep.Rules {
+		if r.Rule == "cabinet_leak" {
+			found = true
+			if r.Events != 1 || r.Good != 1 || r.BurnRate != 0 {
+				t.Fatalf("slo report = %+v, want 1 good event, burn 0", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/slo missing cabinet_leak: %+v", rep)
+	}
+}
+
+// TestSwitchOfflineDetectionLatency: fabric events bypass Kafka, so their
+// traces are minted at the fabric monitor; the switch-offline alert still
+// closes out an end-to-end latency.
+func TestSwitchOfflineDetectionLatency(t *testing.T) {
+	p := newPipeline(t, Options{LogRules: []ruler.Rule{switchRuleCopy()}})
+	t0 := time.Date(2022, 3, 3, 2, 0, 0, 0, time.UTC)
+	mustTick(t, p, t0)
+	if err := p.Cluster.SetSwitchState("x1002c1r7b0", shasta.SwitchUnknown); err != nil {
+		t.Fatal(err)
+	}
+	mustTick(t, p, t0.Add(time.Minute))
+	mustTick(t, p, t0.Add(time.Minute+time.Second))
+
+	fams := p.Gather()
+	if got := obs.Value(fams, "shastamon_detection_latency_seconds_count", "rule", "SwitchOffline"); got != 1 {
+		t.Fatalf("switch detection_latency count = %v, want 1", got)
+	}
+	id := p.Tracer.IDByKey("x1002c1r7b0")
+	if id == "" {
+		t.Fatal("no trace minted for the offline switch")
+	}
+	tr, _ := p.Tracer.Get(id)
+	if !tr.HasStages("origin", "loki.ingest", "ruler.fire", "alertmanager.notify", "slack.deliver") {
+		t.Fatalf("switch trace stages = %v", tr.StageNames())
+	}
+}
+
+func switchRuleCopy() ruler.Rule {
+	return ruler.Rule{
+		Name:   "SwitchOffline",
+		Expr:   `sum(count_over_time({app="fabric_manager_monitor"} |= "fm_switch_offline" | pattern "[<sev>] problem:<problem>, xname:<xname>, state:<state>" [5m])) by (sev, problem, xname, state) > 0`,
+		For:    0,
+		Labels: map[string]string{"severity": "critical"},
+	}
+}
+
+// TestMetaAlertBreakerOpen is the chaos acceptance run: ServiceNow goes
+// hard down, its circuit breaker sticks open, and the built-in
+// ShastamonBreakerStuckOpen meta-alert fires through the same
+// Alertmanager -> Slack path the hardware alerts use.
+func TestMetaAlertBreakerOpen(t *testing.T) {
+	inj := chaos.New(3)
+	p := newPipeline(t, Options{LogRules: []ruler.Rule{leakRule}, MetaAlerts: true, Chaos: inj})
+	fast := resilience.Policy{MaxAttempts: 2, Initial: time.Millisecond, Max: time.Millisecond}
+	p.snNotifier.SetRetryPolicy(fast)
+	p.slackNotifier.SetRetryPolicy(fast)
+
+	// ServiceNow is down for the whole run; Slack stays healthy, so the
+	// self-alert has a working path out.
+	inj.Set("servicenow.http", chaos.Fault{ErrProb: 1})
+
+	leakTime := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	mustTick(t, p, leakTime.Add(-time.Minute))
+	if err := p.Cluster.InjectLeak("x1203c1b0", "A", "Front", leakTime); err != nil {
+		t.Fatal(err)
+	}
+	mustTick(t, p, leakTime)
+	mustTick(t, p, leakTime.Add(61*time.Second))
+
+	// Retry-queue redispatches fail until the SN breaker opens (threshold
+	// 3, open 30s on the simulated clock); each tick scrapes
+	// shastamon_breaker_state{dependency="servicenow"}=2 into the TSDB and
+	// vmalert's for:10s hold turns it into a firing meta-alert.
+	fire := leakTime.Add(62 * time.Second)
+	deadline := fire.Add(3 * time.Minute)
+	found := false
+	for ts := fire; ts.Before(deadline); ts = ts.Add(5 * time.Second) {
+		mustTick(t, p, ts)
+		if slackTitles(p)["ShastamonBreakerStuckOpen"] > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("ShastamonBreakerStuckOpen never reached Slack; titles = %v", slackTitles(p))
+	}
+	// The self-alert names the stuck dependency.
+	ok := false
+	for _, m := range p.Slack.Messages() {
+		for _, att := range m.Attachments {
+			if att.Title == "ShastamonBreakerStuckOpen" && strings.Contains(att.Text, "servicenow") {
+				ok = true
+			}
+		}
+	}
+	if !ok {
+		t.Fatal("meta-alert does not identify the servicenow dependency")
+	}
+	// The hardware alert still went out on the healthy path.
+	if slackTitles(p)["PerlmutterCabinetLeak"] == 0 {
+		t.Fatal("leak alert missing from Slack")
+	}
+}
+
+// TestMetaAlertSLOBurn: with a tightened latency target the leak's 62s
+// detection breaches, the burn-rate gauge exceeds 1, and the
+// ShastamonDetectionSLOBurn meta-alert lands in Slack.
+func TestMetaAlertSLOBurn(t *testing.T) {
+	p := newPipeline(t, Options{
+		LogRules:   []ruler.Rule{leakRule},
+		MetaAlerts: true,
+		SLO:        obs.SLOConfig{Target: 30 * time.Second, Objective: 0.95},
+	})
+	leakTime := time.Date(2022, 3, 3, 1, 47, 57, 0, time.UTC)
+	mustTick(t, p, leakTime.Add(-time.Minute))
+	if err := p.Cluster.InjectLeak("x1203c1b0", "A", "Front", leakTime); err != nil {
+		t.Fatal(err)
+	}
+	// Delivery (and the breach) happens in the +62s flush; the +63s tick
+	// scrapes the burn-rate gauge into the TSDB, vmalert fires on it, and
+	// the same flush delivers the meta-alert.
+	for _, off := range []time.Duration{0, 61 * time.Second, 62 * time.Second,
+		63 * time.Second, 64 * time.Second} {
+		mustTick(t, p, leakTime.Add(off))
+	}
+
+	if slackTitles(p)["ShastamonDetectionSLOBurn"] == 0 {
+		t.Fatalf("SLO-burn meta-alert missing; titles = %v", slackTitles(p))
+	}
+	rep := p.SLOReport()
+	for _, r := range rep.Rules {
+		if r.Rule == "PerlmutterCabinetLeak" {
+			if r.Breached != 1 || r.BurnRate <= 1 {
+				t.Fatalf("slo report = %+v, want 1 breach with burn > 1", r)
+			}
+			return
+		}
+	}
+	t.Fatalf("slo report missing the leak rule: %+v", rep)
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"time"
+
+	"shastamon/internal/vmalert"
+)
+
+// MetaRules is the built-in self-monitoring rule pack: the pipeline
+// alerting on its own health. The rules are plain vmalert rules over the
+// shastamon_* series the vmagent self-scrape lands in the warehouse TSDB,
+// evaluated by the same engine and delivered through the same
+// Alertmanager -> Slack (and, for critical ones, ServiceNow) path as
+// hardware alerts — SERVIMON's "monitor the monitoring" on the single
+// pane of glass. Enabled via Options.MetaAlerts; every alert carries
+// source="shastamon" so routes and dashboards can tell self-alerts from
+// hardware ones.
+func MetaRules() []vmalert.Rule {
+	return []vmalert.Rule{
+		{
+			// The headline guard: the error budget of the detection-latency
+			// SLO is being consumed faster than it accrues. Burn rate is
+			// breach-fraction over allowed fraction, so >1 always means the
+			// objective will be missed if the trend holds.
+			Name:   "ShastamonDetectionSLOBurn",
+			Expr:   `max(shastamon_slo_burn_rate) by (rule) > 1`,
+			Labels: map[string]string{"severity": "critical", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "Detection-latency SLO error budget burning for rule {{ $labels.rule }} (burn rate {{ $value }})",
+			},
+		},
+		{
+			// A breaker that stays open means a dependency (Slack,
+			// ServiceNow, an exporter) has been down long enough that
+			// alerts or samples are piling up behind it.
+			Name:   "ShastamonBreakerStuckOpen",
+			Expr:   `max(shastamon_breaker_state) by (dependency) >= 2`,
+			For:    10 * time.Second,
+			Labels: map[string]string{"severity": "critical", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "Circuit breaker for {{ $labels.dependency }} stuck open — deliveries are failing fast",
+			},
+		},
+		{
+			// Poison records are quarantined, not lost, but growth means a
+			// producer or parser regressed and evidence is leaving the
+			// alerting path.
+			Name:   "ShastamonDLQGrowth",
+			Expr:   `sum(increase(shastamon_dlq_records_total[10m])) by (topic) > 0`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "Dead-letter queue for topic {{ $labels.topic }} grew by {{ $value }} record(s) in 10m",
+			},
+		},
+		{
+			// Stage errors are isolated per tick, so the pipeline keeps
+			// running — this is the signal that it is running degraded.
+			Name:   "ShastamonStageErrors",
+			Expr:   `sum(increase(shastamon_stage_errors_total[5m])) by (stage) > 0`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "Pipeline stage {{ $labels.stage }} failed {{ $value }} time(s) in 5m",
+			},
+		},
+		{
+			// A stale scrape target silently freezes every rule that reads
+			// its series; staleness runs on scrape timestamps so it tracks
+			// simulated time in experiments too.
+			Name:   "ShastamonScrapeStale",
+			Expr:   `max(shastamon_scrape_staleness_seconds) by (target) > 120`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "Scrape target {{ $labels.target }} stale for {{ $value }}s",
+			},
+		},
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -70,6 +71,14 @@ type Options struct {
 	// ("warehouse.ingest"), and the notifier transports ("slack.http",
 	// "servicenow.http"). Nil runs fault-free.
 	Chaos *chaos.Injector
+	// SLO is the detection-latency objective end-to-end latencies are
+	// held to; zero fields take obs.DefaultSLO (95% within 90s).
+	SLO obs.SLOConfig
+	// MetaAlerts, when true, appends the built-in MetaRules() pack to the
+	// vmalert rules: the pipeline alerting on its own health (SLO burn,
+	// breakers stuck open, DLQ growth, stage errors, scrape staleness)
+	// through the same Alertmanager -> Slack path as hardware alerts.
+	MetaAlerts bool
 }
 
 // Pipeline is the assembled monitoring framework of Fig. 1.
@@ -107,10 +116,13 @@ type Pipeline struct {
 	obsURL        string
 	obsReg        *obs.Registry
 	tickDur       *obs.Histogram
+	stageDur      *obs.HistogramVec
 	forwardedCtr  *obs.Counter
 	stageErrCtr   *obs.CounterVec
 	dlqCtr        *obs.CounterVec
 	tickFailCtr   *obs.Counter
+	detectLatency *obs.HistogramVec
+	slo           *obs.SLO
 
 	subEvents  *telemetry.Subscription
 	subSensors *telemetry.Subscription
@@ -180,6 +192,12 @@ func New(opts Options) (*Pipeline, error) {
 		"Malformed records quarantined to a dead-letter topic, by source topic.", "topic")
 	p.tickFailCtr = p.obsReg.Counter(obs.Namespace+"core_tick_failures_total",
 		"Ticks that completed with at least one stage error.")
+	p.stageDur = p.obsReg.HistogramVec(obs.Namespace+"core_stage_duration_seconds",
+		"Wall time of each tick stage, by stage.", obs.DefBuckets, "stage")
+	p.detectLatency = p.obsReg.HistogramVec(obs.Namespace+"detection_latency_seconds",
+		"End-to-end detection latency from event origin to first successful alert delivery, by rule; buckets carry exemplar trace IDs.",
+		obs.LatencyBuckets, "rule")
+	p.slo = obs.NewSLO(p.obsReg, opts.SLO)
 	// The united breaker family: one gauge per protected dependency. Each
 	// component also exposes its own uniquely-named breaker gauge; this is
 	// the cross-cutting view dashboards alert on.
@@ -288,10 +306,19 @@ func New(opts Options) (*Pipeline, error) {
 	p.servers = append(p.servers, srv)
 	fabricLabels := FabricEventLabels(p.Cluster.Name())
 	p.FabricMonitor = fabricmgr.NewMonitor(furl, nil, fabricmgr.SinkFunc(func(e fabricmgr.Event) error {
-		return p.Warehouse.IngestLogs([]loki.PushStream{{
+		// Fabric events bypass Kafka, so their trace begins here: minted
+		// keyed by the switch xname, origin at the event timestamp, so a
+		// switch-offline alert gets end-to-end latency like a Redfish one.
+		id := p.Tracer.Start(e.Xname, e.Timestamp, e.Problem)
+		t0 := time.Now()
+		err := p.Warehouse.IngestLogs([]loki.PushStream{{
 			Labels:  fabricLabels,
 			Entries: []loki.Entry{{Timestamp: e.Timestamp.UnixNano(), Line: e.Line()}},
 		}})
+		if err == nil {
+			p.Tracer.Span(id, "loki.ingest", e.Timestamp, e.Timestamp.Add(time.Since(t0)), e.Line())
+		}
+		return err
 	}))
 
 	// Syslog aggregation into Kafka (topic created by the collector).
@@ -391,11 +418,12 @@ func New(opts Options) (*Pipeline, error) {
 		}
 	}
 	if p.Alertmanager, err = alertmanager.New(alertmanager.Config{
-		Route:     route,
-		Receivers: []alertmanager.Receiver{slackNotifier, snNotifier},
-		Inhibit:   opts.Inhibit,
-		Now:       p.Now,
-		Tracer:    p.Tracer,
+		Route:       route,
+		Receivers:   []alertmanager.Receiver{slackNotifier, snNotifier},
+		Inhibit:     opts.Inhibit,
+		Now:         p.Now,
+		Tracer:      p.Tracer,
+		OnDelivered: p.alertDelivered,
 	}); err != nil {
 		return fail(err)
 	}
@@ -404,12 +432,53 @@ func New(opts Options) (*Pipeline, error) {
 		return fail(err)
 	}
 	p.Ruler.SetTracer(p.Tracer)
-	if p.VMAlert, err = vmalert.New(p.Warehouse.PromQL, p.Alertmanager, p.Now, opts.MetricRules...); err != nil {
+	metricRules := opts.MetricRules
+	if opts.MetaAlerts {
+		metricRules = append(append([]vmalert.Rule{}, metricRules...), MetaRules()...)
+	}
+	if p.VMAlert, err = vmalert.New(p.Warehouse.PromQL, p.Alertmanager, p.Now, metricRules...); err != nil {
 		return fail(err)
 	}
 	p.VMAlert.SetTracer(p.Tracer)
 	return p, nil
 }
+
+// alertDelivered is the Alertmanager's per-alert delivery hook: the
+// moment an alert first lands at a receiver it closes out the event's
+// end-to-end detection latency — origin (Redfish emit or fabric event)
+// to delivery — into shastamon_detection_latency_seconds{rule} with an
+// exemplar trace ID, and feeds the SLO accounting. The Tracer.Once guard
+// makes the observation exactly-once per trace and rule even when the
+// same alert is delivered to both Slack and ServiceNow or re-notified
+// later.
+func (p *Pipeline) alertDelivered(a alertmanager.Alert, receiver string, start, end time.Time) {
+	id := p.Tracer.IDByKey(alertmanager.TraceKey(a.Labels))
+	if id == "" {
+		return
+	}
+	origin, ok := p.Tracer.Origin(id)
+	if !ok {
+		return
+	}
+	rule := a.Name()
+	if rule == "" || !p.Tracer.Once(id, "latency."+rule) {
+		return
+	}
+	lat := end.Sub(origin)
+	if lat < 0 {
+		lat = 0
+	}
+	p.detectLatency.With(rule).ObserveWithExemplar(lat.Seconds(), end.UnixMilli(), "trace_id", id)
+	p.Tracer.Annotate(id, "detection_latency_seconds",
+		strconv.FormatFloat(lat.Seconds(), 'g', -1, 64))
+	p.slo.Observe(rule, lat)
+}
+
+// SLO exposes the detection-latency SLO tracker (report, handler).
+func (p *Pipeline) SLO() *obs.SLO { return p.slo }
+
+// SLOReport snapshots per-rule detection-latency SLO state.
+func (p *Pipeline) SLOReport() obs.SLOReport { return p.slo.Report() }
 
 // Gather unites every component's self-monitoring registry into one
 // family list — the content of the pipeline's /metrics page.
@@ -456,10 +525,13 @@ func (p *Pipeline) Gather() []promtext.Family {
 //
 //	GET /metrics          united shastamon_* self-metrics (Prometheus text)
 //	GET /debug/trace/     retained event traces; /debug/trace/{id} for one
+//	                      (?format=waterfall for the plain-text span view)
+//	GET /debug/slo        per-rule detection-latency SLO report (JSON)
 func (p *Pipeline) ObsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(obs.GathererFunc(p.Gather)))
 	mux.Handle("/debug/trace/", p.Tracer.Handler())
+	mux.Handle("/debug/slo", p.slo.Handler())
 	return mux
 }
 
@@ -563,21 +635,26 @@ func (p *Pipeline) drain(sub *telemetry.Subscription, name string, max int,
 
 func (p *Pipeline) forwardEvent(rec telemetry.Record, raw []byte) error {
 	tid := rec.Headers[obs.TraceHeader]
-	p.Tracer.Stage(tid, "core.forward", p.Now(), rec.Topic)
+	now := p.Now()
+	t0 := time.Now()
 	payload, err := redfish.ParsePayload(raw)
 	if err != nil {
+		p.Tracer.Stage(tid, "core.forward", now, rec.Topic)
 		return poison(fmt.Errorf("core: event payload: %w", err))
 	}
 	streams, err := RedfishToLoki(payload, p.Cluster.Name())
 	if err != nil {
+		p.Tracer.Stage(tid, "core.forward", now, rec.Topic)
 		return poison(err)
 	}
+	p.Tracer.Span(tid, "core.forward", now, now.Add(time.Since(t0)), rec.Topic)
 	// Out-of-order entries (BMC clock skew) are dropped and counted
 	// by the store; they must not stall the forwarder.
+	t1 := time.Now()
 	if err := p.Warehouse.IngestLogs(streams); err != nil && !errors.Is(err, chunkenc.ErrOutOfOrder) {
 		return err
 	}
-	p.Tracer.Stage(tid, "loki.ingest", p.Now(),
+	p.Tracer.Span(tid, "loki.ingest", now, now.Add(time.Since(t1)),
 		fmt.Sprintf("%d stream(s)", len(streams)))
 	return nil
 }
@@ -657,7 +734,10 @@ func (p *Pipeline) Tick(now time.Time) error {
 	p.SetNow(now)
 	var errs []error
 	stage := func(name string, fn func() error) {
-		if err := fn(); err != nil {
+		s0 := time.Now()
+		err := fn()
+		p.stageDur.With(name).Observe(time.Since(s0).Seconds())
+		if err != nil {
 			p.stageErrCtr.With(name).Inc()
 			errs = append(errs, fmt.Errorf("core: %s: %w", name, err))
 		}
@@ -669,8 +749,8 @@ func (p *Pipeline) Tick(now time.Time) error {
 	stage("scrape", func() error { return p.VMAgent.ScrapeOnce(now) })
 	stage("ruler", func() error { _, err := p.Ruler.EvalOnce(); return err })
 	stage("vmalert", func() error { _, err := p.VMAlert.EvalOnce(); return err })
-	p.Alertmanager.Flush()
-	p.Warehouse.EnforceRetention(now)
+	stage("alertmanager_flush", func() error { p.Alertmanager.Flush(); return nil })
+	stage("retention", func() error { p.Warehouse.EnforceRetention(now); return nil })
 	if len(errs) > 0 {
 		p.tickFailCtr.Inc()
 		return errors.Join(errs...)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -208,5 +209,41 @@ func TestRunnerDispatch(t *testing.T) {
 	}
 	if err := r.Run("nope", &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestLatencyExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LatencyJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep LatencyReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("latency_json is not pure JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Scenarios) != 2 || rep.SLOTargetSeconds != 90 {
+		t.Fatalf("report = %+v", rep)
+	}
+	byName := map[string]LatencyScenarioResult{}
+	for _, s := range rep.Scenarios {
+		byName[s.Scenario] = s
+	}
+	leak := byName["cabinet_leak"]
+	if leak.Events != 3 || leak.P50Seconds < 60 || leak.MaxSeconds > 90 || leak.BurnRate != 0 {
+		t.Fatalf("leak scenario = %+v", leak)
+	}
+	sw := byName["switch_offline"]
+	if sw.Events != 1 || sw.MaxSeconds <= 0 || sw.MaxSeconds > 30 {
+		t.Fatalf("switch scenario = %+v", sw)
+	}
+
+	buf.Reset()
+	if err := Latency(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cabinet_leak", "switch_offline", "SLO 95% within 90s"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("latency table missing %q:\n%s", want, buf.String())
+		}
 	}
 }

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"shastamon/internal/alertmanager"
+	"shastamon/internal/core"
+	"shastamon/internal/labels"
+	"shastamon/internal/obs"
+	"shastamon/internal/ruler"
+	"shastamon/internal/shasta"
+)
+
+// LatencyScenarioResult is one scenario row of the detection-latency
+// benchmark: the SLO reservoir percentiles for one alert rule.
+type LatencyScenarioResult struct {
+	Scenario   string  `json:"scenario"`
+	Rule       string  `json:"rule"`
+	Events     int64   `json:"events"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+	BurnRate   float64 `json:"burn_rate"`
+}
+
+// LatencyReport is the full benchmark artifact bench.sh writes to
+// BENCH_latency.json.
+type LatencyReport struct {
+	SLOTargetSeconds float64                 `json:"slo_target_seconds"`
+	SLOObjective     float64                 `json:"slo_objective"`
+	Scenarios        []LatencyScenarioResult `json:"scenarios"`
+}
+
+// runLatency drives both case-study failure modes through the pipeline on
+// the simulated clock and reads the end-to-end detection latencies
+// (Redfish emit / fabric event -> first successful delivery) back from
+// the SLO tracker: three staggered cabinet leaks (for:1m rules, so
+// ~60-75s each) and one switch-offline event (for:0, detected on the next
+// poll tick).
+func runLatency() (LatencyReport, error) {
+	// Group per fault (Context for leaks, xname for switches), not per
+	// alertname: with the default alertname grouping the second and third
+	// leaks would wait out the 5m GroupInterval behind the first
+	// notification, measuring Alertmanager batching instead of detection.
+	critical := labels.Selector{labels.MustMatcher(labels.MatchEqual, "severity", "critical")}
+	gw := time.Nanosecond
+	route := &alertmanager.Route{
+		Receiver:  "slack",
+		GroupWait: gw,
+		GroupBy:   []string{"alertname", "Context", "xname"},
+		Routes: []*alertmanager.Route{
+			{Receiver: "servicenow", Matchers: critical, GroupWait: gw, Continue: true},
+			{Receiver: "slack", Matchers: critical, GroupWait: gw},
+		},
+	}
+	p, err := core.New(core.Options{
+		Cluster:  clusterConfig(),
+		LogRules: []ruler.Rule{LeakRule, SwitchRule},
+		Route:    route,
+	})
+	if err != nil {
+		return LatencyReport{}, err
+	}
+	defer p.Close()
+
+	t0 := LeakTime
+	if err := p.Tick(t0.Add(-time.Minute)); err != nil {
+		return LatencyReport{}, err
+	}
+	// Staggered leaks in three different cabinets: each Context is its own
+	// alert group, so each closes out its own latency observation.
+	leaks := []struct {
+		xname string
+		off   time.Duration
+	}{
+		{"x1203c1b0", 0},
+		{"x1102c3b0", 7 * time.Second},
+		{"x1002c5b0", 13 * time.Second},
+	}
+	for _, l := range leaks {
+		if err := p.Cluster.InjectLeak(l.xname, "A", "Front", t0.Add(l.off)); err != nil {
+			return LatencyReport{}, err
+		}
+	}
+	// A switch drops partway through; the fabric monitor picks it up on
+	// the next poll, so its detection latency is one tick, not a rule hold.
+	if err := p.Cluster.SetSwitchState("x1002c1r7b0", shasta.SwitchUnknown); err != nil {
+		return LatencyReport{}, err
+	}
+	// A 5s operational tick grid over the rule holds plus delivery slack.
+	for ts := t0; !ts.After(t0.Add(2 * time.Minute)); ts = ts.Add(5 * time.Second) {
+		if err := p.Tick(ts); err != nil {
+			return LatencyReport{}, err
+		}
+	}
+
+	rep := p.SLOReport()
+	out := LatencyReport{SLOTargetSeconds: rep.TargetSeconds, SLOObjective: rep.Objective}
+	scenario := map[string]string{
+		LeakRule.Name:   "cabinet_leak",
+		SwitchRule.Name: "switch_offline",
+	}
+	for _, r := range rep.Rules {
+		name, ok := scenario[r.Rule]
+		if !ok {
+			name = r.Rule
+		}
+		out.Scenarios = append(out.Scenarios, LatencyScenarioResult{
+			Scenario:   name,
+			Rule:       r.Rule,
+			Events:     r.Events,
+			P50Seconds: r.P50,
+			P95Seconds: r.P95,
+			MaxSeconds: r.Max,
+			BurnRate:   r.BurnRate,
+		})
+	}
+	if len(out.Scenarios) != 2 {
+		return out, fmt.Errorf("latency: expected 2 scenarios, got %d (%+v)", len(out.Scenarios), out.Scenarios)
+	}
+	// Sanity-bound the numbers so the benchmark fails loudly if the
+	// pipeline regresses: leak detection is dominated by the 1m rule hold,
+	// switch detection by one 5s tick.
+	for _, s := range out.Scenarios {
+		switch s.Scenario {
+		case "cabinet_leak":
+			if s.Events != int64(len(leaks)) || s.MaxSeconds < 60 || s.MaxSeconds > obs.DefaultSLO.Target.Seconds() {
+				return out, fmt.Errorf("latency: leak scenario out of bounds: %+v", s)
+			}
+		case "switch_offline":
+			if s.Events != 1 || s.MaxSeconds > 30 {
+				return out, fmt.Errorf("latency: switch scenario out of bounds: %+v", s)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Latency prints the detection-latency benchmark as a human-readable
+// table: how long the pipeline takes from the instant a fault is emitted
+// to the alert reaching a receiver, per scenario.
+func Latency(w io.Writer) error {
+	rep, err := runLatency()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Detection latency (emit -> first delivery), SLO %.0f%% within %.0fs:\n",
+		rep.SLOObjective*100, rep.SLOTargetSeconds)
+	fmt.Fprintf(w, "%-16s %-24s %7s %8s %8s %8s %6s\n",
+		"scenario", "rule", "events", "p50(s)", "p95(s)", "max(s)", "burn")
+	for _, s := range rep.Scenarios {
+		fmt.Fprintf(w, "%-16s %-24s %7d %8.1f %8.1f %8.1f %6.2f\n",
+			s.Scenario, s.Rule, s.Events, s.P50Seconds, s.P95Seconds, s.MaxSeconds, s.BurnRate)
+	}
+	return nil
+}
+
+// LatencyJSON writes the same benchmark as a pure-JSON artifact for
+// bench.sh (BENCH_latency.json).
+func LatencyJSON(w io.Writer) error {
+	rep, err := runLatency()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

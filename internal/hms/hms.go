@@ -129,6 +129,7 @@ func (c *Collector) CollectOnce(ts time.Time) (events, samples int, err error) {
 		}
 		var part int
 		var off int64
+		t0 := time.Now()
 		err = resilience.Retry(c.policy, func() error {
 			var perr error
 			part, off, perr = c.broker.ProduceMessage(msg)
@@ -138,7 +139,8 @@ func (c *Collector) CollectOnce(ts time.Time) (events, samples int, err error) {
 			c.produceEr.Inc()
 			return events, samples, err
 		}
-		c.tracer.Stage(id, "kafka.produce", ts,
+		// Timed span: anchored on the simulated clock, wall-clock long.
+		c.tracer.Span(id, "kafka.produce", ts, ts.Add(time.Since(t0)),
 			fmt.Sprintf("%s/%d@%d", TopicEvents, part, off))
 		events++
 		c.events.Inc()

@@ -32,6 +32,13 @@ var DefBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
+// LatencyBuckets are bounds for end-to-end detection latencies — seconds
+// to minutes, dominated by rule `for:` hold times and group waits rather
+// than in-process work.
+var LatencyBuckets = []float64{
+	0.5, 1, 2.5, 5, 10, 15, 30, 45, 60, 75, 90, 120, 180, 300, 600, 900,
+}
+
 // Gatherer yields a snapshot of metric families; Registry implements it,
 // and so do composite holders like core.Pipeline.
 type Gatherer interface {
@@ -140,6 +147,77 @@ func Value(fams []promtext.Family, metric string, pairs ...string) float64 {
 		}
 	}
 	return sum
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the named histogram
+// from its _bucket samples across the given families, in the
+// histogram_quantile style: linear interpolation inside the bucket the
+// rank falls in, with the largest finite bound returned when it falls in
+// +Inf. Like Value, the optional label pairs filter which children are
+// summed. Returns NaN when the histogram has no observations.
+func Quantile(fams []promtext.Family, metric string, q float64, pairs ...string) float64 {
+	if len(pairs)%2 != 0 {
+		panic("obs.Quantile: odd number of label pair arguments")
+	}
+	// Sum cumulative counts per upper bound across matching children.
+	cum := map[float64]float64{}
+	for _, f := range fams {
+		for _, m := range f.Metrics {
+			if m.Name != metric+"_bucket" {
+				continue
+			}
+			ok := true
+			for i := 0; i < len(pairs); i += 2 {
+				if m.Labels.Get(pairs[i]) != pairs[i+1] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			le, err := strconv.ParseFloat(m.Labels.Get("le"), 64)
+			if err != nil {
+				continue
+			}
+			cum[le] += m.Value
+		}
+	}
+	bounds := make([]float64, 0, len(cum))
+	for b := range cum {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	if len(bounds) == 0 {
+		return math.NaN()
+	}
+	total := cum[bounds[len(bounds)-1]] // +Inf sorts last
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * total
+	prevBound, prevCum := 0.0, 0.0
+	for _, b := range bounds {
+		c := cum[b]
+		if rank <= c {
+			if math.IsInf(b, +1) {
+				return prevBound // rank beyond the last finite bucket
+			}
+			inBucket := c - prevCum
+			if inBucket <= 0 {
+				return b
+			}
+			return prevBound + (b-prevBound)*(rank-prevCum)/inBucket
+		}
+		prevBound, prevCum = b, c
+	}
+	return prevBound
 }
 
 // GathererFunc adapts a function to the Gatherer interface.
@@ -276,12 +354,15 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // ---- histograms ----
 
 // Histogram counts observations into fixed buckets. Buckets are upper
-// bounds in increasing order; a final +Inf bucket is implicit.
+// bounds in increasing order; a final +Inf bucket is implicit. Each
+// bucket retains the most recent exemplar recorded into it, so a scrape
+// can link a slow observation to its trace.
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; non-cumulative per bucket
 	sum    atomicFloat
 	total  atomic.Uint64
+	ex     []atomic.Pointer[promtext.Exemplar] // len(bounds)+1, latest per bucket
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -290,7 +371,9 @@ func newHistogram(buckets []float64) *Histogram {
 	}
 	b := append([]float64(nil), buckets...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+		ex:     make([]atomic.Pointer[promtext.Exemplar], len(b)+1)}
 }
 
 // Observe records one observation.
@@ -299,6 +382,21 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.sum.add(v)
 	h.total.Add(1)
+}
+
+// ObserveWithExemplar records one observation and attaches an exemplar
+// (label pairs such as "trace_id", id) to the bucket it lands in. tsMillis
+// is the observation time in milliseconds since epoch (0 to omit).
+func (h *Histogram) ObserveWithExemplar(v float64, tsMillis int64, labelPairs ...string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.total.Add(1)
+	ex := &promtext.Exemplar{Value: v, Timestamp: tsMillis}
+	if len(labelPairs) > 0 {
+		ex.Labels = labels.FromStrings(labelPairs...)
+	}
+	h.ex[i].Store(ex)
 }
 
 // Count returns the number of observations.
@@ -315,11 +413,13 @@ func (h *Histogram) metrics(name string, base labels.Labels) []promtext.Metric {
 		cum += h.counts[i].Load()
 		le := strconv.FormatFloat(b, 'g', -1, 64)
 		out = append(out, promtext.Metric{Name: name + "_bucket",
-			Labels: base.With("le", le), Value: float64(cum)})
+			Labels: base.With("le", le), Value: float64(cum),
+			Exemplar: h.ex[i].Load()})
 	}
 	cum += h.counts[len(h.bounds)].Load()
 	out = append(out, promtext.Metric{Name: name + "_bucket",
-		Labels: base.With("le", "+Inf"), Value: float64(cum)})
+		Labels: base.With("le", "+Inf"), Value: float64(cum),
+		Exemplar: h.ex[len(h.bounds)].Load()})
 	out = append(out, promtext.Metric{Name: name + "_sum", Labels: base, Value: h.Sum()})
 	out = append(out, promtext.Metric{Name: name + "_count", Labels: base, Value: float64(cum)})
 	return out

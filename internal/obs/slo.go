@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/promtext"
+)
+
+// SLOConfig describes the detection-latency objective the pipeline is
+// held to: at least Objective of events per rule must be detected (origin
+// to first successful delivery) within Target.
+type SLOConfig struct {
+	Target    time.Duration `json:"target"`    // latency objective per event
+	Objective float64       `json:"objective"` // fraction of events that must meet Target (0..1)
+}
+
+// DefaultSLO is the out-of-the-box objective: 95% of events detected
+// within 90 seconds — generous headroom over the paper's one-minute rule
+// hold times.
+var DefaultSLO = SLOConfig{Target: 90 * time.Second, Objective: 0.95}
+
+// withDefaults fills zero fields from DefaultSLO.
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Target <= 0 {
+		c.Target = DefaultSLO.Target
+	}
+	if c.Objective <= 0 || c.Objective > 1 {
+		c.Objective = DefaultSLO.Objective
+	}
+	return c
+}
+
+// sloSampleCap bounds the per-rule latency reservoir the percentile
+// report is computed from; only the most recent observations are kept.
+const sloSampleCap = 512
+
+type sloRule struct {
+	good, breached int64
+	samples        []float64 // ring of recent latencies, seconds
+	next           int       // ring write cursor once full
+	max            float64
+}
+
+// SLO tracks detection latencies per alert rule against one objective and
+// exposes the error-budget burn rate as gauges on a Registry. The burn
+// rate is breach-fraction divided by allowed breach fraction (1 −
+// objective): 1.0 means the budget is being consumed exactly as fast as
+// it accrues; >1 means it is burning down.
+type SLO struct {
+	cfg   SLOConfig
+	mu    sync.Mutex
+	rules map[string]*sloRule
+}
+
+// NewSLO returns an SLO tracker and registers its gauges on reg (which
+// may be nil): shastamon_slo_target_seconds, shastamon_slo_objective_ratio,
+// and per-rule shastamon_slo_events_total{rule,outcome} plus
+// shastamon_slo_burn_rate{rule}.
+func NewSLO(reg *Registry, cfg SLOConfig) *SLO {
+	s := &SLO{cfg: cfg.withDefaults(), rules: map[string]*sloRule{}}
+	if reg != nil {
+		reg.GaugeFunc(Namespace+"slo_target_seconds",
+			"Detection-latency objective per event, in seconds.",
+			func() float64 { return s.cfg.Target.Seconds() })
+		reg.GaugeFunc(Namespace+"slo_objective_ratio",
+			"Fraction of events per rule that must be detected within the target.",
+			func() float64 { return s.cfg.Objective })
+		reg.Collect(s.collect)
+	}
+	return s
+}
+
+// Config returns the (defaulted) objective in force.
+func (s *SLO) Config() SLOConfig {
+	if s == nil {
+		return DefaultSLO
+	}
+	return s.cfg
+}
+
+// Observe records one end-to-end detection latency for the rule.
+func (s *SLO) Observe(rule string, latency time.Duration) {
+	if s == nil || rule == "" {
+		return
+	}
+	if latency < 0 {
+		latency = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rules[rule]
+	if r == nil {
+		r = &sloRule{}
+		s.rules[rule] = r
+	}
+	if latency <= s.cfg.Target {
+		r.good++
+	} else {
+		r.breached++
+	}
+	sec := latency.Seconds()
+	if len(r.samples) < sloSampleCap {
+		r.samples = append(r.samples, sec)
+	} else {
+		r.samples[r.next] = sec
+		r.next = (r.next + 1) % sloSampleCap
+	}
+	if sec > r.max {
+		r.max = sec
+	}
+}
+
+// RuleSLO is the per-rule report entry.
+type RuleSLO struct {
+	Rule     string  `json:"rule"`
+	Events   int64   `json:"events"`
+	Good     int64   `json:"good"`
+	Breached int64   `json:"breached"`
+	BurnRate float64 `json:"burn_rate"`
+	P50      float64 `json:"p50_seconds"`
+	P95      float64 `json:"p95_seconds"`
+	Max      float64 `json:"max_seconds"`
+}
+
+// SLOReport is the full snapshot served at /debug/slo.
+type SLOReport struct {
+	TargetSeconds float64   `json:"target_seconds"`
+	Objective     float64   `json:"objective"`
+	Rules         []RuleSLO `json:"rules"`
+}
+
+// burnRate computes breach-fraction over allowed-fraction. With a 100%
+// objective any breach is an immediate (capped) burn.
+func (s *SLO) burnRate(r *sloRule) float64 {
+	total := r.good + r.breached
+	if total == 0 {
+		return 0
+	}
+	breachFrac := float64(r.breached) / float64(total)
+	allowed := 1 - s.cfg.Objective
+	if allowed <= 0 {
+		if r.breached > 0 {
+			return math.MaxFloat64
+		}
+		return 0
+	}
+	return breachFrac / allowed
+}
+
+// sampleQuantile returns the exact q-quantile of the retained reservoir
+// (nearest-rank), 0 when empty.
+func sampleQuantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// Report snapshots every tracked rule, sorted by rule name.
+func (s *SLO) Report() SLOReport {
+	if s == nil {
+		return SLOReport{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := SLOReport{TargetSeconds: s.cfg.Target.Seconds(), Objective: s.cfg.Objective}
+	for name, r := range s.rules {
+		rep.Rules = append(rep.Rules, RuleSLO{
+			Rule:     name,
+			Events:   r.good + r.breached,
+			Good:     r.good,
+			Breached: r.breached,
+			BurnRate: s.burnRate(r),
+			P50:      sampleQuantile(r.samples, 0.50),
+			P95:      sampleQuantile(r.samples, 0.95),
+			Max:      r.max,
+		})
+	}
+	sort.Slice(rep.Rules, func(i, j int) bool { return rep.Rules[i].Rule < rep.Rules[j].Rule })
+	return rep
+}
+
+// collect renders the per-rule families for the registry.
+func (s *SLO) collect() []promtext.Family {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.rules))
+	for name := range s.rules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	events := promtext.Family{Name: Namespace + "slo_events_total", Type: "counter",
+		Help: "Detection-latency SLO events per rule, split by outcome (good|breached)."}
+	burn := promtext.Family{Name: Namespace + "slo_burn_rate", Type: "gauge",
+		Help: "Detection-latency error-budget burn rate per rule (breach fraction over allowed fraction; >1 burns the budget down)."}
+	for _, name := range names {
+		r := s.rules[name]
+		events.Metrics = append(events.Metrics,
+			promtext.Metric{Name: events.Name, Value: float64(r.good),
+				Labels: labels.FromStrings("outcome", "good", "rule", name)},
+			promtext.Metric{Name: events.Name, Value: float64(r.breached),
+				Labels: labels.FromStrings("outcome", "breached", "rule", name)})
+		b := s.burnRate(r)
+		if b == math.MaxFloat64 {
+			b = math.Inf(+1)
+		}
+		burn.Metrics = append(burn.Metrics,
+			promtext.Metric{Name: burn.Name, Value: b,
+				Labels: labels.FromStrings("rule", name)})
+	}
+	s.mu.Unlock()
+	return []promtext.Family{events, burn}
+}
+
+// Handler serves the SLO report as JSON — mount at /debug/slo. A nil SLO
+// serves 404 so the endpoint can be mounted unconditionally.
+func (s *SLO) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s == nil {
+			http.Error(w, "slo tracking disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Report())
+	})
+}

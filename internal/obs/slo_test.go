@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplar(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("lat", "h", LatencyBuckets, "rule")
+	hv.With("leak").ObserveWithExemplar(62, 1646272077000, "trace_id", "t-1")
+	hv.With("leak").Observe(3) // plain observation, no exemplar
+
+	fams := reg.Gather()
+	if got := Value(fams, "lat_count", "rule", "leak"); got != 2 {
+		t.Fatalf("count = %v, want 2", got)
+	}
+	var seen []string
+	for _, f := range fams {
+		for _, m := range f.Metrics {
+			if m.Exemplar != nil {
+				seen = append(seen, m.Labels.Get("le"))
+				if m.Exemplar.Labels.Get("trace_id") != "t-1" || m.Exemplar.Value != 62 ||
+					m.Exemplar.Timestamp != 1646272077000 {
+					t.Fatalf("exemplar = %+v", m.Exemplar)
+				}
+			}
+		}
+	}
+	// 62 lands in the le=75 bucket and only there.
+	if len(seen) != 1 || seen[0] != "75" {
+		t.Fatalf("exemplar buckets = %v, want [75]", seen)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 3, 3, 3, 10} {
+		h.Observe(v)
+	}
+	fams := reg.Gather()
+	// Rank 5 of 10 falls in the (2,4] bucket of 6 observations.
+	p50 := Quantile(fams, "lat", 0.50)
+	if p50 < 2 || p50 > 4 {
+		t.Fatalf("p50 = %v, want within (2,4]", p50)
+	}
+	// Rank 10 falls in +Inf: the largest finite bound is returned.
+	if max := Quantile(fams, "lat", 1.0); max != 4 {
+		t.Fatalf("p100 = %v, want 4 (largest finite bound)", max)
+	}
+	if q := Quantile(fams, "lat", 0.0); q < 0 || q > 1 {
+		t.Fatalf("p0 = %v, want within the first bucket", q)
+	}
+	if q := Quantile(nil, "lat", 0.5); !math.IsNaN(q) {
+		t.Fatalf("empty quantile = %v, want NaN", q)
+	}
+}
+
+func TestQuantileFiltersChildren(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("lat", "h", []float64{10, 100}, "rule")
+	hv.With("fast").Observe(5)
+	hv.With("slow").Observe(50)
+	fams := reg.Gather()
+	if q := Quantile(fams, "lat", 0.99, "rule", "fast"); q > 10 {
+		t.Fatalf("fast p99 = %v, want <= 10", q)
+	}
+	if q := Quantile(fams, "lat", 0.99, "rule", "slow"); q <= 10 {
+		t.Fatalf("slow p99 = %v, want > 10", q)
+	}
+}
+
+func TestSLOObserveAndBurn(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLO(reg, SLOConfig{Target: 30 * time.Second, Objective: 0.95})
+	s.Observe("leak", 10*time.Second)
+	s.Observe("leak", 20*time.Second)
+	s.Observe("leak", 62*time.Second) // breach
+	s.Observe("switch", time.Second)
+
+	rep := s.Report()
+	if len(rep.Rules) != 2 || rep.TargetSeconds != 30 {
+		t.Fatalf("report = %+v", rep)
+	}
+	leak := rep.Rules[0]
+	if leak.Rule != "leak" || leak.Events != 3 || leak.Breached != 1 {
+		t.Fatalf("leak = %+v", leak)
+	}
+	// breach fraction 1/3 over allowed 0.05 => ~6.67.
+	if leak.BurnRate < 6.6 || leak.BurnRate > 6.7 {
+		t.Fatalf("burn = %v, want ~6.67", leak.BurnRate)
+	}
+	if leak.Max != 62 || leak.P50 != 20 || leak.P95 != 62 {
+		t.Fatalf("percentiles = %+v", leak)
+	}
+
+	fams := reg.Gather()
+	if got := Value(fams, Namespace+"slo_events_total", "rule", "leak", "outcome", "breached"); got != 1 {
+		t.Fatalf("breached events = %v, want 1", got)
+	}
+	if got := Value(fams, Namespace+"slo_burn_rate", "rule", "switch"); got != 0 {
+		t.Fatalf("switch burn = %v, want 0", got)
+	}
+	if got := Value(fams, Namespace+"slo_target_seconds"); got != 30 {
+		t.Fatalf("target gauge = %v", got)
+	}
+}
+
+func TestSLODefaultsAndNil(t *testing.T) {
+	s := NewSLO(nil, SLOConfig{})
+	if s.Config() != DefaultSLO {
+		t.Fatalf("config = %+v, want defaults", s.Config())
+	}
+	var nilSLO *SLO
+	nilSLO.Observe("r", time.Second) // must not panic
+	if rep := nilSLO.Report(); len(rep.Rules) != 0 {
+		t.Fatalf("nil report = %+v", rep)
+	}
+	if nilSLO.Config() != DefaultSLO {
+		t.Fatal("nil Config must return defaults")
+	}
+	rec := httptest.NewRecorder()
+	nilSLO.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil handler -> %d, want 404", rec.Code)
+	}
+	// A 100% objective turns any breach into a capped burn.
+	s2 := NewSLO(nil, SLOConfig{Target: time.Second, Objective: 1})
+	s2.Observe("r", 2*time.Second)
+	if b := s2.Report().Rules[0].BurnRate; b != math.MaxFloat64 {
+		t.Fatalf("burn at 100%% objective = %v", b)
+	}
+}
+
+func TestSLOHandler(t *testing.T) {
+	s := NewSLO(nil, SLOConfig{})
+	s.Observe("leak", 62*time.Second)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"leak"`) {
+		t.Fatalf("handler -> %d: %s", rec.Code, rec.Body.String())
+	}
+	var rep SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Objective != DefaultSLO.Objective {
+		t.Fatalf("objective = %v", rep.Objective)
+	}
+}

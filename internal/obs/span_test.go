@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var spanBase = time.Date(2022, 3, 3, 1, 0, 0, 0, time.UTC)
+
+func TestTimedSpans(t *testing.T) {
+	tr := NewTracer(4)
+	id := tr.Start("x1000c0b0", spanBase, "leak")
+	tr.Span(id, "kafka.produce", spanBase, spanBase.Add(3*time.Millisecond), "events/0@0")
+	tr.Stage(id, "core.forward", spanBase.Add(time.Second), "presence-only")
+
+	got, ok := tr.Get(id)
+	if !ok {
+		t.Fatal("trace lost")
+	}
+	if d := got.Stages[1].Duration(); d != 3*time.Millisecond {
+		t.Fatalf("span duration = %s, want 3ms", d)
+	}
+	if d := got.Stages[2].Duration(); d != 0 {
+		t.Fatalf("presence stage duration = %s, want 0", d)
+	}
+	if origin, ok := tr.Origin(id); !ok || !origin.Equal(spanBase) {
+		t.Fatalf("Origin = %v %v", origin, ok)
+	}
+	if tid := tr.SpanByKey("x1000c0b0", "ruler.fire", spanBase, spanBase.Add(time.Millisecond), "r"); tid != id {
+		t.Fatalf("SpanByKey id = %q, want %q", tid, id)
+	}
+	if tid := tr.SpanByKey("unknown", "s", spanBase, spanBase, ""); tid != "" {
+		t.Fatalf("SpanByKey unknown key id = %q, want empty", tid)
+	}
+}
+
+func TestAnnotateOnceParent(t *testing.T) {
+	tr := NewTracer(4)
+	id := tr.Start("k", spanBase, "")
+	tr.Annotate(id, "detection_latency_seconds", "62")
+	tr.SetParent(id, "parent-1")
+	if !tr.Once(id, "latency.rule") {
+		t.Fatal("first Once must win")
+	}
+	if tr.Once(id, "latency.rule") {
+		t.Fatal("second Once must lose")
+	}
+	if !tr.Once(id, "latency.other") {
+		t.Fatal("distinct key must win")
+	}
+	got, _ := tr.Get(id)
+	if got.Attrs["detection_latency_seconds"] != "62" || got.Parent != "parent-1" {
+		t.Fatalf("trace = %+v", got)
+	}
+	// The copy from Get is detached from the tracer's map.
+	got.Attrs["detection_latency_seconds"] = "mutated"
+	again, _ := tr.Get(id)
+	if again.Attrs["detection_latency_seconds"] != "62" {
+		t.Fatal("Get must deep-copy attrs")
+	}
+	// Unknown/evicted IDs are inert.
+	if tr.Once("nope", "k") {
+		t.Fatal("Once on unknown id must be false")
+	}
+	tr.Annotate("nope", "a", "b")
+	if _, ok := tr.Origin("nope"); ok {
+		t.Fatal("Origin on unknown id must be !ok")
+	}
+}
+
+func TestNilTracerSpanAPIs(t *testing.T) {
+	var tr *Tracer
+	tr.Span("id", "s", spanBase, spanBase, "")
+	if id := tr.SpanByKey("k", "s", spanBase, spanBase, ""); id != "" {
+		t.Fatal("nil SpanByKey must return empty")
+	}
+	tr.Annotate("id", "k", "v")
+	tr.SetParent("id", "p")
+	if tr.Once("id", "k") {
+		t.Fatal("nil Once must be false")
+	}
+	if _, ok := tr.Origin("id"); ok {
+		t.Fatal("nil Origin must be !ok")
+	}
+}
+
+func TestWaterfallRendering(t *testing.T) {
+	tr := NewTracer(4)
+	id := tr.Start("x1203c1b0", spanBase, "CrayTelemetry.Leak")
+	tr.Span(id, "kafka.produce", spanBase, spanBase.Add(2*time.Millisecond), "events/0@0")
+	tr.Span(id, "ruler.fire", spanBase.Add(61*time.Second), spanBase.Add(61*time.Second+time.Millisecond), "cabinet_leak")
+	tr.Annotate(id, "detection_latency_seconds", "62")
+	got, _ := tr.Get(id)
+	out := got.Waterfall()
+	for _, want := range []string{
+		"trace " + id, "key=x1203c1b0", "origin", "kafka.produce",
+		"ruler.fire", "+1m1s", "attr detection_latency_seconds=62",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	if (Trace{}).Waterfall() == "" {
+		t.Fatal("zero trace waterfall must not be empty")
+	}
+
+	// Served over HTTP with ?format=waterfall.
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/"+id+"?format=waterfall", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "kafka.produce") {
+		t.Fatalf("waterfall endpoint -> %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("waterfall content type = %q", ct)
+	}
+}
+
+// TestByKeyNeverDangles is the eviction regression: whatever the churn,
+// every key the tracer still resolves must point at a retained trace.
+func TestByKeyNeverDangles(t *testing.T) {
+	tr := NewTracer(4)
+	keys := []string{"a", "b", "c"}
+	for i := 0; i < 100; i++ {
+		key := keys[i%len(keys)]
+		tr.Start(key, spanBase.Add(time.Duration(i)*time.Second), "churn")
+		for _, k := range keys {
+			id := tr.IDByKey(k)
+			if id == "" {
+				continue
+			}
+			if _, ok := tr.Get(id); !ok {
+				t.Fatalf("iteration %d: byKey[%s]=%s points at an evicted trace", i, k, id)
+			}
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", tr.Len())
+	}
+}
+
+// TestTracerConcurrentSpanOps drives Start/Span/Annotate/Once/Get under
+// eviction pressure from many goroutines — the -race hardening for the
+// new span APIs (verify.sh runs the suite with -race).
+func TestTracerConcurrentSpanOps(t *testing.T) {
+	tr := NewTracer(8) // small capacity forces constant eviction
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", g%3)
+			for i := 0; i < 200; i++ {
+				ts := spanBase.Add(time.Duration(i) * time.Millisecond)
+				id := tr.Start(key, ts, "concurrent")
+				tr.Span(id, "stage", ts, ts.Add(time.Millisecond), "")
+				tr.SpanByKey(key, "by-key", ts, ts, "")
+				tr.Annotate(id, "attr", "v")
+				tr.Once(id, "once")
+				tr.Origin(id)
+				if got, ok := tr.Get(id); ok {
+					_ = got.Waterfall()
+				}
+				tr.IDs()
+				tr.IDByKey(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() > 8 {
+		t.Fatalf("Len = %d, want <= capacity", tr.Len())
+	}
+}

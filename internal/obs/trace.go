@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -17,19 +18,32 @@ import (
 const TraceHeader = "trace_id"
 
 // Stage is one recorded hop of an event's journey through the pipeline.
+// A zero End marks an instantaneous (presence-only) record; a later End
+// makes the stage a timed span.
 type Stage struct {
 	Stage string    `json:"stage"`
 	Time  time.Time `json:"time"`
+	End   time.Time `json:"end,omitempty"`
 	Note  string    `json:"note,omitempty"`
 }
 
+// Duration returns the span length, or 0 for presence-only stages.
+func (s Stage) Duration() time.Duration {
+	if s.End.IsZero() || s.End.Before(s.Time) {
+		return 0
+	}
+	return s.End.Sub(s.Time)
+}
+
 // Trace is the full per-event record: the ID minted at origin, the
-// correlation key (the component xname for hardware events) and the stages
-// in arrival order.
+// correlation key (the component xname for hardware events), an optional
+// parent trace ID, free-form attributes, and the stages in arrival order.
 type Trace struct {
-	ID     string  `json:"id"`
-	Key    string  `json:"key,omitempty"`
-	Stages []Stage `json:"stages"`
+	ID     string            `json:"id"`
+	Key    string            `json:"key,omitempty"`
+	Parent string            `json:"parent,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	Stages []Stage           `json:"stages"`
 }
 
 // Tracer records event traces in a bounded ring buffer: when capacity is
@@ -116,6 +130,104 @@ func (t *Tracer) StageByKey(key, stage string, now time.Time, note string) strin
 	return id
 }
 
+// Span records a timed stage on the trace: start plus end. Unknown or
+// evicted IDs are ignored.
+func (t *Tracer) Span(id, stage string, start, end time.Time, note string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tr := t.traces[id]; tr != nil {
+		tr.Stages = append(tr.Stages, Stage{Stage: stage, Time: start, End: end, Note: note})
+	}
+}
+
+// SpanByKey records a timed stage on the newest trace associated with the
+// correlation key. It returns the trace ID, or "" if the key is unknown.
+func (t *Tracer) SpanByKey(key, stage string, start, end time.Time, note string) string {
+	if t == nil || key == "" {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.byKey[key]
+	if tr := t.traces[id]; tr != nil {
+		tr.Stages = append(tr.Stages, Stage{Stage: stage, Time: start, End: end, Note: note})
+	}
+	return id
+}
+
+// Annotate sets a free-form attribute on the trace. Unknown IDs are
+// ignored.
+func (t *Tracer) Annotate(id, key, value string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tr := t.traces[id]; tr != nil {
+		if tr.Attrs == nil {
+			tr.Attrs = map[string]string{}
+		}
+		tr.Attrs[key] = value
+	}
+}
+
+// SetParent links the trace to a parent trace ID, for traces spawned on
+// behalf of another (a meta-alert raised about a hardware event's
+// delivery, for example).
+func (t *Tracer) SetParent(id, parent string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tr := t.traces[id]; tr != nil {
+		tr.Parent = parent
+	}
+}
+
+// Once atomically sets the attribute the first time it is called for a
+// given trace and key and reports whether this call was the first — the
+// exactly-once guard the latency close-out uses so an alert delivered to
+// both Slack and ServiceNow is observed a single time.
+func (t *Tracer) Once(id, key string) bool {
+	if t == nil || id == "" {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.traces[id]
+	if tr == nil {
+		return false
+	}
+	if tr.Attrs == nil {
+		tr.Attrs = map[string]string{}
+	}
+	if _, done := tr.Attrs[key]; done {
+		return false
+	}
+	tr.Attrs[key] = "1"
+	return true
+}
+
+// Origin returns the start time of the trace's first stage — the moment
+// the event was emitted — and whether the trace (with at least one stage)
+// exists.
+func (t *Tracer) Origin(id string) (time.Time, bool) {
+	if t == nil || id == "" {
+		return time.Time{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.traces[id]
+	if tr == nil || len(tr.Stages) == 0 {
+		return time.Time{}, false
+	}
+	return tr.Stages[0].Time, true
+}
+
 // IDByKey returns the newest trace ID associated with the key, or "".
 func (t *Tracer) IDByKey(key string) string {
 	if t == nil {
@@ -139,6 +251,12 @@ func (t *Tracer) Get(id string) (Trace, bool) {
 	}
 	cp := *tr
 	cp.Stages = append([]Stage(nil), tr.Stages...)
+	if tr.Attrs != nil {
+		cp.Attrs = make(map[string]string, len(tr.Attrs))
+		for k, v := range tr.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
 	return cp, true
 }
 
@@ -207,8 +325,58 @@ func (t *Tracer) Handler() http.Handler {
 			http.Error(w, "unknown trace "+id, http.StatusNotFound)
 			return
 		}
+		if r.URL.Query().Get("format") == "waterfall" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = io.WriteString(w, tr.Waterfall())
+			return
+		}
 		_ = enc.Encode(tr)
 	})
+}
+
+// Waterfall renders the trace as a plain-text span waterfall: one line
+// per stage with its offset from the event origin, its duration and its
+// note. Served at /debug/trace/{id}?format=waterfall.
+func (tr Trace) Waterfall() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s", tr.ID)
+	if tr.Key != "" {
+		fmt.Fprintf(&b, " key=%s", tr.Key)
+	}
+	if tr.Parent != "" {
+		fmt.Fprintf(&b, " parent=%s", tr.Parent)
+	}
+	b.WriteByte('\n')
+	if len(tr.Stages) == 0 {
+		b.WriteString("  (no stages)\n")
+		return b.String()
+	}
+	origin := tr.Stages[0].Time
+	end := origin
+	for _, s := range tr.Stages {
+		off := s.Time.Sub(origin)
+		dur := "-"
+		if d := s.Duration(); d > 0 {
+			dur = d.Truncate(time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "  %-22s +%-12s %-10s %s\n",
+			s.Stage, off.Truncate(time.Millisecond), dur, s.Note)
+		if t := s.Time.Add(s.Duration()); t.After(end) {
+			end = t
+		}
+	}
+	fmt.Fprintf(&b, "  total %s over %d stage(s)\n", end.Sub(origin).Truncate(time.Millisecond), len(tr.Stages))
+	if len(tr.Attrs) > 0 {
+		keys := make([]string, 0, len(tr.Attrs))
+		for k := range tr.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  attr %s=%s\n", k, tr.Attrs[k])
+		}
+	}
+	return b.String()
 }
 
 // StageNames returns the distinct stage names of a trace in first-seen

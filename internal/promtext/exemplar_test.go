@@ -1,0 +1,92 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+
+	"shastamon/internal/labels"
+)
+
+func TestExemplarWriteParseRoundTrip(t *testing.T) {
+	in := []Family{{
+		Name: "lat_bucket", Type: "histogram",
+		Metrics: []Metric{
+			{
+				Name:   "lat_bucket",
+				Labels: labels.FromStrings("le", "75", "rule", "cabinet_leak"),
+				Value:  1,
+				Exemplar: &Exemplar{
+					Labels:    labels.FromStrings("trace_id", "00ab-000001"),
+					Value:     62.003,
+					Timestamp: 1646272077000,
+				},
+			},
+			{
+				Name:   "lat_bucket",
+				Labels: labels.FromStrings("le", "+Inf", "rule", "cabinet_leak"),
+				Value:  1,
+				// No-timestamp exemplar stays valid OpenMetrics.
+				Exemplar: &Exemplar{Labels: labels.FromStrings("trace_id", "x"), Value: 1.5},
+			},
+		},
+	}}
+	var b strings.Builder
+	if err := Write(&b, in); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	want := `lat_bucket{le="75",rule="cabinet_leak"} 1 # {trace_id="00ab-000001"} 62.003 1646272077000`
+	if !strings.Contains(text, want) {
+		t.Fatalf("rendered:\n%s\nwant line %q", text, want)
+	}
+
+	fams, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := Samples(fams)
+	if len(ms) != 2 {
+		t.Fatalf("parsed %d samples, want 2", len(ms))
+	}
+	ex := ms[0].Exemplar
+	if ex == nil || ex.Labels.Get("trace_id") != "00ab-000001" ||
+		ex.Value != 62.003 || ex.Timestamp != 1646272077000 {
+		t.Fatalf("exemplar round-trip = %+v", ex)
+	}
+	if ms[0].Value != 1 || ms[0].Labels.Get("le") != "75" {
+		t.Fatalf("sample corrupted by exemplar: %+v", ms[0])
+	}
+	ex = ms[1].Exemplar
+	if ex == nil || ex.Timestamp != 0 || ex.Value != 1.5 {
+		t.Fatalf("timestampless exemplar = %+v", ex)
+	}
+}
+
+func TestExemplarWithSampleTimestamp(t *testing.T) {
+	// Value, sample timestamp AND exemplar on one line.
+	line := `lat_bucket{le="5"} 3 1646272000000 # {trace_id="t"} 2.5` + "\n"
+	fams, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Samples(fams)[0]
+	if m.Value != 3 || m.Timestamp != 1646272000000 {
+		t.Fatalf("sample = %+v", m)
+	}
+	if m.Exemplar == nil || m.Exemplar.Value != 2.5 {
+		t.Fatalf("exemplar = %+v", m.Exemplar)
+	}
+}
+
+func TestExemplarParseErrors(t *testing.T) {
+	for _, line := range []string{
+		`m 1 # trace_id 2`,      // exemplar must open with '{'
+		`m 1 # {trace_id="t"}`,  // missing exemplar value
+		`m 1 # {trace_id="t} 2`, // unterminated label value
+		`m 1 # {trace_id="t"} x`,
+	} {
+		if _, err := Parse(strings.NewReader(line + "\n")); err == nil {
+			t.Fatalf("Parse(%q) accepted a malformed exemplar", line)
+		}
+	}
+}

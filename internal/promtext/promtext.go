@@ -15,12 +15,27 @@ import (
 )
 
 // Metric is one exposition line: a metric name, labels, and a value.
-// Timestamp is optional (0 means "now at scrape time").
+// Timestamp is optional (0 means "now at scrape time"). An optional
+// OpenMetrics-style exemplar may ride on the line (histogram buckets use
+// this to link a bucket to a concrete trace ID).
 type Metric struct {
 	Name      string
 	Labels    labels.Labels
 	Value     float64
 	Timestamp int64 // milliseconds since epoch, 0 if absent
+	Exemplar  *Exemplar
+}
+
+// Exemplar is an OpenMetrics exemplar: a labelled example observation
+// attached to a sample, rendered as
+//
+//	name{le="2.5"} 4 # {trace_id="00ab-000001"} 1.7 1646272077000
+//
+// Timestamp is in milliseconds since epoch, 0 if absent.
+type Exemplar struct {
+	Labels    labels.Labels
+	Value     float64
+	Timestamp int64
 }
 
 // Family groups metrics of one name with HELP/TYPE metadata.
@@ -76,6 +91,24 @@ func writeMetric(w io.Writer, m Metric) error {
 	if m.Timestamp != 0 {
 		b.WriteByte(' ')
 		b.WriteString(strconv.FormatInt(m.Timestamp, 10))
+	}
+	if e := m.Exemplar; e != nil {
+		b.WriteString(" # {")
+		for i, l := range e.Labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabelValue(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteString("} ")
+		b.WriteString(formatValue(e.Value))
+		if e.Timestamp != 0 {
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(e.Timestamp, 10))
+		}
 	}
 	b.WriteByte('\n')
 	_, err := io.WriteString(w, b.String())
@@ -178,6 +211,14 @@ func parseSample(line string) (Metric, error) {
 		i += end + 1
 	}
 	rest := strings.TrimSpace(line[i:])
+	// An exemplar may follow the value/timestamp: " # {labels} value [ts]".
+	// The sample's own label block was consumed above, so the first '#'
+	// here can only open an exemplar.
+	var exPart string
+	if j := strings.IndexByte(rest, '#'); j >= 0 {
+		exPart = strings.TrimSpace(rest[j+1:])
+		rest = strings.TrimSpace(rest[:j])
+	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
 		return m, fmt.Errorf("missing value in %q", line)
@@ -194,7 +235,46 @@ func parseSample(line string) (Metric, error) {
 		}
 		m.Timestamp = ts
 	}
+	if exPart != "" {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return m, fmt.Errorf("bad exemplar in %q: %w", line, err)
+		}
+		m.Exemplar = ex
+	}
 	return m, nil
+}
+
+// parseExemplar parses the part after "# ": `{labels} value [timestamp]`.
+func parseExemplar(s string) (*Exemplar, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, fmt.Errorf("exemplar must start with '{' in %q", s)
+	}
+	end := strings.IndexByte(s, '}')
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar labels in %q", s)
+	}
+	lbls, err := parseLabels(s[1:end])
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("missing exemplar value in %q", s)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %w", fields[0], err)
+	}
+	ex := &Exemplar{Labels: lbls, Value: v}
+	if len(fields) > 1 {
+		ts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+		ex.Timestamp = ts
+	}
+	return ex, nil
 }
 
 func parseFloat(s string) (float64, error) {

@@ -164,7 +164,16 @@ func (r *Ruler) EvalOnce() ([]alertmanager.Alert, error) {
 				st.firing = true
 				sent = append(sent, r.buildAlert(cr.rule, st, now, time.Time{}))
 				r.firedVec.With(cr.rule.Name).Inc()
-				r.tracer.StageByKey(traceKey(st.labels), "ruler.fire", now, cr.rule.Name)
+				// Timed fire span on the originating event's trace; when no
+				// trace exists for the key (log-derived alerts with no
+				// Redfish origin) mint one at fire time so downstream
+				// delivery spans and latency close-out still have a home.
+				key := traceKey(st.labels)
+				end := now.Add(time.Since(t0))
+				if id := r.tracer.SpanByKey(key, "ruler.fire", now, end, cr.rule.Name); id == "" && key != "" {
+					id = r.tracer.Start(key, now, "ruler:"+cr.rule.Name)
+					r.tracer.Span(id, "ruler.fire", now, end, cr.rule.Name)
+				}
 			}
 		}
 		// Series that stopped matching: resolve if firing, forget otherwise.

@@ -308,15 +308,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
+	t0 := time.Now()
 	msgs, err := sub.consumer.Poll(max, timeout)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	pollDur := time.Since(t0)
 	out := make([]Record, 0, len(msgs))
 	for _, m := range msgs {
 		if tid := m.Headers[obs.TraceHeader]; tid != "" {
-			s.tracer.Stage(tid, "telemetry.stream", m.Timestamp, id)
+			s.tracer.Span(tid, "telemetry.stream", m.Timestamp, m.Timestamp.Add(pollDur), id)
 		}
 		out = append(out, Record{
 			Topic:     m.Topic,

@@ -1,6 +1,8 @@
 package vmagent
 
 import (
+	"sort"
+
 	"shastamon/internal/obs"
 	"shastamon/internal/promtext"
 )
@@ -12,14 +14,28 @@ func (a *Agent) Metrics() *obs.Registry {
 		reg := obs.NewRegistry()
 		reg.Collect(func() []promtext.Family {
 			st := a.Stats()
-			return []promtext.Family{
+			fams := []promtext.Family{
 				obs.Fam("counter", obs.Namespace+"vmagent_scrapes_total",
 					"Scrape attempts across all jobs and targets.", float64(st.Scrapes)),
 				obs.Fam("counter", obs.Namespace+"vmagent_scrape_failures_total",
 					"Scrapes that failed (target down or unparsable).", float64(st.Failures)),
+				obs.Fam("counter", obs.Namespace+"vmagent_scrapes_skipped_total",
+					"Scrapes suppressed by an open per-target breaker.", float64(st.Skipped)),
 				obs.Fam("counter", obs.Namespace+"vmagent_samples_scraped_total",
 					"Samples written to the TSDB from scrapes.", float64(st.Samples)),
 			}
+			stale := a.StalenessSeconds()
+			targets := make([]string, 0, len(stale))
+			for t := range stale {
+				targets = append(targets, t)
+			}
+			sort.Strings(targets)
+			f := promtext.Family{Name: obs.Namespace + "scrape_staleness_seconds", Type: "gauge",
+				Help: "Scrape-timestamp seconds since the target last scraped successfully (0 = fresh)."}
+			for _, t := range targets {
+				f = obs.Sample(f, stale[t], "target", t)
+			}
+			return append(fams, f)
 		})
 		a.obsReg = reg
 	})

@@ -1,0 +1,93 @@
+package vmagent
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shastamon/internal/obs"
+	"shastamon/internal/tsdb"
+)
+
+// TestStalenessTracksDeadTarget: a healthy target reports 0 staleness;
+// once its exporter starts failing the gauge grows with every attempted
+// scrape (on the scrape-timestamp clock), and recovery snaps it back to 0.
+func TestStalenessTracksDeadTarget(t *testing.T) {
+	var broken atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if broken.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("m 1\n"))
+	}))
+	defer srv.Close()
+
+	agent, err := New(tsdb.New(), nil, ScrapeConfig{JobName: "j", Targets: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.SetBreakerOpenFor(time.Hour) // once open, stays open for the test
+
+	t0 := time.Unix(1000, 0)
+	if err := agent.ScrapeOnce(t0); err != nil {
+		t.Fatal(err)
+	}
+	if s := agent.StalenessSeconds()[srv.URL]; s != 0 {
+		t.Fatalf("healthy staleness = %v, want 0", s)
+	}
+
+	broken.Store(true)
+	for i := 1; i <= 4; i++ { // failures trip the breaker at 3; later scrapes are skipped
+		agent.ScrapeOnce(t0.Add(time.Duration(i) * 30 * time.Second))
+	}
+	// Last attempt at t0+120s, last success at t0: 120s stale — and the
+	// breaker-skipped attempt still advanced the clock.
+	if s := agent.StalenessSeconds()[srv.URL]; s != 120 {
+		t.Fatalf("dead staleness = %v, want 120", s)
+	}
+	st := agent.Stats()
+	if st.Skipped == 0 {
+		t.Fatalf("breaker never skipped a scrape: %+v", st)
+	}
+
+	// The staleness gauge family reflects the same number.
+	fams := agent.Metrics().Gather()
+	if got := obs.Value(fams, "shastamon_scrape_staleness_seconds", "target", srv.URL); got != 120 {
+		t.Fatalf("staleness gauge = %v, want 120", got)
+	}
+	if got := obs.Value(fams, "shastamon_vmagent_scrapes_skipped_total"); got != float64(st.Skipped) {
+		t.Fatalf("skipped gauge = %v, want %d", got, st.Skipped)
+	}
+
+	// Recovery: fix the exporter and wait out the breaker window.
+	broken.Store(false)
+	agent.SetBreakerOpenFor(time.Millisecond)
+	if err := agent.ScrapeOnce(t0.Add(2 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if s := agent.StalenessSeconds()[srv.URL]; s != 0 {
+		t.Fatalf("recovered staleness = %v, want 0", s)
+	}
+}
+
+// TestStalenessNeverSucceeded: a target that has never had a successful
+// scrape is stale since its first attempt.
+func TestStalenessNeverSucceeded(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	agent, err := New(tsdb.New(), nil, ScrapeConfig{JobName: "j", Targets: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(2000, 0)
+	agent.ScrapeOnce(t0)
+	agent.ScrapeOnce(t0.Add(45 * time.Second))
+	if s := agent.StalenessSeconds()[srv.URL]; s != 45 {
+		t.Fatalf("never-succeeded staleness = %v, want 45", s)
+	}
+}

@@ -78,6 +78,18 @@ type Agent struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// Per-target scrape freshness on the scrape-timestamp clock, for the
+	// staleness gauge: a target whose breaker is open or whose exporter
+	// keeps failing has lastAttempt advancing while lastSuccess does not.
+	fmu       sync.Mutex
+	freshness map[string]*targetFreshness
+}
+
+type targetFreshness struct {
+	firstAttempt time.Time
+	lastAttempt  time.Time
+	lastSuccess  time.Time
 }
 
 // Stats counts scrape outcomes.
@@ -234,6 +246,7 @@ func (a *Agent) scrapeTarget(cj *compiledJob, target string, ts time.Time) error
 		}
 		a.mu.Unlock()
 	}
+	a.markAttempt(target, ts)
 	brk := a.breakerFor(target)
 	if brk.AllowAt(ts) != nil {
 		// Failing fast is the breaker doing its job, not a fresh error:
@@ -263,6 +276,7 @@ func (a *Agent) scrapeTarget(cj *compiledJob, target string, ts time.Time) error
 		return fail(fmt.Errorf("vmagent: scrape %s: %w", target, err))
 	}
 	brk.SuccessAt(ts)
+	a.markSuccess(target, ts)
 	bump(false)
 	n := int64(0)
 	for _, m := range promtext.Samples(fams) {
@@ -292,6 +306,63 @@ func (a *Agent) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.stats
+}
+
+func (a *Agent) fresh(target string) *targetFreshness {
+	if a.freshness == nil {
+		a.freshness = map[string]*targetFreshness{}
+	}
+	f := a.freshness[target]
+	if f == nil {
+		f = &targetFreshness{}
+		a.freshness[target] = f
+	}
+	return f
+}
+
+func (a *Agent) markAttempt(target string, ts time.Time) {
+	a.fmu.Lock()
+	defer a.fmu.Unlock()
+	f := a.fresh(target)
+	if f.firstAttempt.IsZero() {
+		f.firstAttempt = ts
+	}
+	if ts.After(f.lastAttempt) {
+		f.lastAttempt = ts
+	}
+}
+
+func (a *Agent) markSuccess(target string, ts time.Time) {
+	a.fmu.Lock()
+	defer a.fmu.Unlock()
+	f := a.fresh(target)
+	if ts.After(f.lastSuccess) {
+		f.lastSuccess = ts
+	}
+}
+
+// StalenessSeconds reports, per target, how far the last attempted scrape
+// timestamp has run ahead of the last successful one — 0 for a healthy
+// target, growing while an exporter is down or its breaker is open. A
+// target that has never succeeded is stale since its first attempt. The
+// measure uses scrape timestamps, not the wall clock, so it tracks
+// simulated time in experiments.
+func (a *Agent) StalenessSeconds() map[string]float64 {
+	a.fmu.Lock()
+	defer a.fmu.Unlock()
+	out := make(map[string]float64, len(a.freshness))
+	for target, f := range a.freshness {
+		ref := f.lastSuccess
+		if ref.IsZero() {
+			ref = f.firstAttempt
+		}
+		s := f.lastAttempt.Sub(ref).Seconds()
+		if s < 0 {
+			s = 0
+		}
+		out[target] = s
+	}
+	return out
 }
 
 // Run scrapes on the interval until the context is cancelled. Scrape

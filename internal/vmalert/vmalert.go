@@ -196,11 +196,15 @@ func (v *VMAlert) EvalOnce() ([]alertmanager.Alert, error) {
 				st.firing = true
 				sent = append(sent, v.buildAlert(cr.rule, st, now, time.Time{}))
 				v.firedVec.With(cr.rule.Name).Inc()
-				key := alertLbls.Get("xname")
-				if key == "" {
-					key = alertLbls.Get("Context")
+				// Timed fire span; alerts without a pre-existing event trace
+				// (meta-alerts about the pipeline itself) mint one here so
+				// delivery spans and latency close-out attach to something.
+				key := vmTraceKey(alertLbls)
+				end := now.Add(time.Since(t0))
+				if id := v.tracer.SpanByKey(key, "vmalert.fire", now, end, cr.rule.Name); id == "" && key != "" {
+					id = v.tracer.Start(key, now, "vmalert:"+cr.rule.Name)
+					v.tracer.Span(id, "vmalert.fire", now, end, cr.rule.Name)
 				}
-				v.tracer.StageByKey(key, "vmalert.fire", now, cr.rule.Name)
 			}
 		}
 		for fp, st := range v.state[i] {
@@ -217,6 +221,19 @@ func (v *VMAlert) EvalOnce() ([]alertmanager.Alert, error) {
 		v.notifier.Receive(sent...)
 	}
 	return sent, nil
+}
+
+// vmTraceKey extracts the trace correlation key from an alert label set.
+// Hardware alerts carry an xname (or the Context stream label); the
+// built-in meta-alerts about the pipeline itself are keyed by whichever
+// subsystem dimension they fire on.
+func vmTraceKey(ls labels.Labels) string {
+	for _, name := range []string{"xname", "Context", "dependency", "target", "topic", "stage", "rule"} {
+		if val := ls.Get(name); val != "" {
+			return val
+		}
+	}
+	return ""
 }
 
 func (v *VMAlert) buildAlert(rule Rule, st *alertState, startsAt, endsAt time.Time) alertmanager.Alert {

@@ -7,9 +7,18 @@ set -eux
 
 cd "$(dirname "$0")"
 
+# Formatting is a gate, not a suggestion: gofmt -l prints offending
+# files, so an empty result is the pass condition.
+test -z "$(gofmt -l .)"
+
 go vet ./...
 go test -race ./...
 go test -race -run Chaos -count=2 -shuffle=on ./internal/core/...
+
+# Meta-alert smoke: break ServiceNow via chaos injection and prove the
+# pipeline's own breaker-stuck-open / SLO-burn alerts reach the fake
+# Slack sink through the normal Alertmanager path.
+go test -race -run 'TestMetaAlert' -count=1 ./internal/core/
 
 # Smoke-run the tracked benchmark families (C1/C2/C5/E4/E7) and refresh
 # BENCH_ingest.json; full numbers come from `./bench.sh` without args.
