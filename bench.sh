@@ -38,12 +38,14 @@ BEGIN { n = 0 }
   name = $1
   sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
   sub(/^Benchmark/, "", name)
-  ns = ""; bpo = ""; apo = ""; mbs = ""
+  ns = ""; bpo = ""; apo = ""; mbs = ""; scan = ""; hit = ""
   for (i = 2; i < NF; i++) {
     if ($(i+1) == "ns/op")   ns  = $i
     if ($(i+1) == "B/op")    bpo = $i
     if ($(i+1) == "allocs/op") apo = $i
     if ($(i+1) == "MB/s")    mbs = $i
+    if ($(i+1) == "bytes-scanned")   scan = $i
+    if ($(i+1) == "cache-hit-ratio") hit  = $i
   }
   if (ns == "") next
   # msgs/s: ingest benches are one message per op, except ShardedIngest
@@ -56,6 +58,8 @@ BEGIN { n = 0 }
   if (apo != "")  line = line sprintf(", \"allocs_per_op\": %s", apo)
   if (mbs != "")  line = line sprintf(", \"mb_per_s\": %s", mbs)
   if (msgs != "") line = line sprintf(", \"msgs_per_s\": %.0f", msgs)
+  if (scan != "") line = line sprintf(", \"bytes_scanned_per_op\": %s", scan)
+  if (hit != "")  line = line sprintf(", \"cache_hit_ratio\": %s", hit)
   line = line "}"
   rows[n++] = line
 }

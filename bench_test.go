@@ -14,6 +14,7 @@
 package shastamon
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,7 @@ import (
 	"shastamon/internal/obs"
 	"shastamon/internal/omni"
 	"shastamon/internal/ruler"
+	"shastamon/internal/stats"
 	"shastamon/internal/syslogd"
 )
 
@@ -306,7 +308,10 @@ func loadLeakStore(b *testing.B, events int) *loki.Store {
 	return store
 }
 
-// E4 / Fig. 5: the paper's leak query over 10k stored events.
+// E4 / Fig. 5: the paper's leak query over 10k stored events. The run
+// also reports per-op bytes scanned and the chunk-cache hit ratio from
+// the query statistics context — the scan-volume numbers bench.sh lands
+// in BENCH_ingest.json.
 func BenchmarkFig5Query(b *testing.B) {
 	store := loadLeakStore(b, 10000)
 	eng := logql.NewEngine(store)
@@ -314,13 +319,20 @@ func BenchmarkFig5Query(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx, sc := stats.NewContext(context.Background())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		vec, err := eng.Instant(expr, int64(time.Hour))
+		vec, err := eng.InstantContext(ctx, expr, int64(time.Hour))
 		if err != nil || len(vec) == 0 {
 			b.Fatalf("%v %v", vec, err)
 		}
+	}
+	b.StopTimer()
+	snap := sc.Snapshot()
+	b.ReportMetric(float64(snap.Summary.TotalBytesProcessed)/float64(b.N), "bytes-scanned")
+	if total := snap.Store.CacheHits + snap.Store.CacheMisses; total > 0 {
+		b.ReportMetric(float64(snap.Store.CacheHits)/float64(total), "cache-hit-ratio")
 	}
 }
 
@@ -343,13 +355,20 @@ func BenchmarkFig8Query(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx, sc := stats.NewContext(context.Background())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		vec, err := eng.Instant(expr, int64(time.Hour))
+		vec, err := eng.InstantContext(ctx, expr, int64(time.Hour))
 		if err != nil || len(vec) != 64 {
 			b.Fatalf("%d %v", len(vec), err)
 		}
+	}
+	b.StopTimer()
+	snap := sc.Snapshot()
+	b.ReportMetric(float64(snap.Summary.TotalBytesProcessed)/float64(b.N), "bytes-scanned")
+	if total := snap.Store.CacheHits + snap.Store.CacheMisses; total > 0 {
+		b.ReportMetric(float64(snap.Store.CacheHits)/float64(total), "cache-hit-ratio")
 	}
 }
 

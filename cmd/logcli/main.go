@@ -6,6 +6,8 @@
 //
 //	logcli -q '{data_type="redfish_event"} |= "CabinetLeakDetected" | json'
 //	logcli -load dump.json -q 'sum(count_over_time({app="x"}[5m]))' -instant
+//	logcli -q '{data_type="syslog"}' -stats              # + query statistics table
+//	logcli -q '{data_type="syslog"}' -stats -output jsonl  # raw statistics JSON
 //	logcli -self -addr http://127.0.0.1:8080            # pipeline self-metrics
 //	logcli -self -addr http://127.0.0.1:8080 -q breaker_state
 //
@@ -14,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +26,7 @@ import (
 	"shastamon/internal/labels"
 	"shastamon/internal/logql"
 	"shastamon/internal/loki"
+	"shastamon/internal/stats"
 )
 
 type dumpStream struct {
@@ -85,7 +89,12 @@ func main() {
 	since := flag.Duration("since", 24*time.Hour, "log query lookback from -at")
 	addr := flag.String("addr", "", "query a remote Loki API (e.g. omnid) instead of the local demo store")
 	self := flag.Bool("self", false, "query the pipeline's shastamon_* self-metrics over -addr's PromQL API; -q may be a bare family name (shastamon_ prefix optional) or empty for the default set")
+	showStats := flag.Bool("stats", false, "print query statistics (bytes/lines scanned, cache hits, timings) after the result")
+	output := flag.String("output", "", `statistics output format: "" (human table, stderr) or "jsonl" (raw statistics JSON, stdout)`)
 	flag.Parse()
+	if *output != "" && *output != "jsonl" {
+		fatal(fmt.Errorf("bad -output %q (want \"\" or \"jsonl\")", *output))
+	}
 	if *self {
 		if *addr == "" {
 			fatal(fmt.Errorf("-self needs -addr (the omnid status listener)"))
@@ -100,7 +109,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *addr != "" {
-		if err := queryRemote(*addr, *query, *at, *since, *instant); err != nil {
+		if err := queryRemote(*addr, *query, *at, *since, *instant, *showStats, *output); err != nil {
 			fatal(err)
 		}
 		return
@@ -122,8 +131,9 @@ func main() {
 		fatal(fmt.Errorf("bad -at: %w", err))
 	}
 
+	ctx, sc := stats.NewContext(context.Background())
 	if *instant {
-		vec, err := engine.QueryInstant(*query, end.UnixNano())
+		vec, err := engine.QueryInstantContext(ctx, *query, end.UnixNano())
 		if err != nil {
 			fatal(err)
 		}
@@ -133,9 +143,10 @@ func main() {
 		if len(vec) == 0 {
 			fmt.Println("(empty vector)")
 		}
+		finishStats(sc, *showStats, *output)
 		return
 	}
-	streams, err := engine.QueryLogs(*query, end.Add(-*since).UnixNano(), end.UnixNano())
+	streams, err := engine.QueryLogsContext(ctx, *query, end.Add(-*since).UnixNano(), end.UnixNano())
 	if err != nil {
 		fatal(err)
 	}
@@ -148,6 +159,39 @@ func main() {
 		}
 	}
 	fmt.Printf("(%d entries, %d streams)\n", n, len(streams))
+	finishStats(sc, *showStats, *output)
+}
+
+func finishStats(sc *stats.Context, show bool, output string) {
+	if !show {
+		return
+	}
+	sc.Finish()
+	printStats(sc.Snapshot(), output)
+}
+
+// printStats renders a statistics snapshot: jsonl emits the raw JSON on
+// stdout (machine-readable, one line); the default is a human table on
+// stderr so piped query output stays clean.
+func printStats(snap stats.Snapshot, output string) {
+	if output == "jsonl" {
+		b, _ := json.Marshal(snap)
+		fmt.Println(string(b))
+		return
+	}
+	su, st := snap.Summary, snap.Store
+	w := os.Stderr
+	fmt.Fprintln(w, "-- query statistics --")
+	fmt.Fprintf(w, "bytes processed      : %d (%d/s)\n", su.TotalBytesProcessed, su.BytesProcessedPerSecond)
+	fmt.Fprintf(w, "lines processed      : %d (%d/s)\n", su.TotalLinesProcessed, su.LinesProcessedPerSecond)
+	fmt.Fprintf(w, "entries returned     : %d\n", su.TotalEntriesReturned)
+	fmt.Fprintf(w, "streams selected     : %d\n", st.StreamsSelected)
+	fmt.Fprintf(w, "chunks opened        : %d\n", st.ChunksOpened)
+	fmt.Fprintf(w, "blocks decompressed  : %d (%d bytes)\n", st.BlocksDecompressed, st.DecompressedBytes)
+	fmt.Fprintf(w, "chunk cache          : %d hit / %d miss\n", st.CacheHits, st.CacheMisses)
+	fmt.Fprintf(w, "shards / splits      : %d / %d\n", su.Shards, su.Splits)
+	fmt.Fprintf(w, "queue / exec / total : %.3fms / %.3fms / %.3fms\n",
+		su.QueueTime*1e3, su.ExecTime*1e3, su.TotalTime*1e3)
 }
 
 func fatal(err error) {

@@ -9,12 +9,15 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"shastamon/internal/stats"
 )
 
 // queryRemote runs the query against a Loki-compatible HTTP API (the
 // in-process engine exposed by cmd/omnid, or any server speaking
-// /loki/api/v1/query[_range]).
-func queryRemote(base, query, at string, since time.Duration, instant bool) error {
+// /loki/api/v1/query[_range]). With showStats, the server's `statistics`
+// block is rendered after the result.
+func queryRemote(base, query, at string, since time.Duration, instant, showStats bool, output string) error {
 	end, err := time.Parse(time.RFC3339, at)
 	if err != nil {
 		return fmt.Errorf("bad -at: %w", err)
@@ -32,6 +35,7 @@ func queryRemote(base, query, at string, since time.Duration, instant bool) erro
 					Metric map[string]string `json:"metric"`
 					Value  [2]interface{}    `json:"value"`
 				} `json:"result"`
+				Statistics stats.Snapshot `json:"statistics"`
 			} `json:"data"`
 		}
 		if err := getJSON(client, base+"/loki/api/v1/query?"+q.Encode(), &resp); err != nil {
@@ -45,6 +49,9 @@ func queryRemote(base, query, at string, since time.Duration, instant bool) erro
 		}
 		if len(resp.Data.Result) == 0 {
 			fmt.Println("(empty vector)")
+		}
+		if showStats {
+			printStats(resp.Data.Statistics, output)
 		}
 		return nil
 	}
@@ -61,6 +68,7 @@ func queryRemote(base, query, at string, since time.Duration, instant bool) erro
 				Stream map[string]string `json:"stream"`
 				Values [][2]string       `json:"values"`
 			} `json:"result"`
+			Statistics stats.Snapshot `json:"statistics"`
 		} `json:"data"`
 	}
 	if err := getJSON(client, base+"/loki/api/v1/query_range?"+q.Encode(), &resp); err != nil {
@@ -85,6 +93,9 @@ func queryRemote(base, query, at string, since time.Duration, instant bool) erro
 		}
 	}
 	fmt.Printf("(%d entries, %d streams)\n", n, len(resp.Data.Result))
+	if showStats {
+		printStats(resp.Data.Statistics, output)
+	}
 	return nil
 }
 

@@ -27,6 +27,9 @@
 //	                         plain-text timed-span waterfall
 //	GET /debug/slo           detection-latency SLO report (per-rule burn
 //	                         rate, p50/p95/max) as JSON
+//	GET /debug/queries       queries executing right now, with running stats
+//	POST /debug/queries/{id}/kill  cancel a runaway query mid-scan
+//	GET /debug/slowlog       recent slow / limit-breached queries (JSON)
 //	GET /debug/pprof/        net/http/pprof profiles
 //
 // With -meta-alerts, the built-in self-monitoring rule pack (core.MetaRules)
@@ -64,7 +67,7 @@ func main() {
 	switchAfter := flag.Duration("switch-after", 20*time.Second, "take a switch offline after this long (0 disables)")
 	syslogRate := flag.Int("syslog-rate", 20, "synthetic syslog messages per tick")
 	rulesPath := flag.String("rules", "", "JSON rule file (see core.RuleFile); default: the paper's two case-study rules")
-	metrics := flag.Bool("metrics", true, "serve /metrics, /debug/trace/, /debug/slo and /debug/pprof/ on the status listener")
+	metrics := flag.Bool("metrics", true, "serve /metrics, /debug/trace/, /debug/slo, /debug/queries, /debug/slowlog and /debug/pprof/ on the status listener")
 	metaAlerts := flag.Bool("meta-alerts", false, "evaluate the built-in self-monitoring rule pack (SLO burn, stuck breakers, DLQ growth, stage errors, scrape staleness)")
 	flag.Parse()
 
@@ -252,6 +255,10 @@ func main() {
 		mux.Handle("/metrics", obs.Handler(obs.GathererFunc(p.Gather)))
 		mux.Handle("/debug/trace/", p.Tracer.Handler())
 		mux.Handle("/debug/slo", p.SLO().Handler())
+		qh := p.Warehouse.Tracker.Handler()
+		mux.Handle("/debug/queries", qh)
+		mux.Handle("/debug/queries/", qh)
+		mux.Handle("/debug/slowlog", qh)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

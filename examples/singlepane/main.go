@@ -61,6 +61,12 @@ func main() {
 			if err := p.Cluster.SetSwitchState("x1002c1r7b0", shasta.SwitchUnknown); err != nil {
 				log.Fatal(err)
 			}
+		case 25:
+			// An operator query mid-hour: its statistics are scraped on
+			// the next tick, giving the query panels a second sample.
+			if _, err := p.Warehouse.QueryLogs(`{data_type="syslog"}`, t0.UnixNano(), ts.UnixNano()); err != nil {
+				log.Fatal(err)
+			}
 		}
 		if err := p.Tick(ts); err != nil {
 			log.Fatal(err)
@@ -68,6 +74,19 @@ func main() {
 	}
 
 	end := t0.Add(31 * time.Minute)
+
+	// Exercise the tracked query path so the "Self: queries" panels have
+	// statistics to chart (an operator's ad-hoc queries would do this).
+	if _, err := p.Warehouse.QueryLogs(`{data_type="syslog"}`, t0.UnixNano(), end.UnixNano()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.Warehouse.QueryMetrics(`sum(up)`, end.UnixMilli()); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Tick(end); err != nil { // scrape the query metrics into the TSDB
+		log.Fatal(err)
+	}
+
 	out, err := p.RenderSinglePane(t0, end, 2*time.Minute)
 	if err != nil {
 		log.Fatal(err)

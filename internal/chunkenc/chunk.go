@@ -245,10 +245,28 @@ func (c *Chunk) CachedIterator(cache *BlockCache, mint, maxt int64) *Iterator {
 	return &Iterator{c: c, cache: cache, mint: mint, maxt: maxt, blockIdx: -1}
 }
 
+// IterStats counts the cache and decompression work one iterator did.
+// The store copies these into the query's statistics context; the fields
+// live here (plain ints, single-goroutine) so chunkenc stays free of
+// accounting dependencies.
+type IterStats struct {
+	CacheHits          int64
+	CacheMisses        int64
+	BlocksDecompressed int64
+	DecompressedBytes  int64
+}
+
+// StatsIterator is CachedIterator with per-block cache and decompression
+// counts accumulated into st. A nil st disables the accounting.
+func (c *Chunk) StatsIterator(cache *BlockCache, mint, maxt int64, st *IterStats) *Iterator {
+	return &Iterator{c: c, cache: cache, mint: mint, maxt: maxt, blockIdx: -1, stats: st}
+}
+
 // Iterator yields entries from a chunk. Use Next/At.
 type Iterator struct {
 	c          *Chunk
 	cache      *BlockCache
+	stats      *IterStats
 	mint, maxt int64
 	blockIdx   int
 	cur        []Entry
@@ -292,6 +310,13 @@ func (it *Iterator) Next() bool {
 					return false
 				}
 				it.cache.put(it.c, it.blockIdx, entries, b.raw)
+				if it.stats != nil {
+					it.stats.CacheMisses++
+					it.stats.BlocksDecompressed++
+					it.stats.DecompressedBytes += int64(b.raw)
+				}
+			} else if it.stats != nil {
+				it.stats.CacheHits++
 			}
 			it.cur, it.pos = entries, 0
 		case it.blockIdx == len(it.c.blocks):

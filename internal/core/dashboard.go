@@ -1,9 +1,13 @@
 package core
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"shastamon/internal/grafana"
+	"shastamon/internal/obs"
 )
 
 // SinglePane returns the paper's "single pane of glass": one dashboard
@@ -106,12 +110,93 @@ func (p *Pipeline) SinglePane() grafana.Dashboard {
 				Query:  `max(shastamon_scrape_staleness_seconds) by (target)`,
 				Source: grafana.SourceMetrics,
 			},
+			// Self: queries — the query path watching itself. Quantiles,
+			// ratios and the slowlog table are computed panels
+			// (SourceSelfStat): the embedded PromQL subset has neither
+			// histogram_quantile nor vector division, so their terminal
+			// rendering comes from the pipeline's own registries while the
+			// exported JSON carries the real-Grafana expression.
+			{
+				Title:       "Self: queries — p50/p95 duration by engine",
+				Query:       "query-duration-quantiles",
+				Source:      grafana.SourceSelfStat,
+				GrafanaExpr: `histogram_quantile(0.95, sum(rate(shastamon_query_duration_seconds_bucket[5m])) by (le, engine))`,
+			},
+			{
+				Title:  "Self: queries — bytes scanned (10m increase)",
+				Query:  `sum(increase(shastamon_query_bytes_processed_sum[10m]))`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:       "Self: queries — chunk cache hit ratio",
+				Query:       "cache-hit-ratio",
+				Source:      grafana.SourceSelfStat,
+				GrafanaType: "stat",
+				GrafanaExpr: `sum(rate(shastamon_loki_chunk_cache_requests_total{result="hit"}[10m])) / sum(rate(shastamon_loki_chunk_cache_requests_total[10m]))`,
+			},
+			{
+				Title:       "Self: queries — slowest recent queries",
+				Query:       "slowlog-top",
+				Source:      grafana.SourceSelfStat,
+				GrafanaType: "table",
+				GrafanaExpr: `topk(10, sum(increase(shastamon_query_slow_total[1h])) by (engine))`,
+			},
 		},
 	}
+}
+
+// SelfStat resolves the computed "Self: queries" panel bodies from the
+// pipeline's own registries and the warehouse query tracker. It is the
+// closure RenderSinglePane installs via grafana.Renderer.SetSelfStat.
+func (p *Pipeline) SelfStat(key string) (string, error) {
+	switch key {
+	case "query-duration-quantiles":
+		fams := p.Gather()
+		var b strings.Builder
+		for _, eng := range []string{"logql", "promql"} {
+			n := obs.Value(fams, obs.Namespace+"query_duration_seconds_count", "engine", eng)
+			if n == 0 {
+				continue
+			}
+			p50 := obs.Quantile(fams, obs.Namespace+"query_duration_seconds", 0.50, "engine", eng)
+			p95 := obs.Quantile(fams, obs.Namespace+"query_duration_seconds", 0.95, "engine", eng)
+			fmt.Fprintf(&b, "%-7s %5.0f queries   p50 %.3fms   p95 %.3fms\n", eng, n, p50*1e3, p95*1e3)
+		}
+		if b.Len() == 0 {
+			return "(no queries yet)", nil
+		}
+		return b.String(), nil
+	case "cache-hit-ratio":
+		fams := p.Gather()
+		hits := obs.Value(fams, obs.Namespace+"loki_chunk_cache_requests_total", "result", "hit")
+		misses := obs.Value(fams, obs.Namespace+"loki_chunk_cache_requests_total", "result", "miss")
+		if hits+misses == 0 {
+			return "(no chunk-cache traffic yet)", nil
+		}
+		return fmt.Sprintf("%.1f%% hit (%.0f hit / %.0f miss)", 100*hits/(hits+misses), hits, misses), nil
+	case "slowlog-top":
+		entries := p.Warehouse.Tracker.SlowLog()
+		if len(entries) == 0 {
+			return "(slowlog empty)", nil
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].Duration > entries[j].Duration })
+		if len(entries) > 10 {
+			entries = entries[:10]
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-6s %-7s %10s %-8s %12s  query\n", "id", "engine", "duration", "reason", "bytes")
+		for _, e := range entries {
+			fmt.Fprintf(&b, "%-6s %-7s %9.3fs %-8s %12d  %s\n",
+				e.ID, e.Engine, e.Duration, e.Reason, e.Stats.Summary.TotalBytesProcessed, e.Query)
+		}
+		return b.String(), nil
+	}
+	return "", fmt.Errorf("core: unknown self-stat key %q", key)
 }
 
 // RenderSinglePane renders the dashboard over [start, end].
 func (p *Pipeline) RenderSinglePane(start, end time.Time, step time.Duration) (string, error) {
 	r := grafana.NewRenderer(p.Warehouse.LogQL, p.Warehouse.PromQL)
+	r.SetSelfStat(p.SelfStat)
 	return r.RenderDashboard(p.SinglePane(), start, end, step)
 }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsDocumented is the metrics-docs lint run by verify.sh: every
+// shastamon_* family a live pipeline actually registers must appear in
+// the README metric table, either by exact name or under one of the
+// wildcard rows (`shastamon_loki_*` etc). A new metric without a doc row
+// fails here, not in review.
+func TestMetricsDocumented(t *testing.T) {
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backticked shastamon_* tokens; `shastamon_foo_*` rows are wildcards.
+	tokenRe := regexp.MustCompile("`(shastamon_[a-z0-9_*]+)`")
+	var exact, prefixes []string
+	for _, m := range tokenRe.FindAllStringSubmatch(string(readme), -1) {
+		if tok := m[1]; strings.HasSuffix(tok, "_*") {
+			prefixes = append(prefixes, strings.TrimSuffix(tok, "*"))
+		} else {
+			exact = append(exact, tok)
+		}
+	}
+	if len(exact) == 0 || len(prefixes) == 0 {
+		t.Fatalf("README metric table not found (exact=%d wildcard=%d)", len(exact), len(prefixes))
+	}
+
+	documented := func(fam string) bool {
+		// Histogram families render as base{_bucket,_sum,_count}: the
+		// base row documents all three.
+		base := fam
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suf)
+		}
+		for _, tok := range exact {
+			if tok == fam || tok == base {
+				return true
+			}
+		}
+		for _, pre := range prefixes {
+			if strings.HasPrefix(fam, pre) {
+				return true
+			}
+		}
+		return false
+	}
+
+	p := newPipeline(t, Options{MetaAlerts: true})
+	mustTick(t, p, time.Date(2022, 3, 3, 1, 0, 0, 0, time.UTC))
+	fams := p.Gather()
+	if len(fams) < 20 {
+		t.Fatalf("only %d families gathered — registry wiring broken?", len(fams))
+	}
+	var missing []string
+	for _, fam := range fams {
+		if !strings.HasPrefix(fam.Name, "shastamon_") {
+			t.Fatalf("family %q outside the shastamon_ namespace", fam.Name)
+		}
+		if !documented(fam.Name) {
+			missing = append(missing, fam.Name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("metric families registered but missing from the README table:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+
+	// The meta-rule table must list every built-in rule by name.
+	for _, r := range MetaRules() {
+		if !strings.Contains(string(readme), "`"+r.Name+"`") {
+			t.Fatalf("meta-rule %s missing from the README rule table", r.Name)
+		}
+	}
+}

@@ -63,6 +63,28 @@ func MetaRules() []vmalert.Rule {
 			},
 		},
 		{
+			// Slow queries are logged on /debug/slowlog; this turns the log
+			// into a page so capacity problems surface before users complain
+			// about dashboards.
+			Name:   "ShastamonQuerySlow",
+			Expr:   `sum(increase(shastamon_query_slow_total[10m])) by (engine) > 0`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "{{ $value }} slow {{ $labels.engine }} query(ies) in 10m — see /debug/slowlog",
+			},
+		},
+		{
+			// A query hit a hard guardrail (bytes budget, timeout, or a
+			// manual kill) and was cancelled mid-scan. Someone's query — or
+			// the limit — needs attention.
+			Name:   "ShastamonQueryLimitBreached",
+			Expr:   `sum(increase(shastamon_query_limit_breached_total[10m])) by (reason) > 0`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "{{ $value }} query(ies) cancelled ({{ $labels.reason }}) in 10m — see /debug/slowlog",
+			},
+		},
+		{
 			// A stale scrape target silently freezes every rule that reads
 			// its series; staleness runs on scrape timestamps so it tracks
 			// simulated time in experiments too.

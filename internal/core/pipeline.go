@@ -49,6 +49,10 @@ type Options struct {
 	// WarehouseShards stripes the warehouse stores over this many lock
 	// shards (0 = GOMAXPROCS); see omni.Config.Shards.
 	WarehouseShards int
+	// LokiLimits configures the warehouse log store, including the
+	// query-path guardrails (MaxBytesScanned, QueryTimeout,
+	// SlowQuerySeconds). Zero takes loki.DefaultLimits.
+	LokiLimits loki.Limits
 	// LogRules are Loki Ruler alerting rules.
 	LogRules []ruler.Rule
 	// MetricRules are vmalert alerting rules.
@@ -241,10 +245,16 @@ func New(opts Options) (*Pipeline, error) {
 		return fail(err)
 	}
 	p.Collector.SetTracer(p.Tracer)
-	p.Warehouse = omni.New(omni.Config{Retention: opts.Retention, Shards: opts.WarehouseShards})
+	p.Warehouse = omni.New(omni.Config{Retention: opts.Retention, Shards: opts.WarehouseShards, LokiLimits: opts.LokiLimits})
 	if opts.Chaos != nil {
 		p.Warehouse.SetFaultHook(opts.Chaos.HookFor("warehouse.ingest"))
 	}
+	// Warehouse queries replay their spans onto the event tracer, so a slow
+	// query shows up at /debug/trace/{id}?format=waterfall like any event.
+	p.Warehouse.Tracker.SetTracer(p.Tracer)
+	// Go runtime self-metrics ride the same registry the vmagent
+	// "shastamon" job scrapes: GC pressure lands next to query latency.
+	obs.RegisterRuntime(p.obsReg)
 
 	// The pipeline's own observability endpoint: every component registry
 	// united on /metrics, plus the event tracer on /debug/trace/. It is
@@ -527,11 +537,20 @@ func (p *Pipeline) Gather() []promtext.Family {
 //	GET /debug/trace/     retained event traces; /debug/trace/{id} for one
 //	                      (?format=waterfall for the plain-text span view)
 //	GET /debug/slo        per-rule detection-latency SLO report (JSON)
+//	GET /debug/queries    queries in flight right now (JSON)
+//	POST /debug/queries/{id}/kill  cancel a runaway query mid-scan
+//	GET /debug/slowlog    recent slow / limit-breached queries (JSON)
 func (p *Pipeline) ObsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(obs.GathererFunc(p.Gather)))
 	mux.Handle("/debug/trace/", p.Tracer.Handler())
 	mux.Handle("/debug/slo", p.slo.Handler())
+	if p.Warehouse != nil && p.Warehouse.Tracker != nil {
+		qh := p.Warehouse.Tracker.Handler()
+		mux.Handle("/debug/queries", qh)
+		mux.Handle("/debug/queries/", qh)
+		mux.Handle("/debug/slowlog", qh)
+	}
 	return mux
 }
 

@@ -69,8 +69,20 @@ func ExportJSON(d Dashboard) ([]byte, error) {
 		case SourceMetrics:
 			ep.Type = "timeseries"
 			ep.Datasource = exportDatasource{Type: "prometheus", UID: "victoriametrics"}
+		case SourceSelfStat:
+			// Computed panels export their real-Grafana expression: a real
+			// deployment has histogram_quantile and vector division even
+			// though the embedded engine doesn't.
+			ep.Type = "timeseries"
+			ep.Datasource = exportDatasource{Type: "prometheus", UID: "victoriametrics"}
+			if p.GrafanaExpr != "" {
+				ep.Targets[0].Expr = p.GrafanaExpr
+			}
 		default:
 			return nil, fmt.Errorf("grafana: panel %q: unknown source %d", p.Title, p.Source)
+		}
+		if p.GrafanaType != "" {
+			ep.Type = p.GrafanaType
 		}
 		out.Panels = append(out.Panels, ep)
 	}

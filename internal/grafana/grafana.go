@@ -24,6 +24,12 @@ const (
 	SourceLokiLogs   Source = iota // LogQL log query: rendered as a table
 	SourceLokiMetric               // LogQL metric query: rendered as a chart
 	SourceMetrics                  // PromQL query: rendered as a chart
+	// SourceSelfStat panels render computed self-monitoring statistics
+	// (histogram quantiles, cache hit ratios, slowlog tables) the embedded
+	// PromQL subset cannot express. Query is the stat key resolved by the
+	// renderer's SetSelfStat closure; GrafanaExpr carries the real-Grafana
+	// expression (histogram_quantile, vector division) for JSON export.
+	SourceSelfStat
 )
 
 // Panel is one dashboard panel.
@@ -36,6 +42,13 @@ type Panel struct {
 	Width   int
 	Height  int
 	MaxRows int
+	// GrafanaExpr, when set, overrides Query as the exported target
+	// expression — used by SourceSelfStat panels whose terminal rendering
+	// is computed but whose Grafana form is a real PromQL expression.
+	GrafanaExpr string
+	// GrafanaType overrides the exported panel type ("stat", "table",
+	// "timeseries"); empty picks the source default.
+	GrafanaType string
 }
 
 // Dashboard is a titled list of panels.
@@ -46,8 +59,9 @@ type Dashboard struct {
 
 // Renderer executes panel queries.
 type Renderer struct {
-	logs    *logql.Engine
-	metrics *promql.Engine
+	logs     *logql.Engine
+	metrics  *promql.Engine
+	selfStat func(key string) (string, error)
 }
 
 // NewRenderer builds a renderer; either engine may be nil if no panel
@@ -55,6 +69,12 @@ type Renderer struct {
 func NewRenderer(logs *logql.Engine, metrics *promql.Engine) *Renderer {
 	return &Renderer{logs: logs, metrics: metrics}
 }
+
+// SetSelfStat installs the resolver SourceSelfStat panels render through:
+// it receives the panel's Query as a stat key and returns pre-formatted
+// body text. The pipeline provides one computing quantiles, ratios and
+// slowlog tables from its own registries.
+func (r *Renderer) SetSelfStat(fn func(key string) (string, error)) { r.selfStat = fn }
 
 // RenderDashboard renders every panel over [start, end] at the step.
 func (r *Renderer) RenderDashboard(d Dashboard, start, end time.Time, step time.Duration) (string, error) {
@@ -117,6 +137,21 @@ func (r *Renderer) RenderPanel(p Panel, start, end time.Time, step time.Duration
 			series = append(series, cs)
 		}
 		return renderChart(p, series, start, end), nil
+	case SourceSelfStat:
+		if r.selfStat == nil {
+			return "", fmt.Errorf("no self-stat source configured")
+		}
+		body, err := r.selfStat(p.Query)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "-- %s --\n", p.Title)
+		b.WriteString(body)
+		if !strings.HasSuffix(body, "\n") {
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
 	}
 	return "", fmt.Errorf("unknown source %d", p.Source)
 }

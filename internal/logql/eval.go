@@ -1,6 +1,7 @@
 package logql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -10,12 +11,14 @@ import (
 	"shastamon/internal/labels"
 	"shastamon/internal/loki"
 	"shastamon/internal/parallel"
+	"shastamon/internal/stats"
 )
 
 // Querier is the storage interface the engine reads from; *loki.Store
-// implements it.
+// implements it. The context carries cancellation and the per-query
+// stats.Context down into the chunk scan.
 type Querier interface {
-	Select(sel []*labels.Matcher, mint, maxt int64) ([]loki.SelectedStream, error)
+	SelectContext(ctx context.Context, sel []*labels.Matcher, mint, maxt int64) ([]loki.SelectedStream, error)
 }
 
 // Sample is one metric query result value.
@@ -59,6 +62,7 @@ type Engine struct {
 	q        Querier
 	workers  int
 	inFlight atomic.Int64
+	tracker  *stats.Tracker
 }
 
 // NewEngine returns an engine reading from q with GOMAXPROCS workers.
@@ -76,6 +80,17 @@ func (e *Engine) SetParallelism(n int) {
 // QueryParallelism reports the number of in-flight pipeline workers; the
 // warehouse exposes it as a gauge.
 func (e *Engine) QueryParallelism() int64 { return e.inFlight.Load() }
+
+// SetTracker attaches the active-query tracker the HTTP handler registers
+// queries with. Call during setup, not concurrently with queries.
+func (e *Engine) SetTracker(t *stats.Tracker) { e.tracker = t }
+
+// Tracker returns the attached active-query tracker, nil when unset.
+func (e *Engine) Tracker() *stats.Tracker { return e.tracker }
+
+// checkEvery is how many pipeline entries a worker processes between
+// context checks, so kills cancel a query mid-stream promptly.
+const checkEvery = 256
 
 // groupSet accumulates result streams keyed by label fingerprint, with
 // collision lists, in first-seen order. Keying by fingerprint (computed
@@ -107,11 +122,14 @@ func (gs *groupSet) get(fp labels.Fingerprint, lbls labels.Labels) *ResultStream
 // happens only when the pipeline's output labels change from one entry to
 // the next; runs of identical labels (the common case — line filters and
 // parsers over one stream emit long runs) reuse the previous group.
-func processLogStream(stages []Stage, s loki.SelectedStream) []*ResultStream {
+func processLogStream(ctx context.Context, stages []Stage, s loki.SelectedStream) []*ResultStream {
 	var gs groupSet
 	var cur *ResultStream
 	var curLbls labels.Labels
-	for _, entry := range s.Entries {
+	for n, entry := range s.Entries {
+		if n%checkEvery == 0 && ctx.Err() != nil {
+			return nil
+		}
 		line, lbls, ok := runPipeline(stages, entry.Line, s.Labels)
 		if !ok {
 			continue
@@ -130,14 +148,26 @@ func processLogStream(stages []Stage, s loki.SelectedStream) []*ResultStream {
 // processed in parallel and merged in stream order, so results are
 // identical to sequential evaluation.
 func (e *Engine) SelectLogs(expr *LogExpr, start, end int64) ([]ResultStream, error) {
-	streams, err := e.q.Select(expr.Selector, start, end)
+	return e.SelectLogsContext(context.Background(), expr, start, end)
+}
+
+// SelectLogsContext is SelectLogs with cancellation and per-query
+// statistics carried by ctx.
+func (e *Engine) SelectLogsContext(ctx context.Context, expr *LogExpr, start, end int64) ([]ResultStream, error) {
+	sc := stats.FromContext(ctx)
+	sc.MarkExec()
+	streams, err := e.q.SelectContext(ctx, expr.Selector, start, end)
 	if err != nil {
 		return nil, err
 	}
+	pipeStart := time.Now()
 	perStream := make([][]*ResultStream, len(streams))
 	parallel.Do(len(streams), e.workers, &e.inFlight, func(i int) {
-		perStream[i] = processLogStream(expr.Stages, streams[i])
+		perStream[i] = processLogStream(ctx, expr.Stages, streams[i])
 	})
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	var merged groupSet
 	for _, locals := range perStream {
 		for _, lg := range locals {
@@ -146,23 +176,35 @@ func (e *Engine) SelectLogs(expr *LogExpr, start, end int64) ([]ResultStream, er
 		}
 	}
 	out := make([]ResultStream, 0, len(merged.order))
+	entries := 0
 	for _, g := range merged.order {
 		sort.SliceStable(g.Entries, func(i, j int) bool { return g.Entries[i].Timestamp < g.Entries[j].Timestamp })
+		entries += len(g.Entries)
 		out = append(out, *g)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
+	sc.AddEntriesReturned(int64(entries))
+	sc.AddSpan("logql.pipeline", pipeStart, time.Now(),
+		fmt.Sprintf("%d streams -> %d groups", len(streams), len(out)))
 	return out, nil
 }
 
 // Instant evaluates a metric expression at a single timestamp.
 func (e *Engine) Instant(expr Expr, ts int64) (Vector, error) {
+	return e.InstantContext(context.Background(), expr, ts)
+}
+
+// InstantContext is Instant with cancellation and per-query statistics
+// carried by ctx.
+func (e *Engine) InstantContext(ctx context.Context, expr Expr, ts int64) (Vector, error) {
+	stats.FromContext(ctx).MarkExec()
 	switch ex := expr.(type) {
 	case *RangeAggExpr:
-		return e.evalRangeAgg(ex, ts)
+		return e.evalRangeAgg(ctx, ex, ts)
 	case *VectorAggExpr:
-		return e.evalVectorAgg(ex, ts)
+		return e.evalVectorAgg(ctx, ex, ts)
 	case *CmpExpr:
-		inner, err := e.Instant(ex.Inner, ts)
+		inner, err := e.InstantContext(ctx, ex.Inner, ts)
 		if err != nil {
 			return nil, err
 		}
@@ -183,13 +225,22 @@ func (e *Engine) Instant(expr Expr, ts int64) (Vector, error) {
 // Range evaluates a metric expression over [start, end] at the given step,
 // producing one series per distinct label set.
 func (e *Engine) Range(expr Expr, start, end int64, step time.Duration) (Matrix, error) {
+	return e.RangeContext(context.Background(), expr, start, end, step)
+}
+
+// RangeContext is Range with cancellation and per-query statistics
+// carried by ctx; every step counts as one split.
+func (e *Engine) RangeContext(ctx context.Context, expr Expr, start, end int64, step time.Duration) (Matrix, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("logql: step must be positive")
 	}
+	sc := stats.FromContext(ctx)
+	sc.MarkExec()
 	seriesByKey := map[string]*Series{}
 	var order []string
 	for ts := start; ts <= end; ts += int64(step) {
-		vec, err := e.Instant(expr, ts)
+		sc.AddSplit()
+		vec, err := e.InstantContext(ctx, expr, ts)
 		if err != nil {
 			return nil, err
 		}
@@ -249,12 +300,15 @@ func (as *rangeAccSet) get(fp labels.Fingerprint, lbls labels.Labels) *rangeAcc 
 // entries (absent_over_time needs the total even when unwrap fails).
 // As in processLogStream, the group key is recomputed only when the
 // pipeline's output labels change between consecutive entries.
-func accumulateRangeStream(ex *RangeAggExpr, s loki.SelectedStream) ([]*rangeAcc, int) {
+func accumulateRangeStream(ctx context.Context, ex *RangeAggExpr, s loki.SelectedStream) ([]*rangeAcc, int) {
 	var as rangeAccSet
 	var g *rangeAcc
 	var curLbls labels.Labels
 	total := 0
-	for _, entry := range s.Entries {
+	for n, entry := range s.Entries {
+		if n%checkEvery == 0 && ctx.Err() != nil {
+			return nil, 0
+		}
 		line, lbls, ok := runPipeline(ex.Log.Stages, entry.Line, s.Labels)
 		if !ok {
 			continue
@@ -309,18 +363,25 @@ func (g *rangeAcc) merge(other *rangeAcc) {
 	}
 }
 
-func (e *Engine) evalRangeAgg(ex *RangeAggExpr, ts int64) (Vector, error) {
+func (e *Engine) evalRangeAgg(ctx context.Context, ex *RangeAggExpr, ts int64) (Vector, error) {
 	mint := ts - int64(ex.Interval) + 1
 	maxt := ts
-	streams, err := e.q.Select(ex.Log.Selector, mint, maxt)
+	streams, err := e.q.SelectContext(ctx, ex.Log.Selector, mint, maxt)
 	if err != nil {
 		return nil, err
 	}
+	accStart := time.Now()
 	perStream := make([][]*rangeAcc, len(streams))
 	counts := make([]int, len(streams))
 	parallel.Do(len(streams), e.workers, &e.inFlight, func(i int) {
-		perStream[i], counts[i] = accumulateRangeStream(ex, streams[i])
+		perStream[i], counts[i] = accumulateRangeStream(ctx, ex, streams[i])
 	})
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	sc := stats.FromContext(ctx)
+	sc.AddSpan("logql.accumulate", accStart, time.Now(),
+		fmt.Sprintf("%s over %d streams", ex.Op, len(streams)))
 	var merged rangeAccSet
 	total := 0
 	for i, locals := range perStream {
@@ -385,8 +446,8 @@ func (e *Engine) evalRangeAgg(ex *RangeAggExpr, ts int64) (Vector, error) {
 	return out, nil
 }
 
-func (e *Engine) evalVectorAgg(ex *VectorAggExpr, ts int64) (Vector, error) {
-	inner, err := e.Instant(ex.Inner, ts)
+func (e *Engine) evalVectorAgg(ctx context.Context, ex *VectorAggExpr, ts int64) (Vector, error) {
+	inner, err := e.InstantContext(ctx, ex.Inner, ts)
 	if err != nil {
 		return nil, err
 	}
@@ -485,27 +546,56 @@ func evalTopK(ex *VectorAggExpr, inner Vector, groupLabels func(labels.Labels) l
 
 // QueryLogs parses and runs a log query.
 func (e *Engine) QueryLogs(q string, start, end int64) ([]ResultStream, error) {
+	return e.QueryLogsContext(context.Background(), q, start, end)
+}
+
+// QueryLogsContext parses and runs a log query under ctx.
+func (e *Engine) QueryLogsContext(ctx context.Context, q string, start, end int64) ([]ResultStream, error) {
 	expr, err := ParseLogExpr(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.SelectLogs(expr, start, end)
+	return e.SelectLogsContext(ctx, expr, start, end)
 }
 
 // QueryInstant parses and runs a metric query at ts.
 func (e *Engine) QueryInstant(q string, ts int64) (Vector, error) {
+	return e.QueryInstantContext(context.Background(), q, ts)
+}
+
+// QueryInstantContext parses and runs a metric query at ts under ctx.
+func (e *Engine) QueryInstantContext(ctx context.Context, q string, ts int64) (Vector, error) {
 	expr, err := ParseMetricExpr(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.Instant(expr, ts)
+	vec, err := e.InstantContext(ctx, expr, ts)
+	if err != nil {
+		return nil, err
+	}
+	stats.FromContext(ctx).AddEntriesReturned(int64(len(vec)))
+	return vec, nil
 }
 
 // QueryRange parses and runs a metric query over a range.
 func (e *Engine) QueryRange(q string, start, end int64, step time.Duration) (Matrix, error) {
+	return e.QueryRangeContext(context.Background(), q, start, end, step)
+}
+
+// QueryRangeContext parses and runs a metric query over a range under ctx.
+func (e *Engine) QueryRangeContext(ctx context.Context, q string, start, end int64, step time.Duration) (Matrix, error) {
 	expr, err := ParseMetricExpr(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.Range(expr, start, end, step)
+	m, err := e.RangeContext(ctx, expr, start, end, step)
+	if err != nil {
+		return nil, err
+	}
+	points := 0
+	for _, s := range m {
+		points += len(s.Points)
+	}
+	stats.FromContext(ctx).AddEntriesReturned(int64(points))
+	return m, nil
 }

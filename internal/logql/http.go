@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"shastamon/internal/stats"
 )
 
 // Handler exposes the Loki query API over this engine:
@@ -14,7 +16,11 @@ import (
 //	GET /loki/api/v1/query_range?query=...&start=<ns>&end=<ns>&step=<seconds>
 //
 // Log queries on query_range return resultType "streams"; metric queries
-// return "matrix" — matching Loki's response envelope.
+// return "matrix" — matching Loki's response envelope. Every response
+// carries a Loki-style `statistics` object in `data` plus a Server-Timing
+// header summarising queue/exec/total time and scan volume. When a
+// tracker is attached (SetTracker) the query is registered on
+// /debug/queries, limit-armed and killable for its duration.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/loki/api/v1/query", func(w http.ResponseWriter, r *http.Request) {
@@ -34,7 +40,10 @@ func (e *Engine) Handler() http.Handler {
 			writeLogQLError(w, http.StatusBadRequest, fmt.Errorf("instant queries require a metric expression"))
 			return
 		}
-		vec, err := e.Instant(me, ts)
+		ctx, finish := e.tracker.Start(r.Context(), "logql", q)
+		vec, err := e.InstantContext(ctx, me, ts)
+		stats.FromContext(ctx).AddEntriesReturned(int64(len(vec)))
+		snap := finish(err)
 		if err != nil {
 			writeLogQLError(w, http.StatusBadRequest, err)
 			return
@@ -46,7 +55,7 @@ func (e *Engine) Handler() http.Handler {
 				"value":  []interface{}{float64(s.T) / 1e9, strconv.FormatFloat(s.V, 'g', -1, 64)},
 			})
 		}
-		writeLogQLJSON(w, "vector", result)
+		writeLogQLJSON(w, "vector", result, snap)
 	})
 	mux.HandleFunc("/loki/api/v1/query_range", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("query")
@@ -68,7 +77,9 @@ func (e *Engine) Handler() http.Handler {
 		}
 		switch ex := expr.(type) {
 		case *LogExpr:
-			streams, err := e.SelectLogs(ex, start, end)
+			ctx, finish := e.tracker.Start(r.Context(), "logql", q)
+			streams, err := e.SelectLogsContext(ctx, ex, start, end)
+			snap := finish(err)
 			if err != nil {
 				writeLogQLError(w, http.StatusBadRequest, err)
 				return
@@ -84,7 +95,7 @@ func (e *Engine) Handler() http.Handler {
 					"values": values,
 				})
 			}
-			writeLogQLJSON(w, "streams", result)
+			writeLogQLJSON(w, "streams", result, snap)
 		case MetricExpr:
 			stepS := r.URL.Query().Get("step")
 			if stepS == "" {
@@ -95,7 +106,14 @@ func (e *Engine) Handler() http.Handler {
 				writeLogQLError(w, http.StatusBadRequest, fmt.Errorf("bad step %q", stepS))
 				return
 			}
-			m, err := e.Range(ex, start, end, time.Duration(stepF*float64(time.Second)))
+			ctx, finish := e.tracker.Start(r.Context(), "logql", q)
+			m, err := e.RangeContext(ctx, ex, start, end, time.Duration(stepF*float64(time.Second)))
+			points := 0
+			for _, s := range m {
+				points += len(s.Points)
+			}
+			stats.FromContext(ctx).AddEntriesReturned(int64(points))
+			snap := finish(err)
 			if err != nil {
 				writeLogQLError(w, http.StatusBadRequest, err)
 				return
@@ -111,7 +129,7 @@ func (e *Engine) Handler() http.Handler {
 					"values": values,
 				})
 			}
-			writeLogQLJSON(w, "matrix", result)
+			writeLogQLJSON(w, "matrix", result, snap)
 		}
 	})
 	return mux
@@ -128,11 +146,16 @@ func parseNS(s string, def int64) (int64, error) {
 	return n, nil
 }
 
-func writeLogQLJSON(w http.ResponseWriter, resultType string, result interface{}) {
+func writeLogQLJSON(w http.ResponseWriter, resultType string, result interface{}, snap stats.Snapshot) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Server-Timing", snap.ServerTiming())
 	_ = json.NewEncoder(w).Encode(map[string]interface{}{
 		"status": "success",
-		"data":   map[string]interface{}{"resultType": resultType, "result": result},
+		"data": map[string]interface{}{
+			"resultType": resultType,
+			"result":     result,
+			"statistics": snap,
+		},
 	})
 }
 

@@ -1,0 +1,77 @@
+package loki
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/stats"
+)
+
+// A query over a corpus far larger than its byte budget is cancelled
+// mid-scan: the scan stops well short of the full corpus and the error is
+// the budget's sentinel cause.
+func TestMaxBytesScannedCancelsMidScan(t *testing.T) {
+	store := NewStore(DefaultLimits())
+	const streams, perStream, lineLen = 4, 5000, 100
+	const totalBytes = streams * perStream * lineLen // 2 MB
+	line := make([]byte, lineLen)
+	for i := range line {
+		line[i] = 'x'
+	}
+	for s := 0; s < streams; s++ {
+		ls := labels.FromStrings("app", "fat", "host", fmt.Sprintf("nid%03d", s))
+		entries := make([]Entry, perStream)
+		for i := range entries {
+			entries[i] = Entry{Timestamp: int64(i+1) * 1e6, Line: string(line)}
+		}
+		if err := store.Push([]PushStream{{Labels: ls, Entries: entries}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const budget = 64 << 10 // 64 KB budget against a 2 MB corpus
+	tr := stats.NewTracker(nil, stats.Config{MaxBytesScanned: budget})
+	ctx, finish := tr.Start(context.Background(), "logql", `{app="fat"}`)
+	_, err := store.SelectContext(ctx, nil, 0, 1<<62)
+	snap := finish(err)
+	if !errors.Is(err, stats.ErrMaxBytesScanned) {
+		t.Fatalf("err = %v, want ErrMaxBytesScanned", err)
+	}
+	scanned := snap.Summary.TotalBytesProcessed
+	if scanned <= 0 {
+		t.Fatal("nothing scanned before the breach")
+	}
+	// The per-worker flush cadence (every chunk / 1024 entries) bounds the
+	// overshoot: the scan must stop long before reading the whole corpus.
+	if scanned >= totalBytes/2 {
+		t.Fatalf("scanned %d of %d bytes — limit did not stop the scan promptly", scanned, totalBytes)
+	}
+	// The breach lands in the slowlog with reason "bytes".
+	log := tr.SlowLog()
+	if len(log) != 1 || log[0].Reason != "bytes" {
+		t.Fatalf("slowlog: %+v", log)
+	}
+}
+
+// Without a tracked context, Select behaves exactly as before: the whole
+// corpus is read and no limit applies.
+func TestSelectUntrackedUnlimited(t *testing.T) {
+	store := NewStore(DefaultLimits())
+	entries := make([]Entry, 3000)
+	for i := range entries {
+		entries[i] = Entry{Timestamp: int64(i+1) * 1e6, Line: "payload payload payload"}
+	}
+	if err := store.Push([]PushStream{{Labels: labels.FromStrings("app", "x"), Entries: entries}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Select(nil, 0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Entries) != 3000 {
+		t.Fatalf("got %d streams", len(got))
+	}
+}

@@ -14,16 +14,19 @@
 package loki
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shastamon/internal/chunkenc"
 	"shastamon/internal/labels"
 	"shastamon/internal/obs"
 	"shastamon/internal/parallel"
+	"shastamon/internal/stats"
 )
 
 // Entry is a single log line.
@@ -54,6 +57,17 @@ type Limits struct {
 	// (decoded) bytes: 0 = chunkenc.DefaultCacheBytes, negative disables
 	// the cache entirely.
 	ChunkCacheBytes int
+
+	// MaxBytesScanned cancels any tracked query whose cumulative scanned
+	// bytes exceed the budget (Loki's max_query_bytes_read); 0 = unlimited.
+	// Enforced by the stats.Tracker the warehouse arms per query.
+	MaxBytesScanned int64
+	// QueryTimeout cancels any tracked query running longer than this;
+	// 0 = no timeout.
+	QueryTimeout time.Duration
+	// SlowQuerySeconds is the /debug/slowlog threshold: tracked queries at
+	// least this slow are recorded. 0 disables duration-based slowlogging.
+	SlowQuerySeconds float64
 }
 
 // DefaultLimits mirror Loki 2.4 defaults at simulator scale.
@@ -292,22 +306,46 @@ type SelectedStream struct {
 // decompression goes through the store's block cache, so re-reading the
 // same window (ruler and vmalert do, every tick) skips the inflate work.
 func (s *Store) Select(sel []*labels.Matcher, mint, maxt int64) ([]SelectedStream, error) {
+	return s.SelectContext(context.Background(), sel, mint, maxt)
+}
+
+// SelectContext is Select with cancellation and per-query statistics: a
+// stats.Context carried by ctx (if any) accumulates bytes/lines scanned,
+// chunk and cache work and shard fan-out. Each worker counts into a
+// private stats.Worker shard and flushes it at chunk granularity, so the
+// byte budget and a kill are both observed mid-scan without per-line
+// atomic traffic. A cancelled ctx stops the scan and returns its cause.
+func (s *Store) SelectContext(ctx context.Context, sel []*labels.Matcher, mint, maxt int64) ([]SelectedStream, error) {
+	sc := stats.FromContext(ctx)
+	started := time.Now()
 	var cand []*stream
+	shardsTouched := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
+		n := len(cand)
 		for _, st := range sh.ordered {
 			if labels.MatchLabels(st.labels, sel) {
 				cand = append(cand, st)
 			}
 		}
 		sh.mu.RUnlock()
+		if len(cand) > n {
+			shardsTouched++
+		}
 	}
+	sc.AddShardsTouched(int64(shardsTouched))
+	sc.AddStreams(int64(len(cand)))
 
 	results := make([][]Entry, len(cand))
 	errs := make([]error, len(cand))
 	parallel.Do(len(cand), parallel.Workers(0), &s.queryInFlight, func(i int) {
-		results[i], errs[i] = cand[i].query(mint, maxt, s.cache)
+		results[i], errs[i] = cand[i].query(ctx, mint, maxt, s.cache, sc)
 	})
+	sc.AddSpan("loki.select", started, time.Now(),
+		fmt.Sprintf("%d streams over %d shards", len(cand), shardsTouched))
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
 	out := make([]SelectedStream, 0, len(cand))
 	for i, st := range cand {
 		if errs[i] != nil {
@@ -321,31 +359,66 @@ func (s *Store) Select(sel []*labels.Matcher, mint, maxt int64) ([]SelectedStrea
 	return out, nil
 }
 
-func (st *stream) query(mint, maxt int64, cache *chunkenc.BlockCache) ([]Entry, error) {
+// queryCheckEvery is how many entries a stream scan processes between
+// cancellation checks: small enough that kills and byte budgets stop a
+// scan mid-chunk, large enough to keep the check off the per-line path.
+const queryCheckEvery = 1024
+
+func (st *stream) query(ctx context.Context, mint, maxt int64, cache *chunkenc.BlockCache, sc *stats.Context) ([]Entry, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	var w stats.Worker
 	var out []Entry
+	sinceCheck := 0
 	collect := func(c *chunkenc.Chunk) error {
 		cmin, cmax, ok := c.Bounds()
 		if !ok || cmax < mint || cmin > maxt {
 			return nil
 		}
-		it := c.CachedIterator(cache, mint, maxt)
+		w.ChunksOpened++
+		var is chunkenc.IterStats
+		it := c.StatsIterator(cache, mint, maxt, &is)
 		for it.Next() {
 			e := it.At()
 			out = append(out, Entry{Timestamp: e.Timestamp, Line: e.Line})
+			w.LinesProcessed++
+			w.BytesProcessed += int64(len(e.Line))
+			if sinceCheck++; sinceCheck >= queryCheckEvery {
+				sinceCheck = 0
+				w.BlocksDecompressed += is.BlocksDecompressed
+				w.DecompressedBytes += is.DecompressedBytes
+				w.CacheHits += is.CacheHits
+				w.CacheMisses += is.CacheMisses
+				is = chunkenc.IterStats{}
+				w.FlushTo(sc)
+				if err := ctx.Err(); err != nil {
+					return context.Cause(ctx)
+				}
+			}
 		}
+		w.BlocksDecompressed += is.BlocksDecompressed
+		w.DecompressedBytes += is.DecompressedBytes
+		w.CacheHits += is.CacheHits
+		w.CacheMisses += is.CacheMisses
 		return it.Err()
 	}
 	for _, c := range st.chunks {
 		if err := collect(c); err != nil {
 			return nil, err
 		}
+		w.FlushTo(sc)
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
 	}
 	if st.head != nil {
 		if err := collect(st.head); err != nil {
 			return nil, err
 		}
+	}
+	w.FlushTo(sc)
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
 	}
 	return out, nil
 }

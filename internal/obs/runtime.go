@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runtimeSampler caches one runtime.MemStats read per gather so the three
+// heap gauges and the GC-pause histogram share a single stop-the-world
+// sample instead of taking one each.
+type runtimeSampler struct {
+	mu        sync.Mutex
+	ms        runtime.MemStats
+	lastNumGC uint32
+	pauses    *Histogram
+}
+
+// refresh re-reads MemStats and feeds GC pauses that completed since the
+// previous refresh into the pause histogram. PauseNs is a circular buffer
+// of the last 256 pauses, so a scrape gap longer than 256 GCs drops the
+// overflow — the same trade-off the standard Go collectors make.
+func (rs *runtimeSampler) refresh() runtime.MemStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	runtime.ReadMemStats(&rs.ms)
+	n := rs.ms.NumGC
+	if delta := n - rs.lastNumGC; delta > 0 {
+		if delta > 256 {
+			delta = 256
+		}
+		for i := n - delta; i < n; i++ {
+			rs.pauses.Observe(float64(rs.ms.PauseNs[i%256]) / 1e9)
+		}
+		rs.lastNumGC = n
+	}
+	return rs.ms
+}
+
+// GCPauseBuckets are bounds for Go GC stop-the-world pauses: tens of
+// microseconds in the common case, milliseconds when the heap misbehaves.
+var GCPauseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.05, 0.1,
+}
+
+// RegisterRuntime registers Go runtime self-metrics on r: goroutine
+// count, heap usage and a GC pause histogram. Self-scraped like every
+// other shastamon_* family, they let dashboards correlate slow queries
+// with GC pressure. Call once per registry.
+func RegisterRuntime(r *Registry) {
+	rs := &runtimeSampler{}
+	// The goroutines gauge is registered first so its render refreshes the
+	// shared sample before the gauges and histogram below render theirs.
+	r.GaugeFunc(Namespace+"go_goroutines",
+		"Goroutines currently live in the process.", func() float64 {
+			rs.refresh()
+			return float64(runtime.NumGoroutine())
+		})
+	r.GaugeFunc(Namespace+"go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", func() float64 {
+			rs.mu.Lock()
+			defer rs.mu.Unlock()
+			return float64(rs.ms.HeapAlloc)
+		})
+	r.GaugeFunc(Namespace+"go_heap_objects",
+		"Live heap objects (runtime.MemStats.HeapObjects).", func() float64 {
+			rs.mu.Lock()
+			defer rs.mu.Unlock()
+			return float64(rs.ms.HeapObjects)
+		})
+	rs.pauses = r.Histogram(Namespace+"go_gc_pause_seconds",
+		"Stop-the-world GC pause durations.", GCPauseBuckets)
+}

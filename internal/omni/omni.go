@@ -20,6 +20,7 @@ import (
 	"shastamon/internal/obs"
 	"shastamon/internal/promql"
 	"shastamon/internal/promtext"
+	"shastamon/internal/stats"
 	"shastamon/internal/tsdb"
 )
 
@@ -53,6 +54,10 @@ type Warehouse struct {
 	Events  *eventsearch.Index
 	LogQL   *logql.Engine
 	PromQL  *promql.Engine
+	// Tracker registers every warehouse query for per-query statistics,
+	// /debug/queries visibility, runaway-query limits and the slow-query
+	// log. Both query engines share it.
+	Tracker *stats.Tracker
 
 	retention       time.Duration
 	indexEvents     bool
@@ -104,6 +109,13 @@ func New(cfg Config) *Warehouse {
 	}
 	w.queryDur = w.reg.HistogramVec(obs.Namespace+"omni_query_duration_seconds",
 		"Warehouse query latency by engine.", obs.DefBuckets, "engine")
+	w.Tracker = stats.NewTracker(w.reg, stats.Config{
+		MaxBytesScanned: cfg.LokiLimits.MaxBytesScanned,
+		Timeout:         cfg.LokiLimits.QueryTimeout,
+		SlowThreshold:   time.Duration(cfg.LokiLimits.SlowQuerySeconds * float64(time.Second)),
+	})
+	w.LogQL.SetTracker(w.Tracker)
+	w.PromQL.SetTracker(w.Tracker)
 	w.reg.Collect(func() []promtext.Family {
 		return []promtext.Family{
 			obs.Fam("counter", obs.Namespace+"omni_log_messages_total",
@@ -180,19 +192,37 @@ func (w *Warehouse) IngestMetric(name string, ls labels.Labels, tsMillis int64, 
 // QueryLogs runs a LogQL query through the warehouse, observing its
 // latency under engine="logql".
 func (w *Warehouse) QueryLogs(q string, start, end int64) ([]logql.ResultStream, error) {
-	t0 := time.Now()
-	res, err := w.LogQL.QueryLogs(q, start, end)
-	w.queryDur.With("logql").Observe(time.Since(t0).Seconds())
+	res, _, err := w.QueryLogsContext(context.Background(), q, start, end)
 	return res, err
+}
+
+// QueryLogsContext is QueryLogs with tracker registration: the query is
+// visible on /debug/queries, limit-armed and killable while it runs, and
+// the returned snapshot carries its statistics.
+func (w *Warehouse) QueryLogsContext(ctx context.Context, q string, start, end int64) ([]logql.ResultStream, stats.Snapshot, error) {
+	t0 := time.Now()
+	qctx, finish := w.Tracker.Start(ctx, "logql", q)
+	res, err := w.LogQL.QueryLogsContext(qctx, q, start, end)
+	snap := finish(err)
+	w.queryDur.With("logql").Observe(time.Since(t0).Seconds())
+	return res, snap, err
 }
 
 // QueryMetrics runs an instant PromQL query through the warehouse,
 // observing its latency under engine="promql".
 func (w *Warehouse) QueryMetrics(q string, tsMillis int64) (promql.Vector, error) {
-	t0 := time.Now()
-	res, err := w.PromQL.Query(q, tsMillis)
-	w.queryDur.With("promql").Observe(time.Since(t0).Seconds())
+	res, _, err := w.QueryMetricsContext(context.Background(), q, tsMillis)
 	return res, err
+}
+
+// QueryMetricsContext is QueryMetrics with tracker registration.
+func (w *Warehouse) QueryMetricsContext(ctx context.Context, q string, tsMillis int64) (promql.Vector, stats.Snapshot, error) {
+	t0 := time.Now()
+	qctx, finish := w.Tracker.Start(ctx, "promql", q)
+	res, err := w.PromQL.QueryContext(qctx, q, tsMillis)
+	snap := finish(err)
+	w.queryDur.With("promql").Observe(time.Since(t0).Seconds())
+	return res, snap, err
 }
 
 // Stats is a warehouse counter snapshot.

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"shastamon/internal/stats"
 )
 
 // Handler exposes the Prometheus-compatible query API over this engine:
@@ -14,7 +16,10 @@ import (
 //	GET /api/v1/query_range?query=...&start=...&end=...&step=<seconds>
 //
 // Responses follow the Prometheus response envelope so Grafana-style
-// clients can consume them.
+// clients can consume them, extended with a `statistics` object in `data`
+// and a Server-Timing summary header. When a tracker is attached
+// (SetTracker) the query is registered on /debug/queries, limit-armed and
+// killable for its duration.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/query", func(w http.ResponseWriter, r *http.Request) {
@@ -24,7 +29,9 @@ func (e *Engine) Handler() http.Handler {
 			writePromError(w, http.StatusBadRequest, err)
 			return
 		}
-		vec, err := e.Query(q, ts.UnixMilli())
+		ctx, finish := e.tracker.Start(r.Context(), "promql", q)
+		vec, err := e.QueryContext(ctx, q, ts.UnixMilli())
+		snap := finish(err)
 		if err != nil {
 			writePromError(w, http.StatusBadRequest, err)
 			return
@@ -36,7 +43,7 @@ func (e *Engine) Handler() http.Handler {
 				"value":  []interface{}{float64(s.T) / 1000, strconv.FormatFloat(s.V, 'g', -1, 64)},
 			})
 		}
-		writePromJSON(w, "vector", result)
+		writePromJSON(w, "vector", result, snap)
 	})
 	mux.HandleFunc("/api/v1/query_range", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("query")
@@ -60,7 +67,9 @@ func (e *Engine) Handler() http.Handler {
 			writePromError(w, http.StatusBadRequest, fmt.Errorf("bad step %q", stepS))
 			return
 		}
-		m, err := e.QueryRange(q, start.UnixMilli(), end.UnixMilli(), time.Duration(stepF*float64(time.Second)))
+		ctx, finish := e.tracker.Start(r.Context(), "promql", q)
+		m, err := e.QueryRangeContext(ctx, q, start.UnixMilli(), end.UnixMilli(), time.Duration(stepF*float64(time.Second)))
+		snap := finish(err)
 		if err != nil {
 			writePromError(w, http.StatusBadRequest, err)
 			return
@@ -76,7 +85,7 @@ func (e *Engine) Handler() http.Handler {
 				"values": values,
 			})
 		}
-		writePromJSON(w, "matrix", result)
+		writePromJSON(w, "matrix", result, snap)
 	})
 	return mux
 }
@@ -92,11 +101,16 @@ func parseUnixSeconds(s string, def time.Time) (time.Time, error) {
 	return time.Unix(0, int64(f*float64(time.Second))), nil
 }
 
-func writePromJSON(w http.ResponseWriter, resultType string, result interface{}) {
+func writePromJSON(w http.ResponseWriter, resultType string, result interface{}, snap stats.Snapshot) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Server-Timing", snap.ServerTiming())
 	_ = json.NewEncoder(w).Encode(map[string]interface{}{
 		"status": "success",
-		"data":   map[string]interface{}{"resultType": resultType, "result": result},
+		"data": map[string]interface{}{
+			"resultType": resultType,
+			"result":     result,
+			"statistics": snap,
+		},
 	})
 }
 

@@ -7,6 +7,7 @@
 package promql
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -18,6 +19,7 @@ import (
 
 	"shastamon/internal/labels"
 	"shastamon/internal/parallel"
+	"shastamon/internal/stats"
 	"shastamon/internal/tsdb"
 )
 
@@ -534,6 +536,7 @@ type Engine struct {
 	lookback time.Duration
 	workers  int
 	inFlight atomic.Int64
+	tracker  *stats.Tracker
 }
 
 // NewEngine returns an engine with the default 5m staleness lookback and
@@ -555,8 +558,22 @@ func (e *Engine) SetParallelism(n int) {
 // warehouse exposes it as a gauge.
 func (e *Engine) QueryParallelism() int64 { return e.inFlight.Load() }
 
+// SetTracker attaches the active-query tracker the HTTP handler registers
+// queries with. Call during setup, not concurrently with queries.
+func (e *Engine) SetTracker(t *stats.Tracker) { e.tracker = t }
+
+// Tracker returns the attached active-query tracker, nil when unset.
+func (e *Engine) Tracker() *stats.Tracker { return e.tracker }
+
 // Instant evaluates the expression at ts (Unix ms).
 func (e *Engine) Instant(expr Expr, ts int64) (Vector, error) {
+	return e.InstantContext(context.Background(), expr, ts)
+}
+
+// InstantContext is Instant with cancellation and per-query statistics
+// carried by ctx.
+func (e *Engine) InstantContext(ctx context.Context, expr Expr, ts int64) (Vector, error) {
+	stats.FromContext(ctx).MarkExec()
 	switch ex := expr.(type) {
 	case NumberExpr:
 		return Vector{{T: ts, V: float64(ex)}}, nil
@@ -572,7 +589,7 @@ func (e *Engine) Instant(expr Expr, ts int64) (Vector, error) {
 		}
 		return out, nil
 	case *RangeFnExpr:
-		return e.evalRangeFn(ex, ts)
+		return e.evalRangeFn(ctx, ex, ts)
 	case *AbsentExpr:
 		ms, err := ex.Selector.allMatchers()
 		if err != nil {
@@ -590,9 +607,9 @@ func (e *Engine) Instant(expr Expr, ts int64) (Vector, error) {
 		}
 		return Vector{{Labels: b.Labels(), T: ts, V: 1}}, nil
 	case *AggExpr:
-		return e.evalAgg(ex, ts)
+		return e.evalAgg(ctx, ex, ts)
 	case *BinExpr:
-		return e.evalBin(ex, ts)
+		return e.evalBin(ctx, ex, ts)
 	default:
 		return nil, fmt.Errorf("promql: unsupported expression %T", expr)
 	}
@@ -600,13 +617,22 @@ func (e *Engine) Instant(expr Expr, ts int64) (Vector, error) {
 
 // Range evaluates over [start, end] ms stepping by step.
 func (e *Engine) Range(expr Expr, start, end int64, step time.Duration) (Matrix, error) {
+	return e.RangeContext(context.Background(), expr, start, end, step)
+}
+
+// RangeContext is Range with cancellation and per-query statistics
+// carried by ctx; every step counts as one split.
+func (e *Engine) RangeContext(ctx context.Context, expr Expr, start, end int64, step time.Duration) (Matrix, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("promql: step must be positive")
 	}
+	sc := stats.FromContext(ctx)
+	sc.MarkExec()
 	byKey := map[string]*Series{}
 	var order []string
 	for ts := start; ts <= end; ts += step.Milliseconds() {
-		vec, err := e.Instant(expr, ts)
+		sc.AddSplit()
+		vec, err := e.InstantContext(ctx, expr, ts)
 		if err != nil {
 			return nil, err
 		}
@@ -629,13 +655,16 @@ func (e *Engine) Range(expr Expr, start, end int64, step time.Duration) (Matrix,
 	return m, nil
 }
 
-func (e *Engine) evalRangeFn(ex *RangeFnExpr, ts int64) (Vector, error) {
+func (e *Engine) evalRangeFn(ctx context.Context, ex *RangeFnExpr, ts int64) (Vector, error) {
 	ms, err := ex.Selector.allMatchers()
 	if err != nil {
 		return nil, err
 	}
 	mint := ts - ex.Range.Milliseconds() + 1
-	data := e.db.Select(ms, mint, ts)
+	data, err := e.db.SelectContext(ctx, ms, mint, ts)
+	if err != nil {
+		return nil, err
+	}
 	type result struct {
 		v  float64
 		ok bool
@@ -647,6 +676,9 @@ func (e *Engine) evalRangeFn(ex *RangeFnExpr, ts int64) (Vector, error) {
 		}
 		results[i].v, results[i].ok = applyRangeFn(ex.Fn, data[i].Samples, ex.Range)
 	})
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	out := make(Vector, 0, len(data))
 	for i, sd := range data {
 		if !results[i].ok {
@@ -715,8 +747,8 @@ func applyRangeFn(fn string, s []tsdb.Sample, rng time.Duration) (float64, bool)
 	return 0, false
 }
 
-func (e *Engine) evalAgg(ex *AggExpr, ts int64) (Vector, error) {
-	inner, err := e.Instant(ex.Inner, ts)
+func (e *Engine) evalAgg(ctx context.Context, ex *AggExpr, ts int64) (Vector, error) {
+	inner, err := e.InstantContext(ctx, ex.Inner, ts)
 	if err != nil {
 		return nil, err
 	}
@@ -772,12 +804,12 @@ func (e *Engine) evalAgg(ex *AggExpr, ts int64) (Vector, error) {
 	return out, nil
 }
 
-func (e *Engine) evalBin(ex *BinExpr, ts int64) (Vector, error) {
-	lhs, err := e.Instant(ex.LHS, ts)
+func (e *Engine) evalBin(ctx context.Context, ex *BinExpr, ts int64) (Vector, error) {
+	lhs, err := e.InstantContext(ctx, ex.LHS, ts)
 	if err != nil {
 		return nil, err
 	}
-	rhs, err := e.Instant(ex.RHS, ts)
+	rhs, err := e.InstantContext(ctx, ex.RHS, ts)
 	if err != nil {
 		return nil, err
 	}
@@ -875,18 +907,42 @@ func (e *Engine) evalBin(ex *BinExpr, ts int64) (Vector, error) {
 
 // Query parses and evaluates an instant query.
 func (e *Engine) Query(q string, ts int64) (Vector, error) {
+	return e.QueryContext(context.Background(), q, ts)
+}
+
+// QueryContext parses and evaluates an instant query under ctx.
+func (e *Engine) QueryContext(ctx context.Context, q string, ts int64) (Vector, error) {
 	expr, err := Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.Instant(expr, ts)
+	vec, err := e.InstantContext(ctx, expr, ts)
+	if err != nil {
+		return nil, err
+	}
+	stats.FromContext(ctx).AddEntriesReturned(int64(len(vec)))
+	return vec, nil
 }
 
 // QueryRange parses and evaluates a range query.
 func (e *Engine) QueryRange(q string, start, end int64, step time.Duration) (Matrix, error) {
+	return e.QueryRangeContext(context.Background(), q, start, end, step)
+}
+
+// QueryRangeContext parses and evaluates a range query under ctx.
+func (e *Engine) QueryRangeContext(ctx context.Context, q string, start, end int64, step time.Duration) (Matrix, error) {
 	expr, err := Parse(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.Range(expr, start, end, step)
+	m, err := e.RangeContext(ctx, expr, start, end, step)
+	if err != nil {
+		return nil, err
+	}
+	points := 0
+	for _, s := range m {
+		points += len(s.Points)
+	}
+	stats.FromContext(ctx).AddEntriesReturned(int64(points))
+	return m, nil
 }

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Exactness contract: N workers flushing shards concurrently lose and
+// double-count nothing. Run under -race this is also the memory-model
+// check for the lock-free merge.
+func TestWorkerFlushExactness(t *testing.T) {
+	_, sc := NewContext(context.Background())
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var w Worker
+			for i := 0; i < per; i++ {
+				w.BytesProcessed += 10
+				w.LinesProcessed++
+				w.CacheHits++
+				w.CacheMisses += 2
+				if i%100 == 99 { // periodic mid-scan flush, like the store
+					w.FlushTo(sc)
+				}
+			}
+			w.ChunksOpened = 3
+			w.FlushTo(sc)
+		}()
+	}
+	wg.Wait()
+	snap := sc.Snapshot()
+	if got, want := snap.Summary.TotalBytesProcessed, int64(workers*per*10); got != want {
+		t.Fatalf("bytes = %d, want %d", got, want)
+	}
+	if got, want := snap.Summary.TotalLinesProcessed, int64(workers*per); got != want {
+		t.Fatalf("lines = %d, want %d", got, want)
+	}
+	if got, want := snap.Store.CacheHits, int64(workers*per); got != want {
+		t.Fatalf("cache hits = %d, want %d", got, want)
+	}
+	if got, want := snap.Store.CacheMisses, int64(2*workers*per); got != want {
+		t.Fatalf("cache misses = %d, want %d", got, want)
+	}
+	if got, want := snap.Store.ChunksOpened, int64(3*workers); got != want {
+		t.Fatalf("chunks = %d, want %d", got, want)
+	}
+}
+
+func TestWorkerFlushZeroes(t *testing.T) {
+	_, sc := NewContext(context.Background())
+	w := Worker{BytesProcessed: 100, LinesProcessed: 5}
+	w.FlushTo(sc)
+	w.FlushTo(sc) // zeroed by the first flush: must not double count
+	if got := sc.Snapshot().Summary.TotalBytesProcessed; got != 100 {
+		t.Fatalf("bytes = %d, want 100", got)
+	}
+	if w != (Worker{}) {
+		t.Fatalf("worker not zeroed: %+v", w)
+	}
+}
+
+func TestArmLimitCancelsOnBreach(t *testing.T) {
+	ctx, sc := NewContext(context.Background())
+	cctx, cancel := context.WithCancelCause(ctx)
+	sc.ArmLimit(100, cancel)
+
+	(&Worker{BytesProcessed: 100}).FlushTo(sc) // at budget: fine
+	if cctx.Err() != nil {
+		t.Fatalf("cancelled at budget: %v", context.Cause(cctx))
+	}
+	(&Worker{BytesProcessed: 1}).FlushTo(sc) // over budget: cancel fires
+	if cctx.Err() == nil {
+		t.Fatal("not cancelled over budget")
+	}
+	if cause := context.Cause(cctx); !errors.Is(cause, ErrMaxBytesScanned) {
+		t.Fatalf("cause = %v, want ErrMaxBytesScanned", cause)
+	}
+	if !sc.LimitBreached() {
+		t.Fatal("LimitBreached() = false after breach")
+	}
+}
+
+func TestNilContextSafe(t *testing.T) {
+	var c *Context
+	c.MarkExec()
+	c.Finish()
+	c.AddStreams(1)
+	c.AddShardsTouched(1)
+	c.AddSplit()
+	c.AddEntriesReturned(1)
+	c.AddSpan("x", time.Now(), time.Now(), "")
+	c.ArmLimit(1, nil)
+	(&Worker{BytesProcessed: 1}).FlushTo(c)
+	if c.Snapshot() != (Snapshot{}) || c.Spans() != nil || c.BytesProcessed() != 0 {
+		t.Fatal("nil context leaked state")
+	}
+	if FromContext(nil) != nil || FromContext(context.Background()) != nil {
+		t.Fatal("FromContext invented a context")
+	}
+}
+
+func TestSnapshotTimesAndServerTiming(t *testing.T) {
+	_, sc := NewContext(context.Background())
+	sc.MarkExec()
+	sc.SetQueueTime(5 * time.Millisecond)
+	(&Worker{BytesProcessed: 1 << 20, LinesProcessed: 100}).FlushTo(sc)
+	time.Sleep(2 * time.Millisecond)
+	sc.Finish()
+	snap := sc.Snapshot()
+	if snap.Summary.ExecTime <= 0 || snap.Summary.TotalTime < snap.Summary.ExecTime {
+		t.Fatalf("times: %+v", snap.Summary)
+	}
+	if snap.Summary.QueueTime != 0.005 {
+		t.Fatalf("queue = %v", snap.Summary.QueueTime)
+	}
+	if snap.Summary.BytesProcessedPerSecond <= 0 {
+		t.Fatalf("rate = %d", snap.Summary.BytesProcessedPerSecond)
+	}
+	// Finish pins the clock: a later snapshot reports the same times.
+	time.Sleep(2 * time.Millisecond)
+	if again := sc.Snapshot(); again.Summary.TotalTime != snap.Summary.TotalTime {
+		t.Fatalf("clock not pinned: %v then %v", snap.Summary.TotalTime, again.Summary.TotalTime)
+	}
+	st := snap.ServerTiming()
+	for _, want := range []string{"queue;dur=", "exec;dur=", "total;dur=", "1048576 processed", "hit/"} {
+		if !strings.Contains(st, want) {
+			t.Fatalf("Server-Timing %q missing %q", st, want)
+		}
+	}
+}

@@ -13,15 +13,18 @@
 package tsdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shastamon/internal/labels"
 	"shastamon/internal/obs"
 	"shastamon/internal/parallel"
+	"shastamon/internal/stats"
 )
 
 // Sample is one (timestamp, value) pair. T is Unix milliseconds.
@@ -141,20 +144,30 @@ func (db *DB) getOrCreate(ls labels.Labels) *series {
 	return s
 }
 
-// candidates returns every series matching all matchers, across shards.
-func (db *DB) candidates(sel []*labels.Matcher) []*series {
+// candidates returns every series matching all matchers, across shards,
+// plus the number of shards that held at least one match.
+func (db *DB) candidates(sel []*labels.Matcher) ([]*series, int) {
 	var cand []*series
+	touched := 0
 	for _, sh := range db.shards {
 		sh.mu.RLock()
+		n := len(cand)
 		for _, s := range sh.ordered {
 			if labels.MatchLabels(s.labels, sel) {
 				cand = append(cand, s)
 			}
 		}
 		sh.mu.RUnlock()
+		if len(cand) > n {
+			touched++
+		}
 	}
-	return cand
+	return cand, touched
 }
+
+// sampleCost is the nominal scanned-byte cost of one (int64, float64)
+// sample, used for the per-query byte accounting and scan budget.
+const sampleCost = 16
 
 // SeriesData is a query result: a label set and its samples in range.
 type SeriesData struct {
@@ -166,9 +179,26 @@ type SeriesData struct {
 // matching all matchers, ordered by label string. Candidate series are
 // copied out in parallel on a bounded worker pool.
 func (db *DB) Select(sel []*labels.Matcher, mint, maxt int64) []SeriesData {
-	cand := db.candidates(sel)
+	out, _ := db.SelectContext(context.Background(), sel, mint, maxt)
+	return out
+}
+
+// SelectContext is Select with cancellation and per-query statistics: a
+// stats.Context carried by ctx (if any) counts copied samples as scanned
+// lines (at sampleCost bytes each, so the scan budget covers metric
+// queries too) plus series and shard fan-out. A cancelled ctx stops the
+// scan and returns its cause.
+func (db *DB) SelectContext(ctx context.Context, sel []*labels.Matcher, mint, maxt int64) ([]SeriesData, error) {
+	sc := stats.FromContext(ctx)
+	started := time.Now()
+	cand, touched := db.candidates(sel)
+	sc.AddShardsTouched(int64(touched))
+	sc.AddStreams(int64(len(cand)))
 	results := make([][]Sample, len(cand))
 	parallel.Do(len(cand), parallel.Workers(0), &db.queryInFlight, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		s := cand[i]
 		s.mu.Lock()
 		lo := sort.Search(len(s.data), func(j int) bool { return s.data[j].T >= mint })
@@ -179,7 +209,18 @@ func (db *DB) Select(sel []*labels.Matcher, mint, maxt int64) []SeriesData {
 			results[i] = samples
 		}
 		s.mu.Unlock()
+		if n := len(results[i]); n > 0 {
+			var w stats.Worker
+			w.LinesProcessed = int64(n)
+			w.BytesProcessed = int64(n) * sampleCost
+			w.FlushTo(sc)
+		}
 	})
+	sc.AddSpan("tsdb.select", started, time.Now(),
+		fmt.Sprintf("%d series over %d shards", len(cand), touched))
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
 	out := make([]SeriesData, 0, len(cand))
 	for i, s := range cand {
 		if len(results[i]) > 0 {
@@ -187,14 +228,14 @@ func (db *DB) Select(sel []*labels.Matcher, mint, maxt int64) []SeriesData {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
-	return out
+	return out, nil
 }
 
 // LatestBefore returns, for each matching series, the newest sample at or
 // before ts but not older than ts-lookback. This implements PromQL instant
 // vector semantics.
 func (db *DB) LatestBefore(sel []*labels.Matcher, ts, lookbackMS int64) []SeriesData {
-	cand := db.candidates(sel)
+	cand, _ := db.candidates(sel)
 	results := make([][]Sample, len(cand))
 	parallel.Do(len(cand), parallel.Workers(0), &db.queryInFlight, func(i int) {
 		s := cand[i]
@@ -218,7 +259,8 @@ func (db *DB) LatestBefore(sel []*labels.Matcher, ts, lookbackMS int64) []Series
 // Series returns label sets of matching series.
 func (db *DB) Series(sel []*labels.Matcher) []labels.Labels {
 	var out []labels.Labels
-	for _, s := range db.candidates(sel) {
+	cand, _ := db.candidates(sel)
+	for _, s := range cand {
 		out = append(out, s.labels)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })

@@ -20,6 +20,10 @@ go test -race -run Chaos -count=2 -shuffle=on ./internal/core/...
 # Slack sink through the normal Alertmanager path.
 go test -race -run 'TestMetaAlert' -count=1 ./internal/core/
 
+# Metrics-docs lint: every shastamon_* family a live pipeline registers
+# (and every built-in meta-rule) must have a row in the README tables.
+go test -run 'TestMetricsDocumented' -count=1 ./internal/core/
+
 # Smoke-run the tracked benchmark families (C1/C2/C5/E4/E7) and refresh
 # BENCH_ingest.json; full numbers come from `./bench.sh` without args.
 ./bench.sh short
