@@ -10,10 +10,14 @@
 #
 # Families (see bench_test.go):
 #   C1  BenchmarkOMNIIngestLogs / ...LogsParallel   msgs/s vs paper 400k/s
+#       BenchmarkOMNIIngestLogsWAL                  same loop, WAL on: the
+#                                                   durability overhead pair
 #   C2  BenchmarkSustainedBytes                     MB/s vs 400 GB/day
 #   C5  BenchmarkShardedIngest                      lock-stripe scaling
 #   E4  BenchmarkFig5Query                          leak query latency
 #   E7  BenchmarkFig8Query                          switch pattern query
+#       BenchmarkWALRecovery                        100k-entry WAL replay
+#                                                   (ms/recovery, entries/s)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -29,7 +33,7 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-  -bench 'OMNIIngestLogs$|OMNIIngestLogsParallel$|SustainedBytes$|ShardedIngest/|Fig5Query$|Fig8Query$' \
+  -bench 'OMNIIngestLogs$|OMNIIngestLogsWAL$|OMNIIngestLogsParallel$|SustainedBytes$|ShardedIngest/|Fig5Query$|Fig8Query$|WALRecovery$' \
   -benchtime "$BENCHTIME" . | tee "$RAW"
 
 awk -v mode="$MODE" '
@@ -38,7 +42,7 @@ BEGIN { n = 0 }
   name = $1
   sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
   sub(/^Benchmark/, "", name)
-  ns = ""; bpo = ""; apo = ""; mbs = ""; scan = ""; hit = ""
+  ns = ""; bpo = ""; apo = ""; mbs = ""; scan = ""; hit = ""; eps = ""; msr = ""
   for (i = 2; i < NF; i++) {
     if ($(i+1) == "ns/op")   ns  = $i
     if ($(i+1) == "B/op")    bpo = $i
@@ -46,6 +50,8 @@ BEGIN { n = 0 }
     if ($(i+1) == "MB/s")    mbs = $i
     if ($(i+1) == "bytes-scanned")   scan = $i
     if ($(i+1) == "cache-hit-ratio") hit  = $i
+    if ($(i+1) == "entries/s")       eps  = $i
+    if ($(i+1) == "ms/recovery")     msr  = $i
   }
   if (ns == "") next
   # msgs/s: ingest benches are one message per op, except ShardedIngest
@@ -60,6 +66,8 @@ BEGIN { n = 0 }
   if (msgs != "") line = line sprintf(", \"msgs_per_s\": %.0f", msgs)
   if (scan != "") line = line sprintf(", \"bytes_scanned_per_op\": %s", scan)
   if (hit != "")  line = line sprintf(", \"cache_hit_ratio\": %s", hit)
+  if (eps != "")  line = line sprintf(", \"replay_entries_per_s\": %s", eps)
+  if (msr != "")  line = line sprintf(", \"recovery_ms\": %s", msr)
   line = line "}"
   rows[n++] = line
 }

@@ -34,6 +34,7 @@ import (
 	"shastamon/internal/ruler"
 	"shastamon/internal/stats"
 	"shastamon/internal/syslogd"
+	"shastamon/internal/wal"
 )
 
 const leakLine = `{"Severity":"Warning","MessageId":"CrayAlerts.1.0.CabinetLeakDetected","Message":"Sensor 'A' of the redundant leak sensors in the 'Front' cabinet zone has detected a leak."}`
@@ -66,6 +67,74 @@ func BenchmarkOMNIIngestLogs(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// C1 with durability on: the same single-message ingest loop as
+// BenchmarkOMNIIngestLogs, but through a warehouse opened with a data
+// directory — every push is WAL-logged (lazy fsync) before acking. The
+// delta against the WAL-off run above is the durability overhead
+// BENCH_ingest.json tracks.
+func BenchmarkOMNIIngestLogsWAL(b *testing.B) {
+	wh, err := omni.Open(omni.Config{DataDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := syslogd.NewGenerator(1, benchHosts(64)...)
+	msgs := make([]loki.PushStream, 256)
+	for i := range msgs {
+		msgs[i] = core.SyslogToLoki(gen.Next(time.Unix(0, int64(i))), "perlmutter")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ts := int64(0)
+	for i := 0; i < b.N; i++ {
+		ps := msgs[i%len(msgs)]
+		ts += 1e6
+		ps.Entries = []loki.Entry{{Timestamp: ts, Line: ps.Entries[0].Line}}
+		if err := wh.IngestLogs([]loki.PushStream{ps}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Crash-recovery speed: replay a 100k-entry WAL into a fresh store. Each
+// iteration is one full cold start (checkpoint-free worst case); the
+// entries/s metric is the replay rate, ns/op the recovery time.
+func BenchmarkWALRecovery(b *testing.B) {
+	const streams, entriesPer = 64, 1563 // ~100k entries
+	dir := b.TempDir()
+	limits := loki.DefaultLimits()
+	limits.Shards = 4
+	seed := loki.NewStore(limits)
+	if _, err := seed.EnableDurability(dir, wal.StoreOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	gen := syslogd.NewGenerator(9, benchHosts(streams)...)
+	total := 0
+	for e := 0; e < entriesPer; e++ {
+		batch := make([]loki.PushStream, streams)
+		for s := range batch {
+			batch[s] = core.SyslogToLoki(gen.Next(time.Unix(0, int64(e)*1e6)), "perlmutter")
+		}
+		if err := seed.Push(batch); err != nil {
+			b.Fatal(err)
+		}
+		total += streams
+	}
+	// No shutdown: the directory is a crash image and stays replayable.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := loki.NewStore(limits)
+		info, err := st.EnableDurability(dir, wal.StoreOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Replayed != total {
+			b.Fatalf("replayed %d of %d", info.Replayed, total)
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/recovery")
 }
 
 // C1: metric samples.

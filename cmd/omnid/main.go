@@ -58,6 +58,7 @@ import (
 	"shastamon/internal/shasta"
 	"shastamon/internal/syslogd"
 	"shastamon/internal/vmalert"
+	"shastamon/internal/wal"
 )
 
 func main() {
@@ -69,12 +70,20 @@ func main() {
 	rulesPath := flag.String("rules", "", "JSON rule file (see core.RuleFile); default: the paper's two case-study rules")
 	metrics := flag.Bool("metrics", true, "serve /metrics, /debug/trace/, /debug/slo, /debug/queries, /debug/slowlog and /debug/pprof/ on the status listener")
 	metaAlerts := flag.Bool("meta-alerts", false, "evaluate the built-in self-monitoring rule pack (SLO burn, stuck breakers, DLQ growth, stage errors, scrape staleness)")
+	dataDir := flag.String("data-dir", "", "durable warehouse directory (WAL, sealed-chunk spill, checkpoints); empty runs memory-only")
+	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy: always (sync every append), interval (lazy, default), never")
+	walSegment := flag.Int("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = 4 MiB default)")
+	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "how often the tick checkpoints the stores to bound WAL replay")
 	flag.Parse()
+
+	fsync, err := wal.ParseFsyncPolicy(*walFsync)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	logRules := []ruler.Rule{experiments.LeakRule, experiments.SwitchRule}
 	var metricRules []vmalert.Rule
 	if *rulesPath != "" {
-		var err error
 		logRules, metricRules, err = core.LoadRules(*rulesPath)
 		if err != nil {
 			log.Fatal(err)
@@ -86,11 +95,22 @@ func main() {
 		MetricRules: metricRules,
 		GroupWait:   time.Second,
 		MetaAlerts:  *metaAlerts,
+		DataDir:     *dataDir,
+		WAL: wal.StoreOptions{Options: wal.Options{
+			Fsync:        fsync,
+			SegmentBytes: *walSegment,
+		}},
+		CheckpointEvery: *checkpointEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer p.Close()
+	if *dataDir != "" {
+		rec, _ := p.Warehouse.Recovery()
+		log.Printf("durable warehouse at %s: clean=%v replayed=%d record(s), %d corrupt record(s) dropped",
+			*dataDir, rec.Logs.Clean && rec.Metrics.Clean, rec.Replayed(), rec.Corrupt())
+	}
 
 	hosts := make([]string, 0, 16)
 	for i, n := range p.Cluster.Nodes() {

@@ -34,6 +34,10 @@ type Fault struct {
 	// Times caps how many hits fail; after that the fault self-heals
 	// (deterministic outage bursts). 0 means unlimited.
 	Times int
+	// After skips the first N hits before the fault can fire — combined
+	// with Times it places a deterministic failure window mid-stream
+	// ("crash on exactly the k-th disk write").
+	After int
 	// Latency is added to every hit while the fault is armed, fired or not.
 	Latency time.Duration
 	// DropProb black-holes the operation instead of failing it loudly.
@@ -41,6 +45,14 @@ type Fault struct {
 	// HTTPStatus, on transport probes, synthesizes a response with this
 	// status instead of a transport error (5xx bursts). Ignored elsewhere.
 	HTTPStatus int
+	// Err, when set, is the concrete error a firing fault injects instead
+	// of the generic one — e.g. syscall.ENOSPC for a full-disk scenario.
+	// The injected error still matches ErrInjected via errors.Is.
+	Err error
+	// Short, on writer probes, makes a firing fault write roughly half the
+	// buffer before failing — a torn write that leaves a partial record on
+	// disk. Ignored on non-writer probes.
+	Short bool
 }
 
 type pointState struct {
@@ -110,6 +122,9 @@ func (i *Injector) decide(point string) (latency time.Duration, err error) {
 	ps.hits++
 	f := ps.fault
 	latency = f.Latency
+	if ps.hits <= f.After {
+		return latency, nil // warm-up window: fault not yet eligible
+	}
 	if f.Times > 0 && ps.fired >= f.Times {
 		return latency, nil // budget spent: self-healed
 	}
@@ -123,6 +138,11 @@ func (i *Injector) decide(point string) (latency time.Duration, err error) {
 	}
 	if errProb > 0 && i.rng.Float64() < errProb {
 		ps.fired++
+		if f.Err != nil {
+			// Wrap both so errors.Is matches ErrInjected and the concrete
+			// error (e.g. syscall.ENOSPC).
+			return latency, fmt.Errorf("%w at %s: %w", ErrInjected, point, f.Err)
+		}
 		return latency, fmt.Errorf("%w at %s", ErrInjected, point)
 	}
 	return latency, nil
@@ -172,6 +192,59 @@ func (i *Injector) Transport(point string, base http.RoundTripper) http.RoundTri
 // shape the notifier and telemetry client constructors accept.
 func (i *Injector) Client(point string) *http.Client {
 	return &http.Client{Transport: i.Transport(point, nil), Timeout: 30 * time.Second}
+}
+
+// faultWriter injects faults in front of a base io.Writer.
+type faultWriter struct {
+	inj   *Injector
+	point string
+	base  io.Writer
+}
+
+func (w *faultWriter) Write(p []byte) (int, error) {
+	latency, err := w.inj.decide(w.point)
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if err != nil {
+		w.inj.mu.Lock()
+		short := false
+		if ps := w.inj.points[w.point]; ps != nil {
+			short = ps.fault.Short
+		}
+		w.inj.mu.Unlock()
+		if short && len(p) > 1 {
+			// Torn write: half the buffer lands before the fault hits,
+			// leaving a partial frame for recovery to repair.
+			n, werr := w.base.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return w.base.Write(p)
+}
+
+// Writer wraps base with a disk-write probe point: a firing fault fails
+// the write (optionally after a torn partial write, or with a concrete
+// errno like ENOSPC via Fault.Err). A nil Injector returns base unchanged.
+func (i *Injector) Writer(point string, base io.Writer) io.Writer {
+	if i == nil {
+		return base
+	}
+	return &faultWriter{inj: i, point: point, base: base}
+}
+
+// WriterWrapper adapts a probe point to the func(io.Writer) io.Writer hook
+// shape the WAL's Options.WrapWriter accepts. A nil Injector returns nil,
+// so production paths can assign it unconditionally.
+func (i *Injector) WriterWrapper(point string) func(io.Writer) io.Writer {
+	if i == nil {
+		return nil
+	}
+	return func(w io.Writer) io.Writer { return i.Writer(point, w) }
 }
 
 func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {

@@ -1,9 +1,11 @@
 package chaos
 
 import (
+	"bytes"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -137,5 +139,81 @@ func TestDropProb(t *testing.T) {
 	i.Set("p", Fault{DropProb: 1, Times: 2})
 	if err := i.Hit("p"); !errors.Is(err, ErrDropped) {
 		t.Fatal(err)
+	}
+}
+
+// TestAfterWindow places a deterministic failure window mid-stream: hits
+// 1-3 pass, hits 4-5 fail, everything after self-heals.
+func TestAfterWindow(t *testing.T) {
+	i := New(1)
+	i.Set("p", Fault{After: 3, Times: 2})
+	var got []bool
+	for k := 0; k < 7; k++ {
+		got = append(got, i.Hit("p") != nil)
+	}
+	want := []bool{false, false, false, true, true, false, false}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("hit %d fired=%v, want %v (all: %v)", k+1, got[k], want[k], got)
+		}
+	}
+}
+
+func TestErrOverride(t *testing.T) {
+	i := New(1)
+	i.Set("disk.write", Fault{Times: 1, Err: syscall.ENOSPC})
+	err := i.Hit("disk.write")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ENOSPC fault lost ErrInjected: %v", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC fault lost the concrete errno: %v", err)
+	}
+}
+
+func TestWriterFaults(t *testing.T) {
+	i := New(1)
+	i.Set("disk.write", Fault{After: 1, Times: 1})
+	var buf bytes.Buffer
+	w := i.Writer("disk.write", &buf)
+	if _, err := w.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := w.Write([]byte("second")); err == nil || n != 0 {
+		t.Fatalf("armed write: n=%d err=%v", n, err)
+	}
+	if _, err := w.Write([]byte("third")); err != nil {
+		t.Fatalf("healed write: %v", err)
+	}
+	if buf.String() != "firstthird" {
+		t.Fatalf("buffer = %q", buf.String())
+	}
+}
+
+// TestWriterShort proves the torn-write mode: half the buffer lands, then
+// the injected error surfaces — the shape of a crash mid-record.
+func TestWriterShort(t *testing.T) {
+	i := New(1)
+	i.Set("disk.write", Fault{Times: 1, Short: true})
+	var buf bytes.Buffer
+	w := i.Writer("disk.write", &buf)
+	p := []byte("0123456789")
+	n, err := w.Write(p)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write err = %v", err)
+	}
+	if n != len(p)/2 || buf.Len() != len(p)/2 {
+		t.Fatalf("short write landed %d bytes (buf %d), want %d", n, buf.Len(), len(p)/2)
+	}
+}
+
+func TestWriterWrapperNilInjector(t *testing.T) {
+	var i *Injector
+	if i.WriterWrapper("disk.write") != nil {
+		t.Fatal("nil injector returned a wrapper")
+	}
+	var buf bytes.Buffer
+	if w := i.Writer("disk.write", &buf); w != &buf {
+		t.Fatal("nil injector wrapped the writer")
 	}
 }

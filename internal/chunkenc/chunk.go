@@ -44,7 +44,21 @@ type block struct {
 	mint, maxt int64
 	entries    int
 	raw        int    // uncompressed byte size of lines
-	data       []byte // compressed frames
+	data       []byte // compressed frames; nil once spilled to disk
+
+	// Spill location (valid when data is nil): payload offset and length
+	// in the chunk's spill file, plus its CRC32C for read-time checking.
+	off  int64
+	clen int
+	crc  uint32
+}
+
+// compLen is the compressed payload size whether resident or spilled.
+func (b block) compLen() int {
+	if b.data != nil {
+		return len(b.data)
+	}
+	return b.clen
 }
 
 // Chunk accumulates entries for one stream. Not safe for concurrent use;
@@ -62,6 +76,10 @@ type Chunk struct {
 	maxt     int64
 	entries  int
 	rawBytes int
+
+	// spillPath is the on-disk spill file once the sealed payloads have
+	// been written out and dropped from memory ("" while memory-only).
+	spillPath string
 }
 
 // Options configure a chunk; zero values take defaults.
@@ -127,7 +145,7 @@ func (c *Chunk) RawBytes() int { return c.rawBytes }
 func (c *Chunk) CompressedBytes() int {
 	n := c.headRaw
 	for _, b := range c.blocks {
-		n += len(b.data)
+		n += b.compLen()
 	}
 	return n
 }
@@ -193,8 +211,8 @@ func (c *Chunk) cutBlock() error {
 // appends are still allowed (a new head starts) unless the chunk is full.
 func (c *Chunk) Close() error { return c.cutBlock() }
 
-func decodeBlock(b block) ([]Entry, error) {
-	fr := flate.NewReader(bytes.NewReader(b.data))
+func decodeBlock(b block, data []byte) ([]Entry, error) {
+	fr := flate.NewReader(bytes.NewReader(data))
 	defer fr.Close()
 	br := &byteReader{r: fr}
 	out := make([]Entry, 0, b.entries)
@@ -303,8 +321,12 @@ func (it *Iterator) Next() bool {
 			}
 			entries, ok := it.cache.get(it.c, it.blockIdx)
 			if !ok {
-				var err error
-				entries, err = decodeBlock(b)
+				data, err := it.c.blockData(it.blockIdx)
+				if err != nil {
+					it.err = err
+					return false
+				}
+				entries, err = decodeBlock(b, data)
 				if err != nil {
 					it.err = err
 					return false

@@ -1,0 +1,314 @@
+// Disk spill for sealed chunks: a full chunk is written once to an
+// immutable spill file, its compressed block payloads are dropped from
+// memory, and reads fault the payload back in from disk on cache miss —
+// the BlockCache in front turns the common case back into a memory hit.
+// This is the reproduction's version of Loki's object-store chunks: sealed
+// data survives a crash on disk, only the mutable head lives in the WAL.
+//
+// Spill file layout (all integers varint unless noted):
+//
+//	magic "SHASPILL" | version u8
+//	blockSize | targetSize | maxEntries        (chunk options)
+//	numBlocks
+//	  per block: mint | maxt | entries | raw | clen | crc32c u32 LE | data
+//	numHead
+//	  per entry: ts-delta | len | line bytes   (first delta is absolute)
+//
+// Each block payload carries its own CRC32C so a corrupted spill file is
+// detected at read time, not served as garbage.
+package chunkenc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+const (
+	spillMagic   = "SHASPILL"
+	spillVersion = 1
+)
+
+var spillCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrSpillCorrupt marks a spill file that failed a structural or checksum
+// check.
+var ErrSpillCorrupt = errors.New("chunkenc: corrupt spill file")
+
+// SpillPath returns the spill file backing this chunk, or "" while the
+// chunk is memory-only. Retention uses it to delete the file with the
+// chunk.
+func (c *Chunk) SpillPath() string { return c.spillPath }
+
+// Spilled reports whether any sealed block's payload lives only on disk.
+func (c *Chunk) Spilled() bool { return c.spillPath != "" }
+
+type spillWriter struct {
+	w       io.Writer
+	n       int64
+	scratch [binary.MaxVarintLen64]byte
+	err     error
+}
+
+func (sw *spillWriter) write(p []byte) {
+	if sw.err != nil {
+		return
+	}
+	n, err := sw.w.Write(p)
+	sw.n += int64(n)
+	sw.err = err
+}
+
+func (sw *spillWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(sw.scratch[:], v)
+	sw.write(sw.scratch[:n])
+}
+
+func (sw *spillWriter) varint(v int64) {
+	n := binary.PutVarint(sw.scratch[:], v)
+	sw.write(sw.scratch[:n])
+}
+
+// WriteSpill serialises the chunk to w and returns the absolute offset of
+// each sealed block's payload within the written stream. The chunk itself
+// is not modified; call MarkSpilled with the offsets once the file is
+// safely on disk.
+func (c *Chunk) WriteSpill(w io.Writer) ([]int64, error) {
+	sw := &spillWriter{w: w}
+	sw.write([]byte(spillMagic))
+	sw.write([]byte{spillVersion})
+	sw.uvarint(uint64(c.blockSize))
+	sw.uvarint(uint64(c.targetSize))
+	sw.uvarint(uint64(c.maxEntries))
+	sw.uvarint(uint64(len(c.blocks)))
+	offs := make([]int64, len(c.blocks))
+	var crcBuf [4]byte
+	for i, b := range c.blocks {
+		data, err := c.blockData(i)
+		if err != nil {
+			return nil, err
+		}
+		sw.varint(b.mint)
+		sw.varint(b.maxt)
+		sw.uvarint(uint64(b.entries))
+		sw.uvarint(uint64(b.raw))
+		sw.uvarint(uint64(len(data)))
+		binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(data, spillCastagnoli))
+		sw.write(crcBuf[:])
+		offs[i] = sw.n
+		sw.write(data)
+	}
+	sw.uvarint(uint64(len(c.head)))
+	var prev int64
+	for i, e := range c.head {
+		if i == 0 {
+			sw.varint(e.Timestamp)
+		} else {
+			sw.varint(e.Timestamp - prev)
+		}
+		prev = e.Timestamp
+		sw.uvarint(uint64(len(e.Line)))
+		sw.write([]byte(e.Line))
+	}
+	if sw.err != nil {
+		return nil, sw.err
+	}
+	return offs, nil
+}
+
+// MarkSpilled records that the chunk's serialised form lives at path (with
+// WriteSpill's block offsets) and drops the sealed payloads from memory.
+// Reads fault them back in lazily through blockData.
+func (c *Chunk) MarkSpilled(path string, offs []int64) error {
+	if len(offs) != len(c.blocks) {
+		return fmt.Errorf("chunkenc: MarkSpilled got %d offsets for %d blocks", len(offs), len(c.blocks))
+	}
+	for i := range c.blocks {
+		b := &c.blocks[i]
+		if b.data == nil {
+			continue // already spilled; keep its existing location
+		}
+		b.off = offs[i]
+		b.clen = len(b.data)
+		b.crc = crc32.Checksum(b.data, spillCastagnoli)
+		b.data = nil
+	}
+	c.spillPath = path
+	return nil
+}
+
+// blockData returns the compressed payload of block i, reading (and CRC-
+// verifying) it from the spill file when it is not resident.
+func (c *Chunk) blockData(i int) ([]byte, error) {
+	b := c.blocks[i]
+	if b.data != nil {
+		return b.data, nil
+	}
+	if c.spillPath == "" {
+		return nil, fmt.Errorf("%w: block %d has no data and no spill file", ErrSpillCorrupt, i)
+	}
+	f, err := os.Open(c.spillPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data := make([]byte, b.clen)
+	if _, err := f.ReadAt(data, b.off); err != nil {
+		return nil, fmt.Errorf("chunkenc: spill read %s block %d: %w", c.spillPath, i, err)
+	}
+	if crc32.Checksum(data, spillCastagnoli) != b.crc {
+		return nil, fmt.Errorf("%w: %s block %d checksum mismatch", ErrSpillCorrupt, c.spillPath, i)
+	}
+	return data, nil
+}
+
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (cr *countingReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.n++
+	}
+	return b, err
+}
+
+func (cr *countingReader) read(p []byte) error {
+	n, err := io.ReadFull(cr.r, p)
+	cr.n += int64(n)
+	return err
+}
+
+func (cr *countingReader) discard(n int) error {
+	d, err := cr.r.Discard(n)
+	cr.n += int64(d)
+	return err
+}
+
+func (cr *countingReader) uvarint() (uint64, error) { return binary.ReadUvarint(cr) }
+func (cr *countingReader) varint() (int64, error)   { return binary.ReadVarint(cr) }
+
+// OpenSpill parses a spill file's structure without loading block
+// payloads: the returned chunk holds block metadata plus any head entries,
+// and faults payloads in from path on demand. The inverse of WriteSpill +
+// MarkSpilled.
+func OpenSpill(path string) (*Chunk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := &countingReader{r: bufio.NewReader(f)}
+
+	hdr := make([]byte, len(spillMagic)+1)
+	if err := cr.read(hdr); err != nil {
+		return nil, fmt.Errorf("%w: %s: short header", ErrSpillCorrupt, path)
+	}
+	if string(hdr[:len(spillMagic)]) != spillMagic {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrSpillCorrupt, path)
+	}
+	if hdr[len(spillMagic)] != spillVersion {
+		return nil, fmt.Errorf("%w: %s: unsupported version %d", ErrSpillCorrupt, path, hdr[len(spillMagic)])
+	}
+
+	var opt [3]uint64
+	for i := range opt {
+		if opt[i], err = cr.uvarint(); err != nil {
+			return nil, fmt.Errorf("%w: %s: options: %v", ErrSpillCorrupt, path, err)
+		}
+	}
+	c := New(Options{BlockSize: int(opt[0]), TargetSize: int(opt[1]), MaxEntries: int(opt[2])})
+	c.spillPath = path
+
+	numBlocks, err := cr.uvarint()
+	if err != nil || numBlocks > 1<<20 {
+		return nil, fmt.Errorf("%w: %s: block count", ErrSpillCorrupt, path)
+	}
+	var crcBuf [4]byte
+	for i := 0; i < int(numBlocks); i++ {
+		var b block
+		if b.mint, err = cr.varint(); err == nil {
+			b.maxt, err = cr.varint()
+		}
+		var entries, raw, clen uint64
+		if err == nil {
+			entries, err = cr.uvarint()
+		}
+		if err == nil {
+			raw, err = cr.uvarint()
+		}
+		if err == nil {
+			clen, err = cr.uvarint()
+		}
+		if err == nil {
+			err = cr.read(crcBuf[:])
+		}
+		if err != nil || clen > 1<<30 {
+			return nil, fmt.Errorf("%w: %s: block %d header", ErrSpillCorrupt, path, i)
+		}
+		b.entries = int(entries)
+		b.raw = raw2int(raw)
+		b.clen = int(clen)
+		b.crc = binary.LittleEndian.Uint32(crcBuf[:])
+		b.off = cr.n
+		if err := cr.discard(int(clen)); err != nil {
+			return nil, fmt.Errorf("%w: %s: block %d payload truncated", ErrSpillCorrupt, path, i)
+		}
+		c.blocks = append(c.blocks, b)
+		if c.mint < 0 {
+			c.mint = b.mint
+		}
+		c.maxt = b.maxt
+		c.entries += b.entries
+		c.rawBytes += b.raw
+	}
+
+	numHead, err := cr.uvarint()
+	if err != nil || numHead > 1<<24 {
+		return nil, fmt.Errorf("%w: %s: head count", ErrSpillCorrupt, path)
+	}
+	var ts int64
+	for i := 0; i < int(numHead); i++ {
+		delta, err := cr.varint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: head ts", ErrSpillCorrupt, path)
+		}
+		if i == 0 {
+			ts = delta
+		} else {
+			ts += delta
+		}
+		ln, err := cr.uvarint()
+		if err != nil || ln > 1<<26 {
+			return nil, fmt.Errorf("%w: %s: head line len", ErrSpillCorrupt, path)
+		}
+		line := make([]byte, ln)
+		if err := cr.read(line); err != nil {
+			return nil, fmt.Errorf("%w: %s: head line truncated", ErrSpillCorrupt, path)
+		}
+		e := Entry{Timestamp: ts, Line: string(line)}
+		c.head = append(c.head, e)
+		c.headRaw += len(e.Line) + 16
+		if c.mint < 0 {
+			c.mint = ts
+		}
+		c.maxt = ts
+		c.entries++
+		c.rawBytes += len(e.Line)
+	}
+	return c, nil
+}
+
+func raw2int(v uint64) int {
+	const maxInt = int(^uint(0) >> 1)
+	if v > uint64(maxInt) {
+		return maxInt
+	}
+	return int(v)
+}

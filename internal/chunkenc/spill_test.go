@@ -1,0 +1,213 @@
+package chunkenc
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func buildChunk(t *testing.T, n int, sealHead bool) *Chunk {
+	t.Helper()
+	c := New(Options{BlockSize: 256})
+	for i := 0; i < n; i++ {
+		e := Entry{Timestamp: int64(i) * 1e6, Line: fmt.Sprintf("line %04d payload-%d", i, i%7)}
+		if err := c.Append(e); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if sealHead {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func spillToFile(t *testing.T, c *Chunk, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, err := c.WriteSpill(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkSpilled(path, offs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func entriesEqual(t *testing.T, a, b []Entry) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("entry count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSpillRoundTrip: spill a sealed chunk, drop its payloads, read it
+// back both through the live chunk (lazy disk reads) and a fresh
+// OpenSpill — all three views must agree entry-for-entry.
+func TestSpillRoundTrip(t *testing.T) {
+	for _, sealHead := range []bool{true, false} {
+		t.Run(fmt.Sprintf("sealHead=%v", sealHead), func(t *testing.T) {
+			c := buildChunk(t, 200, sealHead)
+			want, err := c.All(0, 1<<62)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "c.chk")
+			spillToFile(t, c, path)
+			if !c.Spilled() || c.SpillPath() != path {
+				t.Fatalf("Spilled=%v path=%q", c.Spilled(), c.SpillPath())
+			}
+			for i, b := range c.blocks {
+				if b.data != nil {
+					t.Fatalf("block %d payload still resident after spill", i)
+				}
+			}
+			got, err := c.All(0, 1<<62)
+			if err != nil {
+				t.Fatalf("lazy read-back: %v", err)
+			}
+			entriesEqual(t, got, want)
+
+			re, err := OpenSpill(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := re.All(0, 1<<62)
+			if err != nil {
+				t.Fatalf("OpenSpill read-back: %v", err)
+			}
+			entriesEqual(t, got2, want)
+			if re.Entries() != c.Entries() || re.RawBytes() != c.RawBytes() {
+				t.Fatalf("counters: entries %d/%d raw %d/%d",
+					re.Entries(), c.Entries(), re.RawBytes(), c.RawBytes())
+			}
+			remint, remaxt, _ := re.Bounds()
+			cmint, cmaxt, _ := c.Bounds()
+			if remint != cmint || remaxt != cmaxt {
+				t.Fatalf("bounds: [%d,%d] vs [%d,%d]", remint, remaxt, cmint, cmaxt)
+			}
+		})
+	}
+}
+
+// TestSpillThroughCache: a BlockCache in front of a spilled chunk serves
+// the second read from memory (no disk dependency — prove it by deleting
+// the file between reads).
+func TestSpillThroughCache(t *testing.T) {
+	c := buildChunk(t, 200, true)
+	want, _ := c.All(0, 1<<62)
+	path := filepath.Join(t.TempDir(), "c.chk")
+	spillToFile(t, c, path)
+
+	cache := NewBlockCache(1 << 20)
+	var st IterStats
+	it := c.StatsIterator(cache, 0, 1<<62, &st)
+	var got []Entry
+	for it.Next() {
+		got = append(got, it.At())
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	entriesEqual(t, got, want)
+	if st.CacheMisses == 0 {
+		t.Fatal("first pass did not miss the cache")
+	}
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	st = IterStats{}
+	it = c.StatsIterator(cache, 0, 1<<62, &st)
+	got = got[:0]
+	for it.Next() {
+		got = append(got, it.At())
+	}
+	if it.Err() != nil {
+		t.Fatalf("cached pass hit disk: %v", it.Err())
+	}
+	entriesEqual(t, got, want)
+	if st.CacheHits == 0 || st.CacheMisses != 0 {
+		t.Fatalf("second pass stats: %+v", st)
+	}
+}
+
+// TestSpillCorruptPayloadDetected flips a byte inside a block payload: the
+// lazy read must fail the CRC check, not return garbage.
+func TestSpillCorruptPayloadDetected(t *testing.T) {
+	c := buildChunk(t, 200, true)
+	path := filepath.Join(t.TempDir(), "c.chk")
+	spillToFile(t, c, path)
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[c.blocks[0].off] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.All(0, 1<<62)
+	if !errors.Is(err, ErrSpillCorrupt) {
+		t.Fatalf("corrupt payload read: %v", err)
+	}
+}
+
+func TestOpenSpillRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"empty.chk":   {},
+		"magic.chk":   []byte("NOTSPILLxxxxxxxx"),
+		"version.chk": append([]byte(spillMagic), 99),
+		"short.chk":   append([]byte(spillMagic), spillVersion, 0x80),
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSpill(p); !errors.Is(err, ErrSpillCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrSpillCorrupt", name, err)
+		}
+	}
+}
+
+// TestSpillTruncatedFileDetected cuts the file mid-payload; OpenSpill must
+// report corruption rather than a short chunk.
+func TestSpillTruncatedFileDetected(t *testing.T) {
+	c := buildChunk(t, 200, true)
+	path := filepath.Join(t.TempDir(), "c.chk")
+	spillToFile(t, c, path)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := c.blocks[0].off + int64(c.blocks[0].clen)/2
+	if err := os.WriteFile(path, buf[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSpill(path); !errors.Is(err, ErrSpillCorrupt) {
+		t.Fatalf("truncated file: %v", err)
+	}
+}
+
+func TestMarkSpilledOffsetMismatch(t *testing.T) {
+	c := buildChunk(t, 200, true)
+	if err := c.MarkSpilled("x.chk", make([]int64, len(c.blocks)+1)); err == nil {
+		t.Fatal("offset-count mismatch accepted")
+	}
+}

@@ -85,6 +85,18 @@ func MetaRules() []vmalert.Rule {
 			},
 		},
 		{
+			// The durability layer tripped its disk breaker: ingest continues
+			// in-memory (availability over durability), but a crash now loses
+			// the unlogged window. Warning severity — data is still flowing —
+			// so it lands in Slack without opening a ServiceNow incident.
+			Name:   "ShastamonWALDegraded",
+			Expr:   `max(shastamon_wal_degraded) by (store) > 0`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "WAL for the {{ $labels.store }} store degraded — ingest is memory-only until the disk recovers",
+			},
+		},
+		{
 			// A stale scrape target silently freezes every rule that reads
 			// its series; staleness runs on scrape timestamps so it tracks
 			// simulated time in experiments too.

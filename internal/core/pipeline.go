@@ -34,6 +34,7 @@ import (
 	"shastamon/internal/telemetry"
 	"shastamon/internal/vmagent"
 	"shastamon/internal/vmalert"
+	"shastamon/internal/wal"
 )
 
 // Options configure a Pipeline. Zero values take the defaults documented
@@ -83,6 +84,17 @@ type Options struct {
 	// breakers stuck open, DLQ growth, stage errors, scrape staleness)
 	// through the same Alertmanager -> Slack path as hardware alerts.
 	MetaAlerts bool
+	// DataDir, when set, makes the warehouse durable: both stores write
+	// per-shard WALs, spill sealed chunks and checkpoint under this
+	// directory, and New recovers whatever a previous run left there.
+	DataDir string
+	// WAL tunes the write-ahead logs when DataDir is set (fsync policy,
+	// segment size, degradation breaker). The breaker clock is wired to
+	// the pipeline clock unless already set.
+	WAL wal.StoreOptions
+	// CheckpointEvery bounds WAL replay (default 1m); the tick's
+	// "checkpoint" stage snapshots the stores at most this often.
+	CheckpointEvery time.Duration
 }
 
 // Pipeline is the assembled monitoring framework of Fig. 1.
@@ -227,6 +239,11 @@ func New(opts Options) (*Pipeline, error) {
 				f = obs.Sample(f, float64(states[t]), "dependency", "scrape:"+t)
 			}
 		}
+		if p.Warehouse != nil {
+			for _, nb := range p.Warehouse.WALBreakers() {
+				f = obs.Sample(f, nb.Breaker.StateValue(), "dependency", nb.Name)
+			}
+		}
 		if len(f.Metrics) == 0 {
 			return nil
 		}
@@ -245,7 +262,17 @@ func New(opts Options) (*Pipeline, error) {
 		return fail(err)
 	}
 	p.Collector.SetTracer(p.Tracer)
-	p.Warehouse = omni.New(omni.Config{Retention: opts.Retention, Shards: opts.WarehouseShards, LokiLimits: opts.LokiLimits})
+	// Breaker open windows must track simulated time in experiments, like
+	// the notifier breakers below.
+	if opts.WAL.Now == nil {
+		opts.WAL.Now = p.Now
+	}
+	if p.Warehouse, err = omni.Open(omni.Config{
+		Retention: opts.Retention, Shards: opts.WarehouseShards, LokiLimits: opts.LokiLimits,
+		DataDir: opts.DataDir, WAL: opts.WAL, CheckpointEvery: opts.CheckpointEvery,
+	}); err != nil {
+		return fail(err)
+	}
 	if opts.Chaos != nil {
 		p.Warehouse.SetFaultHook(opts.Chaos.HookFor("warehouse.ingest"))
 	}
@@ -770,6 +797,7 @@ func (p *Pipeline) Tick(now time.Time) error {
 	stage("vmalert", func() error { _, err := p.VMAlert.EvalOnce(); return err })
 	stage("alertmanager_flush", func() error { p.Alertmanager.Flush(); return nil })
 	stage("retention", func() error { p.Warehouse.EnforceRetention(now); return nil })
+	stage("checkpoint", func() error { return p.Warehouse.MaybeCheckpoint(now) })
 	if len(errs) > 0 {
 		p.tickFailCtr.Inc()
 		return errors.Join(errs...)
@@ -811,9 +839,12 @@ func (p *Pipeline) Run(ctx context.Context, interval time.Duration) error {
 	}
 }
 
-// Close shuts down the pipeline's HTTP servers and subscriptions. It is
-// idempotent, and shutdowns within each group run in parallel
-// (subscriptions first — they talk to the telemetry server).
+// Close shuts down the pipeline's HTTP servers and subscriptions, then
+// flushes the warehouse's durable state: a final checkpoint, WAL close
+// and CLEAN marker so the next start skips replay. It is idempotent, and
+// shutdowns within each group run in parallel (subscriptions first —
+// they talk to the telemetry server; the warehouse last, once nothing
+// can ingest any more).
 func (p *Pipeline) Close() {
 	p.closeOnce.Do(func() {
 		var wg sync.WaitGroup
@@ -838,5 +869,8 @@ func (p *Pipeline) Close() {
 			}(srv)
 		}
 		wg.Wait()
+		if p.Warehouse != nil {
+			_ = p.Warehouse.Shutdown()
+		}
 	})
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -95,6 +96,9 @@ type stream struct {
 	// lastTS tracks the newest accepted timestamp so out-of-order entries
 	// are rejected across chunk cuts as well.
 	lastTS int64
+	// walPrefix caches the stream's encoded WAL record prefix (type byte
+	// plus labels) so durable pushes don't re-encode labels per batch.
+	walPrefix []byte
 }
 
 // shard is one lock stripe of the store: its own stream index plus a push
@@ -133,6 +137,10 @@ type Store struct {
 	// queryInFlight counts live Select/Flush workers for the
 	// query-parallelism gauge.
 	queryInFlight atomic.Int64
+
+	// dur is the durability layer (WAL + spill + checkpoint); nil for a
+	// memory-only store. See durable.go.
+	dur *durability
 }
 
 // NewStore returns an empty store with the given limits.
@@ -178,6 +186,10 @@ func (s *Store) shardFor(fp labels.Fingerprint) *shard {
 	return s.shards[uint64(fp)%uint64(len(s.shards))]
 }
 
+func (s *Store) shardIndex(fp labels.Fingerprint) int {
+	return int(uint64(fp) % uint64(len(s.shards)))
+}
+
 // Push ingests a batch of streams. Entries within each stream must be in
 // non-decreasing timestamp order; out-of-order entries are dropped and
 // counted, mirroring Loki's reject-and-continue behaviour. The first
@@ -209,6 +221,12 @@ func (s *Store) pushStream(ps PushStream) error {
 	sh.pushes.Add(1)
 	var firstErr error
 	var accepted, bytes, dSize, dOOO int64
+	// durable: log accepted entries to the shard WAL before the push
+	// returns. The append happens under st.mu, which is the checkpoint's
+	// drain lock — a snapshot can never land between an in-memory append
+	// and its WAL record.
+	durable := s.dur != nil && s.dur.armed.Load()
+	var walEntries []Entry
 	st.mu.Lock()
 	for _, e := range ps.Entries {
 		if len(e.Line) > s.limits.MaxLineSize {
@@ -225,15 +243,25 @@ func (s *Store) pushStream(ps PushStream) error {
 			}
 			continue
 		}
-		if err := st.append(e, s.limits.ChunkOptions); err != nil {
+		sealed, err := st.append(e, s.limits.ChunkOptions)
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
+		if sealed != nil {
+			s.maybeSpillSealed(sealed)
+		}
 		st.lastTS = e.Timestamp
 		accepted++
 		bytes += int64(len(e.Line))
+		if durable {
+			walEntries = append(walEntries, e)
+		}
+	}
+	if durable && len(walEntries) > 0 {
+		s.dur.d.Append(s.shardIndex(st.fp), appendEntries(st.walPrefixFor(), walEntries))
 	}
 	st.mu.Unlock()
 	s.totalEntries.Add(accepted)
@@ -247,18 +275,24 @@ func (s *Store) pushStream(ps PushStream) error {
 	return firstErr
 }
 
-func (st *stream) append(e Entry, opt chunkenc.Options) error {
+// append adds one entry to the stream's head chunk, cutting a new head
+// when the old one fills. It returns the just-sealed chunk (nil normally)
+// so the durable store can spill it to disk.
+func (st *stream) append(e Entry, opt chunkenc.Options) (*chunkenc.Chunk, error) {
 	if st.head == nil {
 		st.head = chunkenc.New(opt)
 	}
 	err := st.head.Append(chunkenc.Entry{Timestamp: e.Timestamp, Line: e.Line})
 	if err == chunkenc.ErrChunkFull {
+		var sealed *chunkenc.Chunk
 		_ = st.head.Close()
 		st.chunks = append(st.chunks, st.head)
+		sealed = st.head
 		st.head = chunkenc.New(opt)
 		err = st.head.Append(chunkenc.Entry{Timestamp: e.Timestamp, Line: e.Line})
+		return sealed, err
 	}
-	return err
+	return nil, err
 }
 
 func (s *Store) getOrCreateStream(ls labels.Labels) (*stream, *shard, error) {
@@ -543,6 +577,9 @@ func (s *Store) DeleteBefore(ts int64) int {
 				if _, maxt, ok := c.Bounds(); ok && maxt < ts {
 					dropped++
 					s.cache.DropChunk(c)
+					if p := c.SpillPath(); p != "" {
+						_ = os.Remove(p)
+					}
 					continue
 				}
 				kept = append(kept, c)

@@ -1,0 +1,192 @@
+// Durability wiring for the warehouse: Open attaches the WAL + checkpoint
+// layers of both stores under one data directory, MaybeCheckpoint drives
+// the bounded-replay schedule from the pipeline tick, and Shutdown flushes
+// everything for a replay-free next start. A warehouse built with New
+// stays memory-only; every durability entry point is a no-op on it.
+package omni
+
+import (
+	"errors"
+	"path/filepath"
+	"time"
+
+	"shastamon/internal/loki"
+	"shastamon/internal/obs"
+	"shastamon/internal/promtext"
+	"shastamon/internal/resilience"
+	"shastamon/internal/tsdb"
+)
+
+// DefaultCheckpointEvery is the MaybeCheckpoint interval when
+// Config.CheckpointEvery is zero.
+const DefaultCheckpointEvery = time.Minute
+
+// Recovery reports what Open reconstructed from the data directory.
+type Recovery struct {
+	Logs    loki.RecoveryInfo
+	Metrics tsdb.RecoveryInfo
+}
+
+// Replayed is the total WAL records replayed across both stores.
+func (r Recovery) Replayed() int { return r.Logs.Replayed + r.Metrics.Replayed }
+
+// Corrupt is the total corrupt records/files dropped during recovery.
+func (r Recovery) Corrupt() int { return r.Logs.Corrupt + r.Metrics.Corrupt }
+
+// Open builds a warehouse like New and, when cfg.DataDir is set, enables
+// durability on both stores: the log store under DataDir/logs and the
+// metrics head under DataDir/metrics, each with its own per-shard WALs,
+// checkpoints and (for logs) sealed-chunk spill files. Whatever the
+// directory already holds — a clean checkpoint, a crash's WAL tail, or a
+// torn last record — is recovered before Open returns.
+func Open(cfg Config) (*Warehouse, error) {
+	w := New(cfg)
+	if cfg.DataDir == "" {
+		return w, nil
+	}
+	logInfo, err := w.Logs.EnableDurability(filepath.Join(cfg.DataDir, "logs"), cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	metInfo, err := w.Metrics.EnableDurability(filepath.Join(cfg.DataDir, "metrics"), cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	w.durable = true
+	w.recovery = Recovery{Logs: logInfo, Metrics: metInfo}
+	w.checkpointEvery = cfg.CheckpointEvery
+	if w.checkpointEvery <= 0 {
+		w.checkpointEvery = DefaultCheckpointEvery
+	}
+	// Recovery replays through the normal ingest paths without touching
+	// the warehouse counters; resync them from the store stats.
+	lst, mst := w.Logs.Stats(), w.Metrics.Stats()
+	w.logMessages.Store(lst.Entries)
+	w.logBytes.Store(lst.RawBytes)
+	w.samples.Store(mst.Samples)
+	w.reg.Collect(w.collectWAL)
+	return w, nil
+}
+
+// Durable reports whether the warehouse runs with a WAL behind it.
+func (w *Warehouse) Durable() bool { return w.durable }
+
+// Recovery returns what Open reconstructed; ok is false for a
+// memory-only warehouse.
+func (w *Warehouse) Recovery() (Recovery, bool) { return w.recovery, w.durable }
+
+// WALDegraded reports whether either store's durability layer is
+// currently degraded (disk faults tripped the breaker; ingest continues
+// in-memory).
+func (w *Warehouse) WALDegraded() bool {
+	if !w.durable {
+		return false
+	}
+	return w.Logs.WALStats().Degraded != 0 || w.Metrics.WALStats().Degraded != 0
+}
+
+// Checkpoint snapshots both stores and truncates their WALs. Errors from
+// the two stores are joined; a failed checkpoint leaves the previous one
+// and the full WAL intact.
+func (w *Warehouse) Checkpoint() error {
+	if !w.durable {
+		return nil
+	}
+	return errors.Join(w.Logs.Checkpoint(), w.Metrics.Checkpoint())
+}
+
+// MaybeCheckpoint checkpoints when CheckpointEvery has elapsed since the
+// last one. The pipeline tick calls this; the first tick after Open
+// starts the clock rather than checkpointing immediately.
+func (w *Warehouse) MaybeCheckpoint(now time.Time) error {
+	if !w.durable {
+		return nil
+	}
+	last := w.lastCkpt.Load()
+	if last == 0 {
+		w.lastCkpt.CompareAndSwap(0, now.UnixNano())
+		return nil
+	}
+	if now.Sub(time.Unix(0, last)) < w.checkpointEvery {
+		return nil
+	}
+	if !w.lastCkpt.CompareAndSwap(last, now.UnixNano()) {
+		return nil // another ticker won the race
+	}
+	return w.Checkpoint()
+}
+
+// Shutdown checkpoints both stores, closes their WALs and leaves CLEAN
+// markers so the next Open skips replay. The warehouse stays usable
+// in-memory afterwards. Callers should quiesce ingest first.
+func (w *Warehouse) Shutdown() error {
+	if !w.durable {
+		return nil
+	}
+	return errors.Join(w.Logs.Shutdown(), w.Metrics.Shutdown())
+}
+
+// collectWAL derives the shastamon_wal_* families from both stores'
+// durability counters at gather time. Registered only by Open, so a
+// memory-only warehouse exposes no WAL families at all.
+func (w *Warehouse) collectWAL() []promtext.Family {
+	ls, ms := w.Logs.WALStats(), w.Metrics.WALStats()
+	pair := func(typ, name, help string, lv, mv float64) promtext.Family {
+		return obs.Sample(obs.Fam(typ, obs.Namespace+name, help, lv, "store", "logs"),
+			mv, "store", "metrics")
+	}
+	return []promtext.Family{
+		pair("counter", "wal_appends_total",
+			"Records appended to the write-ahead logs.",
+			float64(ls.Appends), float64(ms.Appends)),
+		pair("counter", "wal_bytes_total",
+			"Payload bytes appended to the write-ahead logs.",
+			float64(ls.Bytes), float64(ms.Bytes)),
+		pair("counter", "wal_errors_total",
+			"WAL disk operations that failed.",
+			float64(ls.Errors), float64(ms.Errors)),
+		pair("counter", "wal_skipped_records_total",
+			"Records not logged because the degradation breaker was open.",
+			float64(ls.Skipped), float64(ms.Skipped)),
+		pair("counter", "wal_corrupt_records_total",
+			"Corrupt or torn records dropped during recovery.",
+			float64(ls.Corrupt), float64(ms.Corrupt)),
+		pair("counter", "wal_replayed_records_total",
+			"Records replayed from the WAL at startup.",
+			float64(ls.Replayed), float64(ms.Replayed)),
+		pair("counter", "wal_checkpoints_total",
+			"Checkpoints written.",
+			float64(ls.Checkpoints), float64(ms.Checkpoints)),
+		pair("counter", "wal_spilled_chunks_total",
+			"Sealed chunks spilled to disk files.",
+			float64(ls.Spilled), float64(ms.Spilled)),
+		pair("counter", "wal_fsyncs_total",
+			"fsync calls issued by the write-ahead logs.",
+			float64(ls.Fsyncs), float64(ms.Fsyncs)),
+		pair("gauge", "wal_segments",
+			"Live WAL segment files.",
+			float64(ls.Segments), float64(ms.Segments)),
+		pair("gauge", "wal_degraded",
+			"1 while the store has fallen back to memory-only ingest.",
+			float64(ls.Degraded), float64(ms.Degraded)),
+	}
+}
+
+// NamedBreaker pairs a durability breaker with the dependency name it
+// reports under in the unified shastamon_breaker_state gauge.
+type NamedBreaker struct {
+	Name    string
+	Breaker *resilience.Breaker
+}
+
+// WALBreakers returns the durability breakers for the unified breaker
+// gauge; empty for a memory-only warehouse.
+func (w *Warehouse) WALBreakers() []NamedBreaker {
+	if !w.durable {
+		return nil
+	}
+	return []NamedBreaker{
+		{Name: "wal:logs", Breaker: w.Logs.WALBreaker()},
+		{Name: "wal:metrics", Breaker: w.Metrics.WALBreaker()},
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"shastamon/internal/promtext"
 	"shastamon/internal/stats"
 	"shastamon/internal/tsdb"
+	"shastamon/internal/wal"
 )
 
 // Config sizes the warehouse.
@@ -45,6 +46,18 @@ type Config struct {
 	// this many lock shards; 0 = GOMAXPROCS. An explicit
 	// LokiLimits.Shards wins for the log store.
 	Shards int
+
+	// DataDir, when set (and the warehouse is built with Open), roots the
+	// durable state: per-shard WALs, sealed-chunk spill files and
+	// checkpoints for both stores under DataDir/logs and DataDir/metrics.
+	// Empty keeps the warehouse memory-only (New ignores this field).
+	DataDir string
+	// WAL tunes the write-ahead logs and the disk-degradation breaker
+	// when DataDir is set.
+	WAL wal.StoreOptions
+	// CheckpointEvery bounds WAL replay: MaybeCheckpoint snapshots both
+	// stores at most this often (default 1m).
+	CheckpointEvery time.Duration
 }
 
 // Warehouse is the OMNI façade.
@@ -72,6 +85,13 @@ type Warehouse struct {
 	samples     atomic.Int64
 	windowStart atomic.Int64 // Unix nanoseconds of the last rate-window reset
 	windowCount atomic.Int64
+
+	// durable is set by Open when a DataDir is configured; checkpointEvery
+	// and lastCkpt drive MaybeCheckpoint's bounded-replay schedule.
+	durable         bool
+	checkpointEvery time.Duration
+	lastCkpt        atomic.Int64 // Unix nanoseconds
+	recovery        Recovery
 
 	reg      *obs.Registry
 	queryDur *obs.HistogramVec

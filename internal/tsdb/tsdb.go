@@ -45,6 +45,9 @@ type series struct {
 	fp     labels.Fingerprint
 	mu     sync.Mutex
 	data   []Sample
+	// walPrefix caches the series' encoded WAL record prefix (type byte
+	// plus labels) for the durable append path.
+	walPrefix []byte
 }
 
 // dbShard is one lock stripe of the head: its own series index.
@@ -65,6 +68,10 @@ type DB struct {
 	appends       atomic.Int64
 	dropped       atomic.Int64
 	queryInFlight atomic.Int64
+
+	// dur is the durability layer (WAL + checkpoint); nil for a
+	// memory-only DB. See durable.go.
+	dur *durability
 }
 
 // New returns an empty DB with GOMAXPROCS shards.
@@ -91,6 +98,10 @@ func (db *DB) shardFor(fp labels.Fingerprint) *dbShard {
 	return db.shards[uint64(fp)%uint64(len(db.shards))]
 }
 
+func (db *DB) shardIndex(fp labels.Fingerprint) int {
+	return int(uint64(fp) % uint64(len(db.shards)))
+}
+
 // Append adds one sample to the series identified by ls. ls must include
 // the metric name under MetricNameLabel (use Labels.With).
 func (db *DB) Append(ls labels.Labels, t int64, v float64) error {
@@ -108,6 +119,11 @@ func (db *DB) Append(ls labels.Labels, t int64, v float64) error {
 		s.data[n-1].V = v // overwrite duplicate timestamp, like VM
 	} else {
 		s.data = append(s.data, Sample{T: t, V: v})
+	}
+	// durable: log the accepted sample while still under s.mu, the
+	// checkpoint's drain lock.
+	if db.dur != nil && db.dur.armed.Load() {
+		db.dur.d.Append(db.shardIndex(s.fp), appendSample(s.walPrefixFor(), t, v))
 	}
 	db.appends.Add(1)
 	return nil

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shastamon/internal/labels"
+)
+
+// Record type tags: the first byte of every WAL payload, so a replay that
+// lands on the wrong store's log fails loudly instead of misparsing.
+const (
+	RecLogStream byte = 1
+	RecSample    byte = 2
+)
+
+// AppendUvarint / AppendVarint append a varint to buf.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], v)
+	return append(buf, scratch[:n]...)
+}
+
+func AppendVarint(buf []byte, v int64) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(scratch[:], v)
+	return append(buf, scratch[:n]...)
+}
+
+// AppendLabels appends a label set: uvarint count, then length-prefixed
+// name/value pairs.
+func AppendLabels(buf []byte, ls labels.Labels) []byte {
+	buf = AppendUvarint(buf, uint64(len(ls)))
+	for _, l := range ls {
+		buf = AppendUvarint(buf, uint64(len(l.Name)))
+		buf = append(buf, l.Name...)
+		buf = AppendUvarint(buf, uint64(len(l.Value)))
+		buf = append(buf, l.Value...)
+	}
+	return buf
+}
+
+// ReadUvarint / ReadVarint consume a varint from the front of buf,
+// returning the remainder.
+func ReadUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, buf[n:], nil
+}
+
+func ReadVarint(buf []byte) (int64, []byte, error) {
+	v, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	return v, buf[n:], nil
+}
+
+// ReadLabels consumes an AppendLabels-encoded label set.
+func ReadLabels(buf []byte) (labels.Labels, []byte, error) {
+	count, buf, err := ReadUvarint(buf)
+	if err != nil || count > 1<<16 {
+		return nil, nil, fmt.Errorf("%w: label count", ErrCorrupt)
+	}
+	ls := make(labels.Labels, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var name, value string
+		if name, buf, err = readString(buf); err != nil {
+			return nil, nil, err
+		}
+		if value, buf, err = readString(buf); err != nil {
+			return nil, nil, err
+		}
+		ls = append(ls, labels.Label{Name: name, Value: value})
+	}
+	return ls, buf, nil
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, buf, err := ReadUvarint(buf)
+	if err != nil || n > uint64(len(buf)) {
+		return "", nil, fmt.Errorf("%w: string length", ErrCorrupt)
+	}
+	return string(buf[:n]), buf[n:], nil
+}

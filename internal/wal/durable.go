@@ -1,0 +1,250 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"shastamon/internal/resilience"
+)
+
+// Durable manages the per-shard logs of one durable store (the log store
+// or the TSDB head) plus the degradation machinery: persistent append
+// failures trip a circuit breaker and the store falls back to in-memory
+// mode — the WAL is skipped, ingest never blocks — until a half-open
+// probe finds the disk healthy again.
+//
+// The healthy fast path is one atomic load: the breaker mutex is only
+// touched once an append has actually failed.
+type Durable struct {
+	root    string
+	opt     StoreOptions
+	logs    []*Log
+	breaker *resilience.Breaker
+
+	// unhealthy flips on the first append failure; while set, every
+	// append consults the breaker (closed/half-open keeps probing, open
+	// skips) and the first success flips it back.
+	unhealthy atomic.Bool
+
+	appends     atomic.Int64
+	bytes       atomic.Int64
+	errors      atomic.Int64
+	skipped     atomic.Int64
+	corrupt     atomic.Int64
+	replayed    atomic.Int64
+	checkpoints atomic.Int64
+	spilled     atomic.Int64
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	o.Options = o.Options.withDefaults()
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerOpenFor <= 0 {
+		o.BreakerOpenFor = 10 * time.Second
+	}
+	return o
+}
+
+// ShardDirName renders the canonical per-shard WAL directory name.
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+// NewDurable opens one log per shard under root (root/shard-00, ...).
+// name labels the degradation breaker ("wal:logs", "wal:metrics").
+func NewDurable(root, name string, shards int, opt StoreOptions) (*Durable, error) {
+	opt = opt.withDefaults()
+	d := &Durable{
+		root: root,
+		opt:  opt,
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			Name:             name,
+			FailureThreshold: opt.BreakerThreshold,
+			OpenFor:          opt.BreakerOpenFor,
+			Now:              opt.Now,
+		}),
+	}
+	for i := 0; i < shards; i++ {
+		l, err := Open(filepath.Join(root, ShardDirName(i)), opt.Options)
+		if err != nil {
+			for _, prev := range d.logs {
+				prev.Close()
+			}
+			return nil, err
+		}
+		d.logs = append(d.logs, l)
+	}
+	return d, nil
+}
+
+// Append writes one record to shard i's log, absorbing failures into the
+// degradation breaker: a failed append never propagates to the pusher, it
+// just widens the potential-loss window until the disk recovers (the next
+// successful checkpoint closes the window entirely, since checkpoints
+// snapshot the full in-memory state).
+func (d *Durable) Append(i int, payload []byte) {
+	if d.unhealthy.Load() {
+		if d.breaker.Allow() != nil {
+			d.skipped.Add(1)
+			return
+		}
+		if err := d.logs[i].Append(payload); err != nil {
+			d.errors.Add(1)
+			d.breaker.Failure()
+			return
+		}
+		d.breaker.Success()
+		d.unhealthy.Store(false)
+		d.appends.Add(1)
+		d.bytes.Add(int64(len(payload)))
+		return
+	}
+	if err := d.logs[i].Append(payload); err != nil {
+		d.errors.Add(1)
+		d.breaker.Failure()
+		d.unhealthy.Store(true)
+		return
+	}
+	d.appends.Add(1)
+	d.bytes.Add(int64(len(payload)))
+}
+
+// ReportError feeds a non-append disk failure (spill, checkpoint write)
+// into the same degradation machinery.
+func (d *Durable) ReportError() {
+	d.errors.Add(1)
+	d.breaker.Failure()
+	d.unhealthy.Store(true)
+}
+
+// ReportSuccess records a successful non-append disk operation.
+func (d *Durable) ReportSuccess() {
+	if d.unhealthy.Load() {
+		d.breaker.Success()
+		d.unhealthy.Store(false)
+	}
+}
+
+// Degraded reports whether the store is currently skipping WAL work.
+func (d *Durable) Degraded() bool {
+	return d.unhealthy.Load() && d.breaker.State() != resilience.Closed
+}
+
+// Breaker exposes the degradation breaker (for the united
+// shastamon_breaker_state family and clock injection).
+func (d *Durable) Breaker() *resilience.Breaker { return d.breaker }
+
+// Shards returns the number of per-shard logs.
+func (d *Durable) Shards() int { return len(d.logs) }
+
+// Log returns shard i's log (checkpointer rotation).
+func (d *Durable) Log(i int) *Log { return d.logs[i] }
+
+// Root returns the directory holding the per-shard log directories.
+func (d *Durable) Root() string { return d.root }
+
+// AddCorrupt / AddReplayed / AddCheckpoints / AddSpilled feed recovery and
+// checkpoint accounting from the owning store.
+func (d *Durable) AddCorrupt(n int64)     { d.corrupt.Add(n) }
+func (d *Durable) AddReplayed(n int64)    { d.replayed.Add(n) }
+func (d *Durable) AddCheckpoints(n int64) { d.checkpoints.Add(n) }
+func (d *Durable) AddSpilled(n int64)     { d.spilled.Add(n) }
+
+// Sync flushes every shard log.
+func (d *Durable) Sync() error {
+	var firstErr error
+	for _, l := range d.logs {
+		if err := l.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close closes every shard log.
+func (d *Durable) Close() error {
+	var firstErr error
+	for _, l := range d.logs {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// RemoveDormantShards deletes shard directories under root other than the
+// live ones — leftovers from a run with a larger shard count, fully
+// covered by the checkpoint that just completed.
+func (d *Durable) RemoveDormantShards() error {
+	keep := map[string]bool{}
+	for i := range d.logs {
+		keep[ShardDirName(i)] = true
+	}
+	return RemoveDormant(d.root, keep)
+}
+
+// DurableStats is the point-in-time durability counter snapshot rendered
+// into the shastamon_wal_* metric families.
+type DurableStats struct {
+	Appends     int64
+	Bytes       int64
+	Errors      int64
+	Skipped     int64
+	Corrupt     int64
+	Replayed    int64
+	Checkpoints int64
+	Spilled     int64
+	Fsyncs      int64
+	Segments    int64 // rotations across shards
+	// Degraded is 1 while the store is skipping WAL work, else 0.
+	Degraded float64
+	// BreakerState is the 0/1/2 closed/half-open/open gauge convention.
+	BreakerState float64
+}
+
+// Stats snapshots the durability counters.
+func (d *Durable) Stats() DurableStats {
+	st := DurableStats{
+		Appends:      d.appends.Load(),
+		Bytes:        d.bytes.Load(),
+		Errors:       d.errors.Load(),
+		Skipped:      d.skipped.Load(),
+		Corrupt:      d.corrupt.Load(),
+		Replayed:     d.replayed.Load(),
+		Checkpoints:  d.checkpoints.Load(),
+		Spilled:      d.spilled.Load(),
+		BreakerState: d.breaker.StateValue(),
+	}
+	if d.Degraded() {
+		st.Degraded = 1
+	}
+	for _, l := range d.logs {
+		ls := l.Stats()
+		st.Fsyncs += ls.Syncs
+		st.Segments += ls.Rotates
+	}
+	return st
+}
+
+// DropSegmentsBefore removes segments with index < idx from a WAL
+// directory that has no open Log — recovery prunes segments already
+// covered by the checkpoint before replaying.
+func DropSegmentsBefore(dir string, idx int) error {
+	idxs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, n := range idxs {
+		if n >= idx {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, segmentName(n))); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

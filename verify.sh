@@ -20,6 +20,12 @@ go test -race -run Chaos -count=2 -shuffle=on ./internal/core/...
 # Slack sink through the normal Alertmanager path.
 go test -race -run 'TestMetaAlert' -count=1 ./internal/core/
 
+# Crash-recovery soak: the kill/replay e2e (SIGKILL-image snapshot,
+# torn WAL tails, seeded chaos disk faults with the WAL-degraded
+# meta-alert) repeated three times and shuffled, under the race
+# detector — the durability paths must be order-independent.
+go test -race -run 'TestCrashRecovery|TestWALDegraded' -count=3 -shuffle=on ./internal/omni/ ./internal/core/
+
 # Metrics-docs lint: every shastamon_* family a live pipeline registers
 # (and every built-in meta-rule) must have a row in the README tables.
 go test -run 'TestMetricsDocumented' -count=1 ./internal/core/
