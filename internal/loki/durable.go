@@ -203,6 +203,19 @@ func decodeLogRecord(payload []byte) (PushStream, error) {
 
 // --- spill ------------------------------------------------------------
 
+// parseSpillName returns the sequence number of a cNNNNNNNN.chk spill
+// file name, ok=false for foreign files.
+func parseSpillName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, "c") || !strings.HasSuffix(name, ".chk") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "c"), ".chk"), 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
 func maxChunkSeq(dir string) int64 {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -210,11 +223,7 @@ func maxChunkSeq(dir string) int64 {
 	}
 	var max int64
 	for _, e := range ents {
-		name := e.Name()
-		if !strings.HasPrefix(name, "c") || !strings.HasSuffix(name, ".chk") {
-			continue
-		}
-		if n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "c"), ".chk"), 10, 64); err == nil && n > max {
+		if n, ok := parseSpillName(e.Name()); ok && n > max {
 			max = n
 		}
 	}
@@ -295,6 +304,11 @@ func (s *Store) Checkpoint() error {
 	}
 	ck := ckptFile{Version: 1, Cuts: map[string]int{}}
 	refs := map[string]bool{}
+	// Sequence high-water mark before any shard is snapshotted: once a
+	// shard's locks are released, concurrent pushes can seal + spill new
+	// chunks the refs set never saw. Those carry a higher sequence, so the
+	// GC below only touches files at or below this mark.
+	seqMark := dur.chunkSeq.Load()
 	for i, sh := range s.shards {
 		sh.mu.Lock()
 		for _, st := range sh.ordered {
@@ -335,7 +349,7 @@ func (s *Store) Checkpoint() error {
 		_ = dur.d.Log(i).DropBefore(ck.Cuts[wal.ShardDirName(i)])
 	}
 	_ = dur.d.RemoveDormantShards()
-	gcSpills(filepath.Join(dur.dir, chunksDirName), refs)
+	gcSpills(filepath.Join(dur.dir, chunksDirName), refs, seqMark)
 	return nil
 }
 
@@ -396,14 +410,20 @@ func writeFileAtomic(path string, v any, wrap func(io.Writer) io.Writer) error {
 
 // gcSpills removes spill files no checkpoint references: chunks deleted
 // by retention plus spills orphaned by a crash between spill and
-// checkpoint.
-func gcSpills(dir string, refs map[string]bool) {
+// checkpoint. Files with a sequence above maxSeq are left alone — they
+// were spilled after the snapshot's refs were collected (a concurrent
+// push sealing a chunk behind an already-released shard lock) and are
+// still live even though no checkpoint references them yet.
+func gcSpills(dir string, refs map[string]bool, maxSeq int64) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range ents {
-		if !refs[e.Name()] && strings.HasSuffix(e.Name(), ".chk") {
+		if refs[e.Name()] {
+			continue
+		}
+		if seq, ok := parseSpillName(e.Name()); ok && seq <= maxSeq {
 			_ = os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
@@ -448,20 +468,23 @@ func (s *Store) recover(dir string) (RecoveryInfo, int, error) {
 
 	if clean {
 		// Shutdown guaranteed the checkpoint covers every append: no
-		// replay needed. Consume the marker so a later crash replays.
+		// replay needed. The fresh log will restart numbering at segment
+		// 1, so stale cuts would prune those segments as "covered" on the
+		// next dirty recovery. Clear them BEFORE deleting the WAL and
+		// marker: a crash after the rewrite re-enters this path (marker
+		// still present, cuts already empty), while the old order could
+		// crash into stale cuts with no marker — the exact data-loss case
+		// the rewrite exists to prevent.
 		info.Clean = true
-		_ = os.RemoveAll(walRoot)
-		_ = os.Remove(filepath.Join(dir, cleanMarker))
 		if ok && len(ck.Cuts) > 0 {
-			// The WAL is gone and the fresh log restarts numbering at
-			// segment 1; stale cuts would prune those segments as
-			// "covered" on the next dirty recovery. Clear them now — a
-			// failure here must abort, or a later crash loses data.
 			ck.Cuts = map[string]int{}
 			if werr := writeFileAtomic(filepath.Join(dir, checkpointFile), &ck, s.dur.opt.WrapWriter); werr != nil {
 				return info, corrupt, werr
 			}
 		}
+		// Consume the marker so a later crash replays.
+		_ = os.RemoveAll(walRoot)
+		_ = os.Remove(filepath.Join(dir, cleanMarker))
 		return info, corrupt, nil
 	}
 	_ = os.Remove(filepath.Join(dir, cleanMarker))
@@ -570,17 +593,21 @@ func (s *Store) Shutdown() error {
 	if dur == nil || dur.d == nil || !dur.armed.Load() {
 		return nil
 	}
+	// CLEAN asserts the final checkpoint covers every append, so the
+	// baseline is taken before the checkpoint starts: an append racing
+	// onto a post-rotation segment after its shard unlocks lands between
+	// baseline and after, suppressing the marker. (A checkpoint-covered
+	// append also suppresses it — a false negative, which merely costs a
+	// replay; a false positive would lose the record.) Shutdown is
+	// expected to run with ingest quiesced; the counters are the guard.
+	base := dur.d.Stats()
 	err := s.Checkpoint()
-	mid := dur.d.Stats()
 	dur.armed.Store(false)
 	if cerr := dur.d.Close(); err == nil {
 		err = cerr
 	}
-	// CLEAN asserts the final checkpoint covers every append: only write
-	// it if nothing raced onto the post-rotation segments. (Shutdown is
-	// expected to run with ingest quiesced; the counters are the guard.)
 	after := dur.d.Stats()
-	if err == nil && after.Appends == mid.Appends && after.Errors == mid.Errors && after.Skipped == mid.Skipped {
+	if err == nil && after.Appends == base.Appends && after.Errors == base.Errors && after.Skipped == base.Skipped {
 		if f, ferr := os.Create(filepath.Join(dur.dir, cleanMarker)); ferr == nil {
 			f.Close()
 		}

@@ -263,10 +263,10 @@ func TestDurableDiskFaultDegrades(t *testing.T) {
 			Fsync:      wal.FsyncAlways,
 			WrapWriter: inj.WriterWrapper("disk.write"),
 			FaultHook:  inj.HookFor("disk.fault"),
+			Now:        clock,
 		},
 		BreakerThreshold: 3,
 		BreakerOpenFor:   10 * time.Second,
-		Now:              clock,
 	}
 	s, _ := openDurable(t, dir, opt)
 	batches := testBatches(2, 100)
@@ -302,7 +302,8 @@ func TestDurableDiskFaultDegrades(t *testing.T) {
 }
 
 // TestDurableRetentionRemovesSpills: retention that drops a sealed chunk
-// also deletes its spill file; the next checkpoint GCs anything orphaned.
+// leaves its spill file for the next checkpoint's GC (an in-flight query
+// may still be faulting payloads from it), and that checkpoint removes it.
 func TestDurableRetentionRemovesSpills(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := openDurable(t, dir, wal.StoreOptions{})
@@ -318,12 +319,48 @@ func TestDurableRetentionRemovesSpills(t *testing.T) {
 	if n := s.DeleteBefore(1 << 62); n == 0 {
 		t.Fatal("retention dropped nothing")
 	}
+	// Removal is deferred: the files must survive retention itself so an
+	// iterator that captured a chunk before DeleteBefore can still read.
+	mid, _ := filepath.Glob(filepath.Join(chunksDir, "*.chk"))
+	if len(mid) != len(before) {
+		t.Fatalf("retention unlinked spill files inline: %d -> %d", len(before), len(mid))
+	}
 	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	after, _ := filepath.Glob(filepath.Join(chunksDir, "*.chk"))
 	if len(after) != 0 {
 		t.Fatalf("%d spill files survived retention + checkpoint GC", len(after))
+	}
+}
+
+// TestGCSpillsSkipsNewerThanMark: gcSpills must never delete a spill file
+// whose sequence is above the checkpoint's pre-snapshot high-water mark —
+// those were written by pushes racing the snapshot and are still live even
+// though no checkpoint references them yet.
+func TestGCSpillsSkipsNewerThanMark(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("c00000001.chk") // unreferenced, below mark: orphan, GC'd
+	write("c00000002.chk") // referenced: kept
+	write("c00000003.chk") // unreferenced, above mark: racing spill, kept
+	write("foreign.txt")   // not a spill file: untouched
+	gcSpills(dir, map[string]bool{"c00000002.chk": true}, 2)
+	var left []string
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		left = append(left, e.Name())
+	}
+	want := []string{"c00000002.chk", "c00000003.chk", "foreign.txt"}
+	if !reflect.DeepEqual(left, want) {
+		t.Fatalf("after GC: %v, want %v", left, want)
 	}
 }
 

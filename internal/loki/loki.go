@@ -17,7 +17,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -577,9 +576,11 @@ func (s *Store) DeleteBefore(ts int64) int {
 				if _, maxt, ok := c.Bounds(); ok && maxt < ts {
 					dropped++
 					s.cache.DropChunk(c)
-					if p := c.SpillPath(); p != "" {
-						_ = os.Remove(p)
-					}
+					// The spill file (if any) is left for the next
+					// checkpoint's GC: an in-flight query that captured
+					// the chunk before retention ran may still fault
+					// payloads from it, so unlinking here would fail that
+					// query with ENOENT.
 					continue
 				}
 				kept = append(kept, c)

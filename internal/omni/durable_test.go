@@ -221,10 +221,9 @@ func TestCrashRecoveryDiskFaultDegrades(t *testing.T) {
 	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
 
 	w := mustOpen(t, durableConfig(dir, wal.StoreOptions{
-		Options:          wal.Options{Fsync: wal.FsyncAlways, WrapWriter: inj.WriterWrapper("disk.write")},
+		Options:          wal.Options{Fsync: wal.FsyncAlways, WrapWriter: inj.WriterWrapper("disk.write"), Now: clock},
 		BreakerThreshold: 2,
 		BreakerOpenFor:   5 * time.Second,
-		Now:              clock,
 	}))
 	fillWarehouse(t, w, 50)
 	inj.Set("disk.write", chaos.Fault{ErrProb: 1, Err: syscall.ENOSPC})

@@ -306,19 +306,22 @@ func (db *DB) recover(dir string) (RecoveryInfo, int, error) {
 	}
 
 	if clean {
+		// The fresh log restarts numbering at segment 1, so stale cuts
+		// would prune those segments as "covered" on the next dirty
+		// recovery. Clear them BEFORE deleting the WAL and marker: a
+		// crash after the rewrite re-enters this path (marker still
+		// present, cuts already empty), while the old order could crash
+		// into stale cuts with no marker — the exact data-loss case the
+		// rewrite exists to prevent.
 		info.Clean = true
-		_ = os.RemoveAll(walRoot)
-		_ = os.Remove(filepath.Join(dir, cleanMarker))
 		if ok && len(ck.Cuts) > 0 {
-			// The WAL is gone and the fresh log restarts numbering at
-			// segment 1; stale cuts would prune those segments as
-			// "covered" on the next dirty recovery. Clear them now — a
-			// failure here must abort, or a later crash loses data.
 			ck.Cuts = map[string]int{}
 			if werr := writeFileAtomic(filepath.Join(dir, checkpointFile), &ck, db.dur.opt.WrapWriter); werr != nil {
 				return info, corrupt, werr
 			}
 		}
+		_ = os.RemoveAll(walRoot)
+		_ = os.Remove(filepath.Join(dir, cleanMarker))
 		return info, corrupt, nil
 	}
 	_ = os.Remove(filepath.Join(dir, cleanMarker))
@@ -364,14 +367,18 @@ func (db *DB) Shutdown() error {
 	if dur == nil || dur.d == nil || !dur.armed.Load() {
 		return nil
 	}
+	// Baseline before the checkpoint starts: an append racing onto a
+	// post-rotation segment after its shard unlocks lands between base
+	// and after, suppressing the CLEAN marker (false negatives cost a
+	// replay; a false positive would lose the record).
+	base := dur.d.Stats()
 	err := db.Checkpoint()
-	mid := dur.d.Stats()
 	dur.armed.Store(false)
 	if cerr := dur.d.Close(); err == nil {
 		err = cerr
 	}
 	after := dur.d.Stats()
-	if err == nil && after.Appends == mid.Appends && after.Errors == mid.Errors && after.Skipped == mid.Skipped {
+	if err == nil && after.Appends == base.Appends && after.Errors == base.Errors && after.Skipped == base.Skipped {
 		if f, ferr := os.Create(filepath.Join(dur.dir, cleanMarker)); ferr == nil {
 			f.Close()
 		}

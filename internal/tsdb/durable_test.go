@@ -168,10 +168,9 @@ func TestTSDBDiskFaultDegrades(t *testing.T) {
 	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
 
 	db, _ := openDurableDB(t, dir, wal.StoreOptions{
-		Options:          wal.Options{Fsync: wal.FsyncAlways, WrapWriter: inj.WriterWrapper("disk.write")},
+		Options:          wal.Options{Fsync: wal.FsyncAlways, WrapWriter: inj.WriterWrapper("disk.write"), Now: clock},
 		BreakerThreshold: 2,
 		BreakerOpenFor:   5 * time.Second,
-		Now:              clock,
 	})
 	appendAll(t, db, 3, 10)
 	inj.Set("disk.write", chaos.Fault{ErrProb: 1, Err: syscall.ENOSPC})

@@ -106,6 +106,11 @@ type Options struct {
 	// operations with the operation name; a non-nil return fails the
 	// operation. The chaos injector's hook for non-write disk faults.
 	FaultHook func(op string) error
+	// Now is the clock driving the FsyncInterval policy and (via
+	// StoreOptions) the degradation breaker; the pipeline injects its
+	// simulated clock so sync cadence stays deterministic under simulated
+	// time. Nil means time.Now.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FsyncInterval <= 0 {
 		o.FsyncInterval = DefaultFsyncInterval
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	return o
 }
@@ -129,8 +137,6 @@ type StoreOptions struct {
 	// BreakerOpenFor is how long degraded mode fails fast before probing
 	// the disk again (default 10s).
 	BreakerOpenFor time.Duration
-	// Now is the breaker clock; the pipeline injects its simulated clock.
-	Now func() time.Time
 }
 
 // Log is one segmented append-only record log rooted at a directory.
@@ -286,7 +292,7 @@ func (l *Log) Append(payload []byte) error {
 	case FsyncAlways:
 		return l.syncLocked()
 	case FsyncInterval:
-		if now := time.Now(); now.Sub(l.lastSync) >= l.opt.FsyncInterval {
+		if now := l.opt.Now(); now.Sub(l.lastSync) >= l.opt.FsyncInterval {
 			return l.syncLocked()
 		}
 	}
@@ -303,7 +309,7 @@ func (l *Log) syncLocked() error {
 		return err
 	}
 	l.syncs++
-	l.lastSync = time.Now()
+	l.lastSync = l.opt.Now()
 	return nil
 }
 

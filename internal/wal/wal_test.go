@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func collect(t *testing.T, dir string, repair bool) ([][]byte, ReplayStats) {
@@ -291,6 +292,40 @@ func TestFaultHookFailsSyncAndRotate(t *testing.T) {
 	deny["rotate"] = true
 	if _, err := l.Rotate(); err == nil {
 		t.Fatal("Rotate with rotate fault succeeded")
+	}
+}
+
+// TestFsyncIntervalUsesInjectedClock pins the FsyncInterval policy to the
+// injected Options.Now: under a simulated clock the sync cadence must
+// follow simulated time, not wall time.
+func TestFsyncIntervalUsesInjectedClock(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(5000, 0)
+	l, err := Open(dir, Options{
+		Fsync:         FsyncInterval,
+		FsyncInterval: time.Second,
+		Now:           func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// First append syncs (lastSync is the zero time), later ones must not
+	// while the simulated clock stands still.
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte("rec")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Stats().Syncs; got != 1 {
+		t.Fatalf("frozen clock: %d syncs, want 1", got)
+	}
+	now = now.Add(time.Second)
+	if err := l.Append([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Syncs; got != 2 {
+		t.Fatalf("advanced clock: %d syncs, want 2", got)
 	}
 }
 
