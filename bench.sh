@@ -15,6 +15,13 @@
 #   C2  BenchmarkSustainedBytes                     MB/s vs 400 GB/day
 #   C5  BenchmarkShardedIngest                      lock-stripe scaling
 #   E4  BenchmarkFig5Query                          leak query latency
+#       BenchmarkFig5QueryRange/{mono,cold,warm}    the same query as a
+#                                                   dashboard range panel:
+#                                                   monolithic vs frontend
+#                                                   split (cache off) vs
+#                                                   primed results cache
+#       QueryScaling/gomaxprocs={1,2,4,8}           split-parallel cold
+#                                                   Fig5 across -cpu
 #   E7  BenchmarkFig8Query                          switch pattern query
 #       BenchmarkWALRecovery                        100k-entry WAL replay
 #                                                   (ms/recovery, entries/s)
@@ -23,8 +30,8 @@ cd "$(dirname "$0")"
 
 MODE="${1:-full}"
 case "$MODE" in
-  short) BENCHTIME=100x ;;
-  full)  BENCHTIME=1s ;;
+  short) BENCHTIME=100x RANGE_BENCHTIME=3x ;;
+  full)  BENCHTIME=1s  RANGE_BENCHTIME=1s ;;
   *) echo "usage: $0 [short|full]" >&2; exit 2 ;;
 esac
 
@@ -35,6 +42,18 @@ trap 'rm -f "$RAW"' EXIT
 go test -run '^$' \
   -bench 'OMNIIngestLogs$|OMNIIngestLogsWAL$|OMNIIngestLogsParallel$|SustainedBytes$|ShardedIngest/|Fig5Query$|Fig8Query$|WALRecovery$' \
   -benchtime "$BENCHTIME" . | tee "$RAW"
+
+# The query-frontend pair: monolithic vs frontend-split (cache off) vs
+# warm results cache, on the default GOMAXPROCS.
+go test -run '^$' -bench 'Fig5QueryRange/' -benchtime "$RANGE_BENCHTIME" . | tee -a "$RAW"
+
+# QueryScaling series: the split-parallel cold path across GOMAXPROCS.
+# Go appends -N to the bench name for every -cpu value except 1; rewrite
+# both shapes to QueryScaling/gomaxprocs=N before the parser (which
+# strips trailing -N suffixes) sees them.
+go test -run '^$' -bench 'Fig5QueryRange/cold$' -benchtime "$RANGE_BENCHTIME" -cpu 1,2,4,8 . \
+  | sed -E 's|^BenchmarkFig5QueryRange/cold-([0-9]+)\b|BenchmarkQueryScaling/gomaxprocs=\1|; s|^BenchmarkFig5QueryRange/cold\b|BenchmarkQueryScaling/gomaxprocs=1|' \
+  | tee -a "$RAW"
 
 awk -v mode="$MODE" '
 BEGIN { n = 0 }

@@ -26,6 +26,7 @@ import (
 	"shastamon/internal/core"
 	"shastamon/internal/eventsearch"
 	"shastamon/internal/experiments"
+	"shastamon/internal/frontend"
 	"shastamon/internal/labels"
 	"shastamon/internal/logql"
 	"shastamon/internal/loki"
@@ -286,8 +287,8 @@ func BenchmarkShardedIngest(b *testing.B) {
 	for i := range msgs {
 		msgs[i] = core.SyslogToLoki(gen.Next(time.Unix(0, int64(i)*1e6)), "perlmutter")
 	}
-	for _, shards := range []int{1, 4, 8} {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+	run := func(shards, pushers int) func(b *testing.B) {
+		return func(b *testing.B) {
 			limits := loki.DefaultLimits()
 			limits.Shards = shards
 			store := loki.NewStore(limits)
@@ -298,28 +299,40 @@ func BenchmarkShardedIngest(b *testing.B) {
 				w := int(uint64(ps.Labels.Fingerprint()) % uint64(shards))
 				parts[w] = append(parts[w], ps)
 			}
+			push := func(base int64, part []loki.PushStream) {
+				for j, ps := range part {
+					e := ps.Entries[0]
+					e.Timestamp = base + int64(j)*1e3
+					if err := store.Push([]loki.PushStream{{Labels: ps.Labels, Entries: []loki.Entry{e}}}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				// Advance timestamps each iteration so the single shared
 				// store keeps accepting in-order entries.
 				base := int64(i+1) * int64(len(msgs)) * 1e6
-				var wg sync.WaitGroup
-				for w := 0; w < shards; w++ {
-					wg.Add(1)
-					go func(w int) {
-						defer wg.Done()
-						for j, ps := range parts[w] {
-							e := ps.Entries[0]
-							e.Timestamp = base + int64(j)*1e3
-							if err := store.Push([]loki.PushStream{{Labels: ps.Labels, Entries: []loki.Entry{e}}}); err != nil {
-								b.Error(err)
-								return
-							}
-						}
-					}(w)
+				if pushers == 1 {
+					// Serial control: same striped store, no goroutine
+					// fan-out — isolates scheduler overhead from the cost
+					// of striping itself.
+					for w := 0; w < shards; w++ {
+						push(base, parts[w])
+					}
+				} else {
+					var wg sync.WaitGroup
+					for w := 0; w < shards; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							push(base, parts[w])
+						}(w)
+					}
+					wg.Wait()
 				}
-				wg.Wait()
 			}
 			b.StopTimer()
 			pushes := store.ShardPushes()
@@ -330,7 +343,13 @@ func BenchmarkShardedIngest(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(busy), "busy-shards")
-		})
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), run(shards, shards))
+		if shards > 1 {
+			b.Run(fmt.Sprintf("shards=%d,pushers=1", shards), run(shards, 1))
+		}
 	}
 }
 
@@ -403,6 +422,74 @@ func BenchmarkFig5Query(b *testing.B) {
 	if total := snap.Store.CacheHits + snap.Store.CacheMisses; total > 0 {
 		b.ReportMetric(float64(snap.Store.CacheHits)/float64(total), "cache-hit-ratio")
 	}
+}
+
+// E4 (range) / Fig. 5 as a dashboard panel: the leak query evaluated as
+// a range query the way Grafana refreshes it, over 10k events spread
+// across one hour. Three variants measure the query frontend:
+//
+//	mono  the engine's monolithic range pass (no frontend) — baseline
+//	cold  frontend splitting + shard fan-out, results cache disabled
+//	warm  frontend with a primed results cache — the steady-state
+//	      refresh, which should be a small multiple of pure merge cost
+//
+// Run with -cpu 1,2,4,8 for the QueryScaling series: cold speedup over
+// mono is what time-split parallelism buys per core.
+func BenchmarkFig5QueryRange(b *testing.B) {
+	limits := loki.DefaultLimits()
+	limits.Shards = 4
+	store := loki.NewStore(limits)
+	ls := labels.FromStrings("Context", "x1203c1b0", "cluster", "perlmutter", "data_type", "redfish_event")
+	entries := make([]loki.Entry, 10000)
+	for i := range entries {
+		entries[i] = loki.Entry{Timestamp: int64(i) * 360 * 1e6, Line: leakLine} // one hour span
+	}
+	if err := store.Push([]loki.PushStream{{Labels: ls, Entries: entries}}); err != nil {
+		b.Fatal(err)
+	}
+	const q = `sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" | json [5m])) by (Context)`
+	const start, end = int64(0), int64(time.Hour)
+	farFuture := func() time.Time { return time.Unix(1<<32, 0) }
+
+	run := func(eng *logql.Engine, prime bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			if prime {
+				if _, err := eng.QueryRange(q, start, end, time.Minute); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := eng.QueryRange(q, start, end, time.Minute)
+				if err != nil || len(m) == 0 {
+					b.Fatalf("%v %v", m, err)
+				}
+			}
+		}
+	}
+
+	mono := logql.NewEngine(store)
+	cold := logql.NewEngine(store)
+	cold.SetFrontend(frontend.New(frontend.Config{CacheBytes: -1, Now: farFuture}))
+	warm := logql.NewEngine(store)
+	warm.SetFrontend(frontend.New(frontend.Config{Now: farFuture}))
+
+	// Golden guard: the three paths must agree before timing means anything.
+	want, err := mono.QueryRange(q, start, end, time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, eng := range map[string]*logql.Engine{"cold": cold, "warm": warm} {
+		got, err := eng.QueryRange(q, start, end, time.Minute)
+		if err != nil || fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", got) {
+			b.Fatalf("%s result differs from monolithic (%v)", name, err)
+		}
+	}
+
+	b.Run("mono", run(mono, false))
+	b.Run("cold", run(cold, false))
+	b.Run("warm", run(warm, true))
 }
 
 // E7 / Fig. 8: the switch pattern query over 10k events.

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"shastamon/internal/frontend"
 	"shastamon/internal/labels"
 	"shastamon/internal/logql"
 	"shastamon/internal/loki"
@@ -91,6 +92,7 @@ func main() {
 	self := flag.Bool("self", false, "query the pipeline's shastamon_* self-metrics over -addr's PromQL API; -q may be a bare family name (shastamon_ prefix optional) or empty for the default set")
 	showStats := flag.Bool("stats", false, "print query statistics (bytes/lines scanned, cache hits, timings) after the result")
 	output := flag.String("output", "", `statistics output format: "" (human table, stderr) or "jsonl" (raw statistics JSON, stdout)`)
+	noCache := flag.Bool("no-cache", false, "bypass the query frontend's results cache (A/B latency measurement)")
 	flag.Parse()
 	if *output != "" && *output != "jsonl" {
 		fatal(fmt.Errorf("bad -output %q (want \"\" or \"jsonl\")", *output))
@@ -109,7 +111,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *addr != "" {
-		if err := queryRemote(*addr, *query, *at, *since, *instant, *showStats, *output); err != nil {
+		if err := queryRemote(*addr, *query, *at, *since, *instant, *showStats, *noCache, *output); err != nil {
 			fatal(err)
 		}
 		return
@@ -132,6 +134,9 @@ func main() {
 	}
 
 	ctx, sc := stats.NewContext(context.Background())
+	if *noCache {
+		ctx = frontend.WithoutCache(ctx)
+	}
 	if *instant {
 		vec, err := engine.QueryInstantContext(ctx, *query, end.UnixNano())
 		if err != nil {
@@ -189,6 +194,9 @@ func printStats(snap stats.Snapshot, output string) {
 	fmt.Fprintf(w, "chunks opened        : %d\n", st.ChunksOpened)
 	fmt.Fprintf(w, "blocks decompressed  : %d (%d bytes)\n", st.BlocksDecompressed, st.DecompressedBytes)
 	fmt.Fprintf(w, "chunk cache          : %d hit / %d miss\n", st.CacheHits, st.CacheMisses)
+	fe := snap.Frontend
+	fmt.Fprintf(w, "result cache         : %d hit / %d miss (%d bytes served)\n",
+		fe.ResultCacheHits, fe.ResultCacheMisses, fe.ResultCacheHitBytes)
 	fmt.Fprintf(w, "shards / splits      : %d / %d\n", su.Shards, su.Splits)
 	fmt.Fprintf(w, "queue / exec / total : %.3fms / %.3fms / %.3fms\n",
 		su.QueueTime*1e3, su.ExecTime*1e3, su.TotalTime*1e3)

@@ -17,7 +17,7 @@ import (
 // in-process engine exposed by cmd/omnid, or any server speaking
 // /loki/api/v1/query[_range]). With showStats, the server's `statistics`
 // block is rendered after the result.
-func queryRemote(base, query, at string, since time.Duration, instant, showStats bool, output string) error {
+func queryRemote(base, query, at string, since time.Duration, instant, showStats, noCache bool, output string) error {
 	end, err := time.Parse(time.RFC3339, at)
 	if err != nil {
 		return fmt.Errorf("bad -at: %w", err)
@@ -59,6 +59,9 @@ func queryRemote(base, query, at string, since time.Duration, instant, showStats
 	q.Set("query", query)
 	q.Set("start", strconv.FormatInt(end.Add(-since).UnixNano(), 10))
 	q.Set("end", strconv.FormatInt(end.UnixNano(), 10))
+	if noCache {
+		q.Set("nocache", "1")
+	}
 	var resp struct {
 		Status string `json:"status"`
 		Error  string `json:"error"`

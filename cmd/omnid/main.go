@@ -52,6 +52,7 @@ import (
 
 	"shastamon/internal/core"
 	"shastamon/internal/experiments"
+	"shastamon/internal/frontend"
 	"shastamon/internal/kafka"
 	"shastamon/internal/obs"
 	"shastamon/internal/ruler"
@@ -74,6 +75,11 @@ func main() {
 	walFsync := flag.String("wal-fsync", "interval", "WAL fsync policy: always (sync every append), interval (lazy, default), never")
 	walSegment := flag.Int("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = 4 MiB default)")
 	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "how often the tick checkpoints the stores to bound WAL replay")
+	splitInterval := flag.Duration("split-interval", 0, "query frontend time-split interval (0 = 5m default, negative disables splitting)")
+	cacheBytes := flag.Int("result-cache-bytes", 0, "query results cache budget in bytes (0 = 32 MiB default, negative disables)")
+	queryConcurrency := flag.Int("query-concurrency", 0, "max concurrently executing range queries per engine (0 = 2×GOMAXPROCS)")
+	queryQueueDepth := flag.Int("query-queue-depth", 0, "max range queries waiting per engine before 429 rejection (0 = 64 default)")
+	noShardFanout := flag.Bool("no-shard-fanout", false, "disable per-shard query fan-out inside each time split")
 	flag.Parse()
 
 	fsync, err := wal.ParseFsyncPolicy(*walFsync)
@@ -101,6 +107,13 @@ func main() {
 			SegmentBytes: *walSegment,
 		}},
 		CheckpointEvery: *checkpointEvery,
+		Frontend: frontend.Config{
+			SplitInterval: *splitInterval,
+			CacheBytes:    *cacheBytes,
+			MaxConcurrent: *queryConcurrency,
+			MaxQueueDepth: *queryQueueDepth,
+			NoShardFanout: *noShardFanout,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -141,6 +141,21 @@ func (p *Pipeline) SinglePane() grafana.Dashboard {
 				GrafanaType: "table",
 				GrafanaExpr: `topk(10, sum(increase(shastamon_query_slow_total[1h])) by (engine))`,
 			},
+			// Self: frontend — the range-query frontend watching itself:
+			// refresh absorption (results-cache hit ratio) and admission
+			// pressure (queue depth, shed queries).
+			{
+				Title:       "Self: frontend — results cache hit ratio",
+				Query:       "frontend-cache-hit-ratio",
+				Source:      grafana.SourceSelfStat,
+				GrafanaType: "stat",
+				GrafanaExpr: `sum(rate(shastamon_query_result_cache_hits_total[10m])) / (sum(rate(shastamon_query_result_cache_hits_total[10m])) + sum(rate(shastamon_query_result_cache_misses_total[10m])))`,
+			},
+			{
+				Title:  "Self: frontend — admission queue depth",
+				Query:  `max(shastamon_query_frontend_queue_depth)`,
+				Source: grafana.SourceMetrics,
+			},
 		},
 	}
 }
@@ -174,6 +189,13 @@ func (p *Pipeline) SelfStat(key string) (string, error) {
 			return "(no chunk-cache traffic yet)", nil
 		}
 		return fmt.Sprintf("%.1f%% hit (%.0f hit / %.0f miss)", 100*hits/(hits+misses), hits, misses), nil
+	case "frontend-cache-hit-ratio":
+		st := p.Warehouse.Frontend.CacheStats()
+		if st.Hits+st.Misses == 0 {
+			return "(no results-cache traffic yet)", nil
+		}
+		return fmt.Sprintf("%.1f%% hit (%d hit / %d miss, %d entries, %d bytes)",
+			100*float64(st.Hits)/float64(st.Hits+st.Misses), st.Hits, st.Misses, st.Entries, st.Bytes), nil
 	case "slowlog-top":
 		entries := p.Warehouse.Tracker.SlowLog()
 		if len(entries) == 0 {

@@ -97,6 +97,29 @@ func MetaRules() []vmalert.Rule {
 			},
 		},
 		{
+			// The query frontend is shedding load: its admission queue
+			// filled and range queries are being rejected with 429s. Either
+			// something is hammering the query API or the concurrency limit
+			// no longer matches the hardware.
+			Name:   "ShastamonQueryQueueSaturated",
+			Expr:   `sum(increase(shastamon_query_frontend_queue_rejected_total[5m])) > 0`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "Query frontend shed {{ $value }} range query(ies) in 5m — queue saturated, clients see 429s",
+			},
+		},
+		{
+			// The results cache is churning: entries are evicted faster than
+			// refreshes can reuse them, so the byte budget is undersized for
+			// the dashboard set and the cache stops absorbing refresh load.
+			Name:   "ShastamonQueryCacheThrash",
+			Expr:   `sum(increase(shastamon_query_result_cache_evictions_total[10m])) > 64`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "Results cache evicted {{ $value }} split(s) in 10m — cache bytes undersized for the refresh workload",
+			},
+		},
+		{
 			// A stale scrape target silently freezes every rule that reads
 			// its series; staleness runs on scrape timestamps so it tracks
 			// simulated time in experiments too.

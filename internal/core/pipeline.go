@@ -17,6 +17,7 @@ import (
 	"shastamon/internal/chunkenc"
 	"shastamon/internal/exporters"
 	"shastamon/internal/fabricmgr"
+	"shastamon/internal/frontend"
 	"shastamon/internal/hms"
 	"shastamon/internal/kafka"
 	"shastamon/internal/labels"
@@ -95,6 +96,11 @@ type Options struct {
 	// CheckpointEvery bounds WAL replay (default 1m); the tick's
 	// "checkpoint" stage snapshots the stores at most this often.
 	CheckpointEvery time.Duration
+	// Frontend tunes the warehouse query frontend (time splitting,
+	// results cache, admission control). The frontend clock is wired to
+	// the pipeline clock unless already set, so mutable-head freshness
+	// tracks simulated time in experiments.
+	Frontend frontend.Config
 }
 
 // Pipeline is the assembled monitoring framework of Fig. 1.
@@ -267,9 +273,13 @@ func New(opts Options) (*Pipeline, error) {
 	if opts.WAL.Now == nil {
 		opts.WAL.Now = p.Now
 	}
+	if opts.Frontend.Now == nil {
+		opts.Frontend.Now = p.Now
+	}
 	if p.Warehouse, err = omni.Open(omni.Config{
 		Retention: opts.Retention, Shards: opts.WarehouseShards, LokiLimits: opts.LokiLimits,
 		DataDir: opts.DataDir, WAL: opts.WAL, CheckpointEvery: opts.CheckpointEvery,
+		Frontend: opts.Frontend,
 	}); err != nil {
 		return fail(err)
 	}

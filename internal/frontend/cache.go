@@ -1,0 +1,182 @@
+package frontend
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// resultCache is the step-aligned results cache: a byte-budgeted LRU in
+// the mould of chunkenc.BlockCache, keyed by (engine, query, step, split
+// window) and holding merged split matrices. Cached matrices are shared
+// between readers and must be treated as immutable.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int
+	curBytes int
+	ll       *list.List // front = most recently used
+	items    map[resultKey]*list.Element
+	// invalidatedNS is the retention high-water mark in wall-clock
+	// nanoseconds: entries whose data window begins before it are
+	// refused at put time, so a split evaluated before a concurrent
+	// retention pass cannot cache data the store just deleted.
+	invalidatedNS int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type resultKey struct {
+	engine     string
+	query      string
+	step       int64
+	start, end int64 // split window, engine units
+}
+
+type resultItem struct {
+	key resultKey
+	m   Matrix
+	// minDataNS is the wall-clock nanosecond the split's data window
+	// begins at (split start minus lookback): the retention comparison
+	// point.
+	minDataNS int64
+	bytes     int
+}
+
+func newResultCache(maxBytes int) *resultCache {
+	return &resultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[resultKey]*list.Element{},
+		// No retention has run yet: admit any data window, including ones
+		// beginning before the Unix epoch (pinned-clock tests).
+		invalidatedNS: math.MinInt64,
+	}
+}
+
+// matrixBytes approximates the retained size of a result matrix: label
+// pairs plus 16 bytes per point plus slice headers, over a fixed
+// per-entry charge (key strings, map bucket, list element) so even
+// empty results — common when dashboards scan quiet windows — count
+// against the byte budget instead of accumulating unbounded.
+func matrixBytes(m Matrix) int {
+	n := 96
+	for _, s := range m {
+		n += 48
+		for _, l := range s.Labels {
+			n += len(l.Name) + len(l.Value) + 32
+		}
+		n += 16 * len(s.Points)
+	}
+	return n
+}
+
+func (rc *resultCache) get(engine, query string, step int64, sp span) (Matrix, int, bool) {
+	if rc == nil {
+		return nil, 0, false
+	}
+	key := resultKey{engine: engine, query: query, step: step, start: sp.start, end: sp.end}
+	rc.mu.Lock()
+	el, ok := rc.items[key]
+	if ok {
+		rc.ll.MoveToFront(el)
+	}
+	rc.mu.Unlock()
+	if !ok {
+		rc.misses.Add(1)
+		return nil, 0, false
+	}
+	rc.hits.Add(1)
+	it := el.Value.(*resultItem)
+	return it.m, it.bytes, true
+}
+
+func (rc *resultCache) put(engine, query string, step int64, sp span, unit time.Duration, lookback int64, m Matrix) {
+	if rc == nil {
+		return
+	}
+	bytes := matrixBytes(m)
+	if bytes > rc.maxBytes {
+		return
+	}
+	minDataNS := (sp.start - lookback) * int64(unit)
+	key := resultKey{engine: engine, query: query, step: step, start: sp.start, end: sp.end}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if minDataNS < rc.invalidatedNS {
+		return // retention already deleted under this window
+	}
+	if _, ok := rc.items[key]; ok {
+		return // raced with another evaluation of the same split
+	}
+	rc.items[key] = rc.ll.PushFront(&resultItem{key: key, m: m, minDataNS: minDataNS, bytes: bytes})
+	rc.curBytes += bytes
+	for rc.curBytes > rc.maxBytes {
+		back := rc.ll.Back()
+		if back == nil {
+			break
+		}
+		rc.evict(back)
+	}
+}
+
+// evict removes one element; callers hold rc.mu.
+func (rc *resultCache) evict(el *list.Element) {
+	it := el.Value.(*resultItem)
+	rc.ll.Remove(el)
+	delete(rc.items, it.key)
+	rc.curBytes -= it.bytes
+	rc.evictions.Add(1)
+}
+
+// invalidateBefore drops entries whose data window begins before tsNS
+// and raises the admission high-water mark. Returns entries dropped.
+func (rc *resultCache) invalidateBefore(tsNS int64) int {
+	if rc == nil {
+		return 0
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if tsNS > rc.invalidatedNS {
+		rc.invalidatedNS = tsNS
+	}
+	dropped := 0
+	var next *list.Element
+	for el := rc.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*resultItem).minDataNS < tsNS {
+			rc.evict(el)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// CacheStats is a point-in-time snapshot of results-cache counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int
+}
+
+// Stats snapshots the counters. A nil cache reports zeros.
+func (rc *resultCache) Stats() CacheStats {
+	if rc == nil {
+		return CacheStats{}
+	}
+	rc.mu.Lock()
+	entries, bytes := len(rc.items), rc.curBytes
+	rc.mu.Unlock()
+	return CacheStats{
+		Hits:      rc.hits.Load(),
+		Misses:    rc.misses.Load(),
+		Evictions: rc.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shastamon/internal/frontend"
 	"shastamon/internal/labels"
 	"shastamon/internal/loki"
 	"shastamon/internal/parallel"
@@ -63,6 +64,7 @@ type Engine struct {
 	workers  int
 	inFlight atomic.Int64
 	tracker  *stats.Tracker
+	frontend *frontend.Frontend
 }
 
 // NewEngine returns an engine reading from q with GOMAXPROCS workers.
@@ -229,17 +231,30 @@ func (e *Engine) Range(expr Expr, start, end int64, step time.Duration) (Matrix,
 }
 
 // RangeContext is Range with cancellation and per-query statistics
-// carried by ctx; every step counts as one split.
+// carried by ctx. With a frontend attached (SetFrontend) the range is
+// split at interval boundaries, partially served from the results
+// cache and fanned across store shards where the expression permits;
+// without one it evaluates monolithically as a single split.
 func (e *Engine) RangeContext(ctx context.Context, expr Expr, start, end int64, step time.Duration) (Matrix, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("logql: step must be positive")
 	}
+	if me, ok := expr.(MetricExpr); ok && e.frontend != nil {
+		return e.rangeViaFrontend(ctx, me, start, end, step)
+	}
 	sc := stats.FromContext(ctx)
 	sc.MarkExec()
+	sc.AddSplit()
+	return e.rangeDirect(ctx, expr, start, end, step)
+}
+
+// rangeDirect is the monolithic range evaluation: one instant
+// evaluation per step over the whole window. The frontend calls it per
+// split; split results concatenate to exactly this loop's output.
+func (e *Engine) rangeDirect(ctx context.Context, expr Expr, start, end int64, step time.Duration) (Matrix, error) {
 	seriesByKey := map[string]*Series{}
 	var order []string
 	for ts := start; ts <= end; ts += int64(step) {
-		sc.AddSplit()
 		vec, err := e.InstantContext(ctx, expr, ts)
 		if err != nil {
 			return nil, err

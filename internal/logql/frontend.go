@@ -1,0 +1,181 @@
+package logql
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"shastamon/internal/frontend"
+	"shastamon/internal/labels"
+	"shastamon/internal/loki"
+)
+
+// SetFrontend routes range queries through a query frontend (splitting,
+// shard fan-out, results caching, admission control). Call during
+// setup, not concurrently with queries.
+func (e *Engine) SetFrontend(f *frontend.Frontend) { e.frontend = f }
+
+// Frontend returns the attached query frontend, nil when unset.
+func (e *Engine) Frontend() *frontend.Frontend { return e.frontend }
+
+// maxLookback is the furthest any sub-evaluation of expr reads before
+// its step timestamp: the widest range-aggregation interval in the tree.
+func maxLookback(expr MetricExpr) time.Duration {
+	switch ex := expr.(type) {
+	case *RangeAggExpr:
+		return ex.Interval
+	case *VectorAggExpr:
+		return maxLookback(ex.Inner)
+	case *CmpExpr:
+		return maxLookback(ex.Inner)
+	}
+	return 0
+}
+
+// shardMergeOp decides whether expr may be evaluated independently per
+// store shard and merged pointwise, and with which operation. The
+// whitelist is deliberately exact-arithmetic only: counts and byte
+// totals are integers (exact float64 addition in any order) and min/max
+// are order-independent, so sharded results stay byte-identical to
+// monolithic evaluation. rate/bytes_rate are excluded — summing partial
+// quotients rounds differently from dividing the total — as are avg,
+// count-of-groups, topk and cmp-filtered expressions, which do not
+// distribute over a partition of the streams at all.
+func shardMergeOp(expr MetricExpr) (string, bool) {
+	switch ex := expr.(type) {
+	case *RangeAggExpr:
+		// A group's entries may span shards; identical label sets merge
+		// across partial results with the op below.
+		switch ex.Op {
+		case OpCountOverTime, OpBytesOverTime:
+			return "sum", true
+		case OpMaxOverTime:
+			return "max", true
+		case OpMinOverTime:
+			return "min", true
+		}
+	case *VectorAggExpr:
+		inner, ok := ex.Inner.(*RangeAggExpr)
+		if !ok {
+			return "", false
+		}
+		switch ex.Op {
+		case "sum":
+			if inner.Op == OpCountOverTime || inner.Op == OpBytesOverTime {
+				return "sum", true
+			}
+		case "max":
+			if inner.Op == OpMaxOverTime {
+				return "max", true
+			}
+		case "min":
+			if inner.Op == OpMinOverTime {
+				return "min", true
+			}
+		}
+	}
+	return "", false
+}
+
+// withShardSelector returns expr with a __shard__ matcher appended to
+// its stream selector, restricting evaluation to one store shard. The
+// input tree is shared across concurrent sub-queries, so the rewrite
+// copies the nodes it changes instead of mutating.
+func withShardSelector(expr MetricExpr, shard, of int) MetricExpr {
+	switch ex := expr.(type) {
+	case *RangeAggExpr:
+		m, err := labels.NewMatcher(labels.MatchEqual, loki.ShardLabel, fmt.Sprintf("%d_of_%d", shard, of))
+		if err != nil {
+			return expr
+		}
+		lg := *ex.Log
+		lg.Selector = append(append(labels.Selector{}, ex.Log.Selector...), m)
+		cp := *ex
+		cp.Log = &lg
+		return &cp
+	case *VectorAggExpr:
+		cp := *ex
+		cp.Inner = withShardSelector(ex.Inner, shard, of)
+		return &cp
+	}
+	return expr
+}
+
+// shardPlan inspects the querier and the expression: fan out only when
+// the store is sharded, the frontend allows it and the expression
+// merges exactly.
+func (e *Engine) shardPlan(expr MetricExpr) (int, string) {
+	if e.frontend == nil || !e.frontend.ShardFanout() {
+		return 1, ""
+	}
+	sh, ok := e.q.(interface{ Shards() int })
+	if !ok || sh.Shards() <= 1 {
+		return 1, ""
+	}
+	op, ok := shardMergeOp(expr)
+	if !ok {
+		return 1, ""
+	}
+	return sh.Shards(), op
+}
+
+func toFrontendMatrix(m Matrix) frontend.Matrix {
+	out := make(frontend.Matrix, len(m))
+	for i, s := range m {
+		pts := make([]frontend.Point, len(s.Points))
+		for j, p := range s.Points {
+			pts[j] = frontend.Point{T: p.T, V: p.V}
+		}
+		out[i] = frontend.Series{Labels: s.Labels, Points: pts}
+	}
+	return out
+}
+
+// fromFrontendMatrix copies the frontend result into engine types. The
+// copy matters: frontend matrices may alias cached storage shared with
+// concurrent queries.
+func fromFrontendMatrix(fm frontend.Matrix) Matrix {
+	out := make(Matrix, 0, len(fm))
+	for _, s := range fm {
+		pts := make([]Point, len(s.Points))
+		for j, p := range s.Points {
+			pts[j] = Point{T: p.T, V: p.V}
+		}
+		out = append(out, Series{Labels: s.Labels, Points: pts})
+	}
+	return out
+}
+
+// rangeViaFrontend hands the range query to the frontend: it splits,
+// consults the results cache, fans shardable expressions across store
+// shards, and calls back into rangeDirect for whatever must actually
+// evaluate.
+func (e *Engine) rangeViaFrontend(ctx context.Context, expr MetricExpr, start, end int64, step time.Duration) (Matrix, error) {
+	shards, mergeOp := e.shardPlan(expr)
+	fm, err := e.frontend.QueryRange(ctx, frontend.Request{
+		Engine:   "logql",
+		Query:    expr.String(),
+		Start:    start,
+		End:      end,
+		Step:     int64(step),
+		Unit:     time.Nanosecond,
+		Lookback: int64(maxLookback(expr)),
+		Shards:   shards,
+		MergeOp:  mergeOp,
+		Eval: func(ctx context.Context, s, en int64, shard int) (frontend.Matrix, error) {
+			ex := expr
+			if shard >= 0 {
+				ex = withShardSelector(expr, shard, shards)
+			}
+			m, err := e.rangeDirect(ctx, ex, s, en, step)
+			if err != nil {
+				return nil, err
+			}
+			return toFrontendMatrix(m), nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromFrontendMatrix(fm), nil
+}

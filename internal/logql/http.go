@@ -2,11 +2,13 @@ package logql
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
+	"shastamon/internal/frontend"
 	"shastamon/internal/stats"
 )
 
@@ -107,6 +109,9 @@ func (e *Engine) Handler() http.Handler {
 				return
 			}
 			ctx, finish := e.tracker.Start(r.Context(), "logql", q)
+			if v := r.URL.Query().Get("nocache"); v == "1" || v == "true" {
+				ctx = frontend.WithoutCache(ctx)
+			}
 			m, err := e.RangeContext(ctx, ex, start, end, time.Duration(stepF*float64(time.Second)))
 			points := 0
 			for _, s := range m {
@@ -115,7 +120,11 @@ func (e *Engine) Handler() http.Handler {
 			stats.FromContext(ctx).AddEntriesReturned(int64(points))
 			snap := finish(err)
 			if err != nil {
-				writeLogQLError(w, http.StatusBadRequest, err)
+				code := http.StatusBadRequest
+				if errors.Is(err, stats.ErrQueueFull) {
+					code = http.StatusTooManyRequests
+				}
+				writeLogQLError(w, code, err)
 				return
 			}
 			result := make([]map[string]interface{}, 0, len(m))

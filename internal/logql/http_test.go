@@ -1,6 +1,7 @@
 package logql
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"shastamon/internal/frontend"
 	"shastamon/internal/labels"
 	"shastamon/internal/loki"
 )
@@ -114,5 +116,56 @@ func TestHTTPQueryErrors(t *testing.T) {
 	code, _ = getJSON(t, srv.URL+`/loki/api/v1/query_range?query=rate({a="b"}[1m])&step=-1`)
 	if code != 400 {
 		t.Fatalf("bad step accepted: %d", code)
+	}
+}
+
+// TestHTTPQueryRangeShedsWith429 saturates the frontend's only execution
+// slot and checks the next range query is shed with 429 instead of
+// queueing unbounded.
+func TestHTTPQueryRangeShedsWith429(t *testing.T) {
+	store := loki.NewStore(loki.DefaultLimits())
+	ls := labels.FromStrings("app", "x")
+	_ = store.Push([]loki.PushStream{{Labels: ls, Entries: []loki.Entry{{Timestamp: 30e9, Line: "e"}}}})
+	eng := NewEngine(store)
+	f := frontend.New(frontend.Config{MaxConcurrent: 1, MaxQueueDepth: -1})
+	eng.SetFrontend(f)
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	// Occupy the single logql slot with a blocking request straight into
+	// the shared frontend — same admission queue the handler uses.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.QueryRange(context.Background(), frontend.Request{
+			Engine: "logql", Query: "blocker", Start: 0, End: 0, Step: 1,
+			Eval: func(ctx context.Context, start, end int64, shard int) (frontend.Matrix, error) {
+				close(started)
+				<-block
+				return frontend.Matrix{}, nil
+			},
+		})
+		done <- err
+	}()
+	<-started
+
+	code, out := getJSON(t, fmt.Sprintf(`%s/loki/api/v1/query_range?query=%s&start=0&end=%d&step=30`,
+		srv.URL, `sum(count_over_time({app="x"}[1m]))`, int64(2*time.Minute)))
+	if code != http.StatusTooManyRequests || out.Status != "error" {
+		t.Fatalf("saturated frontend: got %d %+v, want 429", code, out)
+	}
+	if f.Rejected() != 1 {
+		t.Fatalf("Rejected() = %d, want 1", f.Rejected())
+	}
+
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	code, _ = getJSON(t, fmt.Sprintf(`%s/loki/api/v1/query_range?query=%s&start=0&end=%d&step=30`,
+		srv.URL, `sum(count_over_time({app="x"}[1m]))`, int64(2*time.Minute)))
+	if code != 200 {
+		t.Fatalf("after release: %d", code)
 	}
 }

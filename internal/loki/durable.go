@@ -553,6 +553,7 @@ func (s *Store) restoreCheckpoint(ck ckptFile) (corrupt int, err error) {
 		if err != nil {
 			return corrupt, fmt.Errorf("loki: checkpoint restore: %w", err)
 		}
+		sh := s.shardFor(st.fp)
 		st.mu.Lock()
 		for _, base := range cs.Chunks {
 			c, err := chunkenc.OpenSpill(filepath.Join(s.dur.dir, chunksDirName, base))
@@ -561,8 +562,8 @@ func (s *Store) restoreCheckpoint(ck ckptFile) (corrupt int, err error) {
 				continue
 			}
 			st.chunks = append(st.chunks, c)
-			s.totalEntries.Add(int64(c.Entries()))
-			s.totalBytes.Add(int64(c.RawBytes()))
+			sh.entries.Add(int64(c.Entries()))
+			sh.rawBytes.Add(int64(c.RawBytes()))
 		}
 		if len(cs.Head) > 0 {
 			entries, _, err := readEntries(cs.Head)
@@ -571,8 +572,8 @@ func (s *Store) restoreCheckpoint(ck ckptFile) (corrupt int, err error) {
 			} else {
 				for _, e := range entries {
 					if _, aerr := st.append(e, s.limits.ChunkOptions); aerr == nil {
-						s.totalEntries.Add(1)
-						s.totalBytes.Add(int64(len(e.Line)))
+						sh.entries.Add(1)
+						sh.rawBytes.Add(int64(len(e.Line)))
 					}
 				}
 			}

@@ -75,6 +75,13 @@ func DefaultLimits() Limits {
 	return Limits{MaxLabelNamesPerStream: 15, MaxLineSize: 256 * 1024}
 }
 
+// ShardLabel is the virtual selector label the query frontend injects
+// to restrict a sub-query to one fingerprint stripe: __shard__="i_of_n"
+// selects streams whose fingerprint lands in stripe i of n. It is a
+// query-time construct only — no stream ever carries it — and
+// SelectContext strips it before matching real labels.
+const ShardLabel = "__shard__"
+
 // Validation errors returned by Push.
 var (
 	ErrTooManyLabels = errors.New("loki: stream exceeds max label names")
@@ -100,14 +107,22 @@ type stream struct {
 	walPrefix []byte
 }
 
-// shard is one lock stripe of the store: its own stream index plus a push
-// counter the shard-balance metric reads.
+// shard is one lock stripe of the store: its own stream index, a push
+// counter the shard-balance metric reads, and the shard's slice of the
+// ingest accounting. The accounting counters live here rather than on
+// the Store so concurrent pushers to different stripes never write the
+// same cache lines — store-wide atomics were the one piece of state
+// every pusher still shared. Stats() sums them on read.
 type shard struct {
 	mu      sync.RWMutex
 	streams map[labels.Fingerprint][]*stream // collision list per fingerprint
 	ordered []*stream                        // insertion order, for queries
 
-	pushes atomic.Int64
+	pushes        atomic.Int64
+	entries       atomic.Int64
+	rawBytes      atomic.Int64
+	discardedOOO  atomic.Int64
+	discardedSize atomic.Int64
 }
 
 // Store is an in-process Loki: ingester plus index plus chunk store.
@@ -125,13 +140,6 @@ type Store struct {
 	// against it with a reserve-then-check atomic add, keeping the limit
 	// exact no matter how many shards create streams concurrently.
 	streamCount atomic.Int64
-
-	// ingest statistics, exposed for experiments and dashboards; plain
-	// atomics so discard accounting never serialises concurrent pushers.
-	totalEntries  atomic.Int64
-	totalBytes    atomic.Int64
-	discardedOOO  atomic.Int64
-	discardedSize atomic.Int64
 
 	// queryInFlight counts live Select/Flush workers for the
 	// query-parallelism gauge.
@@ -263,13 +271,13 @@ func (s *Store) pushStream(ps PushStream) error {
 		s.dur.d.Append(s.shardIndex(st.fp), appendEntries(st.walPrefixFor(), walEntries))
 	}
 	st.mu.Unlock()
-	s.totalEntries.Add(accepted)
-	s.totalBytes.Add(bytes)
+	sh.entries.Add(accepted)
+	sh.rawBytes.Add(bytes)
 	if dSize > 0 {
-		s.discardedSize.Add(dSize)
+		sh.discardedSize.Add(dSize)
 	}
 	if dOOO > 0 {
-		s.discardedOOO.Add(dOOO)
+		sh.discardedOOO.Add(dOOO)
 	}
 	return firstErr
 }
@@ -351,12 +359,19 @@ func (s *Store) Select(sel []*labels.Matcher, mint, maxt int64) ([]SelectedStrea
 func (s *Store) SelectContext(ctx context.Context, sel []*labels.Matcher, mint, maxt int64) ([]SelectedStream, error) {
 	sc := stats.FromContext(ctx)
 	started := time.Now()
+	sel, shardIdx, shardOf, err := splitShardMatcher(sel)
+	if err != nil {
+		return nil, err
+	}
 	var cand []*stream
 	shardsTouched := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		n := len(cand)
 		for _, st := range sh.ordered {
+			if shardOf > 0 && uint64(st.fp)%uint64(shardOf) != uint64(shardIdx) {
+				continue
+			}
 			if labels.MatchLabels(st.labels, sel) {
 				cand = append(cand, st)
 			}
@@ -390,6 +405,38 @@ func (s *Store) SelectContext(ctx context.Context, sel []*labels.Matcher, mint, 
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Labels.String() < out[j].Labels.String() })
 	return out, nil
+}
+
+// splitShardMatcher extracts a __shard__="i_of_n" matcher from sel,
+// returning the remaining matchers and the (i, n) partition. Any n > 0
+// partitions streams disjointly via fp mod n, so the partition need not
+// match the store's own stripe count. Without a shard matcher it
+// returns sel unchanged and n = 0.
+func splitShardMatcher(sel []*labels.Matcher) ([]*labels.Matcher, uint64, uint64, error) {
+	found := false
+	var idx, of uint64
+	for _, m := range sel {
+		if m.Name != ShardLabel {
+			continue
+		}
+		if m.Type != labels.MatchEqual {
+			return nil, 0, 0, fmt.Errorf("loki: %s requires an equality matcher", ShardLabel)
+		}
+		if _, err := fmt.Sscanf(m.Value, "%d_of_%d", &idx, &of); err != nil || of == 0 || idx >= of {
+			return nil, 0, 0, fmt.Errorf("loki: bad %s value %q (want \"i_of_n\")", ShardLabel, m.Value)
+		}
+		found = true
+	}
+	if !found {
+		return sel, 0, 0, nil
+	}
+	rest := make([]*labels.Matcher, 0, len(sel)-1)
+	for _, m := range sel {
+		if m.Name != ShardLabel {
+			rest = append(rest, m)
+		}
+	}
+	return rest, idx, of, nil
 }
 
 // queryCheckEvery is how many entries a stream scan processes between
@@ -525,11 +572,11 @@ func (s *Store) Stats() Stats {
 			str.mu.Unlock()
 		}
 		sh.mu.RUnlock()
+		st.Entries += sh.entries.Load()
+		st.RawBytes += sh.rawBytes.Load()
+		st.DiscardedOOO += sh.discardedOOO.Load()
+		st.DiscardedTooLong += sh.discardedSize.Load()
 	}
-	st.Entries = s.totalEntries.Load()
-	st.RawBytes = s.totalBytes.Load()
-	st.DiscardedOOO = s.discardedOOO.Load()
-	st.DiscardedTooLong = s.discardedSize.Load()
 	return st
 }
 

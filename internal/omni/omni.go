@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"shastamon/internal/eventsearch"
+	"shastamon/internal/frontend"
 	"shastamon/internal/labels"
 	"shastamon/internal/logql"
 	"shastamon/internal/loki"
@@ -58,6 +59,12 @@ type Config struct {
 	// CheckpointEvery bounds WAL replay: MaybeCheckpoint snapshots both
 	// stores at most this often (default 1m).
 	CheckpointEvery time.Duration
+
+	// Frontend sizes the query frontend both engines route range
+	// queries through (time splitting, shard fan-out, the step-aligned
+	// results cache and query admission control). The zero value takes
+	// the frontend defaults.
+	Frontend frontend.Config
 }
 
 // Warehouse is the OMNI façade.
@@ -71,6 +78,9 @@ type Warehouse struct {
 	// /debug/queries visibility, runaway-query limits and the slow-query
 	// log. Both query engines share it.
 	Tracker *stats.Tracker
+	// Frontend is the shared query frontend both engines route range
+	// queries through; retention invalidates its results cache.
+	Frontend *frontend.Frontend
 
 	retention       time.Duration
 	indexEvents     bool
@@ -136,6 +146,10 @@ func New(cfg Config) *Warehouse {
 	})
 	w.LogQL.SetTracker(w.Tracker)
 	w.PromQL.SetTracker(w.Tracker)
+	w.Frontend = frontend.New(cfg.Frontend)
+	w.Frontend.Register(w.reg)
+	w.LogQL.SetFrontend(w.Frontend)
+	w.PromQL.SetFrontend(w.Frontend)
 	w.reg.Collect(func() []promtext.Family {
 		return []promtext.Family{
 			obs.Fam("counter", obs.Namespace+"omni_log_messages_total",
@@ -302,6 +316,9 @@ func (w *Warehouse) EnforceRetention(now time.Time) (chunks, samples int) {
 	if w.indexEvents {
 		w.Events.DeleteBefore(cutoff)
 	}
+	// Cached split results whose data window reaches below the horizon
+	// would resurrect just-deleted data; drop them with it.
+	w.Frontend.InvalidateBefore(cutoff)
 	return chunks, samples
 }
 

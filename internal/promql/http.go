@@ -2,11 +2,13 @@ package promql
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
+	"shastamon/internal/frontend"
 	"shastamon/internal/stats"
 )
 
@@ -68,10 +70,13 @@ func (e *Engine) Handler() http.Handler {
 			return
 		}
 		ctx, finish := e.tracker.Start(r.Context(), "promql", q)
+		if noCacheParam(r) {
+			ctx = frontend.WithoutCache(ctx)
+		}
 		m, err := e.QueryRangeContext(ctx, q, start.UnixMilli(), end.UnixMilli(), time.Duration(stepF*float64(time.Second)))
 		snap := finish(err)
 		if err != nil {
-			writePromError(w, http.StatusBadRequest, err)
+			writePromError(w, queryErrorCode(err), err)
 			return
 		}
 		result := make([]map[string]interface{}, 0, len(m))
@@ -88,6 +93,22 @@ func (e *Engine) Handler() http.Handler {
 		writePromJSON(w, "matrix", result, snap)
 	})
 	return mux
+}
+
+// noCacheParam reports whether the request asked to bypass the
+// frontend's results cache (nocache=1, for A/B latency measurement).
+func noCacheParam(r *http.Request) bool {
+	v := r.URL.Query().Get("nocache")
+	return v == "1" || v == "true"
+}
+
+// queryErrorCode maps a frontend load-shed rejection to 429 so clients
+// can tell "back off" from "bad query"; everything else stays 400.
+func queryErrorCode(err error) int {
+	if errors.Is(err, stats.ErrQueueFull) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusBadRequest
 }
 
 func parseUnixSeconds(s string, def time.Time) (time.Time, error) {

@@ -17,6 +17,7 @@ import (
 	"time"
 	"unicode"
 
+	"shastamon/internal/frontend"
 	"shastamon/internal/labels"
 	"shastamon/internal/parallel"
 	"shastamon/internal/stats"
@@ -537,6 +538,7 @@ type Engine struct {
 	workers  int
 	inFlight atomic.Int64
 	tracker  *stats.Tracker
+	frontend *frontend.Frontend
 }
 
 // NewEngine returns an engine with the default 5m staleness lookback and
@@ -621,17 +623,29 @@ func (e *Engine) Range(expr Expr, start, end int64, step time.Duration) (Matrix,
 }
 
 // RangeContext is Range with cancellation and per-query statistics
-// carried by ctx; every step counts as one split.
+// carried by ctx. With a frontend attached (SetFrontend) the range is
+// split at interval boundaries and partially served from the results
+// cache; without one it evaluates monolithically as a single split.
 func (e *Engine) RangeContext(ctx context.Context, expr Expr, start, end int64, step time.Duration) (Matrix, error) {
-	if step <= 0 {
-		return nil, fmt.Errorf("promql: step must be positive")
+	if step.Milliseconds() <= 0 {
+		return nil, fmt.Errorf("promql: step must be at least 1ms")
+	}
+	if e.frontend != nil {
+		return e.rangeViaFrontend(ctx, expr, start, end, step)
 	}
 	sc := stats.FromContext(ctx)
 	sc.MarkExec()
+	sc.AddSplit()
+	return e.rangeDirect(ctx, expr, start, end, step)
+}
+
+// rangeDirect is the monolithic range evaluation: one instant
+// evaluation per step over the whole window. The frontend calls it per
+// split; split results concatenate to exactly this loop's output.
+func (e *Engine) rangeDirect(ctx context.Context, expr Expr, start, end int64, step time.Duration) (Matrix, error) {
 	byKey := map[string]*Series{}
 	var order []string
 	for ts := start; ts <= end; ts += step.Milliseconds() {
-		sc.AddSplit()
 		vec, err := e.InstantContext(ctx, expr, ts)
 		if err != nil {
 			return nil, err

@@ -35,6 +35,10 @@ var (
 	// ErrKilled is the cancellation cause for an operator kill via
 	// POST /debug/queries/{id}/kill.
 	ErrKilled = errors.New("query cancelled: killed via /debug/queries")
+	// ErrQueueFull is returned (not a cancellation cause — the query
+	// never starts) when the query frontend sheds a range query because
+	// its bounded admission queue is full; HTTP handlers map it to 429.
+	ErrQueueFull = errors.New("query rejected: frontend queue full")
 )
 
 // Context accumulates one query's running statistics. All counters are
@@ -58,7 +62,11 @@ type Context struct {
 	shardsTouched      atomic.Int64
 	splits             atomic.Int64
 
-	queueNS atomic.Int64 // set by the tracker (time spent before Start ran the query)
+	resultCacheHits     atomic.Int64
+	resultCacheMisses   atomic.Int64
+	resultCacheHitBytes atomic.Int64
+
+	queueNS atomic.Int64 // set by the frontend (time spent queued before execution)
 
 	maxBytes int64 // scan budget; 0 = unlimited
 	breached atomic.Bool
@@ -164,10 +172,27 @@ func (c *Context) AddStreams(n int64) {
 	}
 }
 
-// AddSplit counts one sub-evaluation of a range query (one step).
+// AddSplit counts one sub-evaluation of a range query: one frontend
+// time split, or the whole range when no frontend is attached.
 func (c *Context) AddSplit() {
 	if c != nil {
 		c.splits.Add(1)
+	}
+}
+
+// AddResultCacheHit counts one frontend results-cache hit serving a
+// split of this query, carrying approximately bytes of result data.
+func (c *Context) AddResultCacheHit(bytes int64) {
+	if c != nil {
+		c.resultCacheHits.Add(1)
+		c.resultCacheHitBytes.Add(bytes)
+	}
+}
+
+// AddResultCacheMiss counts one frontend results-cache miss.
+func (c *Context) AddResultCacheMiss() {
+	if c != nil {
+		c.resultCacheMisses.Add(1)
 	}
 }
 
@@ -263,12 +288,21 @@ type StoreStats struct {
 	CacheMisses        int64 `json:"cacheMisses"`
 }
 
+// FrontendStats is the query-frontend section of the statistics block:
+// results-cache effectiveness for this query's splits.
+type FrontendStats struct {
+	ResultCacheHits     int64 `json:"resultCacheHits"`
+	ResultCacheMisses   int64 `json:"resultCacheMisses"`
+	ResultCacheHitBytes int64 `json:"resultCacheHitBytes"`
+}
+
 // Snapshot is the wire form of a query's statistics: the `statistics`
 // object attached to query API responses, the slowlog record and the
 // /debug/queries running view.
 type Snapshot struct {
-	Summary SummaryStats `json:"summary"`
-	Store   StoreStats   `json:"store"`
+	Summary  SummaryStats  `json:"summary"`
+	Store    StoreStats    `json:"store"`
+	Frontend FrontendStats `json:"frontend"`
 }
 
 // Snapshot captures the current totals. On a live query the clock is
@@ -312,6 +346,11 @@ func (c *Context) Snapshot() Snapshot {
 		DecompressedBytes:  c.decompressedBytes.Load(),
 		CacheHits:          c.cacheHits.Load(),
 		CacheMisses:        c.cacheMisses.Load(),
+	}
+	s.Frontend = FrontendStats{
+		ResultCacheHits:     c.resultCacheHits.Load(),
+		ResultCacheMisses:   c.resultCacheMisses.Load(),
+		ResultCacheHitBytes: c.resultCacheHitBytes.Load(),
 	}
 	return s
 }

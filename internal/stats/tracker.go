@@ -250,6 +250,8 @@ func limitReason(err error) string {
 		return "timeout"
 	case errors.Is(err, ErrKilled):
 		return "killed"
+	case errors.Is(err, ErrQueueFull):
+		return "queue"
 	}
 	return ""
 }

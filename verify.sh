@@ -26,6 +26,13 @@ go test -race -run 'TestMetaAlert' -count=1 ./internal/core/
 # detector — the durability paths must be order-independent.
 go test -race -run 'TestCrashRecovery|TestWALDegraded' -count=3 -shuffle=on ./internal/omni/ ./internal/core/
 
+# Frontend golden-equality + concurrent-refresh soak: split/cached range
+# results must be bit-identical to the monolithic evaluation, including
+# under concurrent refresh with an eviction-squeezed cache, with the race
+# detector watching the cache and admission paths.
+go test -race -run 'TestFrontendGolden|TestFrontendConcurrentRefreshSoak' -count=1 \
+  ./internal/frontend/ ./internal/logql/ ./internal/promql/
+
 # Metrics-docs lint: every shastamon_* family a live pipeline registers
 # (and every built-in meta-rule) must have a row in the README tables.
 go test -run 'TestMetricsDocumented' -count=1 ./internal/core/
