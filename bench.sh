@@ -100,7 +100,10 @@ echo "wrote $OUT"
 
 # Detection latency (emit -> first delivery) p50/p95/max for the leak and
 # switch-offline scenarios, measured on the simulated clock by the
-# pipeline's own SLO tracker (internal/experiments.LatencyJSON).
+# pipeline's own SLO tracker (internal/experiments.LatencyJSON). The
+# artifact also embeds the early-warning race under "early_warning":
+# per-cabinet drift-onset -> delivery seconds for the predictive roc
+# rule vs the paper's static leak rule, with the p50 lead.
 LATOUT=BENCH_latency.json
 go run ./cmd/experiments -run latency_json -out "$LATOUT" > /dev/null
 echo "wrote $LATOUT"

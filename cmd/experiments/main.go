@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: fig2..fig9, c1..c4, c7, latency, latency_json, or all")
+	run := flag.String("run", "all", "experiment to run: fig2..fig9, c1..c4, c7, latency, latency_json, earlywarn, earlywarn_json, or all")
 	seconds := flag.Float64("seconds", 1.0, "duration of the timed throughput experiments")
 	out := flag.String("out", "", "also write output to this file")
 	flag.Parse()

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"shastamon/internal/anomaly"
+)
+
+// queryHeatmap fetches the node × time error-density grid from a running
+// omnid and renders it as terminal shading — the CLI counterpart of the
+// Grafana heatmap panel.
+func queryHeatmap(base string, since, step time.Duration) error {
+	q := url.Values{}
+	q.Set("since", since.String())
+	q.Set("step", step.String())
+	client := &http.Client{Timeout: 30 * time.Second}
+	var hm anomaly.Heatmap
+	if err := getJSON(client, base+"/api/v1/heatmap?"+q.Encode(), &hm); err != nil {
+		return err
+	}
+	fmt.Print(anomaly.RenderHeatmap(hm))
+	return nil
+}

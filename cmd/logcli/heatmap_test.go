@@ -1,0 +1,37 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"shastamon/internal/anomaly"
+)
+
+func TestQueryHeatmapAgainstOmnidAPI(t *testing.T) {
+	start := time.Date(2022, 3, 3, 1, 40, 0, 0, time.UTC)
+	hm := anomaly.BuildHeatmap("test", start, start.Add(10*time.Minute), 2*time.Minute, []anomaly.Cell{
+		{Node: "x1203c1s0b0n0", Time: start.Add(4 * time.Minute), Value: 7},
+		{Node: "x1002c1s0b0n1", Time: start, Value: 2},
+	})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/heatmap" {
+			http.NotFound(w, r)
+			return
+		}
+		if got := r.URL.Query().Get("since"); got != "30m0s" {
+			t.Errorf("since = %q", got)
+		}
+		_ = json.NewEncoder(w).Encode(hm)
+	}))
+	defer srv.Close()
+
+	if err := queryHeatmap(srv.URL, 30*time.Minute, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := queryHeatmap("http://127.0.0.1:0", time.Minute, time.Minute); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}

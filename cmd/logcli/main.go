@@ -10,6 +10,7 @@
 //	logcli -q '{data_type="syslog"}' -stats -output jsonl  # raw statistics JSON
 //	logcli -self -addr http://127.0.0.1:8080            # pipeline self-metrics
 //	logcli -self -addr http://127.0.0.1:8080 -q breaker_state
+//	logcli -heatmap -addr http://127.0.0.1:8080 -since 30m -step 2m
 //
 // The demo store is preloaded with the paper's two case-study events so
 // the figures' queries work out of the box.
@@ -90,12 +91,23 @@ func main() {
 	since := flag.Duration("since", 24*time.Hour, "log query lookback from -at")
 	addr := flag.String("addr", "", "query a remote Loki API (e.g. omnid) instead of the local demo store")
 	self := flag.Bool("self", false, "query the pipeline's shastamon_* self-metrics over -addr's PromQL API; -q may be a bare family name (shastamon_ prefix optional) or empty for the default set")
+	heatmap := flag.Bool("heatmap", false, "render -addr's node × time error heatmap (GET /api/v1/heatmap) over -since at -step")
+	step := flag.Duration("step", 2*time.Minute, "heatmap bucket width")
 	showStats := flag.Bool("stats", false, "print query statistics (bytes/lines scanned, cache hits, timings) after the result")
 	output := flag.String("output", "", `statistics output format: "" (human table, stderr) or "jsonl" (raw statistics JSON, stdout)`)
 	noCache := flag.Bool("no-cache", false, "bypass the query frontend's results cache (A/B latency measurement)")
 	flag.Parse()
 	if *output != "" && *output != "jsonl" {
 		fatal(fmt.Errorf("bad -output %q (want \"\" or \"jsonl\")", *output))
+	}
+	if *heatmap {
+		if *addr == "" {
+			fatal(fmt.Errorf("-heatmap needs -addr (the omnid status listener)"))
+		}
+		if err := queryHeatmap(*addr, *since, *step); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *self {
 		if *addr == "" {

@@ -15,6 +15,9 @@
 //	GET /servicenow/incidents
 //	GET /query/logs?q=...    LogQL log query over the last hour
 //	GET /query/metrics?q=... PromQL instant query
+//	GET /api/v1/heatmap      node × time error-density grid (JSON); params
+//	                         since=30m step=2m, format=render for the
+//	                         terminal shading
 //	GET /debug/dlq           quarantined (dead-letter) records, logcli style
 //	POST /debug/dlq/replay?topic=...  replay a topic's DLQ onto the source topic
 //
@@ -50,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"shastamon/internal/anomaly"
 	"shastamon/internal/core"
 	"shastamon/internal/experiments"
 	"shastamon/internal/frontend"
@@ -212,6 +216,40 @@ func main() {
 			return
 		}
 		writeJSON(w, streams)
+	})
+	// Node × time error heatmap, computed through the query frontend. The
+	// same grid Grafana's heatmap panel would draw, served as JSON (or as
+	// terminal shading with format=render) so logcli and curl get it too.
+	mux.HandleFunc("/api/v1/heatmap", func(w http.ResponseWriter, r *http.Request) {
+		since, step := 30*time.Minute, 2*time.Minute
+		if s := r.URL.Query().Get("since"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d <= 0 {
+				http.Error(w, "since: want a positive duration like 30m", http.StatusBadRequest)
+				return
+			}
+			since = d
+		}
+		if s := r.URL.Query().Get("step"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d <= 0 {
+				http.Error(w, "step: want a positive duration like 2m", http.StatusBadRequest)
+				return
+			}
+			step = d
+		}
+		end := time.Now()
+		hm, err := p.ErrorHeatmap(r.Context(), end.Add(-since), end, step)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Query().Get("format") == "render" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, anomaly.RenderHeatmap(hm))
+			return
+		}
+		writeJSON(w, hm)
 	})
 	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, r *http.Request) {
 		now := time.Now()

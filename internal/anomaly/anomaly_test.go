@@ -1,0 +1,261 @@
+package anomaly
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2022, 3, 3, 1, 0, 0, 0, time.UTC)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	if err := (Config{Method: "magic"}).Validate(); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if err := (Config{Sensitivity: -1}).Validate(); err == nil {
+		t.Fatal("negative sensitivity accepted")
+	}
+	if _, err := NewDetector(Config{Method: "nope"}); err == nil {
+		t.Fatal("NewDetector accepted bad config")
+	}
+}
+
+func TestZScoreLevelShift(t *testing.T) {
+	d, err := NewDetector(Config{Method: MethodZScore, Sensitivity: 4, HalfLife: time.Minute, MinSamples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	ts := t0
+	for i := 0; i < 120; i++ {
+		sc := d.Observe(1, ts, 42+rng.Float64()*0.8-0.4)
+		if sc.Anomalous {
+			t.Fatalf("steady noise flagged anomalous at sample %d (score %.2f)", i, sc.Score)
+		}
+		ts = ts.Add(5 * time.Second)
+	}
+	sc := d.Observe(1, ts, 70)
+	if !sc.Anomalous || sc.Score < 4 {
+		t.Fatalf("level shift not flagged: %+v", sc)
+	}
+}
+
+func TestRateOfChangeCatchesRamp(t *testing.T) {
+	// A slow ramp never strays far from the recent EWMA level, but its
+	// slope is wildly off its slope history — roc fires, and fires on the
+	// very first anomalous-slope sample.
+	d, err := NewDetector(Config{Method: MethodRateOfChange, Sensitivity: 6, HalfLife: 2 * time.Minute, MinSamples: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	ts := t0
+	v := 42.0
+	for i := 0; i < 100; i++ {
+		v = 42 + rng.Float64()*0.8 - 0.4
+		if sc := d.Observe(9, ts, v); sc.Anomalous {
+			t.Fatalf("random walk flagged at %d (score %.2f)", i, sc.Score)
+		}
+		ts = ts.Add(5 * time.Second)
+	}
+	fired := -1
+	for i := 0; i < 20; i++ {
+		v += 1.2 // +1.2 per 5s: far below any static threshold for many minutes
+		if sc := d.Observe(9, ts, v); sc.Anomalous {
+			fired = i
+			break
+		}
+		ts = ts.Add(5 * time.Second)
+	}
+	if fired < 0 {
+		t.Fatal("ramp never flagged")
+	}
+	if fired > 8 {
+		t.Fatalf("ramp flagged only after %d samples; want early", fired)
+	}
+	if v > 60 {
+		t.Fatalf("value already at %.1f when flagged; static thresholds would have beaten us", v)
+	}
+}
+
+func TestSeasonalBaseline(t *testing.T) {
+	// A clean daily-shape signal: bucket-phase sine. After two full
+	// seasons, a value normal for *some* phase but wrong for *this* phase
+	// must flag.
+	cfg := Config{Method: MethodSeasonal, Sensitivity: 3, Season: time.Hour, Buckets: 12, MinSamples: 10}
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := t0
+	for i := 0; i < 36; i++ { // three seasons at 5m cadence
+		phase := (ts.Unix() / 300) % 12
+		v := 50 + 30*float64(phase%6) // repeating staircase
+		if sc := d.Observe(4, ts, v); sc.Anomalous {
+			t.Fatalf("repeating shape flagged at %d: %+v", i, sc)
+		}
+		ts = ts.Add(5 * time.Minute)
+	}
+	phase := (ts.Unix() / 300) % 12
+	normalElsewhere := 50 + 30*float64((phase+3)%6)
+	sc := d.Observe(4, ts, normalElsewhere)
+	if !sc.Anomalous {
+		t.Fatalf("out-of-phase value %f not flagged: %+v", normalElsewhere, sc)
+	}
+}
+
+func TestObserveIdempotentOnRepeatedTimestamp(t *testing.T) {
+	d, _ := NewDetector(Config{Method: MethodZScore, MinSamples: 3})
+	ts := t0
+	for i := 0; i < 20; i++ {
+		d.Observe(1, ts, float64(40+i%3))
+		ts = ts.Add(time.Second)
+	}
+	once := d.Observe(1, ts, 41)
+	again := d.Observe(1, ts, 41) // same timestamp: must not move the baseline
+	if once != again {
+		t.Fatalf("re-eval changed verdict: %+v vs %+v", once, again)
+	}
+}
+
+func TestDetectorMaxSeriesBound(t *testing.T) {
+	d, _ := NewDetector(Config{MaxSeries: 8, MinSamples: 1})
+	for fp := uint64(0); fp < 20; fp++ {
+		sc := d.Observe(fp, t0, 1)
+		if fp >= 8 && (sc.Warm || sc.Anomalous) {
+			t.Fatalf("dropped series %d produced a warm score", fp)
+		}
+	}
+	st := d.Stats()
+	if st.Series != 8 || st.Dropped != 12 || !st.Saturated {
+		t.Fatalf("stats = %+v, want 8 series / 12 dropped / saturated", st)
+	}
+}
+
+func TestMinerClustersSyslogShapes(t *testing.T) {
+	m := NewMiner(MinerConfig{})
+	ids := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		id, novel := m.Learn(fmt.Sprintf("kernel: nvme nvme%d: I/O error dev %d sector %d", i%4, i%4, 1000+i))
+		if i == 0 && !novel {
+			t.Fatal("first line of a shape not novel")
+		}
+		if i > 0 && novel {
+			t.Fatalf("line %d minted a second template for the same shape", i)
+		}
+		ids[id] = true
+	}
+	if len(ids) != 1 {
+		t.Fatalf("one log shape mined %d templates", len(ids))
+	}
+	m.Learn("sshd: Accepted publickey for root from 10.0.0.1")
+	tmpls := m.Templates()
+	if len(tmpls) != 2 {
+		t.Fatalf("got %d templates, want 2: %+v", len(tmpls), tmpls)
+	}
+	if tmpls[0].Count != 50 {
+		t.Fatalf("templates not sorted by count: %+v", tmpls)
+	}
+	if !strings.Contains(tmpls[0].Pattern, wildcard) {
+		t.Fatalf("variable positions not wildcarded: %q", tmpls[0].Pattern)
+	}
+}
+
+func TestMinerBoundedClusters(t *testing.T) {
+	m := NewMiner(MinerConfig{MaxClusters: 16, MaxChildren: 4})
+	for i := 0; i < 5000; i++ {
+		// Adversarial: every line is a distinct shape (unique first token,
+		// varying length) so nothing clusters naturally.
+		line := strings.Repeat(fmt.Sprintf("shape%dtok ", i), 1+i%7)
+		m.Learn(line)
+	}
+	st := m.Stats()
+	if st.Templates > 16 {
+		t.Fatalf("cluster bound breached: %d templates", st.Templates)
+	}
+	if !st.Saturated {
+		t.Fatal("miner not reporting saturation")
+	}
+	var total uint64
+	for _, tm := range m.Templates() {
+		total += tm.Count
+	}
+	if total != 5000 {
+		t.Fatalf("lines lost: counted %d of 5000", total)
+	}
+}
+
+func TestMinerDeterministic(t *testing.T) {
+	lines := make([]string, 0, 400)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		lines = append(lines, fmt.Sprintf("app%d[%d]: event %d at node nid%06d flags=%x",
+			rng.Intn(5), rng.Intn(9999), rng.Intn(50), rng.Intn(1500), rng.Intn(256)))
+	}
+	run := func() string {
+		m := NewMiner(MinerConfig{})
+		var b strings.Builder
+		for _, l := range lines {
+			id, novel := m.Learn(l)
+			fmt.Fprintf(&b, "%d:%v;", id, novel)
+		}
+		for _, tm := range m.Templates() {
+			fmt.Fprintf(&b, "%d=%q#%d;", tm.ID, tm.Pattern, tm.Count)
+		}
+		return b.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("same input produced different template timelines")
+	}
+}
+
+func TestTemplateLabel(t *testing.T) {
+	if got := TemplateLabel(7); got != "t007" {
+		t.Fatalf("TemplateLabel(7) = %q", got)
+	}
+	if got := TemplateLabel(1234); got != "t1234" {
+		t.Fatalf("TemplateLabel(1234) = %q", got)
+	}
+}
+
+func TestBuildAndRenderHeatmap(t *testing.T) {
+	start := t0
+	end := t0.Add(30 * time.Minute)
+	cells := []Cell{
+		{Node: "nid001234", Time: t0.Add(2 * time.Minute), Value: 3},
+		{Node: "nid001234", Time: t0.Add(17 * time.Minute), Value: 9},
+		{Node: "x1203c1b0", Time: t0.Add(2 * time.Minute), Value: 1},
+		{Node: "x1203c1b0", Time: t0.Add(59 * time.Minute), Value: 2}, // clamps into last bucket
+	}
+	h := BuildHeatmap(`q`, start, end, 5*time.Minute, cells)
+	if len(h.Times) != 6 {
+		t.Fatalf("got %d buckets, want 6", len(h.Times))
+	}
+	if len(h.Nodes) != 2 || h.Nodes[0] != "nid001234" {
+		t.Fatalf("rows not sorted by total: %v", h.Nodes)
+	}
+	if h.Max != 9 {
+		t.Fatalf("max = %f", h.Max)
+	}
+	if h.Values[0][0] != 3 || h.Values[0][3] != 9 {
+		t.Fatalf("cells misplaced: %v", h.Values[0])
+	}
+	if h.Values[1][5] != 2 {
+		t.Fatalf("out-of-range cell not clamped: %v", h.Values[1])
+	}
+	out := RenderHeatmap(h)
+	for _, want := range []string{"nid001234", "x1203c1b0", "scale:", "@"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	empty := RenderHeatmap(BuildHeatmap(`q`, start, end, time.Minute, nil))
+	if !strings.Contains(empty, "no matching errors") {
+		t.Fatalf("empty render: %q", empty)
+	}
+}

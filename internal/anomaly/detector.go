@@ -1,0 +1,386 @@
+// Package anomaly is the predictive half of the alerting pipeline: the
+// paper's rules are reactive thresholds that fire after a leak or switch
+// failure has happened, while the detectors here watch warehouse series
+// for the *trend* — SERVIMON-style predictive maintenance (arXiv:2510.27146)
+// on the same rule → Alertmanager → Slack path. Three streaming methods
+// are provided, all O(1) state per series and driven purely by the
+// sample timestamps so simulated-clock experiments stay deterministic:
+//
+//   - zscore: an exponentially-weighted mean/variance baseline; a sample
+//     deviating Sensitivity standard deviations from its own history is
+//     anomalous. Catches level shifts.
+//   - roc: the same machinery over the per-second rate of change, so a
+//     series *trending* away from its baseline fires long before any
+//     static threshold on the value would. Catches ramps.
+//   - seasonal: per-phase baselines over a repeating cycle (hourly or
+//     daily load shapes); a sample is judged against the history of its
+//     own phase bucket, not the global mean. Catches "normal for 3am,
+//     anomalous for 3pm".
+//
+// The package also houses the Drain-style log-template miner (drain.go)
+// and the node × time heatmap grid (heatmap.go).
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Method selects a detector algorithm.
+type Method string
+
+const (
+	// MethodZScore scores each sample against an EWMA mean/variance of
+	// the series' own history.
+	MethodZScore Method = "zscore"
+	// MethodRateOfChange scores the per-second first difference against
+	// its EWMA baseline: ramps fire, stable offsets do not.
+	MethodRateOfChange Method = "roc"
+	// MethodSeasonal scores each sample against the baseline of its
+	// phase bucket within a repeating season.
+	MethodSeasonal Method = "seasonal"
+)
+
+// Config tunes a Detector. The zero value of every field takes the
+// documented default, so `anomaly.Config{Method: anomaly.MethodZScore}`
+// is a complete configuration.
+type Config struct {
+	// Method selects the algorithm (default MethodZScore).
+	Method Method
+	// Sensitivity is the |score| — in EWMA standard deviations — at and
+	// above which a warm sample is anomalous (default 3).
+	Sensitivity float64
+	// HalfLife is the baseline memory: an observation loses half its
+	// weight in the EWMA this long after it was made (default 5m).
+	HalfLife time.Duration
+	// Season is the cycle length of MethodSeasonal (default 1h).
+	Season time.Duration
+	// Buckets is how many phase buckets the season is divided into
+	// (default 12).
+	Buckets int
+	// MinSamples is the warm-up: a series is never judged anomalous
+	// before it has contributed this many samples (default 10).
+	MinSamples int
+	// MaxSeries bounds detector memory: samples for new series beyond
+	// this many are dropped unscored and counted (default 4096).
+	MaxSeries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Method == "" {
+		c.Method = MethodZScore
+	}
+	if c.Sensitivity <= 0 {
+		c.Sensitivity = 3
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = 5 * time.Minute
+	}
+	if c.Season <= 0 {
+		c.Season = time.Hour
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 12
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.MaxSeries <= 0 {
+		c.MaxSeries = 4096
+	}
+	return c
+}
+
+// Validate rejects unknown methods and nonsensical bounds before a rule
+// compiles, so a typo in a rule file fails at load, not at eval.
+func (c Config) Validate() error {
+	switch c.Method {
+	case "", MethodZScore, MethodRateOfChange, MethodSeasonal:
+	default:
+		return fmt.Errorf("anomaly: unknown method %q (want zscore, roc or seasonal)", c.Method)
+	}
+	if c.Sensitivity < 0 {
+		return fmt.Errorf("anomaly: negative sensitivity %g", c.Sensitivity)
+	}
+	if c.HalfLife < 0 || c.Season < 0 {
+		return fmt.Errorf("anomaly: negative duration (half_life %s, season %s)", c.HalfLife, c.Season)
+	}
+	if c.Buckets < 0 || c.MinSamples < 0 || c.MaxSeries < 0 {
+		return fmt.Errorf("anomaly: negative bound (buckets %d, min_samples %d, max_series %d)",
+			c.Buckets, c.MinSamples, c.MaxSeries)
+	}
+	return nil
+}
+
+// Score is one sample's verdict.
+type Score struct {
+	// Value is the observed sample.
+	Value float64
+	// Baseline is what the detector expected instead.
+	Baseline float64
+	// Score is the signed deviation in EWMA standard deviations.
+	Score float64
+	// Warm reports whether the series has enough history to be judged.
+	Warm bool
+	// Anomalous is Warm && |Score| >= Sensitivity.
+	Anomalous bool
+}
+
+// ewma is an exponentially-weighted mean/variance pair. decay is applied
+// per update with a weight derived from the inter-sample gap, so the
+// half-life holds regardless of the sample cadence.
+type ewma struct {
+	mean, variance float64
+	n              int
+}
+
+func (e *ewma) update(v, alpha float64) {
+	if e.n == 0 {
+		e.mean = v
+		e.n = 1
+		return
+	}
+	diff := v - e.mean
+	incr := alpha * diff
+	e.mean += incr
+	e.variance = (1 - alpha) * (e.variance + diff*incr)
+	e.n++
+}
+
+// score returns the signed deviation of v from the baseline in standard
+// deviations. The sigma floor keeps a near-constant series from turning
+// rounding noise into infinite scores while still letting a genuinely
+// flat series flag any real movement.
+func (e *ewma) score(v float64) float64 {
+	sigma := math.Sqrt(e.variance)
+	if floor := 1e-9 + 1e-3*math.Abs(e.mean); sigma < floor {
+		sigma = floor
+	}
+	return (v - e.mean) / sigma
+}
+
+type seriesState struct {
+	lastT     int64 // unix nanoseconds of the newest accepted sample
+	lastV     float64
+	lastScore Score // verdict of the newest accepted sample, for re-eval
+	total     int   // samples accepted, for warm-up
+	base      ewma
+	// roc only: fast EWMA of the per-second rate — the smoothed trend
+	// that base then baselines.
+	trend ewma
+	// seasonal only: one baseline per phase bucket.
+	buckets []ewma
+}
+
+// Detector scores streaming samples, keyed by series fingerprint. All
+// methods are safe for concurrent use.
+type Detector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	series  map[uint64]*seriesState
+	dropped uint64
+}
+
+// NewDetector validates cfg and returns a detector with empty state.
+func NewDetector(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg.withDefaults(), series: map[uint64]*seriesState{}}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// outlierDamp shrinks the learning rate for samples already judged
+// anomalous. Without it a detector absorbs the anomaly it just flagged:
+// one big deviation inflates the EWMA variance enough that the very next
+// sample of the same ramp scores "normal", and a rule's For-hold never
+// completes. Damped (not zero) updates still let the baseline converge
+// if the new regime is permanent — it just takes ~10x longer.
+const outlierDamp = 0.1
+
+// alpha converts the gap between two samples into an EWMA weight such
+// that weight decays by half every HalfLife.
+func (d *Detector) alpha(dt time.Duration) float64 {
+	return alphaFor(dt, d.cfg.HalfLife)
+}
+
+func alphaFor(dt, halfLife time.Duration) float64 {
+	return 1 - math.Exp2(-dt.Seconds()/halfLife.Seconds())
+}
+
+// Observe scores one sample of the series identified by fp at time t and
+// folds it into the baseline. Samples at or before the series' newest
+// timestamp are scored against the current baseline but do not update it,
+// so re-evaluating a tick is idempotent. New series beyond MaxSeries are
+// dropped unscored (never anomalous) and counted in Stats().Dropped.
+func (d *Detector) Observe(fp uint64, t time.Time, v float64) Score {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.series[fp]
+	if !ok {
+		if len(d.series) >= d.cfg.MaxSeries {
+			d.dropped++
+			return Score{Value: v, Baseline: v}
+		}
+		st = &seriesState{}
+		if d.cfg.Method == MethodSeasonal {
+			st.buckets = make([]ewma, d.cfg.Buckets)
+		}
+		d.series[fp] = st
+	}
+	if st.total > 0 && t.UnixNano() == st.lastT && v == st.lastV {
+		// Exact re-evaluation of the newest sample (a re-run tick):
+		// return the recorded verdict so timelines are reproducible.
+		return st.lastScore
+	}
+	var sc Score
+	switch d.cfg.Method {
+	case MethodRateOfChange:
+		sc = d.observeRate(st, t, v)
+	case MethodSeasonal:
+		sc = d.observeSeasonal(st, t, v)
+	default:
+		sc = d.observeValue(st, t, v)
+	}
+	if t.UnixNano() == st.lastT && v == st.lastV {
+		st.lastScore = sc
+	}
+	return sc
+}
+
+func (d *Detector) observeValue(st *seriesState, t time.Time, v float64) Score {
+	ts := t.UnixNano()
+	if st.total == 0 {
+		st.base.update(v, 0)
+		st.lastT, st.lastV, st.total = ts, v, 1
+		return Score{Value: v, Baseline: v}
+	}
+	sc := d.verdict(st, v, st.base.score(v), st.base.mean)
+	if ts > st.lastT {
+		a := d.alpha(time.Duration(ts - st.lastT))
+		if sc.Anomalous {
+			a *= outlierDamp
+		}
+		st.base.update(v, a)
+		st.lastT, st.lastV = ts, v
+		st.total++
+	}
+	return sc
+}
+
+func (d *Detector) observeRate(st *seriesState, t time.Time, v float64) Score {
+	ts := t.UnixNano()
+	if st.total == 0 {
+		st.lastT, st.lastV, st.total = ts, v, 1
+		return Score{Value: v, Baseline: v}
+	}
+	if ts <= st.lastT {
+		// No forward gap, no rate: neutral verdict rather than a zero-dt
+		// division.
+		return Score{Value: v, Baseline: st.lastV, Warm: st.total >= d.cfg.MinSamples}
+	}
+	dt := time.Duration(ts - st.lastT)
+	rate := (v - st.lastV) / dt.Seconds()
+	// Smooth the instantaneous slope with a fast EWMA (HalfLife/8): one
+	// noisy step barely moves it, a sustained ramp pulls it to the true
+	// slope within a few samples. The slow baseline then tracks the
+	// smoothed trend's normal mean/variance, so a ramp scores against
+	// trend noise (small) instead of step noise (large) — that is what
+	// lets a drift far below any static threshold reach high sigmas
+	// within seconds.
+	st.trend.update(rate, alphaFor(dt, d.cfg.HalfLife/8))
+	var sc Score
+	if st.base.n == 0 {
+		st.base.update(st.trend.mean, 0)
+		sc = Score{Value: v, Baseline: st.lastV}
+	} else {
+		sc = d.verdict(st, v, st.base.score(st.trend.mean), st.lastV+st.base.mean*dt.Seconds())
+		a := d.alpha(dt)
+		if sc.Anomalous {
+			a *= outlierDamp
+		}
+		st.base.update(st.trend.mean, a)
+	}
+	st.lastT, st.lastV = ts, v
+	st.total++
+	return sc
+}
+
+func (d *Detector) observeSeasonal(st *seriesState, t time.Time, v float64) Score {
+	ts := t.UnixNano()
+	width := d.cfg.Season.Nanoseconds() / int64(d.cfg.Buckets)
+	if width <= 0 {
+		width = 1
+	}
+	idx := int((ts / width) % int64(d.cfg.Buckets))
+	if idx < 0 {
+		idx += d.cfg.Buckets
+	}
+	b := &st.buckets[idx]
+	if b.n == 0 {
+		b.update(v, 0)
+		if ts > st.lastT || st.total == 0 {
+			st.lastT, st.lastV = ts, v
+			st.total++
+		}
+		return Score{Value: v, Baseline: v}
+	}
+	sc := d.verdict(st, v, b.score(v), b.mean)
+	// A bucket must have been visited at least twice before its variance
+	// means anything; the global warm-up still applies on top.
+	sc.Warm = sc.Warm && b.n >= 2
+	sc.Anomalous = sc.Anomalous && sc.Warm
+	if ts > st.lastT {
+		// Seasonal buckets are revisited once per cycle, so time-decayed
+		// weights would forget a whole season in a few visits; a fixed
+		// learning rate keeps roughly the last five cycles in play.
+		a := 0.2
+		if sc.Anomalous {
+			a *= outlierDamp
+		}
+		b.update(v, a)
+		st.lastT, st.lastV = ts, v
+		st.total++
+	}
+	return sc
+}
+
+func (d *Detector) verdict(st *seriesState, v, score, baseline float64) Score {
+	warm := st.total >= d.cfg.MinSamples
+	return Score{
+		Value:     v,
+		Baseline:  baseline,
+		Score:     score,
+		Warm:      warm,
+		Anomalous: warm && math.Abs(score) >= d.cfg.Sensitivity,
+	}
+}
+
+// DetectorStats is a point-in-time snapshot for the self-metrics.
+type DetectorStats struct {
+	// Series currently tracked.
+	Series int
+	// Dropped counts samples for new series refused at the MaxSeries
+	// bound.
+	Dropped uint64
+	// Saturated reports the bound is reached: new series are no longer
+	// scored and the ShastamonAnomalyDetectorSaturated meta-rule should
+	// fire.
+	Saturated bool
+}
+
+// Stats snapshots the detector's memory-bound accounting.
+func (d *Detector) Stats() DetectorStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DetectorStats{
+		Series:    len(d.series),
+		Dropped:   d.dropped,
+		Saturated: len(d.series) >= d.cfg.MaxSeries,
+	}
+}

@@ -1,0 +1,271 @@
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// wildcard is the token standing in for a variable position, both in the
+// parse-tree keys and in the mined templates.
+const wildcard = "<*>"
+
+// MinerConfig bounds the Drain-style template miner. Zero fields take
+// the documented default.
+type MinerConfig struct {
+	// Depth is how many leading tokens key the parse tree before
+	// similarity clustering takes over (default 4).
+	Depth int
+	// SimThreshold is the minimum fraction of token positions that must
+	// match (wildcards count as matches) for a line to join an existing
+	// cluster (default 0.5).
+	SimThreshold float64
+	// MaxChildren bounds the branching at each internal tree node; the
+	// overflow branch is the wildcard child (default 48).
+	MaxChildren int
+	// MaxClusters bounds total mined templates. At the bound new shapes
+	// force-merge into their nearest cluster, or fall into the catch-all
+	// template 0 (default 256).
+	MaxClusters int
+	// MaxTokens truncates lines before mining so one pathological line
+	// cannot blow up comparison cost (default 32).
+	MaxTokens int
+}
+
+func (c MinerConfig) withDefaults() MinerConfig {
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	if c.SimThreshold <= 0 || c.SimThreshold > 1 {
+		c.SimThreshold = 0.5
+	}
+	if c.MaxChildren <= 0 {
+		c.MaxChildren = 48
+	}
+	if c.MaxClusters <= 0 {
+		c.MaxClusters = 256
+	}
+	if c.MaxTokens <= 0 {
+		c.MaxTokens = 32
+	}
+	return c
+}
+
+// Template is one mined log template.
+type Template struct {
+	// ID is stable for the life of the miner; 0 is the catch-all bucket
+	// used once MaxClusters is reached.
+	ID int
+	// Pattern is the space-joined token template, variables as <*>.
+	Pattern string
+	// Count is how many lines matched.
+	Count uint64
+}
+
+// cluster is a leaf entry: a mutable token template plus its hit count.
+type cluster struct {
+	id     int
+	tokens []string
+	count  uint64
+}
+
+// treeNode is an internal parse-tree node keyed by a token prefix.
+type treeNode struct {
+	children map[string]*treeNode
+	clusters []*cluster // leaf level only
+}
+
+// Miner is a Drain-style streaming log-template miner (He et al., ICWS
+// 2017; applied to HPC syslog at scale by Park et al., arXiv:1708.06884):
+// a fixed-depth parse tree keyed by length and leading tokens routes each
+// line to a small leaf of candidate clusters, where a token-similarity
+// threshold decides between joining (wildcarding the differing positions)
+// and minting a new template. All bounds are hard: children per node,
+// clusters in total, tokens per line. Safe for concurrent use.
+type Miner struct {
+	cfg MinerConfig
+
+	mu       sync.Mutex
+	roots    map[int]*treeNode // keyed by token count
+	byID     map[int]*cluster
+	nextID   int
+	overflow uint64 // lines absorbed by catch-all template 0
+}
+
+// NewMiner returns an empty miner.
+func NewMiner(cfg MinerConfig) *Miner {
+	return &Miner{cfg: cfg.withDefaults(), roots: map[int]*treeNode{}, byID: map[int]*cluster{}, nextID: 1}
+}
+
+// hasDigit reports whether the token contains a decimal digit — the
+// classic Drain heuristic for "probably a variable" used when choosing
+// tree keys, so `pid=4321` and `pid=977` route to the same leaf.
+func hasDigit(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// Learn folds one log line into the tree and returns the template it
+// matched plus whether that template was newly minted by this line.
+func (m *Miner) Learn(line string) (id int, novel bool) {
+	tokens := strings.Fields(line)
+	if len(tokens) == 0 {
+		tokens = []string{"<empty>"}
+	}
+	if len(tokens) > m.cfg.MaxTokens {
+		tokens = tokens[:m.cfg.MaxTokens]
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Level 0: length bucket. Levels 1..Depth: leading tokens, digits
+	// wildcarded, branching bounded by MaxChildren.
+	node, ok := m.roots[len(tokens)]
+	if !ok {
+		node = &treeNode{}
+		m.roots[len(tokens)] = node
+	}
+	depth := m.cfg.Depth
+	if depth > len(tokens) {
+		depth = len(tokens)
+	}
+	for i := 0; i < depth; i++ {
+		key := tokens[i]
+		if hasDigit(key) {
+			key = wildcard
+		}
+		if node.children == nil {
+			node.children = map[string]*treeNode{}
+		}
+		child, ok := node.children[key]
+		if !ok {
+			if key != wildcard && len(node.children) >= m.cfg.MaxChildren {
+				key = wildcard
+				child = node.children[key]
+			}
+			if child == nil {
+				child = &treeNode{}
+				node.children[key] = child
+			}
+		}
+		node = child
+	}
+
+	// Leaf: pick the most similar cluster.
+	best, bestSim := (*cluster)(nil), -1.0
+	for _, c := range node.clusters {
+		if sim := similarity(c.tokens, tokens); sim > bestSim {
+			best, bestSim = c, sim
+		}
+	}
+	if best != nil && bestSim >= m.cfg.SimThreshold {
+		merge(best, tokens)
+		best.count++
+		return best.id, false
+	}
+	if len(m.byID) < m.cfg.MaxClusters {
+		c := &cluster{id: m.nextID, tokens: append([]string(nil), tokens...)}
+		m.nextID++
+		c.count = 1
+		node.clusters = append(node.clusters, c)
+		m.byID[c.id] = c
+		return c.id, true
+	}
+	// At the cluster bound: force-merge into the leaf's nearest cluster
+	// if it has one, otherwise count the line against catch-all 0.
+	if best != nil {
+		merge(best, tokens)
+		best.count++
+		return best.id, false
+	}
+	m.overflow++
+	return 0, false
+}
+
+// similarity is the fraction of positions where the template token
+// equals the line token or is already a wildcard. Lengths always match
+// at a leaf (level-0 routing) but is guarded anyway for safety.
+func similarity(tmpl, tokens []string) float64 {
+	n := len(tmpl)
+	if len(tokens) < n {
+		n = len(tokens)
+	}
+	if n == 0 {
+		return 0
+	}
+	same := 0
+	for i := 0; i < n; i++ {
+		if tmpl[i] == wildcard || tmpl[i] == tokens[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(n)
+}
+
+// merge wildcards every template position the new line disagrees on.
+func merge(c *cluster, tokens []string) {
+	n := len(c.tokens)
+	if len(tokens) < n {
+		n = len(tokens)
+	}
+	for i := 0; i < n; i++ {
+		if c.tokens[i] != wildcard && c.tokens[i] != tokens[i] {
+			c.tokens[i] = wildcard
+		}
+	}
+}
+
+// TemplateLabel formats a template ID as the stable label value used for
+// the per-template rate series ("t007"), so TSDB label values sort
+// lexically in ID order.
+func TemplateLabel(id int) string { return fmt.Sprintf("t%03d", id) }
+
+// Templates snapshots the mined templates sorted by descending count,
+// ties by ID. The catch-all bucket appears as ID 0 when it has absorbed
+// any lines.
+func (m *Miner) Templates() []Template {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Template, 0, len(m.byID)+1)
+	for _, c := range m.byID {
+		out = append(out, Template{ID: c.id, Pattern: strings.Join(c.tokens, " "), Count: c.count})
+	}
+	if m.overflow > 0 {
+		out = append(out, Template{ID: 0, Pattern: wildcard, Count: m.overflow})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// MinerStats is the memory-bound accounting for the self-metrics.
+type MinerStats struct {
+	// Templates currently mined (excluding the catch-all).
+	Templates int
+	// Overflow counts lines absorbed by the catch-all template 0.
+	Overflow uint64
+	// Saturated reports the MaxClusters bound is reached: new log shapes
+	// can no longer mint templates.
+	Saturated bool
+}
+
+// Stats snapshots the miner's bound accounting.
+func (m *Miner) Stats() MinerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MinerStats{
+		Templates: len(m.byID),
+		Overflow:  m.overflow,
+		Saturated: len(m.byID) >= m.cfg.MaxClusters,
+	}
+}

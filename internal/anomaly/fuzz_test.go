@@ -1,0 +1,53 @@
+package anomaly
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzMinerLearn feeds arbitrary bytes through the template miner and
+// asserts the two properties the ingest path depends on: Learn never
+// panics, and the hard bounds (cluster count, template token length)
+// hold no matter what the syslog stream contains.
+func FuzzMinerLearn(f *testing.F) {
+	seeds := []string{
+		"",
+		" ",
+		"kernel: nvme nvme0: I/O error dev 3 sector 123456",
+		"sshd[4321]: Accepted publickey for root from 10.0.0.1 port 22",
+		"fm_switch_offline switch=x1000c6r7 group=2",
+		"CabinetLeakDetected Context=x1203 Severity=Critical",
+		strings.Repeat("tok ", 100),
+		strings.Repeat("\t\n ", 50),
+		"\x00\xff\xfe binary garbage \x01",
+		"日本語 ログ 行 temperature=93.5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		m := NewMiner(MinerConfig{MaxClusters: 32, MaxChildren: 8, MaxTokens: 16})
+		// Feed the fuzz line alongside variants so clustering paths
+		// (join, wildcard-merge, force-merge, overflow) all execute.
+		for i := 0; i < 8; i++ {
+			id, _ := m.Learn(line)
+			if id < 0 {
+				t.Fatalf("negative template id %d", id)
+			}
+			line += " x9"
+		}
+		st := m.Stats()
+		if st.Templates > 32 {
+			t.Fatalf("cluster bound breached: %d", st.Templates)
+		}
+		for _, tm := range m.Templates() {
+			if n := len(strings.Fields(tm.Pattern)); n > 16 && tm.ID != 0 {
+				t.Fatalf("template %d has %d tokens, bound 16", tm.ID, n)
+			}
+			if !utf8.ValidString(tm.Pattern) && utf8.ValidString(line) {
+				t.Fatalf("valid input mined invalid-UTF8 template %q", tm.Pattern)
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Heatmap is a node × time-bucket density grid — the CloudHeatMap-style
+// view (node on the y axis, time on the x axis, error density as shade)
+// the paper's operators use to spot a cabinet going bad before any
+// single rule fires. It is JSON-shaped for the omnid endpoint and
+// rendered to a terminal by RenderHeatmap.
+type Heatmap struct {
+	// Query is the aggregation that produced the grid.
+	Query string `json:"query"`
+	// StepSeconds is the bucket width.
+	StepSeconds int64 `json:"step_seconds"`
+	// Times holds the bucket start times (unix seconds), ascending.
+	Times []int64 `json:"times"`
+	// Nodes holds the row keys sorted by descending row total, so the
+	// loudest node renders first.
+	Nodes []string `json:"nodes"`
+	// Values is [node][time] density; rows align with Nodes, columns
+	// with Times.
+	Values [][]float64 `json:"values"`
+	// Max is the largest cell, the top of the shade ramp.
+	Max float64 `json:"max"`
+}
+
+// Cell bundles one series point during grid assembly.
+type Cell struct {
+	Node  string
+	Time  time.Time
+	Value float64
+}
+
+// BuildHeatmap assembles a grid from per-(node, bucket) cells over
+// [start, end) at the given step. Buckets with no cell stay zero; cells
+// for unknown buckets are clamped to the nearest. Rows are sorted by
+// descending total so the noisiest nodes lead.
+func BuildHeatmap(query string, start, end time.Time, step time.Duration, cells []Cell) Heatmap {
+	if step <= 0 {
+		step = time.Minute
+	}
+	h := Heatmap{Query: query, StepSeconds: int64(step.Seconds())}
+	if h.StepSeconds <= 0 {
+		h.StepSeconds = 1
+	}
+	for t := start; t.Before(end); t = t.Add(step) {
+		h.Times = append(h.Times, t.Unix())
+	}
+	if len(h.Times) == 0 {
+		h.Times = []int64{start.Unix()}
+	}
+
+	rows := map[string][]float64{}
+	for _, c := range cells {
+		row, ok := rows[c.Node]
+		if !ok {
+			row = make([]float64, len(h.Times))
+			rows[c.Node] = row
+		}
+		idx := int((c.Time.Unix() - h.Times[0]) / h.StepSeconds)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(row) {
+			idx = len(row) - 1
+		}
+		row[idx] += c.Value
+		if row[idx] > h.Max {
+			h.Max = row[idx]
+		}
+	}
+
+	totals := map[string]float64{}
+	for node, row := range rows {
+		for _, v := range row {
+			totals[node] += v
+		}
+		h.Nodes = append(h.Nodes, node)
+	}
+	sort.Slice(h.Nodes, func(i, j int) bool {
+		if totals[h.Nodes[i]] != totals[h.Nodes[j]] {
+			return totals[h.Nodes[i]] > totals[h.Nodes[j]]
+		}
+		return h.Nodes[i] < h.Nodes[j]
+	})
+	for _, node := range h.Nodes {
+		h.Values = append(h.Values, rows[node])
+	}
+	return h
+}
+
+// shades is the density ramp, blank through solid.
+const shades = " .:-=+*#%@"
+
+// RenderHeatmap draws the grid as terminal text: one row per node, one
+// shade character per time bucket, with a time axis and a scale legend.
+func RenderHeatmap(h Heatmap) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "error heatmap — %s (step %s)\n", h.Query, time.Duration(h.StepSeconds)*time.Second)
+	if len(h.Nodes) == 0 {
+		b.WriteString("(no matching errors in range)\n")
+		return b.String()
+	}
+	wide := 0
+	for _, n := range h.Nodes {
+		if len(n) > wide {
+			wide = len(n)
+		}
+	}
+	for i, node := range h.Nodes {
+		fmt.Fprintf(&b, "%-*s |", wide, node)
+		for _, v := range h.Values[i] {
+			b.WriteByte(shade(v, h.Max))
+		}
+		total := 0.0
+		for _, v := range h.Values[i] {
+			total += v
+		}
+		fmt.Fprintf(&b, "| %.0f\n", total)
+	}
+	if len(h.Times) > 0 {
+		first := time.Unix(h.Times[0], 0).UTC()
+		last := time.Unix(h.Times[len(h.Times)-1], 0).UTC()
+		fmt.Fprintf(&b, "%-*s  %s%*s\n", wide, "", first.Format("15:04"),
+			len(h.Times), last.Format("15:04"))
+	}
+	fmt.Fprintf(&b, "scale: '%s' 0 → %.0f errors/bucket\n", shades, h.Max)
+	return b.String()
+}
+
+func shade(v, max float64) byte {
+	if v <= 0 || max <= 0 {
+		return shades[0]
+	}
+	idx := 1 + int(v/max*float64(len(shades)-2))
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	return shades[idx]
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"shastamon/internal/anomaly"
 	"shastamon/internal/ruler"
 	"shastamon/internal/vmalert"
 )
@@ -26,6 +27,54 @@ type RuleConfig struct {
 	For         string            `json:"for,omitempty"`
 	Labels      map[string]string `json:"labels,omitempty"`
 	Annotations map[string]string `json:"annotations,omitempty"`
+	// Anomaly turns the rule predictive (see README § Predictive
+	// alerting): expr selects series, the detector judges each sample
+	// against its own streaming baseline, and only anomalous samples
+	// reach the for-hold.
+	Anomaly *AnomalyConfig `json:"anomaly,omitempty"`
+}
+
+// AnomalyConfig is the JSON shape of an anomaly.Config. Every field is
+// optional except method; durations use Go syntax ("5m").
+type AnomalyConfig struct {
+	Method      string  `json:"method"`
+	Sensitivity float64 `json:"sensitivity,omitempty"`
+	HalfLife    string  `json:"half_life,omitempty"`
+	Season      string  `json:"season,omitempty"`
+	Buckets     int     `json:"buckets,omitempty"`
+	MinSamples  int     `json:"min_samples,omitempty"`
+	MaxSeries   int     `json:"max_series,omitempty"`
+}
+
+func (ac *AnomalyConfig) toConfig(rule string) (*anomaly.Config, error) {
+	if ac == nil {
+		return nil, nil
+	}
+	cfg := &anomaly.Config{
+		Method:      anomaly.Method(ac.Method),
+		Sensitivity: ac.Sensitivity,
+		Buckets:     ac.Buckets,
+		MinSamples:  ac.MinSamples,
+		MaxSeries:   ac.MaxSeries,
+	}
+	for _, f := range []struct {
+		name string
+		in   string
+		out  *time.Duration
+	}{{"half_life", ac.HalfLife, &cfg.HalfLife}, {"season", ac.Season, &cfg.Season}} {
+		if f.in == "" {
+			continue
+		}
+		d, err := time.ParseDuration(f.in)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %q: bad %s %q: %w", rule, f.name, f.in, err)
+		}
+		*f.out = d
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: rule %q: %w", rule, err)
+	}
+	return cfg, nil
 }
 
 // RuleFile is a JSON document holding both rule groups of the dual
@@ -56,9 +105,13 @@ func ParseRules(rf RuleFile) ([]ruler.Rule, []vmalert.Rule, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		ac, err := rc.Anomaly.toConfig(rc.Alert)
+		if err != nil {
+			return nil, nil, err
+		}
 		logRules = append(logRules, ruler.Rule{
 			Name: rc.Alert, Expr: rc.Expr, For: d,
-			Labels: rc.Labels, Annotations: rc.Annotations,
+			Labels: rc.Labels, Annotations: rc.Annotations, Anomaly: ac,
 		})
 	}
 	metricRules := make([]vmalert.Rule, 0, len(rf.MetricRules))
@@ -67,9 +120,13 @@ func ParseRules(rf RuleFile) ([]ruler.Rule, []vmalert.Rule, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		ac, err := rc.Anomaly.toConfig(rc.Alert)
+		if err != nil {
+			return nil, nil, err
+		}
 		metricRules = append(metricRules, vmalert.Rule{
 			Name: rc.Alert, Expr: rc.Expr, For: d,
-			Labels: rc.Labels, Annotations: rc.Annotations,
+			Labels: rc.Labels, Annotations: rc.Annotations, Anomaly: ac,
 		})
 	}
 	return logRules, metricRules, nil

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"shastamon/internal/anomaly"
 )
 
 const sampleRules = `{
@@ -18,7 +20,13 @@ const sampleRules = `{
     }
   ],
   "metric_rules": [
-    {"alert": "TargetDown", "expr": "up == 0"}
+    {"alert": "TargetDown", "expr": "up == 0"},
+    {
+      "alert": "HumidityTrend",
+      "expr": "cray_telemetry_humidity",
+      "for": "15s",
+      "anomaly": {"method": "roc", "sensitivity": 4.5, "half_life": "2m", "min_samples": 12}
+    }
   ]
 }`
 
@@ -31,15 +39,20 @@ func TestLoadRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(logRules) != 1 || len(metricRules) != 1 {
+	if len(logRules) != 1 || len(metricRules) != 2 {
 		t.Fatalf("%d %d", len(logRules), len(metricRules))
 	}
 	lr := logRules[0]
 	if lr.Name != "SwitchOffline" || lr.For != time.Minute || lr.Labels["severity"] != "critical" {
 		t.Fatalf("%+v", lr)
 	}
-	if metricRules[0].Name != "TargetDown" || metricRules[0].For != 0 {
+	if metricRules[0].Name != "TargetDown" || metricRules[0].For != 0 || metricRules[0].Anomaly != nil {
 		t.Fatalf("%+v", metricRules[0])
+	}
+	ac := metricRules[1].Anomaly
+	if ac == nil || ac.Method != anomaly.MethodRateOfChange || ac.Sensitivity != 4.5 ||
+		ac.HalfLife != 2*time.Minute || ac.MinSamples != 12 {
+		t.Fatalf("anomaly block: %+v", ac)
 	}
 	// The loaded rules build a working pipeline.
 	p, err := New(Options{Cluster: smallCluster(), LogRules: logRules, MetricRules: metricRules})
@@ -63,6 +76,16 @@ func TestLoadRulesErrors(t *testing.T) {
 	_ = os.WriteFile(badFor, []byte(`{"log_rules":[{"alert":"x","expr":"rate({a=\"b\"}[1m])","for":"tomorrow"}]}`), 0o600)
 	if _, _, err := LoadRules(badFor); err == nil {
 		t.Fatal("bad for accepted")
+	}
+	badMethod := filepath.Join(dir, "badmethod.json")
+	_ = os.WriteFile(badMethod, []byte(`{"metric_rules":[{"alert":"x","expr":"up","anomaly":{"method":"psychic"}}]}`), 0o600)
+	if _, _, err := LoadRules(badMethod); err == nil {
+		t.Fatal("unknown anomaly method accepted")
+	}
+	badHalfLife := filepath.Join(dir, "badhalflife.json")
+	_ = os.WriteFile(badHalfLife, []byte(`{"metric_rules":[{"alert":"x","expr":"up","anomaly":{"method":"roc","half_life":"soon"}}]}`), 0o600)
+	if _, _, err := LoadRules(badHalfLife); err == nil {
+		t.Fatal("bad half_life accepted")
 	}
 }
 

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"shastamon/internal/anomaly"
 	"shastamon/internal/grafana"
 	"shastamon/internal/obs"
 )
@@ -156,6 +158,43 @@ func (p *Pipeline) SinglePane() grafana.Dashboard {
 				Query:  `max(shastamon_query_frontend_queue_depth)`,
 				Source: grafana.SourceMetrics,
 			},
+			// Self: anomaly — the predictive layer watching itself: detector
+			// scores and detections, rule evaluation cost, the mined
+			// template inventory, and the node × time error heatmap.
+			{
+				Title:  "Self: anomaly — max |score| by rule (sigmas)",
+				Query:  `max(shastamon_anomaly_score) by (rule)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: anomaly — detections by rule (10m increase)",
+				Query:  `sum(increase(shastamon_anomaly_detections_total[10m])) by (rule)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: anomaly — rule evaluation seconds (10m increase)",
+				Query:  `sum(increase(shastamon_rule_eval_seconds_sum[10m])) by (rule)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:  "Self: anomaly — log templates active",
+				Query:  `max(shastamon_templates_active)`,
+				Source: grafana.SourceMetrics,
+			},
+			{
+				Title:       "Self: anomaly — busiest log templates",
+				Query:       "templates-top",
+				Source:      grafana.SourceSelfStat,
+				GrafanaType: "table",
+				GrafanaExpr: `topk(10, sum(increase(shastamon_templates_lines_total[1h])) by (template))`,
+			},
+			{
+				Title:       "Self: anomaly — node × time error heatmap (30m)",
+				Query:       "error-heatmap",
+				Source:      grafana.SourceSelfStat,
+				GrafanaType: "heatmap",
+				GrafanaExpr: `sum(count_over_time({data_type="syslog", severity=~"err|crit|alert|emerg"}[2m])) by (hostname)`,
+			},
 		},
 	}
 }
@@ -196,6 +235,27 @@ func (p *Pipeline) SelfStat(key string) (string, error) {
 		}
 		return fmt.Sprintf("%.1f%% hit (%d hit / %d miss, %d entries, %d bytes)",
 			100*float64(st.Hits)/float64(st.Hits+st.Misses), st.Hits, st.Misses, st.Entries, st.Bytes), nil
+	case "templates-top":
+		tmpls := p.Templates.Templates()
+		if len(tmpls) == 0 {
+			return "(no templates mined yet)", nil
+		}
+		if len(tmpls) > 10 {
+			tmpls = tmpls[:10]
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-6s %8s  template\n", "id", "lines")
+		for _, tm := range tmpls {
+			fmt.Fprintf(&b, "%-6s %8d  %s\n", anomaly.TemplateLabel(tm.ID), tm.Count, tm.Pattern)
+		}
+		return b.String(), nil
+	case "error-heatmap":
+		end := p.Now()
+		h, err := p.ErrorHeatmap(context.Background(), end.Add(-30*time.Minute), end, 2*time.Minute)
+		if err != nil {
+			return "", err
+		}
+		return anomaly.RenderHeatmap(h), nil
 	case "slowlog-top":
 		entries := p.Warehouse.Tracker.SlowLog()
 		if len(entries) == 0 {

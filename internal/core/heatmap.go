@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"shastamon/internal/anomaly"
+)
+
+// ErrorHeatmap computes the node × time-bucket error-density grid over
+// [start, end) at the given step: for every hostname, how many
+// error-or-worse syslog lines it logged per bucket. The aggregation runs
+// as one LogQL range query through the query frontend, so it is
+// time-split, shard-fanned and results-cached like any dashboard query —
+// the heatmap endpoint costs the same as a refresh, not a table scan.
+func (p *Pipeline) ErrorHeatmap(ctx context.Context, start, end time.Time, step time.Duration) (anomaly.Heatmap, error) {
+	if step <= 0 {
+		step = time.Minute
+	}
+	q := fmt.Sprintf(
+		`sum(count_over_time({data_type="syslog", severity=~"err|crit|alert|emerg"}[%s])) by (hostname)`,
+		model(step))
+	m, err := p.Warehouse.LogQL.QueryRangeContext(ctx, q, start.UnixNano(), end.UnixNano(), step)
+	if err != nil {
+		return anomaly.Heatmap{}, err
+	}
+	var cells []anomaly.Cell
+	for _, series := range m {
+		node := series.Labels.Get("hostname")
+		if node == "" {
+			node = "(unknown)"
+		}
+		for _, pt := range series.Points {
+			if pt.V == 0 {
+				continue
+			}
+			// Each evaluation point counts the window ending at pt.T; file
+			// it under the bucket that window covers.
+			cells = append(cells, anomaly.Cell{
+				Node:  node,
+				Time:  time.Unix(0, pt.T).Add(-step),
+				Value: pt.V,
+			})
+		}
+	}
+	return anomaly.BuildHeatmap(q, start, end, step, cells), nil
+}
+
+// model formats a duration the LogQL parser accepts (no unit mixing
+// needed for the whole-second steps heatmaps use).
+func model(d time.Duration) string {
+	if d%time.Minute == 0 {
+		return fmt.Sprintf("%dm", int(d/time.Minute))
+	}
+	return fmt.Sprintf("%ds", int(d/time.Second))
+}

@@ -120,6 +120,29 @@ func MetaRules() []vmalert.Rule {
 			},
 		},
 		{
+			// Any bounded predictive state — an anomaly detector's series
+			// map or the Drain template tree (pseudo-rule "log_templates") —
+			// hit its memory cap: new series or log shapes are no longer
+			// scored, so early warnings are silently blind there.
+			Name:   "ShastamonAnomalyDetectorSaturated",
+			Expr:   `max(shastamon_anomaly_detector_saturated) by (rule) > 0`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "Anomaly detector state for {{ $labels.rule }} hit its memory bound — new series are dropped unscored",
+			},
+		},
+		{
+			// A burst of never-before-seen log templates is the classic
+			// prelude to a novel failure mode (Park et al.): something is
+			// emitting shapes the cluster has not logged before.
+			Name:   "ShastamonNovelTemplateBurst",
+			Expr:   `sum(increase(shastamon_templates_novel_total[10m])) > 24`,
+			Labels: map[string]string{"severity": "warning", "source": "shastamon"},
+			Annotations: map[string]string{
+				"summary": "{{ $value }} novel log template(s) mined in 10m — an unfamiliar failure shape is emerging; see /debug/templates",
+			},
+		},
+		{
 			// A stale scrape target silently freezes every rule that reads
 			// its series; staleness runs on scrape timestamps so it tracks
 			// simulated time in experiments too.

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/base64"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"shastamon/internal/alertmanager"
+	"shastamon/internal/anomaly"
 	"shastamon/internal/chaos"
 	"shastamon/internal/chunkenc"
 	"shastamon/internal/exporters"
@@ -132,6 +134,12 @@ type Pipeline struct {
 	// is mounted at /debug/trace/ on the observability endpoint.
 	Tracer *obs.Tracer
 
+	// Templates is the Drain-style log-template miner fed from the syslog
+	// ingest path; its per-template rate series reach the TSDB via the
+	// vmagent "shastamon" self-scrape, and /debug/templates lists the
+	// mined patterns.
+	Templates *anomaly.Miner
+
 	Telemetry     *telemetry.Server
 	slackNotifier *slack.Notifier
 	snNotifier    *servicenow.Notifier
@@ -145,6 +153,8 @@ type Pipeline struct {
 	tickFailCtr   *obs.Counter
 	detectLatency *obs.HistogramVec
 	slo           *obs.SLO
+	tmplLines     *obs.CounterVec
+	tmplNovel     *obs.Counter
 
 	subEvents  *telemetry.Subscription
 	subSensors *telemetry.Subscription
@@ -220,6 +230,35 @@ func New(opts Options) (*Pipeline, error) {
 		"End-to-end detection latency from event origin to first successful alert delivery, by rule; buckets carry exemplar trace IDs.",
 		obs.LatencyBuckets, "rule")
 	p.slo = obs.NewSLO(p.obsReg, opts.SLO)
+	// Log-template mining over the syslog ingest path: per-template rate
+	// counters become TSDB series through the vmagent self-scrape, so the
+	// ruler's novel-template meta-rule and dashboards query them like any
+	// other metric.
+	p.Templates = anomaly.NewMiner(anomaly.MinerConfig{})
+	p.tmplLines = p.obsReg.CounterVec(obs.Namespace+"templates_lines_total",
+		"Syslog lines matched per mined Drain template.", "template")
+	p.tmplNovel = p.obsReg.Counter(obs.Namespace+"templates_novel_total",
+		"Syslog lines that minted a previously-unseen log template.")
+	p.obsReg.Collect(func() []promtext.Family {
+		st := p.Templates.Stats()
+		active := promtext.Family{
+			Name: obs.Namespace + "templates_active", Type: "gauge",
+			Help: "Distinct log templates currently mined (bounded by the miner's MaxClusters).",
+		}
+		active = obs.Sample(active, float64(st.Templates))
+		sat := promtext.Family{
+			Name: obs.Namespace + "anomaly_detector_saturated", Type: "gauge",
+			Help: "1 when detector state hit its memory bound and new series are dropped, by rule.",
+		}
+		v := 0.0
+		if st.Saturated {
+			v = 1
+		}
+		// The miner shares the detector-saturation family under a pseudo
+		// rule name so one meta-rule watches every bounded state.
+		sat = obs.Sample(sat, v, "rule", "log_templates")
+		return []promtext.Family{active, sat}
+	})
 	// The united breaker family: one gauge per protected dependency. Each
 	// component also exposes its own uniquely-named breaker gauge; this is
 	// the cross-cutting view dashboards alert on.
@@ -577,6 +616,7 @@ func (p *Pipeline) Gather() []promtext.Family {
 //	GET /debug/queries    queries in flight right now (JSON)
 //	POST /debug/queries/{id}/kill  cancel a runaway query mid-scan
 //	GET /debug/slowlog    recent slow / limit-breached queries (JSON)
+//	GET /debug/templates  mined log templates, busiest first (JSON)
 func (p *Pipeline) ObsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(obs.GathererFunc(p.Gather)))
@@ -588,6 +628,13 @@ func (p *Pipeline) ObsHandler() http.Handler {
 		mux.Handle("/debug/queries/", qh)
 		mux.Handle("/debug/slowlog", qh)
 	}
+	mux.HandleFunc("/debug/templates", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Stats     anomaly.MinerStats `json:"stats"`
+			Templates []anomaly.Template `json:"templates"`
+		}{p.Templates.Stats(), p.Templates.Templates()})
+	})
 	return mux
 }
 
@@ -719,6 +766,13 @@ func (p *Pipeline) forwardSyslog(_ telemetry.Record, raw []byte) error {
 	var m syslogd.Message
 	if err := unmarshalSyslog(raw, &m); err != nil {
 		return err
+	}
+	// Template mining rides the ingest path: every line updates the
+	// bounded Drain tree and its per-template rate counter.
+	id, novel := p.Templates.Learn(m.Text)
+	p.tmplLines.With(anomaly.TemplateLabel(id)).Inc()
+	if novel {
+		p.tmplNovel.Inc()
 	}
 	if err := p.Warehouse.IngestLogs([]loki.PushStream{SyslogToLoki(m, p.Cluster.Name())}); err != nil &&
 		!errors.Is(err, chunkenc.ErrOutOfOrder) {

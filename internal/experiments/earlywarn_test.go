@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestEarlyWarnDeterministic runs the full predictive-vs-reactive race
+// twice and requires byte-identical reports: same alert timeline, same
+// latencies, same SLO close-outs. The whole pipeline runs on the
+// simulated clock with seeded sensor walks, and the anomaly detector is
+// driven purely by sample timestamps — so two runs must agree exactly,
+// or the early-warning benchmark is not a benchmark.
+func TestEarlyWarnDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full pipeline runs")
+	}
+	run := func() string {
+		t.Helper()
+		rep, err := runEarlyWarn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("early-warning timelines diverged between identical runs:\n%s\n%s", a, b)
+	}
+}
+
+// TestEarlyWarnBeatsStaticRule pins the experiment's headline claim so a
+// detector regression (or a retuned rule) that erodes the predictive
+// lead fails in CI, not in the paper's tables: every cabinet's anomaly
+// delivery must precede the physical sensor trip itself, not merely the
+// static rule's delayed delivery.
+func TestEarlyWarnBeatsStaticRule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	rep, err := runEarlyWarn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 3 {
+		t.Fatalf("scenarios: %+v", rep.Scenarios)
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.AnomalySeconds >= sc.ThresholdCrossSeconds {
+			t.Errorf("%s: anomaly alert at %gs did not precede the sensor trip at %gs",
+				sc.Cabinet, sc.AnomalySeconds, sc.ThresholdCrossSeconds)
+		}
+		if sc.LeadSeconds <= 0 {
+			t.Errorf("%s: no lead over the static rule: %+v", sc.Cabinet, sc)
+		}
+	}
+	if rep.LeadP50Seconds < 60 {
+		t.Errorf("p50 lead %.0fs, want at least a minute of early warning", rep.LeadP50Seconds)
+	}
+}

@@ -537,7 +537,8 @@ type Runner struct {
 }
 
 // Run executes the named experiment ("fig2".."fig9", "c1".."c4", "c7",
-// "latency", "latency_json", or "all") writing artifacts to w.
+// "latency", "latency_json", "earlywarn", "earlywarn_json", or "all")
+// writing artifacts to w.
 func (r Runner) Run(name string, w io.Writer) error {
 	secs := r.QuickSeconds
 	if secs <= 0 {
@@ -550,9 +551,10 @@ func (r Runner) Run(name string, w io.Writer) error {
 		"c2": func(w io.Writer) error { return C2(w, secs) },
 		"c3": C3, "c4": C4, "c7": C7,
 		"latency": Latency, "latency_json": LatencyJSON,
+		"earlywarn": EarlyWarn, "earlywarn_json": EarlyWarnJSON,
 	}
 	if name == "all" {
-		order := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "c1", "c2", "c3", "c4", "c7", "latency"}
+		order := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "c1", "c2", "c3", "c4", "c7", "latency", "earlywarn"}
 		for _, n := range order {
 			fmt.Fprintf(w, "\n===== %s =====\n", strings.ToUpper(n))
 			if err := exps[n](w); err != nil {

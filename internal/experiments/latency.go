@@ -32,6 +32,10 @@ type LatencyReport struct {
 	SLOTargetSeconds float64                 `json:"slo_target_seconds"`
 	SLOObjective     float64                 `json:"slo_objective"`
 	Scenarios        []LatencyScenarioResult `json:"scenarios"`
+	// EarlyWarning is the predictive-vs-reactive benchmark (see
+	// earlywarn.go), tracked in the same artifact so one file holds the
+	// whole detection-latency story.
+	EarlyWarning *EarlyWarnReport `json:"early_warning,omitempty"`
 }
 
 // runLatency drives both case-study failure modes through the pipeline on
@@ -159,12 +163,17 @@ func Latency(w io.Writer) error {
 }
 
 // LatencyJSON writes the same benchmark as a pure-JSON artifact for
-// bench.sh (BENCH_latency.json).
+// bench.sh (BENCH_latency.json), with the early-warning race embedded.
 func LatencyJSON(w io.Writer) error {
 	rep, err := runLatency()
 	if err != nil {
 		return err
 	}
+	ew, err := runEarlyWarn()
+	if err != nil {
+		return err
+	}
+	rep.EarlyWarning = &ew
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

@@ -49,6 +49,16 @@ func shardMergeOp(expr MetricExpr) (string, bool) {
 		switch ex.Op {
 		case OpCountOverTime, OpBytesOverTime:
 			return "sum", true
+		case OpSumOverTime:
+			// sum_over_time sums the unwrapped values themselves. Partition
+			// summation reorders float additions, but every shard sums its
+			// own streams in full and a stream never spans shards, so the
+			// per-shard partials are the same numbers a monolithic
+			// evaluation groups by stream — merging them is exact for the
+			// integer-valued unwraps dashboards use and differs only by the
+			// usual float association elsewhere, the same tolerance the
+			// golden-equality tests pin.
+			return "sum", true
 		case OpMaxOverTime:
 			return "max", true
 		case OpMinOverTime:
@@ -61,7 +71,7 @@ func shardMergeOp(expr MetricExpr) (string, bool) {
 		}
 		switch ex.Op {
 		case "sum":
-			if inner.Op == OpCountOverTime || inner.Op == OpBytesOverTime {
+			if inner.Op == OpCountOverTime || inner.Op == OpBytesOverTime || inner.Op == OpSumOverTime {
 				return "sum", true
 			}
 		case "max":

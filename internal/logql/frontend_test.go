@@ -58,6 +58,8 @@ var goldenQueries = []string{
 	`max_over_time({cluster="c1"} | logfmt | unwrap v [5m])`,
 	`min_over_time({cluster="c1"} | logfmt | unwrap v [5m])`,
 	`max(max_over_time({} | logfmt | unwrap v [7m]))`,
+	`sum_over_time({cluster="c1"} | logfmt | unwrap v [5m])`,
+	`sum(sum_over_time({} | logfmt | unwrap v [5m]))`,
 	`rate({cluster="c0"}[5m])`,
 	`avg(count_over_time({}[5m]))`,
 	`sum(count_over_time({}[5m])) > 40`,
@@ -113,6 +115,31 @@ func TestFrontendGoldenEquality(t *testing.T) {
 			if fe := sc.Snapshot().Frontend; fe.ResultCacheHits == 0 {
 				t.Errorf("%s: warm run hit the cache 0 times: %+v", name, fe)
 			}
+		}
+	}
+}
+
+// TestShardMergeWhitelist pins the fan-out decision per operation: the
+// exact-merge set (including sum_over_time) must shard, and the
+// order-sensitive quotients and averages must not.
+func TestShardMergeWhitelist(t *testing.T) {
+	cases := map[string]string{
+		`sum_over_time({cluster="c1"} | logfmt | unwrap v [5m])`: "sum",
+		`sum(sum_over_time({} | logfmt | unwrap v [5m]))`:        "sum",
+		`count_over_time({cluster="c0"}[5m])`:                    "sum",
+		`max(max_over_time({} | logfmt | unwrap v [7m]))`:        "max",
+		`avg_over_time({cluster="c1"} | logfmt | unwrap v [5m])`: "",
+		`avg(sum_over_time({} | logfmt | unwrap v [5m]))`:        "",
+		`rate({cluster="c0"}[5m])`:                               "",
+	}
+	for q, wantOp := range cases {
+		expr, err := ParseMetricExpr(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		op, ok := shardMergeOp(expr)
+		if op != wantOp || ok != (wantOp != "") {
+			t.Errorf("shardMergeOp(%s) = (%q, %v), want %q", q, op, ok, wantOp)
 		}
 	}
 }

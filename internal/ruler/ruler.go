@@ -8,12 +8,14 @@ package ruler
 
 import (
 	"fmt"
+	"math"
 	"regexp"
 	"strconv"
 	"sync"
 	"time"
 
 	"shastamon/internal/alertmanager"
+	"shastamon/internal/anomaly"
 	"shastamon/internal/labels"
 	"shastamon/internal/logql"
 	"shastamon/internal/obs"
@@ -26,6 +28,12 @@ type Rule struct {
 	For         time.Duration     // hold duration before firing
 	Labels      map[string]string // added to the alert
 	Annotations map[string]string // templated with {{ $labels.x }} / {{ $value }}
+	// Anomaly turns the rule predictive: Expr selects the metric series
+	// to watch (e.g. a per-app log rate), and each sample is scored by a
+	// streaming detector — only anomalous samples enter the For-hold and
+	// firing machinery, with the sample value replaced by the signed
+	// score in sigmas so `{{ $value }}` renders deviation severity.
+	Anomaly *anomaly.Config
 }
 
 // Notifier receives alerts; *alertmanager.Manager satisfies it.
@@ -36,6 +44,7 @@ type Notifier interface {
 type compiledRule struct {
 	rule Rule
 	expr logql.MetricExpr
+	det  *anomaly.Detector // non-nil for anomaly rules
 }
 
 type alertState struct {
@@ -55,7 +64,15 @@ type Ruler struct {
 	reg      *obs.Registry
 	evalsCtr *obs.Counter
 	evalDur  *obs.Histogram
+	ruleDur  *obs.HistogramVec
 	firedVec *obs.CounterVec
+
+	// Anomaly self-metrics, registered only when an anomaly rule exists.
+	anomEvals     *obs.CounterVec
+	anomDetects   *obs.CounterVec
+	anomScore     *obs.GaugeVec
+	anomSeries    *obs.GaugeVec
+	anomSaturated *obs.GaugeVec
 
 	mu    sync.Mutex
 	rules []compiledRule
@@ -80,6 +97,8 @@ func New(engine *logql.Engine, notifier Notifier, now func() time.Time, rules ..
 		"Wall time of one full evaluation round.", obs.DefBuckets)
 	r.firedVec = r.reg.CounterVec(obs.Namespace+"ruler_alerts_fired_total",
 		"Alerts transitioned to firing, by rule.", "rule")
+	r.ruleDur = r.reg.HistogramVec(obs.Namespace+"rule_eval_seconds",
+		"Wall time of one rule's evaluation, by rule.", obs.DefBuckets, "rule")
 	seen := map[string]bool{}
 	for _, rule := range rules {
 		if rule.Name == "" {
@@ -93,10 +112,68 @@ func New(engine *logql.Engine, notifier Notifier, now func() time.Time, rules ..
 		if err != nil {
 			return nil, fmt.Errorf("ruler: rule %q: %w", rule.Name, err)
 		}
-		r.rules = append(r.rules, compiledRule{rule: rule, expr: expr})
+		cr := compiledRule{rule: rule, expr: expr}
+		if rule.Anomaly != nil {
+			det, err := anomaly.NewDetector(*rule.Anomaly)
+			if err != nil {
+				return nil, fmt.Errorf("ruler: rule %q: %w", rule.Name, err)
+			}
+			cr.det = det
+		}
+		r.rules = append(r.rules, cr)
 		r.state = append(r.state, map[labels.Fingerprint]*alertState{})
 	}
+	for _, cr := range r.rules {
+		if cr.det != nil {
+			r.registerAnomalyMetrics()
+			break
+		}
+	}
 	return r, nil
+}
+
+func (r *Ruler) registerAnomalyMetrics() {
+	r.anomEvals = r.reg.CounterVec(obs.Namespace+"anomaly_evaluations_total",
+		"Samples scored by anomaly detectors, by rule.", "rule")
+	r.anomDetects = r.reg.CounterVec(obs.Namespace+"anomaly_detections_total",
+		"Samples judged anomalous, by rule.", "rule")
+	r.anomScore = r.reg.GaugeVec(obs.Namespace+"anomaly_score",
+		"Largest |score| (in sigmas) among warm samples in the last round, by rule.", "rule")
+	r.anomSeries = r.reg.GaugeVec(obs.Namespace+"anomaly_series",
+		"Series tracked by the detector, by rule.", "rule")
+	r.anomSaturated = r.reg.GaugeVec(obs.Namespace+"anomaly_detector_saturated",
+		"1 when detector state hit its memory bound and new series are dropped, by rule.", "rule")
+}
+
+// detect filters an instant vector through the rule's streaming
+// detector: only anomalous samples survive, carrying the signed score
+// (sigmas) as their value, and the detector self-metrics are refreshed.
+func (r *Ruler) detect(cr compiledRule, vec logql.Vector, now time.Time) logql.Vector {
+	out := make(logql.Vector, 0, len(vec))
+	var maxAbs float64
+	for _, sample := range vec {
+		sc := cr.det.Observe(uint64(sample.Labels.Fingerprint()), now, sample.V)
+		if a := math.Abs(sc.Score); sc.Warm && a > maxAbs {
+			maxAbs = a
+		}
+		if !sc.Anomalous {
+			continue
+		}
+		sample.V = sc.Score
+		out = append(out, sample)
+	}
+	name := cr.rule.Name
+	r.anomEvals.With(name).Add(float64(len(vec)))
+	r.anomDetects.With(name).Add(float64(len(out)))
+	st := cr.det.Stats()
+	r.anomScore.With(name).Set(maxAbs)
+	r.anomSeries.With(name).Set(float64(st.Series))
+	saturated := 0.0
+	if st.Saturated {
+		saturated = 1
+	}
+	r.anomSaturated.With(name).Set(saturated)
+	return out
 }
 
 // Metrics exposes the ruler's self-monitoring registry.
@@ -145,9 +222,13 @@ func (r *Ruler) EvalOnce() ([]alertmanager.Alert, error) {
 	r.evalsCtr.Inc()
 	var sent []alertmanager.Alert
 	for i, cr := range r.rules {
+		rt0 := time.Now()
 		vec, err := r.engine.Instant(cr.expr, ts)
 		if err != nil {
 			return sent, fmt.Errorf("ruler: rule %q: %w", cr.rule.Name, err)
+		}
+		if cr.det != nil {
+			vec = r.detect(cr, vec, now)
 		}
 		active := map[labels.Fingerprint]bool{}
 		for _, sample := range vec {
@@ -170,9 +251,14 @@ func (r *Ruler) EvalOnce() ([]alertmanager.Alert, error) {
 				// delivery spans and latency close-out still have a home.
 				key := traceKey(st.labels)
 				end := now.Add(time.Since(t0))
-				if id := r.tracer.SpanByKey(key, "ruler.fire", now, end, cr.rule.Name); id == "" && key != "" {
+				id := r.tracer.SpanByKey(key, "ruler.fire", now, end, cr.rule.Name)
+				if id == "" && key != "" {
 					id = r.tracer.Start(key, now, "ruler:"+cr.rule.Name)
 					r.tracer.Span(id, "ruler.fire", now, end, cr.rule.Name)
+				}
+				if cr.det != nil && id != "" {
+					r.tracer.Span(id, "anomaly.detect", st.activeSince, end,
+						fmt.Sprintf("%s %+.1fσ (%s)", cr.rule.Name, st.value, cr.det.Config().Method))
 				}
 			}
 		}
@@ -186,6 +272,7 @@ func (r *Ruler) EvalOnce() ([]alertmanager.Alert, error) {
 			}
 			delete(r.state[i], fp)
 		}
+		r.ruleDur.With(cr.rule.Name).Observe(time.Since(rt0).Seconds())
 	}
 	if len(sent) > 0 {
 		r.notifier.Receive(sent...)

@@ -64,6 +64,7 @@ type Cluster struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
 	sensorState map[string]float64
+	drift       map[string]float64 // per-sample bias by sensor key
 	switchState map[string]SwitchState
 	leaks       map[leakKey]bool
 	pending     []redfish.Record
@@ -82,6 +83,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		sensorState: map[string]float64{},
+		drift:       map[string]float64{},
 		switchState: map[string]SwitchState{},
 		leaks:       map[leakKey]bool{},
 	}
@@ -226,13 +228,14 @@ type SensorReading struct {
 	Timestamp       time.Time
 }
 
-// walk advances a bounded random walk for the sensor key.
+// walk advances a bounded random walk for the sensor key, plus any
+// injected drift bias.
 func (c *Cluster) walk(key string, base, step, lo, hi float64) float64 {
 	v, ok := c.sensorState[key]
 	if !ok {
 		v = base + c.rng.Float64()*step*4 - step*2
 	}
-	v += c.rng.Float64()*2*step - step
+	v += c.rng.Float64()*2*step - step + c.drift[key]
 	if v < lo {
 		v = lo
 	}
@@ -241,6 +244,40 @@ func (c *Cluster) walk(key string, base, step, lo, hi float64) float64 {
 	}
 	c.sensorState[key] = v
 	return v
+}
+
+// driftPrefix maps a sensor name to its walk-key prefix.
+var driftPrefix = map[string]string{
+	"Temperature": "temp/",
+	"Power":       "power/",
+	"Fan":         "fan/",
+	"Humidity":    "hum/",
+}
+
+// InjectSensorDrift biases the named sensor of the component xname by
+// perSample units on every subsequent reading — a slow physical failure
+// in the making (coolant seeping into a cabinet, a fan bearing wearing
+// out) that stays inside the sensor's normal range for many samples
+// before any static threshold would notice. Experiments use it to give
+// predictive rules a ramp to catch. Humidity sensors live on cabinets,
+// so their xname is the bare cabinet ("x1203").
+func (c *Cluster) InjectSensorDrift(sensor, xname string, perSample float64) error {
+	prefix, ok := driftPrefix[sensor]
+	if !ok {
+		return fmt.Errorf("shasta: unknown sensor %q for drift injection", sensor)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.drift[prefix+xname] = perSample
+	return nil
+}
+
+// ClearSensorDrift removes an injected drift (the failing part was
+// replaced); the walk continues from its current level.
+func (c *Cluster) ClearSensorDrift(sensor, xname string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.drift, driftPrefix[sensor]+xname)
 }
 
 // SensorReadings produces one sample per sensor at the given time: node

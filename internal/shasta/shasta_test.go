@@ -200,6 +200,45 @@ func TestSensorReadings(t *testing.T) {
 	}
 }
 
+func TestInjectSensorDrift(t *testing.T) {
+	c := testCluster(t)
+	if err := c.InjectSensorDrift("Pressure", "x1203", 1); err == nil {
+		t.Fatal("unknown sensor accepted")
+	}
+	if err := c.InjectSensorDrift("Humidity", "x1203", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	read := func(xname string) float64 {
+		for _, r := range c.SensorReadings(time.Unix(0, 0)) {
+			if r.Sensor == "Humidity" && r.Xname == xname {
+				return r.Value
+			}
+		}
+		t.Fatalf("no humidity reading for %s", xname)
+		return 0
+	}
+	first := read("x1203")
+	var drifted, steady float64
+	for i := 0; i < 10; i++ {
+		drifted, steady = read("x1203"), read("x1002")
+	}
+	if drifted-first < 10*1.5-0.4*11 {
+		t.Fatalf("drift not applied: %.1f -> %.1f", first, drifted)
+	}
+	if steady > 50 {
+		t.Fatalf("drift leaked to another cabinet: %.1f", steady)
+	}
+	c.ClearSensorDrift("Humidity", "x1203")
+	before := read("x1203")
+	after := before
+	for i := 0; i < 5; i++ {
+		after = read("x1203")
+	}
+	if after-before > 0.4*6 {
+		t.Fatalf("drift still applied after clear: %.1f -> %.1f", before, after)
+	}
+}
+
 func TestSensorReadingsDeterministic(t *testing.T) {
 	mk := func() []SensorReading {
 		c := testCluster(t)

@@ -9,10 +9,12 @@ package vmalert
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"shastamon/internal/alertmanager"
+	"shastamon/internal/anomaly"
 	"shastamon/internal/labels"
 	"shastamon/internal/obs"
 	"shastamon/internal/promql"
@@ -27,6 +29,13 @@ type Rule struct {
 	For         time.Duration
 	Labels      map[string]string
 	Annotations map[string]string
+	// Anomaly turns the rule predictive: Expr selects the series to
+	// watch, and instead of "any returned sample is true" each sample is
+	// scored by a streaming detector — only anomalous samples enter the
+	// usual For-hold/firing machinery, with the sample value replaced by
+	// the signed score in sigmas (so `{{ $value }}` renders the
+	// severity of the deviation, not the raw reading).
+	Anomaly *anomaly.Config
 }
 
 // RecordingRule periodically evaluates an expression and writes the
@@ -41,6 +50,7 @@ type RecordingRule struct {
 type compiledRule struct {
 	rule Rule
 	expr promql.Expr
+	det  *anomaly.Detector // non-nil for anomaly rules
 }
 
 type alertState struct {
@@ -65,7 +75,15 @@ type VMAlert struct {
 	reg      *obs.Registry
 	evalsCtr *obs.Counter
 	evalDur  *obs.Histogram
+	ruleDur  *obs.HistogramVec
 	firedVec *obs.CounterVec
+
+	// Anomaly self-metrics, registered only when an anomaly rule exists.
+	anomEvals     *obs.CounterVec
+	anomDetects   *obs.CounterVec
+	anomScore     *obs.GaugeVec
+	anomSeries    *obs.GaugeVec
+	anomSaturated *obs.GaugeVec
 
 	mu         sync.Mutex
 	rules      []compiledRule
@@ -90,6 +108,8 @@ func New(engine *promql.Engine, notifier ruler.Notifier, now func() time.Time, r
 		"Wall time of one full evaluation round.", obs.DefBuckets)
 	v.firedVec = v.reg.CounterVec(obs.Namespace+"vmalert_alerts_fired_total",
 		"Alerts transitioned to firing, by rule.", "rule")
+	v.ruleDur = v.reg.HistogramVec(obs.Namespace+"rule_eval_seconds",
+		"Wall time of one rule's evaluation, by rule.", obs.DefBuckets, "rule")
 	seen := map[string]bool{}
 	for _, rule := range rules {
 		if rule.Name == "" {
@@ -103,10 +123,68 @@ func New(engine *promql.Engine, notifier ruler.Notifier, now func() time.Time, r
 		if err != nil {
 			return nil, fmt.Errorf("vmalert: rule %q: %w", rule.Name, err)
 		}
-		v.rules = append(v.rules, compiledRule{rule: rule, expr: expr})
+		cr := compiledRule{rule: rule, expr: expr}
+		if rule.Anomaly != nil {
+			det, err := anomaly.NewDetector(*rule.Anomaly)
+			if err != nil {
+				return nil, fmt.Errorf("vmalert: rule %q: %w", rule.Name, err)
+			}
+			cr.det = det
+		}
+		v.rules = append(v.rules, cr)
 		v.state = append(v.state, map[labels.Fingerprint]*alertState{})
 	}
+	for _, cr := range v.rules {
+		if cr.det != nil {
+			v.registerAnomalyMetrics()
+			break
+		}
+	}
 	return v, nil
+}
+
+func (v *VMAlert) registerAnomalyMetrics() {
+	v.anomEvals = v.reg.CounterVec(obs.Namespace+"anomaly_evaluations_total",
+		"Samples scored by anomaly detectors, by rule.", "rule")
+	v.anomDetects = v.reg.CounterVec(obs.Namespace+"anomaly_detections_total",
+		"Samples judged anomalous, by rule.", "rule")
+	v.anomScore = v.reg.GaugeVec(obs.Namespace+"anomaly_score",
+		"Largest |score| (in sigmas) among warm samples in the last round, by rule.", "rule")
+	v.anomSeries = v.reg.GaugeVec(obs.Namespace+"anomaly_series",
+		"Series tracked by the detector, by rule.", "rule")
+	v.anomSaturated = v.reg.GaugeVec(obs.Namespace+"anomaly_detector_saturated",
+		"1 when detector state hit its memory bound and new series are dropped, by rule.", "rule")
+}
+
+// detect filters an instant vector through the rule's streaming
+// detector: only anomalous samples survive, carrying the signed score
+// (sigmas) as their value, and the detector self-metrics are refreshed.
+func (v *VMAlert) detect(cr compiledRule, vec promql.Vector, now time.Time) promql.Vector {
+	out := make(promql.Vector, 0, len(vec))
+	var maxAbs float64
+	for _, sample := range vec {
+		sc := cr.det.Observe(uint64(sample.Labels.Fingerprint()), now, sample.V)
+		if a := math.Abs(sc.Score); sc.Warm && a > maxAbs {
+			maxAbs = a
+		}
+		if !sc.Anomalous {
+			continue
+		}
+		sample.V = sc.Score
+		out = append(out, sample)
+	}
+	name := cr.rule.Name
+	v.anomEvals.With(name).Add(float64(len(vec)))
+	v.anomDetects.With(name).Add(float64(len(out)))
+	st := cr.det.Stats()
+	v.anomScore.With(name).Set(maxAbs)
+	v.anomSeries.With(name).Set(float64(st.Series))
+	saturated := 0.0
+	if st.Saturated {
+		saturated = 1
+	}
+	v.anomSaturated.With(name).Set(saturated)
+	return out
 }
 
 // Metrics exposes vmalert's self-monitoring registry.
@@ -172,9 +250,13 @@ func (v *VMAlert) EvalOnce() ([]alertmanager.Alert, error) {
 	}
 	var sent []alertmanager.Alert
 	for i, cr := range v.rules {
+		rt0 := time.Now()
 		vec, err := v.engine.Instant(cr.expr, ms)
 		if err != nil {
 			return sent, fmt.Errorf("vmalert: rule %q: %w", cr.rule.Name, err)
+		}
+		if cr.det != nil {
+			vec = v.detect(cr, vec, now)
 		}
 		active := map[labels.Fingerprint]bool{}
 		for _, sample := range vec {
@@ -201,9 +283,14 @@ func (v *VMAlert) EvalOnce() ([]alertmanager.Alert, error) {
 				// delivery spans and latency close-out attach to something.
 				key := vmTraceKey(alertLbls)
 				end := now.Add(time.Since(t0))
-				if id := v.tracer.SpanByKey(key, "vmalert.fire", now, end, cr.rule.Name); id == "" && key != "" {
+				id := v.tracer.SpanByKey(key, "vmalert.fire", now, end, cr.rule.Name)
+				if id == "" && key != "" {
 					id = v.tracer.Start(key, now, "vmalert:"+cr.rule.Name)
 					v.tracer.Span(id, "vmalert.fire", now, end, cr.rule.Name)
+				}
+				if cr.det != nil && id != "" {
+					v.tracer.Span(id, "anomaly.detect", st.activeSince, end,
+						fmt.Sprintf("%s %+.1fσ (%s)", cr.rule.Name, st.value, cr.det.Config().Method))
 				}
 			}
 		}
@@ -216,6 +303,7 @@ func (v *VMAlert) EvalOnce() ([]alertmanager.Alert, error) {
 			}
 			delete(v.state[i], fp)
 		}
+		v.ruleDur.With(cr.rule.Name).Observe(time.Since(rt0).Seconds())
 	}
 	if len(sent) > 0 {
 		v.notifier.Receive(sent...)

@@ -33,6 +33,24 @@ go test -race -run 'TestCrashRecovery|TestWALDegraded' -count=3 -shuffle=on ./in
 go test -race -run 'TestFrontendGolden|TestFrontendConcurrentRefreshSoak' -count=1 \
   ./internal/frontend/ ./internal/logql/ ./internal/promql/
 
+# Anomaly determinism soak: the streaming detectors and the Drain miner
+# are driven purely by sample timestamps, so repeated shuffled runs under
+# the race detector must reproduce identical verdicts — and the
+# early-warning experiment must reproduce an identical alert timeline
+# (TestEarlyWarnDeterministic runs the full predictive-vs-reactive race
+# twice and compares reports byte-for-byte).
+go test -race -count=3 -shuffle=on ./internal/anomaly/
+go test -race -run 'TestEarlyWarn' -count=1 ./internal/experiments/
+
+# Dashboard drift check: the checked-in Grafana export must match what
+# the generator produces today, so panel changes can't land without
+# regenerating singlepane-dashboard.json.
+DASHTMP=$(mktemp -d)
+go build -o "$DASHTMP/singlepane" ./examples/singlepane
+(cd "$DASHTMP" && ./singlepane > /dev/null)
+diff "$DASHTMP/singlepane-dashboard.json" singlepane-dashboard.json
+rm -rf "$DASHTMP"
+
 # Metrics-docs lint: every shastamon_* family a live pipeline registers
 # (and every built-in meta-rule) must have a row in the README tables.
 go test -run 'TestMetricsDocumented' -count=1 ./internal/core/
