@@ -14,6 +14,10 @@
 #                                                   durability overhead pair
 #   C2  BenchmarkSustainedBytes                     MB/s vs 400 GB/day
 #   C5  BenchmarkShardedIngest                      lock-stripe scaling
+#       BenchmarkTenantIngest/{off,on}              single-tenant ingest
+#                                                   with tenancy absent vs
+#                                                   configured: the <5%
+#                                                   overhead pair
 #   E4  BenchmarkFig5Query                          leak query latency
 #       BenchmarkFig5QueryRange/{mono,cold,warm}    the same query as a
 #                                                   dashboard range panel:
@@ -40,7 +44,7 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-  -bench 'OMNIIngestLogs$|OMNIIngestLogsWAL$|OMNIIngestLogsParallel$|SustainedBytes$|ShardedIngest/|Fig5Query$|Fig8Query$|WALRecovery$' \
+  -bench 'OMNIIngestLogs$|OMNIIngestLogsWAL$|OMNIIngestLogsParallel$|SustainedBytes$|ShardedIngest/|TenantIngest/|Fig5Query$|Fig8Query$|WALRecovery$' \
   -benchtime "$BENCHTIME" . | tee "$RAW"
 
 # The query-frontend pair: monolithic vs frontend-split (cache off) vs
@@ -78,6 +82,7 @@ BEGIN { n = 0 }
   msgs = ""
   if (name ~ /^OMNIIngestLogs/ || name == "SustainedBytes") msgs = 1e9 / ns
   if (name ~ /^ShardedIngest/) msgs = 4096 * 1e9 / ns
+  if (name ~ /^TenantIngest/) msgs = 1e9 / ns
   line = sprintf("  {\"bench\": \"%s\", \"ns_per_op\": %s", name, ns)
   if (bpo != "")  line = line sprintf(", \"bytes_per_op\": %s", bpo)
   if (apo != "")  line = line sprintf(", \"allocs_per_op\": %s", apo)

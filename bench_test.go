@@ -35,6 +35,7 @@ import (
 	"shastamon/internal/ruler"
 	"shastamon/internal/stats"
 	"shastamon/internal/syslogd"
+	"shastamon/internal/tenant"
 	"shastamon/internal/wal"
 )
 
@@ -379,6 +380,47 @@ func BenchmarkOMNIIngestLogsParallel(b *testing.B) {
 				return
 			}
 		}
+	})
+}
+
+// Tenancy guardrail: multi-tenant plumbing must be near-free when
+// unused. Both variants run the exact BenchmarkOMNIIngestLogs loop on
+// the default tenant; "off" has no tenant overrides configured, "on"
+// carries a full overrides table (default limits generous enough to
+// never shed, plus a per-tenant entry) so every push pays the limit
+// lookup and rate-limiter check. BENCH_ingest.json tracks the pair; the
+// acceptance bar is <5% overhead.
+func BenchmarkTenantIngest(b *testing.B) {
+	run := func(b *testing.B, wh *omni.Warehouse) {
+		gen := syslogd.NewGenerator(1, benchHosts(64)...)
+		msgs := make([]loki.PushStream, 256)
+		for i := range msgs {
+			msgs[i] = core.SyslogToLoki(gen.Next(time.Unix(0, int64(i))), "perlmutter")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		ts := int64(0)
+		for i := 0; i < b.N; i++ {
+			ps := msgs[i%len(msgs)]
+			ts += 1e6
+			ps.Entries = []loki.Entry{{Timestamp: ts, Line: ps.Entries[0].Line}}
+			if err := wh.IngestLogs([]loki.PushStream{ps}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, omni.New(omni.Config{}))
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, omni.New(omni.Config{TenantOverrides: &tenant.Overrides{
+			Defaults: tenant.Limits{
+				MaxStreams:       1 << 30,
+				IngestRateBytes:  1 << 40,
+				IngestBurstBytes: 1 << 40,
+			},
+			PerTenant: map[string]tenant.Limits{"hpc-a": {MaxStreams: 64}},
+		}}))
 	})
 }
 

@@ -13,6 +13,10 @@ import (
 // omnid and renders it as terminal shading — the CLI counterpart of the
 // Grafana heatmap panel.
 func queryHeatmap(base string, since, step time.Duration) error {
+	// Fail locally on windows the server would 400 anyway.
+	if err := anomaly.ValidateHeatmapWindow(since, step); err != nil {
+		return err
+	}
 	q := url.Values{}
 	q.Set("since", since.String())
 	q.Set("step", step.String())

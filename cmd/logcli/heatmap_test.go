@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -33,5 +34,29 @@ func TestQueryHeatmapAgainstOmnidAPI(t *testing.T) {
 	}
 	if err := queryHeatmap("http://127.0.0.1:0", time.Minute, time.Minute); err == nil {
 		t.Fatal("unreachable server accepted")
+	}
+}
+
+// Invalid windows fail locally, before any request goes out — the same
+// checks omnid's endpoint would answer with a 400.
+func TestQueryHeatmapRejectsBadWindowsLocally(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("client sent a request for a window it should reject locally")
+	}))
+	defer srv.Close()
+
+	err := queryHeatmap(srv.URL, 5*time.Minute, 10*time.Minute)
+	if err == nil || !strings.Contains(err.Error(), "step") {
+		t.Fatalf("step > since: %v, want step error", err)
+	}
+	err = queryHeatmap(srv.URL, 2000*time.Hour, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "buckets") {
+		t.Fatalf("bucket cap: %v, want buckets error", err)
+	}
+	if err := queryHeatmap(srv.URL, -time.Minute, time.Second); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if err := queryHeatmap(srv.URL, time.Minute, 0); err == nil {
+		t.Fatal("zero step accepted")
 	}
 }

@@ -42,26 +42,22 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"shastamon/internal/anomaly"
 	"shastamon/internal/core"
 	"shastamon/internal/experiments"
 	"shastamon/internal/frontend"
-	"shastamon/internal/kafka"
-	"shastamon/internal/obs"
 	"shastamon/internal/ruler"
 	"shastamon/internal/shasta"
 	"shastamon/internal/syslogd"
+	"shastamon/internal/tenant"
 	"shastamon/internal/vmalert"
 	"shastamon/internal/wal"
 )
@@ -84,6 +80,19 @@ func main() {
 	queryConcurrency := flag.Int("query-concurrency", 0, "max concurrently executing range queries per engine (0 = 2×GOMAXPROCS)")
 	queryQueueDepth := flag.Int("query-queue-depth", 0, "max range queries waiting per engine before 429 rejection (0 = 64 default)")
 	noShardFanout := flag.Bool("no-shard-fanout", false, "disable per-shard query fan-out inside each time split")
+	tenantTokens := map[string]string{} // bearer token -> tenant ID
+	flag.Func("tenant-token", "tenant:token bearer credential for the push and query APIs (repeatable; any -tenant-token switches them to authenticated mode)",
+		func(v string) error {
+			id, tok, err := tenant.ParseTokenFlag(v)
+			if err != nil {
+				return err
+			}
+			tenantTokens[tok] = id
+			return nil
+		})
+	tenantMaxStreams := flag.Int("tenant-max-streams", 0, "per-tenant live stream/series limit (0 = unlimited)")
+	tenantIngestRate := flag.Int("tenant-ingest-rate", 0, "per-tenant log ingest rate limit in bytes/second (0 = unlimited)")
+	tenantQueryConcurrency := flag.Int("tenant-query-concurrency", 0, "per-tenant concurrently executing range queries (0 = the engine-wide -query-concurrency)")
 	flag.Parse()
 
 	fsync, err := wal.ParseFsyncPolicy(*walFsync)
@@ -100,12 +109,24 @@ func main() {
 		}
 		log.Printf("loaded %d log rules and %d metric rules from %s", len(logRules), len(metricRules), *rulesPath)
 	}
+	var overrides *tenant.Overrides
+	if *tenantMaxStreams > 0 || *tenantIngestRate > 0 || *tenantQueryConcurrency > 0 {
+		overrides = &tenant.Overrides{Defaults: tenant.Limits{
+			MaxStreams:          *tenantMaxStreams,
+			IngestRateBytes:     *tenantIngestRate,
+			MaxQueryConcurrency: *tenantQueryConcurrency,
+		}}
+	}
+	auth := tenant.NewAuth(tenantTokens)
+
 	p, err := core.New(core.Options{
-		LogRules:    logRules,
-		MetricRules: metricRules,
-		GroupWait:   time.Second,
-		MetaAlerts:  *metaAlerts,
-		DataDir:     *dataDir,
+		LogRules:     logRules,
+		MetricRules:  metricRules,
+		GroupWait:    time.Second,
+		MetaAlerts:   *metaAlerts,
+		TenantLimits: overrides,
+		TenantTokens: tenantTokens,
+		DataDir:      *dataDir,
 		WAL: wal.StoreOptions{Options: wal.Options{
 			Fsync:        fsync,
 			SegmentBytes: *walSegment,
@@ -181,161 +202,7 @@ func main() {
 	}()
 
 	// Status server.
-	mux := http.NewServeMux()
-	writeJSON := func(w http.ResponseWriter, v interface{}) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(v)
-	}
-	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]interface{}{
-			"uptime_seconds": time.Since(start).Seconds(),
-			"warehouse":      p.Warehouse.Stats(),
-			"kafka":          p.Broker.Stats(),
-			"vmagent":        p.VMAgent.Stats(),
-			"slack_messages": len(p.Slack.Messages()),
-			"sn_incidents":   len(p.ServiceNow.Incidents()),
-		})
-	})
-	mux.HandleFunc("/slack", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, p.Slack.Messages())
-	})
-	mux.HandleFunc("/servicenow/alerts", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, p.ServiceNow.Alerts())
-	})
-	mux.HandleFunc("/servicenow/incidents", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, p.ServiceNow.Incidents())
-	})
-	mux.HandleFunc("/query/logs", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		now := time.Now()
-		streams, err := p.Warehouse.LogQL.QueryLogs(q, now.Add(-time.Hour).UnixNano(), now.UnixNano())
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, streams)
-	})
-	// Node × time error heatmap, computed through the query frontend. The
-	// same grid Grafana's heatmap panel would draw, served as JSON (or as
-	// terminal shading with format=render) so logcli and curl get it too.
-	mux.HandleFunc("/api/v1/heatmap", func(w http.ResponseWriter, r *http.Request) {
-		since, step := 30*time.Minute, 2*time.Minute
-		if s := r.URL.Query().Get("since"); s != "" {
-			d, err := time.ParseDuration(s)
-			if err != nil || d <= 0 {
-				http.Error(w, "since: want a positive duration like 30m", http.StatusBadRequest)
-				return
-			}
-			since = d
-		}
-		if s := r.URL.Query().Get("step"); s != "" {
-			d, err := time.ParseDuration(s)
-			if err != nil || d <= 0 {
-				http.Error(w, "step: want a positive duration like 2m", http.StatusBadRequest)
-				return
-			}
-			step = d
-		}
-		end := time.Now()
-		hm, err := p.ErrorHeatmap(r.Context(), end.Add(-since), end, step)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		if r.URL.Query().Get("format") == "render" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, anomaly.RenderHeatmap(hm))
-			return
-		}
-		writeJSON(w, hm)
-	})
-	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, r *http.Request) {
-		now := time.Now()
-		out, err := p.RenderSinglePane(now.Add(-time.Hour), now, time.Minute)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, out)
-	})
-	// Dead-letter queue inspection and replay: the operator workflow for
-	// poison pills — read the quarantine reasons, fix the producer or
-	// parser, then replay the records through the normal path.
-	mux.HandleFunc("/debug/dlq", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		topics := p.Broker.DLQTopics()
-		if len(topics) == 0 {
-			fmt.Fprintln(w, "no quarantined records")
-			return
-		}
-		for _, topic := range topics {
-			msgs, err := p.DLQRecords(topic)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			fmt.Fprintf(w, "# %s: %d record(s)\n", topic, len(msgs))
-			fmt.Fprint(w, kafka.FormatDLQ(msgs))
-		}
-	})
-	mux.HandleFunc("/debug/dlq/replay", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST required", http.StatusMethodNotAllowed)
-			return
-		}
-		topic := r.URL.Query().Get("topic")
-		if topic == "" {
-			http.Error(w, "topic parameter required", http.StatusBadRequest)
-			return
-		}
-		n, err := p.ReplayDLQ(topic)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		writeJSON(w, map[string]int{"replayed": n})
-	})
-	mux.HandleFunc("/query/metrics", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		vec, err := p.Warehouse.PromQL.Query(q, time.Now().UnixMilli())
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, vec)
-	})
-	// Mount the component APIs: Loki push/metadata + LogQL queries,
-	// Prometheus-style queries, TSDB import, Alertmanager management.
-	mux.Handle("/loki/api/v1/push", p.Warehouse.Logs.Handler())
-	mux.Handle("/loki/api/v1/labels", p.Warehouse.Logs.Handler())
-	mux.Handle("/loki/api/v1/label/", p.Warehouse.Logs.Handler())
-	mux.Handle("/loki/api/v1/series", p.Warehouse.Logs.Handler())
-	mux.Handle("/loki/api/v1/query", p.Warehouse.LogQL.Handler())
-	mux.Handle("/loki/api/v1/query_range", p.Warehouse.LogQL.Handler())
-	mux.Handle("/api/v1/query", p.Warehouse.PromQL.Handler())
-	mux.Handle("/api/v1/query_range", p.Warehouse.PromQL.Handler())
-	mux.Handle("/api/v1/import/prometheus", p.Warehouse.Metrics.Handler())
-	mux.Handle("/api/v2/", p.Alertmanager.Handler())
-
-	if *metrics {
-		// Self-monitoring and profiling on the same listener: the united
-		// shastamon_* registries, the event tracer, and pprof.
-		mux.Handle("/metrics", obs.Handler(obs.GathererFunc(p.Gather)))
-		mux.Handle("/debug/trace/", p.Tracer.Handler())
-		mux.Handle("/debug/slo", p.SLO().Handler())
-		qh := p.Warehouse.Tracker.Handler()
-		mux.Handle("/debug/queries", qh)
-		mux.Handle("/debug/queries/", qh)
-		mux.Handle("/debug/slowlog", qh)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
+	mux := newStatusMux(p, serverOpts{metrics: *metrics, auth: auth, start: start})
 
 	srv := &http.Server{Addr: *listen, Handler: mux}
 	go func() {

@@ -36,6 +36,33 @@ type Cell struct {
 	Value float64
 }
 
+// MaxHeatmapBuckets caps the time axis of one heatmap request. A grid is
+// rendered one character per bucket; past a couple thousand columns the
+// request is no longer a dashboard panel but an accidental export, and
+// the per-row allocations grow with it.
+const MaxHeatmapBuckets = 2048
+
+// ValidateHeatmapWindow checks a since/step pair before any query runs:
+// both must be positive, the step must fit inside the window, and the
+// resulting bucket count must stay under MaxHeatmapBuckets. The returned
+// error text is user-facing (the omnid endpoint's 400 body).
+func ValidateHeatmapWindow(since, step time.Duration) error {
+	if since <= 0 {
+		return fmt.Errorf("since: want a positive duration like 30m, got %s", since)
+	}
+	if step <= 0 {
+		return fmt.Errorf("step: want a positive duration like 2m, got %s", step)
+	}
+	if step > since {
+		return fmt.Errorf("step %s exceeds the %s window; want step <= since", step, since)
+	}
+	if buckets := int64(since / step); buckets > MaxHeatmapBuckets {
+		return fmt.Errorf("%s window at %s step makes %d buckets; max %d — widen the step or narrow the window",
+			since, step, buckets, MaxHeatmapBuckets)
+	}
+	return nil
+}
+
 // BuildHeatmap assembles a grid from per-(node, bucket) cells over
 // [start, end) at the given step. Buckets with no cell stay zero; cells
 // for unknown buckets are clamped to the nearest. Rows are sorted by

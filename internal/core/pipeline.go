@@ -35,6 +35,7 @@ import (
 	"shastamon/internal/slack"
 	"shastamon/internal/syslogd"
 	"shastamon/internal/telemetry"
+	"shastamon/internal/tenant"
 	"shastamon/internal/vmagent"
 	"shastamon/internal/vmalert"
 	"shastamon/internal/wal"
@@ -103,6 +104,13 @@ type Options struct {
 	// the pipeline clock unless already set, so mutable-head freshness
 	// tracks simulated time in experiments.
 	Frontend frontend.Config
+	// TenantLimits supplies per-tenant warehouse limits (stream/series
+	// counts, ingest rate, chunk-cache share, query concurrency); nil
+	// keeps single-tenant behaviour.
+	TenantLimits *tenant.Overrides
+	// TenantTokens maps bearer tokens to tenant IDs on the telemetry
+	// API, alongside the single shared Token. Empty adds none.
+	TenantTokens map[string]string
 }
 
 // Pipeline is the assembled monitoring framework of Fig. 1.
@@ -318,7 +326,7 @@ func New(opts Options) (*Pipeline, error) {
 	if p.Warehouse, err = omni.Open(omni.Config{
 		Retention: opts.Retention, Shards: opts.WarehouseShards, LokiLimits: opts.LokiLimits,
 		DataDir: opts.DataDir, WAL: opts.WAL, CheckpointEvery: opts.CheckpointEvery,
-		Frontend: opts.Frontend,
+		Frontend: opts.Frontend, TenantOverrides: opts.TenantLimits,
 	}); err != nil {
 		return fail(err)
 	}
@@ -347,6 +355,14 @@ func New(opts Options) (*Pipeline, error) {
 	var tokens []string
 	if opts.Token != "" {
 		tokens = []string{opts.Token}
+		// Tenant credentials are additionally accepted on an
+		// authenticated telemetry API. They must not switch an open API
+		// to authenticated mode: the pipeline's own collectors push with
+		// opts.Token, so with no Token set the internal surface stays
+		// open and tenant auth gates only the omnid HTTP mounts.
+		for tok := range opts.TenantTokens {
+			tokens = append(tokens, tok)
+		}
 	}
 	tsrv, err := telemetry.NewServer(telemetry.ServerConfig{
 		Broker: p.Broker,

@@ -30,6 +30,7 @@ type resultCache struct {
 }
 
 type resultKey struct {
+	tenant     string
 	engine     string
 	query      string
 	step       int64
@@ -74,11 +75,11 @@ func matrixBytes(m Matrix) int {
 	return n
 }
 
-func (rc *resultCache) get(engine, query string, step int64, sp span) (Matrix, int, bool) {
+func (rc *resultCache) get(tid, engine, query string, step int64, sp span) (Matrix, int, bool) {
 	if rc == nil {
 		return nil, 0, false
 	}
-	key := resultKey{engine: engine, query: query, step: step, start: sp.start, end: sp.end}
+	key := resultKey{tenant: tid, engine: engine, query: query, step: step, start: sp.start, end: sp.end}
 	rc.mu.Lock()
 	el, ok := rc.items[key]
 	if ok {
@@ -94,7 +95,7 @@ func (rc *resultCache) get(engine, query string, step int64, sp span) (Matrix, i
 	return it.m, it.bytes, true
 }
 
-func (rc *resultCache) put(engine, query string, step int64, sp span, unit time.Duration, lookback int64, m Matrix) {
+func (rc *resultCache) put(tid, engine, query string, step int64, sp span, unit time.Duration, lookback int64, m Matrix) {
 	if rc == nil {
 		return
 	}
@@ -103,7 +104,7 @@ func (rc *resultCache) put(engine, query string, step int64, sp span, unit time.
 		return
 	}
 	minDataNS := (sp.start - lookback) * int64(unit)
-	key := resultKey{engine: engine, query: query, step: step, start: sp.start, end: sp.end}
+	key := resultKey{tenant: tid, engine: engine, query: query, step: step, start: sp.start, end: sp.end}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if minDataNS < rc.invalidatedNS {

@@ -44,6 +44,7 @@ import (
 	"shastamon/internal/parallel"
 	"shastamon/internal/promtext"
 	"shastamon/internal/stats"
+	"shastamon/internal/tenant"
 )
 
 // Defaults for the zero Config.
@@ -92,6 +93,12 @@ type Config struct {
 	// Now supplies the frontend clock for the freshness cutoff; nil =
 	// time.Now. The pipeline injects its simulated clock.
 	Now func() time.Time
+	// TenantOverrides supplies per-tenant query-concurrency limits; nil
+	// leaves every tenant at MaxConcurrent. A tenant's
+	// MaxQueryConcurrency, when positive, sizes that tenant's slot pool
+	// (still queued behind MaxQueueDepth), so one flooding tenant cannot
+	// occupy every execution slot.
+	TenantOverrides *tenant.Overrides
 }
 
 // Point is one (timestamp, value) sample in engine-native time units.
@@ -164,12 +171,22 @@ func cacheBypassed(ctx context.Context) bool {
 	return v
 }
 
-// queue is one engine's admission gate: a slot semaphore bounded by
-// MaxConcurrent with a counted wait line bounded by MaxQueueDepth.
+// queue is one (engine, tenant)'s admission gate: a slot semaphore
+// bounded by the tenant's concurrency limit (MaxConcurrent by default)
+// with a counted wait line bounded by MaxQueueDepth.
 type queue struct {
-	slots   chan struct{}
-	depth   int
-	waiting atomic.Int64
+	slots    chan struct{}
+	depth    int
+	waiting  atomic.Int64
+	rejected atomic.Int64
+}
+
+// queueKey namespaces admission queues by engine and tenant, so a
+// tenant saturating its own slots never blocks another tenant's
+// admission.
+type queueKey struct {
+	engine string
+	tenant string
 }
 
 // Frontend splits, fans out, caches and admission-controls range
@@ -180,7 +197,7 @@ type Frontend struct {
 	cache   *resultCache
 
 	mu     sync.Mutex
-	queues map[string]*queue
+	queues map[queueKey]*queue
 
 	inFlight atomic.Int64
 
@@ -217,7 +234,7 @@ func New(cfg Config) *Frontend {
 	f := &Frontend{
 		cfg:     cfg,
 		workers: parallel.Workers(cfg.Workers),
-		queues:  map[string]*queue{},
+		queues:  map[queueKey]*queue{},
 	}
 	if cfg.CacheBytes >= 0 {
 		size := cfg.CacheBytes
@@ -254,6 +271,32 @@ func (f *Frontend) QueueDepth() int64 {
 // Rejected reports queries shed because an admission queue was full.
 func (f *Frontend) Rejected() int64 { return f.rejectedTotal.Load() }
 
+// RejectedByTenant reports queries shed per tenant, summed across
+// engines, sorted by tenant ID.
+func (f *Frontend) RejectedByTenant() []TenantRejected {
+	f.mu.Lock()
+	byTenant := map[string]int64{}
+	for key, q := range f.queues {
+		byTenant[key.tenant] += q.rejected.Load()
+	}
+	f.mu.Unlock()
+	out := make([]TenantRejected, 0, len(byTenant))
+	for id, n := range byTenant {
+		if n == 0 {
+			continue // counter series appear on first increment, like Loki's
+		}
+		out = append(out, TenantRejected{Tenant: id, Rejected: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// TenantRejected is one tenant's shed-query count.
+type TenantRejected struct {
+	Tenant   string
+	Rejected int64
+}
+
 // Register exposes the frontend metric families on reg.
 func (f *Frontend) Register(reg *obs.Registry) {
 	reg.GaugeFunc(obs.Namespace+"query_frontend_queue_depth",
@@ -261,6 +304,11 @@ func (f *Frontend) Register(reg *obs.Registry) {
 		func() float64 { return float64(f.QueueDepth()) })
 	reg.Collect(func() []promtext.Family {
 		cs := f.CacheStats()
+		tenantRejected := promtext.Family{Name: obs.Namespace + "query_frontend_tenant_rejected_total",
+			Help: "Range queries shed by the admission queue, by tenant.", Type: "counter"}
+		for _, t := range f.RejectedByTenant() {
+			tenantRejected = obs.Sample(tenantRejected, float64(t.Rejected), "tenant", t.Tenant)
+		}
 		return []promtext.Family{
 			obs.Fam("counter", obs.Namespace+"query_frontend_splits_total",
 				"Range-query time splits produced by the frontend.", float64(f.splitsTotal.Load())),
@@ -281,27 +329,33 @@ func (f *Frontend) Register(reg *obs.Registry) {
 				"Approximate bytes of cached split results.", float64(cs.Bytes)),
 			obs.Fam("gauge", obs.Namespace+"query_result_cache_entries",
 				"Cached split results resident.", float64(cs.Entries)),
+			tenantRejected,
 		}
 	})
 }
 
-func (f *Frontend) queueFor(engine string) *queue {
+func (f *Frontend) queueFor(engine, tid string) *queue {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	q, ok := f.queues[engine]
+	key := queueKey{engine: engine, tenant: tid}
+	q, ok := f.queues[key]
 	if !ok {
-		q = &queue{slots: make(chan struct{}, f.cfg.MaxConcurrent), depth: f.cfg.MaxQueueDepth}
-		f.queues[engine] = q
+		slots := f.cfg.MaxConcurrent
+		if lim := f.cfg.TenantOverrides.For(tid).MaxQueryConcurrency; lim > 0 {
+			slots = lim
+		}
+		q = &queue{slots: make(chan struct{}, slots), depth: f.cfg.MaxQueueDepth}
+		f.queues[key] = q
 	}
 	return q
 }
 
-// admit takes an execution slot for engine, waiting in its bounded queue
-// if all slots are busy. A full queue rejects immediately with
-// stats.ErrQueueFull. The returned release must be called when the query
-// finishes.
-func (f *Frontend) admit(ctx context.Context, engine string) (func(), error) {
-	q := f.queueFor(engine)
+// admit takes an execution slot for (engine, tenant), waiting in its
+// bounded queue if all slots are busy. A full queue rejects immediately
+// with stats.ErrQueueFull. The returned release must be called when the
+// query finishes.
+func (f *Frontend) admit(ctx context.Context, engine, tid string) (func(), error) {
+	q := f.queueFor(engine, tid)
 	release := func() { <-q.slots }
 	select {
 	case q.slots <- struct{}{}:
@@ -314,6 +368,7 @@ func (f *Frontend) admit(ctx context.Context, engine string) (func(), error) {
 	// where it matters: a saturated queue never grows without limit.
 	if q.waiting.Add(1) > int64(q.depth) {
 		q.waiting.Add(-1)
+		q.rejected.Add(1)
 		f.rejectedTotal.Add(1)
 		return nil, fmt.Errorf("frontend: %s %w", engine, stats.ErrQueueFull)
 	}
@@ -390,8 +445,9 @@ func (f *Frontend) QueryRange(ctx context.Context, req Request) (Matrix, error) 
 		return nil, fmt.Errorf("frontend: request carries no evaluator")
 	}
 	sc := stats.FromContext(ctx)
+	tid := tenant.ID(ctx)
 	t0 := time.Now()
-	release, err := f.admit(ctx, req.Engine)
+	release, err := f.admit(ctx, req.Engine, tid)
 	if err != nil {
 		return nil, err
 	}
@@ -422,7 +478,7 @@ func (f *Frontend) QueryRange(ctx context.Context, req Request) (Matrix, error) 
 	hits := 0
 	for i, sp := range spans {
 		if useCache && sp.end <= cutoff {
-			if m, bytes, ok := f.cache.get(req.Engine, req.Query, req.Step, sp); ok {
+			if m, bytes, ok := f.cache.get(tid, req.Engine, req.Query, req.Step, sp); ok {
 				results[i] = m
 				sc.AddResultCacheHit(int64(bytes))
 				hits++
@@ -444,7 +500,7 @@ func (f *Frontend) QueryRange(ctx context.Context, req Request) (Matrix, error) 
 		}
 		results[i] = m
 		if useCache && sp.end <= cutoff {
-			f.cache.put(req.Engine, req.Query, req.Step, sp, unit, req.Lookback, m)
+			f.cache.put(tid, req.Engine, req.Query, req.Step, sp, unit, req.Lookback, m)
 		}
 	})
 	for _, err := range errs {

@@ -341,25 +341,25 @@ func TestCacheEvictionHoldsByteBudget(t *testing.T) {
 func TestInvalidateBeforeDropsAndRefusesStaleAdmissions(t *testing.T) {
 	rc := newResultCache(1 << 20)
 	m := Matrix{{Labels: labels.FromStrings("a", "b"), Points: []Point{{T: 1, V: 1}}}}
-	rc.put("logql", "q", 10, span{1000, 1090}, time.Nanosecond, 500, m)
-	if _, _, ok := rc.get("logql", "q", 10, span{1000, 1090}); !ok {
+	rc.put("fake", "logql", "q", 10, span{1000, 1090}, time.Nanosecond, 500, m)
+	if _, _, ok := rc.get("fake", "logql", "q", 10, span{1000, 1090}); !ok {
 		t.Fatal("entry not cached")
 	}
 	// Horizon reaches into the entry's data window (1000-500=500 < 600).
 	if dropped := rc.invalidateBefore(600); dropped != 1 {
 		t.Fatalf("invalidateBefore dropped %d, want 1", dropped)
 	}
-	if _, _, ok := rc.get("logql", "q", 10, span{1000, 1090}); ok {
+	if _, _, ok := rc.get("fake", "logql", "q", 10, span{1000, 1090}); ok {
 		t.Fatal("invalidated entry still served")
 	}
 	// A racing evaluation that read pre-retention data must be refused.
-	rc.put("logql", "q", 10, span{1000, 1090}, time.Nanosecond, 500, m)
-	if _, _, ok := rc.get("logql", "q", 10, span{1000, 1090}); ok {
+	rc.put("fake", "logql", "q", 10, span{1000, 1090}, time.Nanosecond, 500, m)
+	if _, _, ok := rc.get("fake", "logql", "q", 10, span{1000, 1090}); ok {
 		t.Fatal("stale admission accepted after invalidation high-water")
 	}
 	// A window fully above the horizon is admitted.
-	rc.put("logql", "q", 10, span{2000, 2090}, time.Nanosecond, 500, m)
-	if _, _, ok := rc.get("logql", "q", 10, span{2000, 2090}); !ok {
+	rc.put("fake", "logql", "q", 10, span{2000, 2090}, time.Nanosecond, 500, m)
+	if _, _, ok := rc.get("fake", "logql", "q", 10, span{2000, 2090}); !ok {
 		t.Fatal("fresh window refused")
 	}
 }

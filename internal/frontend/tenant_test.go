@@ -1,0 +1,105 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shastamon/internal/labels"
+	"shastamon/internal/stats"
+	"shastamon/internal/tenant"
+)
+
+// TestTenantQueueIsolation: a tenant pinned to one execution slot sheds
+// its own second query while another tenant (and the default) admit
+// freely on the same engine.
+func TestTenantQueueIsolation(t *testing.T) {
+	f := New(Config{
+		MaxConcurrent: 8, MaxQueueDepth: -1,
+		TenantOverrides: &tenant.Overrides{PerTenant: map[string]tenant.Limits{
+			"flood": {MaxQueryConcurrency: 1},
+		}},
+	})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	slow := Request{Engine: "logql", Query: "slow", Start: 0, End: 0, Step: 1,
+		Eval: func(ctx context.Context, start, end int64, shard int) (Matrix, error) {
+			close(started)
+			<-block
+			return Matrix{}, nil
+		},
+	}
+	floodCtx := tenant.WithID(context.Background(), "flood")
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.QueryRange(floodCtx, slow)
+		done <- err
+	}()
+	<-started
+
+	fast := Request{Engine: "logql", Query: "fast", Start: 0, End: 0, Step: 1,
+		Eval: func(ctx context.Context, start, end int64, shard int) (Matrix, error) {
+			return Matrix{}, nil
+		},
+	}
+	if _, err := f.QueryRange(floodCtx, fast); !errors.Is(err, stats.ErrQueueFull) {
+		t.Fatalf("flood tenant second query: %v, want ErrQueueFull", err)
+	}
+	// The quiet tenant and the default tenant still admit on the same
+	// engine while flood's only slot is occupied.
+	if _, err := f.QueryRange(tenant.WithID(context.Background(), "quiet"), fast); err != nil {
+		t.Fatalf("quiet tenant rejected: %v", err)
+	}
+	if _, err := f.QueryRange(context.Background(), fast); err != nil {
+		t.Fatalf("default tenant rejected: %v", err)
+	}
+
+	rej := f.RejectedByTenant()
+	if len(rej) != 1 || rej[0].Tenant != "flood" || rej[0].Rejected != 1 {
+		t.Fatalf("RejectedByTenant = %+v", rej)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantCacheKeyIsolation: the results cache is keyed by tenant, so
+// one tenant's cached splits never answer another's identical query.
+func TestTenantCacheKeyIsolation(t *testing.T) {
+	now := time.Unix(10_000, 0)
+	f := New(Config{SplitInterval: -1, Now: func() time.Time { return now }})
+	var calls atomic.Int64
+	req := Request{Engine: "logql", Query: "q", Start: 0, End: 90, Step: 10,
+		Eval: func(ctx context.Context, start, end int64, shard int) (Matrix, error) {
+			calls.Add(1)
+			return Matrix{{Labels: labels.FromStrings("app", "x"),
+				Points: []Point{{T: start, V: 1}}}}, nil
+		},
+	}
+	ctxA := tenant.WithID(context.Background(), "hpc-a")
+	ctxB := tenant.WithID(context.Background(), "hpc-b")
+
+	if _, err := f.QueryRange(ctxA, req); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("first query evals = %d", calls.Load())
+	}
+	// Same query, same window, different tenant: must evaluate again.
+	if _, err := f.QueryRange(ctxB, req); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("cross-tenant query reused cache: evals = %d, want 2", calls.Load())
+	}
+	// Same tenant again: pure cache hit.
+	if _, err := f.QueryRange(ctxA, req); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("same-tenant repeat re-evaluated: evals = %d", calls.Load())
+	}
+}

@@ -198,6 +198,37 @@ func (ls Labels) Fingerprint() Fingerprint {
 	return Fingerprint(h)
 }
 
+// Seed folds a namespace string (e.g. a tenant ID) into an FNV-1a state
+// usable as the starting offset of FingerprintSeeded. Seeding keeps
+// namespaced fingerprinting as allocation-free as the plain form: the
+// seed is computed once per namespace and reused for every label set.
+func Seed(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return (h ^ 0xff) * fnvPrime64
+}
+
+// FingerprintSeeded is Fingerprint starting from an arbitrary FNV state
+// instead of the standard offset basis. FingerprintSeeded(seed) with
+// seed = the FNV offset basis is identical to Fingerprint(), so a
+// default namespace can keep byte-identical hashes.
+func (ls Labels) FingerprintSeeded(seed uint64) Fingerprint {
+	h := seed
+	for _, l := range ls {
+		for i := 0; i < len(l.Name); i++ {
+			h = (h ^ uint64(l.Name[i])) * fnvPrime64
+		}
+		h = (h ^ 0xff) * fnvPrime64
+		for i := 0; i < len(l.Value); i++ {
+			h = (h ^ uint64(l.Value[i])) * fnvPrime64
+		}
+		h = (h ^ 0xff) * fnvPrime64
+	}
+	return Fingerprint(h)
+}
+
 // String renders the set in the {name="value", ...} form used by both
 // PromQL and LogQL.
 func (ls Labels) String() string {

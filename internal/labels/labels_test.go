@@ -87,6 +87,25 @@ func TestFingerprintDistinguishesBoundaries(t *testing.T) {
 	}
 }
 
+func TestFingerprintSeeded(t *testing.T) {
+	ls := FromStrings("app", "fm", "cluster", "perlmutter")
+	// Seeding with the FNV offset basis is the identity: the tenant layer
+	// relies on this to keep default-tenant fingerprints byte-identical.
+	if ls.FingerprintSeeded(14695981039346656037) != ls.Fingerprint() {
+		t.Fatal("offset-basis seed diverges from plain Fingerprint")
+	}
+	s1, s2 := Seed("hpc-a"), Seed("hpc-b")
+	if s1 == s2 {
+		t.Fatal("distinct strings share a seed")
+	}
+	if ls.FingerprintSeeded(s1) == ls.FingerprintSeeded(s2) {
+		t.Fatal("distinct seeds share a fingerprint")
+	}
+	if ls.FingerprintSeeded(s1) != ls.Copy().FingerprintSeeded(s1) {
+		t.Fatal("seeded fingerprint not deterministic")
+	}
+}
+
 func TestString(t *testing.T) {
 	ls := FromStrings("app", "fm", "cluster", "perlmutter")
 	got := ls.String()

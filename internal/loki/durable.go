@@ -28,6 +28,7 @@ import (
 	"shastamon/internal/chunkenc"
 	"shastamon/internal/labels"
 	"shastamon/internal/resilience"
+	"shastamon/internal/tenant"
 	"shastamon/internal/wal"
 )
 
@@ -70,6 +71,7 @@ type RecoveryInfo struct {
 // JSON string escaping that would mangle non-UTF-8 log lines.
 type ckptStream struct {
 	Labels [][2]string `json:"labels"`
+	Tenant string      `json:"tenant,omitempty"` // empty = default tenant
 	LastTS int64       `json:"last_ts"`
 	Chunks []string    `json:"chunks,omitempty"` // spill file basenames
 	Head   []byte      `json:"head,omitempty"`
@@ -135,10 +137,16 @@ func (s *Store) WALBreaker() *resilience.Breaker {
 // --- record codec -----------------------------------------------------
 
 // walPrefixFor caches the encoded [type][labels] prefix on the stream;
-// called under st.mu.
+// called under st.mu. Non-default tenants ride in the record's label set
+// as the reserved __tenant__ label, so old WALs (no such label) replay
+// into the default namespace unchanged.
 func (st *stream) walPrefixFor() []byte {
 	if st.walPrefix == nil {
-		st.walPrefix = wal.AppendLabels([]byte{wal.RecLogStream}, st.labels)
+		ls := st.labels
+		if st.tenant != "" && st.tenant != tenant.DefaultID {
+			ls = ls.With(tenant.ReservedLabel, st.tenant)
+		}
+		st.walPrefix = wal.AppendLabels([]byte{wal.RecLogStream}, ls)
 	}
 	return st.walPrefix
 }
@@ -186,19 +194,24 @@ func readEntries(buf []byte) ([]Entry, []byte, error) {
 	return out, buf, nil
 }
 
-func decodeLogRecord(payload []byte) (PushStream, error) {
+func decodeLogRecord(payload []byte) (string, PushStream, error) {
 	if len(payload) == 0 || payload[0] != wal.RecLogStream {
-		return PushStream{}, fmt.Errorf("loki: wal record type: %w", wal.ErrCorrupt)
+		return "", PushStream{}, fmt.Errorf("loki: wal record type: %w", wal.ErrCorrupt)
 	}
 	ls, rest, err := wal.ReadLabels(payload[1:])
 	if err != nil {
-		return PushStream{}, err
+		return "", PushStream{}, err
 	}
 	entries, _, err := readEntries(rest)
 	if err != nil {
-		return PushStream{}, err
+		return "", PushStream{}, err
 	}
-	return PushStream{Labels: ls, Entries: entries}, nil
+	tid := tenant.DefaultID
+	if v := ls.Get(tenant.ReservedLabel); v != "" {
+		tid = v
+		ls = ls.Without(tenant.ReservedLabel)
+	}
+	return tid, PushStream{Labels: ls, Entries: entries}, nil
 }
 
 // --- spill ------------------------------------------------------------
@@ -357,6 +370,9 @@ func (s *Store) Checkpoint() error {
 // resident sealed chunks so the checkpoint can reference them by file.
 func (s *Store) snapshotStream(st *stream, refs map[string]bool) (ckptStream, error) {
 	cs := ckptStream{LastTS: st.lastTS}
+	if st.tenant != "" && st.tenant != tenant.DefaultID {
+		cs.Tenant = st.tenant
+	}
 	for _, l := range st.labels {
 		cs.Labels = append(cs.Labels, [2]string{l.Name, l.Value})
 	}
@@ -502,12 +518,12 @@ func (s *Store) recover(dir string) (RecoveryInfo, int, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		st, err := wal.Replay(filepath.Join(walRoot, name), true, func(payload []byte) error {
-			ps, err := decodeLogRecord(payload)
+			tid, ps, err := decodeLogRecord(payload)
 			if err != nil {
 				corrupt++
 				return nil // skip the record, keep replaying
 			}
-			if err := s.pushStream(ps); err != nil {
+			if err := s.pushStreamTenant(s.tenantStateFor(tid), ps); err != nil {
 				// Validation rediscovers the same discards as the
 				// original push (OOO vs checkpointed lastTS, limits);
 				// never fatal for replay.
@@ -549,7 +565,11 @@ func (s *Store) restoreCheckpoint(ck ckptFile) (corrupt int, err error) {
 		for _, pair := range cs.Labels {
 			ls = append(ls, labels.Label{Name: pair[0], Value: pair[1]})
 		}
-		st, _, err := s.getOrCreateStream(labels.New(ls...))
+		tid := cs.Tenant
+		if tid == "" {
+			tid = tenant.DefaultID
+		}
+		st, _, err := s.getOrCreateStream(s.tenantStateFor(tid), labels.New(ls...))
 		if err != nil {
 			return corrupt, fmt.Errorf("loki: checkpoint restore: %w", err)
 		}

@@ -2,6 +2,7 @@ package loki
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"shastamon/internal/labels"
+	"shastamon/internal/tenant"
 )
 
 // This file implements Loki's HTTP API surface so that Promtail-style
@@ -89,16 +91,21 @@ func (s *Store) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := s.Push(streams); err != nil {
-			// Loki returns 400 for validation/ordering rejects.
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := s.PushTenant(tenant.FromRequest(r), streams); err != nil {
+			// Loki returns 400 for validation/ordering rejects and 429
+			// when the tenant's ingest quota is exhausted.
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrRateLimited) {
+				code = http.StatusTooManyRequests
+			}
+			http.Error(w, err.Error(), code)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("/loki/api/v1/labels", func(w http.ResponseWriter, r *http.Request) {
 		names := map[string]bool{}
-		for _, ls := range s.Series(nil) {
+		for _, ls := range s.SeriesTenant(tenant.FromRequest(r), nil) {
 			for _, l := range ls {
 				names[l.Name] = true
 			}
@@ -117,7 +124,7 @@ func (s *Store) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		writeLokiJSON(w, map[string]interface{}{"status": "success", "data": s.LabelValues(name)})
+		writeLokiJSON(w, map[string]interface{}{"status": "success", "data": s.LabelValuesTenant(tenant.FromRequest(r), name)})
 	})
 	mux.HandleFunc("/loki/api/v1/series", func(w http.ResponseWriter, r *http.Request) {
 		var sel labels.Selector
@@ -130,7 +137,7 @@ func (s *Store) Handler() http.Handler {
 			sel = parsed
 		}
 		var data []map[string]string
-		for _, ls := range s.Series(sel) {
+		for _, ls := range s.SeriesTenant(tenant.FromRequest(r), sel) {
 			data = append(data, ls.Map())
 		}
 		writeLokiJSON(w, map[string]interface{}{"status": "success", "data": data})
@@ -177,6 +184,8 @@ func parseSimpleSelector(s string) (labels.Selector, error) {
 type Client struct {
 	url    string
 	client *http.Client
+	org    string
+	token  string
 }
 
 // NewClient returns a push client for the Loki at base URL.
@@ -187,13 +196,32 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{url: base + "/loki/api/v1/push", client: httpClient}
 }
 
+// SetOrgID stamps the X-Scope-OrgID header on every push, routing the
+// batches into that tenant's namespace.
+func (c *Client) SetOrgID(id string) { c.org = id }
+
+// SetToken sends a bearer token with every push, for stores behind
+// tenant auth.
+func (c *Client) SetToken(tok string) { c.token = tok }
+
 // Push sends one batch.
 func (c *Client) Push(streams []PushStream) error {
 	body, err := MarshalPushRequest(streams)
 	if err != nil {
 		return err
 	}
-	resp, err := c.client.Post(c.url, "application/json", strings.NewReader(string(body)))
+	req, err := http.NewRequest(http.MethodPost, c.url, strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.org != "" {
+		req.Header.Set(tenant.OrgIDHeader, c.org)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("loki: push: %w", err)
 	}

@@ -27,6 +27,7 @@ import (
 	"shastamon/internal/obs"
 	"shastamon/internal/parallel"
 	"shastamon/internal/stats"
+	"shastamon/internal/tenant"
 )
 
 // Entry is a single log line.
@@ -68,6 +69,11 @@ type Limits struct {
 	// SlowQuerySeconds is the /debug/slowlog threshold: tracked queries at
 	// least this slow are recorded. 0 disables duration-based slowlogging.
 	SlowQuerySeconds float64
+
+	// TenantOverrides resolve per-tenant quotas (stream caps, ingest
+	// rate, chunk-cache share). nil = no per-tenant bounds; the store-wide
+	// limits above still apply. A pointer keeps Limits comparable.
+	TenantOverrides *tenant.Overrides
 }
 
 // DefaultLimits mirror Loki 2.4 defaults at simulator scale.
@@ -88,6 +94,12 @@ var (
 	ErrLineTooLong   = errors.New("loki: line exceeds max size")
 	ErrMaxStreams    = errors.New("loki: per-store stream limit exceeded")
 	ErrEmptyLabels   = errors.New("loki: stream must carry at least one label")
+	// ErrRateLimited rejects a whole push batch when the tenant's ingest
+	// token bucket is empty; HTTP maps it to 429.
+	ErrRateLimited = errors.New("loki: tenant ingest rate limit exceeded")
+	// ErrReservedLabel rejects pushes carrying the internal __tenant__
+	// label the WAL uses to persist stream ownership.
+	ErrReservedLabel = errors.New("loki: " + tenant.ReservedLabel + " is a reserved label")
 )
 
 // stream is the per-label-set state: an ordered list of filled chunks plus
@@ -95,6 +107,9 @@ var (
 type stream struct {
 	labels labels.Labels
 	fp     labels.Fingerprint
+	// tenant namespaces the stream: two tenants pushing identical label
+	// sets get distinct streams (and, seeded, distinct fingerprints).
+	tenant string
 
 	mu     sync.Mutex
 	chunks []*chunkenc.Chunk // sealed (full) chunks, oldest first
@@ -148,6 +163,31 @@ type Store struct {
 	// dur is the durability layer (WAL + spill + checkpoint); nil for a
 	// memory-only store. See durable.go.
 	dur *durability
+
+	// Tenant namespaces. defTenant is the cached default-tenant state so
+	// the single-tenant hot path never touches the map or its lock.
+	defTenant *tenantState
+	tmu       sync.RWMutex
+	tenants   map[string]*tenantState
+
+	// nowNS feeds the per-tenant rate limiters; swapped in tests.
+	nowNS func() int64
+}
+
+// tenantState is the per-tenant slice of the store: exact stream
+// accounting, ingest counters, and the optional rate limiter and private
+// chunk cache the tenant's overrides configure.
+type tenantState struct {
+	id         string
+	maxStreams int64
+
+	streams     atomic.Int64
+	entries     atomic.Int64
+	bytes       atomic.Int64
+	rateLimited atomic.Int64
+
+	limiter *tenant.RateLimiter
+	cache   *chunkenc.BlockCache
 }
 
 // NewStore returns an empty store with the given limits.
@@ -166,7 +206,73 @@ func NewStore(limits Limits) *Store {
 	if limits.ChunkCacheBytes >= 0 {
 		s.cache = chunkenc.NewBlockCache(limits.ChunkCacheBytes)
 	}
+	s.nowNS = func() int64 { return time.Now().UnixNano() }
+	s.tenants = map[string]*tenantState{}
+	s.defTenant = s.newTenantState(tenant.DefaultID)
+	s.tenants[tenant.DefaultID] = s.defTenant
 	return s
+}
+
+// newTenantState materializes a tenant's quotas from the overrides.
+func (s *Store) newTenantState(id string) *tenantState {
+	lim := s.limits.TenantOverrides.For(id)
+	ts := &tenantState{id: id, maxStreams: int64(lim.MaxStreams)}
+	if lim.IngestRateBytes > 0 {
+		ts.limiter = tenant.NewRateLimiter(float64(lim.IngestRateBytes), float64(lim.IngestBurstBytes))
+	}
+	if lim.ChunkCacheShare > 0 && s.cache != nil {
+		total := s.limits.ChunkCacheBytes
+		if total == 0 {
+			total = chunkenc.DefaultCacheBytes
+		}
+		if b := int(float64(total) * lim.ChunkCacheShare); b > 0 {
+			ts.cache = chunkenc.NewBlockCache(b)
+		}
+	}
+	return ts
+}
+
+// tenantStateFor returns (creating on first use) the tenant's state. The
+// default tenant takes a direct field read — no lock, no map.
+func (s *Store) tenantStateFor(id string) *tenantState {
+	if id == "" || id == tenant.DefaultID {
+		return s.defTenant
+	}
+	s.tmu.RLock()
+	ts := s.tenants[id]
+	s.tmu.RUnlock()
+	if ts != nil {
+		return ts
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if ts = s.tenants[id]; ts == nil {
+		ts = s.newTenantState(id)
+		s.tenants[id] = ts
+	}
+	return ts
+}
+
+// tenantStatePeek is the read-path lookup: it never creates state, so a
+// query for an unknown tenant cannot grow the tenant map (or surface a
+// zero row in TenantStats).
+func (s *Store) tenantStatePeek(id string) *tenantState {
+	if id == "" || id == tenant.DefaultID {
+		return s.defTenant
+	}
+	s.tmu.RLock()
+	ts := s.tenants[id]
+	s.tmu.RUnlock()
+	return ts
+}
+
+// cacheFor picks the tenant's private sealed-block cache when one is
+// configured, else the shared store cache.
+func (s *Store) cacheFor(ts *tenantState) *chunkenc.BlockCache {
+	if ts != nil && ts.cache != nil {
+		return ts.cache
+	}
+	return s.cache
 }
 
 // Shards returns the number of lock stripes the store runs.
@@ -202,9 +308,35 @@ func (s *Store) shardIndex(fp labels.Fingerprint) int {
 // counted, mirroring Loki's reject-and-continue behaviour. The first
 // validation error is returned after the whole batch is processed.
 func (s *Store) Push(batch []PushStream) error {
+	return s.PushTenant(tenant.DefaultID, batch)
+}
+
+// PushContext is Push under the context's tenant (see tenant.WithID).
+func (s *Store) PushContext(ctx context.Context, batch []PushStream) error {
+	return s.PushTenant(tenant.ID(ctx), batch)
+}
+
+// PushTenant ingests a batch into one tenant's namespace. When the
+// tenant has an ingest rate quota, the whole batch is admitted or
+// rejected (ErrRateLimited) against its line bytes up front, mirroring
+// Loki's per-tenant distributor check.
+func (s *Store) PushTenant(id string, batch []PushStream) error {
+	ts := s.tenantStateFor(id)
+	if ts.limiter != nil {
+		var n int64
+		for _, ps := range batch {
+			for _, e := range ps.Entries {
+				n += int64(len(e.Line))
+			}
+		}
+		if !ts.limiter.AllowNLazy(s.nowNS, float64(n)) {
+			ts.rateLimited.Add(n)
+			return fmt.Errorf("%w (tenant %s)", ErrRateLimited, id)
+		}
+	}
 	var firstErr error
 	for _, ps := range batch {
-		if err := s.pushStream(ps); err != nil && firstErr == nil {
+		if err := s.pushStreamTenant(ts, ps); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -212,6 +344,10 @@ func (s *Store) Push(batch []PushStream) error {
 }
 
 func (s *Store) pushStream(ps PushStream) error {
+	return s.pushStreamTenant(s.defTenant, ps)
+}
+
+func (s *Store) pushStreamTenant(ts *tenantState, ps PushStream) error {
 	if len(ps.Labels) == 0 {
 		return ErrEmptyLabels
 	}
@@ -221,7 +357,10 @@ func (s *Store) pushStream(ps PushStream) error {
 	if err := ps.Labels.Validate(); err != nil {
 		return err
 	}
-	st, sh, err := s.getOrCreateStream(ps.Labels)
+	if ps.Labels.Has(tenant.ReservedLabel) {
+		return ErrReservedLabel
+	}
+	st, sh, err := s.getOrCreateStream(ts, ps.Labels)
 	if err != nil {
 		return err
 	}
@@ -273,6 +412,8 @@ func (s *Store) pushStream(ps PushStream) error {
 	st.mu.Unlock()
 	sh.entries.Add(accepted)
 	sh.rawBytes.Add(bytes)
+	ts.entries.Add(accepted)
+	ts.bytes.Add(bytes)
 	if dSize > 0 {
 		sh.discardedSize.Add(dSize)
 	}
@@ -302,12 +443,12 @@ func (st *stream) append(e Entry, opt chunkenc.Options) (*chunkenc.Chunk, error)
 	return nil, err
 }
 
-func (s *Store) getOrCreateStream(ls labels.Labels) (*stream, *shard, error) {
-	fp := ls.Fingerprint()
+func (s *Store) getOrCreateStream(ts *tenantState, ls labels.Labels) (*stream, *shard, error) {
+	fp := tenant.Fingerprint(ts.id, ls)
 	sh := s.shardFor(fp)
 	sh.mu.RLock()
 	for _, st := range sh.streams[fp] {
-		if st.labels.Equal(ls) {
+		if st.tenant == ts.id && st.labels.Equal(ls) {
 			sh.mu.RUnlock()
 			return st, sh, nil
 		}
@@ -317,17 +458,24 @@ func (s *Store) getOrCreateStream(ls labels.Labels) (*stream, *shard, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, st := range sh.streams[fp] {
-		if st.labels.Equal(ls) {
+		if st.tenant == ts.id && st.labels.Equal(ls) {
 			return st, sh, nil
 		}
 	}
-	// Reserve a slot before creating: the add is atomic across shards, so
-	// concurrent creators can never overshoot MaxStreams.
+	// Reserve a slot before creating: the adds are atomic across shards,
+	// so concurrent creators can never overshoot the store-wide or the
+	// per-tenant MaxStreams; a tripped tenant limit rolls the store-wide
+	// reservation back.
 	if n := s.streamCount.Add(1); s.limits.MaxStreams > 0 && n > int64(s.limits.MaxStreams) {
 		s.streamCount.Add(-1)
 		return nil, nil, ErrMaxStreams
 	}
-	st := &stream{labels: ls.Copy(), fp: fp, lastTS: -1 << 62}
+	if n := ts.streams.Add(1); ts.maxStreams > 0 && n > ts.maxStreams {
+		ts.streams.Add(-1)
+		s.streamCount.Add(-1)
+		return nil, nil, fmt.Errorf("%w (tenant %s)", ErrMaxStreams, ts.id)
+	}
+	st := &stream{labels: ls.Copy(), fp: fp, tenant: ts.id, lastTS: -1 << 62}
 	sh.streams[fp] = append(sh.streams[fp], st)
 	sh.ordered = append(sh.ordered, st)
 	return st, sh, nil
@@ -359,6 +507,7 @@ func (s *Store) Select(sel []*labels.Matcher, mint, maxt int64) ([]SelectedStrea
 func (s *Store) SelectContext(ctx context.Context, sel []*labels.Matcher, mint, maxt int64) ([]SelectedStream, error) {
 	sc := stats.FromContext(ctx)
 	started := time.Now()
+	tid := tenant.ID(ctx)
 	sel, shardIdx, shardOf, err := splitShardMatcher(sel)
 	if err != nil {
 		return nil, err
@@ -369,6 +518,9 @@ func (s *Store) SelectContext(ctx context.Context, sel []*labels.Matcher, mint, 
 		sh.mu.RLock()
 		n := len(cand)
 		for _, st := range sh.ordered {
+			if st.tenant != tid {
+				continue
+			}
 			if shardOf > 0 && uint64(st.fp)%uint64(shardOf) != uint64(shardIdx) {
 				continue
 			}
@@ -384,10 +536,11 @@ func (s *Store) SelectContext(ctx context.Context, sel []*labels.Matcher, mint, 
 	sc.AddShardsTouched(int64(shardsTouched))
 	sc.AddStreams(int64(len(cand)))
 
+	qcache := s.cacheFor(s.tenantStatePeek(tid))
 	results := make([][]Entry, len(cand))
 	errs := make([]error, len(cand))
 	parallel.Do(len(cand), parallel.Workers(0), &s.queryInFlight, func(i int) {
-		results[i], errs[i] = cand[i].query(ctx, mint, maxt, s.cache, sc)
+		results[i], errs[i] = cand[i].query(ctx, mint, maxt, qcache, sc)
 	})
 	sc.AddSpan("loki.select", started, time.Now(),
 		fmt.Sprintf("%d streams over %d shards", len(cand), shardsTouched))
@@ -503,12 +656,21 @@ func (st *stream) query(ctx context.Context, mint, maxt int64, cache *chunkenc.B
 	return out, nil
 }
 
-// Series returns the label sets of all streams matching the selector.
+// Series returns the label sets of the default tenant's streams matching
+// the selector.
 func (s *Store) Series(sel []*labels.Matcher) []labels.Labels {
+	return s.SeriesTenant(tenant.DefaultID, sel)
+}
+
+// SeriesTenant is Series within one tenant's namespace.
+func (s *Store) SeriesTenant(id string, sel []*labels.Matcher) []labels.Labels {
 	var out []labels.Labels
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		for _, st := range sh.ordered {
+			if st.tenant != id {
+				continue
+			}
 			if labels.MatchLabels(st.labels, sel) {
 				out = append(out, st.labels)
 			}
@@ -519,13 +681,21 @@ func (s *Store) Series(sel []*labels.Matcher) []labels.Labels {
 	return out
 }
 
-// LabelValues returns the sorted distinct values of a label name across all
-// streams; used by dashboards for variable dropdowns.
+// LabelValues returns the sorted distinct values of a label name across the
+// default tenant's streams; used by dashboards for variable dropdowns.
 func (s *Store) LabelValues(name string) []string {
+	return s.LabelValuesTenant(tenant.DefaultID, name)
+}
+
+// LabelValuesTenant is LabelValues within one tenant's namespace.
+func (s *Store) LabelValuesTenant(id, name string) []string {
 	set := map[string]bool{}
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		for _, st := range sh.ordered {
+			if st.tenant != id {
+				continue
+			}
 			if v := st.labels.Get(name); v != "" {
 				set[v] = true
 			}
@@ -580,6 +750,33 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// TenantStat is one tenant's slice of the ingest accounting.
+type TenantStat struct {
+	Tenant           string
+	Streams          int64
+	Entries          int64
+	RawBytes         int64
+	RateLimitedBytes int64
+}
+
+// TenantStats snapshots per-tenant counters, sorted by tenant ID.
+func (s *Store) TenantStats() []TenantStat {
+	s.tmu.RLock()
+	out := make([]TenantStat, 0, len(s.tenants))
+	for _, ts := range s.tenants {
+		out = append(out, TenantStat{
+			Tenant:           ts.id,
+			Streams:          ts.streams.Load(),
+			Entries:          ts.entries.Load(),
+			RawBytes:         ts.bytes.Load(),
+			RateLimitedBytes: ts.rateLimited.Load(),
+		})
+	}
+	s.tmu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
 // Flush seals the open head block of every stream so that Stats reports
 // fully-compressed sizes; ingestion may continue afterwards. Sealing
 // compresses, so streams are flushed on the worker pool.
@@ -617,12 +814,13 @@ func (s *Store) DeleteBefore(ts int64) int {
 		sh.mu.Lock()
 		keptStreams := sh.ordered[:0]
 		for _, st := range sh.ordered {
+			tcache := s.cacheFor(s.tenantStateFor(st.tenant))
 			st.mu.Lock()
 			kept := st.chunks[:0]
 			for _, c := range st.chunks {
 				if _, maxt, ok := c.Bounds(); ok && maxt < ts {
 					dropped++
-					s.cache.DropChunk(c)
+					tcache.DropChunk(c)
 					// The spill file (if any) is left for the next
 					// checkpoint's GC: an in-flight query that captured
 					// the chunk before retention ran may still fault
@@ -636,7 +834,7 @@ func (s *Store) DeleteBefore(ts int64) int {
 			if st.head != nil {
 				if _, maxt, ok := st.head.Bounds(); ok && maxt < ts {
 					dropped++
-					s.cache.DropChunk(st.head)
+					tcache.DropChunk(st.head)
 					st.head = nil
 				}
 			}
@@ -655,6 +853,7 @@ func (s *Store) DeleteBefore(ts int64) int {
 					delete(sh.streams, st.fp)
 				}
 				s.streamCount.Add(-1)
+				s.tenantStateFor(st.tenant).streams.Add(-1)
 				continue
 			}
 			keptStreams = append(keptStreams, st)

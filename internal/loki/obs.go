@@ -21,6 +21,20 @@ func (s *Store) Metrics() *obs.Registry {
 			for i, n := range s.ShardPushes() {
 				shardPushes = obs.Sample(shardPushes, float64(n), "shard", strconv.Itoa(i))
 			}
+			tenantStreams := promtext.Family{Name: obs.Namespace + "loki_tenant_streams",
+				Help: "Live log streams, by tenant.", Type: "gauge"}
+			tenantEntries := promtext.Family{Name: obs.Namespace + "loki_tenant_entries_total",
+				Help: "Log entries accepted, by tenant.", Type: "counter"}
+			tenantBytes := promtext.Family{Name: obs.Namespace + "loki_tenant_ingest_bytes_total",
+				Help: "Raw log bytes accepted, by tenant.", Type: "counter"}
+			tenantLimited := promtext.Family{Name: obs.Namespace + "loki_tenant_rate_limited_bytes_total",
+				Help: "Log bytes rejected by the tenant ingest rate limiter, by tenant.", Type: "counter"}
+			for _, t := range s.TenantStats() {
+				tenantStreams = obs.Sample(tenantStreams, float64(t.Streams), "tenant", t.Tenant)
+				tenantEntries = obs.Sample(tenantEntries, float64(t.Entries), "tenant", t.Tenant)
+				tenantBytes = obs.Sample(tenantBytes, float64(t.RawBytes), "tenant", t.Tenant)
+				tenantLimited = obs.Sample(tenantLimited, float64(t.RateLimitedBytes), "tenant", t.Tenant)
+			}
 			return []promtext.Family{
 				obs.Fam("gauge", obs.Namespace+"loki_streams",
 					"Live log streams (distinct label sets).", float64(st.Streams)),
@@ -47,6 +61,10 @@ func (s *Store) Metrics() *obs.Registry {
 					"Raw bytes of decoded blocks currently cached.", float64(cs.Bytes)),
 				obs.Fam("gauge", obs.Namespace+"loki_query_parallelism",
 					"In-flight parallel stream-query workers.", float64(s.QueryParallelism())),
+				tenantStreams,
+				tenantEntries,
+				tenantBytes,
+				tenantLimited,
 			}
 		})
 		s.obsReg = reg

@@ -9,6 +9,7 @@ package omni
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"shastamon/internal/promql"
 	"shastamon/internal/promtext"
 	"shastamon/internal/stats"
+	"shastamon/internal/tenant"
 	"shastamon/internal/tsdb"
 	"shastamon/internal/wal"
 )
@@ -65,6 +67,14 @@ type Config struct {
 	// results cache and query admission control). The zero value takes
 	// the frontend defaults.
 	Frontend frontend.Config
+
+	// TenantOverrides supplies per-tenant limits (stream/series counts,
+	// ingest rate, chunk-cache share, query concurrency) to every layer
+	// of the warehouse: the log store, the metrics store and the query
+	// frontend. Nil leaves everything single-tenant-unbounded, and any
+	// explicit LokiLimits.TenantOverrides or Frontend.TenantOverrides
+	// wins for its layer.
+	TenantOverrides *tenant.Overrides
 }
 
 // Warehouse is the OMNI façade.
@@ -120,8 +130,19 @@ func New(cfg Config) *Warehouse {
 	if cfg.LokiLimits.Shards == 0 {
 		cfg.LokiLimits.Shards = cfg.Shards
 	}
+	if cfg.TenantOverrides != nil {
+		if cfg.LokiLimits.TenantOverrides == nil {
+			cfg.LokiLimits.TenantOverrides = cfg.TenantOverrides
+		}
+		if cfg.Frontend.TenantOverrides == nil {
+			cfg.Frontend.TenantOverrides = cfg.TenantOverrides
+		}
+	}
 	logs := loki.NewStore(cfg.LokiLimits)
 	metrics := tsdb.NewSharded(cfg.Shards)
+	if cfg.TenantOverrides != nil {
+		metrics.SetTenantOverrides(cfg.TenantOverrides)
+	}
 	if cfg.DownsampleResolution <= 0 {
 		cfg.DownsampleResolution = 5 * time.Minute
 	}
@@ -187,12 +208,23 @@ func (w *Warehouse) ingestFault(op string) error {
 }
 
 // IngestLogs pushes log streams into the log store (and, when
-// IndexEvents is on, into the full-text index).
+// IndexEvents is on, into the full-text index) under the default tenant.
 func (w *Warehouse) IngestLogs(batch []loki.PushStream) error {
+	return w.IngestLogsTenant(tenant.DefaultID, batch)
+}
+
+// IngestLogsTenant is IngestLogs into the named tenant's namespace,
+// subject to that tenant's stream and ingest-rate limits.
+func (w *Warehouse) IngestLogsTenant(id string, batch []loki.PushStream) error {
 	if err := w.ingestFault("logs"); err != nil {
 		return fmt.Errorf("omni: ingest logs: %w", err)
 	}
-	err := w.Logs.Push(batch)
+	err := w.Logs.PushTenant(id, batch)
+	if err != nil && errors.Is(err, loki.ErrRateLimited) {
+		// The whole batch was shed before ingestion: nothing to count or
+		// index.
+		return err
+	}
 	var n, bytes int64
 	for _, ps := range batch {
 		n += int64(len(ps.Entries))

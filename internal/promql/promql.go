@@ -584,7 +584,7 @@ func (e *Engine) InstantContext(ctx context.Context, expr Expr, ts int64) (Vecto
 		if err != nil {
 			return nil, err
 		}
-		data := e.db.LatestBefore(ms, ts, e.lookback.Milliseconds())
+		data := e.db.LatestBeforeContext(ctx, ms, ts, e.lookback.Milliseconds())
 		out := make(Vector, 0, len(data))
 		for _, sd := range data {
 			out = append(out, Sample{Labels: sd.Labels, T: ts, V: sd.Samples[0].V})
@@ -597,7 +597,7 @@ func (e *Engine) InstantContext(ctx context.Context, expr Expr, ts int64) (Vecto
 		if err != nil {
 			return nil, err
 		}
-		data := e.db.LatestBefore(ms, ts, e.lookback.Milliseconds())
+		data := e.db.LatestBeforeContext(ctx, ms, ts, e.lookback.Milliseconds())
 		if len(data) > 0 {
 			return nil, nil
 		}

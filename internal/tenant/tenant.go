@@ -1,0 +1,270 @@
+// Package tenant carries the multi-tenancy primitives shared by the
+// warehouse stores, the query frontend and the HTTP surface: the org
+// header and context plumbing that identify a tenant, per-tenant limit
+// overrides, static bearer-token authentication, and a token-bucket
+// ingest rate limiter.
+//
+// Real Loki threads an X-Scope-OrgID header through every API and falls
+// back to the literal org "fake" when auth is disabled; this package
+// mirrors both choices so single-tenant deployments (no header, no
+// tokens) behave byte-identically to the pre-tenant store.
+package tenant
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"shastamon/internal/labels"
+)
+
+const (
+	// DefaultID is the tenant everything belongs to when no org header is
+	// present — Loki's auth_enabled:false org ID.
+	DefaultID = "fake"
+	// OrgIDHeader names the tenant on push and query requests.
+	OrgIDHeader = "X-Scope-OrgID"
+	// ReservedLabel is the internal label the WAL and checkpoints use to
+	// persist a stream's tenant. Pushes must never carry it.
+	ReservedLabel = "__tenant__"
+)
+
+type ctxKey struct{}
+
+// WithID returns a context carrying the tenant ID; empty normalizes to
+// DefaultID.
+func WithID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		id = DefaultID
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// ID extracts the tenant from the context, DefaultID when absent.
+func ID(ctx context.Context) string {
+	if id, ok := ctx.Value(ctxKey{}).(string); ok && id != "" {
+		return id
+	}
+	return DefaultID
+}
+
+// FromRequest resolves a request's tenant: the context value if the auth
+// middleware already ran, else the org header, else DefaultID.
+func FromRequest(r *http.Request) string {
+	if id, ok := r.Context().Value(ctxKey{}).(string); ok && id != "" {
+		return id
+	}
+	if id := r.Header.Get(OrgIDHeader); id != "" {
+		return id
+	}
+	return DefaultID
+}
+
+// ValidateID bounds tenant IDs to a shape safe for metric labels, WAL
+// label values and file names.
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("tenant: empty tenant ID")
+	}
+	if len(id) > 128 {
+		return fmt.Errorf("tenant: tenant ID longer than 128 bytes")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("tenant: invalid character %q in tenant ID", c)
+		}
+	}
+	return nil
+}
+
+// Fingerprint hashes a label set within a tenant's namespace. The default
+// tenant uses the plain fingerprint so single-tenant stores keep
+// byte-identical striping and iteration order; other tenants fold their
+// ID into the FNV seed, which costs nothing per label set.
+func Fingerprint(id string, ls labels.Labels) labels.Fingerprint {
+	if id == "" || id == DefaultID {
+		return ls.Fingerprint()
+	}
+	return ls.FingerprintSeeded(labels.Seed(id))
+}
+
+// Limits are the per-tenant quotas. The zero value of any field means
+// "no tenant-specific bound" — the store-wide limit (if any) still
+// applies.
+type Limits struct {
+	// MaxStreams caps live log streams and TSDB series for the tenant.
+	MaxStreams int
+	// IngestRateBytes caps accepted log bytes per second (token bucket).
+	IngestRateBytes int
+	// IngestBurstBytes is the bucket depth; 0 = IngestRateBytes.
+	IngestBurstBytes int
+	// MaxQueryConcurrency caps the tenant's slots in each frontend
+	// admission queue; 0 = the frontend-wide MaxConcurrent.
+	MaxQueryConcurrency int
+	// ChunkCacheShare gives the tenant a private sealed-block cache sized
+	// as this fraction of the store's cache budget; 0 = share the common
+	// cache.
+	ChunkCacheShare float64
+}
+
+// Overrides resolve per-tenant limits: an explicit PerTenant entry wins
+// wholly, otherwise Defaults apply. Treat as immutable once handed to a
+// store.
+type Overrides struct {
+	Defaults  Limits
+	PerTenant map[string]Limits
+}
+
+// For returns the limits for a tenant; nil-safe (zero Limits).
+func (o *Overrides) For(id string) Limits {
+	if o == nil {
+		return Limits{}
+	}
+	if lim, ok := o.PerTenant[id]; ok {
+		return lim
+	}
+	return o.Defaults
+}
+
+// Auth is the static bearer-token authenticator for the HTTP APIs. With
+// no tokens configured it runs open: requests pass through and the
+// tenant comes from the org header. With tokens, every request must
+// carry a known Authorization: Bearer token, and an org header (if
+// present) must agree with the token's tenant.
+type Auth struct {
+	tokens map[string]string // token -> tenant
+}
+
+// NewAuth builds an authenticator from a token→tenant map; nil or empty
+// means auth disabled.
+func NewAuth(tokens map[string]string) *Auth {
+	if len(tokens) == 0 {
+		return &Auth{}
+	}
+	cp := make(map[string]string, len(tokens))
+	for tok, id := range tokens {
+		cp[tok] = id
+	}
+	return &Auth{tokens: cp}
+}
+
+// Enabled reports whether any tokens are configured.
+func (a *Auth) Enabled() bool { return a != nil && len(a.tokens) > 0 }
+
+// Authenticate resolves the request's tenant, or an error that should
+// surface as 401.
+func (a *Auth) Authenticate(r *http.Request) (string, error) {
+	header := r.Header.Get(OrgIDHeader)
+	if !a.Enabled() {
+		if header == "" {
+			return DefaultID, nil
+		}
+		if err := ValidateID(header); err != nil {
+			return "", err
+		}
+		return header, nil
+	}
+	raw := r.Header.Get("Authorization")
+	tok, ok := strings.CutPrefix(raw, "Bearer ")
+	if !ok || tok == "" {
+		return "", fmt.Errorf("tenant: missing bearer token")
+	}
+	id, ok := a.tokens[tok]
+	if !ok {
+		return "", fmt.Errorf("tenant: unknown token")
+	}
+	if header != "" && header != id {
+		return "", fmt.Errorf("tenant: org header %q does not match token tenant", header)
+	}
+	return id, nil
+}
+
+// Middleware authenticates the request and stamps the tenant into its
+// context; failures get a 401 without reaching next.
+func (a *Auth) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, err := a.Authenticate(r)
+		if err != nil {
+			http.Error(w, "unauthorized: "+err.Error(), http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(WithID(r.Context(), id)))
+	})
+}
+
+// ParseTokenFlag parses a repeatable "tenant:token" flag value.
+func ParseTokenFlag(v string) (id, token string, err error) {
+	id, token, ok := strings.Cut(v, ":")
+	if !ok || id == "" || token == "" {
+		return "", "", fmt.Errorf("tenant: want tenant:token, got %q", v)
+	}
+	if err := ValidateID(id); err != nil {
+		return "", "", err
+	}
+	return id, token, nil
+}
+
+// RateLimiter is a token-bucket byte-rate limiter. Time is supplied by
+// the caller as Unix nanoseconds so tests and the simulated-clock
+// pipeline stay deterministic.
+type RateLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64
+	tokens float64
+	lastNS int64
+}
+
+// NewRateLimiter builds a bucket refilling at rate bytes/s with the
+// given depth; the bucket starts full.
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &RateLimiter{rate: rate, burst: burst, tokens: burst}
+}
+
+// AllowN reports whether n bytes may pass at time nowNS, consuming them
+// if so.
+func (l *RateLimiter) AllowN(nowNS int64, n float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.allowLocked(nowNS, n)
+}
+
+// AllowNLazy is AllowN with the clock read deferred until it matters:
+// while the bucket still holds n tokens the request is admitted without
+// calling now at all, so the steady-state ingest path pays no time
+// syscall. Only when tokens run short is the clock consulted to refill.
+func (l *RateLimiter) AllowNLazy(now func() int64, n float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tokens >= n {
+		l.tokens -= n
+		return true
+	}
+	return l.allowLocked(now(), n)
+}
+
+func (l *RateLimiter) allowLocked(nowNS int64, n float64) bool {
+	if l.lastNS != 0 && nowNS > l.lastNS {
+		l.tokens += float64(nowNS-l.lastNS) / 1e9 * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	if nowNS > l.lastNS {
+		l.lastNS = nowNS
+	}
+	if l.tokens < n {
+		return false
+	}
+	l.tokens -= n
+	return true
+}

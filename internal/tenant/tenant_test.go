@@ -1,0 +1,234 @@
+package tenant
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"shastamon/internal/labels"
+)
+
+func TestContextPlumbing(t *testing.T) {
+	if got := ID(context.Background()); got != DefaultID {
+		t.Fatalf("bare context tenant = %q, want %q", got, DefaultID)
+	}
+	ctx := WithID(context.Background(), "hpc-a")
+	if got := ID(ctx); got != "hpc-a" {
+		t.Fatalf("tenant = %q, want hpc-a", got)
+	}
+	if got := ID(WithID(context.Background(), "")); got != DefaultID {
+		t.Fatalf("empty tenant normalized to %q, want %q", got, DefaultID)
+	}
+}
+
+func TestFromRequest(t *testing.T) {
+	r := httptest.NewRequest("GET", "/", nil)
+	if got := FromRequest(r); got != DefaultID {
+		t.Fatalf("headerless request tenant = %q", got)
+	}
+	r.Header.Set(OrgIDHeader, "hpc-b")
+	if got := FromRequest(r); got != "hpc-b" {
+		t.Fatalf("header tenant = %q", got)
+	}
+	// Context (set by the auth middleware) wins over the header.
+	r = r.WithContext(WithID(r.Context(), "hpc-a"))
+	if got := FromRequest(r); got != "hpc-a" {
+		t.Fatalf("context tenant = %q", got)
+	}
+}
+
+func TestValidateID(t *testing.T) {
+	for _, ok := range []string{"fake", "hpc-a", "team_2", "a.b.c", "A9"} {
+		if err := ValidateID(ok); err != nil {
+			t.Errorf("ValidateID(%q) = %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "a b", "a/b", "a\nb", strings.Repeat("x", 129)} {
+		if err := ValidateID(bad); err == nil {
+			t.Errorf("ValidateID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFingerprintNamespaces(t *testing.T) {
+	ls := labels.New(labels.Label{Name: "job", Value: "syslog"})
+	if got := Fingerprint(DefaultID, ls); got != ls.Fingerprint() {
+		t.Fatalf("default tenant fingerprint %v != plain %v", got, ls.Fingerprint())
+	}
+	if got := Fingerprint("", ls); got != ls.Fingerprint() {
+		t.Fatalf("empty tenant fingerprint diverges from plain")
+	}
+	a, b := Fingerprint("hpc-a", ls), Fingerprint("hpc-b", ls)
+	if a == b || a == ls.Fingerprint() || b == ls.Fingerprint() {
+		t.Fatalf("tenant fingerprints not namespaced: a=%v b=%v plain=%v", a, b, ls.Fingerprint())
+	}
+	if again := Fingerprint("hpc-a", ls); again != a {
+		t.Fatalf("fingerprint not deterministic: %v vs %v", again, a)
+	}
+}
+
+func TestOverridesFor(t *testing.T) {
+	var nilO *Overrides
+	if got := nilO.For("x"); got != (Limits{}) {
+		t.Fatalf("nil overrides = %+v", got)
+	}
+	o := &Overrides{
+		Defaults:  Limits{MaxStreams: 10, IngestRateBytes: 100},
+		PerTenant: map[string]Limits{"vip": {MaxStreams: 1000}},
+	}
+	if got := o.For("anyone"); got.MaxStreams != 10 || got.IngestRateBytes != 100 {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+	// A PerTenant entry wins wholly: vip's zero IngestRateBytes is not
+	// backfilled from Defaults.
+	if got := o.For("vip"); got.MaxStreams != 1000 || got.IngestRateBytes != 0 {
+		t.Fatalf("per-tenant entry not whole: %+v", got)
+	}
+}
+
+func TestAuthOpenMode(t *testing.T) {
+	a := NewAuth(nil)
+	if a.Enabled() {
+		t.Fatal("tokenless auth reports enabled")
+	}
+	r := httptest.NewRequest("GET", "/", nil)
+	if id, err := a.Authenticate(r); err != nil || id != DefaultID {
+		t.Fatalf("open mode = (%q, %v)", id, err)
+	}
+	r.Header.Set(OrgIDHeader, "hpc-a")
+	if id, err := a.Authenticate(r); err != nil || id != "hpc-a" {
+		t.Fatalf("open mode with header = (%q, %v)", id, err)
+	}
+	r.Header.Set(OrgIDHeader, "bad tenant!")
+	if _, err := a.Authenticate(r); err == nil {
+		t.Fatal("invalid org header accepted in open mode")
+	}
+}
+
+func TestAuthTokenMode(t *testing.T) {
+	a := NewAuth(map[string]string{"s3cret": "hpc-a"})
+	if !a.Enabled() {
+		t.Fatal("auth with tokens reports disabled")
+	}
+	r := httptest.NewRequest("GET", "/", nil)
+	if _, err := a.Authenticate(r); err == nil {
+		t.Fatal("tokenless request accepted")
+	}
+	r.Header.Set("Authorization", "Bearer nope")
+	if _, err := a.Authenticate(r); err == nil {
+		t.Fatal("unknown token accepted")
+	}
+	r.Header.Set("Authorization", "Bearer s3cret")
+	if id, err := a.Authenticate(r); err != nil || id != "hpc-a" {
+		t.Fatalf("valid token = (%q, %v)", id, err)
+	}
+	r.Header.Set(OrgIDHeader, "hpc-b")
+	if _, err := a.Authenticate(r); err == nil {
+		t.Fatal("org header disagreeing with token accepted")
+	}
+	r.Header.Set(OrgIDHeader, "hpc-a")
+	if id, err := a.Authenticate(r); err != nil || id != "hpc-a" {
+		t.Fatalf("agreeing org header = (%q, %v)", id, err)
+	}
+}
+
+func TestAuthMiddleware(t *testing.T) {
+	a := NewAuth(map[string]string{"s3cret": "hpc-a"})
+	var seen string
+	h := a.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = ID(r.Context())
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusUnauthorized {
+		t.Fatalf("anonymous request = %d, want 401", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	r := httptest.NewRequest("GET", "/", nil)
+	r.Header.Set("Authorization", "Bearer s3cret")
+	h.ServeHTTP(rec, r)
+	if rec.Code != http.StatusOK || seen != "hpc-a" {
+		t.Fatalf("authorized request = %d, tenant %q", rec.Code, seen)
+	}
+}
+
+func TestParseTokenFlag(t *testing.T) {
+	id, tok, err := ParseTokenFlag("hpc-a:s3cret")
+	if err != nil || id != "hpc-a" || tok != "s3cret" {
+		t.Fatalf("ParseTokenFlag = (%q, %q, %v)", id, tok, err)
+	}
+	// Tokens may themselves contain colons; only the first splits.
+	_, tok, err = ParseTokenFlag("hpc-a:k:v")
+	if err != nil || tok != "k:v" {
+		t.Fatalf("colon token = (%q, %v)", tok, err)
+	}
+	for _, bad := range []string{"", "noseparator", ":tok", "id:", "bad id:tok"} {
+		if _, _, err := ParseTokenFlag(bad); err == nil {
+			t.Errorf("ParseTokenFlag(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	const second = int64(1e9)
+	l := NewRateLimiter(100, 0) // 100 B/s, burst = rate
+	if !l.AllowN(second, 100) {
+		t.Fatal("full bucket refused its burst")
+	}
+	if l.AllowN(second, 1) {
+		t.Fatal("empty bucket allowed bytes")
+	}
+	// Half a second refills 50 tokens.
+	if !l.AllowN(second+second/2, 50) {
+		t.Fatal("refill did not accrue")
+	}
+	if l.AllowN(second+second/2, 1) {
+		t.Fatal("over-refill")
+	}
+	// Refill never exceeds the burst depth.
+	if !l.AllowN(100*second, 100) {
+		t.Fatal("long idle did not refill to burst")
+	}
+	if l.AllowN(100*second, 1) {
+		t.Fatal("burst cap exceeded after long idle")
+	}
+	// Time moving backwards must not mint tokens.
+	if l.AllowN(50*second, 1) {
+		t.Fatal("backwards clock minted tokens")
+	}
+}
+
+func TestRateLimiterLazyClock(t *testing.T) {
+	const second = int64(1e9)
+	clockReads := 0
+	now := second
+	clock := func() int64 { clockReads++; return now }
+
+	l := NewRateLimiter(100, 0)
+	// While tokens last, the clock is never consulted.
+	for i := 0; i < 10; i++ {
+		if !l.AllowNLazy(clock, 10) {
+			t.Fatalf("push %d refused with tokens in the bucket", i)
+		}
+	}
+	if clockReads != 0 {
+		t.Fatalf("clock read %d times on the token fast path", clockReads)
+	}
+	// Shortage consults the clock; same instant means no refill.
+	if l.AllowNLazy(clock, 10) {
+		t.Fatal("empty bucket allowed bytes")
+	}
+	if clockReads != 1 {
+		t.Fatalf("clock reads = %d, want 1", clockReads)
+	}
+	// A second later the refill accrues, still capped at burst.
+	now += second
+	if !l.AllowNLazy(clock, 100) {
+		t.Fatal("refill did not accrue on the lazy path")
+	}
+	if l.AllowNLazy(clock, 1) {
+		t.Fatal("over-refill on the lazy path")
+	}
+}

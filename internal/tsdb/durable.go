@@ -23,6 +23,7 @@ import (
 
 	"shastamon/internal/labels"
 	"shastamon/internal/resilience"
+	"shastamon/internal/tenant"
 	"shastamon/internal/wal"
 )
 
@@ -50,7 +51,8 @@ type RecoveryInfo struct {
 
 type ckptSeries struct {
 	Labels  [][2]string `json:"labels"`
-	Samples []byte      `json:"samples"` // binary sample codec, base64 via JSON
+	Tenant  string      `json:"tenant,omitempty"` // empty = default tenant
+	Samples []byte      `json:"samples"`          // binary sample codec, base64 via JSON
 }
 
 type ckptFile struct {
@@ -109,9 +111,15 @@ func (db *DB) WALBreaker() *resilience.Breaker {
 // --- record codec -----------------------------------------------------
 
 // walPrefixFor caches the [type][labels] prefix; called under s.mu.
+// Non-default tenants ride in the record's labels as __tenant__, so old
+// WALs replay into the default namespace unchanged.
 func (s *series) walPrefixFor() []byte {
 	if s.walPrefix == nil {
-		s.walPrefix = wal.AppendLabels([]byte{wal.RecSample}, s.labels)
+		ls := s.labels
+		if s.tenant != "" && s.tenant != tenant.DefaultID {
+			ls = ls.With(tenant.ReservedLabel, s.tenant)
+		}
+		s.walPrefix = wal.AppendLabels([]byte{wal.RecSample}, ls)
 	}
 	return s.walPrefix
 }
@@ -123,20 +131,25 @@ func appendSample(buf []byte, t int64, v float64) []byte {
 	return append(buf, bits[:]...)
 }
 
-func decodeSampleRecord(payload []byte) (labels.Labels, int64, float64, error) {
+func decodeSampleRecord(payload []byte) (string, labels.Labels, int64, float64, error) {
 	if len(payload) == 0 || payload[0] != wal.RecSample {
-		return nil, 0, 0, fmt.Errorf("tsdb: wal record type: %w", wal.ErrCorrupt)
+		return "", nil, 0, 0, fmt.Errorf("tsdb: wal record type: %w", wal.ErrCorrupt)
 	}
 	ls, rest, err := wal.ReadLabels(payload[1:])
 	if err != nil {
-		return nil, 0, 0, err
+		return "", nil, 0, 0, err
 	}
 	t, rest, err := wal.ReadVarint(rest)
 	if err != nil || len(rest) < 8 {
-		return nil, 0, 0, fmt.Errorf("tsdb: wal record sample: %w", wal.ErrCorrupt)
+		return "", nil, 0, 0, fmt.Errorf("tsdb: wal record sample: %w", wal.ErrCorrupt)
 	}
 	v := math.Float64frombits(binary.LittleEndian.Uint64(rest[:8]))
-	return ls, t, v, nil
+	tid := tenant.DefaultID
+	if tv := ls.Get(tenant.ReservedLabel); tv != "" {
+		tid = tv
+		ls = ls.Without(tenant.ReservedLabel)
+	}
+	return tid, ls, t, v, nil
 }
 
 func encodeSamples(data []Sample) []byte {
@@ -207,6 +220,9 @@ func (db *DB) Checkpoint() error {
 			ck.Cuts[wal.ShardDirName(i)] = cut
 			for _, s := range sh.ordered {
 				cs := ckptSeries{Samples: encodeSamples(s.data)}
+				if s.tenant != "" && s.tenant != tenant.DefaultID {
+					cs.Tenant = s.tenant
+				}
 				for _, l := range s.labels {
 					cs.Labels = append(cs.Labels, [2]string{l.Name, l.Value})
 				}
@@ -294,7 +310,14 @@ func (db *DB) recover(dir string) (RecoveryInfo, int, error) {
 				corrupt++
 				continue
 			}
-			s := db.getOrCreate(labels.New(ls...))
+			tid := cs.Tenant
+			if tid == "" {
+				tid = tenant.DefaultID
+			}
+			s, err := db.getOrCreate(db.tenantStateFor(tid), labels.New(ls...))
+			if err != nil {
+				return info, corrupt, fmt.Errorf("tsdb: checkpoint restore: %w", err)
+			}
 			s.mu.Lock()
 			s.data = samples
 			s.mu.Unlock()
@@ -339,14 +362,14 @@ func (db *DB) recover(dir string) (RecoveryInfo, int, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		st, err := wal.Replay(filepath.Join(walRoot, name), true, func(payload []byte) error {
-			ls, t, v, err := decodeSampleRecord(payload)
+			tid, ls, t, v, err := decodeSampleRecord(payload)
 			if err != nil {
 				corrupt++
 				return nil
 			}
 			// OOO vs the checkpointed head re-discovers the original
 			// drops; duplicate timestamps overwrite idempotently.
-			_ = db.Append(ls, t, v)
+			_ = db.AppendTenant(tid, ls, t, v)
 			info.Replayed++
 			return nil
 		})

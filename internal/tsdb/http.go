@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"shastamon/internal/promtext"
+	"shastamon/internal/tenant"
 )
 
 // Handler exposes the VictoriaMetrics-style write and metadata API:
@@ -28,13 +29,14 @@ func (db *DB) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		tid := tenant.FromRequest(r)
 		accepted, rejected := 0, 0
 		for _, m := range promtext.Samples(fams) {
 			if m.Timestamp == 0 {
 				http.Error(w, "samples must carry millisecond timestamps", http.StatusBadRequest)
 				return
 			}
-			if err := db.AppendMetric(m.Name, m.Labels, m.Timestamp, m.Value); err != nil {
+			if err := db.AppendMetricTenant(tid, m.Name, m.Labels, m.Timestamp, m.Value); err != nil {
 				rejected++
 				continue
 			}
@@ -45,7 +47,7 @@ func (db *DB) Handler() http.Handler {
 	})
 	mux.HandleFunc("/api/v1/labels", func(w http.ResponseWriter, r *http.Request) {
 		names := map[string]bool{}
-		for _, ls := range db.Series(nil) {
+		for _, ls := range db.SeriesTenant(tenant.FromRequest(r), nil) {
 			for _, l := range ls {
 				names[l.Name] = true
 			}
@@ -65,7 +67,7 @@ func (db *DB) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]interface{}{"status": "success", "data": db.LabelValues(name)})
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{"status": "success", "data": db.LabelValuesTenant(tenant.FromRequest(r), name)})
 	})
 	return mux
 }

@@ -12,6 +12,14 @@ func (db *DB) Metrics() *obs.Registry {
 		reg := obs.NewRegistry()
 		reg.Collect(func() []promtext.Family {
 			st := db.Stats()
+			tenantSeries := promtext.Family{Name: obs.Namespace + "tsdb_tenant_series",
+				Help: "Live time series, by tenant.", Type: "gauge"}
+			tenantSamples := promtext.Family{Name: obs.Namespace + "tsdb_tenant_samples_appended_total",
+				Help: "Samples accepted by Append, by tenant.", Type: "counter"}
+			for _, t := range db.TenantStats() {
+				tenantSeries = obs.Sample(tenantSeries, float64(t.Series), "tenant", t.Tenant)
+				tenantSamples = obs.Sample(tenantSamples, float64(t.Samples), "tenant", t.Tenant)
+			}
 			return []promtext.Family{
 				obs.Fam("gauge", obs.Namespace+"tsdb_series",
 					"Live time series in the store.", float64(st.Series)),
@@ -21,6 +29,8 @@ func (db *DB) Metrics() *obs.Registry {
 					"Samples rejected as out of order.", float64(st.Dropped)),
 				obs.Fam("gauge", obs.Namespace+"tsdb_query_parallelism",
 					"In-flight parallel series-query workers.", float64(db.QueryParallelism())),
+				tenantSeries,
+				tenantSamples,
 			}
 		})
 		db.obsReg = reg

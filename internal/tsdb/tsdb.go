@@ -25,6 +25,7 @@ import (
 	"shastamon/internal/obs"
 	"shastamon/internal/parallel"
 	"shastamon/internal/stats"
+	"shastamon/internal/tenant"
 )
 
 // Sample is one (timestamp, value) pair. T is Unix milliseconds.
@@ -40,9 +41,15 @@ const MetricNameLabel = "__name__"
 // head. The sample is dropped.
 var ErrOutOfOrder = errors.New("tsdb: out-of-order sample")
 
+// ErrMaxSeries rejects a new series when the tenant's series quota is
+// exhausted.
+var ErrMaxSeries = errors.New("tsdb: per-tenant series limit exceeded")
+
 type series struct {
 	labels labels.Labels
 	fp     labels.Fingerprint
+	// tenant namespaces the series, as in the log store.
+	tenant string
 	mu     sync.Mutex
 	data   []Sample
 	// walPrefix caches the series' encoded WAL record prefix (type byte
@@ -72,6 +79,22 @@ type DB struct {
 	// dur is the durability layer (WAL + checkpoint); nil for a
 	// memory-only DB. See durable.go.
 	dur *durability
+
+	// Tenant namespaces; defTenant is the lock-free default-tenant fast
+	// path, overrides resolve per-tenant series quotas.
+	overrides *tenant.Overrides
+	defTenant *tenantState
+	tmu       sync.RWMutex
+	tenants   map[string]*tenantState
+}
+
+// tenantState is one tenant's slice of the head: exact series accounting
+// against its quota plus append counters for the tenant metric families.
+type tenantState struct {
+	id        string
+	maxSeries int64
+	series    atomic.Int64
+	samples   atomic.Int64
 }
 
 // New returns an empty DB with GOMAXPROCS shards.
@@ -85,7 +108,42 @@ func NewSharded(n int) *DB {
 	for i := range db.shards {
 		db.shards[i] = &dbShard{series: map[labels.Fingerprint][]*series{}}
 	}
+	db.tenants = map[string]*tenantState{}
+	db.defTenant = db.newTenantState(tenant.DefaultID)
+	db.tenants[tenant.DefaultID] = db.defTenant
 	return db
+}
+
+// SetTenantOverrides installs per-tenant series quotas. Call during
+// setup, before any tenant's first append: states already materialized
+// keep their limits.
+func (db *DB) SetTenantOverrides(o *tenant.Overrides) {
+	db.overrides = o
+	db.defTenant.maxSeries = int64(o.For(tenant.DefaultID).MaxStreams)
+}
+
+func (db *DB) newTenantState(id string) *tenantState {
+	lim := db.overrides.For(id)
+	return &tenantState{id: id, maxSeries: int64(lim.MaxStreams)}
+}
+
+func (db *DB) tenantStateFor(id string) *tenantState {
+	if id == "" || id == tenant.DefaultID {
+		return db.defTenant
+	}
+	db.tmu.RLock()
+	ts := db.tenants[id]
+	db.tmu.RUnlock()
+	if ts != nil {
+		return ts
+	}
+	db.tmu.Lock()
+	defer db.tmu.Unlock()
+	if ts = db.tenants[id]; ts == nil {
+		ts = db.newTenantState(id)
+		db.tenants[id] = ts
+	}
+	return ts
 }
 
 // Shards returns the number of lock stripes the DB runs.
@@ -105,10 +163,20 @@ func (db *DB) shardIndex(fp labels.Fingerprint) int {
 // Append adds one sample to the series identified by ls. ls must include
 // the metric name under MetricNameLabel (use Labels.With).
 func (db *DB) Append(ls labels.Labels, t int64, v float64) error {
+	return db.AppendTenant(tenant.DefaultID, ls, t, v)
+}
+
+// AppendTenant is Append into one tenant's namespace, enforcing the
+// tenant's series quota.
+func (db *DB) AppendTenant(id string, ls labels.Labels, t int64, v float64) error {
 	if ls.Get(MetricNameLabel) == "" {
 		return fmt.Errorf("tsdb: missing %s label in %s", MetricNameLabel, ls)
 	}
-	s := db.getOrCreate(ls)
+	ts := db.tenantStateFor(id)
+	s, err := db.getOrCreate(ts, ls)
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if n := len(s.data); n > 0 && t < s.data[n-1].T {
@@ -126,6 +194,7 @@ func (db *DB) Append(ls labels.Labels, t int64, v float64) error {
 		db.dur.d.Append(db.shardIndex(s.fp), appendSample(s.walPrefixFor(), t, v))
 	}
 	db.appends.Add(1)
+	ts.samples.Add(1)
 	return nil
 }
 
@@ -135,40 +204,54 @@ func (db *DB) AppendMetric(name string, extra labels.Labels, t int64, v float64)
 	return db.Append(extra.With(MetricNameLabel, name), t, v)
 }
 
-func (db *DB) getOrCreate(ls labels.Labels) *series {
-	fp := ls.Fingerprint()
+// AppendMetricTenant is AppendMetric into one tenant's namespace.
+func (db *DB) AppendMetricTenant(id, name string, extra labels.Labels, t int64, v float64) error {
+	return db.AppendTenant(id, extra.With(MetricNameLabel, name), t, v)
+}
+
+func (db *DB) getOrCreate(ts *tenantState, ls labels.Labels) (*series, error) {
+	fp := tenant.Fingerprint(ts.id, ls)
 	sh := db.shardFor(fp)
 	sh.mu.RLock()
 	for _, s := range sh.series[fp] {
-		if s.labels.Equal(ls) {
+		if s.tenant == ts.id && s.labels.Equal(ls) {
 			sh.mu.RUnlock()
-			return s
+			return s, nil
 		}
 	}
 	sh.mu.RUnlock()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, s := range sh.series[fp] {
-		if s.labels.Equal(ls) {
-			return s
+		if s.tenant == ts.id && s.labels.Equal(ls) {
+			return s, nil
 		}
 	}
-	s := &series{labels: ls.Copy(), fp: fp}
+	// Reserve-then-rollback: the atomic add keeps the tenant quota exact
+	// under concurrent creators across shards.
+	if n := ts.series.Add(1); ts.maxSeries > 0 && n > ts.maxSeries {
+		ts.series.Add(-1)
+		return nil, fmt.Errorf("%w (tenant %s)", ErrMaxSeries, ts.id)
+	}
+	s := &series{labels: ls.Copy(), fp: fp, tenant: ts.id}
 	sh.series[fp] = append(sh.series[fp], s)
 	sh.ordered = append(sh.ordered, s)
 	db.seriesCount.Add(1)
-	return s
+	return s, nil
 }
 
-// candidates returns every series matching all matchers, across shards,
-// plus the number of shards that held at least one match.
-func (db *DB) candidates(sel []*labels.Matcher) ([]*series, int) {
+// candidates returns every series of one tenant matching all matchers,
+// across shards, plus the number of shards that held at least one match.
+func (db *DB) candidates(tid string, sel []*labels.Matcher) ([]*series, int) {
 	var cand []*series
 	touched := 0
 	for _, sh := range db.shards {
 		sh.mu.RLock()
 		n := len(cand)
 		for _, s := range sh.ordered {
+			if s.tenant != tid {
+				continue
+			}
 			if labels.MatchLabels(s.labels, sel) {
 				cand = append(cand, s)
 			}
@@ -207,7 +290,7 @@ func (db *DB) Select(sel []*labels.Matcher, mint, maxt int64) []SeriesData {
 func (db *DB) SelectContext(ctx context.Context, sel []*labels.Matcher, mint, maxt int64) ([]SeriesData, error) {
 	sc := stats.FromContext(ctx)
 	started := time.Now()
-	cand, touched := db.candidates(sel)
+	cand, touched := db.candidates(tenant.ID(ctx), sel)
 	sc.AddShardsTouched(int64(touched))
 	sc.AddStreams(int64(len(cand)))
 	results := make([][]Sample, len(cand))
@@ -251,7 +334,13 @@ func (db *DB) SelectContext(ctx context.Context, sel []*labels.Matcher, mint, ma
 // before ts but not older than ts-lookback. This implements PromQL instant
 // vector semantics.
 func (db *DB) LatestBefore(sel []*labels.Matcher, ts, lookbackMS int64) []SeriesData {
-	cand, _ := db.candidates(sel)
+	return db.LatestBeforeContext(context.Background(), sel, ts, lookbackMS)
+}
+
+// LatestBeforeContext is LatestBefore within the context's tenant
+// namespace — the PromQL instant path.
+func (db *DB) LatestBeforeContext(ctx context.Context, sel []*labels.Matcher, ts, lookbackMS int64) []SeriesData {
+	cand, _ := db.candidates(tenant.ID(ctx), sel)
 	results := make([][]Sample, len(cand))
 	parallel.Do(len(cand), parallel.Workers(0), &db.queryInFlight, func(i int) {
 		s := cand[i]
@@ -272,10 +361,15 @@ func (db *DB) LatestBefore(sel []*labels.Matcher, ts, lookbackMS int64) []Series
 	return out
 }
 
-// Series returns label sets of matching series.
+// Series returns label sets of the default tenant's matching series.
 func (db *DB) Series(sel []*labels.Matcher) []labels.Labels {
+	return db.SeriesTenant(tenant.DefaultID, sel)
+}
+
+// SeriesTenant is Series within one tenant's namespace.
+func (db *DB) SeriesTenant(id string, sel []*labels.Matcher) []labels.Labels {
 	var out []labels.Labels
-	cand, _ := db.candidates(sel)
+	cand, _ := db.candidates(id, sel)
 	for _, s := range cand {
 		out = append(out, s.labels)
 	}
@@ -283,12 +377,21 @@ func (db *DB) Series(sel []*labels.Matcher) []labels.Labels {
 	return out
 }
 
-// LabelValues returns distinct values of a label across series.
+// LabelValues returns distinct values of a label across the default
+// tenant's series.
 func (db *DB) LabelValues(name string) []string {
+	return db.LabelValuesTenant(tenant.DefaultID, name)
+}
+
+// LabelValuesTenant is LabelValues within one tenant's namespace.
+func (db *DB) LabelValuesTenant(id, name string) []string {
 	set := map[string]bool{}
 	for _, sh := range db.shards {
 		sh.mu.RLock()
 		for _, s := range sh.ordered {
+			if s.tenant != id {
+				continue
+			}
 			if v := s.labels.Get(name); v != "" {
 				set[v] = true
 			}
@@ -331,6 +434,7 @@ func (db *DB) DeleteBefore(ts int64) int {
 					delete(sh.series, s.fp)
 				}
 				db.seriesCount.Add(-1)
+				db.tenantStateFor(s.tenant).series.Add(-1)
 				continue
 			}
 			kept = append(kept, s)
@@ -355,4 +459,23 @@ func (db *DB) Stats() Stats {
 		Samples: db.appends.Load(),
 		Dropped: db.dropped.Load(),
 	}
+}
+
+// TenantStat is one tenant's slice of the head accounting.
+type TenantStat struct {
+	Tenant  string
+	Series  int64
+	Samples int64
+}
+
+// TenantStats snapshots per-tenant counters, sorted by tenant ID.
+func (db *DB) TenantStats() []TenantStat {
+	db.tmu.RLock()
+	out := make([]TenantStat, 0, len(db.tenants))
+	for _, ts := range db.tenants {
+		out = append(out, TenantStat{Tenant: ts.id, Series: ts.series.Load(), Samples: ts.samples.Load()})
+	}
+	db.tmu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }

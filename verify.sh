@@ -26,6 +26,13 @@ go test -race -run 'TestMetaAlert' -count=1 ./internal/core/
 # detector — the durability paths must be order-independent.
 go test -race -run 'TestCrashRecovery|TestWALDegraded' -count=3 -shuffle=on ./internal/omni/ ./internal/core/
 
+# Tenant isolation suite: concurrent two-tenant pushes into shared lock
+# stripes, exact quota/rate accounting, tenant-keyed frontend queues and
+# cache, and the single-tenant golden-equality pins — all under the race
+# detector. (The noisy-neighbor e2e also rides the Chaos soak above.)
+go test -race -run 'TestTenant|TestDurableTenant|TestRateLimiter' -count=1 \
+  ./internal/tenant/ ./internal/loki/ ./internal/tsdb/ ./internal/frontend/
+
 # Frontend golden-equality + concurrent-refresh soak: split/cached range
 # results must be bit-identical to the monolithic evaluation, including
 # under concurrent refresh with an eviction-squeezed cache, with the race
